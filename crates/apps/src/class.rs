@@ -1,0 +1,119 @@
+//! NAS-style problem classes: named size presets for the application
+//! models.
+//!
+//! The NAS Parallel Benchmarks ship with problem classes (S, W, A, B, …)
+//! that scale grid sizes; the paper evaluates the full codes at
+//! MareNostrum-relevant sizes. [`ProblemClass`] provides the same
+//! convention for every model in this crate: the default builders
+//! correspond to [`ProblemClass::A`] (the calibrated size), and the other
+//! classes scale compute volume and message sizes together so the
+//! comm/comp ratio — and therefore the overlap behaviour — is preserved
+//! while total cost changes.
+
+/// A named problem-size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProblemClass {
+    /// Sample size: ~8× smaller than A (fast unit tests).
+    S,
+    /// Workstation size: ~2× smaller than A.
+    W,
+    /// The calibrated reference size (the builders' default).
+    #[default]
+    A,
+    /// ~4× larger than A.
+    B,
+}
+
+impl ProblemClass {
+    /// Multiplier applied to per-kernel instruction counts.
+    pub fn compute_scale(self) -> f64 {
+        match self {
+            ProblemClass::S => 0.125,
+            ProblemClass::W => 0.5,
+            ProblemClass::A => 1.0,
+            ProblemClass::B => 4.0,
+        }
+    }
+
+    /// Multiplier applied to message sizes. Surface-to-volume scaling:
+    /// messages grow as the 2/3 power of compute.
+    pub fn message_scale(self) -> f64 {
+        self.compute_scale().powf(2.0 / 3.0)
+    }
+
+    /// Scales an instruction count, keeping it positive.
+    pub fn scale_instr(self, instr: u64) -> u64 {
+        ((instr as f64 * self.compute_scale()).round() as u64).max(1)
+    }
+
+    /// Scales a byte count, keeping it a positive multiple of 8.
+    pub fn scale_bytes(self, bytes: u64) -> u64 {
+        (((bytes as f64 * self.message_scale()) as u64) / 8).max(1) * 8
+    }
+}
+
+impl std::fmt::Display for ProblemClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            ProblemClass::S => 'S',
+            ProblemClass::W => 'W',
+            ProblemClass::A => 'A',
+            ProblemClass::B => 'B',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_a_is_identity() {
+        assert_eq!(ProblemClass::A.scale_instr(1_000_000), 1_000_000);
+        assert_eq!(ProblemClass::A.scale_bytes(76_800), 76_800);
+        assert_eq!(ProblemClass::default(), ProblemClass::A);
+    }
+
+    #[test]
+    fn classes_order_by_size() {
+        let classes = [
+            ProblemClass::S,
+            ProblemClass::W,
+            ProblemClass::A,
+            ProblemClass::B,
+        ];
+        for w in classes.windows(2) {
+            assert!(w[0].compute_scale() < w[1].compute_scale());
+            assert!(w[0].message_scale() < w[1].message_scale());
+        }
+    }
+
+    #[test]
+    fn surface_to_volume_scaling() {
+        // Messages grow slower than compute: class B has 4x compute but
+        // only ~2.5x messages.
+        let b = ProblemClass::B;
+        assert_eq!(b.scale_instr(100), 400);
+        let msg = b.scale_bytes(80_000);
+        assert!(msg > 160_000 && msg < 220_000, "got {msg}");
+    }
+
+    #[test]
+    fn scaled_bytes_stay_aligned_and_positive() {
+        for class in [ProblemClass::S, ProblemClass::W, ProblemClass::B] {
+            for bytes in [8u64, 64, 1000, 76_800] {
+                let s = class.scale_bytes(bytes);
+                assert!(s >= 8);
+                assert_eq!(s % 8, 0);
+            }
+            assert!(class.scale_instr(1) >= 1);
+        }
+    }
+
+    #[test]
+    fn display_single_letter() {
+        assert_eq!(format!("{}", ProblemClass::S), "S");
+        assert_eq!(format!("{}", ProblemClass::B), "B");
+    }
+}

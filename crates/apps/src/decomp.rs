@@ -1,0 +1,180 @@
+//! Process-grid decompositions.
+
+use ovlsim_core::Rank;
+
+/// A 2-D logical process grid of `px × py` ranks, row-major.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_apps::Grid2d;
+/// use ovlsim_core::Rank;
+///
+/// let g = Grid2d::near_square(6); // 3 x 2
+/// assert_eq!((g.px(), g.py()), (3, 2));
+/// assert_eq!(g.coords(Rank::new(4)), (1, 1));
+/// assert_eq!(g.east(Rank::new(4)), Some(Rank::new(5)));
+/// assert_eq!(g.east(Rank::new(5)), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2d {
+    px: usize,
+    py: usize,
+}
+
+impl Grid2d {
+    /// A `px × py` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(px: usize, py: usize) -> Self {
+        assert!(px > 0 && py > 0, "grid dimensions must be positive");
+        Grid2d { px, py }
+    }
+
+    /// A square grid, if `ranks` is a perfect square.
+    pub fn square(ranks: usize) -> Option<Self> {
+        let side = (ranks as f64).sqrt().round() as usize;
+        (side * side == ranks && side > 0).then(|| Grid2d::new(side, side))
+    }
+
+    /// The most nearly square factorization of `ranks` (`px ≥ py`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks == 0`.
+    pub fn near_square(ranks: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        let mut best = (ranks, 1);
+        let mut d = 1;
+        while d * d <= ranks {
+            if ranks.is_multiple_of(d) {
+                best = (ranks / d, d);
+            }
+            d += 1;
+        }
+        Grid2d::new(best.0, best.1)
+    }
+
+    /// Grid width (x dimension).
+    pub fn px(&self) -> usize {
+        self.px
+    }
+
+    /// Grid height (y dimension).
+    pub fn py(&self) -> usize {
+        self.py
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// `(x, y)` coordinates of a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is outside the grid.
+    pub fn coords(&self, rank: Rank) -> (usize, usize) {
+        let i = rank.index();
+        assert!(i < self.ranks(), "{rank} outside {}x{} grid", self.px, self.py);
+        (i % self.px, i / self.px)
+    }
+
+    /// The rank at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    pub fn rank_at(&self, x: usize, y: usize) -> Rank {
+        assert!(x < self.px && y < self.py, "({x},{y}) outside grid");
+        Rank::new((y * self.px + x) as u32)
+    }
+
+    /// Western neighbor (smaller x), if any.
+    pub fn west(&self, rank: Rank) -> Option<Rank> {
+        let (x, y) = self.coords(rank);
+        (x > 0).then(|| self.rank_at(x - 1, y))
+    }
+
+    /// Eastern neighbor (larger x), if any.
+    pub fn east(&self, rank: Rank) -> Option<Rank> {
+        let (x, y) = self.coords(rank);
+        (x + 1 < self.px).then(|| self.rank_at(x + 1, y))
+    }
+
+    /// Northern neighbor (smaller y), if any.
+    pub fn north(&self, rank: Rank) -> Option<Rank> {
+        let (x, y) = self.coords(rank);
+        (y > 0).then(|| self.rank_at(x, y - 1))
+    }
+
+    /// Southern neighbor (larger y), if any.
+    pub fn south(&self, rank: Rank) -> Option<Rank> {
+        let (x, y) = self.coords(rank);
+        (y + 1 < self.py).then(|| self.rank_at(x, y + 1))
+    }
+
+    /// All existing von-Neumann neighbors in W, E, N, S order.
+    pub fn neighbors(&self, rank: Rank) -> Vec<Rank> {
+        [
+            self.west(rank),
+            self.east(rank),
+            self.north(rank),
+            self.south(rank),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_detection() {
+        assert_eq!(Grid2d::square(16), Some(Grid2d::new(4, 4)));
+        assert_eq!(Grid2d::square(15), None);
+        assert_eq!(Grid2d::square(1), Some(Grid2d::new(1, 1)));
+    }
+
+    #[test]
+    fn near_square_factorization() {
+        assert_eq!(Grid2d::near_square(12), Grid2d::new(4, 3));
+        assert_eq!(Grid2d::near_square(7), Grid2d::new(7, 1));
+        assert_eq!(Grid2d::near_square(16), Grid2d::new(4, 4));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Grid2d::new(4, 3);
+        for r in 0..12u32 {
+            let rank = Rank::new(r);
+            let (x, y) = g.coords(rank);
+            assert_eq!(g.rank_at(x, y), rank);
+        }
+    }
+
+    #[test]
+    fn boundary_neighbors_absent() {
+        let g = Grid2d::new(3, 3);
+        let corner = g.rank_at(0, 0);
+        assert_eq!(g.west(corner), None);
+        assert_eq!(g.north(corner), None);
+        assert_eq!(g.east(corner), Some(g.rank_at(1, 0)));
+        assert_eq!(g.south(corner), Some(g.rank_at(0, 1)));
+        assert_eq!(g.neighbors(corner).len(), 2);
+        let center = g.rank_at(1, 1);
+        assert_eq!(g.neighbors(center).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_grid_coords_panic() {
+        Grid2d::new(2, 2).coords(Rank::new(4));
+    }
+}

@@ -1,0 +1,55 @@
+//! Application-model configuration errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building an application model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AppConfigError {
+    /// The rank count does not fit the application's topology.
+    BadRankCount {
+        /// Requested rank count.
+        ranks: usize,
+        /// What the topology requires.
+        requirement: &'static str,
+    },
+    /// A size or count parameter was zero or out of range.
+    BadParameter {
+        /// The parameter's name.
+        name: &'static str,
+        /// Description of the violated constraint.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for AppConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppConfigError::BadRankCount { ranks, requirement } => {
+                write!(f, "rank count {ranks} invalid: {requirement}")
+            }
+            AppConfigError::BadParameter { name, requirement } => {
+                write!(f, "parameter `{name}` invalid: {requirement}")
+            }
+        }
+    }
+}
+
+impl Error for AppConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let e = AppConfigError::BadRankCount {
+            ranks: 3,
+            requirement: "must be a perfect square",
+        };
+        assert!(format!("{e}").contains("perfect square"));
+        fn check<E: Error + Send + Sync>() {}
+        check::<AppConfigError>();
+    }
+}

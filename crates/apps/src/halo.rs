@@ -1,0 +1,88 @@
+//! Non-blocking halo-exchange idiom shared by the application models.
+//!
+//! Real stencil codes exchange boundaries with the canonical
+//! `MPI_Irecv* / MPI_Isend* / MPI_Waitall` sequence; this helper issues the
+//! same pattern through the tracing context.
+
+use ovlsim_core::{BufferId, Rank, Tag};
+use ovlsim_tracer::{TraceContext, TraceError};
+
+/// One direction of a halo exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct HaloLeg {
+    /// The peer rank.
+    pub peer: Rank,
+    /// Buffer sent to (or received from) the peer.
+    pub buffer: BufferId,
+    /// Message tag.
+    pub tag: Tag,
+}
+
+/// Performs an `irecv* / isend* / waitall` exchange: posts all receives,
+/// then all sends, then completes receives and sends in posting order.
+///
+/// # Errors
+///
+/// Propagates any [`TraceError`] from the context (bad peer, empty
+/// buffer, …).
+pub fn exchange(
+    ctx: &mut TraceContext,
+    sends: &[HaloLeg],
+    recvs: &[HaloLeg],
+) -> Result<(), TraceError> {
+    let mut recv_handles = Vec::with_capacity(recvs.len());
+    for leg in recvs {
+        recv_handles.push(ctx.irecv(leg.peer, leg.buffer, leg.tag)?);
+    }
+    let mut send_handles = Vec::with_capacity(sends.len());
+    for leg in sends {
+        send_handles.push(ctx.isend(leg.peer, leg.buffer, leg.tag)?);
+    }
+    for h in recv_handles {
+        ctx.wait_recv(h)?;
+    }
+    for h in send_handles {
+        ctx.wait_send(h)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{Instr, RecordKind};
+
+    #[test]
+    fn exchange_emits_canonical_sequence() {
+        let mut ctx = TraceContext::new(Rank::new(0), 3);
+        let to_east = ctx.register_buffer("east-out", 256, 8);
+        let from_west = ctx.register_buffer("west-in", 256, 8);
+        ctx.compute(Instr::new(100));
+        exchange(
+            &mut ctx,
+            &[HaloLeg { peer: Rank::new(1), buffer: to_east, tag: Tag::new(0) }],
+            &[HaloLeg { peer: Rank::new(2), buffer: from_west, tag: Tag::new(0) }],
+        )
+        .unwrap();
+        let (records, _) = ctx.finish().unwrap();
+        let kinds: Vec<RecordKind> = records.iter().map(|r| r.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RecordKind::Burst,
+                RecordKind::IRecv,
+                RecordKind::ISend,
+                RecordKind::Wait,
+                RecordKind::Wait,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_exchange_is_noop() {
+        let mut ctx = TraceContext::new(Rank::new(0), 2);
+        exchange(&mut ctx, &[], &[]).unwrap();
+        let (records, _) = ctx.finish().unwrap();
+        assert!(records.is_empty());
+    }
+}

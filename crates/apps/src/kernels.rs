@@ -1,0 +1,277 @@
+//! Reusable kernel shapes capturing how real codes touch their
+//! communication buffers.
+//!
+//! The central finding of the paper is that *when* an application produces
+//! and consumes communicated data decides how much automatic overlap can
+//! help. Legacy MPI codes overwhelmingly:
+//!
+//! * **pack late** — the send buffer is filled by a tight pack/copy loop
+//!   (or a final assembly/fix-up pass) immediately before the send, even
+//!   though the underlying values were computed throughout the kernel, and
+//! * **unpack early** — the receive buffer is drained by an unpack loop
+//!   (or consumed whole by a gather/dot) right after the receive.
+//!
+//! These helpers build kernels with an explicit *production tail* and
+//! *consumption head* so each application model can state its measured
+//! pattern precisely.
+
+use ovlsim_core::{BufferId, Instr};
+use ovlsim_memtrace::{AccessKind, IndexPattern, Kernel, KernelBuilder};
+
+/// How a kernel produces its send buffers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProductionShape {
+    /// Values land in their final place as the main loop progresses
+    /// (the ideal sequential pattern).
+    Spread,
+    /// The buffer is filled by a pack/assembly pass occupying the trailing
+    /// `fraction` of the kernel (the legacy pattern).
+    Tail {
+        /// Fraction of the kernel spent in the pack pass, in `(0, 1)`.
+        fraction: f64,
+    },
+}
+
+/// How a kernel consumes its receive buffers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConsumptionShape {
+    /// Values are read as the main loop progresses.
+    Spread,
+    /// The buffer is drained by an unpack/gather pass occupying the
+    /// leading `fraction` of the kernel (the legacy pattern).
+    Head {
+        /// Fraction of the kernel spent in the unpack pass, in `(0, 1)`.
+        fraction: f64,
+    },
+}
+
+fn split(total: Instr, fraction: f64) -> (Instr, Instr) {
+    assert!(
+        (0.0..1.0).contains(&fraction) && fraction > 0.0,
+        "fraction must be in (0, 1), got {fraction}"
+    );
+    let part = Instr::new(((total.get() as f64) * fraction).round().max(1.0) as u64);
+    let rest = total.saturating_sub(part);
+    (rest, part)
+}
+
+/// A kernel of `instr` instructions that *produces* `buffers` according to
+/// `shape` (writes only; no reads tracked).
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{BufferId, Instr};
+/// use ovlsim_apps::{producer_kernel, ProductionShape};
+///
+/// let k = producer_kernel(
+///     Instr::new(1000),
+///     &[BufferId::new(0)],
+///     ProductionShape::Tail { fraction: 0.05 },
+/// );
+/// assert_eq!(k.total_instr(), Instr::new(1000));
+/// assert_eq!(k.phases().len(), 2); // main loop + pack pass
+/// ```
+pub fn producer_kernel(instr: Instr, buffers: &[BufferId], shape: ProductionShape) -> Kernel {
+    match shape {
+        ProductionShape::Spread => {
+            let mut b = Kernel::builder().phase(instr);
+            for &buf in buffers {
+                b = b.access(buf, AccessKind::Write, IndexPattern::Sequential);
+            }
+            b.build()
+        }
+        ProductionShape::Tail { fraction } => {
+            let (main, pack) = split(instr, fraction);
+            let mut b = Kernel::builder().phase(main).phase(pack);
+            for &buf in buffers {
+                b = b.access(buf, AccessKind::Write, IndexPattern::Sequential);
+            }
+            b.build()
+        }
+    }
+}
+
+/// A kernel of `instr` instructions that *consumes* `buffers` according to
+/// `shape` (reads only).
+pub fn consumer_kernel(instr: Instr, buffers: &[BufferId], shape: ConsumptionShape) -> Kernel {
+    match shape {
+        ConsumptionShape::Spread => {
+            let mut b = Kernel::builder().phase(instr);
+            for &buf in buffers {
+                b = b.access(buf, AccessKind::Read, IndexPattern::Sequential);
+            }
+            b.build()
+        }
+        ConsumptionShape::Head { fraction } => {
+            let (main, unpack) = split(instr, fraction);
+            let mut b = Kernel::builder().phase(unpack);
+            for &buf in buffers {
+                b = b.access(buf, AccessKind::Read, IndexPattern::Sequential);
+            }
+            b.phase(main).build()
+        }
+    }
+}
+
+/// A kernel that consumes `reads` (per `consume`) and produces `writes`
+/// (per `produce`) within the same `instr` instructions: the unpack pass
+/// leads, the pack pass trails, the main loop sits between.
+pub fn stencil_kernel(
+    instr: Instr,
+    reads: &[BufferId],
+    consume: ConsumptionShape,
+    writes: &[BufferId],
+    produce: ProductionShape,
+) -> Kernel {
+    let (after_unpack, unpack) = match consume {
+        ConsumptionShape::Spread => (instr, Instr::ZERO),
+        ConsumptionShape::Head { fraction } => split(instr, fraction),
+    };
+    let (main, pack) = match produce {
+        ProductionShape::Spread => (after_unpack, Instr::ZERO),
+        ProductionShape::Tail { fraction } => {
+            // Fraction is of the whole kernel, bounded by what remains.
+            let want = Instr::new(((instr.get() as f64) * fraction).round().max(1.0) as u64);
+            let pack = want.min(after_unpack);
+            (after_unpack.saturating_sub(pack), pack)
+        }
+    };
+
+    let mut b: KernelBuilder = Kernel::builder();
+    // Leading unpack (reads).
+    if matches!(consume, ConsumptionShape::Head { .. }) {
+        b = b.phase(unpack);
+        for &buf in reads {
+            b = b.access(buf, AccessKind::Read, IndexPattern::Sequential);
+        }
+    }
+    // Main loop: spread accesses live here.
+    b = b.phase(main);
+    if matches!(consume, ConsumptionShape::Spread) {
+        for &buf in reads {
+            b = b.access(buf, AccessKind::Read, IndexPattern::Sequential);
+        }
+    }
+    if matches!(produce, ProductionShape::Spread) {
+        for &buf in writes {
+            b = b.access(buf, AccessKind::Write, IndexPattern::Sequential);
+        }
+    }
+    // Trailing pack (writes).
+    if matches!(produce, ProductionShape::Tail { .. }) {
+        b = b.phase(pack);
+        for &buf in writes {
+            b = b.access(buf, AccessKind::Write, IndexPattern::Sequential);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_memtrace::MemTracer;
+
+    #[test]
+    fn tail_production_concentrates_at_end() {
+        let mut mt = MemTracer::new();
+        let buf = mt.register("b", 1000, 10);
+        let k = producer_kernel(Instr::new(10_000), &[buf], ProductionShape::Tail { fraction: 0.05 });
+        mt.execute(&k);
+        let p = mt.snapshot_production(buf);
+        // Even the first chunk is not ready before 95% of the kernel.
+        assert!(p.ready_at(0..100).get() >= 9_500);
+        assert_eq!(p.fully_ready_at(), Instr::new(10_000));
+    }
+
+    #[test]
+    fn spread_production_is_linearish() {
+        let mut mt = MemTracer::new();
+        let buf = mt.register("b", 1000, 10);
+        let k = producer_kernel(Instr::new(10_000), &[buf], ProductionShape::Spread);
+        mt.execute(&k);
+        let p = mt.snapshot_production(buf);
+        // First quarter ready near 25% of the kernel.
+        let q1 = p.ready_at(0..250).get() as f64 / 10_000.0;
+        assert!((q1 - 0.25).abs() < 0.01, "q1 = {q1}");
+    }
+
+    #[test]
+    fn head_consumption_reads_everything_early() {
+        let mut mt = MemTracer::new();
+        let buf = mt.register("b", 1000, 10);
+        let k = consumer_kernel(Instr::new(10_000), &[buf], ConsumptionShape::Head { fraction: 0.02 });
+        mt.execute(&k);
+        let c = mt.snapshot_consumption(buf);
+        // The last chunk is needed within the first 2% of the kernel.
+        assert!(c.needed_at(900..1000).unwrap().get() <= 200);
+    }
+
+    #[test]
+    fn stencil_kernel_orders_unpack_main_pack() {
+        let mut mt = MemTracer::new();
+        let rin = mt.register("in", 1000, 10);
+        let out = mt.register("out", 1000, 10);
+        let k = stencil_kernel(
+            Instr::new(10_000),
+            &[rin],
+            ConsumptionShape::Head { fraction: 0.02 },
+            &[out],
+            ProductionShape::Tail { fraction: 0.02 },
+        );
+        assert_eq!(k.total_instr(), Instr::new(10_000));
+        mt.execute(&k);
+        let c = mt.snapshot_consumption(rin);
+        let p = mt.snapshot_production(out);
+        assert!(c.needed_at(0..1000).unwrap().get() <= 200);
+        assert!(p.ready_at(0..100).get() >= 9_700);
+    }
+
+    #[test]
+    fn stencil_kernel_spread_spread() {
+        let mut mt = MemTracer::new();
+        let rin = mt.register("in", 1000, 10);
+        let out = mt.register("out", 1000, 10);
+        let k = stencil_kernel(
+            Instr::new(10_000),
+            &[rin],
+            ConsumptionShape::Spread,
+            &[out],
+            ProductionShape::Spread,
+        );
+        assert_eq!(k.total_instr(), Instr::new(10_000));
+        mt.execute(&k);
+        let p = mt.snapshot_production(out);
+        let mid = p.ready_at(0..500).get() as f64 / 10_000.0;
+        assert!((mid - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        producer_kernel(
+            Instr::new(100),
+            &[BufferId::new(0)],
+            ProductionShape::Tail { fraction: 1.5 },
+        );
+    }
+
+    #[test]
+    fn instruction_totals_preserved() {
+        for shape in [
+            ProductionShape::Spread,
+            ProductionShape::Tail { fraction: 0.1 },
+        ] {
+            let k = producer_kernel(Instr::new(12_345), &[BufferId::new(0)], shape);
+            assert_eq!(k.total_instr(), Instr::new(12_345));
+        }
+        for shape in [
+            ConsumptionShape::Spread,
+            ConsumptionShape::Head { fraction: 0.1 },
+        ] {
+            let k = consumer_kernel(Instr::new(12_345), &[BufferId::new(0)], shape);
+            assert_eq!(k.total_instr(), Instr::new(12_345));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Replay-throughput benchmarks: how fast the Dimemas substrate
+//! reconstructs time behaviour (records/second), for original and
+//! overlapped traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovlsim_apps::{calibration::reference_platform, NasBt, Sweep3d};
+use ovlsim_dimemas::Simulator;
+use ovlsim_tracer::TracingSession;
+use std::hint::black_box;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    let platform = reference_platform();
+
+    let bt = NasBt::builder()
+        .ranks(16)
+        .iterations(2)
+        .build()
+        .expect("valid NAS-BT");
+    let bundle = TracingSession::new(&bt).run().expect("traces");
+    let original = bundle.original().clone();
+    let overlapped = bundle.overlapped_linear();
+
+    group.throughput(Throughput::Elements(original.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("nas_bt_original", original.total_records()),
+        &original,
+        |b, trace| {
+            let sim = Simulator::new(platform.clone());
+            b.iter(|| black_box(sim.run(trace).expect("replays")));
+        },
+    );
+    group.throughput(Throughput::Elements(overlapped.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("nas_bt_overlapped", overlapped.total_records()),
+        &overlapped,
+        |b, trace| {
+            let sim = Simulator::new(platform.clone());
+            b.iter(|| black_box(sim.run(trace).expect("replays")));
+        },
+    );
+
+    let sweep = Sweep3d::builder().ranks(16).build().expect("valid Sweep3D");
+    let bundle = TracingSession::new(&sweep).run().expect("traces");
+    let overlapped = bundle.overlapped_linear();
+    group.throughput(Throughput::Elements(overlapped.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("sweep3d_overlapped", overlapped.total_records()),
+        &overlapped,
+        |b, trace| {
+            let sim = Simulator::new(platform.clone());
+            b.iter(|| black_box(sim.run(trace).expect("replays")));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks for the discrete-event kernel: the replay simulator's
+//! hot path is schedule/pop on the event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovlsim_core::Time;
+use ovlsim_engine::{EventQueue, FifoResource};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Pseudo-random but deterministic times.
+                    let t = Time::from_ns(((i as u64).wrapping_mul(2654435761)) % 1_000_000);
+                    q.schedule(t, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_resource(c: &mut Criterion) {
+    c.bench_function("fifo_resource_grant_release", |b| {
+        b.iter(|| {
+            let mut r = FifoResource::new(Some(4));
+            let mut tokens = Vec::with_capacity(64);
+            for _ in 0..64 {
+                tokens.push(r.request());
+            }
+            for _ in 0..60 {
+                r.release();
+                black_box(r.take_granted());
+            }
+            black_box(r.in_use())
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_resource);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end experiment benchmarks: the cost of regenerating each paper
+//! artefact (tracing + synthesis + sweep). These document that the
+//! environment itself is fast enough for interactive studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovlsim_apps::{calibration::reference_platform, NasCg, Sweep3d};
+use ovlsim_lab::{log_bandwidths, sweep_bundle};
+use ovlsim_tracer::{OverlapMode, TracingSession};
+use std::hint::black_box;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let base = reference_platform();
+
+    let cg = NasCg::builder()
+        .ranks(8)
+        .iterations(3)
+        .build()
+        .expect("valid NAS-CG");
+    let bundle = TracingSession::new(&cg).run().expect("traces");
+    let bws = log_bandwidths(1.0e6, 1.0e11, 7);
+    c.bench_function("sweep_nas_cg_7pts", |b| {
+        b.iter(|| {
+            black_box(
+                sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws).expect("sweeps"),
+            )
+        });
+    });
+
+    let sweep = Sweep3d::builder().ranks(9).build().expect("valid Sweep3D");
+    let bundle = TracingSession::new(&sweep).run().expect("traces");
+    c.bench_function("sweep_sweep3d_7pts", |b| {
+        b.iter(|| {
+            black_box(
+                sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws).expect("sweeps"),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

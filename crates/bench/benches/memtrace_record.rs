@@ -1,0 +1,45 @@
+//! Instrumentation-overhead benchmarks: recording kernel access streams
+//! (the Valgrind-substitute hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovlsim_core::Instr;
+use ovlsim_memtrace::{AccessKind, IndexPattern, Kernel, MemTracer};
+use std::hint::black_box;
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memtrace");
+    for elements in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential_write", elements),
+            &elements,
+            |b, &n| {
+                b.iter(|| {
+                    let mut mt = MemTracer::new();
+                    let buf = mt.register("b", n as u64 * 8, 8);
+                    let k = Kernel::builder()
+                        .phase(Instr::new(1_000_000))
+                        .access(buf, AccessKind::Write, IndexPattern::Sequential)
+                        .build();
+                    mt.execute(&k);
+                    black_box(mt.snapshot_production(buf))
+                });
+            },
+        );
+    }
+    group.bench_function("shuffled_write_10k", |b| {
+        b.iter(|| {
+            let mut mt = MemTracer::new();
+            let buf = mt.register("b", 80_000, 8);
+            let k = Kernel::builder()
+                .phase(Instr::new(1_000_000))
+                .access(buf, AccessKind::Write, IndexPattern::Shuffled { seed: 7 })
+                .build();
+            mt.execute(&k);
+            black_box(mt.snapshot_production(buf))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Overlap-transform cost: tracing an application and synthesizing the
+//! overlapped trace variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovlsim_apps::NasBt;
+use ovlsim_tracer::{ChunkingPolicy, OverlapMode, TracingSession};
+use std::hint::black_box;
+
+fn bench_transform(c: &mut Criterion) {
+    let app = NasBt::builder()
+        .ranks(16)
+        .iterations(2)
+        .build()
+        .expect("valid NAS-BT");
+
+    c.bench_function("trace_nas_bt", |b| {
+        b.iter(|| black_box(TracingSession::new(&app).run().expect("traces")));
+    });
+
+    let bundle = TracingSession::new(&app)
+        .policy(ChunkingPolicy::fixed_count(16).with_min_chunk_bytes(512))
+        .run()
+        .expect("traces");
+
+    c.bench_function("transform_real", |b| {
+        b.iter(|| black_box(bundle.overlapped(OverlapMode::real()).expect("validates")));
+    });
+    c.bench_function("transform_linear", |b| {
+        b.iter(|| black_box(bundle.overlapped(OverlapMode::linear()).expect("validates")));
+    });
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let policy = ChunkingPolicy::fixed_count(64).with_min_chunk_bytes(64);
+    c.bench_function("chunk_ranges_1mb", |b| {
+        b.iter(|| black_box(policy.chunk_ranges(1 << 20)));
+    });
+}
+
+criterion_group!(benches, bench_transform, bench_chunking);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Runs the complete experiment suite (E1–E10) and writes each report to
+//! `results/` — the one-command reproduction of every paper artefact.
+//!
+//! Usage: `cargo run -p ovlsim-bench --release --bin exp_all [out-dir]`
+
+use std::fs;
+use std::path::PathBuf;
+
+use ovlsim_apps::{NasBt, Sweep3d};
+use ovlsim_lab::ExperimentReport;
+
+type Experiment = (&'static str, Box<dyn Fn() -> ExperimentReport>);
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results".to_string())
+        .into();
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let apps = ovlsim_apps::paper_apps;
+    let bt = || {
+        NasBt::builder()
+            .ranks(16)
+            .iterations(2)
+            .build()
+            .expect("valid NAS-BT")
+    };
+
+    let experiments: Vec<Experiment> = vec![
+        (
+            "exp_pipeline",
+            Box::new(move || ovlsim_lab::e1_pipeline(&bt()).expect("E1 runs")),
+        ),
+        (
+            "exp_real_patterns",
+            Box::new(move || ovlsim_lab::e2_real_patterns(&apps(), 13).expect("E2 runs")),
+        ),
+        (
+            "exp_ideal_speedup",
+            Box::new(move || ovlsim_lab::e3_ideal_speedup(&apps()).expect("E3 runs")),
+        ),
+        (
+            "exp_speedup_curves",
+            Box::new(move || ovlsim_lab::e4_speedup_curves(&apps(), 13).expect("E4 runs")),
+        ),
+        (
+            "exp_bandwidth_relaxation",
+            Box::new(move || {
+                ovlsim_lab::e5_bandwidth_relaxation(&apps(), 1.0e10).expect("E5 runs")
+            }),
+        ),
+        (
+            "exp_mechanisms",
+            Box::new(move || ovlsim_lab::e6_mechanisms(&apps()).expect("E6 runs")),
+        ),
+        (
+            "exp_pattern_cdf",
+            Box::new(move || ovlsim_lab::e7_pattern_cdf(&apps()).expect("E7 runs")),
+        ),
+        (
+            "exp_platform_sensitivity",
+            Box::new(move || ovlsim_lab::e8_platform_sensitivity(&bt()).expect("E8 runs")),
+        ),
+        (
+            "exp_chunk_overhead",
+            Box::new(move || {
+                ovlsim_lab::e9_chunk_overhead(&bt(), &[1, 2, 4, 8, 16, 32, 64], &[0, 1, 5, 20])
+                    .expect("E9 runs")
+            }),
+        ),
+        (
+            "exp_multicore",
+            Box::new(move || ovlsim_lab::e10_multicore(&bt()).expect("E10 runs")),
+        ),
+    ];
+
+    for (name, run) in experiments {
+        let report = run();
+        let rendered = report.render();
+        println!("{rendered}");
+        fs::write(out_dir.join(format!("{name}.txt")), &rendered).expect("write report");
+        fs::write(out_dir.join(format!("{name}.csv")), report.table.to_csv())
+            .expect("write csv");
+    }
+
+    // E8 additionally on Sweep3D (the pipeline-shaped code).
+    let sweep = Sweep3d::builder().ranks(16).build().expect("valid Sweep3D");
+    let report = ovlsim_lab::e8_platform_sensitivity(&sweep).expect("E8 sweep3d runs");
+    let mut existing = fs::read_to_string(out_dir.join("exp_platform_sensitivity.txt"))
+        .unwrap_or_default();
+    existing.push('\n');
+    existing.push_str(&report.render());
+    fs::write(out_dir.join("exp_platform_sensitivity.txt"), existing).expect("append report");
+
+    println!("wrote reports + CSVs to {}", out_dir.display());
+}

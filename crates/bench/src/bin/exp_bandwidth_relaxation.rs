@@ -1,0 +1,8 @@
+//! E5 — §III claim 3: at high bandwidth, the overlapped execution matches
+//! the original's performance with orders of magnitude less bandwidth.
+
+fn main() {
+    let apps = ovlsim_apps::paper_apps();
+    let report = ovlsim_lab::e5_bandwidth_relaxation(&apps, 1.0e10).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

@@ -1,0 +1,16 @@
+//! E9 (extension) — the chunking trade-off: speedup vs chunk count under
+//! per-message CPU overhead (paper §IV future work: "model more
+//! state-of-the-art network and MPI properties").
+
+use ovlsim_apps::NasBt;
+
+fn main() {
+    let app = NasBt::builder()
+        .ranks(16)
+        .iterations(2)
+        .build()
+        .expect("valid NAS-BT");
+    let report = ovlsim_lab::e9_chunk_overhead(&app, &[1, 2, 4, 8, 16, 32, 64], &[0, 1, 5, 20])
+        .expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

@@ -1,0 +1,8 @@
+//! E3 — §III claim 2: ideal-pattern speedups at intermediate bandwidth
+//! (paper: BT 30%, CG 10%, POP 10%, Alya 40%, SPECFEM 65%, Sweep3D 160%).
+
+fn main() {
+    let apps = ovlsim_apps::paper_apps();
+    let report = ovlsim_lab::e3_ideal_speedup(&apps).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

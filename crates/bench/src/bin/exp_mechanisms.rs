@@ -1,0 +1,8 @@
+//! E6 — §II-B: traces that enforce only a subset of the overlapping
+//! mechanisms, so each mechanism can be studied separately.
+
+fn main() {
+    let apps = ovlsim_apps::paper_apps();
+    let report = ovlsim_lab::e6_mechanisms(&apps).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

@@ -1,0 +1,15 @@
+//! E10 (extension) — multi-core nodes: NIC sharing and the intra-node
+//! fast path (paper §IV future work: "state-of-the-art network ...
+//! properties").
+
+use ovlsim_apps::NasBt;
+
+fn main() {
+    let app = NasBt::builder()
+        .ranks(16)
+        .iterations(2)
+        .build()
+        .expect("valid NAS-BT");
+    let report = ovlsim_lab::e10_multicore(&app).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

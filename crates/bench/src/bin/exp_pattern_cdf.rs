@@ -1,0 +1,8 @@
+//! E7 — §II: the measured production patterns that challenge Sancho's
+//! ideal-sequential assumption (readiness quartiles per app).
+
+fn main() {
+    let apps = ovlsim_apps::paper_apps();
+    let report = ovlsim_lab::e7_pattern_cdf(&apps).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

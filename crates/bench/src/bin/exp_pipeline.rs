@@ -1,0 +1,14 @@
+//! E1 — the environment pipeline (paper Fig. 1): app → tracing tool →
+//! original + overlapped traces → Dimemas replay → Paraver timelines.
+
+use ovlsim_apps::NasBt;
+
+fn main() {
+    let app = NasBt::builder()
+        .ranks(16)
+        .iterations(2)
+        .build()
+        .expect("default NAS-BT configuration is valid");
+    let report = ovlsim_lab::e1_pipeline(&app).expect("pipeline experiment runs");
+    ovlsim_bench::emit(&report);
+}

@@ -1,0 +1,18 @@
+//! E8 — the "configurable platform": sensitivity of overlap benefit to
+//! latency and bus counts, on NAS-BT and Sweep3D.
+
+use ovlsim_apps::{NasBt, Sweep3d};
+
+fn main() {
+    let bt = NasBt::builder()
+        .ranks(16)
+        .iterations(2)
+        .build()
+        .expect("valid NAS-BT");
+    let report = ovlsim_lab::e8_platform_sensitivity(&bt).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+
+    let sweep = Sweep3d::builder().ranks(16).build().expect("valid Sweep3D");
+    let report = ovlsim_lab::e8_platform_sensitivity(&sweep).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

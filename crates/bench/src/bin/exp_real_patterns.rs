@@ -1,0 +1,8 @@
+//! E2 — §III claim 1: with real (measured) computation patterns the
+//! potential for automatic overlap is negligible.
+
+fn main() {
+    let apps = ovlsim_apps::paper_apps();
+    let report = ovlsim_lab::e2_real_patterns(&apps, 13).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

@@ -1,0 +1,8 @@
+//! E4 — §III claim 2 (curve form): speedup vs bandwidth for every app,
+//! linear patterns; the benefit concentrates in the intermediate band.
+
+fn main() {
+    let apps = ovlsim_apps::paper_apps();
+    let report = ovlsim_lab::e4_speedup_curves(&apps, 13).expect("experiment runs");
+    ovlsim_bench::emit(&report);
+}

@@ -1,0 +1,154 @@
+//! `trace_tool` — command-line utility for `.dim` traces.
+//!
+//! ```text
+//! trace_tool gen <app> <out-prefix>        write <prefix>.original.dim,
+//!                                          <prefix>.ovl-real.dim and
+//!                                          <prefix>.ovl-linear.dim
+//!                                          (apps: nas-bt nas-cg pop alya
+//!                                           specfem sweep3d)
+//! trace_tool stats <file.dim>              validate + per-rank summary
+//! trace_tool validate <file.dim>           exit 1 if structurally invalid
+//! trace_tool replay <file.dim> [bw] [lat]  replay (bytes/s, us) + Gantt
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use ovlsim_core::{format_bytes, format_time, validate_trace_set, Platform, Rank, Time, TraceSet};
+use ovlsim_dimemas::{emit_trace_set, parse_trace_set};
+use ovlsim_paraver::{render_gantt, GanttOptions, Timeline};
+use ovlsim_tracer::{Application, TracingSession};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace_tool gen <app> <out-prefix>\n  trace_tool stats <file.dim>\n  \
+         trace_tool validate <file.dim>\n  trace_tool replay <file.dim> [bytes-per-sec] [latency-us]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<TraceSet, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_trace_set(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn app_by_name(name: &str) -> Option<Box<dyn Application>> {
+    ovlsim_apps::paper_apps().into_iter().find(|a| a.name() == name)
+}
+
+fn cmd_gen(app_name: &str, prefix: &str) -> Result<(), String> {
+    let app = app_by_name(app_name).ok_or_else(|| {
+        format!("unknown app `{app_name}` (expected one of nas-bt nas-cg pop alya specfem sweep3d)")
+    })?;
+    let bundle = TracingSession::new(app.as_ref())
+        .run()
+        .map_err(|e| e.to_string())?;
+    let variants = [
+        ("original", bundle.original().clone()),
+        ("ovl-real", bundle.overlapped_real()),
+        ("ovl-linear", bundle.overlapped_linear()),
+    ];
+    for (label, trace) in variants {
+        let path = format!("{prefix}.{label}.dim");
+        fs::write(&path, emit_trace_set(&trace)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path} ({} records)", trace.total_records());
+    }
+    Ok(())
+}
+
+fn cmd_stats(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    let issues = validate_trace_set(&trace);
+    println!("{trace}");
+    println!(
+        "total: {} instr, {} p2p",
+        trace.total_instr().get(),
+        format_bytes(trace.total_p2p_send_bytes())
+    );
+    for (r, rank_trace) in trace.ranks().iter().enumerate() {
+        let sends = rank_trace
+            .iter()
+            .filter(|rec| {
+                matches!(
+                    rec,
+                    ovlsim_core::Record::Send { .. } | ovlsim_core::Record::ISend { .. }
+                )
+            })
+            .count();
+        let collectives = rank_trace.iter().filter(|rec| rec.is_collective()).count();
+        println!(
+            "  rank {r}: {} records, {} instr, {} sends ({}), {} collectives",
+            rank_trace.len(),
+            rank_trace.total_instr().get(),
+            sends,
+            format_bytes(rank_trace.total_p2p_send_bytes()),
+            collectives
+        );
+    }
+    if issues.is_empty() {
+        println!("validation: ok");
+        Ok(())
+    } else {
+        for issue in &issues {
+            eprintln!("issue: {issue}");
+        }
+        Err(format!("{} validation issues", issues.len()))
+    }
+}
+
+fn cmd_validate(path: &str) -> Result<(), String> {
+    let trace = load(path)?;
+    let issues = validate_trace_set(&trace);
+    if issues.is_empty() {
+        println!("{path}: ok");
+        Ok(())
+    } else {
+        for issue in &issues {
+            eprintln!("{path}: {issue}");
+        }
+        Err(format!("{} issues", issues.len()))
+    }
+}
+
+fn cmd_replay(path: &str, bw: Option<&str>, lat: Option<&str>) -> Result<(), String> {
+    let trace = load(path)?;
+    let bw: f64 = bw.unwrap_or("250e6").parse().map_err(|_| "bad bandwidth")?;
+    let lat: u64 = lat.unwrap_or("5").parse().map_err(|_| "bad latency")?;
+    let mut b = Platform::builder();
+    b.latency(Time::from_us(lat))
+        .bandwidth_bytes_per_sec(bw)
+        .map_err(|e| e.to_string())?;
+    let platform = b.build();
+    let (timeline, result) =
+        Timeline::capture(&platform, &trace).map_err(|e| e.to_string())?;
+    println!("{result}");
+    for r in 0..result.rank_finish().len() {
+        println!(
+            "  rank {r}: finish {}, compute {}",
+            format_time(result.rank_finish()[r]),
+            format_time(result.rank_compute()[Rank::new(r as u32).index()])
+        );
+    }
+    println!("\n{}", render_gantt(&timeline, &GanttOptions { width: 72, legend: true }));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["gen", app, prefix] => cmd_gen(app, prefix),
+        ["stats", path] => cmd_stats(path),
+        ["validate", path] => cmd_validate(path),
+        ["replay", path] => cmd_replay(path, None, None),
+        ["replay", path, bw] => cmd_replay(path, Some(bw), None),
+        ["replay", path, bw, lat] => cmd_replay(path, Some(bw), Some(lat)),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end tests of the `trace_tool` command-line binary.
+
+use std::process::Command;
+
+fn trace_tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+}
+
+#[test]
+fn gen_stats_validate_replay_roundtrip() {
+    let dir = std::env::temp_dir().join("ovlsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = dir.join("cg");
+    let prefix_str = prefix.to_str().unwrap();
+
+    // gen
+    let out = trace_tool()
+        .args(["gen", "nas-cg", prefix_str])
+        .output()
+        .expect("trace_tool runs");
+    assert!(out.status.success(), "gen failed: {out:?}");
+    let original = format!("{prefix_str}.original.dim");
+    let linear = format!("{prefix_str}.ovl-linear.dim");
+    assert!(std::path::Path::new(&original).exists());
+    assert!(std::path::Path::new(&linear).exists());
+
+    // stats
+    let out = trace_tool().args(["stats", &original]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("validation: ok"));
+    assert!(stdout.contains("rank 0"));
+
+    // validate
+    let out = trace_tool().args(["validate", &linear]).output().unwrap();
+    assert!(out.status.success());
+
+    // replay
+    let out = trace_tool()
+        .args(["replay", &linear, "100e6", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("legend"), "replay should render a gantt");
+}
+
+#[test]
+fn validate_rejects_broken_trace() {
+    let dir = std::env::temp_dir().join("ovlsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.dim");
+    // Unmatched send: structurally invalid.
+    std::fs::write(
+        &path,
+        "name broken\nmips 1000\nranks 2\nrank 0\nsend r1 100 t0\nend\nrank 1\nend\n",
+    )
+    .unwrap();
+    let out = trace_tool()
+        .args(["validate", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "broken trace must fail validation");
+}
+
+#[test]
+fn unknown_app_is_reported() {
+    let out = trace_tool()
+        .args(["gen", "no-such-app", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown app"));
+}
+
+#[test]
+fn bad_usage_prints_help() {
+    let out = trace_tool().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

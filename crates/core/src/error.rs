@@ -1,0 +1,57 @@
+//! Error types for core validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing core quantities from raw values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A bandwidth value was not finite and positive.
+    InvalidBandwidth(f64),
+    /// A MIPS rate was zero.
+    InvalidMips(u64),
+    /// A time value was negative, non-finite, or out of range.
+    InvalidTime(f64),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidBandwidth(v) => {
+                write!(f, "bandwidth must be finite and positive, got {v}")
+            }
+            CoreError::InvalidMips(v) => write!(f, "MIPS rate must be positive, got {v}"),
+            CoreError::InvalidTime(v) => {
+                write!(f, "time must be finite, non-negative and in range, got {v}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        for e in [
+            CoreError::InvalidBandwidth(-1.0),
+            CoreError::InvalidMips(0),
+            CoreError::InvalidTime(f64::NAN),
+        ] {
+            let s = format!("{e}");
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("MIPS"));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(CoreError::InvalidMips(0));
+    }
+}

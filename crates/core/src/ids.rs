@@ -1,0 +1,192 @@
+//! Identifier newtypes shared across the environment.
+
+use std::fmt;
+
+/// An MPI process rank (0-based).
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::Rank;
+///
+/// let r = Rank::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(format!("{r}"), "r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(u32);
+
+impl Rank {
+    /// Creates a rank from its 0-based index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Rank(index)
+    }
+
+    /// The 0-based index as `usize` (for indexing per-rank tables).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw u32 value.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Rank {
+    fn from(v: u32) -> Self {
+        Rank(v)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A message tag.
+///
+/// Tags are 64-bit so that the overlap transform can derive per-chunk tags
+/// from an application tag without collisions: the transform encodes
+/// `(application_tag, chunk_index)` pairs into the upper/lower bits (see
+/// `ovlsim-tracer`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(u64);
+
+impl Tag {
+    /// Creates a tag.
+    #[inline]
+    pub const fn new(v: u64) -> Self {
+        Tag(v)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Tag {
+    fn from(v: u64) -> Self {
+        Tag(v)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A non-blocking request handle, unique within one rank's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RequestId(u32);
+
+impl RequestId {
+    /// Creates a request id.
+    #[inline]
+    pub const fn new(v: u32) -> Self {
+        RequestId(v)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// A registered communication buffer, unique within one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BufferId(u32);
+
+impl BufferId {
+    /// Creates a buffer id.
+    #[inline]
+    pub const fn new(v: u32) -> Self {
+        BufferId(v)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The id as `usize` for table indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf{}", self.0)
+    }
+}
+
+/// A globally unique message identity assigned by the tracing tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MessageId(u64);
+
+impl MessageId {
+    /// Creates a message id.
+    #[inline]
+    pub const fn new(v: u64) -> Self {
+        MessageId(v)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_roundtrip() {
+        let r = Rank::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.get(), 7);
+        assert_eq!(Rank::from(7u32), r);
+        assert_eq!(format!("{r}"), "r7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Tag> = [Tag::new(3), Tag::new(1), Tag::new(2)].into_iter().collect();
+        let v: Vec<u64> = set.into_iter().map(Tag::get).collect();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn displays_are_nonempty_and_distinct() {
+        assert_eq!(format!("{}", RequestId::new(2)), "req2");
+        assert_eq!(format!("{}", BufferId::new(4)), "buf4");
+        assert_eq!(format!("{}", MessageId::new(9)), "m9");
+        assert_eq!(format!("{}", Tag::new(1)), "t1");
+    }
+}

@@ -1,0 +1,250 @@
+//! Instruction counts and MIPS scaling.
+//!
+//! The paper's tracing tool "obtains timestamps in terms of the number of
+//! instructions executed in computation bursts" and represents time by
+//! scaling instruction counts with "the average MIPS rate observed in a real
+//! run". [`Instr`] is that instruction count; [`MipsRate`] performs the
+//! scaling to [`Time`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::error::CoreError;
+use crate::time::Time;
+
+/// A count of virtual instructions executed inside a computation burst.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::Instr;
+///
+/// let a = Instr::new(100) + Instr::new(20);
+/// assert_eq!(a.get(), 120);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instr(u64);
+
+impl Instr {
+    /// Zero instructions.
+    pub const ZERO: Instr = Instr(0);
+
+    /// Creates an instruction count.
+    #[inline]
+    pub const fn new(count: u64) -> Self {
+        Instr(count)
+    }
+
+    /// The raw count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// True if zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, rhs: Instr) -> Option<Instr> {
+        self.0.checked_sub(rhs.0).map(Instr)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Instr) -> Instr {
+        Instr(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two counts.
+    #[inline]
+    pub fn max(self, other: Instr) -> Instr {
+        Instr(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two counts.
+    #[inline]
+    pub fn min(self, other: Instr) -> Instr {
+        Instr(self.0.min(other.0))
+    }
+}
+
+impl Add for Instr {
+    type Output = Instr;
+
+    #[inline]
+    fn add(self, rhs: Instr) -> Instr {
+        Instr(
+            self.0
+                .checked_add(rhs.0)
+                .expect("instruction count overflowed u64"),
+        )
+    }
+}
+
+impl AddAssign for Instr {
+    #[inline]
+    fn add_assign(&mut self, rhs: Instr) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Instr {
+    type Output = Instr;
+
+    #[inline]
+    fn sub(self, rhs: Instr) -> Instr {
+        Instr(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("instruction count subtraction underflowed"),
+        )
+    }
+}
+
+impl Sum for Instr {
+    fn sum<I: Iterator<Item = Instr>>(iter: I) -> Instr {
+        iter.fold(Instr::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} instr", self.0)
+    }
+}
+
+/// A processor speed in millions of instructions per second.
+///
+/// The rate is an integer number of MIPS: at `MipsRate::new(1000)?`, one
+/// instruction takes exactly 1 ns of simulated time. Integer rates keep the
+/// instruction→time conversion exact for the rates used throughout the
+/// paper-scale experiments.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{Instr, MipsRate, Time};
+///
+/// # fn main() -> Result<(), ovlsim_core::CoreError> {
+/// let mips = MipsRate::new(500)?;
+/// assert_eq!(mips.instr_to_time(Instr::new(1)), Time::from_ps(2000));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MipsRate(u64);
+
+impl MipsRate {
+    /// Creates a MIPS rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidMips`] if `mips` is zero.
+    pub fn new(mips: u64) -> Result<Self, CoreError> {
+        if mips == 0 {
+            return Err(CoreError::InvalidMips(mips));
+        }
+        Ok(MipsRate(mips))
+    }
+
+    /// The rate in MIPS.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts an instruction count to simulated time.
+    ///
+    /// One instruction takes `1_000_000 / mips` picoseconds; the conversion
+    /// is computed in 128-bit arithmetic, rounds to the nearest picosecond,
+    /// and saturates at [`Time::MAX`].
+    pub fn instr_to_time(self, instr: Instr) -> Time {
+        let ps = (instr.get() as u128 * 1_000_000u128 + self.0 as u128 / 2) / self.0 as u128;
+        if ps > u64::MAX as u128 {
+            Time::MAX
+        } else {
+            Time::from_ps(ps as u64)
+        }
+    }
+
+    /// Converts a simulated duration back to an (approximate) instruction
+    /// count: the number of instructions this processor retires in `time`.
+    pub fn time_to_instr(self, time: Time) -> Instr {
+        let n = (time.as_ps() as u128 * self.0 as u128) / 1_000_000u128;
+        Instr::new(n.min(u64::MAX as u128) as u64)
+    }
+}
+
+impl fmt::Display for MipsRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MIPS", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mips_zero_rejected() {
+        assert!(MipsRate::new(0).is_err());
+        assert!(MipsRate::new(1).is_ok());
+    }
+
+    #[test]
+    fn exact_scaling_at_1000_mips() {
+        let mips = MipsRate::new(1000).unwrap();
+        assert_eq!(mips.instr_to_time(Instr::new(1)), Time::from_ns(1));
+        assert_eq!(mips.instr_to_time(Instr::new(1_000_000)), Time::from_ms(1));
+    }
+
+    #[test]
+    fn scaling_rounds_to_nearest() {
+        // 3 MIPS: 1 instr = 333333.33.. ps, rounds to 333333.
+        let mips = MipsRate::new(3).unwrap();
+        assert_eq!(mips.instr_to_time(Instr::new(1)), Time::from_ps(333_333));
+        // 2 instr = 666666.67 ps, rounds to 666667.
+        assert_eq!(mips.instr_to_time(Instr::new(2)), Time::from_ps(666_667));
+    }
+
+    #[test]
+    fn huge_counts_do_not_overflow() {
+        let mips = MipsRate::new(1).unwrap();
+        // u64::MAX instructions at 1 MIPS would be 1.8e25 ps: saturates.
+        assert_eq!(mips.instr_to_time(Instr::new(u64::MAX)), Time::MAX);
+    }
+
+    #[test]
+    fn roundtrip_time_to_instr() {
+        let mips = MipsRate::new(2000).unwrap();
+        let instr = Instr::new(123_456_789);
+        let t = mips.instr_to_time(instr);
+        let back = mips.time_to_instr(t);
+        // Round trip within 1 instruction (rounding).
+        assert!(back.get().abs_diff(instr.get()) <= 1);
+    }
+
+    #[test]
+    fn instr_arithmetic() {
+        let a = Instr::new(10);
+        let b = Instr::new(4);
+        assert_eq!(a - b, Instr::new(6));
+        assert_eq!(a.saturating_sub(Instr::new(100)), Instr::ZERO);
+        assert_eq!(a.checked_sub(Instr::new(100)), None);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let s: Instr = [a, b].into_iter().sum();
+        assert_eq!(s, Instr::new(14));
+    }
+
+    #[test]
+    fn displays_nonempty() {
+        assert_eq!(format!("{}", Instr::new(5)), "5 instr");
+        assert_eq!(format!("{}", MipsRate::new(100).unwrap()), "100 MIPS");
+    }
+}

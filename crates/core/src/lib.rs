@@ -1,0 +1,54 @@
+//! Core types for `ovlsim`, a simulation environment for studying overlap of
+//! communication and computation (reproduction of Subotic, Labarta, Valero,
+//! ISPASS 2010).
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`Time`] — integer picosecond instants/durations (deterministic),
+//! * [`Instr`] and [`MipsRate`] — the paper's notion of time inside
+//!   computation bursts ("number of instructions scaled by the average MIPS
+//!   rate"),
+//! * [`Rank`], [`Tag`], [`RequestId`], [`BufferId`] — identifier newtypes,
+//! * [`Record`], [`RankTrace`], [`TraceSet`] — Dimemas-style trace records,
+//! * [`Platform`] — the configurable target platform (latency, bandwidth,
+//!   buses, links, eager/rendezvous, collective cost models).
+//!
+//! # Example
+//!
+//! ```
+//! use ovlsim_core::{Instr, MipsRate, Platform, Time};
+//!
+//! # fn main() -> Result<(), ovlsim_core::CoreError> {
+//! let mips = MipsRate::new(1000)?; // 1000 MIPS => 1 ns per instruction
+//! assert_eq!(mips.instr_to_time(Instr::new(5)), Time::from_ns(5));
+//!
+//! let platform = Platform::builder()
+//!     .latency(Time::from_us(5))
+//!     .bandwidth_bytes_per_sec(250e6)?
+//!     .build();
+//! assert_eq!(platform.latency(), Time::from_us(5));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod instr;
+mod platform;
+mod record;
+mod time;
+mod units;
+mod validate;
+
+pub use error::CoreError;
+pub use ids::{BufferId, MessageId, Rank, RequestId, Tag};
+pub use instr::{Instr, MipsRate};
+pub use platform::{CollectiveModel, CollectiveOp, Platform, PlatformBuilder, StageModel};
+pub use record::{Record, RecordKind, TraceSet, RankTrace};
+pub use time::{Bandwidth, Time};
+pub use units::{format_bandwidth, format_bytes, format_time};
+pub use validate::{validate_trace_set, TraceIssue};

@@ -1,0 +1,487 @@
+//! Dimemas-style trace records.
+//!
+//! The tracing tool emits, per rank, a sequence of [`Record`]s: computation
+//! bursts measured in instructions, point-to-point communication records and
+//! collective operations. A [`TraceSet`] bundles the per-rank sequences with
+//! the MIPS rate used to scale bursts into time, exactly as the paper's
+//! tool scales "the number of instructions by the average MIPS rate".
+
+use std::fmt;
+
+use crate::ids::{Rank, RequestId, Tag};
+use crate::instr::{Instr, MipsRate};
+
+/// One record in a rank's trace.
+///
+/// Bursts carry instruction counts (converted to time by the replay
+/// simulator using the trace's [`MipsRate`]); communication records carry
+/// message parameters only — the replay simulator supplies all timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A computation burst of `instr` virtual instructions.
+    Burst {
+        /// Number of instructions executed in the burst.
+        instr: Instr,
+    },
+    /// Blocking send: completes when the full message has left the sender.
+    Send {
+        /// Destination rank.
+        to: Rank,
+        /// Message size in bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Non-blocking send; completion is observed via [`Record::Wait`].
+    ISend {
+        /// Destination rank.
+        to: Rank,
+        /// Message size in bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: Tag,
+        /// Request handle for the matching wait.
+        req: RequestId,
+    },
+    /// Blocking receive: completes when the full message has arrived.
+    Recv {
+        /// Source rank.
+        from: Rank,
+        /// Message size in bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Non-blocking receive posted now, completed by a later wait.
+    IRecv {
+        /// Source rank.
+        from: Rank,
+        /// Message size in bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: Tag,
+        /// Request handle for the matching wait.
+        req: RequestId,
+    },
+    /// Wait for a single outstanding request.
+    Wait {
+        /// The request to complete.
+        req: RequestId,
+    },
+    /// Wait for a set of outstanding requests.
+    WaitAll {
+        /// The requests to complete.
+        reqs: Vec<RequestId>,
+    },
+    /// Barrier across all ranks.
+    Barrier,
+    /// All-reduce of `bytes` across all ranks.
+    AllReduce {
+        /// Contribution size in bytes.
+        bytes: u64,
+    },
+    /// Broadcast of `bytes` from `root`.
+    Bcast {
+        /// Root rank.
+        root: Rank,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Reduction of `bytes` to `root`.
+    Reduce {
+        /// Root rank.
+        root: Rank,
+        /// Contribution size in bytes.
+        bytes: u64,
+    },
+    /// All-to-all exchange, `bytes` per rank pair.
+    AllToAll {
+        /// Per-pair payload in bytes.
+        bytes: u64,
+    },
+    /// All-gather, `bytes` contributed per rank.
+    AllGather {
+        /// Per-rank contribution in bytes.
+        bytes: u64,
+    },
+    /// A user marker forwarded to the visualization layer (Paraver user
+    /// event); has no timing effect.
+    Marker {
+        /// Application-defined event code.
+        code: u32,
+    },
+}
+
+impl Record {
+    /// The coarse kind of this record, for statistics and matching.
+    pub fn kind(&self) -> RecordKind {
+        match self {
+            Record::Burst { .. } => RecordKind::Burst,
+            Record::Send { .. } => RecordKind::Send,
+            Record::ISend { .. } => RecordKind::ISend,
+            Record::Recv { .. } => RecordKind::Recv,
+            Record::IRecv { .. } => RecordKind::IRecv,
+            Record::Wait { .. } => RecordKind::Wait,
+            Record::WaitAll { .. } => RecordKind::WaitAll,
+            Record::Barrier => RecordKind::Barrier,
+            Record::AllReduce { .. } => RecordKind::AllReduce,
+            Record::Bcast { .. } => RecordKind::Bcast,
+            Record::Reduce { .. } => RecordKind::Reduce,
+            Record::AllToAll { .. } => RecordKind::AllToAll,
+            Record::AllGather { .. } => RecordKind::AllGather,
+            Record::Marker { .. } => RecordKind::Marker,
+        }
+    }
+
+    /// True for collective operations (which synchronize all ranks).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            Record::Barrier
+                | Record::AllReduce { .. }
+                | Record::Bcast { .. }
+                | Record::Reduce { .. }
+                | Record::AllToAll { .. }
+                | Record::AllGather { .. }
+        )
+    }
+
+    /// Bytes moved by this record from this rank's perspective (0 for
+    /// bursts, waits, markers and barriers).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            Record::Send { bytes, .. }
+            | Record::ISend { bytes, .. }
+            | Record::Recv { bytes, .. }
+            | Record::IRecv { bytes, .. }
+            | Record::AllReduce { bytes }
+            | Record::Bcast { bytes, .. }
+            | Record::Reduce { bytes, .. }
+            | Record::AllToAll { bytes }
+            | Record::AllGather { bytes } => bytes,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Record::Burst { instr } => write!(f, "burst {}", instr.get()),
+            Record::Send { to, bytes, tag } => write!(f, "send {to} {bytes} {tag}"),
+            Record::ISend { to, bytes, tag, req } => {
+                write!(f, "isend {to} {bytes} {tag} {req}")
+            }
+            Record::Recv { from, bytes, tag } => write!(f, "recv {from} {bytes} {tag}"),
+            Record::IRecv { from, bytes, tag, req } => {
+                write!(f, "irecv {from} {bytes} {tag} {req}")
+            }
+            Record::Wait { req } => write!(f, "wait {req}"),
+            Record::WaitAll { reqs } => {
+                write!(f, "waitall")?;
+                for r in reqs {
+                    write!(f, " {r}")?;
+                }
+                Ok(())
+            }
+            Record::Barrier => write!(f, "barrier"),
+            Record::AllReduce { bytes } => write!(f, "allreduce {bytes}"),
+            Record::Bcast { root, bytes } => write!(f, "bcast {root} {bytes}"),
+            Record::Reduce { root, bytes } => write!(f, "reduce {root} {bytes}"),
+            Record::AllToAll { bytes } => write!(f, "alltoall {bytes}"),
+            Record::AllGather { bytes } => write!(f, "allgather {bytes}"),
+            Record::Marker { code } => write!(f, "marker {code}"),
+        }
+    }
+}
+
+/// Coarse record kinds (used for profiles and validation reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum RecordKind {
+    Burst,
+    Send,
+    ISend,
+    Recv,
+    IRecv,
+    Wait,
+    WaitAll,
+    Barrier,
+    AllReduce,
+    Bcast,
+    Reduce,
+    AllToAll,
+    AllGather,
+    Marker,
+}
+
+impl fmt::Display for RecordKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordKind::Burst => "burst",
+            RecordKind::Send => "send",
+            RecordKind::ISend => "isend",
+            RecordKind::Recv => "recv",
+            RecordKind::IRecv => "irecv",
+            RecordKind::Wait => "wait",
+            RecordKind::WaitAll => "waitall",
+            RecordKind::Barrier => "barrier",
+            RecordKind::AllReduce => "allreduce",
+            RecordKind::Bcast => "bcast",
+            RecordKind::Reduce => "reduce",
+            RecordKind::AllToAll => "alltoall",
+            RecordKind::AllGather => "allgather",
+            RecordKind::Marker => "marker",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The trace of a single rank: an ordered record sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankTrace {
+    records: Vec<Record>,
+}
+
+impl RankTrace {
+    /// Creates an empty rank trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a rank trace from records.
+    pub fn from_records(records: Vec<Record>) -> Self {
+        RankTrace { records }
+    }
+
+    /// The records, in program order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total instructions over all bursts.
+    pub fn total_instr(&self) -> Instr {
+        self.records
+            .iter()
+            .map(|r| match r {
+                Record::Burst { instr } => *instr,
+                _ => Instr::ZERO,
+            })
+            .sum()
+    }
+
+    /// Total bytes sent by this rank via point-to-point records.
+    pub fn total_p2p_send_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                Record::Send { bytes, .. } | Record::ISend { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<Record> for RankTrace {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        RankTrace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Record> for RankTrace {
+    fn extend<I: IntoIterator<Item = Record>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a RankTrace {
+    type Item = &'a Record;
+    type IntoIter = std::slice::Iter<'a, Record>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// A complete application trace: one [`RankTrace`] per rank plus the MIPS
+/// rate used to scale instruction counts into time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSet {
+    name: String,
+    mips: MipsRate,
+    ranks: Vec<RankTrace>,
+}
+
+impl TraceSet {
+    /// Creates a trace set.
+    pub fn new(name: impl Into<String>, mips: MipsRate, ranks: Vec<RankTrace>) -> Self {
+        TraceSet {
+            name: name.into(),
+            mips,
+            ranks,
+        }
+    }
+
+    /// A human-readable name (e.g. `"nas-bt.original"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the name, returning `self` for chaining.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The MIPS rate scaling bursts to time.
+    pub fn mips(&self) -> MipsRate {
+        self.mips
+    }
+
+    /// Number of ranks.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The per-rank traces, indexed by rank.
+    pub fn ranks(&self) -> &[RankTrace] {
+        &self.ranks
+    }
+
+    /// The trace of one rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn rank(&self, rank: Rank) -> &RankTrace {
+        &self.ranks[rank.index()]
+    }
+
+    /// Total instructions across all ranks.
+    pub fn total_instr(&self) -> Instr {
+        self.ranks.iter().map(RankTrace::total_instr).sum()
+    }
+
+    /// Total point-to-point bytes sent across all ranks.
+    pub fn total_p2p_send_bytes(&self) -> u64 {
+        self.ranks.iter().map(RankTrace::total_p2p_send_bytes).sum()
+    }
+
+    /// Total number of records across all ranks.
+    pub fn total_records(&self) -> usize {
+        self.ranks.iter().map(RankTrace::len).sum()
+    }
+}
+
+impl fmt::Display for TraceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} ranks, {} records, {})",
+            self.name,
+            self.rank_count(),
+            self.total_records(),
+            self.mips
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RankTrace {
+        RankTrace::from_records(vec![
+            Record::Burst {
+                instr: Instr::new(100),
+            },
+            Record::Send {
+                to: Rank::new(1),
+                bytes: 4096,
+                tag: Tag::new(7),
+            },
+            Record::Recv {
+                from: Rank::new(1),
+                bytes: 2048,
+                tag: Tag::new(8),
+            },
+            Record::Burst {
+                instr: Instr::new(50),
+            },
+            Record::AllReduce { bytes: 8 },
+        ])
+    }
+
+    #[test]
+    fn totals() {
+        let t = sample_trace();
+        assert_eq!(t.total_instr(), Instr::new(150));
+        assert_eq!(t.total_p2p_send_bytes(), 4096);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn kinds_and_collectives() {
+        let t = sample_trace();
+        assert_eq!(t.records()[0].kind(), RecordKind::Burst);
+        assert!(t.records()[4].is_collective());
+        assert!(!t.records()[1].is_collective());
+        assert_eq!(t.records()[1].bytes(), 4096);
+        assert_eq!(t.records()[0].bytes(), 0);
+    }
+
+    #[test]
+    fn trace_set_accessors() {
+        let mips = MipsRate::new(1000).unwrap();
+        let ts = TraceSet::new("test", mips, vec![sample_trace(), RankTrace::new()]);
+        assert_eq!(ts.rank_count(), 2);
+        assert_eq!(ts.rank(Rank::new(0)).len(), 5);
+        assert_eq!(ts.total_instr(), Instr::new(150));
+        assert_eq!(ts.total_records(), 5);
+        assert_eq!(ts.name(), "test");
+        let ts = ts.with_name("renamed");
+        assert_eq!(ts.name(), "renamed");
+        assert!(format!("{ts}").contains("renamed"));
+    }
+
+    #[test]
+    fn record_display_roundtrippable_tokens() {
+        for r in sample_trace().iter() {
+            let s = format!("{r}");
+            assert!(!s.is_empty());
+            assert!(s.starts_with(&format!("{}", r.kind())));
+        }
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: RankTrace = std::iter::repeat_with(|| Record::Barrier).take(3).collect();
+        assert_eq!(t.len(), 3);
+        let mut t2 = RankTrace::new();
+        t2.extend(t.iter().cloned());
+        assert_eq!(t2.len(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Human-readable formatting for times, byte counts and bandwidths.
+//!
+//! Used by the reporting layer (`ovlsim-lab`) and the `Display` impls of
+//! [`Time`] and [`Bandwidth`].
+
+use crate::time::{Bandwidth, Time, PS_PER_SEC};
+
+/// Formats a time with an auto-selected unit (`ps`, `ns`, `us`, `ms`, `s`).
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{format_time, Time};
+///
+/// assert_eq!(format_time(Time::from_us(1500)), "1.500 ms");
+/// assert_eq!(format_time(Time::ZERO), "0 ps");
+/// ```
+pub fn format_time(t: Time) -> String {
+    let ps = t.as_ps();
+    if ps == 0 {
+        return "0 ps".to_string();
+    }
+    if ps < 1_000 {
+        format!("{ps} ps")
+    } else if ps < 1_000_000 {
+        format!("{:.3} ns", ps as f64 / 1.0e3)
+    } else if ps < 1_000_000_000 {
+        format!("{:.3} us", ps as f64 / 1.0e6)
+    } else if ps < PS_PER_SEC {
+        format!("{:.3} ms", ps as f64 / 1.0e9)
+    } else {
+        format!("{:.3} s", ps as f64 / PS_PER_SEC as f64)
+    }
+}
+
+/// Formats a byte count with an auto-selected decimal unit
+/// (`B`, `KB`, `MB`, `GB`, `TB`).
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::format_bytes;
+///
+/// assert_eq!(format_bytes(1_500_000), "1.50 MB");
+/// assert_eq!(format_bytes(42), "42 B");
+/// ```
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [(&str, f64); 4] = [
+        ("TB", 1.0e12),
+        ("GB", 1.0e9),
+        ("MB", 1.0e6),
+        ("KB", 1.0e3),
+    ];
+    for (unit, scale) in UNITS {
+        if bytes as f64 >= scale {
+            return format!("{:.2} {unit}", bytes as f64 / scale);
+        }
+    }
+    format!("{bytes} B")
+}
+
+/// Formats a bandwidth with an auto-selected decimal unit per second.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{format_bandwidth, Bandwidth};
+///
+/// # fn main() -> Result<(), ovlsim_core::CoreError> {
+/// let bw = Bandwidth::from_bytes_per_sec(2.5e9)?;
+/// assert_eq!(format_bandwidth(bw), "2.50 GB/s");
+/// # Ok(())
+/// # }
+/// ```
+pub fn format_bandwidth(bw: Bandwidth) -> String {
+    let bps = bw.bytes_per_sec();
+    const UNITS: [(&str, f64); 4] = [
+        ("TB/s", 1.0e12),
+        ("GB/s", 1.0e9),
+        ("MB/s", 1.0e6),
+        ("KB/s", 1.0e3),
+    ];
+    for (unit, scale) in UNITS {
+        if bps >= scale {
+            return format!("{:.2} {unit}", bps / scale);
+        }
+    }
+    format!("{bps:.2} B/s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_units_switch_correctly() {
+        assert_eq!(format_time(Time::from_ps(999)), "999 ps");
+        assert_eq!(format_time(Time::from_ps(1_000)), "1.000 ns");
+        assert_eq!(format_time(Time::from_ns(999)), "999.000 ns");
+        assert_eq!(format_time(Time::from_us(1)), "1.000 us");
+        assert_eq!(format_time(Time::from_ms(12)), "12.000 ms");
+        assert_eq!(format_time(Time::from_secs(3)), "3.000 s");
+    }
+
+    #[test]
+    fn byte_units_switch_correctly() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(999), "999 B");
+        assert_eq!(format_bytes(1_000), "1.00 KB");
+        assert_eq!(format_bytes(1_000_000_000), "1.00 GB");
+        assert_eq!(format_bytes(3_200_000_000_000), "3.20 TB");
+    }
+
+    #[test]
+    fn bandwidth_units_switch_correctly() {
+        let f = |bps: f64| format_bandwidth(Bandwidth::from_bytes_per_sec(bps).unwrap());
+        assert_eq!(f(500.0), "500.00 B/s");
+        assert_eq!(f(2.0e3), "2.00 KB/s");
+        assert_eq!(f(250.0e6), "250.00 MB/s");
+        assert_eq!(f(1.0e12), "1.00 TB/s");
+    }
+}

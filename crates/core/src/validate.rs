@@ -1,0 +1,468 @@
+//! Structural validation of trace sets.
+//!
+//! A [`TraceSet`] can encode executions that no MPI program could produce
+//! (unmatched sends, waits on unknown requests, ranks disagreeing on the
+//! collective sequence). [`validate_trace_set`] detects these before the
+//! replay simulator runs, turning would-be deadlocks or panics into
+//! actionable reports.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::ids::{Rank, RequestId, Tag};
+use crate::record::{Record, TraceSet};
+
+/// One structural problem found in a trace set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceIssue {
+    /// A record references a rank outside `0..rank_count`.
+    RankOutOfRange {
+        /// Rank whose trace contains the bad record.
+        rank: Rank,
+        /// Index of the offending record.
+        record: usize,
+        /// The referenced (invalid) rank.
+        referenced: Rank,
+    },
+    /// A wait references a request that was never posted (or already
+    /// waited).
+    UnknownRequest {
+        /// Rank whose trace contains the wait.
+        rank: Rank,
+        /// Index of the offending record.
+        record: usize,
+        /// The unknown request.
+        req: RequestId,
+    },
+    /// A request was posted twice without an intervening wait.
+    DuplicateRequest {
+        /// Rank whose trace posts the duplicate.
+        rank: Rank,
+        /// Index of the offending record.
+        record: usize,
+        /// The duplicated request.
+        req: RequestId,
+    },
+    /// A request was posted but never waited on.
+    LeakedRequest {
+        /// Rank that leaked the request.
+        rank: Rank,
+        /// The leaked request.
+        req: RequestId,
+    },
+    /// The number of sends and receives on a channel disagree.
+    UnbalancedChannel {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// Channel tag.
+        tag: Tag,
+        /// Number of send-side records.
+        sends: usize,
+        /// Number of receive-side records.
+        recvs: usize,
+    },
+    /// Matching send/recv pair sizes disagree (FIFO order per channel).
+    SizeMismatch {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// Channel tag.
+        tag: Tag,
+        /// Position of the pair within the channel.
+        position: usize,
+        /// Bytes on the send side.
+        send_bytes: u64,
+        /// Bytes on the receive side.
+        recv_bytes: u64,
+    },
+    /// Ranks disagree on the sequence of collective operations.
+    CollectiveMismatch {
+        /// First rank of the disagreeing pair (always rank 0's view).
+        rank: Rank,
+        /// Index within the rank's collective sequence.
+        position: usize,
+        /// Description of the disagreement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TraceIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIssue::RankOutOfRange {
+                rank,
+                record,
+                referenced,
+            } => write!(
+                f,
+                "record {record} of {rank} references out-of-range rank {referenced}"
+            ),
+            TraceIssue::UnknownRequest { rank, record, req } => {
+                write!(f, "record {record} of {rank} waits on unknown {req}")
+            }
+            TraceIssue::DuplicateRequest { rank, record, req } => {
+                write!(f, "record {record} of {rank} re-posts in-flight {req}")
+            }
+            TraceIssue::LeakedRequest { rank, req } => {
+                write!(f, "{rank} never waits on posted {req}")
+            }
+            TraceIssue::UnbalancedChannel {
+                from,
+                to,
+                tag,
+                sends,
+                recvs,
+            } => write!(
+                f,
+                "channel {from}->{to} {tag} has {sends} sends but {recvs} recvs"
+            ),
+            TraceIssue::SizeMismatch {
+                from,
+                to,
+                tag,
+                position,
+                send_bytes,
+                recv_bytes,
+            } => write!(
+                f,
+                "channel {from}->{to} {tag} pair {position}: send {send_bytes} B vs recv {recv_bytes} B"
+            ),
+            TraceIssue::CollectiveMismatch {
+                rank,
+                position,
+                detail,
+            } => write!(
+                f,
+                "collective sequence mismatch at position {position} ({rank}): {detail}"
+            ),
+        }
+    }
+}
+
+/// Validates a trace set, returning every issue found (empty = valid).
+///
+/// Checks performed:
+///
+/// 1. all referenced ranks are in range,
+/// 2. waits reference posted, not-yet-completed requests; requests are not
+///    re-posted while in flight and are not leaked,
+/// 3. per channel `(from, to, tag)` the send and receive counts agree and
+///    FIFO-paired sizes match,
+/// 4. every rank observes the same global sequence of collectives.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{validate_trace_set, MipsRate, RankTrace, TraceSet};
+///
+/// # fn main() -> Result<(), ovlsim_core::CoreError> {
+/// let ts = TraceSet::new("empty", MipsRate::new(1000)?, vec![RankTrace::new()]);
+/// assert!(validate_trace_set(&ts).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate_trace_set(ts: &TraceSet) -> Vec<TraceIssue> {
+    let mut issues = Vec::new();
+    let n = ts.rank_count();
+
+    // Per-channel FIFO streams of byte sizes.
+    let mut send_streams: BTreeMap<(Rank, Rank, Tag), Vec<u64>> = BTreeMap::new();
+    let mut recv_streams: BTreeMap<(Rank, Rank, Tag), Vec<u64>> = BTreeMap::new();
+    // Per-rank collective signature sequence.
+    let mut collective_seqs: Vec<Vec<String>> = Vec::with_capacity(n);
+
+    for (idx, trace) in ts.ranks().iter().enumerate() {
+        let rank = Rank::new(idx as u32);
+        let mut in_flight: BTreeSet<RequestId> = BTreeSet::new();
+        let mut collectives = Vec::new();
+
+        for (ri, rec) in trace.iter().enumerate() {
+            let check_rank = |referenced: Rank, issues: &mut Vec<TraceIssue>| {
+                if referenced.index() >= n {
+                    issues.push(TraceIssue::RankOutOfRange {
+                        rank,
+                        record: ri,
+                        referenced,
+                    });
+                }
+            };
+            match rec {
+                Record::Send { to, bytes, tag } => {
+                    check_rank(*to, &mut issues);
+                    send_streams.entry((rank, *to, *tag)).or_default().push(*bytes);
+                }
+                Record::ISend { to, bytes, tag, req } => {
+                    check_rank(*to, &mut issues);
+                    send_streams.entry((rank, *to, *tag)).or_default().push(*bytes);
+                    if !in_flight.insert(*req) {
+                        issues.push(TraceIssue::DuplicateRequest {
+                            rank,
+                            record: ri,
+                            req: *req,
+                        });
+                    }
+                }
+                Record::Recv { from, bytes, tag } => {
+                    check_rank(*from, &mut issues);
+                    recv_streams.entry((*from, rank, *tag)).or_default().push(*bytes);
+                }
+                Record::IRecv { from, bytes, tag, req } => {
+                    check_rank(*from, &mut issues);
+                    recv_streams.entry((*from, rank, *tag)).or_default().push(*bytes);
+                    if !in_flight.insert(*req) {
+                        issues.push(TraceIssue::DuplicateRequest {
+                            rank,
+                            record: ri,
+                            req: *req,
+                        });
+                    }
+                }
+                Record::Wait { req }
+                    if !in_flight.remove(req) => {
+                        issues.push(TraceIssue::UnknownRequest {
+                            rank,
+                            record: ri,
+                            req: *req,
+                        });
+                    }
+                Record::WaitAll { reqs } => {
+                    for req in reqs {
+                        if !in_flight.remove(req) {
+                            issues.push(TraceIssue::UnknownRequest {
+                                rank,
+                                record: ri,
+                                req: *req,
+                            });
+                        }
+                    }
+                }
+                Record::Bcast { root, .. } | Record::Reduce { root, .. } => {
+                    check_rank(*root, &mut issues);
+                    collectives.push(format!("{rec}"));
+                }
+                r if r.is_collective() => collectives.push(format!("{rec}")),
+                _ => {}
+            }
+        }
+
+        for req in in_flight {
+            issues.push(TraceIssue::LeakedRequest { rank, req });
+        }
+        collective_seqs.push(collectives);
+    }
+
+    // Channel balance and pairwise sizes.
+    let channels: BTreeSet<_> = send_streams.keys().chain(recv_streams.keys()).cloned().collect();
+    for key in channels {
+        let empty = Vec::new();
+        let sends = send_streams.get(&key).unwrap_or(&empty);
+        let recvs = recv_streams.get(&key).unwrap_or(&empty);
+        let (from, to, tag) = key;
+        if sends.len() != recvs.len() {
+            issues.push(TraceIssue::UnbalancedChannel {
+                from,
+                to,
+                tag,
+                sends: sends.len(),
+                recvs: recvs.len(),
+            });
+        }
+        for (i, (s, r)) in sends.iter().zip(recvs.iter()).enumerate() {
+            if s != r {
+                issues.push(TraceIssue::SizeMismatch {
+                    from,
+                    to,
+                    tag,
+                    position: i,
+                    send_bytes: *s,
+                    recv_bytes: *r,
+                });
+            }
+        }
+    }
+
+    // Collective agreement: every rank must list the same sequence.
+    if let Some(reference) = collective_seqs.first() {
+        for (idx, seq) in collective_seqs.iter().enumerate().skip(1) {
+            let rank = Rank::new(idx as u32);
+            if seq.len() != reference.len() {
+                issues.push(TraceIssue::CollectiveMismatch {
+                    rank,
+                    position: seq.len().min(reference.len()),
+                    detail: format!(
+                        "rank 0 has {} collectives, {rank} has {}",
+                        reference.len(),
+                        seq.len()
+                    ),
+                });
+                continue;
+            }
+            for (pos, (a, b)) in reference.iter().zip(seq.iter()).enumerate() {
+                // Roots may legitimately differ in how they appear per rank
+                // only if the records differ; our model requires identical
+                // records, which keeps replay simple and deterministic.
+                if a != b {
+                    issues.push(TraceIssue::CollectiveMismatch {
+                        rank,
+                        position: pos,
+                        detail: format!("rank 0 sees `{a}`, {rank} sees `{b}`"),
+                    });
+                }
+            }
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr, MipsRate};
+    use crate::record::RankTrace;
+
+    fn mips() -> MipsRate {
+        MipsRate::new(1000).unwrap()
+    }
+
+    fn two_rank(records0: Vec<Record>, records1: Vec<Record>) -> TraceSet {
+        TraceSet::new(
+            "test",
+            mips(),
+            vec![
+                RankTrace::from_records(records0),
+                RankTrace::from_records(records1),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_ping_pong_passes() {
+        let ts = two_rank(
+            vec![
+                Record::Burst { instr: Instr::new(10) },
+                Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(1) },
+                Record::Recv { from: Rank::new(1), bytes: 100, tag: Tag::new(2) },
+            ],
+            vec![
+                Record::Recv { from: Rank::new(0), bytes: 100, tag: Tag::new(1) },
+                Record::Send { to: Rank::new(0), bytes: 100, tag: Tag::new(2) },
+            ],
+        );
+        assert!(validate_trace_set(&ts).is_empty());
+    }
+
+    #[test]
+    fn unmatched_send_reported() {
+        let ts = two_rank(
+            vec![Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(1) }],
+            vec![],
+        );
+        let issues = validate_trace_set(&ts);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(issues[0], TraceIssue::UnbalancedChannel { .. }));
+    }
+
+    #[test]
+    fn size_mismatch_reported() {
+        let ts = two_rank(
+            vec![Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(1) }],
+            vec![Record::Recv { from: Rank::new(0), bytes: 50, tag: Tag::new(1) }],
+        );
+        let issues = validate_trace_set(&ts);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::SizeMismatch { send_bytes: 100, recv_bytes: 50, .. })));
+    }
+
+    #[test]
+    fn rank_out_of_range_reported() {
+        let ts = two_rank(
+            vec![Record::Send { to: Rank::new(5), bytes: 1, tag: Tag::new(0) }],
+            vec![],
+        );
+        let issues = validate_trace_set(&ts);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::RankOutOfRange { .. })));
+    }
+
+    #[test]
+    fn wait_on_unknown_request_reported() {
+        let ts = two_rank(vec![Record::Wait { req: RequestId::new(3) }], vec![]);
+        let issues = validate_trace_set(&ts);
+        assert!(matches!(issues[0], TraceIssue::UnknownRequest { .. }));
+    }
+
+    #[test]
+    fn leaked_request_reported() {
+        let ts = two_rank(
+            vec![Record::IRecv {
+                from: Rank::new(1),
+                bytes: 10,
+                tag: Tag::new(1),
+                req: RequestId::new(0),
+            }],
+            vec![Record::Send { to: Rank::new(0), bytes: 10, tag: Tag::new(1) }],
+        );
+        let issues = validate_trace_set(&ts);
+        assert!(issues.iter().any(|i| matches!(i, TraceIssue::LeakedRequest { .. })));
+    }
+
+    #[test]
+    fn duplicate_request_reported() {
+        let ts = two_rank(
+            vec![
+                Record::IRecv {
+                    from: Rank::new(1),
+                    bytes: 10,
+                    tag: Tag::new(1),
+                    req: RequestId::new(0),
+                },
+                Record::IRecv {
+                    from: Rank::new(1),
+                    bytes: 10,
+                    tag: Tag::new(2),
+                    req: RequestId::new(0),
+                },
+                Record::Wait { req: RequestId::new(0) },
+            ],
+            vec![
+                Record::Send { to: Rank::new(0), bytes: 10, tag: Tag::new(1) },
+                Record::Send { to: Rank::new(0), bytes: 10, tag: Tag::new(2) },
+            ],
+        );
+        let issues = validate_trace_set(&ts);
+        assert!(issues.iter().any(|i| matches!(i, TraceIssue::DuplicateRequest { .. })));
+    }
+
+    #[test]
+    fn collective_disagreement_reported() {
+        let ts = two_rank(
+            vec![Record::Barrier, Record::AllReduce { bytes: 8 }],
+            vec![Record::Barrier],
+        );
+        let issues = validate_trace_set(&ts);
+        assert!(issues.iter().any(|i| matches!(i, TraceIssue::CollectiveMismatch { .. })));
+
+        let ts = two_rank(
+            vec![Record::AllReduce { bytes: 8 }],
+            vec![Record::AllReduce { bytes: 16 }],
+        );
+        let issues = validate_trace_set(&ts);
+        assert!(issues.iter().any(|i| matches!(i, TraceIssue::CollectiveMismatch { .. })));
+    }
+
+    #[test]
+    fn issue_display_nonempty() {
+        let issue = TraceIssue::LeakedRequest {
+            rank: Rank::new(1),
+            req: RequestId::new(2),
+        };
+        assert!(format!("{issue}").contains("req2"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the core quantity types.
+
+use ovlsim_core::{
+    format_bandwidth, format_bytes, format_time, Bandwidth, Instr, MipsRate, Time,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Addition and subtraction are exact inverses within range.
+    #[test]
+    fn time_add_sub_roundtrip(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let ta = Time::from_ps(a);
+        let tb = Time::from_ps(b);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!((ta + tb) - ta, tb);
+    }
+
+    /// max/min are consistent with ordering.
+    #[test]
+    fn time_minmax_consistent(a in any::<u64>(), b in any::<u64>()) {
+        let ta = Time::from_ps(a);
+        let tb = Time::from_ps(b);
+        prop_assert_eq!(ta.max(tb).as_ps(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_ps(), a.min(b));
+        prop_assert_eq!(ta.max(tb).min(ta.min(tb)), ta.min(tb));
+    }
+
+    /// Saturating operations never panic and clamp correctly.
+    #[test]
+    fn time_saturating_never_panics(a in any::<u64>(), b in any::<u64>(), m in any::<u64>()) {
+        let ta = Time::from_ps(a);
+        let tb = Time::from_ps(b);
+        let sum = ta.saturating_add(tb);
+        prop_assert!(sum >= ta.min(sum));
+        prop_assert_eq!(ta.saturating_sub(tb).as_ps(), a.saturating_sub(b));
+        let _ = ta.saturating_mul(m);
+    }
+
+    /// Seconds round-trip through the f64 constructor within one
+    /// picosecond (the division by 10^12 costs at most one ulp).
+    #[test]
+    fn time_secs_f64_roundtrip(ps in 0u64..(1u64 << 52)) {
+        let t = Time::from_ps(ps);
+        let back = Time::try_from_secs_f64(t.as_secs_f64()).unwrap();
+        prop_assert!(back.as_ps().abs_diff(t.as_ps()) <= 1, "{} vs {}", back.as_ps(), t.as_ps());
+    }
+
+    /// Instruction→time→instruction round-trips within one instruction.
+    #[test]
+    fn mips_roundtrip(instr in 0u64..1_000_000_000_000, mips in 1u64..1_000_000) {
+        let rate = MipsRate::new(mips).unwrap();
+        let t = rate.instr_to_time(Instr::new(instr));
+        let back = rate.time_to_instr(t);
+        prop_assert!(back.get().abs_diff(instr) <= 1,
+            "instr {instr} at {mips} MIPS -> {t} -> {back}");
+    }
+
+    /// Scaling time by MIPS is monotone in the instruction count.
+    #[test]
+    fn mips_monotone(a in 0u64..u64::MAX / 2_000_000, b in 0u64..u64::MAX / 2_000_000, mips in 1u64..1_000_000) {
+        let rate = MipsRate::new(mips).unwrap();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(rate.instr_to_time(Instr::new(lo)) <= rate.instr_to_time(Instr::new(hi)));
+    }
+
+    /// Transfer time scales (weakly) monotonically with bytes and
+    /// inversely with bandwidth.
+    #[test]
+    fn bandwidth_transfer_monotone(
+        bytes_a in 0u64..1u64 << 40,
+        bytes_b in 0u64..1u64 << 40,
+        bps in 1.0f64..1.0e12,
+    ) {
+        let bw = Bandwidth::from_bytes_per_sec(bps).unwrap();
+        let (lo, hi) = (bytes_a.min(bytes_b), bytes_a.max(bytes_b));
+        prop_assert!(bw.transfer_time(lo) <= bw.transfer_time(hi));
+        let faster = Bandwidth::from_bytes_per_sec(bps * 2.0).unwrap();
+        prop_assert!(faster.transfer_time(hi) <= bw.transfer_time(hi));
+    }
+
+    /// Formatters never panic and never return empty strings.
+    #[test]
+    fn formatters_total(ps in any::<u64>(), bytes in any::<u64>(), bps in 1.0e-3f64..1.0e15) {
+        prop_assert!(!format_time(Time::from_ps(ps)).is_empty());
+        prop_assert!(!format_bytes(bytes).is_empty());
+        prop_assert!(!format_bandwidth(Bandwidth::from_bytes_per_sec(bps).unwrap()).is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Synchronized collective operations.
+//!
+//! Dimemas models collectives as globally synchronized phases: every rank
+//! arrives at its `k`-th collective record, the operation costs
+//! `stages(P) × (latency + bytes/bandwidth)` starting from the latest
+//! arrival, and all ranks resume together. Trace validation guarantees all
+//! ranks agree on the collective sequence, so tracking arrival counts per
+//! sequence index suffices.
+
+use ovlsim_core::{CollectiveOp, Platform, Record, Time};
+
+/// Arrival tracking for one collective instance.
+#[derive(Debug)]
+struct CollInstance {
+    arrivals: usize,
+    latest: Time,
+    op: CollectiveOp,
+    bytes: u64,
+}
+
+/// Tracks per-rank progress through the global collective sequence.
+#[derive(Debug)]
+pub(crate) struct CollectiveTracker {
+    ranks: usize,
+    instances: Vec<CollInstance>,
+}
+
+/// Maps a collective record to its operation kind and payload.
+///
+/// Returns `None` for non-collective records.
+pub(crate) fn collective_op(record: &Record) -> Option<(CollectiveOp, u64)> {
+    match *record {
+        Record::Barrier => Some((CollectiveOp::Barrier, 0)),
+        Record::AllReduce { bytes } => Some((CollectiveOp::AllReduce, bytes)),
+        Record::Bcast { bytes, .. } => Some((CollectiveOp::Bcast, bytes)),
+        Record::Reduce { bytes, .. } => Some((CollectiveOp::Reduce, bytes)),
+        Record::AllToAll { bytes } => Some((CollectiveOp::AllToAll, bytes)),
+        Record::AllGather { bytes } => Some((CollectiveOp::AllGather, bytes)),
+        _ => None,
+    }
+}
+
+impl CollectiveTracker {
+    pub(crate) fn new(ranks: usize) -> Self {
+        CollectiveTracker {
+            ranks,
+            instances: Vec::new(),
+        }
+    }
+
+    /// Registers that a rank arrived at its `seq`-th collective at `now`.
+    /// Returns `Some(completion_time)` if this was the last arrival.
+    pub(crate) fn arrive(
+        &mut self,
+        seq: usize,
+        op: CollectiveOp,
+        bytes: u64,
+        now: Time,
+        platform: &Platform,
+    ) -> Option<Time> {
+        while self.instances.len() <= seq {
+            self.instances.push(CollInstance {
+                arrivals: 0,
+                latest: Time::ZERO,
+                op,
+                bytes,
+            });
+        }
+        let inst = &mut self.instances[seq];
+        debug_assert_eq!(inst.op, op, "validated traces agree on collectives");
+        inst.arrivals += 1;
+        inst.latest = inst.latest.max(now);
+        if inst.arrivals == self.ranks {
+            let cost = platform.collectives().cost(
+                inst.op,
+                inst.bytes,
+                self.ranks,
+                platform.latency(),
+                platform.bandwidth(),
+            );
+            Some(inst.latest + cost)
+        } else {
+            None
+        }
+    }
+
+    /// Number of collective instances observed so far.
+    pub(crate) fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{Instr, Rank};
+
+    #[test]
+    fn collective_op_mapping() {
+        assert_eq!(
+            collective_op(&Record::Barrier),
+            Some((CollectiveOp::Barrier, 0))
+        );
+        assert_eq!(
+            collective_op(&Record::AllReduce { bytes: 16 }),
+            Some((CollectiveOp::AllReduce, 16))
+        );
+        assert_eq!(
+            collective_op(&Record::Bcast {
+                root: Rank::new(0),
+                bytes: 9
+            }),
+            Some((CollectiveOp::Bcast, 9))
+        );
+        assert_eq!(
+            collective_op(&Record::Burst {
+                instr: Instr::new(1)
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn last_arrival_completes_with_cost() {
+        let platform = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build();
+        let mut t = CollectiveTracker::new(2);
+        assert_eq!(
+            t.arrive(0, CollectiveOp::Barrier, 0, Time::from_us(5), &platform),
+            None
+        );
+        // Barrier over 2 ranks: log2(2) = 1 stage of 1 us latency.
+        let done = t
+            .arrive(0, CollectiveOp::Barrier, 0, Time::from_us(9), &platform)
+            .unwrap();
+        assert_eq!(done, Time::from_us(10));
+        assert_eq!(t.instance_count(), 1);
+    }
+
+    #[test]
+    fn out_of_order_sequences_are_tracked_independently() {
+        let platform = Platform::default();
+        let mut t = CollectiveTracker::new(2);
+        // Rank 0 reaches its second barrier before rank 1 reaches its first.
+        assert!(t
+            .arrive(0, CollectiveOp::Barrier, 0, Time::from_us(1), &platform)
+            .is_none());
+        assert!(t
+            .arrive(1, CollectiveOp::Barrier, 0, Time::from_us(2), &platform)
+            .is_none());
+        assert!(t
+            .arrive(0, CollectiveOp::Barrier, 0, Time::from_us(30), &platform)
+            .is_some());
+        assert!(t
+            .arrive(1, CollectiveOp::Barrier, 0, Time::from_us(40), &platform)
+            .is_some());
+    }
+
+    #[test]
+    fn single_rank_collective_is_free() {
+        let platform = Platform::default();
+        let mut t = CollectiveTracker::new(1);
+        let done = t
+            .arrive(0, CollectiveOp::AllReduce, 64, Time::from_us(7), &platform)
+            .unwrap();
+        // log2(1) = 0 stages: completes instantly.
+        assert_eq!(done, Time::from_us(7));
+    }
+}

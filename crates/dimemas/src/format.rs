@@ -1,0 +1,371 @@
+//! A line-oriented text format for trace sets (`.dim`-style).
+//!
+//! The paper's environment passes traces between the tracing tool and
+//! Dimemas as files; this module provides the equivalent persistence with a
+//! guaranteed round-trip (`parse(emit(t)) == t`).
+//!
+//! Format:
+//!
+//! ```text
+//! # ovlsim trace v1
+//! name nas-bt.original
+//! mips 1000
+//! ranks 2
+//! rank 0
+//! burst 12345
+//! isend r1 4096 t7 req0
+//! wait req0
+//! end
+//! rank 1
+//! irecv r0 4096 t7 req0
+//! wait req0
+//! end
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use ovlsim_core::{Instr, MipsRate, Rank, RankTrace, Record, RequestId, Tag, TraceSet};
+
+/// Errors produced while parsing the text trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Serializes a trace set to the text format.
+pub fn emit_trace_set(ts: &TraceSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# ovlsim trace v1");
+    let _ = writeln!(out, "name {}", ts.name());
+    let _ = writeln!(out, "mips {}", ts.mips().get());
+    let _ = writeln!(out, "ranks {}", ts.rank_count());
+    for (r, trace) in ts.ranks().iter().enumerate() {
+        let _ = writeln!(out, "rank {r}");
+        for rec in trace.iter() {
+            let _ = writeln!(out, "{rec}");
+        }
+        let _ = writeln!(out, "end");
+    }
+    out
+}
+
+fn parse_rank(tok: &str, line: usize) -> Result<Rank, ParseError> {
+    tok.strip_prefix('r')
+        .and_then(|s| s.parse::<u32>().ok())
+        .map(Rank::new)
+        .ok_or_else(|| ParseError::new(line, format!("expected rank like `r3`, got `{tok}`")))
+}
+
+fn parse_tag(tok: &str, line: usize) -> Result<Tag, ParseError> {
+    tok.strip_prefix('t')
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Tag::new)
+        .ok_or_else(|| ParseError::new(line, format!("expected tag like `t7`, got `{tok}`")))
+}
+
+fn parse_req(tok: &str, line: usize) -> Result<RequestId, ParseError> {
+    tok.strip_prefix("req")
+        .and_then(|s| s.parse::<u32>().ok())
+        .map(RequestId::new)
+        .ok_or_else(|| ParseError::new(line, format!("expected request like `req2`, got `{tok}`")))
+}
+
+fn parse_u64(tok: &str, line: usize, what: &str) -> Result<u64, ParseError> {
+    tok.parse::<u64>()
+        .map_err(|_| ParseError::new(line, format!("expected {what}, got `{tok}`")))
+}
+
+fn parse_record(line_no: usize, line: &str) -> Result<Record, ParseError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let err_arity = |n: usize| {
+        ParseError::new(
+            line_no,
+            format!("`{}` expects {n} arguments: `{line}`", toks[0]),
+        )
+    };
+    match toks.as_slice() {
+        ["burst", n] => Ok(Record::Burst {
+            instr: Instr::new(parse_u64(n, line_no, "instruction count")?),
+        }),
+        ["burst", ..] => Err(err_arity(1)),
+        ["send", to, bytes, tag] => Ok(Record::Send {
+            to: parse_rank(to, line_no)?,
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+            tag: parse_tag(tag, line_no)?,
+        }),
+        ["send", ..] => Err(err_arity(3)),
+        ["isend", to, bytes, tag, req] => Ok(Record::ISend {
+            to: parse_rank(to, line_no)?,
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+            tag: parse_tag(tag, line_no)?,
+            req: parse_req(req, line_no)?,
+        }),
+        ["isend", ..] => Err(err_arity(4)),
+        ["recv", from, bytes, tag] => Ok(Record::Recv {
+            from: parse_rank(from, line_no)?,
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+            tag: parse_tag(tag, line_no)?,
+        }),
+        ["recv", ..] => Err(err_arity(3)),
+        ["irecv", from, bytes, tag, req] => Ok(Record::IRecv {
+            from: parse_rank(from, line_no)?,
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+            tag: parse_tag(tag, line_no)?,
+            req: parse_req(req, line_no)?,
+        }),
+        ["irecv", ..] => Err(err_arity(4)),
+        ["wait", req] => Ok(Record::Wait {
+            req: parse_req(req, line_no)?,
+        }),
+        ["wait", ..] => Err(err_arity(1)),
+        ["waitall", reqs @ ..] => Ok(Record::WaitAll {
+            reqs: reqs
+                .iter()
+                .map(|r| parse_req(r, line_no))
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        ["barrier"] => Ok(Record::Barrier),
+        ["allreduce", bytes] => Ok(Record::AllReduce {
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+        }),
+        ["bcast", root, bytes] => Ok(Record::Bcast {
+            root: parse_rank(root, line_no)?,
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+        }),
+        ["reduce", root, bytes] => Ok(Record::Reduce {
+            root: parse_rank(root, line_no)?,
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+        }),
+        ["alltoall", bytes] => Ok(Record::AllToAll {
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+        }),
+        ["allgather", bytes] => Ok(Record::AllGather {
+            bytes: parse_u64(bytes, line_no, "byte count")?,
+        }),
+        ["marker", code] => Ok(Record::Marker {
+            code: parse_u64(code, line_no, "marker code")? as u32,
+        }),
+        [] => Err(ParseError::new(line_no, "empty record")),
+        [op, ..] => Err(ParseError::new(line_no, format!("unknown record `{op}`"))),
+    }
+}
+
+/// Parses the text format back into a trace set.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a 1-based line number on malformed input.
+pub fn parse_trace_set(text: &str) -> Result<TraceSet, ParseError> {
+    let mut name: Option<String> = None;
+    let mut mips: Option<MipsRate> = None;
+    let mut declared_ranks: Option<usize> = None;
+    let mut ranks: Vec<RankTrace> = Vec::new();
+    let mut current: Option<Vec<Record>> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name ") {
+            name = Some(rest.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("mips ") {
+            let v = parse_u64(rest.trim(), line_no, "MIPS rate")?;
+            mips = Some(
+                MipsRate::new(v)
+                    .map_err(|e| ParseError::new(line_no, e.to_string()))?,
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("ranks ") {
+            declared_ranks = Some(parse_u64(rest.trim(), line_no, "rank count")? as usize);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("rank ") {
+            if current.is_some() {
+                return Err(ParseError::new(line_no, "nested `rank` without `end`"));
+            }
+            let idx = parse_u64(rest.trim(), line_no, "rank index")? as usize;
+            if idx != ranks.len() {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("expected rank {} next, got {idx}", ranks.len()),
+                ));
+            }
+            current = Some(Vec::new());
+            continue;
+        }
+        if line == "end" {
+            match current.take() {
+                Some(records) => ranks.push(RankTrace::from_records(records)),
+                None => return Err(ParseError::new(line_no, "`end` outside a rank block")),
+            }
+            continue;
+        }
+        match &mut current {
+            Some(records) => records.push(parse_record(line_no, line)?),
+            None => {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("record `{line}` outside a rank block"),
+                ))
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(ParseError::new(text.lines().count(), "missing final `end`"));
+    }
+    let name = name.ok_or_else(|| ParseError::new(1, "missing `name` header"))?;
+    let mips = mips.ok_or_else(|| ParseError::new(1, "missing `mips` header"))?;
+    if let Some(n) = declared_ranks {
+        if n != ranks.len() {
+            return Err(ParseError::new(
+                1,
+                format!("header declares {n} ranks but {} present", ranks.len()),
+            ));
+        }
+    }
+    Ok(TraceSet::new(name, mips, ranks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceSet {
+        TraceSet::new(
+            "sample.original",
+            MipsRate::new(1500).unwrap(),
+            vec![
+                RankTrace::from_records(vec![
+                    Record::Burst { instr: Instr::new(42) },
+                    Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(3) },
+                    Record::ISend {
+                        to: Rank::new(1),
+                        bytes: 200,
+                        tag: Tag::new(4),
+                        req: RequestId::new(0),
+                    },
+                    Record::Wait { req: RequestId::new(0) },
+                    Record::Barrier,
+                    Record::AllReduce { bytes: 8 },
+                    Record::Marker { code: 17 },
+                ]),
+                RankTrace::from_records(vec![
+                    Record::Recv { from: Rank::new(0), bytes: 100, tag: Tag::new(3) },
+                    Record::IRecv {
+                        from: Rank::new(0),
+                        bytes: 200,
+                        tag: Tag::new(4),
+                        req: RequestId::new(0),
+                    },
+                    Record::WaitAll { reqs: vec![RequestId::new(0)] },
+                    Record::Barrier,
+                    Record::AllReduce { bytes: 8 },
+                    Record::Bcast { root: Rank::new(0), bytes: 64 },
+                    Record::Reduce { root: Rank::new(1), bytes: 32 },
+                    Record::AllToAll { bytes: 16 },
+                    Record::AllGather { bytes: 24 },
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ts = sample();
+        let text = emit_trace_set(&ts);
+        let back = parse_trace_set(&text).unwrap();
+        assert_eq!(ts, back);
+    }
+
+    #[test]
+    fn emitted_text_is_human_readable() {
+        let text = emit_trace_set(&sample());
+        assert!(text.contains("name sample.original"));
+        assert!(text.contains("mips 1500"));
+        assert!(text.contains("burst 42"));
+        assert!(text.contains("send r1 100 t3"));
+        assert!(text.contains("waitall req0"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_record() {
+        let text = "name x\nmips 1000\nranks 1\nrank 0\nfrobnicate 1\nend\n";
+        let err = parse_trace_set(text).unwrap_err();
+        assert_eq!(err.line(), 5);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_arity() {
+        let text = "name x\nmips 1000\nranks 1\nrank 0\nsend r1 100\nend\n";
+        assert!(parse_trace_set(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_missing_headers() {
+        assert!(parse_trace_set("rank 0\nend\n").is_err());
+        assert!(parse_trace_set("name x\nrank 0\nend\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_rank_count_mismatch() {
+        let text = "name x\nmips 1000\nranks 2\nrank 0\nend\n";
+        assert!(parse_trace_set(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_records_outside_rank() {
+        let text = "name x\nmips 1000\nburst 5\n";
+        assert!(parse_trace_set(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_rank() {
+        let text = "name x\nmips 1000\nrank 0\nburst 5\n";
+        assert!(parse_trace_set(text).is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let text = "# header\n\nname x\nmips 1000\n# mid\nrank 0\n\nburst 5\nend\n";
+        let ts = parse_trace_set(text).unwrap();
+        assert_eq!(ts.rank_count(), 1);
+        assert_eq!(ts.ranks()[0].len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_out_of_order_ranks() {
+        let text = "name x\nmips 1000\nrank 1\nend\n";
+        assert!(parse_trace_set(text).is_err());
+    }
+}

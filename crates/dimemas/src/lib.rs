@@ -1,0 +1,52 @@
+//! The trace-replay network simulator of `ovlsim` — a from-scratch
+//! implementation of the Dimemas machine model used by the paper's
+//! environment.
+//!
+//! "The Dimemas simulator uses the traces obtained from each MPI process
+//! and off-line reconstructs the application's time-behavior on a
+//! configurable parallel platform." The platform knobs are
+//! [`ovlsim_core::Platform`]: latency, bandwidth, finite buses, per-node
+//! input/output links, eager/rendezvous threshold and collective cost
+//! models.
+//!
+//! * [`Simulator`] — replays a [`ovlsim_core::TraceSet`], returning a
+//!   [`ReplayResult`] with makespan, per-rank times and network statistics,
+//! * [`ReplayObserver`] — timeline hooks consumed by the visualization
+//!   layer (`ovlsim-paraver`),
+//! * [`emit_trace_set`]/[`parse_trace_set`] — the `.dim`-style text
+//!   persistence with a guaranteed round-trip.
+//!
+//! # Example
+//!
+//! ```
+//! use ovlsim_core::{Instr, MipsRate, Platform, RankTrace, Record, TraceSet, Time};
+//! use ovlsim_dimemas::Simulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace = TraceSet::new(
+//!     "solo",
+//!     MipsRate::new(1000)?,
+//!     vec![RankTrace::from_records(vec![Record::Burst {
+//!         instr: Instr::new(7_000),
+//!     }])],
+//! );
+//! let result = Simulator::new(Platform::default()).run(&trace)?;
+//! assert_eq!(result.total_time(), Time::from_us(7));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collective;
+mod error;
+mod format;
+mod network;
+mod observer;
+mod replay;
+
+pub use error::SimError;
+pub use format::{emit_trace_set, parse_trace_set, ParseError};
+pub use observer::{NullObserver, ProcState, ReplayObserver};
+pub use replay::{ReplayResult, Simulator};

@@ -1,0 +1,242 @@
+//! Network resource model: finite buses and per-node input/output links.
+//!
+//! A point-to-point transfer occupies one output link of the sender, one
+//! network bus, and one input link of the receiver for its whole duration
+//! (`latency + bytes/bandwidth`). Transfers whose resources are busy wait
+//! in a global FIFO; whenever a resource frees, the queue is rescanned in
+//! order and every transfer whose full resource triple is available starts
+//! (a transfer never blocks others that use disjoint resources).
+
+use std::collections::VecDeque;
+
+use ovlsim_core::{Platform, Rank, Time};
+use ovlsim_engine::stats::TimeWeighted;
+
+/// Index of a transfer in the simulator's transfer table.
+pub(crate) type TransferId = usize;
+
+/// Tracks bus/link occupancy and the FIFO of transfers awaiting resources.
+///
+/// Link tables are indexed by **node**: with `ranks_per_node > 1`, the
+/// ranks of one node share its input/output links (a shared NIC).
+#[derive(Debug)]
+pub(crate) struct Network {
+    buses_limit: Option<u32>,
+    out_limit: u32,
+    in_limit: u32,
+    ranks_per_node: u32,
+    buses_used: u32,
+    out_used: Vec<u32>,
+    in_used: Vec<u32>,
+    waiting: VecDeque<TransferId>,
+    bus_util: TimeWeighted,
+    pub(crate) started: u64,
+    pub(crate) peak_waiting: usize,
+}
+
+impl Network {
+    pub(crate) fn new(platform: &Platform, ranks: usize) -> Self {
+        let rpn = platform.ranks_per_node() as usize;
+        let nodes = ranks.div_ceil(rpn).max(1);
+        Network {
+            buses_limit: platform.buses(),
+            out_limit: platform.output_links(),
+            in_limit: platform.input_links(),
+            ranks_per_node: platform.ranks_per_node(),
+            buses_used: 0,
+            out_used: vec![0; nodes],
+            in_used: vec![0; nodes],
+            waiting: VecDeque::new(),
+            bus_util: TimeWeighted::new(),
+            started: 0,
+            peak_waiting: 0,
+        }
+    }
+
+    fn node(&self, rank: Rank) -> usize {
+        (rank.get() / self.ranks_per_node) as usize
+    }
+
+    fn triple_free(&self, from: Rank, to: Rank) -> bool {
+        let bus_ok = match self.buses_limit {
+            None => true,
+            Some(b) => self.buses_used < b,
+        };
+        bus_ok
+            && self.out_used[self.node(from)] < self.out_limit
+            && self.in_used[self.node(to)] < self.in_limit
+    }
+
+    fn occupy(&mut self, from: Rank, to: Rank, now: Time) {
+        let (nf, nt) = (self.node(from), self.node(to));
+        self.buses_used += 1;
+        self.out_used[nf] += 1;
+        self.in_used[nt] += 1;
+        self.bus_util.record(now, self.buses_used as f64);
+        self.started += 1;
+    }
+
+    /// Releases the resource triple of a finished transfer.
+    pub(crate) fn release(&mut self, from: Rank, to: Rank, now: Time) {
+        let (nf, nt) = (self.node(from), self.node(to));
+        debug_assert!(self.buses_used > 0);
+        self.buses_used -= 1;
+        self.out_used[nf] -= 1;
+        self.in_used[nt] -= 1;
+        self.bus_util.record(now, self.buses_used as f64);
+    }
+
+    /// Enqueues a transfer that is ready to move data.
+    pub(crate) fn enqueue(&mut self, id: TransferId) {
+        self.waiting.push_back(id);
+        self.peak_waiting = self.peak_waiting.max(self.waiting.len());
+    }
+
+    /// Scans the waiting FIFO and starts every transfer whose resource
+    /// triple is free, occupying the resources. Returns the started ids in
+    /// order. `route` maps a transfer id to its `(from, to)` pair.
+    pub(crate) fn start_eligible(
+        &mut self,
+        now: Time,
+        route: impl Fn(TransferId) -> (Rank, Rank),
+    ) -> Vec<TransferId> {
+        let mut started = Vec::new();
+        let mut remaining = VecDeque::with_capacity(self.waiting.len());
+        while let Some(id) = self.waiting.pop_front() {
+            let (from, to) = route(id);
+            if self.triple_free(from, to) {
+                self.occupy(from, to, now);
+                started.push(id);
+            } else {
+                remaining.push_back(id);
+            }
+        }
+        self.waiting = remaining;
+        started
+    }
+
+    /// Number of transfers waiting for resources.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Time-weighted mean number of busy buses over `[0, end]`.
+    pub(crate) fn mean_busy_buses(&self, end: Time) -> f64 {
+        self.bus_util.mean(end)
+    }
+
+    /// Peak number of simultaneously busy buses.
+    pub(crate) fn peak_busy_buses(&self) -> f64 {
+        self.bus_util.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::Platform;
+
+    fn platform(buses: Option<u32>, links: u32) -> Platform {
+        Platform::builder()
+            .buses(buses)
+            .input_links(links)
+            .output_links(links)
+            .build()
+    }
+
+    #[test]
+    fn unlimited_buses_start_everything_with_distinct_nodes() {
+        let p = platform(None, 1);
+        let mut net = Network::new(&p, 4);
+        // Transfers 0: 0->1, 1: 2->3 (disjoint).
+        net.enqueue(0);
+        net.enqueue(1);
+        let routes = [(Rank::new(0), Rank::new(1)), (Rank::new(2), Rank::new(3))];
+        let started = net.start_eligible(Time::ZERO, |id| routes[id]);
+        assert_eq!(started, vec![0, 1]);
+        assert_eq!(net.waiting_len(), 0);
+    }
+
+    #[test]
+    fn single_out_link_serializes_same_sender() {
+        let p = platform(None, 1);
+        let mut net = Network::new(&p, 3);
+        let routes = [(Rank::new(0), Rank::new(1)), (Rank::new(0), Rank::new(2))];
+        net.enqueue(0);
+        net.enqueue(1);
+        let started = net.start_eligible(Time::ZERO, |id| routes[id]);
+        assert_eq!(started, vec![0]);
+        assert_eq!(net.waiting_len(), 1);
+        net.release(Rank::new(0), Rank::new(1), Time::from_us(5));
+        let started = net.start_eligible(Time::from_us(5), |id| routes[id]);
+        assert_eq!(started, vec![1]);
+    }
+
+    #[test]
+    fn bus_limit_applies_globally() {
+        let p = platform(Some(1), 4);
+        let mut net = Network::new(&p, 4);
+        let routes = [(Rank::new(0), Rank::new(1)), (Rank::new(2), Rank::new(3))];
+        net.enqueue(0);
+        net.enqueue(1);
+        let started = net.start_eligible(Time::ZERO, |id| routes[id]);
+        assert_eq!(started, vec![0], "only one bus");
+        net.release(Rank::new(0), Rank::new(1), Time::from_us(1));
+        assert_eq!(net.start_eligible(Time::from_us(1), |id| routes[id]), vec![1]);
+    }
+
+    #[test]
+    fn later_transfer_with_free_resources_passes_blocked_head() {
+        let p = platform(None, 1);
+        let mut net = Network::new(&p, 4);
+        let routes = [
+            (Rank::new(0), Rank::new(1)),
+            (Rank::new(0), Rank::new(2)), // blocked: same sender as 0
+            (Rank::new(2), Rank::new(3)), // disjoint: may pass
+        ];
+        net.enqueue(0);
+        net.enqueue(1);
+        net.enqueue(2);
+        let started = net.start_eligible(Time::ZERO, |id| routes[id]);
+        assert_eq!(started, vec![0, 2]);
+        assert_eq!(net.waiting_len(), 1);
+    }
+
+    #[test]
+    fn shared_node_links_serialize_siblings() {
+        // Two ranks on one node both sending out: one shared output link.
+        let p = Platform::builder()
+            .ranks_per_node(2)
+            .input_links(1)
+            .output_links(1)
+            .build();
+        let mut net = Network::new(&p, 4);
+        // Rank 0 and 1 live on node 0; targets 2 and 3 live on node 1.
+        let routes = [(Rank::new(0), Rank::new(2)), (Rank::new(1), Rank::new(3))];
+        net.enqueue(0);
+        net.enqueue(1);
+        let started = net.start_eligible(Time::ZERO, |id| routes[id]);
+        assert_eq!(started, vec![0], "siblings share the node's out-link");
+        // But the receivers also share node 1's single in-link, so after
+        // releasing, transfer 1 can go.
+        net.release(Rank::new(0), Rank::new(2), Time::from_us(1));
+        assert_eq!(net.start_eligible(Time::from_us(1), |id| routes[id]), vec![1]);
+    }
+
+    #[test]
+    fn utilization_statistics() {
+        let p = platform(Some(2), 2);
+        let mut net = Network::new(&p, 2);
+        let routes = [(Rank::new(0), Rank::new(1)), (Rank::new(1), Rank::new(0))];
+        net.enqueue(0);
+        net.enqueue(1);
+        net.start_eligible(Time::ZERO, |id| routes[id]);
+        net.release(Rank::new(0), Rank::new(1), Time::from_us(10));
+        net.release(Rank::new(1), Rank::new(0), Time::from_us(10));
+        // Two buses busy during [0,10), zero during [10,20).
+        assert_eq!(net.mean_busy_buses(Time::from_us(20)), 1.0);
+        assert_eq!(net.peak_busy_buses(), 2.0);
+        assert_eq!(net.started, 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Observation hooks for timeline capture (Paraver export).
+
+use ovlsim_core::{Rank, Tag, Time};
+
+/// What a rank is doing during a timeline interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProcState {
+    /// Executing a computation burst.
+    Compute,
+    /// Blocked in a receive (or a wait dominated by receives).
+    WaitRecv,
+    /// Blocked in a (rendezvous) send.
+    WaitSend,
+    /// Blocked completing non-blocking requests.
+    WaitRequest,
+    /// Inside a collective operation.
+    Collective,
+}
+
+impl ProcState {
+    /// A stable numeric encoding used by the Paraver exporter.
+    pub fn code(self) -> u32 {
+        match self {
+            ProcState::Compute => 1,
+            ProcState::WaitRecv => 2,
+            ProcState::WaitSend => 3,
+            ProcState::WaitRequest => 4,
+            ProcState::Collective => 5,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcState::Compute => "compute",
+            ProcState::WaitRecv => "wait-recv",
+            ProcState::WaitSend => "wait-send",
+            ProcState::WaitRequest => "wait-request",
+            ProcState::Collective => "collective",
+        }
+    }
+}
+
+/// Receives replay happenings as they are simulated.
+///
+/// All callbacks are optional (default: no-op). Intervals are closed-open
+/// `[start, end)` and are emitted in completion order, which is
+/// non-decreasing in `end` but not necessarily in `start`.
+pub trait ReplayObserver {
+    /// A rank spent `[start, end)` in `state`.
+    fn interval(&mut self, rank: Rank, start: Time, end: Time, state: ProcState) {
+        let _ = (rank, start, end, state);
+    }
+
+    /// A message (or chunk) moved across the wire.
+    fn message(
+        &mut self,
+        from: Rank,
+        to: Rank,
+        wire_start: Time,
+        wire_end: Time,
+        bytes: u64,
+        tag: Tag,
+    ) {
+        let _ = (from, to, wire_start, wire_end, bytes, tag);
+    }
+
+    /// A visualization marker was executed by `rank` at `at`.
+    fn marker(&mut self, rank: Rank, at: Time, code: u32) {
+        let _ = (rank, at, code);
+    }
+
+    /// A rank finished its trace at `at`.
+    fn finished(&mut self, rank: Rank, at: Time) {
+        let _ = (rank, at);
+    }
+}
+
+/// An observer that ignores everything (used by the plain `run`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ReplayObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_codes_distinct() {
+        use std::collections::BTreeSet;
+        let states = [
+            ProcState::Compute,
+            ProcState::WaitRecv,
+            ProcState::WaitSend,
+            ProcState::WaitRequest,
+            ProcState::Collective,
+        ];
+        let codes: BTreeSet<u32> = states.iter().map(|s| s.code()).collect();
+        assert_eq!(codes.len(), states.len());
+        let labels: BTreeSet<&str> = states.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), states.len());
+    }
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        let mut o = NullObserver;
+        o.interval(Rank::new(0), Time::ZERO, Time::from_ns(1), ProcState::Compute);
+        o.message(
+            Rank::new(0),
+            Rank::new(1),
+            Time::ZERO,
+            Time::from_ns(5),
+            10,
+            Tag::new(0),
+        );
+        o.marker(Rank::new(0), Time::ZERO, 3);
+        o.finished(Rank::new(0), Time::from_ns(9));
+    }
+}

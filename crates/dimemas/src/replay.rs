@@ -1,0 +1,1401 @@
+//! The trace-replay simulator.
+//!
+//! [`Simulator`] replays a [`TraceSet`] on a [`Platform`], reconstructing
+//! the application's time behaviour "off-line … on a configurable parallel
+//! platform" exactly as Dimemas does in the paper's environment:
+//!
+//! * computation bursts take `instructions / MIPS / cpu_ratio` time,
+//! * point-to-point transfers take `latency + bytes/bandwidth` once they
+//!   hold a sender output link, a network bus and a receiver input link
+//!   (finite resources queue FIFO),
+//! * messages at most [`Platform::eager_threshold`] bytes are *eager*:
+//!   the sender proceeds immediately and the data waits at the receiver if
+//!   necessary; larger messages *rendezvous*: the wire transfer starts only
+//!   once the receive is posted, and blocking senders wait for completion,
+//! * collectives are synchronized cost-model phases,
+//! * request matching is FIFO per `(source, destination, tag)` channel.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use ovlsim_core::{
+    validate_trace_set, Platform, Rank, Record, RequestId, Tag, Time, TraceSet,
+};
+use ovlsim_engine::EventQueue;
+
+use crate::collective::{collective_op, CollectiveTracker};
+use crate::error::SimError;
+use crate::network::{Network, TransferId};
+use crate::observer::{NullObserver, ProcState, ReplayObserver};
+
+/// Outcome of replaying one trace set on one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayResult {
+    name: String,
+    total_time: Time,
+    rank_finish: Vec<Time>,
+    rank_compute: Vec<Time>,
+    p2p_messages: u64,
+    p2p_bytes: u64,
+    collective_count: u64,
+    mean_busy_buses: f64,
+    peak_busy_buses: f64,
+    peak_waiting_transfers: usize,
+}
+
+impl ReplayResult {
+    /// The replayed trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Completion time of the slowest rank (the execution's makespan).
+    pub fn total_time(&self) -> Time {
+        self.total_time
+    }
+
+    /// Per-rank completion times.
+    pub fn rank_finish(&self) -> &[Time] {
+        &self.rank_finish
+    }
+
+    /// Per-rank accumulated computation time.
+    pub fn rank_compute(&self) -> &[Time] {
+        &self.rank_compute
+    }
+
+    /// Sum of computation time over all ranks.
+    pub fn total_compute(&self) -> Time {
+        self.rank_compute.iter().copied().sum()
+    }
+
+    /// Fraction of rank-time spent *not* computing (blocked in
+    /// communication or collectives), in `[0, 1]`.
+    pub fn comm_fraction(&self) -> f64 {
+        let finish: f64 = self.rank_finish.iter().map(|t| t.as_secs_f64()).sum();
+        if finish == 0.0 {
+            return 0.0;
+        }
+        let compute: f64 = self.rank_compute.iter().map(|t| t.as_secs_f64()).sum();
+        ((finish - compute) / finish).clamp(0.0, 1.0)
+    }
+
+    /// Number of point-to-point transfers (chunks count individually).
+    pub fn p2p_messages(&self) -> u64 {
+        self.p2p_messages
+    }
+
+    /// Total point-to-point bytes moved.
+    pub fn p2p_bytes(&self) -> u64 {
+        self.p2p_bytes
+    }
+
+    /// Number of collective operations executed.
+    pub fn collective_count(&self) -> u64 {
+        self.collective_count
+    }
+
+    /// Time-weighted mean number of busy buses.
+    pub fn mean_busy_buses(&self) -> f64 {
+        self.mean_busy_buses
+    }
+
+    /// Peak number of simultaneously busy buses.
+    pub fn peak_busy_buses(&self) -> f64 {
+        self.peak_busy_buses
+    }
+
+    /// Largest number of transfers simultaneously waiting for network
+    /// resources.
+    pub fn peak_waiting_transfers(&self) -> usize {
+        self.peak_waiting_transfers
+    }
+}
+
+impl fmt::Display for ReplayResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} ranks, {} msgs, comm {:.1}%)",
+            self.name,
+            self.total_time,
+            self.rank_finish.len(),
+            self.p2p_messages,
+            self.comm_fraction() * 100.0
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Resume(usize),
+    /// The last byte left the sender: resources free, sender's buffer
+    /// reusable.
+    TransferSent(TransferId),
+    /// The message arrived at the receiver (one wire latency after it was
+    /// fully sent).
+    TransferDone(TransferId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SenderKind {
+    /// Eager: the sender already moved on; nothing to notify.
+    Fire,
+    /// Rendezvous blocking send: resume the sender at completion.
+    Blocking,
+    /// Rendezvous isend: complete this request at completion.
+    Request(RequestId),
+}
+
+#[derive(Debug)]
+struct Transfer {
+    from: Rank,
+    to: Rank,
+    bytes: u64,
+    tag: Tag,
+    rendezvous: bool,
+    /// True when both endpoints share a node: the transfer bypasses the
+    /// network resources and uses the intra-node latency/bandwidth.
+    intra: bool,
+    sender_kind: SenderKind,
+    recv: Option<usize>,
+    enqueued: bool,
+    started_at: Option<Time>,
+    arrived: Option<Time>,
+}
+
+#[derive(Debug)]
+struct RecvPost {
+    rank: usize,
+    req: Option<RequestId>,
+    from: Rank,
+    tag: Tag,
+    transfer: Option<TransferId>,
+    done: Option<Time>,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    unmatched_sends: VecDeque<TransferId>,
+    unmatched_recvs: VecDeque<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Blocker {
+    Recv(usize),
+    SendDone(TransferId),
+    Reqs(BTreeSet<u32>),
+    Collective(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ReqState {
+    InFlight,
+    Done(Time),
+}
+
+#[derive(Debug)]
+struct Proc {
+    cursor: usize,
+    clock: Time,
+    blocked: Option<Blocker>,
+    block_start: Time,
+    coll_seq: usize,
+    reqs: BTreeMap<u32, ReqState>,
+    compute: Time,
+    finished: Option<Time>,
+    /// True once the per-message send overhead of the record at `cursor`
+    /// has been charged (two-phase send processing keeps global event
+    /// order intact).
+    overhead_paid: bool,
+}
+
+/// The Dimemas-style replay simulator.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{Instr, MipsRate, Platform, Rank, RankTrace, Record, Tag, TraceSet};
+/// use ovlsim_dimemas::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mips = MipsRate::new(1000)?;
+/// let trace = TraceSet::new(
+///     "pair",
+///     mips,
+///     vec![
+///         RankTrace::from_records(vec![
+///             Record::Burst { instr: Instr::new(1000) },
+///             Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+///         ]),
+///         RankTrace::from_records(vec![
+///             Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+///         ]),
+///     ],
+/// );
+/// let platform = Platform::builder()
+///     .latency(ovlsim_core::Time::from_us(1))
+///     .bandwidth_bytes_per_sec(1.0e9)?
+///     .build();
+/// let result = Simulator::new(platform).run(&trace)?;
+/// // 1 us compute + 1 us latency + 1 us wire.
+/// assert_eq!(result.total_time(), ovlsim_core::Time::from_us(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    platform: Platform,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given platform.
+    pub fn new(platform: Platform) -> Self {
+        Simulator { platform }
+    }
+
+    /// The platform this simulator replays onto.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Replays a trace set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTrace`] if the trace fails validation and
+    /// [`SimError::Deadlock`] if replay stalls.
+    pub fn run(&self, trace: &TraceSet) -> Result<ReplayResult, SimError> {
+        self.run_observed(trace, &mut NullObserver)
+    }
+
+    /// Replays a trace set, reporting timeline happenings to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_observed(
+        &self,
+        trace: &TraceSet,
+        observer: &mut dyn ReplayObserver,
+    ) -> Result<ReplayResult, SimError> {
+        let issues = validate_trace_set(trace);
+        if !issues.is_empty() {
+            return Err(SimError::InvalidTrace { issues });
+        }
+        let mut state = ReplayState::new(&self.platform, trace);
+        state.run(observer)
+    }
+}
+
+struct ReplayState<'a> {
+    platform: &'a Platform,
+    trace: &'a TraceSet,
+    queue: EventQueue<Event>,
+    procs: Vec<Proc>,
+    transfers: Vec<Transfer>,
+    recv_posts: Vec<RecvPost>,
+    channels: BTreeMap<(u32, u32, u64), Channel>,
+    network: Network,
+    collectives: CollectiveTracker,
+    p2p_messages: u64,
+    p2p_bytes: u64,
+}
+
+impl<'a> ReplayState<'a> {
+    fn new(platform: &'a Platform, trace: &'a TraceSet) -> Self {
+        let n = trace.rank_count();
+        ReplayState {
+            platform,
+            trace,
+            queue: EventQueue::new(),
+            procs: (0..n)
+                .map(|_| Proc {
+                    cursor: 0,
+                    clock: Time::ZERO,
+                    blocked: None,
+                    block_start: Time::ZERO,
+                    coll_seq: 0,
+                    reqs: BTreeMap::new(),
+                    compute: Time::ZERO,
+                    finished: None,
+                    overhead_paid: false,
+                })
+                .collect(),
+            transfers: Vec::new(),
+            recv_posts: Vec::new(),
+            channels: BTreeMap::new(),
+            network: Network::new(platform, n),
+            collectives: CollectiveTracker::new(n),
+            p2p_messages: 0,
+            p2p_bytes: 0,
+        }
+    }
+
+    fn run(&mut self, observer: &mut dyn ReplayObserver) -> Result<ReplayResult, SimError> {
+        for r in 0..self.procs.len() {
+            self.queue.schedule(Time::ZERO, Event::Resume(r));
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Resume(r) => self.step(r, observer),
+                Event::TransferSent(id) => self.transfer_sent(id, t, observer),
+                Event::TransferDone(id) => self.transfer_done(id, t, observer),
+            }
+        }
+        // Either everyone finished, or we deadlocked.
+        let blocked: Vec<(Rank, String)> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.finished.is_none())
+            .map(|(r, p)| (Rank::new(r as u32), self.describe_blocker(p)))
+            .collect();
+        if !blocked.is_empty() {
+            let at = self
+                .procs
+                .iter()
+                .map(|p| p.clock)
+                .max()
+                .unwrap_or(Time::ZERO);
+            return Err(SimError::Deadlock { at, blocked });
+        }
+        let rank_finish: Vec<Time> = self
+            .procs
+            .iter()
+            .map(|p| p.finished.expect("all finished"))
+            .collect();
+        let total_time = rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
+        Ok(ReplayResult {
+            name: self.trace.name().to_string(),
+            total_time,
+            rank_compute: self.procs.iter().map(|p| p.compute).collect(),
+            rank_finish,
+            p2p_messages: self.p2p_messages,
+            p2p_bytes: self.p2p_bytes,
+            collective_count: self.collectives.instance_count() as u64,
+            mean_busy_buses: self.network.mean_busy_buses(total_time),
+            peak_busy_buses: self.network.peak_busy_buses(),
+            peak_waiting_transfers: self.network.peak_waiting,
+        })
+    }
+
+    fn describe_blocker(&self, p: &Proc) -> String {
+        match &p.blocked {
+            None => "runnable but starved (internal error)".to_string(),
+            Some(Blocker::Recv(pid)) => {
+                let post = &self.recv_posts[*pid];
+                format!("blocked in recv from {} {}", post.from, post.tag)
+            }
+            Some(Blocker::SendDone(tid)) => {
+                let t = &self.transfers[*tid];
+                format!("blocked in rendezvous send to {} {}", t.to, t.tag)
+            }
+            Some(Blocker::Reqs(reqs)) => format!("blocked waiting {} requests", reqs.len()),
+            Some(Blocker::Collective(seq)) => format!("blocked in collective #{seq}"),
+        }
+    }
+
+    /// Duration of a burst of `instr` instructions on this platform.
+    fn burst_duration(&self, instr: ovlsim_core::Instr) -> Time {
+        self.trace
+            .mips()
+            .instr_to_time(instr)
+            .scale_f64(1.0 / self.platform.cpu_ratio())
+    }
+
+    /// Time the transfer occupies its link/bus resources (pure
+    /// transmission; latency is flight time on top). Intra-node transfers
+    /// use the shared-memory bandwidth.
+    fn transmission_time(&self, t: &Transfer) -> Time {
+        if t.intra {
+            self.platform.intra_node_bandwidth().transfer_time(t.bytes)
+        } else {
+            self.platform.bandwidth().transfer_time(t.bytes)
+        }
+    }
+
+    /// Flight delay between "fully sent" and "arrived".
+    fn flight_time(&self, t: &Transfer) -> Time {
+        if t.intra {
+            self.platform.intra_node_latency()
+        } else if t.rendezvous {
+            self.platform.latency() + self.platform.rendezvous_latency()
+        } else {
+            self.platform.latency()
+        }
+    }
+
+    fn pump_network(&mut self, now: Time) {
+        let transfers = &self.transfers;
+        let started = self
+            .network
+            .start_eligible(now, |id| (transfers[id].from, transfers[id].to));
+        for tid in started {
+            self.transfers[tid].started_at = Some(now);
+            let dur = self.transmission_time(&self.transfers[tid]);
+            self.queue.schedule(now + dur, Event::TransferSent(tid));
+        }
+    }
+
+    /// Executes records of rank `r` until it blocks, yields, or finishes.
+    fn step(&mut self, r: usize, observer: &mut dyn ReplayObserver) {
+        debug_assert!(self.procs[r].blocked.is_none(), "stepping a blocked rank");
+        let records = self.trace.ranks()[r].records();
+        loop {
+            let cursor = self.procs[r].cursor;
+            if cursor >= records.len() {
+                let at = self.procs[r].clock;
+                self.procs[r].finished = Some(at);
+                observer.finished(Rank::new(r as u32), at);
+                return;
+            }
+            let now = self.procs[r].clock;
+            match &records[cursor] {
+                Record::Burst { instr } => {
+                    let dur = self.burst_duration(*instr);
+                    let end = now + dur;
+                    observer.interval(Rank::new(r as u32), now, end, ProcState::Compute);
+                    let p = &mut self.procs[r];
+                    p.compute += dur;
+                    p.clock = end;
+                    p.cursor += 1;
+                    self.queue.schedule(end, Event::Resume(r));
+                    return;
+                }
+                Record::Marker { code } => {
+                    observer.marker(Rank::new(r as u32), now, *code);
+                    self.procs[r].cursor += 1;
+                }
+                Record::Send { to, bytes, tag } => {
+                    // Per-message sender CPU overhead (LogGP `o`): charge
+                    // it as its own simulation step so global event order
+                    // is preserved, then process the send on resume.
+                    if self.charge_send_overhead(r, now) {
+                        return;
+                    }
+                    let rendezvous = *bytes > self.platform.eager_threshold();
+                    let kind = if rendezvous {
+                        SenderKind::Blocking
+                    } else {
+                        SenderKind::Fire
+                    };
+                    let tid = self.create_transfer(r, *to, *bytes, *tag, rendezvous, kind);
+                    self.post_send(tid, now);
+                    self.procs[r].cursor += 1;
+                    if rendezvous {
+                        let p = &mut self.procs[r];
+                        p.blocked = Some(Blocker::SendDone(tid));
+                        p.block_start = now;
+                        return;
+                    }
+                }
+                Record::ISend { to, bytes, tag, req } => {
+                    if self.charge_send_overhead(r, now) {
+                        return;
+                    }
+                    let rendezvous = *bytes > self.platform.eager_threshold();
+                    let kind = if rendezvous {
+                        SenderKind::Request(*req)
+                    } else {
+                        SenderKind::Fire
+                    };
+                    let tid = self.create_transfer(r, *to, *bytes, *tag, rendezvous, kind);
+                    let state = if rendezvous {
+                        ReqState::InFlight
+                    } else {
+                        // Eager isend: the buffer is copied out immediately.
+                        ReqState::Done(now)
+                    };
+                    self.procs[r].reqs.insert(req.get(), state);
+                    self.post_send(tid, now);
+                    self.procs[r].cursor += 1;
+                }
+                Record::Recv { from, bytes: _, tag } => {
+                    let pid = self.post_recv(r, None, *from, *tag, now);
+                    self.procs[r].cursor += 1;
+                    match self.recv_posts[pid].done {
+                        Some(done) => {
+                            // Message already arrived: proceed after the
+                            // per-message receiver overhead, yielding so
+                            // the clock never outruns the event queue.
+                            debug_assert!(done >= now);
+                            if done > now {
+                                self.procs[r].clock = done;
+                                self.queue.schedule(done, Event::Resume(r));
+                                return;
+                            }
+                        }
+                        None => {
+                            let p = &mut self.procs[r];
+                            p.blocked = Some(Blocker::Recv(pid));
+                            p.block_start = now;
+                            return;
+                        }
+                    }
+                }
+                Record::IRecv { from, bytes: _, tag, req } => {
+                    let pid = self.post_recv(r, Some(*req), *from, *tag, now);
+                    let state = match self.recv_posts[pid].done {
+                        Some(done) => ReqState::Done(done),
+                        None => ReqState::InFlight,
+                    };
+                    self.procs[r].reqs.insert(req.get(), state);
+                    self.procs[r].cursor += 1;
+                }
+                Record::Wait { req } => {
+                    if self.enter_wait(r, &[*req], now, observer) {
+                        return;
+                    }
+                }
+                Record::WaitAll { reqs } => {
+                    let reqs = reqs.clone();
+                    if self.enter_wait(r, &reqs, now, observer) {
+                        return;
+                    }
+                }
+                rec if rec.is_collective() => {
+                    let (op, bytes) = collective_op(rec).expect("checked collective");
+                    let seq = self.procs[r].coll_seq;
+                    self.procs[r].coll_seq += 1;
+                    self.procs[r].cursor += 1;
+                    match self.collectives.arrive(seq, op, bytes, now, self.platform) {
+                        Some(done) => {
+                            // Last arrival: release everyone blocked on it.
+                            for (q, proc) in self.procs.iter_mut().enumerate() {
+                                if proc.blocked == Some(Blocker::Collective(seq)) {
+                                    observer.interval(
+                                        Rank::new(q as u32),
+                                        proc.block_start,
+                                        done,
+                                        ProcState::Collective,
+                                    );
+                                    proc.blocked = None;
+                                    proc.clock = done;
+                                    self.queue.schedule(done, Event::Resume(q));
+                                }
+                            }
+                            observer.interval(Rank::new(r as u32), now, done, ProcState::Collective);
+                            self.procs[r].clock = done;
+                            self.queue.schedule(done, Event::Resume(r));
+                            return;
+                        }
+                        None => {
+                            let p = &mut self.procs[r];
+                            p.blocked = Some(Blocker::Collective(seq));
+                            p.block_start = now;
+                            return;
+                        }
+                    }
+                }
+                other => unreachable!("unhandled record {other}"),
+            }
+        }
+    }
+
+    /// Processes a wait record. Returns true if the rank blocked (caller
+    /// must return); false if all requests were already complete.
+    fn enter_wait(
+        &mut self,
+        r: usize,
+        reqs: &[RequestId],
+        now: Time,
+        observer: &mut dyn ReplayObserver,
+    ) -> bool {
+        let mut remaining: BTreeSet<u32> = BTreeSet::new();
+        let mut latest = now;
+        for req in reqs {
+            match self.procs[r].reqs.remove(&req.get()) {
+                Some(ReqState::Done(t)) => latest = latest.max(t),
+                Some(fly) => {
+                    // Keep it registered for completion bookkeeping.
+                    self.procs[r].reqs.insert(req.get(), fly);
+                    remaining.insert(req.get());
+                }
+                None => unreachable!("validated trace waits on posted requests"),
+            }
+        }
+        self.procs[r].cursor += 1;
+        if remaining.is_empty() {
+            if latest > now {
+                observer.interval(Rank::new(r as u32), now, latest, ProcState::WaitRequest);
+                self.procs[r].clock = latest;
+                self.queue.schedule(latest, Event::Resume(r));
+                return true;
+            }
+            false
+        } else {
+            let p = &mut self.procs[r];
+            p.blocked = Some(Blocker::Reqs(remaining));
+            p.block_start = now;
+            true
+        }
+    }
+
+    /// Charges the per-message sender overhead for the record at the
+    /// rank's cursor. Returns true if a resume was scheduled (the caller
+    /// must return); on the resumed call the overhead is already paid and
+    /// processing continues at the advanced clock.
+    fn charge_send_overhead(&mut self, r: usize, now: Time) -> bool {
+        let overhead = self.platform.send_overhead();
+        if overhead.is_zero() {
+            return false;
+        }
+        let p = &mut self.procs[r];
+        if p.overhead_paid {
+            p.overhead_paid = false;
+            return false;
+        }
+        p.overhead_paid = true;
+        p.clock = now + overhead;
+        let at = p.clock;
+        self.queue.schedule(at, Event::Resume(r));
+        true
+    }
+
+    fn create_transfer(
+        &mut self,
+        from: usize,
+        to: Rank,
+        bytes: u64,
+        tag: Tag,
+        rendezvous: bool,
+        sender_kind: SenderKind,
+    ) -> TransferId {
+        let tid = self.transfers.len();
+        let intra =
+            self.platform.node_of(from as u32) == self.platform.node_of(to.get());
+        self.transfers.push(Transfer {
+            from: Rank::new(from as u32),
+            to,
+            bytes,
+            tag,
+            rendezvous,
+            intra,
+            sender_kind,
+            recv: None,
+            enqueued: false,
+            started_at: None,
+            arrived: None,
+        });
+        self.p2p_messages += 1;
+        self.p2p_bytes += bytes;
+        tid
+    }
+
+    fn channel(&mut self, from: Rank, to: Rank, tag: Tag) -> &mut Channel {
+        self.channels
+            .entry((from.get(), to.get(), tag.get()))
+            .or_default()
+    }
+
+    fn post_send(&mut self, tid: TransferId, now: Time) {
+        let (from, to, tag) = {
+            let t = &self.transfers[tid];
+            (t.from, t.to, t.tag)
+        };
+        let matched = {
+            let ch = self.channel(from, to, tag);
+            match ch.unmatched_recvs.pop_front() {
+                Some(pid) => {
+                    self.transfers[tid].recv = Some(pid);
+                    self.recv_posts[pid].transfer = Some(tid);
+                    true
+                }
+                None => {
+                    ch.unmatched_sends.push_back(tid);
+                    false
+                }
+            }
+        };
+        let ready = !self.transfers[tid].rendezvous || matched;
+        if ready {
+            self.start_transfer(tid, now);
+        }
+    }
+
+    /// Starts (or enqueues) a ready transfer: intra-node transfers bypass
+    /// the network resources entirely.
+    fn start_transfer(&mut self, tid: TransferId, now: Time) {
+        debug_assert!(!self.transfers[tid].enqueued);
+        self.transfers[tid].enqueued = true;
+        if self.transfers[tid].intra {
+            self.transfers[tid].started_at = Some(now);
+            let dur = self.transmission_time(&self.transfers[tid]);
+            self.queue.schedule(now + dur, Event::TransferSent(tid));
+        } else {
+            self.network.enqueue(tid);
+            self.pump_network(now);
+        }
+    }
+
+    fn post_recv(
+        &mut self,
+        r: usize,
+        req: Option<RequestId>,
+        from: Rank,
+        tag: Tag,
+        now: Time,
+    ) -> usize {
+        let pid = self.recv_posts.len();
+        self.recv_posts.push(RecvPost {
+            rank: r,
+            req,
+            from,
+            tag,
+            transfer: None,
+            done: None,
+        });
+        let to = Rank::new(r as u32);
+        let matched = {
+            let ch = self.channel(from, to, tag);
+            match ch.unmatched_sends.pop_front() {
+                Some(tid) => Some(tid),
+                None => {
+                    ch.unmatched_recvs.push_back(pid);
+                    None
+                }
+            }
+        };
+        if let Some(tid) = matched {
+            self.transfers[tid].recv = Some(pid);
+            self.recv_posts[pid].transfer = Some(tid);
+            if let Some(_arrival) = self.transfers[tid].arrived {
+                // Eager message that already landed: the receive completes
+                // after the per-message receiver overhead.
+                self.recv_posts[pid].done = Some(now + self.platform.recv_overhead());
+            } else if !self.transfers[tid].enqueued {
+                // Rendezvous transfer waiting for this receive.
+                self.start_transfer(tid, now);
+            }
+        }
+        pid
+    }
+
+    fn complete_request(
+        &mut self,
+        r: usize,
+        req: RequestId,
+        at: Time,
+        observer: &mut dyn ReplayObserver,
+    ) {
+        // If the rank is blocked on a wait-set containing this request,
+        // shrink the set; otherwise mark the request done for a later wait.
+        let proc = &mut self.procs[r];
+        let unblock = match &mut proc.blocked {
+            Some(Blocker::Reqs(set)) if set.contains(&req.get()) => {
+                set.remove(&req.get());
+                proc.reqs.remove(&req.get());
+                set.is_empty()
+            }
+            _ => {
+                proc.reqs.insert(req.get(), ReqState::Done(at));
+                false
+            }
+        };
+        if unblock {
+            let p = &mut self.procs[r];
+            observer.interval(Rank::new(r as u32), p.block_start, at, ProcState::WaitRequest);
+            p.blocked = None;
+            p.clock = at;
+            self.queue.schedule(at, Event::Resume(r));
+        }
+    }
+
+    /// The transfer's last byte left the sender: free the resources, let
+    /// the sender proceed, and schedule the arrival one flight later.
+    fn transfer_sent(&mut self, tid: TransferId, at: Time, observer: &mut dyn ReplayObserver) {
+        let (from, to, sender_kind, intra) = {
+            let t = &self.transfers[tid];
+            (t.from, t.to, t.sender_kind, t.intra)
+        };
+        if !intra {
+            self.network.release(from, to, at);
+        }
+
+        match sender_kind {
+            SenderKind::Fire => {}
+            SenderKind::Blocking => {
+                let s = from.index();
+                debug_assert_eq!(self.procs[s].blocked, Some(Blocker::SendDone(tid)));
+                let p = &mut self.procs[s];
+                observer.interval(from, p.block_start, at, ProcState::WaitSend);
+                p.blocked = None;
+                p.clock = at;
+                self.queue.schedule(at, Event::Resume(s));
+            }
+            SenderKind::Request(req) => {
+                self.complete_request(from.index(), req, at, observer);
+            }
+        }
+
+        let flight = self.flight_time(&self.transfers[tid]);
+        self.queue.schedule(at + flight, Event::TransferDone(tid));
+        self.pump_network(at);
+    }
+
+    /// The message arrived at the receiver.
+    fn transfer_done(&mut self, tid: TransferId, at: Time, observer: &mut dyn ReplayObserver) {
+        let (from, to, bytes, tag, started, recv) = {
+            let t = &self.transfers[tid];
+            (
+                t.from,
+                t.to,
+                t.bytes,
+                t.tag,
+                t.started_at.expect("done transfers started"),
+                t.recv,
+            )
+        };
+        self.transfers[tid].arrived = Some(at);
+        observer.message(from, to, started, at, bytes, tag);
+
+        // Receiver-side notification (plus per-message receiver overhead).
+        if let Some(pid) = recv {
+            let done = at + self.platform.recv_overhead();
+            self.recv_posts[pid].done = Some(done);
+            let r = self.recv_posts[pid].rank;
+            match self.recv_posts[pid].req {
+                None => {
+                    debug_assert_eq!(self.procs[r].blocked, Some(Blocker::Recv(pid)));
+                    let p = &mut self.procs[r];
+                    observer.interval(Rank::new(r as u32), p.block_start, done, ProcState::WaitRecv);
+                    p.blocked = None;
+                    p.clock = done;
+                    self.queue.schedule(done, Event::Resume(r));
+                }
+                Some(req) => {
+                    self.complete_request(r, req, done, observer);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{Instr, MipsRate, RankTrace};
+
+    fn mips() -> MipsRate {
+        MipsRate::new(1000).unwrap()
+    }
+
+    fn platform_1us_1gb() -> Platform {
+        Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build()
+    }
+
+    fn trace(ranks: Vec<Vec<Record>>) -> TraceSet {
+        TraceSet::new(
+            "test",
+            mips(),
+            ranks.into_iter().map(RankTrace::from_records).collect(),
+        )
+    }
+
+    #[test]
+    fn lone_burst_takes_instr_over_mips() {
+        let ts = trace(vec![vec![Record::Burst { instr: Instr::new(5000) }]]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        // 5000 instr at 1000 MIPS = 5 us.
+        assert_eq!(res.total_time(), Time::from_us(5));
+        assert_eq!(res.rank_compute()[0], Time::from_us(5));
+        assert_eq!(res.comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn cpu_ratio_scales_bursts() {
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .cpu_ratio(2.0)
+            .build();
+        let ts = trace(vec![vec![Record::Burst { instr: Instr::new(5000) }]]);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        assert_eq!(res.total_time(), Time::from_us(2) + Time::from_ps(500_000));
+    }
+
+    #[test]
+    fn eager_send_recv_pair_timing() {
+        let ts = trace(vec![
+            vec![
+                Record::Burst { instr: Instr::new(1000) },
+                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+            ],
+            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+        ]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        // Sender: 1 us compute, send eager (instant locally).
+        assert_eq!(res.rank_finish()[0], Time::from_us(1));
+        // Receiver: wire starts at 1 us, 1 us latency + 1 us transfer.
+        assert_eq!(res.rank_finish()[1], Time::from_us(3));
+        assert_eq!(res.p2p_messages(), 1);
+        assert_eq!(res.p2p_bytes(), 1000);
+    }
+
+    #[test]
+    fn early_receiver_still_pays_wire_time() {
+        // Receiver posts immediately; sender computes first.
+        let ts = trace(vec![
+            vec![
+                Record::Burst { instr: Instr::new(10_000) },
+                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+            ],
+            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+        ]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        assert_eq!(res.rank_finish()[1], Time::from_us(12));
+    }
+
+    #[test]
+    fn rendezvous_waits_for_receiver() {
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .eager_threshold(100)
+            .build();
+        // 1000-byte message is rendezvous. Receiver arrives late (10 us).
+        let ts = trace(vec![
+            vec![Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) }],
+            vec![
+                Record::Burst { instr: Instr::new(10_000) },
+                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+            ],
+        ]);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        // Transfer starts at 10 us; fully sent at 11 us (sender resumes),
+        // arrives one latency later at 12 us (receiver resumes).
+        assert_eq!(res.rank_finish()[0], Time::from_us(11));
+        assert_eq!(res.rank_finish()[1], Time::from_us(12));
+    }
+
+    #[test]
+    fn eager_message_buffered_until_late_receiver() {
+        let ts = trace(vec![
+            vec![Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) }],
+            vec![
+                Record::Burst { instr: Instr::new(10_000) },
+                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+            ],
+        ]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        // Sender done immediately; wire done at 2 us; receiver computes
+        // till 10 us and finds the message there.
+        assert_eq!(res.rank_finish()[0], Time::ZERO);
+        assert_eq!(res.rank_finish()[1], Time::from_us(10));
+    }
+
+    #[test]
+    fn irecv_wait_overlaps_compute() {
+        let ts = trace(vec![
+            vec![Record::Send { to: Rank::new(1), bytes: 1_000_000, tag: Tag::new(0) }],
+            vec![
+                Record::IRecv {
+                    from: Rank::new(0),
+                    bytes: 1_000_000,
+                    tag: Tag::new(0),
+                    req: RequestId::new(0),
+                },
+                Record::Burst { instr: Instr::new(2000) },
+                Record::Wait { req: RequestId::new(0) },
+            ],
+        ]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        // Wire: 1 us latency + 1000 us transfer = 1001 us; compute 2 us
+        // overlaps fully. Receiver ends at 1001 us.
+        assert_eq!(res.rank_finish()[1], Time::from_us(1001));
+    }
+
+    #[test]
+    fn fifo_matching_same_tag() {
+        // Two messages of different sizes on one channel must match FIFO.
+        let ts = trace(vec![
+            vec![
+                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                Record::Send { to: Rank::new(1), bytes: 2000, tag: Tag::new(0) },
+            ],
+            vec![
+                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+                Record::Recv { from: Rank::new(0), bytes: 2000, tag: Tag::new(0) },
+            ],
+        ]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        // Serialized on the sender's single output link: msg1 transmits
+        // [0,1us] and lands at 2us; msg2 transmits [1us,3us], lands at 4us.
+        assert_eq!(res.rank_finish()[1], Time::from_us(4));
+    }
+
+    #[test]
+    fn single_output_link_serializes_chunks() {
+        // Four 1000-byte chunks posted back-to-back as isends.
+        let reqs: Vec<RequestId> = (0..4).map(RequestId::new).collect();
+        let mut r0: Vec<Record> = reqs
+            .iter()
+            .map(|&req| Record::ISend {
+                to: Rank::new(1),
+                bytes: 1000,
+                tag: Tag::new(req.get() as u64),
+                req,
+            })
+            .collect();
+        r0.push(Record::WaitAll { reqs: reqs.clone() });
+        let r1: Vec<Record> = reqs
+            .iter()
+            .map(|&req| Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(req.get() as u64),
+            })
+            .collect();
+        let res = Simulator::new(platform_1us_1gb())
+            .run(&trace(vec![r0, r1]))
+            .unwrap();
+        // Chunks pipeline on the out-link (1 us transmission each) with a
+        // single overlapped flight latency: chunk k lands at k+2 us, so
+        // the receiver finishes at 5 us -- not 4 x (1+1) = 8 us. This is
+        // exactly why chunking stays cheap in the Dimemas model.
+        assert_eq!(res.rank_finish()[1], Time::from_us(5));
+    }
+
+    #[test]
+    fn more_output_links_parallelize_chunks() {
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .output_links(4)
+            .input_links(4)
+            .build();
+        let reqs: Vec<RequestId> = (0..4).map(RequestId::new).collect();
+        let mut r0: Vec<Record> = reqs
+            .iter()
+            .map(|&req| Record::ISend {
+                to: Rank::new(1),
+                bytes: 1000,
+                tag: Tag::new(req.get() as u64),
+                req,
+            })
+            .collect();
+        r0.push(Record::WaitAll { reqs: reqs.clone() });
+        let r1: Vec<Record> = reqs
+            .iter()
+            .map(|&req| Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(req.get() as u64),
+            })
+            .collect();
+        let res = Simulator::new(p).run(&trace(vec![r0, r1])).unwrap();
+        // All four chunks in parallel: done at 2 us.
+        assert_eq!(res.rank_finish()[1], Time::from_us(2));
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let ts = trace(vec![
+            vec![
+                Record::Burst { instr: Instr::new(10_000) },
+                Record::Barrier,
+            ],
+            vec![Record::Burst { instr: Instr::new(1000) }, Record::Barrier],
+        ]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        // Barrier completes at 10 us (latest) + log2(2)*1 us = 11 us.
+        assert_eq!(res.rank_finish()[0], Time::from_us(11));
+        assert_eq!(res.rank_finish()[1], Time::from_us(11));
+        assert_eq!(res.collective_count(), 1);
+    }
+
+    #[test]
+    fn allreduce_cost_scales_with_ranks() {
+        let mk = |n: u32| {
+            trace(
+                (0..n)
+                    .map(|_| vec![Record::AllReduce { bytes: 1000 }])
+                    .collect(),
+            )
+        };
+        let sim = Simulator::new(platform_1us_1gb());
+        let t2 = sim.run(&mk(2)).unwrap().total_time();
+        let t8 = sim.run(&mk(8)).unwrap().total_time();
+        // 2 ranks: 2*1 stages * 2 us = 4 us; 8 ranks: 2*3 * 2 us = 12 us.
+        assert_eq!(t2, Time::from_us(4));
+        assert_eq!(t8, Time::from_us(12));
+    }
+
+    #[test]
+    fn remaining_collectives_follow_their_stage_models() {
+        // Defaults: bcast/reduce/allgather log2(p) stages, alltoall p-1.
+        let sim = Simulator::new(platform_1us_1gb());
+        let mk = |rec: Record, n: u32| {
+            trace((0..n).map(|_| vec![rec.clone()]).collect())
+        };
+        // 4 ranks, 1000 bytes, per stage 1 us latency + 1 us wire = 2 us.
+        let bcast = mk(Record::Bcast { root: Rank::new(0), bytes: 1000 }, 4);
+        assert_eq!(sim.run(&bcast).unwrap().total_time(), Time::from_us(4));
+        let reduce = mk(Record::Reduce { root: Rank::new(1), bytes: 1000 }, 4);
+        assert_eq!(sim.run(&reduce).unwrap().total_time(), Time::from_us(4));
+        let allgather = mk(Record::AllGather { bytes: 1000 }, 4);
+        assert_eq!(sim.run(&allgather).unwrap().total_time(), Time::from_us(4));
+        // alltoall: (4-1) stages * 2 us.
+        let alltoall = mk(Record::AllToAll { bytes: 1000 }, 4);
+        assert_eq!(sim.run(&alltoall).unwrap().total_time(), Time::from_us(6));
+    }
+
+    #[test]
+    fn collectives_wait_for_last_arrival() {
+        // Mixed arrival times: the barrier fires from the latest.
+        let ts = trace(vec![
+            vec![Record::Burst { instr: Instr::new(3_000) }, Record::AllGather { bytes: 1000 }],
+            vec![Record::Burst { instr: Instr::new(7_000) }, Record::AllGather { bytes: 1000 }],
+            vec![Record::AllGather { bytes: 1000 }],
+        ]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        // Last arrival 7 us + ceil(log2 3)=2 stages * 2 us = 11 us.
+        for finish in res.rank_finish() {
+            assert_eq!(*finish, Time::from_us(11));
+        }
+    }
+
+    #[test]
+    fn deadlock_detected_and_reported() {
+        // Two ranks both waiting to receive; nothing in flight.
+        let ts = trace(vec![
+            vec![Record::Recv { from: Rank::new(1), bytes: 100, tag: Tag::new(0) }],
+            vec![Record::Recv { from: Rank::new(0), bytes: 100, tag: Tag::new(0) }],
+        ]);
+        // Note: validation flags the unbalanced channels first, so build a
+        // structurally valid but deadlocking trace: cyclic rendezvous.
+        let p = Platform::builder()
+            .eager_threshold(10)
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build();
+        let cyc = trace(vec![
+            vec![
+                Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(0) },
+                Record::Recv { from: Rank::new(1), bytes: 100, tag: Tag::new(1) },
+            ],
+            vec![
+                Record::Send { to: Rank::new(0), bytes: 100, tag: Tag::new(1) },
+                Record::Recv { from: Rank::new(0), bytes: 100, tag: Tag::new(0) },
+            ],
+        ]);
+        match Simulator::new(p).run(&cyc) {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 2);
+                assert!(blocked[0].1.contains("rendezvous"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        // The unbalanced trace is rejected by validation.
+        assert!(matches!(
+            Simulator::new(platform_1us_1gb()).run(&ts),
+            Err(SimError::InvalidTrace { .. })
+        ));
+    }
+
+    #[test]
+    fn bandwidth_monotonicity() {
+        // Higher bandwidth never slows an execution down.
+        let ts = trace(vec![
+            vec![
+                Record::Burst { instr: Instr::new(1000) },
+                Record::Send { to: Rank::new(1), bytes: 100_000, tag: Tag::new(0) },
+                Record::Recv { from: Rank::new(1), bytes: 100_000, tag: Tag::new(1) },
+            ],
+            vec![
+                Record::Recv { from: Rank::new(0), bytes: 100_000, tag: Tag::new(0) },
+                Record::Burst { instr: Instr::new(1000) },
+                Record::Send { to: Rank::new(0), bytes: 100_000, tag: Tag::new(1) },
+            ],
+        ]);
+        let mut last = Time::MAX;
+        for bw in [1.0e6, 1.0e7, 1.0e8, 1.0e9, 1.0e10] {
+            let p = Platform::builder()
+                .latency(Time::from_us(1))
+                .bandwidth_bytes_per_sec(bw)
+                .unwrap()
+                .build();
+            let t = Simulator::new(p).run(&ts).unwrap().total_time();
+            assert!(t <= last, "slower at higher bandwidth {bw}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn observer_sees_intervals_and_messages() {
+        #[derive(Default)]
+        struct Counter {
+            compute: u32,
+            waits: u32,
+            messages: u32,
+            finished: u32,
+        }
+        impl ReplayObserver for Counter {
+            fn interval(&mut self, _r: Rank, _s: Time, _e: Time, state: ProcState) {
+                match state {
+                    ProcState::Compute => self.compute += 1,
+                    _ => self.waits += 1,
+                }
+            }
+            fn message(&mut self, _f: Rank, _t: Rank, _s: Time, _e: Time, _b: u64, _tag: Tag) {
+                self.messages += 1;
+            }
+            fn finished(&mut self, _r: Rank, _t: Time) {
+                self.finished += 1;
+            }
+        }
+        let ts = trace(vec![
+            vec![
+                Record::Burst { instr: Instr::new(1000) },
+                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+            ],
+            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+        ]);
+        let mut obs = Counter::default();
+        Simulator::new(platform_1us_1gb())
+            .run_observed(&ts, &mut obs)
+            .unwrap();
+        assert_eq!(obs.compute, 1);
+        assert_eq!(obs.messages, 1);
+        assert_eq!(obs.waits, 1); // the blocking recv
+        assert_eq!(obs.finished, 2);
+    }
+
+    #[test]
+    fn send_overhead_delays_sender() {
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .send_overhead(Time::from_us(3))
+            .build();
+        let ts = trace(vec![
+            vec![
+                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(1) },
+            ],
+            vec![
+                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(1) },
+            ],
+        ]);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        // Sender pays 3 us per eager send: finishes at 6 us.
+        assert_eq!(res.rank_finish()[0], Time::from_us(6));
+    }
+
+    #[test]
+    fn recv_overhead_delays_completion() {
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .recv_overhead(Time::from_us(2))
+            .build();
+        let ts = trace(vec![
+            vec![Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+        ]);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        // Arrival at 2 us + 2 us rx overhead.
+        assert_eq!(res.rank_finish()[1], Time::from_us(4));
+    }
+
+    #[test]
+    fn recv_overhead_applies_to_buffered_messages() {
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .recv_overhead(Time::from_us(2))
+            .build();
+        // Message arrives long before the receive is posted.
+        let ts = trace(vec![
+            vec![Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) }],
+            vec![
+                Record::Burst { instr: Instr::new(10_000) },
+                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+            ],
+        ]);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        assert_eq!(res.rank_finish()[1], Time::from_us(12));
+    }
+
+    #[test]
+    fn intra_node_messages_bypass_the_network() {
+        // Ranks 0 and 1 share a node: their message uses the intra-node
+        // path (500 ns latency, 10 GB/s) instead of 1 us + 1 GB/s.
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .ranks_per_node(2)
+            .intra_node_latency(Time::from_ns(500))
+            .intra_node_bandwidth(
+                ovlsim_core::Bandwidth::from_bytes_per_sec(10.0e9).unwrap(),
+            )
+            .build();
+        let ts = trace(vec![
+            vec![Record::Send { to: Rank::new(1), bytes: 10_000, tag: Tag::new(0) }],
+            vec![Record::Recv { from: Rank::new(0), bytes: 10_000, tag: Tag::new(0) }],
+        ]);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        // 10 KB at 10 GB/s = 1 us transmission + 0.5 us latency.
+        assert_eq!(res.rank_finish()[1], Time::from_ns(1500));
+        // Inter-node for comparison: 10 us transmission + 1 us latency.
+        let inter = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build();
+        let res = Simulator::new(inter).run(&ts).unwrap();
+        assert_eq!(res.rank_finish()[1], Time::from_us(11));
+    }
+
+    #[test]
+    fn shared_nic_contends_across_siblings() {
+        // Node 0 hosts ranks 0 and 1; both send to node 1 concurrently
+        // through one shared out-link: transmissions serialize.
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .ranks_per_node(2)
+            .build();
+        let ts = trace(vec![
+            vec![Record::Send { to: Rank::new(2), bytes: 10_000, tag: Tag::new(0) }],
+            vec![Record::Send { to: Rank::new(3), bytes: 10_000, tag: Tag::new(0) }],
+            vec![Record::Recv { from: Rank::new(0), bytes: 10_000, tag: Tag::new(0) }],
+            vec![Record::Recv { from: Rank::new(1), bytes: 10_000, tag: Tag::new(0) }],
+        ]);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        let finishes: Vec<Time> = res.rank_finish().to_vec();
+        // One message lands at 11 us, the other waits for the shared link
+        // and lands at 21 us.
+        let mut arrivals = vec![finishes[2], finishes[3]];
+        arrivals.sort();
+        assert_eq!(arrivals, vec![Time::from_us(11), Time::from_us(21)]);
+    }
+
+    #[test]
+    fn empty_trace_finishes_at_zero() {
+        let ts = trace(vec![vec![], vec![]]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        assert_eq!(res.total_time(), Time::ZERO);
+    }
+
+    #[test]
+    fn result_display_mentions_name() {
+        let ts = trace(vec![vec![]]);
+        let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        assert!(format!("{res}").contains("test"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the replay simulator and the text trace format.
+
+use ovlsim_core::{
+    Instr, MipsRate, Platform, Rank, RankTrace, Record, RequestId, Tag, Time, TraceSet,
+};
+use ovlsim_dimemas::{emit_trace_set, parse_trace_set, Simulator};
+use proptest::prelude::*;
+
+/// Generates an arbitrary *structurally valid* two-rank trace: rank 0
+/// sends a stream of messages interleaved with bursts; rank 1 receives
+/// them in order, interleaved with its own bursts.
+fn arb_paired_trace() -> impl Strategy<Value = TraceSet> {
+    (
+        proptest::collection::vec((1u64..500_000, 1u64..200_000), 1..20),
+        proptest::collection::vec(1u64..500_000, 1..20),
+        1u64..5_000,
+    )
+        .prop_map(|(sends, recv_bursts, mips)| {
+            let mut r0 = Vec::new();
+            let mut r1 = Vec::new();
+            for (i, (burst, bytes)) in sends.iter().enumerate() {
+                r0.push(Record::Burst { instr: Instr::new(*burst) });
+                r0.push(Record::Send {
+                    to: Rank::new(1),
+                    bytes: *bytes,
+                    tag: Tag::new(0),
+                });
+                if let Some(b) = recv_bursts.get(i % recv_bursts.len()) {
+                    r1.push(Record::Burst { instr: Instr::new(*b) });
+                }
+                r1.push(Record::Recv {
+                    from: Rank::new(0),
+                    bytes: *bytes,
+                    tag: Tag::new(0),
+                });
+            }
+            r0.push(Record::Barrier);
+            r1.push(Record::Barrier);
+            TraceSet::new(
+                "prop",
+                MipsRate::new(mips).unwrap(),
+                vec![RankTrace::from_records(r0), RankTrace::from_records(r1)],
+            )
+        })
+}
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    (
+        0u64..100,        // latency us
+        1.0e5f64..1.0e11, // bandwidth
+        prop_oneof![Just(None), (1u32..8).prop_map(Some)],
+        1u32..4,
+        0u64..1_000_000,  // eager threshold
+        0u64..20,         // overheads us
+    )
+        .prop_map(|(lat, bw, buses, links, eager, oh)| {
+            let mut b = Platform::builder();
+            b.latency(Time::from_us(lat))
+                .bandwidth_bytes_per_sec(bw)
+                .expect("positive")
+                .buses(buses)
+                .input_links(links)
+                .output_links(links)
+                .eager_threshold(eager)
+                .send_overhead(Time::from_us(oh))
+                .recv_overhead(Time::from_us(oh));
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any structurally valid paired trace replays to completion on any
+    /// platform, is deterministic, and respects the compute lower bound.
+    #[test]
+    fn replay_total(trace in arb_paired_trace(), platform in arb_platform()) {
+        let sim = Simulator::new(platform);
+        let a = sim.run(&trace).expect("valid traces replay");
+        let b = sim.run(&trace).expect("valid traces replay");
+        prop_assert_eq!(&a, &b, "replay must be deterministic");
+        for (finish, compute) in a.rank_finish().iter().zip(a.rank_compute()) {
+            prop_assert!(finish >= compute);
+        }
+        prop_assert_eq!(a.p2p_messages() as usize,
+            trace.ranks()[0].records().iter()
+                .filter(|r| matches!(r, Record::Send { .. })).count());
+    }
+
+    /// Latency monotonicity: increasing latency never speeds things up.
+    #[test]
+    fn latency_monotone(trace in arb_paired_trace(), extra_us in 1u64..1000) {
+        let base = Platform::builder().latency(Time::from_us(1)).build();
+        let slow = base.with_latency(Time::from_us(1 + extra_us));
+        let t_base = Simulator::new(base).run(&trace).unwrap().total_time();
+        let t_slow = Simulator::new(slow).run(&trace).unwrap().total_time();
+        prop_assert!(t_slow >= t_base);
+    }
+
+    /// The text format round-trips arbitrary valid traces.
+    #[test]
+    fn format_roundtrip(trace in arb_paired_trace()) {
+        let text = emit_trace_set(&trace);
+        let back = parse_trace_set(&text).expect("emitted traces parse");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Round-trip with the full record vocabulary (non-blocking ops,
+    /// collectives, markers).
+    #[test]
+    fn format_roundtrip_full_vocabulary(
+        bytes in 1u64..1_000_000,
+        code in any::<u32>(),
+        req in 0u32..1000,
+    ) {
+        let records = vec![
+            Record::Burst { instr: Instr::new(bytes) },
+            Record::ISend { to: Rank::new(1), bytes, tag: Tag::new(bytes), req: RequestId::new(req) },
+            Record::Wait { req: RequestId::new(req) },
+            Record::IRecv { from: Rank::new(1), bytes, tag: Tag::new(1), req: RequestId::new(req + 1) },
+            Record::WaitAll { reqs: vec![RequestId::new(req + 1)] },
+            Record::Barrier,
+            Record::AllReduce { bytes },
+            Record::Bcast { root: Rank::new(0), bytes },
+            Record::Reduce { root: Rank::new(1), bytes },
+            Record::AllToAll { bytes },
+            Record::AllGather { bytes },
+            Record::Marker { code },
+        ];
+        let ts = TraceSet::new(
+            "vocab",
+            MipsRate::new(1000).unwrap(),
+            vec![RankTrace::from_records(records), RankTrace::new()],
+        );
+        let back = parse_trace_set(&emit_trace_set(&ts)).expect("parses");
+        prop_assert_eq!(ts, back);
+    }
+}

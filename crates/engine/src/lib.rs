@@ -1,0 +1,40 @@
+//! Deterministic discrete-event simulation kernel for `ovlsim`.
+//!
+//! The replay simulator (`ovlsim-dimemas`) is built on three small
+//! primitives provided here:
+//!
+//! * [`EventQueue`] — a time-ordered queue with deterministic FIFO
+//!   tie-breaking and O(log n) cancellation,
+//! * [`FifoResource`] — a counted resource (network buses, node links) with
+//!   first-come-first-served granting,
+//! * [`stats`] — time-weighted utilization and scalar accumulators used for
+//!   replay statistics.
+//!
+//! # Determinism
+//!
+//! Every structure in this crate is strictly deterministic: ties in event
+//! time are broken by insertion order, resources grant strictly FIFO, and no
+//! hashing or wall-clock is involved anywhere.
+//!
+//! # Example
+//!
+//! ```
+//! use ovlsim_core::Time;
+//! use ovlsim_engine::EventQueue;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Time::from_ns(5), "late");
+//! q.schedule(Time::from_ns(1), "early");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (Time::from_ns(1), "early"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod resource;
+pub mod stats;
+
+pub use queue::{EventHandle, EventQueue};
+pub use resource::{FifoResource, ResourceToken};

@@ -1,0 +1,236 @@
+//! A deterministic, cancellable event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ovlsim_core::Time;
+
+/// Handle identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventHandle(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: Option<E>, // None = cancelled (lazily discarded on pop)
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO), which makes whole-simulation results independent
+/// of heap internals. Cancellation is lazy: a cancelled event is skipped
+/// when it reaches the front.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::Time;
+/// use ovlsim_engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// let h = q.schedule(Time::from_ns(10), 'a');
+/// q.schedule(Time::from_ns(10), 'b');
+/// q.cancel(h);
+/// assert_eq!(q.pop(), Some((Time::from_ns(10), 'b')));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    entries: Vec<Entry<E>>,
+    live: usize,
+    now: Time,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    time: Time,
+    seq: u64,
+    slot: usize,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            entries: Vec::new(),
+            live: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `event` at absolute time `at`, returning a cancellation
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time: an event
+    /// in the past indicates a logic error in the caller.
+    pub fn schedule(&mut self, at: Time, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past ({} < now {})",
+            at,
+            self.now
+        );
+        let slot = self.entries.len();
+        let seq = slot as u64;
+        self.entries.push(Entry {
+            time: at,
+            seq,
+            event: Some(event),
+        });
+        self.heap.push(Reverse(HeapKey { time: at, seq, slot }));
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns the event if it was
+    /// still pending, `None` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
+        let slot = handle.0 as usize;
+        let entry = self.entries.get_mut(slot)?;
+        let ev = entry.event.take();
+        if ev.is_some() {
+            self.live -= 1;
+        }
+        ev
+    }
+
+    /// Removes and returns the earliest live event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(Reverse(key)) = self.heap.pop() {
+            let entry = &mut self.entries[key.slot];
+            debug_assert_eq!(entry.seq, key.seq);
+            if let Some(ev) = entry.event.take() {
+                self.live -= 1;
+                self.now = entry.time;
+                return Some((entry.time, ev));
+            }
+        }
+        None
+    }
+
+    /// The time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(Reverse(key)) = self.heap.peek() {
+            if self.entries[key.slot].event.is_some() {
+                return Some(key.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(30), 3);
+        q.schedule(Time::from_ns(10), 1);
+        q.schedule(Time::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(Time::from_ns(1), 'x');
+        q.schedule(Time::from_ns(2), 'y');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancel(h1), Some('x'));
+        assert_eq!(q.len(), 1);
+        // Double cancel is a no-op.
+        assert_eq!(q.cancel(h1), None);
+        assert_eq!(q.pop(), Some((Time::from_ns(2), 'y')));
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_none() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(Time::from_ns(1), 'x');
+        assert!(q.pop().is_some());
+        assert_eq!(q.cancel(h), None);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(7), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_ns(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), ());
+        q.pop();
+        q.schedule(Time::from_ns(5), ());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(Time::from_ns(1), 'a');
+        q.schedule(Time::from_ns(2), 'b');
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(2)));
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((Time::from_ns(2), 'b')));
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), 1);
+        let (t, _) = q.pop().unwrap();
+        q.schedule(t + Time::from_ns(5), 2);
+        q.schedule(t + Time::from_ns(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

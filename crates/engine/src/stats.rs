@@ -1,0 +1,204 @@
+//! Simulation statistics: time-weighted utilization and scalar
+//! accumulators.
+
+use ovlsim_core::Time;
+
+/// Accumulates the time-weighted average of a piecewise-constant quantity
+/// (e.g. number of busy links over time).
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::Time;
+/// use ovlsim_engine::stats::TimeWeighted;
+///
+/// let mut u = TimeWeighted::new();
+/// u.record(Time::ZERO, 0.0);
+/// u.record(Time::from_ns(10), 1.0);   // value was 0 during [0,10)
+/// u.record(Time::from_ns(30), 0.0);   // value was 1 during [10,30)
+/// assert_eq!(u.mean(Time::from_ns(40)), 0.5); // 20 ns busy out of 40
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeighted {
+    last_time: Time,
+    last_value: f64,
+    weighted_sum: f64, // value × picoseconds
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Creates an accumulator at time zero with value zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the quantity changed to `value` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous record (time must be
+    /// monotone).
+    pub fn record(&mut self, at: Time, value: f64) {
+        assert!(
+            at >= self.last_time,
+            "time-weighted samples must be monotone"
+        );
+        let dt = (at - self.last_time).as_ps() as f64;
+        self.weighted_sum += self.last_value * dt;
+        self.last_time = at;
+        self.last_value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Time-weighted mean over `[0, end]`.
+    ///
+    /// Returns 0 for an empty interval.
+    pub fn mean(&self, end: Time) -> f64 {
+        if end.is_zero() {
+            return 0.0;
+        }
+        let mut sum = self.weighted_sum;
+        if end > self.last_time {
+            sum += self.last_value * (end - self.last_time).as_ps() as f64;
+        }
+        sum / end.as_ps() as f64
+    }
+
+    /// Highest value recorded.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The current (most recently recorded) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// A streaming scalar accumulator (count / sum / min / max / mean).
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_engine::stats::Scalar;
+///
+/// let mut s = Scalar::new();
+/// s.add(2.0);
+/// s.add(4.0);
+/// assert_eq!(s.mean(), Some(3.0));
+/// assert_eq!(s.min(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scalar {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Scalar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, or `None` if no samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum, or `None` if no samples.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, or `None` if no samples.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighted_mean_simple() {
+        let mut u = TimeWeighted::new();
+        u.record(Time::from_ns(10), 2.0);
+        u.record(Time::from_ns(20), 0.0);
+        // [0,10): 0, [10,20): 2, [20,40): 0 => mean = 20/40 = 0.5
+        assert_eq!(u.mean(Time::from_ns(40)), 0.5);
+        assert_eq!(u.peak(), 2.0);
+        assert_eq!(u.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_extends_last_value() {
+        let mut u = TimeWeighted::new();
+        u.record(Time::ZERO, 1.0);
+        // Constant 1 forever: mean is 1 at any horizon.
+        assert_eq!(u.mean(Time::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_interval() {
+        let u = TimeWeighted::new();
+        assert_eq!(u.mean(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn time_weighted_rejects_backwards_time() {
+        let mut u = TimeWeighted::new();
+        u.record(Time::from_ns(10), 1.0);
+        u.record(Time::from_ns(5), 2.0);
+    }
+
+    #[test]
+    fn scalar_accumulates() {
+        let mut s = Scalar::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        for v in [3.0, 1.0, 2.0] {
+            s.add(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 6.0);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn scalar_single_negative_sample() {
+        let mut s = Scalar::new();
+        s.add(-5.0);
+        assert_eq!(s.min(), Some(-5.0));
+        assert_eq!(s.max(), Some(-5.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Speedup analysis: intermediate-bandwidth location and peak extraction.
+
+use ovlsim_core::{Bandwidth, Platform};
+use ovlsim_dimemas::Simulator;
+use ovlsim_tracer::TraceBundle;
+
+use crate::error::LabError;
+use crate::sweep::SweepPoint;
+
+/// The sweep point with the highest overlapped-vs-original speedup.
+///
+/// Returns `None` for an empty sweep.
+pub fn peak_speedup(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points.iter().max_by(|a, b| {
+        a.speedup()
+            .partial_cmp(&b.speedup())
+            .expect("speedups are finite")
+    })
+}
+
+/// The sweep point whose original execution has a communication fraction
+/// closest to `target` (0.5 ≈ "time spent in communication comparable to
+/// time spent in computation", the paper's intermediate-bandwidth
+/// definition).
+///
+/// Returns `None` for an empty sweep.
+pub fn point_nearest_comm_fraction(points: &[SweepPoint], target: f64) -> Option<&SweepPoint> {
+    points.iter().min_by(|a, b| {
+        (a.comm_fraction - target)
+            .abs()
+            .partial_cmp(&(b.comm_fraction - target).abs())
+            .expect("fractions are finite")
+    })
+}
+
+/// Finds, by bisection, the bandwidth at which the *original* execution's
+/// communication fraction equals `target` (within `tol`). Communication
+/// fraction decreases monotonically with bandwidth.
+///
+/// # Errors
+///
+/// Returns [`LabError::SearchFailed`] if the target fraction is not
+/// bracketed by `[lo, hi]`.
+pub fn intermediate_bandwidth(
+    bundle: &TraceBundle,
+    base: &Platform,
+    lo: f64,
+    hi: f64,
+    target: f64,
+    tol: f64,
+) -> Result<Bandwidth, LabError> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    let frac_at = |bps: f64| -> Result<f64, LabError> {
+        let bw = Bandwidth::from_bytes_per_sec(bps)?;
+        let sim = Simulator::new(base.with_bandwidth(bw));
+        Ok(sim.run(bundle.original())?.comm_fraction())
+    };
+    let f_lo = frac_at(lo)?;
+    let f_hi = frac_at(hi)?;
+    if f_lo < target || f_hi > target {
+        return Err(LabError::SearchFailed {
+            what: format!(
+                "comm fraction {target} not bracketed: f({lo:.3e})={f_lo:.3}, f({hi:.3e})={f_hi:.3}"
+            ),
+        });
+    }
+    let (mut a, mut b) = (lo, hi);
+    for _ in 0..60 {
+        let m = (a * b).sqrt(); // geometric midpoint for a log-scaled knob
+        let fm = frac_at(m)?;
+        if (fm - target).abs() <= tol {
+            return Ok(Bandwidth::from_bytes_per_sec(m)?);
+        }
+        if fm > target {
+            a = m; // too slow: comm fraction too high => raise bandwidth
+        } else {
+            b = m;
+        }
+        if b / a < 1.0 + 1e-6 {
+            break;
+        }
+    }
+    Ok(Bandwidth::from_bytes_per_sec((a * b).sqrt())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{log_bandwidths, sweep_bundle};
+    use ovlsim_apps::Synthetic;
+    use ovlsim_core::Time;
+    use ovlsim_tracer::{OverlapMode, TracingSession};
+
+    fn bundle() -> TraceBundle {
+        let app = Synthetic::builder()
+            .ranks(4)
+            .compute_instr(1_000_000)
+            .message_bytes(262_144)
+            .iterations(2)
+            .build()
+            .unwrap();
+        TracingSession::new(&app).run().unwrap()
+    }
+
+    fn mk_point(bw: f64, orig_us: u64, ovl_us: u64, frac: f64) -> SweepPoint {
+        SweepPoint {
+            bandwidth: Bandwidth::from_bytes_per_sec(bw).unwrap(),
+            original: Time::from_us(orig_us),
+            overlapped: Time::from_us(ovl_us),
+            comm_fraction: frac,
+        }
+    }
+
+    #[test]
+    fn peak_and_nearest_selectors() {
+        let pts = vec![
+            mk_point(1e6, 100, 90, 0.8),
+            mk_point(1e7, 100, 60, 0.5),
+            mk_point(1e8, 100, 95, 0.1),
+        ];
+        assert_eq!(peak_speedup(&pts).unwrap().comm_fraction, 0.5);
+        assert_eq!(
+            point_nearest_comm_fraction(&pts, 0.45).unwrap().comm_fraction,
+            0.5
+        );
+        assert!(peak_speedup(&[]).is_none());
+    }
+
+    #[test]
+    fn intermediate_bandwidth_bisection_converges() {
+        let b = bundle();
+        let base = ovlsim_apps::calibration::reference_platform();
+        let bw = intermediate_bandwidth(&b, &base, 1.0e5, 1.0e11, 0.5, 0.02).unwrap();
+        // Verify: the found bandwidth indeed yields ~50% comm fraction.
+        let sim = Simulator::new(base.with_bandwidth(bw));
+        let frac = sim.run(b.original()).unwrap().comm_fraction();
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "comm fraction {frac} at {bw} not near 0.5"
+        );
+    }
+
+    #[test]
+    fn unbracketed_target_reported() {
+        let b = bundle();
+        let base = ovlsim_apps::calibration::reference_platform();
+        // Target comm fraction 0.99999 is not reachable at these speeds.
+        let err = intermediate_bandwidth(&b, &base, 1.0e9, 1.0e10, 0.99999, 0.001);
+        assert!(matches!(err, Err(LabError::SearchFailed { .. })));
+    }
+
+    #[test]
+    fn sweep_plus_peak_integration() {
+        let b = bundle();
+        let base = ovlsim_apps::calibration::reference_platform();
+        let bws = log_bandwidths(1.0e6, 1.0e10, 9);
+        let pts = sweep_bundle(&b, &base, OverlapMode::linear(), &bws).unwrap();
+        let peak = peak_speedup(&pts).unwrap();
+        // The peak should beat the endpoints (interior maximum).
+        assert!(peak.speedup() >= pts.first().unwrap().speedup() - 1e-12);
+        assert!(peak.speedup() >= pts.last().unwrap().speedup() - 1e-12);
+    }
+}

@@ -1,0 +1,222 @@
+//! Theoretical lower bounds and overlap efficiency.
+//!
+//! Any execution of a trace on a platform is bounded from below by:
+//!
+//! * the **compute bound** — the slowest rank's total computation (no
+//!   schedule can shrink bursts), and
+//! * the **network bound** — the busiest node's injection/extraction time:
+//!   its point-to-point bytes must cross its links at the platform
+//!   bandwidth no matter how cleverly transfers are placed.
+//!
+//! The gap between the original makespan and the larger of the two bounds
+//! is the *overlappable* time; [`OverlapBounds::efficiency`] reports how
+//! much of it a given overlapped execution actually recovered. This turns
+//! the paper's qualitative "how much can overlap help" into a normalized
+//! score usable across applications and platforms.
+
+use ovlsim_core::{Platform, Record, Time, TraceSet};
+
+/// Lower bounds for a trace on a platform, plus helpers to score an
+/// overlapped execution against them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapBounds {
+    compute_bound: Time,
+    network_bound: Time,
+}
+
+impl OverlapBounds {
+    /// Computes the bounds of `trace` on `platform`.
+    pub fn of(trace: &TraceSet, platform: &Platform) -> Self {
+        let n = trace.rank_count();
+        let mips = trace.mips();
+        let mut compute_bound = Time::ZERO;
+        // Per-node injected/extracted bytes (links are per node).
+        let nodes = n.div_ceil(platform.ranks_per_node() as usize).max(1);
+        let mut out_bytes = vec![0u64; nodes];
+        let mut in_bytes = vec![0u64; nodes];
+        for (r, rank_trace) in trace.ranks().iter().enumerate() {
+            let node = platform.node_of(r as u32) as usize;
+            let compute = mips
+                .instr_to_time(rank_trace.total_instr())
+                .scale_f64(1.0 / platform.cpu_ratio());
+            compute_bound = compute_bound.max(compute);
+            for rec in rank_trace.iter() {
+                match rec {
+                    Record::Send { to, bytes, .. } | Record::ISend { to, bytes, .. } => {
+                        // Intra-node messages bypass the network links.
+                        if platform.node_of(to.get()) as usize != node {
+                            out_bytes[node] += bytes;
+                            in_bytes[platform.node_of(to.get()) as usize] += bytes;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let busiest = out_bytes
+            .iter()
+            .map(|b| b.div_ceil(platform.output_links() as u64))
+            .chain(
+                in_bytes
+                    .iter()
+                    .map(|b| b.div_ceil(platform.input_links() as u64)),
+            )
+            .max()
+            .unwrap_or(0);
+        let network_bound = platform.bandwidth().transfer_time(busiest);
+        OverlapBounds {
+            compute_bound,
+            network_bound,
+        }
+    }
+
+    /// The slowest rank's computation time.
+    pub fn compute_bound(&self) -> Time {
+        self.compute_bound
+    }
+
+    /// The busiest node's link-transmission time.
+    pub fn network_bound(&self) -> Time {
+        self.network_bound
+    }
+
+    /// The larger of the two bounds: no schedule beats this makespan.
+    pub fn makespan_bound(&self) -> Time {
+        self.compute_bound.max(self.network_bound)
+    }
+
+    /// Fraction of the overlappable gap that an overlapped execution
+    /// recovered: `(original − overlapped) / (original − bound)`, clamped
+    /// to `[0, 1]`. Returns `None` when the original already sits at the
+    /// bound (nothing to recover).
+    pub fn efficiency(&self, original: Time, overlapped: Time) -> Option<f64> {
+        let bound = self.makespan_bound();
+        if original <= bound {
+            return None;
+        }
+        let gap = (original - bound).as_secs_f64();
+        let gained = original.saturating_sub(overlapped).as_secs_f64();
+        Some((gained / gap).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_apps::{calibration::reference_platform, NasBt};
+    use ovlsim_core::{Bandwidth, Instr, MipsRate, Rank, RankTrace, Tag};
+    use ovlsim_dimemas::Simulator;
+    use ovlsim_tracer::TracingSession;
+
+    #[test]
+    fn compute_bound_is_slowest_rank() {
+        let ts = TraceSet::new(
+            "b",
+            MipsRate::new(1000).unwrap(),
+            vec![
+                RankTrace::from_records(vec![Record::Burst { instr: Instr::new(5_000) }]),
+                RankTrace::from_records(vec![Record::Burst { instr: Instr::new(9_000) }]),
+            ],
+        );
+        let bounds = OverlapBounds::of(&ts, &Platform::default());
+        assert_eq!(bounds.compute_bound(), Time::from_us(9));
+        assert_eq!(bounds.network_bound(), Time::ZERO);
+        assert_eq!(bounds.makespan_bound(), Time::from_us(9));
+    }
+
+    #[test]
+    fn network_bound_counts_busiest_node() {
+        let p = Platform::builder()
+            .bandwidth(Bandwidth::from_bytes_per_sec(1.0e6).unwrap())
+            .build();
+        let ts = TraceSet::new(
+            "b",
+            MipsRate::new(1000).unwrap(),
+            vec![
+                RankTrace::from_records(vec![
+                    Record::Send { to: Rank::new(1), bytes: 1_000_000, tag: Tag::new(0) },
+                    Record::Send { to: Rank::new(2), bytes: 1_000_000, tag: Tag::new(0) },
+                ]),
+                RankTrace::from_records(vec![Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1_000_000,
+                    tag: Tag::new(0),
+                }]),
+                RankTrace::from_records(vec![Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1_000_000,
+                    tag: Tag::new(0),
+                }]),
+            ],
+        );
+        let bounds = OverlapBounds::of(&ts, &p);
+        // Rank 0 must inject 2 MB at 1 MB/s through one link: 2 s.
+        assert_eq!(bounds.network_bound(), Time::from_secs(2));
+    }
+
+    #[test]
+    fn intra_node_traffic_excluded_from_network_bound() {
+        let p = Platform::builder()
+            .bandwidth(Bandwidth::from_bytes_per_sec(1.0e6).unwrap())
+            .ranks_per_node(2)
+            .build();
+        let ts = TraceSet::new(
+            "b",
+            MipsRate::new(1000).unwrap(),
+            vec![
+                RankTrace::from_records(vec![Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1_000_000,
+                    tag: Tag::new(0),
+                }]),
+                RankTrace::from_records(vec![Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1_000_000,
+                    tag: Tag::new(0),
+                }]),
+            ],
+        );
+        let bounds = OverlapBounds::of(&ts, &p);
+        assert_eq!(bounds.network_bound(), Time::ZERO);
+    }
+
+    #[test]
+    fn replay_never_beats_the_bound() {
+        let app = NasBt::builder().ranks(4).iterations(2).build().unwrap();
+        let bundle = TracingSession::new(&app).run().unwrap();
+        let platform = reference_platform();
+        let bounds = OverlapBounds::of(bundle.original(), &platform);
+        let sim = Simulator::new(platform);
+        for trace in [bundle.original().clone(), bundle.overlapped_linear()] {
+            let t = sim.run(&trace).unwrap().total_time();
+            assert!(
+                t >= bounds.makespan_bound(),
+                "{} finished at {t}, below the bound {}",
+                trace.name(),
+                bounds.makespan_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_scores_overlap_quality() {
+        let app = NasBt::builder().ranks(4).iterations(2).build().unwrap();
+        let bundle = TracingSession::new(&app).run().unwrap();
+        let platform = reference_platform();
+        let bounds = OverlapBounds::of(bundle.original(), &platform);
+        let sim = Simulator::new(platform);
+        let orig = sim.run(bundle.original()).unwrap().total_time();
+        let ovl = sim.run(&bundle.overlapped_linear()).unwrap().total_time();
+        let eff = bounds
+            .efficiency(orig, ovl)
+            .expect("original is above the bound");
+        assert!(
+            (0.0..=1.0).contains(&eff),
+            "efficiency {eff} outside [0,1]"
+        );
+        // Linear-pattern overlap on BT recovers a substantial share.
+        assert!(eff > 0.4, "efficiency only {eff:.2}");
+        // Identity case: no recovery.
+        assert_eq!(bounds.efficiency(orig, orig), Some(0.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! The experiment harness of `ovlsim`: bandwidth sweeps, speedup analysis,
+//! iso-performance bandwidth search, reporting tables, and the paper's
+//! experiment suite (E1–E8).
+//!
+//! The paper's evaluation asks three questions, each answered by a module
+//! here:
+//!
+//! 1. *How much does automatic overlap help with real vs ideal patterns?*
+//!    — [`sweep`](crate::sweep_bundle) + [`peak_speedup`] (E2/E3/E4),
+//! 2. *Which half of the mechanism matters?* — mechanism ablation
+//!    ([`e6_mechanisms`]),
+//! 3. *How much network can overlap save?* — [`bandwidth_relaxation`]
+//!    (E5).
+//!
+//! # Example
+//!
+//! ```
+//! use ovlsim_apps::Synthetic;
+//! use ovlsim_lab::{log_bandwidths, sweep_bundle, peak_speedup};
+//! use ovlsim_tracer::{OverlapMode, TracingSession};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let app = Synthetic::builder().ranks(4).iterations(2).build()?;
+//! let bundle = TracingSession::new(&app).run()?;
+//! let base = ovlsim_apps::calibration::reference_platform();
+//! let points = sweep_bundle(
+//!     &bundle,
+//!     &base,
+//!     OverlapMode::linear(),
+//!     &log_bandwidths(1.0e6, 1.0e10, 7),
+//! )?;
+//! let peak = peak_speedup(&points).expect("nonempty sweep");
+//! assert!(peak.speedup() >= 1.0 - 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod bounds;
+mod error;
+mod experiments;
+mod iso;
+mod plot;
+mod sweep;
+mod table;
+
+pub use analysis::{intermediate_bandwidth, peak_speedup, point_nearest_comm_fraction};
+pub use bounds::OverlapBounds;
+pub use error::LabError;
+pub use experiments::{
+    custom_curve, e1_pipeline, e2_real_patterns, e3_ideal_speedup, e4_speedup_curves,
+    e5_bandwidth_relaxation, e6_mechanisms, e7_pattern_cdf, e8_platform_sensitivity, e9_chunk_overhead, e10_multicore,
+    find_half_comm_bandwidth, side_by_side_gantt, ExperimentReport, SWEEP_HI, SWEEP_LO,
+};
+pub use iso::{bandwidth_relaxation, min_bandwidth_for, RelaxationResult};
+pub use plot::{curve_of, render_curves, Curve, PlotOptions};
+pub use sweep::{log_bandwidths, sweep_bundle, sweep_traces, SweepPoint};
+pub use table::Table;

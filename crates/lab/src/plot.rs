@@ -1,0 +1,196 @@
+//! ASCII line plots for speedup-vs-bandwidth figures.
+//!
+//! The paper's claim-2 evidence is a family of speedup curves over a
+//! log-bandwidth axis; [`render_curves`] regenerates that figure in the
+//! terminal: one glyph per series, log-x (as given by the sweep), linear-y.
+
+use std::fmt::Write as _;
+
+use ovlsim_core::format_bandwidth;
+
+use crate::sweep::SweepPoint;
+
+/// One named curve over a shared bandwidth axis.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Series name (shown in the legend).
+    pub name: String,
+    /// Speedup values, aligned with the x-axis points.
+    pub speedups: Vec<f64>,
+}
+
+/// Options for [`render_curves`].
+#[derive(Debug, Clone)]
+pub struct PlotOptions {
+    /// Plot height in character rows.
+    pub height: usize,
+    /// Plot width (number of x columns; series are sampled/stretched to
+    /// fit).
+    pub width: usize,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            height: 16,
+            width: 64,
+        }
+    }
+}
+
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Extracts a curve from a sweep.
+pub fn curve_of(name: impl Into<String>, points: &[SweepPoint]) -> Curve {
+    Curve {
+        name: name.into(),
+        speedups: points.iter().map(SweepPoint::speedup).collect(),
+    }
+}
+
+/// Renders curves over a shared log-bandwidth axis as ASCII art.
+///
+/// # Panics
+///
+/// Panics if curves have mismatched lengths or no points.
+pub fn render_curves(
+    bandwidths: &[ovlsim_core::Bandwidth],
+    curves: &[Curve],
+    options: &PlotOptions,
+) -> String {
+    assert!(!bandwidths.is_empty(), "need at least one x point");
+    for c in curves {
+        assert_eq!(
+            c.speedups.len(),
+            bandwidths.len(),
+            "curve `{}` length mismatch",
+            c.name
+        );
+    }
+    let height = options.height.max(4);
+    let width = options.width.max(bandwidths.len());
+
+    let y_min = 1.0f64.min(
+        curves
+            .iter()
+            .flat_map(|c| c.speedups.iter().copied())
+            .fold(f64::INFINITY, f64::min),
+    );
+    let y_max = curves
+        .iter()
+        .flat_map(|c| c.speedups.iter().copied())
+        .fold(1.0f64, f64::max)
+        .max(y_min + 1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    // Baseline at speedup 1.0.
+    let row_of = |v: f64| -> usize {
+        let f = (v - y_min) / (y_max - y_min);
+        let r = ((1.0 - f) * (height - 1) as f64).round() as usize;
+        r.min(height - 1)
+    };
+    let baseline = row_of(1.0);
+    for cell in &mut grid[baseline] {
+        *cell = '-';
+    }
+    let col_of = |i: usize| -> usize {
+        if bandwidths.len() == 1 {
+            0
+        } else {
+            i * (width - 1) / (bandwidths.len() - 1)
+        }
+    };
+    for (ci, curve) in curves.iter().enumerate() {
+        let glyph = GLYPHS[ci % GLYPHS.len()];
+        for (i, &v) in curve.speedups.iter().enumerate() {
+            grid[row_of(v)][col_of(i)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>6.2}x")
+        } else if r == baseline {
+            " 1.00x".to_string()
+        } else if r == height - 1 {
+            format!("{y_min:>6.2}x")
+        } else {
+            "      ".to_string()
+        };
+        let _ = writeln!(out, "{label} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "        {} .. {} (log scale)",
+        format_bandwidth(bandwidths[0]),
+        format_bandwidth(*bandwidths.last().expect("nonempty"))
+    );
+    let _ = write!(out, "        legend:");
+    for (ci, curve) in curves.iter().enumerate() {
+        let _ = write!(out, " {}={}", GLYPHS[ci % GLYPHS.len()], curve.name);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::log_bandwidths;
+    use ovlsim_core::Time;
+
+    fn fake_points(speedups: &[f64]) -> Vec<SweepPoint> {
+        let bws = log_bandwidths(1.0e6, 1.0e9, speedups.len());
+        speedups
+            .iter()
+            .zip(bws)
+            .map(|(&s, bandwidth)| SweepPoint {
+                bandwidth,
+                original: Time::try_from_secs_f64(s).unwrap(),
+                overlapped: Time::from_secs(1),
+                comm_fraction: 0.5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plot_contains_series_and_legend() {
+        let bws = log_bandwidths(1.0e6, 1.0e9, 5);
+        let pts = fake_points(&[1.0, 1.2, 1.5, 1.2, 1.0]);
+        let curve = curve_of("test", &pts);
+        let plot = render_curves(&bws, &[curve], &PlotOptions::default());
+        assert!(plot.contains('*'));
+        assert!(plot.contains("legend: *=test"));
+        assert!(plot.contains("1.00x"));
+        assert!(plot.contains("1.50x"));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let bws = log_bandwidths(1.0e6, 1.0e9, 3);
+        let a = curve_of("a", &fake_points(&[1.0, 2.0, 1.0]));
+        let b = curve_of("b", &fake_points(&[1.5, 1.5, 1.5]));
+        let plot = render_curves(&bws, &[a, b], &PlotOptions::default());
+        assert!(plot.contains('*') && plot.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_curve_rejected() {
+        let bws = log_bandwidths(1.0e6, 1.0e9, 3);
+        let c = Curve {
+            name: "bad".into(),
+            speedups: vec![1.0],
+        };
+        render_curves(&bws, &[c], &PlotOptions::default());
+    }
+
+    #[test]
+    fn speedups_below_one_extend_axis() {
+        let bws = log_bandwidths(1.0e6, 1.0e9, 3);
+        let c = curve_of("dip", &fake_points(&[0.8, 1.0, 1.3]));
+        let plot = render_curves(&bws, &[c], &PlotOptions::default());
+        assert!(plot.contains("0.80x"));
+    }
+}

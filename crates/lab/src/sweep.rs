@@ -1,0 +1,167 @@
+//! Bandwidth sweeps: the x-axis of every figure in the paper.
+
+use ovlsim_core::{Bandwidth, Platform, Time, TraceSet};
+use ovlsim_dimemas::Simulator;
+use ovlsim_tracer::{OverlapMode, TraceBundle};
+
+use crate::error::LabError;
+
+/// `points` logarithmically spaced bandwidths covering `[lo, hi]` bytes/s
+/// inclusive.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi` and `points >= 2` (or `points == 1` with
+/// `lo == hi`).
+pub fn log_bandwidths(lo: f64, hi: f64, points: usize) -> Vec<Bandwidth> {
+    assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+    assert!(points >= 1, "need at least one point");
+    if points == 1 {
+        return vec![Bandwidth::from_bytes_per_sec(lo).expect("validated")];
+    }
+    let llo = lo.ln();
+    let lhi = hi.ln();
+    (0..points)
+        .map(|i| {
+            let f = i as f64 / (points - 1) as f64;
+            let bps = (llo + f * (lhi - llo)).exp();
+            Bandwidth::from_bytes_per_sec(bps).expect("interpolated bandwidth is positive")
+        })
+        .collect()
+}
+
+/// One measurement of original vs overlapped at a single bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The bandwidth of this measurement.
+    pub bandwidth: Bandwidth,
+    /// Makespan of the original (non-overlapped) execution.
+    pub original: Time,
+    /// Makespan of the overlapped execution.
+    pub overlapped: Time,
+    /// Fraction of rank-time the original execution spends communicating.
+    pub comm_fraction: f64,
+}
+
+impl SweepPoint {
+    /// Speedup of the overlapped over the original execution
+    /// (`original / overlapped`; > 1 means overlap wins).
+    pub fn speedup(&self) -> f64 {
+        if self.overlapped.is_zero() {
+            return 1.0;
+        }
+        self.original.as_secs_f64() / self.overlapped.as_secs_f64()
+    }
+
+    /// Speedup expressed as the paper does ("30%" = 0.30).
+    pub fn speedup_percent(&self) -> f64 {
+        (self.speedup() - 1.0) * 100.0
+    }
+}
+
+/// Replays two already-synthesized traces over a bandwidth range.
+///
+/// The traces are bandwidth-independent (the transform works in the
+/// instruction domain), so they are synthesized once by the caller and
+/// replayed per point here.
+///
+/// # Errors
+///
+/// Propagates replay errors.
+pub fn sweep_traces(
+    original: &TraceSet,
+    overlapped: &TraceSet,
+    base: &Platform,
+    bandwidths: &[Bandwidth],
+) -> Result<Vec<SweepPoint>, LabError> {
+    let mut out = Vec::with_capacity(bandwidths.len());
+    for &bw in bandwidths {
+        let platform = base.with_bandwidth(bw);
+        let sim = Simulator::new(platform);
+        let orig = sim.run(original)?;
+        let ovl = sim.run(overlapped)?;
+        out.push(SweepPoint {
+            bandwidth: bw,
+            original: orig.total_time(),
+            overlapped: ovl.total_time(),
+            comm_fraction: orig.comm_fraction(),
+        });
+    }
+    Ok(out)
+}
+
+/// Traces nothing — synthesizes the overlapped variant for `mode` from the
+/// bundle and sweeps it against the original.
+///
+/// # Errors
+///
+/// Propagates synthesis and replay errors.
+pub fn sweep_bundle(
+    bundle: &TraceBundle,
+    base: &Platform,
+    mode: OverlapMode,
+    bandwidths: &[Bandwidth],
+) -> Result<Vec<SweepPoint>, LabError> {
+    let overlapped = bundle.overlapped(mode)?;
+    sweep_traces(bundle.original(), &overlapped, base, bandwidths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_apps::{ProductionShape, Synthetic};
+    use ovlsim_tracer::TracingSession;
+
+    #[test]
+    fn log_bandwidths_cover_range() {
+        let bws = log_bandwidths(1.0e6, 1.0e9, 4);
+        assert_eq!(bws.len(), 4);
+        assert!((bws[0].bytes_per_sec() - 1.0e6).abs() < 1.0);
+        assert!((bws[3].bytes_per_sec() - 1.0e9).abs() / 1.0e9 < 1e-9);
+        // Log spacing: successive ratios equal.
+        let r1 = bws[1].bytes_per_sec() / bws[0].bytes_per_sec();
+        let r2 = bws[2].bytes_per_sec() / bws[1].bytes_per_sec();
+        assert!((r1 - r2).abs() / r1 < 1e-9);
+    }
+
+    #[test]
+    fn single_point_sweep() {
+        let bws = log_bandwidths(5.0e6, 5.0e6, 1);
+        assert_eq!(bws.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_range_rejected() {
+        log_bandwidths(1.0e9, 1.0e6, 4);
+    }
+
+    #[test]
+    fn sweep_reports_monotone_comm_fraction() {
+        // Higher bandwidth => lower communication fraction.
+        let app = Synthetic::builder()
+            .ranks(4)
+            .compute_instr(500_000)
+            .message_bytes(262_144)
+            .production(ProductionShape::Spread)
+            .iterations(2)
+            .build()
+            .unwrap();
+        let bundle = TracingSession::new(&app).run().unwrap();
+        let base = ovlsim_apps::calibration::reference_platform();
+        let bws = log_bandwidths(1.0e7, 1.0e10, 5);
+        let points =
+            sweep_bundle(&bundle, &base, ovlsim_tracer::OverlapMode::linear(), &bws).unwrap();
+        for w in points.windows(2) {
+            assert!(
+                w[1].comm_fraction <= w[0].comm_fraction + 1e-9,
+                "comm fraction should fall with bandwidth"
+            );
+            assert!(w[1].original <= w[0].original);
+        }
+        // Speedup sane.
+        for p in &points {
+            assert!(p.speedup() > 0.5 && p.speedup() < 10.0);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Element-visit orders for kernel buffer accesses.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The order in which a kernel visits the elements of a buffer.
+///
+/// The order determines the *production pattern* (for writes) or
+/// *consumption pattern* (for reads) observed by the instrumentation — the
+/// application property the paper identifies as the main limiter of
+/// automatic overlap.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_memtrace::IndexPattern;
+///
+/// assert_eq!(IndexPattern::Reverse.order(4), vec![3, 2, 1, 0]);
+/// assert_eq!(IndexPattern::Strided { stride: 2 }.order(5), vec![0, 2, 4, 1, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexPattern {
+    /// 0, 1, 2, … — the ideal sequential order assumed by Sancho et al.
+    Sequential,
+    /// n−1, n−2, … — worst case for chunked early sends.
+    Reverse,
+    /// 0, s, 2s, …, 1, s+1, … — column-major access of a row-major array.
+    Strided {
+        /// The stride between consecutive visits (≥ 1).
+        stride: usize,
+    },
+    /// A deterministic pseudo-random permutation.
+    Shuffled {
+        /// RNG seed (same seed ⇒ same order).
+        seed: u64,
+    },
+    /// An explicit order; indices must form a permutation of `0..n` when
+    /// materialized for length `n` (validated by [`IndexPattern::order`]).
+    Explicit(Vec<u32>),
+}
+
+impl IndexPattern {
+    /// Materializes the visit order for a buffer of `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Strided` has `stride == 0`, or if an `Explicit` order is
+    /// not a permutation of `0..n`.
+    pub fn order(&self, n: usize) -> Vec<usize> {
+        match self {
+            IndexPattern::Sequential => (0..n).collect(),
+            IndexPattern::Reverse => (0..n).rev().collect(),
+            IndexPattern::Strided { stride } => {
+                assert!(*stride >= 1, "stride must be >= 1");
+                let mut out = Vec::with_capacity(n);
+                for start in 0..*stride {
+                    let mut i = start;
+                    while i < n {
+                        out.push(i);
+                        i += stride;
+                    }
+                }
+                out
+            }
+            IndexPattern::Shuffled { seed } => {
+                let mut out: Vec<usize> = (0..n).collect();
+                let mut rng = StdRng::seed_from_u64(*seed);
+                out.shuffle(&mut rng);
+                out
+            }
+            IndexPattern::Explicit(indices) => {
+                assert_eq!(
+                    indices.len(),
+                    n,
+                    "explicit order has {} entries for {} elements",
+                    indices.len(),
+                    n
+                );
+                let mut seen = vec![false; n];
+                let out: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+                for &i in &out {
+                    assert!(i < n, "explicit index {i} out of range for {n} elements");
+                    assert!(!seen[i], "explicit order visits element {i} twice");
+                    seen[i] = true;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(v: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        v.len() == n
+            && v.iter().all(|&i| {
+                if i < n && !seen[i] {
+                    seen[i] = true;
+                    true
+                } else {
+                    false
+                }
+            })
+    }
+
+    #[test]
+    fn sequential_and_reverse() {
+        assert_eq!(IndexPattern::Sequential.order(3), vec![0, 1, 2]);
+        assert_eq!(IndexPattern::Reverse.order(3), vec![2, 1, 0]);
+        assert!(IndexPattern::Sequential.order(0).is_empty());
+    }
+
+    #[test]
+    fn strided_is_permutation() {
+        for stride in 1..8 {
+            for n in [0, 1, 5, 16, 17] {
+                let o = IndexPattern::Strided { stride }.order(n);
+                assert!(is_permutation(&o, n), "stride {stride} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_order_matches_column_major() {
+        // 2 strides of a 6-element buffer: evens then odds.
+        assert_eq!(
+            IndexPattern::Strided { stride: 2 }.order(6),
+            vec![0, 2, 4, 1, 3, 5]
+        );
+    }
+
+    #[test]
+    fn shuffled_deterministic_and_permutation() {
+        let a = IndexPattern::Shuffled { seed: 42 }.order(100);
+        let b = IndexPattern::Shuffled { seed: 42 }.order(100);
+        let c = IndexPattern::Shuffled { seed: 43 }.order(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(is_permutation(&a, 100));
+    }
+
+    #[test]
+    fn explicit_valid() {
+        let o = IndexPattern::Explicit(vec![2, 0, 1]).order(3);
+        assert_eq!(o, vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn explicit_duplicate_rejected() {
+        IndexPattern::Explicit(vec![0, 0, 1]).order(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_out_of_range_rejected() {
+        IndexPattern::Explicit(vec![0, 3, 1]).order(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn explicit_wrong_length_rejected() {
+        IndexPattern::Explicit(vec![0, 1]).order(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        IndexPattern::Strided { stride: 0 }.order(3);
+    }
+}

@@ -1,0 +1,434 @@
+//! The virtual instrumentation recorder.
+
+use ovlsim_core::{BufferId, Instr};
+
+use crate::kernel::{AccessKind, Kernel};
+use crate::profile::{ConsumptionProfile, ProductionProfile};
+
+/// Metadata for a registered communication buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferInfo {
+    name: String,
+    bytes: u64,
+    elem_bytes: u32,
+}
+
+impl BufferInfo {
+    /// Human-readable buffer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u32 {
+        self.elem_bytes
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        (self.bytes / self.elem_bytes as u64) as usize
+    }
+}
+
+/// Handle for a pending "first write after this instant" observation.
+///
+/// The tracing tool arms a watch on a send buffer right after a send; the
+/// first subsequent write marks where the buffer is reused, which is where
+/// the overlap transform must wait for the chunked sends to complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteWatch(usize);
+
+#[derive(Debug)]
+struct BufferState {
+    info: BufferInfo,
+    last_write: Vec<Option<Instr>>,
+    first_read: Vec<Option<Instr>>,
+}
+
+#[derive(Debug)]
+struct WatchState {
+    buffer: BufferId,
+    first_write: Option<Instr>,
+}
+
+/// The virtual instruction clock plus per-buffer load/store recording —
+/// `ovlsim`'s stand-in for "each process running on its own Valgrind
+/// virtual machine".
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::Instr;
+/// use ovlsim_memtrace::{AccessKind, IndexPattern, Kernel, MemTracer};
+///
+/// let mut mt = MemTracer::new();
+/// let buf = mt.register("face", 64, 8);
+/// mt.advance(Instr::new(100)); // opaque compute
+/// let k = Kernel::builder()
+///     .phase(Instr::new(80))
+///     .access(buf, AccessKind::Write, IndexPattern::Sequential)
+///     .build();
+/// mt.execute(&k);
+/// assert_eq!(mt.now(), Instr::new(180));
+/// let prof = mt.snapshot_production(buf);
+/// assert_eq!(prof.fully_ready_at(), Instr::new(180));
+/// ```
+#[derive(Debug, Default)]
+pub struct MemTracer {
+    buffers: Vec<BufferState>,
+    watches: Vec<WatchState>,
+    clock: Instr,
+}
+
+impl MemTracer {
+    /// Creates a recorder with clock at zero and no buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a communication buffer of `bytes` bytes with elements of
+    /// `elem_bytes` bytes (the recording granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`, `elem_bytes == 0`, or `bytes` is not a
+    /// multiple of `elem_bytes`.
+    pub fn register(&mut self, name: impl Into<String>, bytes: u64, elem_bytes: u32) -> BufferId {
+        assert!(bytes > 0, "buffer size must be positive");
+        assert!(elem_bytes > 0, "element size must be positive");
+        assert!(
+            bytes.is_multiple_of(elem_bytes as u64),
+            "buffer size {bytes} is not a multiple of element size {elem_bytes}"
+        );
+        let id = BufferId::new(self.buffers.len() as u32);
+        let elements = (bytes / elem_bytes as u64) as usize;
+        self.buffers.push(BufferState {
+            info: BufferInfo {
+                name: name.into(),
+                bytes,
+                elem_bytes,
+            },
+            last_write: vec![None; elements],
+            first_read: vec![None; elements],
+        });
+        id
+    }
+
+    /// Metadata of a registered buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was not registered with this recorder.
+    pub fn buffer_info(&self, buf: BufferId) -> &BufferInfo {
+        &self.state(buf).info
+    }
+
+    /// Number of registered buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The current virtual instruction instant.
+    pub fn now(&self) -> Instr {
+        self.clock
+    }
+
+    /// Advances the clock by `instr` without touching any buffer (opaque
+    /// computation).
+    pub fn advance(&mut self, instr: Instr) {
+        self.clock += instr;
+    }
+
+    /// Executes a kernel: advances the clock phase by phase and records
+    /// each access stream's element timestamps, uniformly spread over the
+    /// owning phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel touches an unregistered buffer or an element
+    /// range outside a buffer.
+    pub fn execute(&mut self, kernel: &Kernel) {
+        for phase in kernel.phases() {
+            let phase_start = self.clock;
+            let phase_instr = phase.instr;
+            for access in &phase.accesses {
+                let idx = access.buffer.index();
+                assert!(
+                    idx < self.buffers.len(),
+                    "kernel touches unregistered {}",
+                    access.buffer
+                );
+                let elements = self.buffers[idx].info.elements();
+                let range = access.elements.clone().unwrap_or(0..elements);
+                assert!(
+                    range.end <= elements,
+                    "access range {}..{} exceeds {} of {} elements",
+                    range.start,
+                    range.end,
+                    access.buffer,
+                    elements
+                );
+                if range.is_empty() {
+                    continue;
+                }
+                let n = range.len() as u128;
+                let order = access.pattern.order(range.len());
+                let state = &mut self.buffers[idx];
+                for (k, rel) in order.into_iter().enumerate() {
+                    let e = range.start + rel;
+                    let offset = ((k as u128 + 1) * phase_instr.get() as u128 / n) as u64;
+                    let t = phase_start + Instr::new(offset);
+                    match access.kind {
+                        AccessKind::Write => {
+                            state.last_write[e] = Some(t);
+                        }
+                        AccessKind::Read => {
+                            if state.first_read[e].is_none() {
+                                state.first_read[e] = Some(t);
+                            }
+                        }
+                    }
+                }
+                if access.kind == AccessKind::Write {
+                    // A single write in the phase suffices to trip watches;
+                    // use the earliest element timestamp in this stream.
+                    let earliest = phase_start
+                        + Instr::new(((phase_instr.get() as u128) / n) as u64);
+                    for w in &mut self.watches {
+                        if w.buffer == access.buffer && w.first_write.is_none() {
+                            w.first_write = Some(earliest);
+                        }
+                    }
+                }
+            }
+            self.clock += phase_instr;
+        }
+    }
+
+    /// Snapshots the production profile (last-write instants) of a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was not registered.
+    pub fn snapshot_production(&self, buf: BufferId) -> ProductionProfile {
+        let s = self.state(buf);
+        ProductionProfile::new(s.info.elem_bytes, s.last_write.clone())
+    }
+
+    /// Clears the first-read tracking of a buffer; called by the tracer at
+    /// each receive so the next snapshot reflects consumption *of this
+    /// message*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was not registered.
+    pub fn reset_consumption(&mut self, buf: BufferId) {
+        let idx = buf.index();
+        assert!(idx < self.buffers.len(), "unregistered {buf}");
+        self.buffers[idx].first_read.fill(None);
+    }
+
+    /// Snapshots the consumption profile (first-read instants since the
+    /// last [`MemTracer::reset_consumption`]) of a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was not registered.
+    pub fn snapshot_consumption(&self, buf: BufferId) -> ConsumptionProfile {
+        let s = self.state(buf);
+        ConsumptionProfile::new(s.info.elem_bytes, s.first_read.clone())
+    }
+
+    /// Arms a watch that reports the first write to `buf` from now on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` was not registered.
+    pub fn watch_first_write(&mut self, buf: BufferId) -> WriteWatch {
+        assert!(buf.index() < self.buffers.len(), "unregistered {buf}");
+        let id = WriteWatch(self.watches.len());
+        self.watches.push(WatchState {
+            buffer: buf,
+            first_write: None,
+        });
+        id
+    }
+
+    /// The instant of the first write observed by `watch`, if any yet.
+    pub fn watch_result(&self, watch: WriteWatch) -> Option<Instr> {
+        self.watches[watch.0].first_write
+    }
+
+    fn state(&self, buf: BufferId) -> &BufferState {
+        self.buffers
+            .get(buf.index())
+            .unwrap_or_else(|| panic!("unregistered {buf}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::IndexPattern;
+
+    #[test]
+    fn register_validates() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 64, 8);
+        assert_eq!(mt.buffer_info(b).elements(), 8);
+        assert_eq!(mt.buffer_info(b).name(), "a");
+        assert_eq!(mt.buffer_info(b).bytes(), 64);
+        assert_eq!(mt.buffer_info(b).elem_bytes(), 8);
+        assert_eq!(mt.buffer_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn misaligned_buffer_rejected() {
+        MemTracer::new().register("a", 65, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_buffer_rejected() {
+        MemTracer::new().register("a", 0, 8);
+    }
+
+    #[test]
+    fn sequential_write_timestamps_spread_over_phase() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 40, 10); // 4 elements
+        let k = Kernel::builder()
+            .phase(Instr::new(100))
+            .access(b, AccessKind::Write, IndexPattern::Sequential)
+            .build();
+        mt.execute(&k);
+        let p = mt.snapshot_production(b);
+        assert_eq!(p.element_timestamp(0), Some(Instr::new(25)));
+        assert_eq!(p.element_timestamp(1), Some(Instr::new(50)));
+        assert_eq!(p.element_timestamp(2), Some(Instr::new(75)));
+        assert_eq!(p.element_timestamp(3), Some(Instr::new(100)));
+        assert_eq!(mt.now(), Instr::new(100));
+    }
+
+    #[test]
+    fn reverse_write_means_first_element_done_last() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 4, 1);
+        let k = Kernel::builder()
+            .phase(Instr::new(100))
+            .access(b, AccessKind::Write, IndexPattern::Reverse)
+            .build();
+        mt.execute(&k);
+        let p = mt.snapshot_production(b);
+        // Element 3 visited first (t=25), element 0 last (t=100).
+        assert_eq!(p.element_timestamp(3), Some(Instr::new(25)));
+        assert_eq!(p.element_timestamp(0), Some(Instr::new(100)));
+        // First chunk (bytes 0..2) not ready until t=100.
+        assert_eq!(p.ready_at(0..2), Instr::new(100));
+    }
+
+    #[test]
+    fn first_read_sticks_until_reset() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 4, 1);
+        let read = Kernel::builder()
+            .phase(Instr::new(10))
+            .access(b, AccessKind::Read, IndexPattern::Sequential)
+            .build();
+        mt.execute(&read);
+        let first = mt.snapshot_consumption(b);
+        mt.execute(&read); // second read at later times
+        let again = mt.snapshot_consumption(b);
+        assert_eq!(first, again, "first read is sticky");
+        mt.reset_consumption(b);
+        mt.execute(&read);
+        let after = mt.snapshot_consumption(b);
+        assert!(after.first_needed_at().unwrap() > first.first_needed_at().unwrap());
+    }
+
+    #[test]
+    fn later_write_overwrites_production_time() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 4, 1);
+        let w = Kernel::builder()
+            .phase(Instr::new(100))
+            .access(b, AccessKind::Write, IndexPattern::Sequential)
+            .build();
+        mt.execute(&w);
+        mt.execute(&w);
+        let p = mt.snapshot_production(b);
+        // Second execution: element 0 written at 100 + 25.
+        assert_eq!(p.element_timestamp(0), Some(Instr::new(125)));
+    }
+
+    #[test]
+    fn subrange_access_only_touches_range() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 8, 1);
+        let k = Kernel::builder()
+            .phase(Instr::new(40))
+            .access_range(b, AccessKind::Write, IndexPattern::Sequential, Some(2..6))
+            .build();
+        mt.execute(&k);
+        let p = mt.snapshot_production(b);
+        assert_eq!(p.element_timestamp(0), None);
+        assert_eq!(p.element_timestamp(2), Some(Instr::new(10)));
+        assert_eq!(p.element_timestamp(5), Some(Instr::new(40)));
+        assert_eq!(p.element_timestamp(7), None);
+    }
+
+    #[test]
+    fn watch_reports_first_write_only_after_arming() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 4, 1);
+        let w = Kernel::builder()
+            .phase(Instr::new(100))
+            .access(b, AccessKind::Write, IndexPattern::Sequential)
+            .build();
+        mt.execute(&w);
+        let watch = mt.watch_first_write(b);
+        assert_eq!(mt.watch_result(watch), None);
+        mt.execute(&w);
+        // First write of the second execution happens at 100 + 25.
+        assert_eq!(mt.watch_result(watch), Some(Instr::new(125)));
+        // Result is sticky: further writes don't move it.
+        mt.execute(&w);
+        assert_eq!(mt.watch_result(watch), Some(Instr::new(125)));
+    }
+
+    #[test]
+    fn opaque_advance_moves_clock_only() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 4, 1);
+        mt.advance(Instr::new(500));
+        assert_eq!(mt.now(), Instr::new(500));
+        assert_eq!(mt.snapshot_production(b).fully_ready_at(), Instr::ZERO);
+    }
+
+    #[test]
+    fn zero_instruction_phase_timestamps_at_phase_start() {
+        let mut mt = MemTracer::new();
+        let b = mt.register("a", 4, 1);
+        mt.advance(Instr::new(10));
+        let k = Kernel::builder()
+            .phase(Instr::ZERO)
+            .access(b, AccessKind::Write, IndexPattern::Sequential)
+            .build();
+        mt.execute(&k);
+        let p = mt.snapshot_production(b);
+        assert_eq!(p.fully_ready_at(), Instr::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn unknown_buffer_panics() {
+        let mt = MemTracer::new();
+        mt.buffer_info(BufferId::new(3));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for access patterns and profile recording.
+
+use ovlsim_core::Instr;
+use ovlsim_memtrace::{AccessKind, IndexPattern, Kernel, MemTracer};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = IndexPattern> {
+    prop_oneof![
+        Just(IndexPattern::Sequential),
+        Just(IndexPattern::Reverse),
+        (1usize..64).prop_map(|stride| IndexPattern::Strided { stride }),
+        any::<u64>().prop_map(|seed| IndexPattern::Shuffled { seed }),
+    ]
+}
+
+proptest! {
+    /// Every pattern materializes to a permutation of 0..n.
+    #[test]
+    fn patterns_are_permutations(pattern in arb_pattern(), n in 0usize..2_000) {
+        let order = pattern.order(n);
+        prop_assert_eq!(order.len(), n);
+        let mut seen = vec![false; n];
+        for i in order {
+            prop_assert!(i < n);
+            prop_assert!(!seen[i], "index {i} visited twice");
+            seen[i] = true;
+        }
+    }
+
+    /// Recording a full-buffer write stamps every element within the
+    /// phase, with the k-th visited element at offset (k+1)·I/n, so all
+    /// timestamps lie in (start, start+I] and the max equals start+I.
+    #[test]
+    fn write_timestamps_bounded(
+        pattern in arb_pattern(),
+        elements in 1usize..500,
+        instr in 1u64..10_000_000,
+        lead in 0u64..1_000_000,
+    ) {
+        let mut mt = MemTracer::new();
+        let buf = mt.register("b", elements as u64 * 8, 8);
+        mt.advance(Instr::new(lead));
+        let k = Kernel::builder()
+            .phase(Instr::new(instr))
+            .access(buf, AccessKind::Write, pattern)
+            .build();
+        mt.execute(&k);
+        let prof = mt.snapshot_production(buf);
+        let mut max_seen = 0;
+        for e in 0..elements {
+            let t = prof.element_timestamp(e).expect("written").get();
+            prop_assert!(t > lead, "element {e} stamped at {t} before phase start {lead}");
+            prop_assert!(t <= lead + instr);
+            max_seen = max_seen.max(t);
+        }
+        prop_assert_eq!(max_seen, lead + instr, "last visit must land at phase end");
+        prop_assert_eq!(prof.fully_ready_at(), Instr::new(lead + instr));
+    }
+
+    /// The readiness CDF is monotone non-decreasing and ends at 1 when
+    /// production finishes exactly at the interval end.
+    #[test]
+    fn readiness_cdf_monotone(
+        pattern in arb_pattern(),
+        elements in 1usize..300,
+        instr in 1u64..1_000_000,
+        points in 1usize..20,
+    ) {
+        let mut mt = MemTracer::new();
+        let buf = mt.register("b", elements as u64 * 8, 8);
+        let k = Kernel::builder()
+            .phase(Instr::new(instr))
+            .access(buf, AccessKind::Write, pattern)
+            .build();
+        mt.execute(&k);
+        let prof = mt.snapshot_production(buf);
+        let cdf = prof.readiness_cdf(Instr::ZERO, Instr::new(instr), points);
+        prop_assert_eq!(cdf.len(), points);
+        for w in cdf.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "CDF not monotone: {cdf:?}");
+        }
+        prop_assert!((cdf[points - 1] - 1.0).abs() < 1e-9, "CDF must end at 1: {cdf:?}");
+    }
+
+    /// First-read consumption: the minimum over any byte range equals the
+    /// minimum over its element timestamps.
+    #[test]
+    fn consumption_min_consistent(
+        pattern in arb_pattern(),
+        elements in 1usize..300,
+        instr in 1u64..1_000_000,
+    ) {
+        let mut mt = MemTracer::new();
+        let bytes = elements as u64 * 8;
+        let buf = mt.register("b", bytes, 8);
+        let k = Kernel::builder()
+            .phase(Instr::new(instr))
+            .access(buf, AccessKind::Read, pattern)
+            .build();
+        mt.execute(&k);
+        let prof = mt.snapshot_consumption(buf);
+        let whole = prof.needed_at(0..bytes).expect("all read");
+        let per_element_min = (0..elements)
+            .filter_map(|e| prof.element_timestamp(e))
+            .min()
+            .expect("all read");
+        prop_assert_eq!(whole, per_element_min);
+    }
+}

@@ -1,0 +1,188 @@
+//! Communication statistics: per-pair traffic matrix and message-size
+//! histogram — the quantitative companion to the timeline's message
+//! arrows.
+
+use std::fmt::Write as _;
+
+use ovlsim_core::{format_bytes, Rank};
+
+use crate::timeline::Timeline;
+
+/// Aggregated point-to-point communication statistics of a timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommStats {
+    ranks: usize,
+    /// `bytes[from][to]` — total payload moved per directed pair.
+    bytes: Vec<Vec<u64>>,
+    /// `messages[from][to]` — number of wire messages (chunks count).
+    messages: Vec<Vec<u64>>,
+    /// Message sizes, power-of-two histogram: `size_hist[k]` counts
+    /// messages with `2^k <= bytes < 2^(k+1)` (`k` capped at 31).
+    size_hist: Vec<u64>,
+}
+
+impl CommStats {
+    /// Computes the statistics of a captured timeline.
+    pub fn of(timeline: &Timeline) -> Self {
+        let n = timeline.rank_count();
+        let mut bytes = vec![vec![0u64; n]; n];
+        let mut messages = vec![vec![0u64; n]; n];
+        let mut size_hist = vec![0u64; 32];
+        for m in timeline.messages() {
+            bytes[m.from.index()][m.to.index()] += m.bytes;
+            messages[m.from.index()][m.to.index()] += 1;
+            let bucket = (64 - m.bytes.max(1).leading_zeros() as usize - 1).min(31);
+            size_hist[bucket] += 1;
+        }
+        CommStats {
+            ranks: n,
+            bytes,
+            messages,
+            size_hist,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn rank_count(&self) -> usize {
+        self.ranks
+    }
+
+    /// Total bytes sent from `from` to `to`.
+    pub fn pair_bytes(&self, from: Rank, to: Rank) -> u64 {
+        self.bytes[from.index()][to.index()]
+    }
+
+    /// Number of wire messages from `from` to `to`.
+    pub fn pair_messages(&self, from: Rank, to: Rank) -> u64 {
+        self.messages[from.index()][to.index()]
+    }
+
+    /// Total bytes over all pairs.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().flatten().sum()
+    }
+
+    /// Total wire messages.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().flatten().sum()
+    }
+
+    /// Count of messages whose size falls in `[2^k, 2^(k+1))`.
+    pub fn size_bucket(&self, k: usize) -> u64 {
+        self.size_hist.get(k).copied().unwrap_or(0)
+    }
+
+    /// Renders the traffic matrix (bytes per directed pair) as an ASCII
+    /// table; `.` marks silent pairs.
+    pub fn render_matrix(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "");
+        for to in 0..self.ranks {
+            let _ = write!(out, " {:>10}", format!("->r{to}"));
+        }
+        out.push('\n');
+        for from in 0..self.ranks {
+            let _ = write!(out, "{:>6}", format!("r{from}"));
+            for to in 0..self.ranks {
+                let b = self.bytes[from][to];
+                if b == 0 {
+                    let _ = write!(out, " {:>10}", ".");
+                } else {
+                    let _ = write!(out, " {:>10}", format_bytes(b));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the message-size histogram (non-empty buckets only).
+    pub fn render_histogram(&self) -> String {
+        let peak = self.size_hist.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (k, &count) in self.size_hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let bar = "#".repeat((count * 40 / peak).max(1) as usize);
+            let _ = writeln!(
+                out,
+                "{:>10}..{:<10} {:>8} {bar}",
+                format_bytes(1 << k),
+                format_bytes((1u64 << k) * 2),
+                count
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{MipsRate, Platform, RankTrace, Record, Tag, Time, TraceSet};
+    use crate::timeline::Timeline;
+
+    fn capture() -> Timeline {
+        let trace = TraceSet::new(
+            "comms",
+            MipsRate::new(1000).unwrap(),
+            vec![
+                RankTrace::from_records(vec![
+                    Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                    Record::Send { to: Rank::new(1), bytes: 3000, tag: Tag::new(1) },
+                    Record::Send { to: Rank::new(2), bytes: 64, tag: Tag::new(2) },
+                ]),
+                RankTrace::from_records(vec![
+                    Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+                    Record::Recv { from: Rank::new(0), bytes: 3000, tag: Tag::new(1) },
+                ]),
+                RankTrace::from_records(vec![Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 64,
+                    tag: Tag::new(2),
+                }]),
+            ],
+        );
+        let platform = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build();
+        Timeline::capture(&platform, &trace).unwrap().0
+    }
+
+    #[test]
+    fn matrix_accumulates_pairs() {
+        let stats = CommStats::of(&capture());
+        assert_eq!(stats.pair_bytes(Rank::new(0), Rank::new(1)), 4000);
+        assert_eq!(stats.pair_messages(Rank::new(0), Rank::new(1)), 2);
+        assert_eq!(stats.pair_bytes(Rank::new(0), Rank::new(2)), 64);
+        assert_eq!(stats.pair_bytes(Rank::new(1), Rank::new(0)), 0);
+        assert_eq!(stats.total_bytes(), 4064);
+        assert_eq!(stats.total_messages(), 3);
+        assert_eq!(stats.rank_count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let stats = CommStats::of(&capture());
+        // 64 B -> bucket 6; 1000 -> bucket 9; 3000 -> bucket 11.
+        assert_eq!(stats.size_bucket(6), 1);
+        assert_eq!(stats.size_bucket(9), 1);
+        assert_eq!(stats.size_bucket(11), 1);
+        assert_eq!(stats.size_bucket(12), 0);
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_mark_silent_pairs() {
+        let stats = CommStats::of(&capture());
+        let matrix = stats.render_matrix();
+        assert!(matrix.contains("->r1"));
+        assert!(matrix.contains('.'));
+        assert!(matrix.contains("4.00 KB"));
+        let hist = stats.render_histogram();
+        assert_eq!(hist.lines().count(), 3);
+        assert!(hist.contains('#'));
+    }
+}

@@ -1,0 +1,202 @@
+//! ASCII Gantt rendering of timelines.
+//!
+//! The paper uses Paraver to "visually inspect the effects of overlap"; the
+//! ASCII renderer provides the same qualitative comparison in a terminal:
+//! one row per rank, one character per time bucket, the state occupying the
+//! majority of the bucket deciding the glyph.
+
+use ovlsim_core::Rank;
+use ovlsim_dimemas::ProcState;
+
+use crate::timeline::Timeline;
+
+/// Glyph used for each state in the Gantt chart.
+pub fn state_glyph(state: ProcState) -> char {
+    match state {
+        ProcState::Compute => '#',
+        ProcState::WaitRecv => 'r',
+        ProcState::WaitSend => 's',
+        ProcState::WaitRequest => 'w',
+        ProcState::Collective => 'C',
+    }
+}
+
+/// Options for [`render_gantt`].
+#[derive(Debug, Clone)]
+pub struct GanttOptions {
+    /// Number of character columns for the time axis.
+    pub width: usize,
+    /// Include the legend below the chart.
+    pub legend: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 80,
+            legend: true,
+        }
+    }
+}
+
+/// Renders a timeline as an ASCII Gantt chart.
+///
+/// Each row is one rank; each column is `span/width` of simulated time.
+/// Within a bucket the state with the largest accumulated time wins; `.`
+/// marks idle time (nothing recorded, or past the rank's finish).
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{Instr, MipsRate, Platform, RankTrace, Record, TraceSet};
+/// use ovlsim_paraver::{render_gantt, GanttOptions, Timeline};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = TraceSet::new(
+///     "g",
+///     MipsRate::new(1000)?,
+///     vec![RankTrace::from_records(vec![Record::Burst {
+///         instr: Instr::new(100),
+///     }])],
+/// );
+/// let (tl, _) = Timeline::capture(&Platform::default(), &trace)?;
+/// let chart = render_gantt(&tl, &GanttOptions { width: 10, legend: false });
+/// assert!(chart.contains("##########"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_gantt(timeline: &Timeline, options: &GanttOptions) -> String {
+    let width = options.width.max(1);
+    let span = timeline.span();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — span {}\n",
+        timeline.name(),
+        span
+    ));
+    if span.is_zero() {
+        out.push_str("(empty timeline)\n");
+        return out;
+    }
+    let bucket_ps = (span.as_ps() as f64 / width as f64).max(1.0);
+    let states = [
+        ProcState::Compute,
+        ProcState::WaitRecv,
+        ProcState::WaitSend,
+        ProcState::WaitRequest,
+        ProcState::Collective,
+    ];
+    for r in 0..timeline.rank_count() {
+        let rank = Rank::new(r as u32);
+        // Accumulate per-bucket occupancy per state.
+        let mut buckets = vec![[0.0f64; 5]; width];
+        for iv in timeline.intervals(rank) {
+            let s = iv.start.as_ps() as f64;
+            let e = iv.end.as_ps() as f64;
+            let si = states.iter().position(|st| *st == iv.state).expect("known state");
+            let first = (s / bucket_ps) as usize;
+            let last = ((e / bucket_ps).ceil() as usize).min(width);
+            for (b, bucket) in buckets.iter_mut().enumerate().take(last).skip(first) {
+                let b_start = b as f64 * bucket_ps;
+                let b_end = b_start + bucket_ps;
+                let overlap = (e.min(b_end) - s.max(b_start)).max(0.0);
+                bucket[si] += overlap;
+            }
+        }
+        let row: String = buckets
+            .iter()
+            .map(|occ| {
+                let (best, best_t) = occ
+                    .iter()
+                    .enumerate()
+                    .fold((0usize, 0.0f64), |(bi, bt), (i, &t)| {
+                        if t > bt {
+                            (i, t)
+                        } else {
+                            (bi, bt)
+                        }
+                    });
+                if best_t <= 0.0 {
+                    '.'
+                } else {
+                    state_glyph(states[best])
+                }
+            })
+            .collect();
+        out.push_str(&format!("{rank:>4} |{row}|\n"));
+    }
+    if options.legend {
+        out.push_str("legend: ");
+        for s in states {
+            out.push_str(&format!("{}={} ", state_glyph(s), s.label()));
+        }
+        out.push_str(".=idle\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{Instr, MipsRate, Platform, RankTrace, Record, Tag, Time, TraceSet};
+
+    fn capture(records: Vec<Vec<Record>>) -> Timeline {
+        let n = records.len();
+        let trace = TraceSet::new(
+            "gantt-test",
+            MipsRate::new(1000).unwrap(),
+            records.into_iter().map(RankTrace::from_records).collect(),
+        );
+        let platform = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build();
+        let (tl, _) = Timeline::capture(&platform, &trace).unwrap();
+        assert_eq!(tl.rank_count(), n);
+        tl
+    }
+
+    #[test]
+    fn compute_renders_hashes() {
+        let tl = capture(vec![vec![Record::Burst { instr: Instr::new(1000) }]]);
+        let chart = render_gantt(&tl, &GanttOptions { width: 20, legend: false });
+        assert!(chart.contains(&"#".repeat(20)));
+    }
+
+    #[test]
+    fn waiting_receiver_renders_r() {
+        let tl = capture(vec![
+            vec![
+                Record::Burst { instr: Instr::new(10_000) },
+                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+            ],
+            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+        ]);
+        let chart = render_gantt(&tl, &GanttOptions { width: 12, legend: true });
+        let lines: Vec<&str> = chart.lines().collect();
+        // Rank 0 computes, rank 1 waits.
+        assert!(lines[1].contains('#'));
+        assert!(lines[2].contains('r'));
+        assert!(chart.contains("legend:"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let tl = Timeline::new("empty", 2);
+        let chart = render_gantt(&tl, &GanttOptions::default());
+        assert!(chart.contains("(empty timeline)"));
+    }
+
+    #[test]
+    fn rows_match_rank_count() {
+        let tl = capture(vec![
+            vec![Record::Burst { instr: Instr::new(100) }],
+            vec![Record::Burst { instr: Instr::new(100) }],
+            vec![Record::Burst { instr: Instr::new(100) }],
+        ]);
+        let chart = render_gantt(&tl, &GanttOptions { width: 10, legend: false });
+        // Header + 3 rank rows.
+        assert_eq!(chart.lines().count(), 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! State profiles and timeline comparison.
+//!
+//! Quantitative companions to the Gantt view: how much time each rank (and
+//! the whole run) spends per state, and a side-by-side comparison of two
+//! executions — the paper's "compare both quantitatively and qualitatively".
+
+use std::fmt::Write as _;
+
+use ovlsim_core::{format_time, Rank, Time};
+use ovlsim_dimemas::ProcState;
+
+use crate::timeline::Timeline;
+
+const ALL_STATES: [ProcState; 5] = [
+    ProcState::Compute,
+    ProcState::WaitRecv,
+    ProcState::WaitSend,
+    ProcState::WaitRequest,
+    ProcState::Collective,
+];
+
+/// Aggregate time-per-state statistics for one timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateProfile {
+    name: String,
+    span: Time,
+    per_state: Vec<(ProcState, Time)>,
+    rank_count: usize,
+}
+
+impl StateProfile {
+    /// Computes the profile of a timeline (times summed over ranks).
+    pub fn of(timeline: &Timeline) -> Self {
+        let per_state = ALL_STATES
+            .iter()
+            .map(|&s| {
+                let total: Time = (0..timeline.rank_count())
+                    .map(|r| timeline.time_in_state(Rank::new(r as u32), s))
+                    .sum();
+                (s, total)
+            })
+            .collect();
+        StateProfile {
+            name: timeline.name().to_string(),
+            span: timeline.span(),
+            per_state,
+            rank_count: timeline.rank_count(),
+        }
+    }
+
+    /// The timeline's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The makespan.
+    pub fn span(&self) -> Time {
+        self.span
+    }
+
+    /// Total (over ranks) time in `state`.
+    pub fn time_in(&self, state: ProcState) -> Time {
+        self.per_state
+            .iter()
+            .find(|(s, _)| *s == state)
+            .map(|(_, t)| *t)
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Fraction of total rank-time spent in `state` (0 when the span is
+    /// zero).
+    pub fn fraction_in(&self, state: ProcState) -> f64 {
+        let denom = self.span.as_secs_f64() * self.rank_count as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.time_in(state).as_secs_f64() / denom
+    }
+
+    /// Parallel efficiency: fraction of rank-time spent computing.
+    pub fn efficiency(&self) -> f64 {
+        self.fraction_in(ProcState::Compute)
+    }
+}
+
+/// Renders a side-by-side comparison of two executions (typically
+/// original vs overlapped) as an ASCII table.
+pub fn compare(a: &StateProfile, b: &StateProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:>18} {:>18}", "", a.name(), b.name());
+    let _ = writeln!(
+        out,
+        "{:<14} {:>18} {:>18}",
+        "makespan",
+        format_time(a.span()),
+        format_time(b.span())
+    );
+    for s in ALL_STATES {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>18} {:>18}",
+            s.label(),
+            format!("{:.1}%", a.fraction_in(s) * 100.0),
+            format!("{:.1}%", b.fraction_in(s) * 100.0)
+        );
+    }
+    let speedup = if b.span().is_zero() {
+        f64::NAN
+    } else {
+        a.span().as_secs_f64() / b.span().as_secs_f64()
+    };
+    let _ = writeln!(out, "{:<14} {:>37.3}x", "speedup (a/b)", speedup);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{Instr, MipsRate, Platform, RankTrace, Record, Tag, TraceSet};
+
+    fn capture() -> Timeline {
+        let trace = TraceSet::new(
+            "prof",
+            MipsRate::new(1000).unwrap(),
+            vec![
+                RankTrace::from_records(vec![
+                    Record::Burst { instr: Instr::new(3000) },
+                    Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                ]),
+                RankTrace::from_records(vec![
+                    Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+                    Record::Burst { instr: Instr::new(1000) },
+                ]),
+            ],
+        );
+        let platform = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build();
+        Timeline::capture(&platform, &trace).unwrap().0
+    }
+
+    #[test]
+    fn profile_sums_over_ranks() {
+        let p = StateProfile::of(&capture());
+        // Rank 0 computes 3 us; rank 1 computes 1 us.
+        assert_eq!(p.time_in(ProcState::Compute), Time::from_us(4));
+        // Rank 1 waits for the message from t=0 to t=5 us.
+        assert_eq!(p.time_in(ProcState::WaitRecv), Time::from_us(5));
+        assert_eq!(p.span(), Time::from_us(6));
+    }
+
+    #[test]
+    fn fractions_and_efficiency() {
+        let p = StateProfile::of(&capture());
+        // 4 us compute out of 2 ranks * 6 us span.
+        assert!((p.efficiency() - 4.0 / 12.0).abs() < 1e-9);
+        assert!((p.fraction_in(ProcState::WaitRecv) - 5.0 / 12.0).abs() < 1e-9);
+        assert_eq!(p.fraction_in(ProcState::Collective), 0.0);
+    }
+
+    #[test]
+    fn comparison_table_mentions_speedup() {
+        let p = StateProfile::of(&capture());
+        let table = compare(&p, &p);
+        assert!(table.contains("speedup"));
+        assert!(table.contains("1.000x"));
+        assert!(table.contains("compute"));
+        assert!(table.contains("makespan"));
+    }
+
+    #[test]
+    fn empty_profile_is_all_zero() {
+        let tl = Timeline::new("empty", 2);
+        let p = StateProfile::of(&tl);
+        assert_eq!(p.efficiency(), 0.0);
+        assert_eq!(p.span(), Time::ZERO);
+    }
+}

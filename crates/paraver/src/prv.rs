@@ -1,0 +1,198 @@
+//! Paraver trace export.
+//!
+//! Writes the `.prv` / `.pcf` / `.row` triple understood by the Paraver
+//! visualizer referenced by the paper. Times are exported in nanoseconds.
+//!
+//! Record kinds emitted:
+//!
+//! * state records — `1:cpu:appl:task:thread:begin:end:state`
+//! * event records (markers) — `2:cpu:appl:task:thread:time:type:value`
+//! * communication records — `3:` sender coords `:logical:physical:` receiver
+//!   coords `:logical:physical:size:tag`
+
+use std::fmt::Write as _;
+
+use ovlsim_core::Time;
+use ovlsim_dimemas::ProcState;
+
+use crate::timeline::Timeline;
+
+/// Event type used for `ovlsim` markers in the `.pcf`.
+pub const MARKER_EVENT_TYPE: u32 = 90_000_001;
+
+fn ns(t: Time) -> u64 {
+    t.as_ps() / 1_000
+}
+
+/// Renders the `.prv` body for a timeline.
+///
+/// The header uses a fixed date stamp (the export is deterministic).
+pub fn to_prv(timeline: &Timeline) -> String {
+    let n = timeline.rank_count();
+    let ftime = ns(timeline.span());
+    let mut out = String::new();
+    // Header: one application with n tasks of one thread, one task per node.
+    let task_list: Vec<String> = (1..=n).map(|_| "1".to_string()).collect();
+    let _ = writeln!(
+        out,
+        "#Paraver (01/01/2010 at 00:00):{ftime}_ns:{n}({}):1:1:{n}({})",
+        vec!["1"; n].join(","),
+        task_list
+            .iter()
+            .enumerate()
+            .map(|(i, _)| format!("1:{}", i + 1))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    // State records, per rank in time order.
+    for r in 0..n {
+        let rank = ovlsim_core::Rank::new(r as u32);
+        let mut ivs = timeline.intervals(rank).to_vec();
+        ivs.sort_by_key(|iv| (iv.start, iv.end));
+        for iv in ivs {
+            let _ = writeln!(
+                out,
+                "1:{cpu}:1:{task}:1:{begin}:{end}:{state}",
+                cpu = r + 1,
+                task = r + 1,
+                begin = ns(iv.start),
+                end = ns(iv.end),
+                state = iv.state.code()
+            );
+        }
+    }
+    // Marker events.
+    for m in timeline.markers() {
+        let _ = writeln!(
+            out,
+            "2:{cpu}:1:{task}:1:{time}:{ty}:{value}",
+            cpu = m.rank.index() + 1,
+            task = m.rank.index() + 1,
+            time = ns(m.at),
+            ty = MARKER_EVENT_TYPE,
+            value = m.code
+        );
+    }
+    // Communication records.
+    for msg in timeline.messages() {
+        let _ = writeln!(
+            out,
+            "3:{scpu}:1:{stask}:1:{lsend}:{psend}:{rcpu}:1:{rtask}:1:{lrecv}:{precv}:{size}:{tag}",
+            scpu = msg.from.index() + 1,
+            stask = msg.from.index() + 1,
+            lsend = ns(msg.start),
+            psend = ns(msg.start),
+            rcpu = msg.to.index() + 1,
+            rtask = msg.to.index() + 1,
+            lrecv = ns(msg.end),
+            precv = ns(msg.end),
+            size = msg.bytes,
+            tag = msg.tag.get()
+        );
+    }
+    out
+}
+
+/// Renders the `.pcf` (semantic configuration) matching [`to_prv`].
+pub fn to_pcf() -> String {
+    let states = [
+        ProcState::Compute,
+        ProcState::WaitRecv,
+        ProcState::WaitSend,
+        ProcState::WaitRequest,
+        ProcState::Collective,
+    ];
+    let mut out = String::new();
+    out.push_str("DEFAULT_OPTIONS\n\nLEVEL               TASK\nUNITS               NANOSEC\n\n");
+    out.push_str("STATES\n0    IDLE\n");
+    for s in states {
+        let _ = writeln!(out, "{}    {}", s.code(), s.label().to_uppercase());
+    }
+    out.push_str("\nEVENT_TYPE\n");
+    let _ = writeln!(out, "9    {MARKER_EVENT_TYPE}    ovlsim marker");
+    out
+}
+
+/// Renders the `.row` (object names) file for `ranks` ranks.
+pub fn to_row(ranks: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "LEVEL TASK SIZE {ranks}");
+    for r in 0..ranks {
+        let _ = writeln!(out, "rank {r}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{Instr, MipsRate, Platform, Rank, RankTrace, Record, Tag, TraceSet};
+
+    fn capture() -> Timeline {
+        let trace = TraceSet::new(
+            "prv",
+            MipsRate::new(1000).unwrap(),
+            vec![
+                RankTrace::from_records(vec![
+                    Record::Burst { instr: Instr::new(1000) },
+                    Record::Send { to: Rank::new(1), bytes: 512, tag: Tag::new(2) },
+                    Record::Marker { code: 3 },
+                ]),
+                RankTrace::from_records(vec![Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 512,
+                    tag: Tag::new(2),
+                }]),
+            ],
+        );
+        let platform = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build();
+        Timeline::capture(&platform, &trace).unwrap().0
+    }
+
+    #[test]
+    fn prv_has_header_states_events_and_comms() {
+        let prv = to_prv(&capture());
+        let lines: Vec<&str> = prv.lines().collect();
+        assert!(lines[0].starts_with("#Paraver"));
+        assert!(lines.iter().any(|l| l.starts_with("1:1:1:1:1:")), "state record");
+        assert!(lines.iter().any(|l| l.starts_with("2:")), "event record");
+        assert!(lines.iter().any(|l| l.starts_with("3:")), "comm record");
+        // Comm record carries size and tag at the end.
+        let comm = lines.iter().find(|l| l.starts_with("3:")).unwrap();
+        assert!(comm.ends_with(":512:2"));
+    }
+
+    #[test]
+    fn prv_times_are_nanoseconds() {
+        let prv = to_prv(&capture());
+        // The compute burst is 1000 instructions at 1000 MIPS = 1000 ns.
+        assert!(prv.contains(":0:1000:1"), "missing compute state in ns: {prv}");
+    }
+
+    #[test]
+    fn pcf_lists_all_states() {
+        let pcf = to_pcf();
+        for label in ["COMPUTE", "WAIT-RECV", "WAIT-SEND", "WAIT-REQUEST", "COLLECTIVE"] {
+            assert!(pcf.contains(label), "missing {label}");
+        }
+        assert!(pcf.contains(&MARKER_EVENT_TYPE.to_string()));
+    }
+
+    #[test]
+    fn row_names_all_ranks() {
+        let row = to_row(3);
+        assert!(row.contains("SIZE 3"));
+        assert!(row.contains("rank 0") && row.contains("rank 2"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = to_prv(&capture());
+        let b = to_prv(&capture());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! The application-model interface.
+
+use ovlsim_core::MipsRate;
+
+use crate::context::TraceContext;
+use crate::error::TraceError;
+
+/// An application model traceable by the environment.
+///
+/// Implementations describe, per rank, the sequence of compute kernels and
+/// MPI operations the application performs. The tracing tool executes
+/// [`Application::run`] once per rank under virtual instrumentation — the
+/// stand-in for "each process running on its own Valgrind virtual machine".
+///
+/// Implementations must be deterministic: the trace of rank `r` may depend
+/// only on `r`, the communicator size and the model's own parameters.
+///
+/// # Example
+///
+/// A two-rank ping-pong:
+///
+/// ```
+/// use ovlsim_core::{Instr, MipsRate, Rank, Tag};
+/// use ovlsim_tracer::{Application, TraceContext, TraceError};
+///
+/// struct PingPong;
+///
+/// impl Application for PingPong {
+///     fn name(&self) -> &str { "ping-pong" }
+///     fn ranks(&self) -> usize { 2 }
+///
+///     fn run(&self, rank: Rank, ctx: &mut TraceContext) -> Result<(), TraceError> {
+///         let buf = ctx.register_buffer("payload", 1024, 8);
+///         if rank.index() == 0 {
+///             ctx.compute(Instr::new(1000));
+///             ctx.send(Rank::new(1), buf, Tag::new(0))?;
+///             ctx.recv(Rank::new(1), buf, Tag::new(1))?;
+///         } else {
+///             ctx.recv(Rank::new(0), buf, Tag::new(0))?;
+///             ctx.compute(Instr::new(1000));
+///             ctx.send(Rank::new(0), buf, Tag::new(1))?;
+///         }
+///         Ok(())
+///     }
+/// }
+///
+/// assert_eq!(PingPong.ranks(), 2);
+/// ```
+pub trait Application {
+    /// A short machine-friendly name used in trace names and reports.
+    fn name(&self) -> &str;
+
+    /// Number of ranks the application runs on (must be ≥ 1).
+    fn ranks(&self) -> usize;
+
+    /// The average MIPS rate scaling instruction counts into time
+    /// (defaults to 1000 MIPS, i.e. 1 ns per instruction).
+    fn mips(&self) -> MipsRate {
+        MipsRate::new(1000).expect("1000 MIPS is valid")
+    }
+
+    /// Executes the model for one rank, issuing compute and communication
+    /// through the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the model issues an invalid operation
+    /// (peer out of range, zero-byte message, unknown request, …).
+    fn run(&self, rank: ovlsim_core::Rank, ctx: &mut TraceContext) -> Result<(), TraceError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+
+    impl Application for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn ranks(&self) -> usize {
+            1
+        }
+        fn run(
+            &self,
+            _rank: ovlsim_core::Rank,
+            _ctx: &mut TraceContext,
+        ) -> Result<(), TraceError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_mips_is_1000() {
+        assert_eq!(Nop.mips().get(), 1000);
+    }
+}

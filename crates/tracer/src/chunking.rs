@@ -1,0 +1,307 @@
+//! Message chunking policies.
+//!
+//! Automatic overlap "partitions every original message into independent
+//! chunks". The [`ChunkingPolicy`] decides how: a fixed number of chunks per
+//! message or fixed-size chunks, with a minimum chunk size guard so tiny
+//! messages are not shredded into latency-dominated fragments.
+
+use std::fmt;
+use std::ops::Range;
+
+/// How messages are partitioned into chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Split every message into (up to) this many equal chunks.
+    FixedCount(usize),
+    /// Split every message into chunks of this many bytes (last chunk may
+    /// be smaller).
+    FixedBytes(u64),
+    /// Geometric doubling: the first chunk has this many bytes, each
+    /// following chunk twice the previous (last chunk takes the
+    /// remainder). Small leading chunks start the overlap pipeline early
+    /// while large trailing chunks amortize per-message costs — the
+    /// classic pipelining compromise.
+    Doubling(u64),
+}
+
+/// A chunking policy: the partition rule plus a minimum chunk size.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_tracer::ChunkingPolicy;
+///
+/// let policy = ChunkingPolicy::fixed_count(4);
+/// let ranges = policy.chunk_ranges(4096);
+/// assert_eq!(ranges, vec![0..1024, 1024..2048, 2048..3072, 3072..4096]);
+///
+/// // The minimum chunk size keeps tiny messages whole.
+/// assert_eq!(policy.chunk_ranges(100), vec![0..100]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkingPolicy {
+    kind: ChunkKind,
+    min_chunk_bytes: u64,
+}
+
+impl ChunkingPolicy {
+    /// Default number of chunks per message.
+    pub const DEFAULT_CHUNKS: usize = 16;
+
+    /// Default minimum chunk size in bytes.
+    pub const DEFAULT_MIN_CHUNK_BYTES: u64 = 256;
+
+    /// A policy splitting each message into (up to) `chunks` equal parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks == 0`.
+    pub fn fixed_count(chunks: usize) -> Self {
+        assert!(chunks > 0, "chunk count must be positive");
+        ChunkingPolicy {
+            kind: ChunkKind::FixedCount(chunks),
+            min_chunk_bytes: Self::DEFAULT_MIN_CHUNK_BYTES,
+        }
+    }
+
+    /// A policy splitting each message into `bytes`-sized chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn fixed_bytes(bytes: u64) -> Self {
+        assert!(bytes > 0, "chunk size must be positive");
+        ChunkingPolicy {
+            kind: ChunkKind::FixedBytes(bytes),
+            min_chunk_bytes: Self::DEFAULT_MIN_CHUNK_BYTES,
+        }
+    }
+
+    /// A policy with geometrically doubling chunk sizes starting at
+    /// `first_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_bytes == 0`.
+    pub fn doubling(first_bytes: u64) -> Self {
+        assert!(first_bytes > 0, "first chunk size must be positive");
+        ChunkingPolicy {
+            kind: ChunkKind::Doubling(first_bytes),
+            min_chunk_bytes: Self::DEFAULT_MIN_CHUNK_BYTES,
+        }
+    }
+
+    /// Overrides the minimum chunk size (messages are never split into
+    /// chunks smaller than this, except a message smaller than the minimum
+    /// forms a single chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn with_min_chunk_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "minimum chunk size must be positive");
+        self.min_chunk_bytes = bytes;
+        self
+    }
+
+    /// The partition rule.
+    pub fn kind(&self) -> &ChunkKind {
+        &self.kind
+    }
+
+    /// The minimum chunk size in bytes.
+    pub fn min_chunk_bytes(&self) -> u64 {
+        self.min_chunk_bytes
+    }
+
+    /// Number of chunks a message of `total` bytes is split into.
+    pub fn chunk_count(&self, total: u64) -> usize {
+        if total == 0 {
+            return 0;
+        }
+        let max_by_min = (total / self.min_chunk_bytes).max(1);
+        match self.kind {
+            ChunkKind::FixedCount(n) => (n as u64).min(max_by_min) as usize,
+            ChunkKind::FixedBytes(b) => {
+                let b = b.max(self.min_chunk_bytes);
+                total.div_ceil(b).max(1) as usize
+            }
+            ChunkKind::Doubling(_) => self.chunk_ranges(total).len(),
+        }
+    }
+
+    /// The byte ranges of each chunk of a `total`-byte message, in order,
+    /// covering `0..total` exactly once.
+    pub fn chunk_ranges(&self, total: u64) -> Vec<Range<u64>> {
+        if total == 0 {
+            return Vec::new();
+        }
+        match self.kind {
+            ChunkKind::FixedCount(_) => {
+                let n = self.chunk_count(total) as u64;
+                (0..n)
+                    .map(|i| {
+                        let lo = total * i / n;
+                        let hi = total * (i + 1) / n;
+                        lo..hi
+                    })
+                    .filter(|r| !r.is_empty())
+                    .collect()
+            }
+            ChunkKind::FixedBytes(b) => {
+                let b = b.max(self.min_chunk_bytes);
+                let mut out = Vec::new();
+                let mut lo = 0;
+                while lo < total {
+                    let hi = (lo + b).min(total);
+                    out.push(lo..hi);
+                    lo = hi;
+                }
+                out
+            }
+            ChunkKind::Doubling(first) => {
+                let mut size = first.max(self.min_chunk_bytes);
+                let mut out = Vec::new();
+                let mut lo = 0;
+                while lo < total {
+                    let hi = (lo + size).min(total);
+                    // Absorb a tiny remainder into the final chunk rather
+                    // than emitting a sub-minimum fragment.
+                    let hi = if total - hi < self.min_chunk_bytes { total } else { hi };
+                    out.push(lo..hi);
+                    lo = hi;
+                    size = size.saturating_mul(2);
+                }
+                out
+            }
+        }
+    }
+}
+
+impl Default for ChunkingPolicy {
+    fn default() -> Self {
+        ChunkingPolicy::fixed_count(Self::DEFAULT_CHUNKS)
+    }
+}
+
+impl fmt::Display for ChunkingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ChunkKind::FixedCount(n) => write!(f, "{} chunks (min {} B)", n, self.min_chunk_bytes),
+            ChunkKind::FixedBytes(b) => write!(f, "{} B chunks (min {} B)", b, self.min_chunk_bytes),
+            ChunkKind::Doubling(b) => {
+                write!(f, "doubling from {} B (min {} B)", b, self.min_chunk_bytes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_exactly(ranges: &[Range<u64>], total: u64) -> bool {
+        if total == 0 {
+            return ranges.is_empty();
+        }
+        if ranges.first().map(|r| r.start) != Some(0) {
+            return false;
+        }
+        if ranges.last().map(|r| r.end) != Some(total) {
+            return false;
+        }
+        ranges.windows(2).all(|w| w[0].end == w[1].start)
+    }
+
+    #[test]
+    fn fixed_count_even_split() {
+        let p = ChunkingPolicy::fixed_count(4).with_min_chunk_bytes(1);
+        assert_eq!(p.chunk_ranges(8), vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn fixed_count_uneven_split_covers_total() {
+        let p = ChunkingPolicy::fixed_count(3).with_min_chunk_bytes(1);
+        let r = p.chunk_ranges(10);
+        assert_eq!(r.len(), 3);
+        assert!(covers_exactly(&r, 10));
+    }
+
+    #[test]
+    fn min_chunk_size_limits_count() {
+        let p = ChunkingPolicy::fixed_count(16).with_min_chunk_bytes(100);
+        // 300 bytes can support at most 3 chunks of >= 100 bytes.
+        assert_eq!(p.chunk_count(300), 3);
+        assert!(covers_exactly(&p.chunk_ranges(300), 300));
+        // A tiny message forms a single chunk.
+        assert_eq!(p.chunk_ranges(50), vec![0..50]);
+    }
+
+    #[test]
+    fn fixed_bytes_split() {
+        let p = ChunkingPolicy::fixed_bytes(100).with_min_chunk_bytes(1);
+        let r = p.chunk_ranges(250);
+        assert_eq!(r, vec![0..100, 100..200, 200..250]);
+        assert_eq!(p.chunk_count(250), 3);
+    }
+
+    #[test]
+    fn fixed_bytes_respects_min() {
+        let p = ChunkingPolicy::fixed_bytes(10).with_min_chunk_bytes(64);
+        let r = p.chunk_ranges(200);
+        // Chunk size raised to the 64-byte minimum.
+        assert_eq!(r, vec![0..64, 64..128, 128..192, 192..200]);
+    }
+
+    #[test]
+    fn zero_total_gives_no_chunks() {
+        assert!(ChunkingPolicy::default().chunk_ranges(0).is_empty());
+        assert_eq!(ChunkingPolicy::default().chunk_count(0), 0);
+    }
+
+    #[test]
+    fn doubling_grows_geometrically() {
+        let p = ChunkingPolicy::doubling(100).with_min_chunk_bytes(1);
+        let r = p.chunk_ranges(1500);
+        // 100, 200, 400, 800 would exceed; last chunk takes the rest.
+        assert_eq!(r, vec![0..100, 100..300, 300..700, 700..1500]);
+        assert_eq!(p.chunk_count(1500), 4);
+    }
+
+    #[test]
+    fn doubling_absorbs_tiny_remainder() {
+        let p = ChunkingPolicy::doubling(100).with_min_chunk_bytes(50);
+        // 100 + 200 = 300, remainder 30 < min: absorbed into chunk 2.
+        let r = p.chunk_ranges(330);
+        assert_eq!(r, vec![0..100, 100..330]);
+    }
+
+    #[test]
+    fn coverage_over_many_sizes() {
+        for total in [1u64, 2, 7, 255, 256, 257, 4096, 1_000_003] {
+            for p in [
+                ChunkingPolicy::fixed_count(1),
+                ChunkingPolicy::fixed_count(7),
+                ChunkingPolicy::default(),
+                ChunkingPolicy::fixed_bytes(777),
+                ChunkingPolicy::doubling(64),
+            ] {
+                let r = p.chunk_ranges(total);
+                assert!(covers_exactly(&r, total), "{p} total={total}");
+                assert!(r.iter().all(|c| !c.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_count_rejected() {
+        ChunkingPolicy::fixed_count(0);
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        assert!(format!("{}", ChunkingPolicy::fixed_count(8)).contains('8'));
+        assert!(format!("{}", ChunkingPolicy::fixed_bytes(512)).contains("512"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Tracing errors.
+
+use std::error::Error;
+use std::fmt;
+
+use ovlsim_core::{Rank, TraceIssue};
+
+/// Errors produced while tracing an application or transforming its trace.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The application declared an invalid rank count.
+    InvalidRankCount(usize),
+    /// A rank referenced a peer outside the communicator.
+    PeerOutOfRange {
+        /// The rank that issued the operation.
+        rank: Rank,
+        /// The referenced peer.
+        peer: Rank,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A rank attempted to communicate with itself.
+    SelfMessage {
+        /// The offending rank.
+        rank: Rank,
+    },
+    /// A zero-byte message was issued (not supported by the model).
+    EmptyMessage {
+        /// The offending rank.
+        rank: Rank,
+    },
+    /// A wait was issued for a request that is not outstanding.
+    UnknownRequest {
+        /// The offending rank.
+        rank: Rank,
+    },
+    /// Some requests were still outstanding when the rank finished.
+    DanglingRequests {
+        /// The offending rank.
+        rank: Rank,
+        /// Number of unwaited requests.
+        count: usize,
+    },
+    /// The generated trace set failed structural validation.
+    InvalidTrace {
+        /// Name of the trace variant that failed.
+        variant: String,
+        /// The first few issues found.
+        issues: Vec<TraceIssue>,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidRankCount(n) => {
+                write!(f, "application must declare at least one rank, got {n}")
+            }
+            TraceError::PeerOutOfRange { rank, peer, size } => {
+                write!(f, "{rank} references peer {peer} outside communicator of {size}")
+            }
+            TraceError::SelfMessage { rank } => {
+                write!(f, "{rank} attempted to send a message to itself")
+            }
+            TraceError::EmptyMessage { rank } => {
+                write!(f, "{rank} issued a zero-byte message")
+            }
+            TraceError::UnknownRequest { rank } => {
+                write!(f, "{rank} waited on a request that is not outstanding")
+            }
+            TraceError::DanglingRequests { rank, count } => {
+                write!(f, "{rank} finished with {count} unwaited requests")
+            }
+            TraceError::InvalidTrace { variant, issues } => {
+                write!(f, "trace variant `{variant}` failed validation: ")?;
+                for (i, issue) in issues.iter().take(3).enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{issue}")?;
+                }
+                if issues.len() > 3 {
+                    write!(f, "; … and {} more", issues.len() - 3)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceError::PeerOutOfRange {
+            rank: Rank::new(1),
+            peer: Rank::new(9),
+            size: 4,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("r1") && s.contains("r9") && s.contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<TraceError>();
+    }
+}

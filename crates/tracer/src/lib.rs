@@ -1,0 +1,39 @@
+//! The tracing tool of `ovlsim`: runs an application model under virtual
+//! instrumentation and generates the original plus overlapped traces.
+//!
+//! Mirrors the tool described in §II of the paper: "The tool traces the
+//! original application and extracts the trace of the original
+//! (non-overlapped) execution, while at the same time, it generates what
+//! would be the trace of the potential (overlapped) execution."
+//!
+//! * [`Application`] — the model interface ("an MPI application executes in
+//!   parallel, with each process running on its own Valgrind virtual
+//!   machine" — here, each rank runs once under a [`TraceContext`]),
+//! * [`TraceContext`] — records bursts, p2p and collective operations, and
+//!   drives the memory instrumentation,
+//! * [`ChunkingPolicy`] — how messages are partitioned into chunks,
+//! * [`overlap_rank`]/[`OverlapMode`] — the transform that injects partial
+//!   sends at production points and partial waits at consumption points,
+//!   for real or linear patterns and for each mechanism subset,
+//! * [`TracingSession`]/[`TraceBundle`] — one-call orchestration producing
+//!   every trace variant from a single traced run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod chunking;
+mod context;
+mod error;
+mod session;
+mod transform;
+
+pub use app::Application;
+pub use chunking::{ChunkKind, ChunkingPolicy};
+pub use context::{RankMeta, RecvHandle, RecvMeta, SendHandle, SendMeta, TraceContext};
+pub use error::TraceError;
+pub use session::{TraceBundle, TracingSession};
+pub use transform::{
+    chunk_tag, overlap_rank, Mechanisms, OverlapMode, PatternSource, MAX_APP_TAG,
+    MAX_CHANNEL_SEQ, MAX_CHUNKS_PER_MESSAGE,
+};

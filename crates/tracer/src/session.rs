@@ -1,0 +1,447 @@
+//! The tracing session: runs an application under instrumentation and
+//! produces the full family of traces.
+//!
+//! Mirrors the paper's tool, which "from a single real run … generates
+//! various Dimemas traces – one non-overlapped (original) and several
+//! overlapped (potential), each of them addressing different overlapping
+//! mechanism".
+
+use std::collections::BTreeMap;
+
+use ovlsim_core::{validate_trace_set, MipsRate, Rank, RankTrace, Record, Tag, TraceSet};
+
+use crate::app::Application;
+use crate::chunking::ChunkingPolicy;
+use crate::context::{RankMeta, TraceContext};
+use crate::error::TraceError;
+use crate::transform::{overlap_rank, OverlapMode};
+
+/// A traced application: the original trace plus everything needed to
+/// synthesize overlapped variants.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    name: String,
+    mips: MipsRate,
+    original: TraceSet,
+    metas: Vec<RankMeta>,
+    send_chunkable: Vec<Vec<bool>>,
+    recv_chunkable: Vec<Vec<bool>>,
+    policy: ChunkingPolicy,
+}
+
+impl TraceBundle {
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The non-overlapped (original) trace.
+    pub fn original(&self) -> &TraceSet {
+        &self.original
+    }
+
+    /// Per-rank message metadata (production/consumption profiles).
+    pub fn metas(&self) -> &[RankMeta] {
+        &self.metas
+    }
+
+    /// The chunking policy used for overlapped variants.
+    pub fn policy(&self) -> &ChunkingPolicy {
+        &self.policy
+    }
+
+    /// Synthesizes the overlapped trace for `mode` with the bundle's
+    /// chunking policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidTrace`] if the synthesized trace fails
+    /// structural validation (indicates a transform bug; should not happen
+    /// for traces produced by [`TracingSession`]).
+    pub fn overlapped(&self, mode: OverlapMode) -> Result<TraceSet, TraceError> {
+        self.overlapped_with(mode, &self.policy)
+    }
+
+    /// Synthesizes the overlapped trace for `mode` with an explicit
+    /// chunking policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceBundle::overlapped`].
+    pub fn overlapped_with(
+        &self,
+        mode: OverlapMode,
+        policy: &ChunkingPolicy,
+    ) -> Result<TraceSet, TraceError> {
+        let ranks: Vec<RankTrace> = self
+            .original
+            .ranks()
+            .iter()
+            .enumerate()
+            .map(|(r, trace)| {
+                RankTrace::from_records(overlap_rank(
+                    trace.records(),
+                    &self.metas[r],
+                    &self.send_chunkable[r],
+                    &self.recv_chunkable[r],
+                    policy,
+                    mode,
+                ))
+            })
+            .collect();
+        let name = format!("{}.{}", self.name, mode.label());
+        let ts = TraceSet::new(name.clone(), self.mips, ranks);
+        let issues = validate_trace_set(&ts);
+        if !issues.is_empty() {
+            return Err(TraceError::InvalidTrace {
+                variant: name,
+                issues,
+            });
+        }
+        Ok(ts)
+    }
+
+    /// Convenience: full overlap with real (measured) patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails validation (transform bug).
+    pub fn overlapped_real(&self) -> TraceSet {
+        self.overlapped(OverlapMode::real())
+            .expect("real-pattern overlap must validate")
+    }
+
+    /// Convenience: full overlap with linear (ideal) patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails validation (transform bug).
+    pub fn overlapped_linear(&self) -> TraceSet {
+        self.overlapped(OverlapMode::linear())
+            .expect("linear-pattern overlap must validate")
+    }
+}
+
+/// Runs an [`Application`] under the tracing tool.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{Instr, Rank, Tag};
+/// use ovlsim_tracer::{Application, TraceContext, TraceError, TracingSession};
+///
+/// struct OneShot;
+/// impl Application for OneShot {
+///     fn name(&self) -> &str { "one-shot" }
+///     fn ranks(&self) -> usize { 2 }
+///     fn run(&self, rank: Rank, ctx: &mut TraceContext) -> Result<(), TraceError> {
+///         let buf = ctx.register_buffer("x", 4096, 8);
+///         if rank.index() == 0 {
+///             ctx.compute(Instr::new(1000));
+///             ctx.send(Rank::new(1), buf, Tag::new(0))?;
+///         } else {
+///             ctx.recv(Rank::new(0), buf, Tag::new(0))?;
+///             ctx.compute(Instr::new(1000));
+///         }
+///         Ok(())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), TraceError> {
+/// let bundle = TracingSession::new(&OneShot).run()?;
+/// assert_eq!(bundle.original().rank_count(), 2);
+/// let overlapped = bundle.overlapped_linear();
+/// assert!(overlapped.total_records() >= bundle.original().total_records());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TracingSession<'a, A: Application + ?Sized> {
+    app: &'a A,
+    policy: ChunkingPolicy,
+}
+
+impl<'a, A: Application + ?Sized> TracingSession<'a, A> {
+    /// Creates a session for `app` with the default chunking policy.
+    pub fn new(app: &'a A) -> Self {
+        TracingSession {
+            app,
+            policy: ChunkingPolicy::default(),
+        }
+    }
+
+    /// Overrides the chunking policy.
+    pub fn policy(mut self, policy: ChunkingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Runs every rank of the application under instrumentation and
+    /// returns the trace bundle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the application issues invalid operations, leaks requests,
+    /// or produces a structurally invalid original trace.
+    pub fn run(&self) -> Result<TraceBundle, TraceError> {
+        let n = self.app.ranks();
+        if n == 0 {
+            return Err(TraceError::InvalidRankCount(0));
+        }
+        let mut all_records: Vec<Vec<Record>> = Vec::with_capacity(n);
+        let mut metas: Vec<RankMeta> = Vec::with_capacity(n);
+        for r in 0..n {
+            let rank = Rank::new(r as u32);
+            let mut ctx = TraceContext::new(rank, n);
+            self.app.run(rank, &mut ctx)?;
+            let (records, meta) = ctx.finish()?;
+            all_records.push(records);
+            metas.push(meta);
+        }
+
+        // A message may be chunked only if the sender snapshotted a
+        // production profile AND the receiver used a registered buffer —
+        // both transforms must agree, so the plan is computed globally.
+        type ChannelKey = (u32, u32, Tag, u32); // (src, dst, tag, seq)
+        let mut recv_has_buffer: BTreeMap<ChannelKey, bool> = BTreeMap::new();
+        for (r, meta) in metas.iter().enumerate() {
+            for recv in &meta.recvs {
+                recv_has_buffer.insert(
+                    (recv.from.get(), r as u32, recv.tag, recv.channel_seq),
+                    recv.buffer.is_some(),
+                );
+            }
+        }
+        let mut send_has_profile: BTreeMap<ChannelKey, bool> = BTreeMap::new();
+        for (r, meta) in metas.iter().enumerate() {
+            for send in &meta.sends {
+                send_has_profile.insert(
+                    (r as u32, send.to.get(), send.tag, send.channel_seq),
+                    send.production.is_some(),
+                );
+            }
+        }
+        let send_chunkable: Vec<Vec<bool>> = metas
+            .iter()
+            .enumerate()
+            .map(|(r, meta)| {
+                meta.sends
+                    .iter()
+                    .map(|s| {
+                        s.production.is_some()
+                            && *recv_has_buffer
+                                .get(&(r as u32, s.to.get(), s.tag, s.channel_seq))
+                                .unwrap_or(&false)
+                    })
+                    .collect()
+            })
+            .collect();
+        let recv_chunkable: Vec<Vec<bool>> = metas
+            .iter()
+            .enumerate()
+            .map(|(r, meta)| {
+                meta.recvs
+                    .iter()
+                    .map(|m| {
+                        m.buffer.is_some()
+                            && *send_has_profile
+                                .get(&(m.from.get(), r as u32, m.tag, m.channel_seq))
+                                .unwrap_or(&false)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let name = self.app.name().to_string();
+        let mips = self.app.mips();
+        let original = TraceSet::new(
+            format!("{name}.original"),
+            mips,
+            all_records.into_iter().map(RankTrace::from_records).collect(),
+        );
+        let issues = validate_trace_set(&original);
+        if !issues.is_empty() {
+            return Err(TraceError::InvalidTrace {
+                variant: original.name().to_string(),
+                issues,
+            });
+        }
+        Ok(TraceBundle {
+            name,
+            mips,
+            original,
+            metas,
+            send_chunkable,
+            recv_chunkable,
+            policy: self.policy.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{Mechanisms, PatternSource};
+    use ovlsim_core::Instr;
+    use ovlsim_memtrace::{AccessKind, IndexPattern, Kernel};
+
+    /// Simple 1D ring halo exchange with sequential production/consumption.
+    struct Ring {
+        ranks: usize,
+        iterations: usize,
+    }
+
+    impl Application for Ring {
+        fn name(&self) -> &str {
+            "ring"
+        }
+        fn ranks(&self) -> usize {
+            self.ranks
+        }
+        fn run(&self, rank: Rank, ctx: &mut TraceContext) -> Result<(), TraceError> {
+            let n = self.ranks as u32;
+            let right = Rank::new((rank.get() + 1) % n);
+            let left = Rank::new((rank.get() + n - 1) % n);
+            let out = ctx.register_buffer("out", 8192, 8);
+            let inb = ctx.register_buffer("in", 8192, 8);
+            for _ in 0..self.iterations {
+                let produce = Kernel::builder()
+                    .phase(Instr::new(10_000))
+                    .access(out, AccessKind::Write, IndexPattern::Sequential)
+                    .build();
+                ctx.kernel(&produce);
+                // Even ranks send first; odd ranks receive first.
+                if rank.get().is_multiple_of(2) {
+                    ctx.send(right, out, Tag::new(0))?;
+                    ctx.recv(left, inb, Tag::new(0))?;
+                } else {
+                    ctx.recv(left, inb, Tag::new(0))?;
+                    ctx.send(right, out, Tag::new(0))?;
+                }
+                let consume = Kernel::builder()
+                    .phase(Instr::new(10_000))
+                    .access(inb, AccessKind::Read, IndexPattern::Sequential)
+                    .build();
+                ctx.kernel(&consume);
+            }
+            ctx.barrier();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn session_produces_valid_bundle() {
+        let app = Ring {
+            ranks: 4,
+            iterations: 3,
+        };
+        let bundle = TracingSession::new(&app).run().unwrap();
+        assert_eq!(bundle.original().rank_count(), 4);
+        assert_eq!(bundle.name(), "ring");
+        // All messages use registered buffers on both sides => chunkable.
+        assert!(bundle.send_chunkable.iter().flatten().all(|&b| b));
+        assert!(bundle.recv_chunkable.iter().flatten().all(|&b| b));
+    }
+
+    #[test]
+    fn all_overlap_modes_validate() {
+        let app = Ring {
+            ranks: 4,
+            iterations: 2,
+        };
+        let bundle = TracingSession::new(&app)
+            .policy(ChunkingPolicy::fixed_count(8).with_min_chunk_bytes(64))
+            .run()
+            .unwrap();
+        for pattern in [PatternSource::Real, PatternSource::Linear] {
+            for mechanisms in [
+                Mechanisms::BOTH,
+                Mechanisms::EARLY_SEND_ONLY,
+                Mechanisms::LATE_WAIT_ONLY,
+                Mechanisms::NONE,
+            ] {
+                let mode = OverlapMode {
+                    pattern,
+                    mechanisms,
+                };
+                let ts = bundle.overlapped(mode).unwrap();
+                assert!(ts.name().starts_with("ring.ovl-"));
+                // Instruction counts preserved per rank.
+                for (orig, ovl) in bundle.original().ranks().iter().zip(ts.ranks()) {
+                    assert_eq!(orig.total_instr(), ovl.total_instr());
+                }
+                // Total bytes preserved.
+                assert_eq!(
+                    bundle.original().total_p2p_send_bytes(),
+                    ts.total_p2p_send_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_has_more_records_than_original() {
+        let app = Ring {
+            ranks: 2,
+            iterations: 1,
+        };
+        let bundle = TracingSession::new(&app)
+            .policy(ChunkingPolicy::fixed_count(8).with_min_chunk_bytes(64))
+            .run()
+            .unwrap();
+        let overlapped = bundle.overlapped_linear();
+        assert!(overlapped.total_records() > bundle.original().total_records());
+    }
+
+    #[test]
+    fn zero_rank_app_rejected() {
+        struct Empty;
+        impl Application for Empty {
+            fn name(&self) -> &str {
+                "empty"
+            }
+            fn ranks(&self) -> usize {
+                0
+            }
+            fn run(&self, _: Rank, _: &mut TraceContext) -> Result<(), TraceError> {
+                Ok(())
+            }
+        }
+        assert!(matches!(
+            TracingSession::new(&Empty).run(),
+            Err(TraceError::InvalidRankCount(0))
+        ));
+    }
+
+    #[test]
+    fn mixed_raw_and_buffered_messages() {
+        /// Rank 0 sends a buffered message; rank 1 receives raw (size-only).
+        struct Mixed;
+        impl Application for Mixed {
+            fn name(&self) -> &str {
+                "mixed"
+            }
+            fn ranks(&self) -> usize {
+                2
+            }
+            fn run(&self, rank: Rank, ctx: &mut TraceContext) -> Result<(), TraceError> {
+                if rank.index() == 0 {
+                    let buf = ctx.register_buffer("b", 1024, 8);
+                    ctx.compute(Instr::new(100));
+                    ctx.send(Rank::new(1), buf, Tag::new(0))?;
+                } else {
+                    ctx.recv_bytes(Rank::new(0), 1024, Tag::new(0))?;
+                    ctx.compute(Instr::new(100));
+                }
+                Ok(())
+            }
+        }
+        let bundle = TracingSession::new(&Mixed).run().unwrap();
+        // The receiver has no buffer, so neither side may chunk.
+        assert_eq!(bundle.send_chunkable[0], vec![false]);
+        assert_eq!(bundle.recv_chunkable[1], vec![false]);
+        // Overlapped trace equals original (message passes through).
+        let ovl = bundle.overlapped_real();
+        assert_eq!(ovl.ranks()[0].records(), bundle.original().ranks()[0].records());
+    }
+}

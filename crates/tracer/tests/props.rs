@@ -1,0 +1,73 @@
+//! Property tests for chunking and chunk-tag encoding.
+
+use ovlsim_core::Tag;
+use ovlsim_tracer::{chunk_tag, ChunkingPolicy, MAX_CHUNKS_PER_MESSAGE};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = ChunkingPolicy> {
+    prop_oneof![
+        (1usize..200).prop_map(ChunkingPolicy::fixed_count),
+        (1u64..1_000_000).prop_map(ChunkingPolicy::fixed_bytes),
+        (1u64..1_000_000).prop_map(ChunkingPolicy::doubling),
+    ]
+    .prop_flat_map(|p| (Just(p), 1u64..100_000))
+    .prop_map(|(p, min)| p.with_min_chunk_bytes(min))
+}
+
+proptest! {
+    /// Chunk ranges partition `0..total` exactly: contiguous, non-empty,
+    /// covering.
+    #[test]
+    fn chunks_partition_message(policy in arb_policy(), total in 0u64..100_000_000) {
+        let ranges = policy.chunk_ranges(total);
+        if total == 0 {
+            prop_assert!(ranges.is_empty());
+        } else {
+            prop_assert_eq!(ranges.first().unwrap().start, 0);
+            prop_assert_eq!(ranges.last().unwrap().end, total);
+            for w in ranges.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+            for r in &ranges {
+                prop_assert!(r.start < r.end);
+            }
+            prop_assert_eq!(ranges.len(), policy.chunk_count(total));
+        }
+    }
+
+    /// The minimum chunk size is honoured by every chunk except possibly
+    /// the last (fixed-bytes remainder), and a message below the minimum
+    /// forms exactly one chunk.
+    #[test]
+    fn min_chunk_size_honoured(policy in arb_policy(), total in 1u64..10_000_000) {
+        let min = policy.min_chunk_bytes();
+        let ranges = policy.chunk_ranges(total);
+        if total <= min {
+            prop_assert_eq!(ranges.len(), 1);
+        }
+        for r in ranges.iter().take(ranges.len().saturating_sub(1)) {
+            // Fixed-count splitting may undershoot by rounding, but never
+            // below half the minimum (total/n >= min guarantees avg >= min;
+            // per-chunk deviation is at most 1 byte for fixed-count).
+            prop_assert!(
+                r.end - r.start + 1 >= min.min(total) / 2,
+                "chunk {r:?} far below minimum {min}"
+            );
+        }
+    }
+
+    /// Chunk tags are injective over (tag, seq, chunk) triples and always
+    /// carry the chunk marker bit.
+    #[test]
+    fn chunk_tags_injective(
+        a in (0u64..1 << 20, 0u32..1 << 23, 0usize..MAX_CHUNKS_PER_MESSAGE),
+        b in (0u64..1 << 20, 0u32..1 << 23, 0usize..MAX_CHUNKS_PER_MESSAGE),
+    ) {
+        let ta = chunk_tag(Tag::new(a.0), a.1, a.2);
+        let tb = chunk_tag(Tag::new(b.0), b.1, b.2);
+        prop_assert_eq!(a == b, ta == tb);
+        prop_assert!(ta.get() >> 63 == 1);
+        // Chunk tags never collide with plain application tags.
+        prop_assert!(ta.get() > (1 << 20));
+    }
+}

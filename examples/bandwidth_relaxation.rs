@@ -1,0 +1,39 @@
+//! The paper's third finding: overlap relaxes network requirements.
+//!
+//! For NAS-BT, finds the smallest bandwidth at which the overlapped
+//! execution matches the original's performance at a range of reference
+//! bandwidths — reproducing "the overlapped execution needs bandwidth that
+//! is [a] couple of orders of magnitude lower".
+//!
+//! Run with: `cargo run --release --example bandwidth_relaxation`
+
+use ovlsim::lab::bandwidth_relaxation;
+use ovlsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = ovlsim::apps::NasBt::builder().ranks(16).iterations(2).build()?;
+    let bundle = TracingSession::new(&app).run()?;
+    let overlapped = bundle.overlapped_linear();
+    let base = ovlsim::apps::calibration::reference_platform();
+
+    println!(
+        "{:>14}  {:>14}  {:>12}  {:>10}",
+        "reference BW", "iso BW", "factor", "orders"
+    );
+    for reference in [1.0e9, 3.0e9, 1.0e10, 3.0e10] {
+        let r = bandwidth_relaxation(bundle.original(), &overlapped, &base, reference, 1.0e3)?;
+        println!(
+            "{:>14}  {:>14}  {:>11.0}x  {:>10.2}",
+            ovlsim_core::format_bandwidth(r.reference_bandwidth),
+            ovlsim_core::format_bandwidth(r.iso_bandwidth),
+            r.relaxation_factor(),
+            r.orders_of_magnitude()
+        );
+    }
+    println!(
+        "\nat high reference bandwidths the original wastes the network on\n\
+         bursty traffic; the overlapped execution spreads transfers out and\n\
+         achieves the same makespan on a far slower network"
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the whole environment in ~40 lines.
+//!
+//! Traces a small Sweep3D run, synthesizes the overlapped executions
+//! (real and ideal patterns), replays everything on one platform and
+//! prints the comparison — the paper's Figure 1 pipeline end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ovlsim::prelude::*;
+use ovlsim_paraver::{compare, StateProfile, Timeline};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An application model (one of the six codes from the paper).
+    let app = ovlsim::apps::Sweep3d::builder().ranks(9).planes(8).build()?;
+
+    // 2. The tracing tool: one run produces the original trace plus
+    //    everything needed to synthesize the overlapped variants.
+    let bundle = TracingSession::new(&app)
+        .policy(ChunkingPolicy::fixed_count(8))
+        .run()?;
+    println!("traced: {}", bundle.original());
+
+    // 3. The configurable platform (latency, bandwidth, links, buses).
+    let platform = Platform::builder()
+        .latency(Time::from_us(5))
+        .bandwidth_bytes_per_sec(250.0e6)?
+        .build();
+
+    // 4. Replay original and overlapped executions.
+    let sim = Simulator::new(platform.clone());
+    let original = sim.run(bundle.original())?;
+    let real = sim.run(&bundle.overlapped_real())?;
+    let linear = sim.run(&bundle.overlapped_linear())?;
+
+    println!("original           : {}", original.total_time());
+    println!(
+        "overlapped (real)  : {}  ({:+.1}%)",
+        real.total_time(),
+        (original.total_time().as_secs_f64() / real.total_time().as_secs_f64() - 1.0) * 100.0
+    );
+    println!(
+        "overlapped (linear): {}  ({:+.1}%)",
+        linear.total_time(),
+        (original.total_time().as_secs_f64() / linear.total_time().as_secs_f64() - 1.0) * 100.0
+    );
+
+    // 5. Quantitative comparison, Paraver-style.
+    let (tl_orig, _) = Timeline::capture(&platform, bundle.original())?;
+    let (tl_ovl, _) = Timeline::capture(&platform, &bundle.overlapped_linear())?;
+    println!(
+        "\n{}",
+        compare(&StateProfile::of(&tl_orig), &StateProfile::of(&tl_ovl))
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! `ovlsim` — a simulation environment for studying overlap of communication
+//! and computation.
+//!
+//! This is the facade crate of the workspace: it re-exports the public API of
+//! every sub-crate so applications can depend on a single crate. The
+//! environment reproduces the system described in *Subotic, Labarta, Valero,
+//! "Simulation Environment for Studying Overlap of Communication and
+//! Computation", ISPASS 2010*:
+//!
+//! 1. an application model executes under a virtual tracing tool
+//!    ([`tracer`], with memory instrumentation from [`memtrace`]),
+//! 2. the tool emits the original trace plus *overlapped* traces in which
+//!    every message is split into chunks sent as soon as they are produced
+//!    and waited for when first consumed,
+//! 3. the [`dimemas`] replay simulator reconstructs each execution's
+//!    time-behavior on a configurable platform,
+//! 4. [`paraver`] renders and compares the resulting timelines, and
+//! 5. [`lab`] sweeps platform parameters to quantify speedup and bandwidth
+//!    relaxation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ovlsim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Pick an application model and trace it.
+//! let app = ovlsim::apps::Sweep3d::builder().ranks(4).build()?;
+//! let bundle = TracingSession::new(&app).run()?;
+//!
+//! // 2. Replay original and overlapped executions on the same platform.
+//! let platform = Platform::builder().bandwidth_bytes_per_sec(100.0e6)?.build();
+//! let original = Simulator::new(platform.clone()).run(bundle.original())?;
+//! let overlapped = Simulator::new(platform).run(&bundle.overlapped_linear())?;
+//!
+//! // 3. Compare.
+//! assert!(overlapped.total_time() <= original.total_time());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ovlsim_apps as apps;
+pub use ovlsim_core as core;
+pub use ovlsim_dimemas as dimemas;
+pub use ovlsim_engine as engine;
+pub use ovlsim_lab as lab;
+pub use ovlsim_memtrace as memtrace;
+pub use ovlsim_paraver as paraver;
+pub use ovlsim_tracer as tracer;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use ovlsim_core::{
+        Bandwidth, Instr, MipsRate, Platform, Rank, Record, Tag, Time, TraceSet,
+    };
+    pub use ovlsim_dimemas::{ReplayResult, Simulator};
+    pub use ovlsim_tracer::{
+        Application, ChunkingPolicy, OverlapMode, TraceBundle, TraceContext, TracingSession,
+    };
+}

@@ -1,0 +1,178 @@
+//! End-to-end pipeline tests: every paper application through trace →
+//! transform → replay, checking structural invariants.
+
+use ovlsim::prelude::*;
+use ovlsim::tracer::{Mechanisms, PatternSource};
+use ovlsim_apps::{Alya, NasBt, NasCg, Pop, Specfem, Sweep3d};
+
+fn small_apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(NasBt::builder().ranks(4).iterations(2).build().unwrap()),
+        Box::new(NasCg::builder().ranks(4).iterations(2).build().unwrap()),
+        Box::new(Pop::builder().ranks(4).iterations(1).build().unwrap()),
+        Box::new(Alya::builder().ranks(4).iterations(2).build().unwrap()),
+        Box::new(Specfem::builder().ranks(4).iterations(2).build().unwrap()),
+        Box::new(Sweep3d::builder().ranks(4).planes(8).build().unwrap()),
+    ]
+}
+
+fn platform() -> Platform {
+    Platform::builder()
+        .latency(Time::from_us(5))
+        .bandwidth_bytes_per_sec(100.0e6)
+        .unwrap()
+        .build()
+}
+
+#[test]
+fn every_app_traces_and_replays_in_every_mode() {
+    for app in small_apps() {
+        let bundle = TracingSession::new(app.as_ref())
+            .policy(ChunkingPolicy::fixed_count(8).with_min_chunk_bytes(256))
+            .run()
+            .unwrap_or_else(|e| panic!("{} failed to trace: {e}", app.name()));
+        let sim = Simulator::new(platform());
+        let orig = sim
+            .run(bundle.original())
+            .unwrap_or_else(|e| panic!("{} original failed: {e}", app.name()));
+        assert!(orig.total_time() > Time::ZERO);
+
+        for pattern in [PatternSource::Real, PatternSource::Linear] {
+            for mechanisms in [
+                Mechanisms::BOTH,
+                Mechanisms::EARLY_SEND_ONLY,
+                Mechanisms::LATE_WAIT_ONLY,
+                Mechanisms::NONE,
+            ] {
+                let mode = OverlapMode { pattern, mechanisms };
+                let ts = bundle
+                    .overlapped(mode)
+                    .unwrap_or_else(|e| panic!("{} {mode:?} invalid: {e}", app.name()));
+                let res = sim
+                    .run(&ts)
+                    .unwrap_or_else(|e| panic!("{} {mode:?} failed: {e}", app.name()));
+                assert!(res.total_time() > Time::ZERO);
+                // Conservation: instructions and bytes survive the
+                // transform exactly.
+                assert_eq!(
+                    bundle.original().total_instr(),
+                    ts.total_instr(),
+                    "{} {mode:?} lost instructions",
+                    app.name()
+                );
+                assert_eq!(
+                    bundle.original().total_p2p_send_bytes(),
+                    ts.total_p2p_send_bytes(),
+                    "{} {mode:?} lost bytes",
+                    app.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlap_never_catastrophically_slower() {
+    // Chunking has bounded overhead: the overlapped execution may lose a
+    // little to chunk bookkeeping but never an order of magnitude.
+    for app in small_apps() {
+        let bundle = TracingSession::new(app.as_ref()).run().unwrap();
+        let sim = Simulator::new(platform());
+        let orig = sim.run(bundle.original()).unwrap().total_time();
+        for ts in [bundle.overlapped_real(), bundle.overlapped_linear()] {
+            let ovl = sim.run(&ts).unwrap().total_time();
+            let ratio = ovl.as_secs_f64() / orig.as_secs_f64();
+            assert!(
+                ratio < 1.25,
+                "{}: overlapped {ratio:.2}x slower than original",
+                ts.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_beats_real_for_pack_heavy_apps() {
+    // Apps whose production is pack-dominated must benefit much more from
+    // the ideal pattern than from the measured one (§III claim 1).
+    for app in small_apps() {
+        let bundle = TracingSession::new(app.as_ref()).run().unwrap();
+        let sim = Simulator::new(platform());
+        let orig = sim.run(bundle.original()).unwrap().total_time().as_secs_f64();
+        let real = sim
+            .run(&bundle.overlapped_real())
+            .unwrap()
+            .total_time()
+            .as_secs_f64();
+        let linear = sim
+            .run(&bundle.overlapped_linear())
+            .unwrap()
+            .total_time()
+            .as_secs_f64();
+        let speedup_real = orig / real;
+        let speedup_linear = orig / linear;
+        assert!(
+            speedup_linear >= speedup_real - 0.02,
+            "{}: linear ({speedup_linear:.3}) should not lose to real ({speedup_real:.3})",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    // Same app, same platform => bit-identical results.
+    let app = Alya::builder().ranks(6).iterations(2).seed(123).build().unwrap();
+    let run = || {
+        let bundle = TracingSession::new(&app).run().unwrap();
+        let sim = Simulator::new(platform());
+        (
+            sim.run(bundle.original()).unwrap().total_time(),
+            sim.run(&bundle.overlapped_linear()).unwrap().total_time(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn problem_classes_preserve_overlap_shape() {
+    // Surface-to-volume scaling keeps the comm/comp balance similar
+    // across classes, so the overlap speedup should be in the same
+    // ballpark for class S and class A of the same code.
+    use ovlsim_apps::ProblemClass;
+    let speedup_of = |class: ProblemClass| {
+        let app = NasBt::builder()
+            .ranks(4)
+            .iterations(2)
+            .class(class)
+            .build()
+            .unwrap();
+        let bundle = TracingSession::new(&app).run().unwrap();
+        let sim = Simulator::new(ovlsim_apps::calibration::reference_platform());
+        let orig = sim.run(bundle.original()).unwrap().total_time().as_secs_f64();
+        let ovl = sim
+            .run(&bundle.overlapped_linear())
+            .unwrap()
+            .total_time()
+            .as_secs_f64();
+        orig / ovl
+    };
+    let s = speedup_of(ProblemClass::S);
+    let a = speedup_of(ProblemClass::A);
+    let b = speedup_of(ProblemClass::B);
+    assert!((s - a).abs() < 0.25, "class S speedup {s:.3} far from A {a:.3}");
+    assert!((b - a).abs() < 0.25, "class B speedup {b:.3} far from A {a:.3}");
+}
+
+#[test]
+fn trace_text_roundtrip_for_real_apps() {
+    for app in small_apps() {
+        let bundle = TracingSession::new(app.as_ref()).run().unwrap();
+        for ts in [bundle.original().clone(), bundle.overlapped_linear()] {
+            let text = ovlsim::dimemas::emit_trace_set(&ts);
+            let back = ovlsim::dimemas::parse_trace_set(&text)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", ts.name()));
+            assert_eq!(ts, back, "roundtrip mismatch for {}", ts.name());
+        }
+    }
+}

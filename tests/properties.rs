@@ -1,0 +1,207 @@
+//! Property-based tests over the whole environment: random synthetic
+//! applications and platforms, checking invariants that must hold for
+//! *every* configuration.
+
+use ovlsim::prelude::*;
+use ovlsim::apps::{ConsumptionShape, ProductionShape, Synthetic, Topology};
+use ovlsim::tracer::{Mechanisms, PatternSource};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Ring),
+        Just(Topology::Grid),
+        Just(Topology::Pairs),
+    ]
+}
+
+fn arb_production() -> impl Strategy<Value = ProductionShape> {
+    prop_oneof![
+        Just(ProductionShape::Spread),
+        (0.01f64..0.5).prop_map(|fraction| ProductionShape::Tail { fraction }),
+    ]
+}
+
+fn arb_consumption() -> impl Strategy<Value = ConsumptionShape> {
+    prop_oneof![
+        Just(ConsumptionShape::Spread),
+        (0.01f64..0.5).prop_map(|fraction| ConsumptionShape::Head { fraction }),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    ranks: usize,
+    topology: Topology,
+    iterations: usize,
+    compute_instr: u64,
+    message_bytes: u64,
+    production: ProductionShape,
+    consumption: ConsumptionShape,
+    chunks: usize,
+    bandwidth: f64,
+    latency_us: u64,
+    pattern: PatternSource,
+    mechanisms: Mechanisms,
+}
+
+fn arb_config() -> impl Strategy<Value = Config> {
+    (
+        (1usize..5),           // ranks/2 (ensures even for Pairs)
+        arb_topology(),
+        (1usize..4),           // iterations
+        (10_000u64..2_000_000),
+        (1u64..2_000),         // message_bytes/8
+        arb_production(),
+        arb_consumption(),
+        (1usize..20),          // chunks
+        (1.0e6f64..1.0e10),
+        (0u64..50),
+        prop_oneof![Just(PatternSource::Real), Just(PatternSource::Linear)],
+        prop_oneof![
+            Just(Mechanisms::BOTH),
+            Just(Mechanisms::EARLY_SEND_ONLY),
+            Just(Mechanisms::LATE_WAIT_ONLY),
+            Just(Mechanisms::NONE),
+        ],
+    )
+        .prop_map(
+            |(
+                half_ranks,
+                topology,
+                iterations,
+                compute_instr,
+                msg8,
+                production,
+                consumption,
+                chunks,
+                bandwidth,
+                latency_us,
+                pattern,
+                mechanisms,
+            )| Config {
+                ranks: half_ranks * 2,
+                topology,
+                iterations,
+                compute_instr,
+                message_bytes: msg8 * 8,
+                production,
+                consumption,
+                chunks,
+                bandwidth,
+                latency_us,
+                pattern,
+                mechanisms,
+            },
+        )
+}
+
+fn build(config: &Config) -> (TraceBundle, Platform, OverlapMode) {
+    let app = Synthetic::builder()
+        .ranks(config.ranks)
+        .topology(config.topology)
+        .iterations(config.iterations)
+        .compute_instr(config.compute_instr)
+        .message_bytes(config.message_bytes)
+        .production(config.production)
+        .consumption(config.consumption)
+        .build()
+        .expect("generated configs are valid");
+    let bundle = TracingSession::new(&app)
+        .policy(ChunkingPolicy::fixed_count(config.chunks).with_min_chunk_bytes(8))
+        .run()
+        .expect("synthetic apps trace cleanly");
+    let platform = Platform::builder()
+        .latency(Time::from_us(config.latency_us))
+        .bandwidth_bytes_per_sec(config.bandwidth)
+        .expect("generated bandwidths are positive")
+        .build();
+    let mode = OverlapMode {
+        pattern: config.pattern,
+        mechanisms: config.mechanisms,
+    };
+    (bundle, platform, mode)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The transform always produces a structurally valid trace that
+    /// conserves instructions and bytes exactly.
+    #[test]
+    fn transform_conserves(config in arb_config()) {
+        let (bundle, _, mode) = build(&config);
+        let ts = bundle.overlapped(mode).expect("transform validates");
+        prop_assert_eq!(bundle.original().total_instr(), ts.total_instr());
+        prop_assert_eq!(
+            bundle.original().total_p2p_send_bytes(),
+            ts.total_p2p_send_bytes()
+        );
+    }
+
+    /// Both executions replay without deadlock and finish after spending
+    /// at least their computation time.
+    #[test]
+    fn replay_terminates_and_bounds_hold(config in arb_config()) {
+        let (bundle, platform, mode) = build(&config);
+        let sim = Simulator::new(platform);
+        let orig = sim.run(bundle.original()).expect("original replays");
+        let ts = bundle.overlapped(mode).expect("transform validates");
+        let ovl = sim.run(&ts).expect("overlapped replays");
+        // A rank can never finish before its own compute time.
+        for (finish, compute) in orig.rank_finish().iter().zip(orig.rank_compute()) {
+            prop_assert!(finish >= compute);
+        }
+        for (finish, compute) in ovl.rank_finish().iter().zip(ovl.rank_compute()) {
+            prop_assert!(finish >= compute);
+        }
+        // Critical-path lower bound: no execution beats the per-rank
+        // compute maximum.
+        let lower = orig.rank_compute().iter().copied().max().unwrap();
+        prop_assert!(orig.total_time() >= lower);
+        prop_assert!(ovl.total_time() >= lower);
+    }
+
+    /// Makespan is monotone: more bandwidth never hurts.
+    #[test]
+    fn bandwidth_monotonicity(config in arb_config(), factor in 2.0f64..100.0) {
+        let (bundle, platform, mode) = build(&config);
+        let slow = Simulator::new(platform.clone());
+        let fast = Simulator::new(platform.with_bandwidth(
+            Bandwidth::from_bytes_per_sec(config.bandwidth * factor).expect("positive"),
+        ));
+        let ts = bundle.overlapped(mode).expect("transform validates");
+        for trace in [bundle.original(), &ts] {
+            let t_slow = slow.run(trace).expect("replays").total_time();
+            let t_fast = fast.run(trace).expect("replays").total_time();
+            prop_assert!(
+                t_fast <= t_slow,
+                "faster network increased {} from {} to {}",
+                trace.name(), t_slow, t_fast
+            );
+        }
+    }
+
+    /// The text format round-trips every trace the environment produces.
+    #[test]
+    fn dim_roundtrip(config in arb_config()) {
+        let (bundle, _, mode) = build(&config);
+        let ts = bundle.overlapped(mode).expect("transform validates");
+        for trace in [bundle.original(), &ts] {
+            let text = ovlsim::dimemas::emit_trace_set(trace);
+            let back = ovlsim::dimemas::parse_trace_set(&text).expect("parses");
+            prop_assert_eq!(trace, &back);
+        }
+    }
+
+    /// Replay is deterministic: two runs give identical results.
+    #[test]
+    fn replay_deterministic(config in arb_config()) {
+        let (bundle, platform, mode) = build(&config);
+        let ts = bundle.overlapped(mode).expect("transform validates");
+        let sim = Simulator::new(platform);
+        let a = sim.run(&ts).expect("replays");
+        let b = sim.run(&ts).expect("replays");
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Visualization-layer integration tests: Paraver export well-formedness
+//! and Gantt/profile consistency for real application timelines.
+
+use ovlsim::prelude::*;
+use ovlsim_apps::{NasBt, Sweep3d};
+use ovlsim_dimemas::ProcState;
+use ovlsim_paraver::{
+    compare, render_gantt, to_pcf, to_prv, to_row, GanttOptions, StateProfile, Timeline,
+};
+
+fn platform() -> Platform {
+    Platform::builder()
+        .latency(Time::from_us(5))
+        .bandwidth_bytes_per_sec(100.0e6)
+        .unwrap()
+        .build()
+}
+
+#[test]
+fn prv_export_is_wellformed_for_real_apps() {
+    let app = NasBt::builder().ranks(4).iterations(2).build().unwrap();
+    let bundle = TracingSession::new(&app).run().unwrap();
+    for trace in [bundle.original().clone(), bundle.overlapped_linear()] {
+        let (timeline, result) = Timeline::capture(&platform(), &trace).unwrap();
+        let prv = to_prv(&timeline);
+        let lines: Vec<&str> = prv.lines().collect();
+        assert!(lines[0].starts_with("#Paraver"));
+        // Every body line is a known record type with numeric fields.
+        for line in &lines[1..] {
+            let kind = line.split(':').next().unwrap();
+            assert!(
+                ["1", "2", "3"].contains(&kind),
+                "unknown prv record `{line}`"
+            );
+            let fields: Vec<&str> = line.split(':').collect();
+            match kind {
+                "1" => assert_eq!(fields.len(), 8, "state record arity: {line}"),
+                "2" => assert_eq!(fields.len(), 8, "event record arity: {line}"),
+                "3" => assert_eq!(fields.len(), 15, "comm record arity: {line}"),
+                _ => unreachable!(),
+            }
+            for f in &fields[1..] {
+                assert!(
+                    f.parse::<u64>().is_ok(),
+                    "non-numeric field `{f}` in `{line}`"
+                );
+            }
+        }
+        // State intervals never exceed the makespan.
+        let span_ns = result.total_time().as_ps() / 1000;
+        for line in lines[1..].iter().filter(|l| l.starts_with("1:")) {
+            let fields: Vec<u64> = line.split(':').skip(1).map(|f| f.parse().unwrap()).collect();
+            assert!(fields[4] <= fields[5], "inverted interval: {line}");
+            assert!(fields[5] <= span_ns, "interval beyond makespan: {line}");
+        }
+        assert!(!to_pcf().is_empty());
+        assert!(to_row(trace.rank_count()).contains("rank 3"));
+    }
+}
+
+#[test]
+fn timeline_state_times_sum_to_busy_time() {
+    // For each rank: compute + waits == finish time (our replay never has
+    // unaccounted gaps except idle-at-end for early finishers).
+    let app = Sweep3d::builder().ranks(4).planes(4).build().unwrap();
+    let bundle = TracingSession::new(&app).run().unwrap();
+    let (timeline, result) = Timeline::capture(&platform(), bundle.original()).unwrap();
+    for r in 0..4u32 {
+        let rank = ovlsim_core::Rank::new(r);
+        let busy: Time = [
+            ProcState::Compute,
+            ProcState::WaitRecv,
+            ProcState::WaitSend,
+            ProcState::WaitRequest,
+            ProcState::Collective,
+        ]
+        .iter()
+        .map(|&s| timeline.time_in_state(rank, s))
+        .sum();
+        let finish = result.rank_finish()[rank.index()];
+        assert_eq!(
+            busy, finish,
+            "rank {rank} busy {busy} != finish {finish}"
+        );
+    }
+}
+
+#[test]
+fn gantt_renders_all_paper_apps() {
+    for app in ovlsim_apps::paper_apps() {
+        let bundle = TracingSession::new(app.as_ref()).run().unwrap();
+        let (timeline, _) = Timeline::capture(&platform(), bundle.original()).unwrap();
+        let chart = render_gantt(&timeline, &GanttOptions { width: 60, legend: true });
+        // One row per rank plus header and legend.
+        assert_eq!(chart.lines().count(), timeline.rank_count() + 2);
+        assert!(chart.contains('#'), "{}: no compute visible", app.name());
+    }
+}
+
+#[test]
+fn profile_comparison_reports_speedup() {
+    let app = NasBt::builder().ranks(4).iterations(2).build().unwrap();
+    let bundle = TracingSession::new(&app).run().unwrap();
+    let (tl_a, _) = Timeline::capture(&platform(), bundle.original()).unwrap();
+    let (tl_b, _) = Timeline::capture(&platform(), &bundle.overlapped_linear()).unwrap();
+    let table = compare(&StateProfile::of(&tl_a), &StateProfile::of(&tl_b));
+    assert!(table.contains("speedup"));
+    assert!(table.contains("nas-bt.original"));
+    assert!(table.contains("nas-bt.ovl-linear"));
+}
