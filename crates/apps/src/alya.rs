@@ -130,8 +130,9 @@ impl Application for Alya {
         for _iter in 0..self.iterations {
             // Element assembly: interface values are accumulated across
             // contributing elements, so they finalize late (tail).
-            let scatter_instr =
-                ((self.assembly_instr as f64) * self.scatter_fraction).round().max(1.0) as u64;
+            let scatter_instr = ((self.assembly_instr as f64) * self.scatter_fraction)
+                .round()
+                .max(1.0) as u64;
             let kernel = producer_kernel(
                 Instr::new(self.assembly_instr - scatter_instr),
                 &outs,
@@ -144,12 +145,20 @@ impl Application for Alya {
             let sends: Vec<HaloLeg> = peers
                 .iter()
                 .zip(&outs)
-                .map(|((peer, _), buf)| HaloLeg { peer: *peer, buffer: *buf, tag: Tag::new(0) })
+                .map(|((peer, _), buf)| HaloLeg {
+                    peer: *peer,
+                    buffer: *buf,
+                    tag: Tag::new(0),
+                })
                 .collect();
             let recvs: Vec<HaloLeg> = peers
                 .iter()
                 .zip(&ins)
-                .map(|((peer, _), buf)| HaloLeg { peer: *peer, buffer: *buf, tag: Tag::new(0) })
+                .map(|((peer, _), buf)| HaloLeg {
+                    peer: *peer,
+                    buffer: *buf,
+                    tag: Tag::new(0),
+                })
                 .collect();
             exchange(ctx, &sends, &recvs)?;
 

@@ -24,12 +24,36 @@ pub struct SpeedupTarget {
 
 /// The six paper targets (§III).
 pub const PAPER_TARGETS: [SpeedupTarget; 6] = [
-    SpeedupTarget { app: "nas-bt", paper: 0.30, tolerance: 0.15 },
-    SpeedupTarget { app: "nas-cg", paper: 0.10, tolerance: 0.08 },
-    SpeedupTarget { app: "pop", paper: 0.10, tolerance: 0.08 },
-    SpeedupTarget { app: "alya", paper: 0.40, tolerance: 0.20 },
-    SpeedupTarget { app: "specfem", paper: 0.65, tolerance: 0.30 },
-    SpeedupTarget { app: "sweep3d", paper: 1.60, tolerance: 0.80 },
+    SpeedupTarget {
+        app: "nas-bt",
+        paper: 0.30,
+        tolerance: 0.15,
+    },
+    SpeedupTarget {
+        app: "nas-cg",
+        paper: 0.10,
+        tolerance: 0.08,
+    },
+    SpeedupTarget {
+        app: "pop",
+        paper: 0.10,
+        tolerance: 0.08,
+    },
+    SpeedupTarget {
+        app: "alya",
+        paper: 0.40,
+        tolerance: 0.20,
+    },
+    SpeedupTarget {
+        app: "specfem",
+        paper: 0.65,
+        tolerance: 0.30,
+    },
+    SpeedupTarget {
+        app: "sweep3d",
+        paper: 1.60,
+        tolerance: 0.80,
+    },
 ];
 
 /// Looks up the paper target for an application name.

@@ -79,7 +79,12 @@ impl Grid2d {
     /// Panics if the rank is outside the grid.
     pub fn coords(&self, rank: Rank) -> (usize, usize) {
         let i = rank.index();
-        assert!(i < self.ranks(), "{rank} outside {}x{} grid", self.px, self.py);
+        assert!(
+            i < self.ranks(),
+            "{rank} outside {}x{} grid",
+            self.px,
+            self.py
+        );
         (i % self.px, i / self.px)
     }
 

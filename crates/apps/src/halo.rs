@@ -60,8 +60,16 @@ mod tests {
         ctx.compute(Instr::new(100));
         exchange(
             &mut ctx,
-            &[HaloLeg { peer: Rank::new(1), buffer: to_east, tag: Tag::new(0) }],
-            &[HaloLeg { peer: Rank::new(2), buffer: from_west, tag: Tag::new(0) }],
+            &[HaloLeg {
+                peer: Rank::new(1),
+                buffer: to_east,
+                tag: Tag::new(0),
+            }],
+            &[HaloLeg {
+                peer: Rank::new(2),
+                buffer: from_west,
+                tag: Tag::new(0),
+            }],
         )
         .unwrap();
         let (records, _) = ctx.finish().unwrap();

@@ -177,7 +177,11 @@ mod tests {
     fn tail_production_concentrates_at_end() {
         let mut mt = MemTracer::new();
         let buf = mt.register("b", 1000, 10);
-        let k = producer_kernel(Instr::new(10_000), &[buf], ProductionShape::Tail { fraction: 0.05 });
+        let k = producer_kernel(
+            Instr::new(10_000),
+            &[buf],
+            ProductionShape::Tail { fraction: 0.05 },
+        );
         mt.execute(&k);
         let p = mt.snapshot_production(buf);
         // Even the first chunk is not ready before 95% of the kernel.
@@ -201,7 +205,11 @@ mod tests {
     fn head_consumption_reads_everything_early() {
         let mut mt = MemTracer::new();
         let buf = mt.register("b", 1000, 10);
-        let k = consumer_kernel(Instr::new(10_000), &[buf], ConsumptionShape::Head { fraction: 0.02 });
+        let k = consumer_kernel(
+            Instr::new(10_000),
+            &[buf],
+            ConsumptionShape::Head { fraction: 0.02 },
+        );
         mt.execute(&k);
         let c = mt.snapshot_consumption(buf);
         // The last chunk is needed within the first 2% of the kernel.

@@ -48,7 +48,9 @@ pub use class::ProblemClass;
 pub use decomp::Grid2d;
 pub use error::AppConfigError;
 pub use halo::{exchange, HaloLeg};
-pub use kernels::{consumer_kernel, producer_kernel, stencil_kernel, ConsumptionShape, ProductionShape};
+pub use kernels::{
+    consumer_kernel, producer_kernel, stencil_kernel, ConsumptionShape, ProductionShape,
+};
 pub use nas_bt::{NasBt, NasBtBuilder};
 pub use nas_cg::{NasCg, NasCgBuilder};
 pub use pop::{Pop, PopBuilder};
@@ -66,8 +68,16 @@ pub fn paper_apps() -> Vec<Box<dyn Application>> {
         Box::new(NasCg::builder().build().expect("default NAS-CG is valid")),
         Box::new(Pop::builder().build().expect("default POP is valid")),
         Box::new(Alya::builder().build().expect("default Alya is valid")),
-        Box::new(Specfem::builder().build().expect("default SPECFEM is valid")),
-        Box::new(Sweep3d::builder().build().expect("default Sweep3D is valid")),
+        Box::new(
+            Specfem::builder()
+                .build()
+                .expect("default SPECFEM is valid"),
+        ),
+        Box::new(
+            Sweep3d::builder()
+                .build()
+                .expect("default Sweep3D is valid"),
+        ),
     ]
 }
 

@@ -22,8 +22,8 @@
 use ovlsim_core::{Instr, Rank, Tag};
 use ovlsim_tracer::{Application, TraceContext, TraceError};
 
-use crate::decomp::Grid2d;
 use crate::class::ProblemClass;
+use crate::decomp::Grid2d;
 use crate::error::AppConfigError;
 use crate::halo::{exchange, HaloLeg};
 use crate::kernels::{consumer_kernel, producer_kernel, ConsumptionShape, ProductionShape};
@@ -120,12 +120,28 @@ impl Application for NasBt {
                 let mut sends = Vec::new();
                 let mut recvs = Vec::new();
                 if let Some(peer) = lo {
-                    sends.push(HaloLeg { peer, buffer: outs[0], tag });
-                    recvs.push(HaloLeg { peer, buffer: ins[0], tag });
+                    sends.push(HaloLeg {
+                        peer,
+                        buffer: outs[0],
+                        tag,
+                    });
+                    recvs.push(HaloLeg {
+                        peer,
+                        buffer: ins[0],
+                        tag,
+                    });
                 }
                 if let Some(peer) = hi {
-                    sends.push(HaloLeg { peer, buffer: outs[1], tag });
-                    recvs.push(HaloLeg { peer, buffer: ins[1], tag });
+                    sends.push(HaloLeg {
+                        peer,
+                        buffer: outs[1],
+                        tag,
+                    });
+                    recvs.push(HaloLeg {
+                        peer,
+                        buffer: ins[1],
+                        tag,
+                    });
                 }
                 exchange(ctx, &sends, &recvs)?;
 

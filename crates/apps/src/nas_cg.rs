@@ -79,8 +79,7 @@ impl Application for NasCg {
         for _iter in 0..self.iterations {
             // Matvec: w = A·p. The outgoing partial-sum vector receives its
             // final values only in the reduction epilogue (production tail).
-            let gather_instr =
-                ((self.matvec_instr as f64) * self.gather_fraction).round() as u64;
+            let gather_instr = ((self.matvec_instr as f64) * self.gather_fraction).round() as u64;
             let matvec = producer_kernel(
                 Instr::new(self.matvec_instr - gather_instr),
                 &[send_vec],
@@ -92,8 +91,16 @@ impl Application for NasCg {
 
             exchange(
                 ctx,
-                &[HaloLeg { peer: partner, buffer: send_vec, tag }],
-                &[HaloLeg { peer: partner, buffer: recv_vec, tag }],
+                &[HaloLeg {
+                    peer: partner,
+                    buffer: send_vec,
+                    tag,
+                }],
+                &[HaloLeg {
+                    peer: partner,
+                    buffer: recv_vec,
+                    tag,
+                }],
             )?;
 
             // The local dot-product contribution reads the whole received

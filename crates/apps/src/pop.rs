@@ -19,8 +19,8 @@
 use ovlsim_core::{Instr, Rank, Tag};
 use ovlsim_tracer::{Application, TraceContext, TraceError};
 
-use crate::decomp::Grid2d;
 use crate::class::ProblemClass;
+use crate::decomp::Grid2d;
 use crate::error::AppConfigError;
 use crate::halo::{exchange, HaloLeg};
 use crate::kernels::{consumer_kernel, producer_kernel, ConsumptionShape, ProductionShape};
@@ -83,8 +83,16 @@ impl Pop {
         let mut recvs = Vec::new();
         for (i, peer) in neighbors.iter().enumerate() {
             if let Some(peer) = *peer {
-                sends.push(HaloLeg { peer, buffer: outs[i], tag });
-                recvs.push(HaloLeg { peer, buffer: ins[i], tag });
+                sends.push(HaloLeg {
+                    peer,
+                    buffer: outs[i],
+                    tag,
+                });
+                recvs.push(HaloLeg {
+                    peer,
+                    buffer: ins[i],
+                    tag,
+                });
             }
         }
         exchange(ctx, &sends, &recvs)

@@ -19,8 +19,8 @@
 use ovlsim_core::{Instr, Rank, Tag};
 use ovlsim_tracer::{Application, TraceContext, TraceError};
 
-use crate::decomp::Grid2d;
 use crate::class::ProblemClass;
+use crate::decomp::Grid2d;
 use crate::error::AppConfigError;
 use crate::halo::{exchange, HaloLeg};
 use crate::kernels::{consumer_kernel, producer_kernel, ConsumptionShape, ProductionShape};
@@ -84,8 +84,9 @@ impl Application for Specfem {
         for _step in 0..self.iterations {
             // Element kernel: internal forces; boundary DOFs are gathered
             // into the MPI buffers at the end of the element loop (tail).
-            let unpack_instr =
-                ((self.element_instr as f64) * self.unpack_fraction).round().max(1.0) as u64;
+            let unpack_instr = ((self.element_instr as f64) * self.unpack_fraction)
+                .round()
+                .max(1.0) as u64;
             let kernel = producer_kernel(
                 Instr::new(self.element_instr - unpack_instr),
                 &outs,
@@ -98,12 +99,20 @@ impl Application for Specfem {
             let sends: Vec<HaloLeg> = neighbors
                 .iter()
                 .zip(&outs)
-                .map(|(peer, buf)| HaloLeg { peer: *peer, buffer: *buf, tag: Tag::new(0) })
+                .map(|(peer, buf)| HaloLeg {
+                    peer: *peer,
+                    buffer: *buf,
+                    tag: Tag::new(0),
+                })
                 .collect();
             let recvs: Vec<HaloLeg> = neighbors
                 .iter()
                 .zip(&ins)
-                .map(|(peer, buf)| HaloLeg { peer: *peer, buffer: *buf, tag: Tag::new(0) })
+                .map(|(peer, buf)| HaloLeg {
+                    peer: *peer,
+                    buffer: *buf,
+                    tag: Tag::new(0),
+                })
                 .collect();
             exchange(ctx, &sends, &recvs)?;
 

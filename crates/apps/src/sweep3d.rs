@@ -26,8 +26,8 @@ use ovlsim_core::{Instr, Rank, Tag};
 use ovlsim_memtrace::{AccessKind, IndexPattern, Kernel};
 use ovlsim_tracer::{Application, TraceContext, TraceError};
 
-use crate::decomp::Grid2d;
 use crate::class::ProblemClass;
+use crate::decomp::Grid2d;
 use crate::error::AppConfigError;
 
 /// The Sweep3D application model. Build with [`Sweep3d::builder`].
@@ -148,8 +148,9 @@ impl Application for Sweep3d {
                 // The real code first copies the received faces into its
                 // working arrays (PHIIB/PHJIB unpack) — an immediate,
                 // whole-buffer consumption that defeats late chunk waits.
-                let unpack =
-                    ((k as u64 * self.plane_instr) as f64 * 0.03).round().max(1.0) as u64;
+                let unpack = ((k as u64 * self.plane_instr) as f64 * 0.03)
+                    .round()
+                    .max(1.0) as u64;
                 let mut b = Kernel::builder()
                     .phase(Instr::new(unpack))
                     .access(in_x, AccessKind::Read, IndexPattern::Sequential)
@@ -159,8 +160,18 @@ impl Application for Sweep3d {
                 for p in 0..k {
                     b = b
                         .phase(Instr::new(self.plane_instr))
-                        .access_range(out_x, AccessKind::Write, IndexPattern::Sequential, Some(p..p + 1))
-                        .access_range(out_y, AccessKind::Write, IndexPattern::Sequential, Some(p..p + 1));
+                        .access_range(
+                            out_x,
+                            AccessKind::Write,
+                            IndexPattern::Sequential,
+                            Some(p..p + 1),
+                        )
+                        .access_range(
+                            out_y,
+                            AccessKind::Write,
+                            IndexPattern::Sequential,
+                            Some(p..p + 1),
+                        );
                 }
                 if self.flux_fixup {
                     // The fix-up pass rewrites both outgoing faces at the

@@ -122,12 +122,20 @@ impl Application for Synthetic {
             let sends: Vec<HaloLeg> = peers
                 .iter()
                 .zip(&outs)
-                .map(|(peer, buf)| HaloLeg { peer: *peer, buffer: *buf, tag: Tag::new(0) })
+                .map(|(peer, buf)| HaloLeg {
+                    peer: *peer,
+                    buffer: *buf,
+                    tag: Tag::new(0),
+                })
                 .collect();
             let recvs: Vec<HaloLeg> = peers
                 .iter()
                 .zip(&ins)
-                .map(|(peer, buf)| HaloLeg { peer: *peer, buffer: *buf, tag: Tag::new(0) })
+                .map(|(peer, buf)| HaloLeg {
+                    peer: *peer,
+                    buffer: *buf,
+                    tag: Tag::new(0),
+                })
                 .collect();
             exchange(ctx, &sends, &recvs)?;
             if let Some(bytes) = self.allreduce_bytes {
@@ -345,7 +353,10 @@ mod tests {
             .collect();
         let min = *totals.iter().min().unwrap();
         let max = *totals.iter().max().unwrap();
-        assert!(max > min, "imbalance should differentiate ranks: {totals:?}");
+        assert!(
+            max > min,
+            "imbalance should differentiate ranks: {totals:?}"
+        );
         // Deterministic across builds.
         let again = Synthetic::builder()
             .ranks(8)

@@ -1,10 +1,13 @@
 //! Replay-throughput benchmarks: how fast the Dimemas substrate
 //! reconstructs time behaviour (records/second), for original and
-//! overlapped traces.
+//! overlapped traces — and how the optimized hot path (interned channels,
+//! slab event queue, prepared indexes) compares to the pre-optimization
+//! reference engine kept in `ovlsim_dimemas::replay_naive`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ovlsim_apps::{calibration::reference_platform, NasBt, Sweep3d};
-use ovlsim_dimemas::Simulator;
+use ovlsim_core::TraceIndex;
+use ovlsim_dimemas::{replay_naive, Simulator};
 use ovlsim_tracer::TracingSession;
 use std::hint::black_box;
 
@@ -40,6 +43,30 @@ fn bench_replay(c: &mut Criterion) {
         },
     );
 
+    // The sweep hot path: index once, replay prepared. This is what every
+    // bandwidth sweep point pays.
+    let index = TraceIndex::build(&overlapped).expect("valid trace");
+    group.throughput(Throughput::Elements(overlapped.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("nas_bt_overlapped_prepared", overlapped.total_records()),
+        &overlapped,
+        |b, trace| {
+            let sim = Simulator::new(platform.clone());
+            b.iter(|| black_box(sim.run_prepared(trace, &index).expect("replays")));
+        },
+    );
+
+    // Pre-optimization baseline: BTreeMap channels, BTreeSet wait groups,
+    // revalidation per run (the seed's only entry point).
+    group.throughput(Throughput::Elements(overlapped.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("nas_bt_overlapped_naive", overlapped.total_records()),
+        &overlapped,
+        |b, trace| {
+            b.iter(|| black_box(replay_naive(&platform, trace).expect("replays")));
+        },
+    );
+
     let sweep = Sweep3d::builder().ranks(16).build().expect("valid Sweep3D");
     let bundle = TracingSession::new(&sweep).run().expect("traces");
     let overlapped = bundle.overlapped_linear();
@@ -50,6 +77,14 @@ fn bench_replay(c: &mut Criterion) {
         |b, trace| {
             let sim = Simulator::new(platform.clone());
             b.iter(|| black_box(sim.run(trace).expect("replays")));
+        },
+    );
+    group.throughput(Throughput::Elements(overlapped.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("sweep3d_overlapped_naive", overlapped.total_records()),
+        &overlapped,
+        |b, trace| {
+            b.iter(|| black_box(replay_naive(&platform, trace).expect("replays")));
         },
     );
     group.finish();

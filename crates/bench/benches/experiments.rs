@@ -20,9 +20,7 @@ fn bench_sweeps(c: &mut Criterion) {
     let bws = log_bandwidths(1.0e6, 1.0e11, 7);
     c.bench_function("sweep_nas_cg_7pts", |b| {
         b.iter(|| {
-            black_box(
-                sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws).expect("sweeps"),
-            )
+            black_box(sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws).expect("sweeps"))
         });
     });
 
@@ -30,9 +28,7 @@ fn bench_sweeps(c: &mut Criterion) {
     let bundle = TracingSession::new(&sweep).run().expect("traces");
     c.bench_function("sweep_sweep3d_7pts", |b| {
         b.iter(|| {
-            black_box(
-                sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws).expect("sweeps"),
-            )
+            black_box(sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws).expect("sweeps"))
         });
     });
 }

@@ -80,15 +80,14 @@ fn main() {
         let rendered = report.render();
         println!("{rendered}");
         fs::write(out_dir.join(format!("{name}.txt")), &rendered).expect("write report");
-        fs::write(out_dir.join(format!("{name}.csv")), report.table.to_csv())
-            .expect("write csv");
+        fs::write(out_dir.join(format!("{name}.csv")), report.table.to_csv()).expect("write csv");
     }
 
     // E8 additionally on Sweep3D (the pipeline-shaped code).
     let sweep = Sweep3d::builder().ranks(16).build().expect("valid Sweep3D");
     let report = ovlsim_lab::e8_platform_sensitivity(&sweep).expect("E8 sweep3d runs");
-    let mut existing = fs::read_to_string(out_dir.join("exp_platform_sensitivity.txt"))
-        .unwrap_or_default();
+    let mut existing =
+        fs::read_to_string(out_dir.join("exp_platform_sensitivity.txt")).unwrap_or_default();
     existing.push('\n');
     existing.push_str(&report.render());
     fs::write(out_dir.join("exp_platform_sensitivity.txt"), existing).expect("append report");

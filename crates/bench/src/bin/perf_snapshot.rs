@@ -1,0 +1,164 @@
+//! Records a machine-readable performance snapshot of the replay hot path
+//! and the parallel sweep driver.
+//!
+//! Usage: `cargo run --release -p ovlsim-bench --bin perf_snapshot [label]`
+//!
+//! Writes `BENCH_<label>.json` (default label `snapshot`) in the current
+//! directory with:
+//!
+//! * replay throughput (records/s) on a large synthetic trace for the
+//!   naive reference engine, the optimized validating entry point, and the
+//!   optimized prepared (sweep) path, plus the naive→prepared speedup,
+//! * wall-clock of a multi-point bandwidth sweep at 1/2/4 worker threads
+//!   and the resulting scaling factors, with a byte-identity check between
+//!   the sequential and parallel results.
+//!
+//! Snapshots are committed next to the README so perf regressions are
+//! visible in review diffs; see README.md §Benchmarks.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ovlsim_apps::{calibration::reference_platform, NasBt};
+use ovlsim_core::{TraceIndex, TraceSet};
+use ovlsim_dimemas::{replay_naive, Simulator};
+use ovlsim_lab::{log_bandwidths, sweep_traces_threaded};
+use ovlsim_tracer::{ChunkingPolicy, TracingSession};
+
+/// Times `f` over enough iterations to fill ~0.5 s, returning the mean
+/// seconds per call.
+fn time_call<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warmup
+    let probe = Instant::now();
+    f();
+    let one = probe.elapsed().as_secs_f64();
+    let iters = (0.5 / one.max(1e-9)).clamp(1.0, 10_000.0) as u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "snapshot".into());
+    let platform = reference_platform();
+
+    // The "large synthetic trace": NAS-BT with an aggressive chunk count,
+    // so the overlapped variant carries a deep isend/waitall fan-out.
+    let app = NasBt::builder()
+        .ranks(16)
+        .iterations(4)
+        .build()
+        .expect("valid NAS-BT");
+    let bundle = TracingSession::new(&app)
+        .policy(ChunkingPolicy::fixed_count(16).with_min_chunk_bytes(512))
+        .run()
+        .expect("traces");
+    let trace: &TraceSet = &bundle.overlapped_linear();
+    let records = trace.total_records() as f64;
+
+    let naive_s = time_call(|| {
+        std::hint::black_box(replay_naive(&platform, trace).expect("replays"));
+    });
+    let sim = Simulator::new(platform.clone());
+    let run_s = time_call(|| {
+        std::hint::black_box(sim.run(trace).expect("replays"));
+    });
+    let index = TraceIndex::build(trace).expect("valid trace");
+    let prepared_s = time_call(|| {
+        std::hint::black_box(sim.run_prepared(trace, &index).expect("replays"));
+    });
+
+    // Multi-point sweep scaling. Points chosen so a run takes long enough
+    // to measure but the snapshot stays quick. Thread counts are capped at
+    // the host's parallelism: measuring 4 workers on a 1-core container
+    // would only record scheduler noise.
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let original = bundle.original();
+    let bws = log_bandwidths(1.0e6, 1.0e11, 24);
+    let mut sweep_secs = Vec::new();
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        if threads > 1 && threads > available {
+            break;
+        }
+        let start = Instant::now();
+        let points =
+            sweep_traces_threaded(original, trace, &platform, &bws, threads).expect("sweeps");
+        sweep_secs.push((threads, start.elapsed().as_secs_f64()));
+        match &reference {
+            None => reference = Some(points),
+            Some(seq) => assert_eq!(
+                seq, &points,
+                "parallel sweep diverged from sequential at {threads} threads"
+            ),
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"trace\": {{");
+    let _ = writeln!(json, "    \"name\": \"{}\",", trace.name());
+    let _ = writeln!(json, "    \"ranks\": {},", trace.rank_count());
+    let _ = writeln!(json, "    \"records\": {}", trace.total_records());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"replay\": {{");
+    let _ = writeln!(
+        json,
+        "    \"naive_records_per_sec\": {:.0},",
+        records / naive_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"optimized_run_records_per_sec\": {:.0},",
+        records / run_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"optimized_prepared_records_per_sec\": {:.0},",
+        records / prepared_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_run_vs_naive\": {:.2},",
+        naive_s / run_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_prepared_vs_naive\": {:.2}",
+        naive_s / prepared_s
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sweep\": {{");
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(format!("    \"points\": {}", bws.len()));
+    lines.push(format!("    \"available_parallelism\": {available}"));
+    for (threads, secs) in &sweep_secs {
+        lines.push(format!("    \"wall_secs_{threads}_threads\": {secs:.4}"));
+    }
+    let base = sweep_secs[0].1;
+    for (threads, secs) in &sweep_secs[1..] {
+        lines.push(format!(
+            "    \"scaling_{threads}_threads\": {:.2}",
+            base / secs
+        ));
+    }
+    if available < 4 {
+        lines.push(format!(
+            "    \"scaling_note\": \"host exposes {available} CPU(s); \
+             scaling up to 4 threads needs a >=4-core host (e.g. CI)\""
+        ));
+    }
+    let _ = writeln!(json, "{}", lines.join(",\n"));
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let path = format!("BENCH_{label}.json");
+    std::fs::write(&path, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

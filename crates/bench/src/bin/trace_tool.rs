@@ -33,7 +33,9 @@ fn load(path: &str) -> Result<TraceSet, String> {
 }
 
 fn app_by_name(name: &str) -> Option<Box<dyn Application>> {
-    ovlsim_apps::paper_apps().into_iter().find(|a| a.name() == name)
+    ovlsim_apps::paper_apps()
+        .into_iter()
+        .find(|a| a.name() == name)
 }
 
 fn cmd_gen(app_name: &str, prefix: &str) -> Result<(), String> {
@@ -119,8 +121,7 @@ fn cmd_replay(path: &str, bw: Option<&str>, lat: Option<&str>) -> Result<(), Str
         .bandwidth_bytes_per_sec(bw)
         .map_err(|e| e.to_string())?;
     let platform = b.build();
-    let (timeline, result) =
-        Timeline::capture(&platform, &trace).map_err(|e| e.to_string())?;
+    let (timeline, result) = Timeline::capture(&platform, &trace).map_err(|e| e.to_string())?;
     println!("{result}");
     for r in 0..result.rank_finish().len() {
         println!(
@@ -129,7 +130,16 @@ fn cmd_replay(path: &str, bw: Option<&str>, lat: Option<&str>) -> Result<(), Str
             format_time(result.rank_compute()[Rank::new(r as u32).index()])
         );
     }
-    println!("\n{}", render_gantt(&timeline, &GanttOptions { width: 72, legend: true }));
+    println!(
+        "\n{}",
+        render_gantt(
+            &timeline,
+            &GanttOptions {
+                width: 72,
+                legend: true
+            }
+        )
+    );
     Ok(())
 }
 

@@ -177,7 +177,9 @@ mod tests {
     #[test]
     fn ids_are_ordered_and_hashable() {
         use std::collections::BTreeSet;
-        let set: BTreeSet<Tag> = [Tag::new(3), Tag::new(1), Tag::new(2)].into_iter().collect();
+        let set: BTreeSet<Tag> = [Tag::new(3), Tag::new(1), Tag::new(2)]
+            .into_iter()
+            .collect();
         let v: Vec<u64> = set.into_iter().map(Tag::get).collect();
         assert_eq!(v, vec![1, 2, 3]);
     }

@@ -37,6 +37,7 @@
 
 mod error;
 mod ids;
+mod index;
 mod instr;
 mod platform;
 mod record;
@@ -46,9 +47,10 @@ mod validate;
 
 pub use error::CoreError;
 pub use ids::{BufferId, MessageId, Rank, RequestId, Tag};
+pub use index::{ChannelId, TraceIndex, NO_CHANNEL};
 pub use instr::{Instr, MipsRate};
 pub use platform::{CollectiveModel, CollectiveOp, Platform, PlatformBuilder, StageModel};
-pub use record::{Record, RecordKind, TraceSet, RankTrace};
+pub use record::{RankTrace, Record, RecordKind, TraceSet};
 pub use time::{Bandwidth, Time};
 pub use units::{format_bandwidth, format_bytes, format_time};
 pub use validate::{validate_trace_set, TraceIssue};

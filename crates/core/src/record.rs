@@ -169,11 +169,21 @@ impl fmt::Display for Record {
         match self {
             Record::Burst { instr } => write!(f, "burst {}", instr.get()),
             Record::Send { to, bytes, tag } => write!(f, "send {to} {bytes} {tag}"),
-            Record::ISend { to, bytes, tag, req } => {
+            Record::ISend {
+                to,
+                bytes,
+                tag,
+                req,
+            } => {
                 write!(f, "isend {to} {bytes} {tag} {req}")
             }
             Record::Recv { from, bytes, tag } => write!(f, "recv {from} {bytes} {tag}"),
-            Record::IRecv { from, bytes, tag, req } => {
+            Record::IRecv {
+                from,
+                bytes,
+                tag,
+                req,
+            } => {
                 write!(f, "irecv {from} {bytes} {tag} {req}")
             }
             Record::Wait { req } => write!(f, "wait {req}"),

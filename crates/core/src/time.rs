@@ -370,7 +370,10 @@ mod tests {
     #[test]
     fn saturating_ops() {
         assert_eq!(Time::MAX.saturating_add(Time::from_ns(1)), Time::MAX);
-        assert_eq!(Time::from_ns(1).saturating_sub(Time::from_ns(2)), Time::ZERO);
+        assert_eq!(
+            Time::from_ns(1).saturating_sub(Time::from_ns(2)),
+            Time::ZERO
+        );
         assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
     }
 

@@ -45,12 +45,7 @@ pub fn format_time(t: Time) -> String {
 /// assert_eq!(format_bytes(42), "42 B");
 /// ```
 pub fn format_bytes(bytes: u64) -> String {
-    const UNITS: [(&str, f64); 4] = [
-        ("TB", 1.0e12),
-        ("GB", 1.0e9),
-        ("MB", 1.0e6),
-        ("KB", 1.0e3),
-    ];
+    const UNITS: [(&str, f64); 4] = [("TB", 1.0e12), ("GB", 1.0e9), ("MB", 1.0e6), ("KB", 1.0e3)];
     for (unit, scale) in UNITS {
         if bytes as f64 >= scale {
             return format!("{:.2} {unit}", bytes as f64 / scale);

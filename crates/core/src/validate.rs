@@ -6,10 +6,11 @@
 //! replay simulator runs, turning would-be deadlocks or panics into
 //! actionable reports.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use crate::ids::{Rank, RequestId, Tag};
+use crate::index::{TraceIndex, NO_CHANNEL};
 use crate::record::{Record, TraceSet};
 
 /// One structural problem found in a trace set.
@@ -166,19 +167,57 @@ impl fmt::Display for TraceIssue {
 /// # }
 /// ```
 pub fn validate_trace_set(ts: &TraceSet) -> Vec<TraceIssue> {
+    scan_trace_set(ts).0
+}
+
+/// One interned channel's validation state: FIFO streams of byte sizes on
+/// both sides, plus the key for issue reporting.
+struct ChannelScan {
+    from: Rank,
+    to: Rank,
+    tag: Tag,
+    sends: Vec<u64>,
+    recvs: Vec<u64>,
+}
+
+/// Validates and indexes a trace set in one pass over the records. This is
+/// the engine behind both [`validate_trace_set`] and
+/// [`TraceIndex::build`](crate::TraceIndex::build); channel interning rides
+/// along with validation because both need the same per-record channel
+/// resolution.
+pub(crate) fn scan_trace_set(ts: &TraceSet) -> (Vec<TraceIssue>, TraceIndex) {
     let mut issues = Vec::new();
     let n = ts.rank_count();
 
-    // Per-channel FIFO streams of byte sizes.
-    let mut send_streams: BTreeMap<(Rank, Rank, Tag), Vec<u64>> = BTreeMap::new();
-    let mut recv_streams: BTreeMap<(Rank, Rank, Tag), Vec<u64>> = BTreeMap::new();
-    // Per-rank collective signature sequence.
-    let mut collective_seqs: Vec<Vec<String>> = Vec::with_capacity(n);
+    // Dense channel interner: first appearance (scanning ranks in order,
+    // records in order) assigns the next id, making ids deterministic.
+    let mut channel_ids: HashMap<(u32, u32, u64), u32> = HashMap::new();
+    let mut channels: Vec<ChannelScan> = Vec::new();
+    let mut record_channels: Vec<Vec<u32>> = Vec::with_capacity(n);
+    // Per-rank collective sequence (record references; compared by value).
+    let mut collective_seqs: Vec<Vec<&Record>> = Vec::with_capacity(n);
+
+    let mut intern = |from: Rank, to: Rank, tag: Tag, channels: &mut Vec<ChannelScan>| -> u32 {
+        *channel_ids
+            .entry((from.get(), to.get(), tag.get()))
+            .or_insert_with(|| {
+                let id = u32::try_from(channels.len()).expect("channel ids fit in u32");
+                channels.push(ChannelScan {
+                    from,
+                    to,
+                    tag,
+                    sends: Vec::new(),
+                    recvs: Vec::new(),
+                });
+                id
+            })
+    };
 
     for (idx, trace) in ts.ranks().iter().enumerate() {
         let rank = Rank::new(idx as u32);
         let mut in_flight: BTreeSet<RequestId> = BTreeSet::new();
         let mut collectives = Vec::new();
+        let mut rank_channels = Vec::with_capacity(trace.len());
 
         for (ri, rec) in trace.iter().enumerate() {
             let check_rank = |referenced: Rank, issues: &mut Vec<TraceIssue>| {
@@ -190,14 +229,22 @@ pub fn validate_trace_set(ts: &TraceSet) -> Vec<TraceIssue> {
                     });
                 }
             };
+            let mut channel = NO_CHANNEL;
             match rec {
                 Record::Send { to, bytes, tag } => {
                     check_rank(*to, &mut issues);
-                    send_streams.entry((rank, *to, *tag)).or_default().push(*bytes);
+                    channel = intern(rank, *to, *tag, &mut channels);
+                    channels[channel as usize].sends.push(*bytes);
                 }
-                Record::ISend { to, bytes, tag, req } => {
+                Record::ISend {
+                    to,
+                    bytes,
+                    tag,
+                    req,
+                } => {
                     check_rank(*to, &mut issues);
-                    send_streams.entry((rank, *to, *tag)).or_default().push(*bytes);
+                    channel = intern(rank, *to, *tag, &mut channels);
+                    channels[channel as usize].sends.push(*bytes);
                     if !in_flight.insert(*req) {
                         issues.push(TraceIssue::DuplicateRequest {
                             rank,
@@ -208,11 +255,18 @@ pub fn validate_trace_set(ts: &TraceSet) -> Vec<TraceIssue> {
                 }
                 Record::Recv { from, bytes, tag } => {
                     check_rank(*from, &mut issues);
-                    recv_streams.entry((*from, rank, *tag)).or_default().push(*bytes);
+                    channel = intern(*from, rank, *tag, &mut channels);
+                    channels[channel as usize].recvs.push(*bytes);
                 }
-                Record::IRecv { from, bytes, tag, req } => {
+                Record::IRecv {
+                    from,
+                    bytes,
+                    tag,
+                    req,
+                } => {
                     check_rank(*from, &mut issues);
-                    recv_streams.entry((*from, rank, *tag)).or_default().push(*bytes);
+                    channel = intern(*from, rank, *tag, &mut channels);
+                    channels[channel as usize].recvs.push(*bytes);
                     if !in_flight.insert(*req) {
                         issues.push(TraceIssue::DuplicateRequest {
                             rank,
@@ -221,14 +275,13 @@ pub fn validate_trace_set(ts: &TraceSet) -> Vec<TraceIssue> {
                         });
                     }
                 }
-                Record::Wait { req }
-                    if !in_flight.remove(req) => {
-                        issues.push(TraceIssue::UnknownRequest {
-                            rank,
-                            record: ri,
-                            req: *req,
-                        });
-                    }
+                Record::Wait { req } if !in_flight.remove(req) => {
+                    issues.push(TraceIssue::UnknownRequest {
+                        rank,
+                        record: ri,
+                        req: *req,
+                    });
+                }
                 Record::WaitAll { reqs } => {
                     for req in reqs {
                         if !in_flight.remove(req) {
@@ -242,42 +295,47 @@ pub fn validate_trace_set(ts: &TraceSet) -> Vec<TraceIssue> {
                 }
                 Record::Bcast { root, .. } | Record::Reduce { root, .. } => {
                     check_rank(*root, &mut issues);
-                    collectives.push(format!("{rec}"));
+                    collectives.push(rec);
                 }
-                r if r.is_collective() => collectives.push(format!("{rec}")),
+                r if r.is_collective() => collectives.push(rec),
                 _ => {}
             }
+            rank_channels.push(channel);
         }
 
         for req in in_flight {
             issues.push(TraceIssue::LeakedRequest { rank, req });
         }
         collective_seqs.push(collectives);
+        record_channels.push(rank_channels);
     }
 
-    // Channel balance and pairwise sizes.
-    let channels: BTreeSet<_> = send_streams.keys().chain(recv_streams.keys()).cloned().collect();
-    for key in channels {
-        let empty = Vec::new();
-        let sends = send_streams.get(&key).unwrap_or(&empty);
-        let recvs = recv_streams.get(&key).unwrap_or(&empty);
-        let (from, to, tag) = key;
-        if sends.len() != recvs.len() {
+    // Channel balance and pairwise sizes. Channels are re-sorted by
+    // (from, to, tag) for reporting so issue order is independent of the
+    // interner's first-appearance numbering.
+    let mut report_order: Vec<usize> = (0..channels.len()).collect();
+    report_order.sort_by_key(|&i| {
+        let c = &channels[i];
+        (c.from, c.to, c.tag)
+    });
+    for i in report_order {
+        let c = &channels[i];
+        if c.sends.len() != c.recvs.len() {
             issues.push(TraceIssue::UnbalancedChannel {
-                from,
-                to,
-                tag,
-                sends: sends.len(),
-                recvs: recvs.len(),
+                from: c.from,
+                to: c.to,
+                tag: c.tag,
+                sends: c.sends.len(),
+                recvs: c.recvs.len(),
             });
         }
-        for (i, (s, r)) in sends.iter().zip(recvs.iter()).enumerate() {
+        for (pos, (s, r)) in c.sends.iter().zip(c.recvs.iter()).enumerate() {
             if s != r {
                 issues.push(TraceIssue::SizeMismatch {
-                    from,
-                    to,
-                    tag,
-                    position: i,
+                    from: c.from,
+                    to: c.to,
+                    tag: c.tag,
+                    position: pos,
                     send_bytes: *s,
                     recv_bytes: *r,
                 });
@@ -286,6 +344,8 @@ pub fn validate_trace_set(ts: &TraceSet) -> Vec<TraceIssue> {
     }
 
     // Collective agreement: every rank must list the same sequence.
+    // Records are compared structurally; the display strings are only
+    // rendered for the (rare) mismatch report.
     if let Some(reference) = collective_seqs.first() {
         for (idx, seq) in collective_seqs.iter().enumerate().skip(1) {
             let rank = Rank::new(idx as u32);
@@ -316,7 +376,10 @@ pub fn validate_trace_set(ts: &TraceSet) -> Vec<TraceIssue> {
         }
     }
 
-    issues
+    (
+        issues,
+        TraceIndex::from_parts(ts.name().to_string(), channels.len(), record_channels),
+    )
 }
 
 #[cfg(test)]
@@ -344,13 +407,31 @@ mod tests {
     fn valid_ping_pong_passes() {
         let ts = two_rank(
             vec![
-                Record::Burst { instr: Instr::new(10) },
-                Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(1) },
-                Record::Recv { from: Rank::new(1), bytes: 100, tag: Tag::new(2) },
+                Record::Burst {
+                    instr: Instr::new(10),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 100,
+                    tag: Tag::new(1),
+                },
+                Record::Recv {
+                    from: Rank::new(1),
+                    bytes: 100,
+                    tag: Tag::new(2),
+                },
             ],
             vec![
-                Record::Recv { from: Rank::new(0), bytes: 100, tag: Tag::new(1) },
-                Record::Send { to: Rank::new(0), bytes: 100, tag: Tag::new(2) },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 100,
+                    tag: Tag::new(1),
+                },
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 100,
+                    tag: Tag::new(2),
+                },
             ],
         );
         assert!(validate_trace_set(&ts).is_empty());
@@ -359,7 +440,11 @@ mod tests {
     #[test]
     fn unmatched_send_reported() {
         let ts = two_rank(
-            vec![Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(1) }],
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 100,
+                tag: Tag::new(1),
+            }],
             vec![],
         );
         let issues = validate_trace_set(&ts);
@@ -370,19 +455,36 @@ mod tests {
     #[test]
     fn size_mismatch_reported() {
         let ts = two_rank(
-            vec![Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(1) }],
-            vec![Record::Recv { from: Rank::new(0), bytes: 50, tag: Tag::new(1) }],
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 100,
+                tag: Tag::new(1),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 50,
+                tag: Tag::new(1),
+            }],
         );
         let issues = validate_trace_set(&ts);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, TraceIssue::SizeMismatch { send_bytes: 100, recv_bytes: 50, .. })));
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            TraceIssue::SizeMismatch {
+                send_bytes: 100,
+                recv_bytes: 50,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn rank_out_of_range_reported() {
         let ts = two_rank(
-            vec![Record::Send { to: Rank::new(5), bytes: 1, tag: Tag::new(0) }],
+            vec![Record::Send {
+                to: Rank::new(5),
+                bytes: 1,
+                tag: Tag::new(0),
+            }],
             vec![],
         );
         let issues = validate_trace_set(&ts);
@@ -393,7 +495,12 @@ mod tests {
 
     #[test]
     fn wait_on_unknown_request_reported() {
-        let ts = two_rank(vec![Record::Wait { req: RequestId::new(3) }], vec![]);
+        let ts = two_rank(
+            vec![Record::Wait {
+                req: RequestId::new(3),
+            }],
+            vec![],
+        );
         let issues = validate_trace_set(&ts);
         assert!(matches!(issues[0], TraceIssue::UnknownRequest { .. }));
     }
@@ -407,10 +514,16 @@ mod tests {
                 tag: Tag::new(1),
                 req: RequestId::new(0),
             }],
-            vec![Record::Send { to: Rank::new(0), bytes: 10, tag: Tag::new(1) }],
+            vec![Record::Send {
+                to: Rank::new(0),
+                bytes: 10,
+                tag: Tag::new(1),
+            }],
         );
         let issues = validate_trace_set(&ts);
-        assert!(issues.iter().any(|i| matches!(i, TraceIssue::LeakedRequest { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::LeakedRequest { .. })));
     }
 
     #[test]
@@ -429,15 +542,27 @@ mod tests {
                     tag: Tag::new(2),
                     req: RequestId::new(0),
                 },
-                Record::Wait { req: RequestId::new(0) },
+                Record::Wait {
+                    req: RequestId::new(0),
+                },
             ],
             vec![
-                Record::Send { to: Rank::new(0), bytes: 10, tag: Tag::new(1) },
-                Record::Send { to: Rank::new(0), bytes: 10, tag: Tag::new(2) },
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 10,
+                    tag: Tag::new(1),
+                },
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 10,
+                    tag: Tag::new(2),
+                },
             ],
         );
         let issues = validate_trace_set(&ts);
-        assert!(issues.iter().any(|i| matches!(i, TraceIssue::DuplicateRequest { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::DuplicateRequest { .. })));
     }
 
     #[test]
@@ -447,14 +572,18 @@ mod tests {
             vec![Record::Barrier],
         );
         let issues = validate_trace_set(&ts);
-        assert!(issues.iter().any(|i| matches!(i, TraceIssue::CollectiveMismatch { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::CollectiveMismatch { .. })));
 
         let ts = two_rank(
             vec![Record::AllReduce { bytes: 8 }],
             vec![Record::AllReduce { bytes: 16 }],
         );
         let issues = validate_trace_set(&ts);
-        assert!(issues.iter().any(|i| matches!(i, TraceIssue::CollectiveMismatch { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::CollectiveMismatch { .. })));
     }
 
     #[test]

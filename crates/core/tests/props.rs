@@ -1,8 +1,6 @@
 //! Property tests for the core quantity types.
 
-use ovlsim_core::{
-    format_bandwidth, format_bytes, format_time, Bandwidth, Instr, MipsRate, Time,
-};
+use ovlsim_core::{format_bandwidth, format_bytes, format_time, Bandwidth, Instr, MipsRate, Time};
 use proptest::prelude::*;
 
 proptest! {

@@ -199,10 +199,7 @@ pub fn parse_trace_set(text: &str) -> Result<TraceSet, ParseError> {
         }
         if let Some(rest) = line.strip_prefix("mips ") {
             let v = parse_u64(rest.trim(), line_no, "MIPS rate")?;
-            mips = Some(
-                MipsRate::new(v)
-                    .map_err(|e| ParseError::new(line_no, e.to_string()))?,
-            );
+            mips = Some(MipsRate::new(v).map_err(|e| ParseError::new(line_no, e.to_string()))?);
             continue;
         }
         if let Some(rest) = line.strip_prefix("ranks ") {
@@ -266,32 +263,52 @@ mod tests {
             MipsRate::new(1500).unwrap(),
             vec![
                 RankTrace::from_records(vec![
-                    Record::Burst { instr: Instr::new(42) },
-                    Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(3) },
+                    Record::Burst {
+                        instr: Instr::new(42),
+                    },
+                    Record::Send {
+                        to: Rank::new(1),
+                        bytes: 100,
+                        tag: Tag::new(3),
+                    },
                     Record::ISend {
                         to: Rank::new(1),
                         bytes: 200,
                         tag: Tag::new(4),
                         req: RequestId::new(0),
                     },
-                    Record::Wait { req: RequestId::new(0) },
+                    Record::Wait {
+                        req: RequestId::new(0),
+                    },
                     Record::Barrier,
                     Record::AllReduce { bytes: 8 },
                     Record::Marker { code: 17 },
                 ]),
                 RankTrace::from_records(vec![
-                    Record::Recv { from: Rank::new(0), bytes: 100, tag: Tag::new(3) },
+                    Record::Recv {
+                        from: Rank::new(0),
+                        bytes: 100,
+                        tag: Tag::new(3),
+                    },
                     Record::IRecv {
                         from: Rank::new(0),
                         bytes: 200,
                         tag: Tag::new(4),
                         req: RequestId::new(0),
                     },
-                    Record::WaitAll { reqs: vec![RequestId::new(0)] },
+                    Record::WaitAll {
+                        reqs: vec![RequestId::new(0)],
+                    },
                     Record::Barrier,
                     Record::AllReduce { bytes: 8 },
-                    Record::Bcast { root: Rank::new(0), bytes: 64 },
-                    Record::Reduce { root: Rank::new(1), bytes: 32 },
+                    Record::Bcast {
+                        root: Rank::new(0),
+                        bytes: 64,
+                    },
+                    Record::Reduce {
+                        root: Rank::new(1),
+                        bytes: 32,
+                    },
                     Record::AllToAll { bytes: 16 },
                     Record::AllGather { bytes: 24 },
                 ]),

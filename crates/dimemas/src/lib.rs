@@ -42,9 +42,14 @@
 mod collective;
 mod error;
 mod format;
+mod naive;
 mod network;
 mod observer;
 mod replay;
+mod reqs;
+
+#[doc(hidden)]
+pub use naive::replay_naive;
 
 pub use error::SimError;
 pub use format::{emit_trace_set, parse_trace_set, ParseError};

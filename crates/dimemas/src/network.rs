@@ -183,7 +183,10 @@ mod tests {
         let started = net.start_eligible(Time::ZERO, |id| routes[id]);
         assert_eq!(started, vec![0], "only one bus");
         net.release(Rank::new(0), Rank::new(1), Time::from_us(1));
-        assert_eq!(net.start_eligible(Time::from_us(1), |id| routes[id]), vec![1]);
+        assert_eq!(
+            net.start_eligible(Time::from_us(1), |id| routes[id]),
+            vec![1]
+        );
     }
 
     #[test]
@@ -221,7 +224,10 @@ mod tests {
         // But the receivers also share node 1's single in-link, so after
         // releasing, transfer 1 can go.
         net.release(Rank::new(0), Rank::new(2), Time::from_us(1));
-        assert_eq!(net.start_eligible(Time::from_us(1), |id| routes[id]), vec![1]);
+        assert_eq!(
+            net.start_eligible(Time::from_us(1), |id| routes[id]),
+            vec![1]
+        );
     }
 
     #[test]

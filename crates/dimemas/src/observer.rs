@@ -105,7 +105,12 @@ mod tests {
     #[test]
     fn null_observer_accepts_everything() {
         let mut o = NullObserver;
-        o.interval(Rank::new(0), Time::ZERO, Time::from_ns(1), ProcState::Compute);
+        o.interval(
+            Rank::new(0),
+            Time::ZERO,
+            Time::from_ns(1),
+            ProcState::Compute,
+        );
         o.message(
             Rank::new(0),
             Rank::new(1),

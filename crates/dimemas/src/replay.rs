@@ -14,33 +14,55 @@
 //!   once the receive is posted, and blocking senders wait for completion,
 //! * collectives are synchronized cost-model phases,
 //! * request matching is FIFO per `(source, destination, tag)` channel.
+//!
+//! # Hot-path layout
+//!
+//! The paper's methodology is "synthesize once, replay many": every figure
+//! sweeps the same trace pair across dozens of platform points, so the
+//! replay inner loop is the system's hot path. It is organised around data
+//! precomputed at validation time:
+//!
+//! * channels are interned into dense `u32` ids by
+//!   [`TraceIndex::build`] — matching a message indexes a vector instead of
+//!   walking an ordered map,
+//! * per-rank record and channel slices are resolved once, so stepping a
+//!   rank streams its records without re-indexing the [`TraceSet`],
+//! * wait-sets live in inline small-vectors ([`crate::reqs`]) — a
+//!   `WaitAll` allocates nothing for typical chunk fan-outs,
+//! * the event queue is a free-list slab (`ovlsim-engine`) whose memory is
+//!   bounded by live events.
+//!
+//! Sweeps should build the [`TraceIndex`] once per trace and call
+//! [`Simulator::run_prepared`] per platform point, skipping revalidation
+//! entirely. [`Simulator::run`] remains the validating single-shot entry
+//! point; both produce bit-identical results (the original engine is kept
+//! in [`crate::naive`] and differential property tests enforce equality).
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
-use ovlsim_core::{
-    validate_trace_set, Platform, Rank, Record, RequestId, Tag, Time, TraceSet,
-};
+use ovlsim_core::{Platform, Rank, Record, RequestId, Tag, Time, TraceIndex, TraceSet};
 use ovlsim_engine::EventQueue;
 
 use crate::collective::{collective_op, CollectiveTracker};
 use crate::error::SimError;
 use crate::network::{Network, TransferId};
 use crate::observer::{NullObserver, ProcState, ReplayObserver};
+use crate::reqs::{ReqGroup, ReqState, ReqTable};
 
 /// Outcome of replaying one trace set on one platform.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplayResult {
-    name: String,
-    total_time: Time,
-    rank_finish: Vec<Time>,
-    rank_compute: Vec<Time>,
-    p2p_messages: u64,
-    p2p_bytes: u64,
-    collective_count: u64,
-    mean_busy_buses: f64,
-    peak_busy_buses: f64,
-    peak_waiting_transfers: usize,
+    pub(crate) name: String,
+    pub(crate) total_time: Time,
+    pub(crate) rank_finish: Vec<Time>,
+    pub(crate) rank_compute: Vec<Time>,
+    pub(crate) p2p_messages: u64,
+    pub(crate) p2p_bytes: u64,
+    pub(crate) collective_count: u64,
+    pub(crate) mean_busy_buses: f64,
+    pub(crate) peak_busy_buses: f64,
+    pub(crate) peak_waiting_transfers: usize,
 }
 
 impl ReplayResult {
@@ -174,6 +196,8 @@ struct RecvPost {
     done: Option<Time>,
 }
 
+/// FIFO matching state of one interned channel. Lives in a dense vector
+/// indexed by [`ovlsim_core::ChannelId`] — no map lookups on the hot path.
 #[derive(Debug, Default)]
 struct Channel {
     unmatched_sends: VecDeque<TransferId>,
@@ -184,14 +208,8 @@ struct Channel {
 enum Blocker {
     Recv(usize),
     SendDone(TransferId),
-    Reqs(BTreeSet<u32>),
+    Reqs(ReqGroup),
     Collective(usize),
-}
-
-#[derive(Debug, Clone, Copy)]
-enum ReqState {
-    InFlight,
-    Done(Time),
 }
 
 #[derive(Debug)]
@@ -201,7 +219,7 @@ struct Proc {
     blocked: Option<Blocker>,
     block_start: Time,
     coll_seq: usize,
-    reqs: BTreeMap<u32, ReqState>,
+    reqs: ReqTable,
     compute: Time,
     finished: Option<Time>,
     /// True once the per-message send overhead of the record at `cursor`
@@ -259,7 +277,10 @@ impl Simulator {
         &self.platform
     }
 
-    /// Replays a trace set.
+    /// Replays a trace set (validating and indexing it first).
+    ///
+    /// When replaying the same trace on many platforms, build a
+    /// [`TraceIndex`] once and use [`Simulator::run_prepared`] instead.
     ///
     /// # Errors
     ///
@@ -279,23 +300,83 @@ impl Simulator {
         trace: &TraceSet,
         observer: &mut dyn ReplayObserver,
     ) -> Result<ReplayResult, SimError> {
-        let issues = validate_trace_set(trace);
-        if !issues.is_empty() {
-            return Err(SimError::InvalidTrace { issues });
+        let index = TraceIndex::build(trace).map_err(|issues| SimError::InvalidTrace { issues })?;
+        ReplayState::new(&self.platform, trace, &index).run(observer)
+    }
+
+    /// Replays an already validated and indexed trace set, skipping
+    /// revalidation. The result is bit-identical to [`Simulator::run`];
+    /// only the per-run validation cost is gone — which is what makes
+    /// multi-point bandwidth sweeps cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if replay stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not match `trace` — detected best-effort via
+    /// trace name and rank/record counts; an index from a different trace
+    /// that agrees on all three is not caught, so always build the index
+    /// from the trace you replay.
+    pub fn run_prepared(
+        &self,
+        trace: &TraceSet,
+        index: &TraceIndex,
+    ) -> Result<ReplayResult, SimError> {
+        self.run_prepared_observed(trace, index, &mut NullObserver)
+    }
+
+    /// [`Simulator::run_prepared`] with timeline observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if replay stalls.
+    ///
+    /// # Panics
+    ///
+    /// Same best-effort mismatch detection as [`Simulator::run_prepared`].
+    pub fn run_prepared_observed(
+        &self,
+        trace: &TraceSet,
+        index: &TraceIndex,
+        observer: &mut dyn ReplayObserver,
+    ) -> Result<ReplayResult, SimError> {
+        assert_eq!(
+            index.trace_name(),
+            trace.name(),
+            "trace index built from a different trace (name mismatch)"
+        );
+        assert_eq!(
+            index.rank_count(),
+            trace.rank_count(),
+            "trace index built from a different trace (rank count mismatch)"
+        );
+        for (r, rank) in trace.ranks().iter().enumerate() {
+            assert_eq!(
+                index.rank_channels(r).len(),
+                rank.len(),
+                "trace index built from a different trace (rank {r} record count mismatch)"
+            );
         }
-        let mut state = ReplayState::new(&self.platform, trace);
-        state.run(observer)
+        ReplayState::new(&self.platform, trace, index).run(observer)
     }
 }
 
 struct ReplayState<'a> {
     platform: &'a Platform,
     trace: &'a TraceSet,
+    /// Per-rank record slices, resolved once (stepping a rank never goes
+    /// back through the `TraceSet`).
+    records: Vec<&'a [Record]>,
+    /// Per-rank interned channel ids, parallel to `records`.
+    chans: Vec<&'a [u32]>,
     queue: EventQueue<Event>,
     procs: Vec<Proc>,
     transfers: Vec<Transfer>,
     recv_posts: Vec<RecvPost>,
-    channels: BTreeMap<(u32, u32, u64), Channel>,
+    /// Dense channel table indexed by interned channel id.
+    channels: Vec<Channel>,
     network: Network,
     collectives: CollectiveTracker,
     p2p_messages: u64,
@@ -303,11 +384,13 @@ struct ReplayState<'a> {
 }
 
 impl<'a> ReplayState<'a> {
-    fn new(platform: &'a Platform, trace: &'a TraceSet) -> Self {
+    fn new(platform: &'a Platform, trace: &'a TraceSet, index: &'a TraceIndex) -> Self {
         let n = trace.rank_count();
         ReplayState {
             platform,
             trace,
+            records: trace.ranks().iter().map(|rt| rt.records()).collect(),
+            chans: (0..n).map(|r| index.rank_channels(r)).collect(),
             queue: EventQueue::new(),
             procs: (0..n)
                 .map(|_| Proc {
@@ -316,7 +399,7 @@ impl<'a> ReplayState<'a> {
                     blocked: None,
                     block_start: Time::ZERO,
                     coll_seq: 0,
-                    reqs: BTreeMap::new(),
+                    reqs: ReqTable::new(),
                     compute: Time::ZERO,
                     finished: None,
                     overhead_paid: false,
@@ -324,7 +407,9 @@ impl<'a> ReplayState<'a> {
                 .collect(),
             transfers: Vec::new(),
             recv_posts: Vec::new(),
-            channels: BTreeMap::new(),
+            channels: (0..index.channel_count())
+                .map(|_| Channel::default())
+                .collect(),
             network: Network::new(platform, n),
             collectives: CollectiveTracker::new(n),
             p2p_messages: 0,
@@ -441,7 +526,8 @@ impl<'a> ReplayState<'a> {
     /// Executes records of rank `r` until it blocks, yields, or finishes.
     fn step(&mut self, r: usize, observer: &mut dyn ReplayObserver) {
         debug_assert!(self.procs[r].blocked.is_none(), "stepping a blocked rank");
-        let records = self.trace.ranks()[r].records();
+        let records = self.records[r];
+        let chans = self.chans[r];
         loop {
             let cursor = self.procs[r].cursor;
             if cursor >= records.len() {
@@ -481,7 +567,7 @@ impl<'a> ReplayState<'a> {
                         SenderKind::Fire
                     };
                     let tid = self.create_transfer(r, *to, *bytes, *tag, rendezvous, kind);
-                    self.post_send(tid, now);
+                    self.post_send(tid, chans[cursor], now);
                     self.procs[r].cursor += 1;
                     if rendezvous {
                         let p = &mut self.procs[r];
@@ -490,7 +576,12 @@ impl<'a> ReplayState<'a> {
                         return;
                     }
                 }
-                Record::ISend { to, bytes, tag, req } => {
+                Record::ISend {
+                    to,
+                    bytes,
+                    tag,
+                    req,
+                } => {
                     if self.charge_send_overhead(r, now) {
                         return;
                     }
@@ -508,11 +599,15 @@ impl<'a> ReplayState<'a> {
                         ReqState::Done(now)
                     };
                     self.procs[r].reqs.insert(req.get(), state);
-                    self.post_send(tid, now);
+                    self.post_send(tid, chans[cursor], now);
                     self.procs[r].cursor += 1;
                 }
-                Record::Recv { from, bytes: _, tag } => {
-                    let pid = self.post_recv(r, None, *from, *tag, now);
+                Record::Recv {
+                    from,
+                    bytes: _,
+                    tag,
+                } => {
+                    let pid = self.post_recv(r, None, *from, *tag, chans[cursor], now);
                     self.procs[r].cursor += 1;
                     match self.recv_posts[pid].done {
                         Some(done) => {
@@ -534,8 +629,13 @@ impl<'a> ReplayState<'a> {
                         }
                     }
                 }
-                Record::IRecv { from, bytes: _, tag, req } => {
-                    let pid = self.post_recv(r, Some(*req), *from, *tag, now);
+                Record::IRecv {
+                    from,
+                    bytes: _,
+                    tag,
+                    req,
+                } => {
+                    let pid = self.post_recv(r, Some(*req), *from, *tag, chans[cursor], now);
                     let state = match self.recv_posts[pid].done {
                         Some(done) => ReqState::Done(done),
                         None => ReqState::InFlight,
@@ -549,8 +649,10 @@ impl<'a> ReplayState<'a> {
                     }
                 }
                 Record::WaitAll { reqs } => {
-                    let reqs = reqs.clone();
-                    if self.enter_wait(r, &reqs, now, observer) {
+                    // `records` borrows the trace directly (not through
+                    // `self`), so the wait-set is passed by reference — no
+                    // per-wait clone.
+                    if self.enter_wait(r, reqs, now, observer) {
                         return;
                     }
                 }
@@ -575,7 +677,12 @@ impl<'a> ReplayState<'a> {
                                     self.queue.schedule(done, Event::Resume(q));
                                 }
                             }
-                            observer.interval(Rank::new(r as u32), now, done, ProcState::Collective);
+                            observer.interval(
+                                Rank::new(r as u32),
+                                now,
+                                done,
+                                ProcState::Collective,
+                            );
                             self.procs[r].clock = done;
                             self.queue.schedule(done, Event::Resume(r));
                             return;
@@ -602,15 +709,17 @@ impl<'a> ReplayState<'a> {
         now: Time,
         observer: &mut dyn ReplayObserver,
     ) -> bool {
-        let mut remaining: BTreeSet<u32> = BTreeSet::new();
+        let mut remaining = ReqGroup::new();
         let mut latest = now;
         for req in reqs {
-            match self.procs[r].reqs.remove(&req.get()) {
-                Some(ReqState::Done(t)) => latest = latest.max(t),
-                Some(fly) => {
-                    // Keep it registered for completion bookkeeping.
-                    self.procs[r].reqs.insert(req.get(), fly);
-                    remaining.insert(req.get());
+            match self.procs[r].reqs.get(req.get()) {
+                Some(ReqState::Done(t)) => {
+                    self.procs[r].reqs.remove(req.get());
+                    latest = latest.max(t);
+                }
+                Some(ReqState::InFlight) => {
+                    // Stays registered for completion bookkeeping.
+                    remaining.push(req.get());
                 }
                 None => unreachable!("validated trace waits on posted requests"),
             }
@@ -663,8 +772,7 @@ impl<'a> ReplayState<'a> {
         sender_kind: SenderKind,
     ) -> TransferId {
         let tid = self.transfers.len();
-        let intra =
-            self.platform.node_of(from as u32) == self.platform.node_of(to.get());
+        let intra = self.platform.node_of(from as u32) == self.platform.node_of(to.get());
         self.transfers.push(Transfer {
             from: Rank::new(from as u32),
             to,
@@ -683,29 +791,17 @@ impl<'a> ReplayState<'a> {
         tid
     }
 
-    fn channel(&mut self, from: Rank, to: Rank, tag: Tag) -> &mut Channel {
-        self.channels
-            .entry((from.get(), to.get(), tag.get()))
-            .or_default()
-    }
-
-    fn post_send(&mut self, tid: TransferId, now: Time) {
-        let (from, to, tag) = {
-            let t = &self.transfers[tid];
-            (t.from, t.to, t.tag)
-        };
-        let matched = {
-            let ch = self.channel(from, to, tag);
-            match ch.unmatched_recvs.pop_front() {
-                Some(pid) => {
-                    self.transfers[tid].recv = Some(pid);
-                    self.recv_posts[pid].transfer = Some(tid);
-                    true
-                }
-                None => {
-                    ch.unmatched_sends.push_back(tid);
-                    false
-                }
+    fn post_send(&mut self, tid: TransferId, channel: u32, now: Time) {
+        let ch = &mut self.channels[channel as usize];
+        let matched = match ch.unmatched_recvs.pop_front() {
+            Some(pid) => {
+                self.transfers[tid].recv = Some(pid);
+                self.recv_posts[pid].transfer = Some(tid);
+                true
+            }
+            None => {
+                ch.unmatched_sends.push_back(tid);
+                false
             }
         };
         let ready = !self.transfers[tid].rendezvous || matched;
@@ -735,6 +831,7 @@ impl<'a> ReplayState<'a> {
         req: Option<RequestId>,
         from: Rank,
         tag: Tag,
+        channel: u32,
         now: Time,
     ) -> usize {
         let pid = self.recv_posts.len();
@@ -746,15 +843,12 @@ impl<'a> ReplayState<'a> {
             transfer: None,
             done: None,
         });
-        let to = Rank::new(r as u32);
-        let matched = {
-            let ch = self.channel(from, to, tag);
-            match ch.unmatched_sends.pop_front() {
-                Some(tid) => Some(tid),
-                None => {
-                    ch.unmatched_recvs.push_back(pid);
-                    None
-                }
+        let ch = &mut self.channels[channel as usize];
+        let matched = match ch.unmatched_sends.pop_front() {
+            Some(tid) => Some(tid),
+            None => {
+                ch.unmatched_recvs.push_back(pid);
+                None
             }
         };
         if let Some(tid) = matched {
@@ -783,9 +877,9 @@ impl<'a> ReplayState<'a> {
         // shrink the set; otherwise mark the request done for a later wait.
         let proc = &mut self.procs[r];
         let unblock = match &mut proc.blocked {
-            Some(Blocker::Reqs(set)) if set.contains(&req.get()) => {
-                set.remove(&req.get());
-                proc.reqs.remove(&req.get());
+            Some(Blocker::Reqs(set)) if set.contains(req.get()) => {
+                set.remove(req.get());
+                proc.reqs.remove(req.get());
                 set.is_empty()
             }
             _ => {
@@ -795,7 +889,12 @@ impl<'a> ReplayState<'a> {
         };
         if unblock {
             let p = &mut self.procs[r];
-            observer.interval(Rank::new(r as u32), p.block_start, at, ProcState::WaitRequest);
+            observer.interval(
+                Rank::new(r as u32),
+                p.block_start,
+                at,
+                ProcState::WaitRequest,
+            );
             p.blocked = None;
             p.clock = at;
             self.queue.schedule(at, Event::Resume(r));
@@ -859,7 +958,12 @@ impl<'a> ReplayState<'a> {
                 None => {
                     debug_assert_eq!(self.procs[r].blocked, Some(Blocker::Recv(pid)));
                     let p = &mut self.procs[r];
-                    observer.interval(Rank::new(r as u32), p.block_start, done, ProcState::WaitRecv);
+                    observer.interval(
+                        Rank::new(r as u32),
+                        p.block_start,
+                        done,
+                        ProcState::WaitRecv,
+                    );
                     p.blocked = None;
                     p.clock = done;
                     self.queue.schedule(done, Event::Resume(r));
@@ -871,7 +975,6 @@ impl<'a> ReplayState<'a> {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -899,7 +1002,9 @@ mod tests {
 
     #[test]
     fn lone_burst_takes_instr_over_mips() {
-        let ts = trace(vec![vec![Record::Burst { instr: Instr::new(5000) }]]);
+        let ts = trace(vec![vec![Record::Burst {
+            instr: Instr::new(5000),
+        }]]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
         // 5000 instr at 1000 MIPS = 5 us.
         assert_eq!(res.total_time(), Time::from_us(5));
@@ -915,7 +1020,9 @@ mod tests {
             .unwrap()
             .cpu_ratio(2.0)
             .build();
-        let ts = trace(vec![vec![Record::Burst { instr: Instr::new(5000) }]]);
+        let ts = trace(vec![vec![Record::Burst {
+            instr: Instr::new(5000),
+        }]]);
         let res = Simulator::new(p).run(&ts).unwrap();
         assert_eq!(res.total_time(), Time::from_us(2) + Time::from_ps(500_000));
     }
@@ -924,10 +1031,20 @@ mod tests {
     fn eager_send_recv_pair_timing() {
         let ts = trace(vec![
             vec![
-                Record::Burst { instr: Instr::new(1000) },
-                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                Record::Burst {
+                    instr: Instr::new(1000),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
             ],
-            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
         ]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
         // Sender: 1 us compute, send eager (instant locally).
@@ -943,10 +1060,20 @@ mod tests {
         // Receiver posts immediately; sender computes first.
         let ts = trace(vec![
             vec![
-                Record::Burst { instr: Instr::new(10_000) },
-                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                Record::Burst {
+                    instr: Instr::new(10_000),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
             ],
-            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
         ]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
         assert_eq!(res.rank_finish()[1], Time::from_us(12));
@@ -962,10 +1089,20 @@ mod tests {
             .build();
         // 1000-byte message is rendezvous. Receiver arrives late (10 us).
         let ts = trace(vec![
-            vec![Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
             vec![
-                Record::Burst { instr: Instr::new(10_000) },
-                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+                Record::Burst {
+                    instr: Instr::new(10_000),
+                },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
             ],
         ]);
         let res = Simulator::new(p).run(&ts).unwrap();
@@ -978,10 +1115,20 @@ mod tests {
     #[test]
     fn eager_message_buffered_until_late_receiver() {
         let ts = trace(vec![
-            vec![Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
             vec![
-                Record::Burst { instr: Instr::new(10_000) },
-                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+                Record::Burst {
+                    instr: Instr::new(10_000),
+                },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
             ],
         ]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
@@ -994,7 +1141,11 @@ mod tests {
     #[test]
     fn irecv_wait_overlaps_compute() {
         let ts = trace(vec![
-            vec![Record::Send { to: Rank::new(1), bytes: 1_000_000, tag: Tag::new(0) }],
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 1_000_000,
+                tag: Tag::new(0),
+            }],
             vec![
                 Record::IRecv {
                     from: Rank::new(0),
@@ -1002,8 +1153,12 @@ mod tests {
                     tag: Tag::new(0),
                     req: RequestId::new(0),
                 },
-                Record::Burst { instr: Instr::new(2000) },
-                Record::Wait { req: RequestId::new(0) },
+                Record::Burst {
+                    instr: Instr::new(2000),
+                },
+                Record::Wait {
+                    req: RequestId::new(0),
+                },
             ],
         ]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
@@ -1017,12 +1172,28 @@ mod tests {
         // Two messages of different sizes on one channel must match FIFO.
         let ts = trace(vec![
             vec![
-                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
-                Record::Send { to: Rank::new(1), bytes: 2000, tag: Tag::new(0) },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 2000,
+                    tag: Tag::new(0),
+                },
             ],
             vec![
-                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
-                Record::Recv { from: Rank::new(0), bytes: 2000, tag: Tag::new(0) },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 2000,
+                    tag: Tag::new(0),
+                },
             ],
         ]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
@@ -1100,10 +1271,17 @@ mod tests {
     fn barrier_synchronizes_ranks() {
         let ts = trace(vec![
             vec![
-                Record::Burst { instr: Instr::new(10_000) },
+                Record::Burst {
+                    instr: Instr::new(10_000),
+                },
                 Record::Barrier,
             ],
-            vec![Record::Burst { instr: Instr::new(1000) }, Record::Barrier],
+            vec![
+                Record::Burst {
+                    instr: Instr::new(1000),
+                },
+                Record::Barrier,
+            ],
         ]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
         // Barrier completes at 10 us (latest) + log2(2)*1 us = 11 us.
@@ -1133,13 +1311,23 @@ mod tests {
     fn remaining_collectives_follow_their_stage_models() {
         // Defaults: bcast/reduce/allgather log2(p) stages, alltoall p-1.
         let sim = Simulator::new(platform_1us_1gb());
-        let mk = |rec: Record, n: u32| {
-            trace((0..n).map(|_| vec![rec.clone()]).collect())
-        };
+        let mk = |rec: Record, n: u32| trace((0..n).map(|_| vec![rec.clone()]).collect());
         // 4 ranks, 1000 bytes, per stage 1 us latency + 1 us wire = 2 us.
-        let bcast = mk(Record::Bcast { root: Rank::new(0), bytes: 1000 }, 4);
+        let bcast = mk(
+            Record::Bcast {
+                root: Rank::new(0),
+                bytes: 1000,
+            },
+            4,
+        );
         assert_eq!(sim.run(&bcast).unwrap().total_time(), Time::from_us(4));
-        let reduce = mk(Record::Reduce { root: Rank::new(1), bytes: 1000 }, 4);
+        let reduce = mk(
+            Record::Reduce {
+                root: Rank::new(1),
+                bytes: 1000,
+            },
+            4,
+        );
         assert_eq!(sim.run(&reduce).unwrap().total_time(), Time::from_us(4));
         let allgather = mk(Record::AllGather { bytes: 1000 }, 4);
         assert_eq!(sim.run(&allgather).unwrap().total_time(), Time::from_us(4));
@@ -1152,8 +1340,18 @@ mod tests {
     fn collectives_wait_for_last_arrival() {
         // Mixed arrival times: the barrier fires from the latest.
         let ts = trace(vec![
-            vec![Record::Burst { instr: Instr::new(3_000) }, Record::AllGather { bytes: 1000 }],
-            vec![Record::Burst { instr: Instr::new(7_000) }, Record::AllGather { bytes: 1000 }],
+            vec![
+                Record::Burst {
+                    instr: Instr::new(3_000),
+                },
+                Record::AllGather { bytes: 1000 },
+            ],
+            vec![
+                Record::Burst {
+                    instr: Instr::new(7_000),
+                },
+                Record::AllGather { bytes: 1000 },
+            ],
             vec![Record::AllGather { bytes: 1000 }],
         ]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
@@ -1167,8 +1365,16 @@ mod tests {
     fn deadlock_detected_and_reported() {
         // Two ranks both waiting to receive; nothing in flight.
         let ts = trace(vec![
-            vec![Record::Recv { from: Rank::new(1), bytes: 100, tag: Tag::new(0) }],
-            vec![Record::Recv { from: Rank::new(0), bytes: 100, tag: Tag::new(0) }],
+            vec![Record::Recv {
+                from: Rank::new(1),
+                bytes: 100,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 100,
+                tag: Tag::new(0),
+            }],
         ]);
         // Note: validation flags the unbalanced channels first, so build a
         // structurally valid but deadlocking trace: cyclic rendezvous.
@@ -1179,12 +1385,28 @@ mod tests {
             .build();
         let cyc = trace(vec![
             vec![
-                Record::Send { to: Rank::new(1), bytes: 100, tag: Tag::new(0) },
-                Record::Recv { from: Rank::new(1), bytes: 100, tag: Tag::new(1) },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 100,
+                    tag: Tag::new(0),
+                },
+                Record::Recv {
+                    from: Rank::new(1),
+                    bytes: 100,
+                    tag: Tag::new(1),
+                },
             ],
             vec![
-                Record::Send { to: Rank::new(0), bytes: 100, tag: Tag::new(1) },
-                Record::Recv { from: Rank::new(0), bytes: 100, tag: Tag::new(0) },
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 100,
+                    tag: Tag::new(1),
+                },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 100,
+                    tag: Tag::new(0),
+                },
             ],
         ]);
         match Simulator::new(p).run(&cyc) {
@@ -1206,14 +1428,34 @@ mod tests {
         // Higher bandwidth never slows an execution down.
         let ts = trace(vec![
             vec![
-                Record::Burst { instr: Instr::new(1000) },
-                Record::Send { to: Rank::new(1), bytes: 100_000, tag: Tag::new(0) },
-                Record::Recv { from: Rank::new(1), bytes: 100_000, tag: Tag::new(1) },
+                Record::Burst {
+                    instr: Instr::new(1000),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 100_000,
+                    tag: Tag::new(0),
+                },
+                Record::Recv {
+                    from: Rank::new(1),
+                    bytes: 100_000,
+                    tag: Tag::new(1),
+                },
             ],
             vec![
-                Record::Recv { from: Rank::new(0), bytes: 100_000, tag: Tag::new(0) },
-                Record::Burst { instr: Instr::new(1000) },
-                Record::Send { to: Rank::new(0), bytes: 100_000, tag: Tag::new(1) },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 100_000,
+                    tag: Tag::new(0),
+                },
+                Record::Burst {
+                    instr: Instr::new(1000),
+                },
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 100_000,
+                    tag: Tag::new(1),
+                },
             ],
         ]);
         let mut last = Time::MAX;
@@ -1254,10 +1496,20 @@ mod tests {
         }
         let ts = trace(vec![
             vec![
-                Record::Burst { instr: Instr::new(1000) },
-                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                Record::Burst {
+                    instr: Instr::new(1000),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
             ],
-            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
         ]);
         let mut obs = Counter::default();
         Simulator::new(platform_1us_1gb())
@@ -1279,12 +1531,28 @@ mod tests {
             .build();
         let ts = trace(vec![
             vec![
-                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
-                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(1) },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(1),
+                },
             ],
             vec![
-                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
-                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(1) },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1000,
+                    tag: Tag::new(1),
+                },
             ],
         ]);
         let res = Simulator::new(p).run(&ts).unwrap();
@@ -1301,8 +1569,16 @@ mod tests {
             .recv_overhead(Time::from_us(2))
             .build();
         let ts = trace(vec![
-            vec![Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) }],
-            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
         ]);
         let res = Simulator::new(p).run(&ts).unwrap();
         // Arrival at 2 us + 2 us rx overhead.
@@ -1319,10 +1595,20 @@ mod tests {
             .build();
         // Message arrives long before the receive is posted.
         let ts = trace(vec![
-            vec![Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
             vec![
-                Record::Burst { instr: Instr::new(10_000) },
-                Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
+                Record::Burst {
+                    instr: Instr::new(10_000),
+                },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
             ],
         ]);
         let res = Simulator::new(p).run(&ts).unwrap();
@@ -1339,13 +1625,19 @@ mod tests {
             .unwrap()
             .ranks_per_node(2)
             .intra_node_latency(Time::from_ns(500))
-            .intra_node_bandwidth(
-                ovlsim_core::Bandwidth::from_bytes_per_sec(10.0e9).unwrap(),
-            )
+            .intra_node_bandwidth(ovlsim_core::Bandwidth::from_bytes_per_sec(10.0e9).unwrap())
             .build();
         let ts = trace(vec![
-            vec![Record::Send { to: Rank::new(1), bytes: 10_000, tag: Tag::new(0) }],
-            vec![Record::Recv { from: Rank::new(0), bytes: 10_000, tag: Tag::new(0) }],
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 10_000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 10_000,
+                tag: Tag::new(0),
+            }],
         ]);
         let res = Simulator::new(p).run(&ts).unwrap();
         // 10 KB at 10 GB/s = 1 us transmission + 0.5 us latency.
@@ -1371,10 +1663,26 @@ mod tests {
             .ranks_per_node(2)
             .build();
         let ts = trace(vec![
-            vec![Record::Send { to: Rank::new(2), bytes: 10_000, tag: Tag::new(0) }],
-            vec![Record::Send { to: Rank::new(3), bytes: 10_000, tag: Tag::new(0) }],
-            vec![Record::Recv { from: Rank::new(0), bytes: 10_000, tag: Tag::new(0) }],
-            vec![Record::Recv { from: Rank::new(1), bytes: 10_000, tag: Tag::new(0) }],
+            vec![Record::Send {
+                to: Rank::new(2),
+                bytes: 10_000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Send {
+                to: Rank::new(3),
+                bytes: 10_000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 10_000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(1),
+                bytes: 10_000,
+                tag: Tag::new(0),
+            }],
         ]);
         let res = Simulator::new(p).run(&ts).unwrap();
         let finishes: Vec<Time> = res.rank_finish().to_vec();
@@ -1397,5 +1705,113 @@ mod tests {
         let ts = trace(vec![vec![]]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
         assert!(format!("{res}").contains("test"));
+    }
+
+    #[test]
+    fn run_prepared_matches_run_across_bandwidths() {
+        // The index depends only on the trace: build once, replay on many
+        // platforms, bit-identical to the validating path.
+        let ts = trace(vec![
+            vec![
+                Record::Burst {
+                    instr: Instr::new(2000),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 50_000,
+                    tag: Tag::new(0),
+                },
+                Record::Recv {
+                    from: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(1),
+                },
+            ],
+            vec![
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 50_000,
+                    tag: Tag::new(0),
+                },
+                Record::Burst {
+                    instr: Instr::new(500),
+                },
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 1000,
+                    tag: Tag::new(1),
+                },
+            ],
+        ]);
+        let index = ovlsim_core::TraceIndex::build(&ts).expect("valid");
+        for bw in [1.0e6, 1.0e8, 1.0e10] {
+            let p = Platform::builder()
+                .latency(Time::from_us(1))
+                .bandwidth_bytes_per_sec(bw)
+                .unwrap()
+                .build();
+            let sim = Simulator::new(p);
+            let validated = sim.run(&ts).unwrap();
+            let prepared = sim.run_prepared(&ts, &index).unwrap();
+            assert_eq!(validated, prepared, "prepared replay diverged at {bw} B/s");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different trace")]
+    fn run_prepared_rejects_foreign_index() {
+        let ts = trace(vec![vec![Record::Burst {
+            instr: Instr::new(10),
+        }]]);
+        let other = trace(vec![vec![], vec![]]);
+        let index = ovlsim_core::TraceIndex::build(&other).expect("valid");
+        let _ = Simulator::new(platform_1us_1gb()).run_prepared(&ts, &index);
+    }
+
+    #[test]
+    fn optimized_matches_naive_reference() {
+        // Direct spot-check of the differential property (the exhaustive
+        // version lives in tests/props.rs).
+        let ts = trace(vec![
+            vec![
+                Record::ISend {
+                    to: Rank::new(1),
+                    bytes: 200_000,
+                    tag: Tag::new(0),
+                    req: RequestId::new(0),
+                },
+                Record::Burst {
+                    instr: Instr::new(5000),
+                },
+                Record::Wait {
+                    req: RequestId::new(0),
+                },
+                Record::Barrier,
+            ],
+            vec![
+                Record::IRecv {
+                    from: Rank::new(0),
+                    bytes: 200_000,
+                    tag: Tag::new(0),
+                    req: RequestId::new(1),
+                },
+                Record::Burst {
+                    instr: Instr::new(1000),
+                },
+                Record::WaitAll {
+                    reqs: vec![RequestId::new(1)],
+                },
+                Record::Barrier,
+            ],
+        ]);
+        let p = Platform::builder()
+            .latency(Time::from_us(3))
+            .bandwidth_bytes_per_sec(2.5e8)
+            .unwrap()
+            .eager_threshold(4096)
+            .build();
+        let optimized = Simulator::new(p.clone()).run(&ts).unwrap();
+        let naive = crate::naive::replay_naive(&p, &ts).unwrap();
+        assert_eq!(optimized, naive);
     }
 }

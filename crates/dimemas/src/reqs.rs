@@ -1,0 +1,205 @@
+//! Compact request tracking for the replay hot path.
+//!
+//! A rank rarely has more than a handful of outstanding non-blocking
+//! requests, so the `BTreeMap<u32, ReqState>` / `BTreeSet<u32>` pair the
+//! original engine used paid pointer-chasing tree costs for what is almost
+//! always a few words of data. [`ReqTable`] and [`ReqGroup`] store requests
+//! in flat arrays: the table is a linear-scan association list, and the
+//! group keeps up to [`REQ_INLINE`] ids inline on the stack before spilling
+//! to a heap vector — a `WaitAll` over a typical chunk fan-out allocates
+//! nothing.
+
+use ovlsim_core::Time;
+
+/// State of one outstanding non-blocking request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReqState {
+    /// Posted, not yet completed.
+    InFlight,
+    /// Completed at the recorded time.
+    Done(Time),
+}
+
+/// Association list from request id to [`ReqState`].
+///
+/// Linear scan beats ordered maps up to dozens of entries, and the entry
+/// count is bounded by the rank's simultaneously outstanding requests (the
+/// validator rejects duplicate posts, so the list stays small).
+#[derive(Debug, Default)]
+pub(crate) struct ReqTable {
+    entries: Vec<(u32, ReqState)>,
+}
+
+impl ReqTable {
+    pub(crate) fn new() -> Self {
+        ReqTable::default()
+    }
+
+    /// Inserts or replaces the state of `req`.
+    pub(crate) fn insert(&mut self, req: u32, state: ReqState) {
+        match self.entries.iter_mut().find(|(id, _)| *id == req) {
+            Some(entry) => entry.1 = state,
+            None => self.entries.push((req, state)),
+        }
+    }
+
+    /// The state of `req`, if present.
+    pub(crate) fn get(&self, req: u32) -> Option<ReqState> {
+        self.entries
+            .iter()
+            .find(|(id, _)| *id == req)
+            .map(|(_, s)| *s)
+    }
+
+    /// Removes `req`, returning its state.
+    pub(crate) fn remove(&mut self, req: u32) -> Option<ReqState> {
+        let pos = self.entries.iter().position(|(id, _)| *id == req)?;
+        Some(self.entries.swap_remove(pos).1)
+    }
+}
+
+/// How many request ids a [`ReqGroup`] holds before spilling to the heap.
+pub(crate) const REQ_INLINE: usize = 8;
+
+/// The unsatisfied remainder of a wait-set, stored inline when small.
+///
+/// Equality is derived (order- and representation-sensitive); it is only
+/// used by debug assertions that never compare two `Reqs` blockers, so set
+/// semantics are not required.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ReqGroup {
+    /// Up to [`REQ_INLINE`] ids on the stack; slots `len..` are zero.
+    Inline { len: u8, buf: [u32; REQ_INLINE] },
+    /// Spilled: an unordered heap vector.
+    Heap(Vec<u32>),
+}
+
+impl ReqGroup {
+    pub(crate) fn new() -> Self {
+        ReqGroup::Inline {
+            len: 0,
+            buf: [0; REQ_INLINE],
+        }
+    }
+
+    pub(crate) fn push(&mut self, req: u32) {
+        match self {
+            ReqGroup::Inline { len, buf } => {
+                if (*len as usize) < REQ_INLINE {
+                    buf[*len as usize] = req;
+                    *len += 1;
+                } else {
+                    let mut v = buf.to_vec();
+                    v.push(req);
+                    *self = ReqGroup::Heap(v);
+                }
+            }
+            ReqGroup::Heap(v) => v.push(req),
+        }
+    }
+
+    pub(crate) fn contains(&self, req: u32) -> bool {
+        self.as_slice().contains(&req)
+    }
+
+    /// Removes one occurrence of `req`; returns whether it was present.
+    pub(crate) fn remove(&mut self, req: u32) -> bool {
+        match self {
+            ReqGroup::Inline { len, buf } => {
+                let n = *len as usize;
+                match buf[..n].iter().position(|&id| id == req) {
+                    Some(pos) => {
+                        buf[pos] = buf[n - 1];
+                        buf[n - 1] = 0; // keep vacated slots zeroed
+                        *len -= 1;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            ReqGroup::Heap(v) => match v.iter().position(|&id| id == req) {
+                Some(pos) => {
+                    v.swap_remove(pos);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ReqGroup::Inline { len, .. } => *len as usize,
+            ReqGroup::Heap(v) => v.len(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            ReqGroup::Inline { len, buf } => &buf[..*len as usize],
+            ReqGroup::Heap(v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_insert_replaces() {
+        let mut t = ReqTable::new();
+        t.insert(3, ReqState::InFlight);
+        t.insert(3, ReqState::Done(Time::from_ns(5)));
+        assert_eq!(t.get(3), Some(ReqState::Done(Time::from_ns(5))));
+        assert_eq!(t.remove(3), Some(ReqState::Done(Time::from_ns(5))));
+        assert_eq!(t.remove(3), None);
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn group_stays_inline_up_to_limit() {
+        let mut g = ReqGroup::new();
+        for i in 0..REQ_INLINE as u32 {
+            g.push(i);
+        }
+        assert!(matches!(g, ReqGroup::Inline { .. }));
+        assert_eq!(g.len(), REQ_INLINE);
+        g.push(99);
+        assert!(matches!(g, ReqGroup::Heap(_)));
+        assert_eq!(g.len(), REQ_INLINE + 1);
+        assert!(g.contains(99));
+        assert!(g.contains(0));
+    }
+
+    #[test]
+    fn group_remove_tracks_membership() {
+        let mut g = ReqGroup::new();
+        for i in [5u32, 9, 12] {
+            g.push(i);
+        }
+        assert!(g.remove(9));
+        assert!(!g.remove(9));
+        assert!(!g.contains(9));
+        assert!(g.contains(5) && g.contains(12));
+        assert!(g.remove(5));
+        assert!(g.remove(12));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn spilled_group_removes() {
+        let mut g = ReqGroup::new();
+        for i in 0..20u32 {
+            g.push(i);
+        }
+        for i in (0..20u32).rev() {
+            assert!(g.remove(i), "missing {i}");
+        }
+        assert!(g.is_empty());
+    }
+}

@@ -19,14 +19,18 @@ fn arb_paired_trace() -> impl Strategy<Value = TraceSet> {
             let mut r0 = Vec::new();
             let mut r1 = Vec::new();
             for (i, (burst, bytes)) in sends.iter().enumerate() {
-                r0.push(Record::Burst { instr: Instr::new(*burst) });
+                r0.push(Record::Burst {
+                    instr: Instr::new(*burst),
+                });
                 r0.push(Record::Send {
                     to: Rank::new(1),
                     bytes: *bytes,
                     tag: Tag::new(0),
                 });
                 if let Some(b) = recv_bursts.get(i % recv_bursts.len()) {
-                    r1.push(Record::Burst { instr: Instr::new(*b) });
+                    r1.push(Record::Burst {
+                        instr: Instr::new(*b),
+                    });
                 }
                 r1.push(Record::Recv {
                     from: Rank::new(0),
@@ -50,8 +54,8 @@ fn arb_platform() -> impl Strategy<Value = Platform> {
         1.0e5f64..1.0e11, // bandwidth
         prop_oneof![Just(None), (1u32..8).prop_map(Some)],
         1u32..4,
-        0u64..1_000_000,  // eager threshold
-        0u64..20,         // overheads us
+        0u64..1_000_000, // eager threshold
+        0u64..20,        // overheads us
     )
         .prop_map(|(lat, bw, buses, links, eager, oh)| {
             let mut b = Platform::builder();
@@ -65,6 +69,58 @@ fn arb_platform() -> impl Strategy<Value = Platform> {
                 .send_overhead(Time::from_us(oh))
                 .recv_overhead(Time::from_us(oh));
             b.build()
+        })
+}
+
+/// A two-rank trace built from non-blocking operations: rank 0 isends a
+/// batch of messages on distinct tags and waits for all of them; rank 1
+/// irecvs them (interleaved with bursts) and waits; both close with a
+/// collective. Wait-sets larger than the inline request-group capacity are
+/// common, exercising the spill path.
+fn arb_nonblocking_trace() -> impl Strategy<Value = TraceSet> {
+    (
+        proptest::collection::vec((1u64..300_000, 1u64..150_000), 1..14),
+        1u64..5_000,
+    )
+        .prop_map(|(msgs, mips)| {
+            let mut r0 = Vec::new();
+            let mut r1 = Vec::new();
+            let mut reqs0 = Vec::new();
+            let mut reqs1 = Vec::new();
+            for (i, (burst, bytes)) in msgs.iter().enumerate() {
+                let req = RequestId::new(i as u32);
+                r0.push(Record::Burst {
+                    instr: Instr::new(*burst),
+                });
+                r0.push(Record::ISend {
+                    to: Rank::new(1),
+                    bytes: *bytes,
+                    tag: Tag::new(i as u64),
+                    req,
+                });
+                reqs0.push(req);
+                r1.push(Record::IRecv {
+                    from: Rank::new(0),
+                    bytes: *bytes,
+                    tag: Tag::new(i as u64),
+                    req,
+                });
+                reqs1.push(req);
+                if i % 3 == 0 {
+                    r1.push(Record::Burst {
+                        instr: Instr::new(*burst / 2 + 1),
+                    });
+                }
+            }
+            r0.push(Record::WaitAll { reqs: reqs0 });
+            r1.push(Record::WaitAll { reqs: reqs1 });
+            r0.push(Record::AllReduce { bytes: 64 });
+            r1.push(Record::AllReduce { bytes: 64 });
+            TraceSet::new(
+                "prop-nb",
+                MipsRate::new(mips).unwrap(),
+                vec![RankTrace::from_records(r0), RankTrace::from_records(r1)],
+            )
         })
 }
 
@@ -85,6 +141,52 @@ proptest! {
         prop_assert_eq!(a.p2p_messages() as usize,
             trace.ranks()[0].records().iter()
                 .filter(|r| matches!(r, Record::Send { .. })).count());
+    }
+
+    /// The optimized hot path (interned channels, small-vec wait groups,
+    /// slab event queue) produces results identical to the naive
+    /// reference engine on blocking traces — makespan, per-rank times,
+    /// message/byte counts, network statistics, everything.
+    #[test]
+    fn optimized_replay_matches_naive(
+        trace in arb_paired_trace(),
+        platform in arb_platform(),
+    ) {
+        let optimized = Simulator::new(platform.clone())
+            .run(&trace)
+            .expect("valid traces replay");
+        let naive = ovlsim_dimemas::replay_naive(&platform, &trace)
+            .expect("valid traces replay");
+        prop_assert_eq!(optimized, naive);
+    }
+
+    /// Same differential check on non-blocking traces (isend/irecv with
+    /// large wait-sets), which stress the request-group machinery.
+    #[test]
+    fn optimized_replay_matches_naive_nonblocking(
+        trace in arb_nonblocking_trace(),
+        platform in arb_platform(),
+    ) {
+        let optimized = Simulator::new(platform.clone())
+            .run(&trace)
+            .expect("valid traces replay");
+        let naive = ovlsim_dimemas::replay_naive(&platform, &trace)
+            .expect("valid traces replay");
+        prop_assert_eq!(optimized, naive);
+    }
+
+    /// A prebuilt index replayed at any bandwidth matches the validating
+    /// entry point bit for bit.
+    #[test]
+    fn prepared_replay_matches_validating_replay(
+        trace in arb_nonblocking_trace(),
+        platform in arb_platform(),
+    ) {
+        let index = ovlsim_core::TraceIndex::build(&trace).expect("valid");
+        let sim = Simulator::new(platform);
+        let validated = sim.run(&trace).expect("replays");
+        let prepared = sim.run_prepared(&trace, &index).expect("replays");
+        prop_assert_eq!(validated, prepared);
     }
 
     /// Latency monotonicity: increasing latency never speeds things up.

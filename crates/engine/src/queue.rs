@@ -1,4 +1,4 @@
-//! A deterministic, cancellable event queue.
+//! A deterministic, cancellable event queue backed by a free-list slab.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -6,22 +6,67 @@ use std::collections::BinaryHeap;
 use ovlsim_core::Time;
 
 /// Handle identifying a scheduled event, usable to cancel it.
+///
+/// Handles are *generation-tagged*: when a slab slot is recycled for a new
+/// event, handles to the slot's previous occupants become stale and
+/// [`EventQueue::cancel`] rejects them. A slot's generation wraps after
+/// 2³² reuses, at which point an ancient retained handle could alias a live
+/// event; don't hold handles across billions of schedules of the same queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    slot: u32,
+    gen: u32,
+}
 
+/// One slab slot. `seq` identifies the current occupant: heap keys carry
+/// the seq they were pushed with, so keys referring to a previous occupant
+/// (cancelled, or popped and recycled) are recognised as stale.
 #[derive(Debug)]
-struct Entry<E> {
+struct Slot<E> {
     time: Time,
-    seq: u64,
-    event: Option<E>, // None = cancelled (lazily discarded on pop)
+    seq: u32,
+    gen: u32,
+    event: Option<E>, // None = vacant (popped or cancelled)
+}
+
+/// The heap key is deliberately 16 bytes (`time`, `seq`, `slot`) so that
+/// sift-up/sift-down moves stay within one or two cache lines; ordering is
+/// by `(time, seq)` — `seq` is a monotone schedule counter, giving FIFO
+/// delivery at equal times. `slot` never influences the order (seqs are
+/// unique); it rides along to locate the payload.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+struct HeapKey {
+    time: Time,
+    seq: u32,
+    slot: u32,
 }
 
 /// A time-ordered event queue with deterministic tie-breaking.
 ///
 /// Events scheduled for the same instant are delivered in the order they
 /// were scheduled (FIFO), which makes whole-simulation results independent
-/// of heap internals. Cancellation is lazy: a cancelled event is skipped
-/// when it reaches the front.
+/// of heap internals.
+///
+/// # Memory model
+///
+/// Event payloads live in a free-list slab: a slot is recycled as soon as
+/// its event is popped or cancelled, so payload memory is bounded by the
+/// *peak number of simultaneously live events*, not by the total number of
+/// events ever scheduled ([`EventQueue::slot_capacity`] reports the
+/// high-water mark). Cancelled entries leave a stale 16-byte key in the
+/// heap until it surfaces; stale keys at the front are pruned eagerly so
+/// the head of the heap is always a live event.
+///
+/// # Cost model
+///
+/// * [`schedule`](EventQueue::schedule): `O(log n)` (heap push).
+/// * [`pop`](EventQueue::pop): amortized `O(log n)`; prunes any stale keys
+///   that surface, each `O(log n)` but paid at most once per cancellation.
+/// * [`cancel`](EventQueue::cancel): `O(1)` unless the cancelled event was
+///   at the front, in which case the stale head (plus any stale keys
+///   beneath it) is pruned immediately.
+/// * [`peek_time`](EventQueue::peek_time): `O(1)`, `&self` — the
+///   head-is-live invariant means no lazy cleanup is ever needed to peek.
 ///
 /// # Example
 ///
@@ -33,22 +78,18 @@ struct Entry<E> {
 /// let h = q.schedule(Time::from_ns(10), 'a');
 /// q.schedule(Time::from_ns(10), 'b');
 /// q.cancel(h);
+/// assert_eq!(q.peek_time(), Some(Time::from_ns(10)));
 /// assert_eq!(q.pop(), Some((Time::from_ns(10), 'b')));
 /// assert!(q.pop().is_none());
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<HeapKey>>,
-    entries: Vec<Entry<E>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     live: usize,
+    next_seq: u32,
     now: Time,
-}
-
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct HeapKey {
-    time: Time,
-    seq: u64,
-    slot: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -56,8 +97,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            entries: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             live: 0,
+            next_seq: 0,
             now: Time::ZERO,
         }
     }
@@ -77,13 +120,22 @@ impl<E> EventQueue<E> {
         self.live == 0
     }
 
+    /// Number of slab slots ever allocated: the high-water mark of
+    /// simultaneously pending events (popped and cancelled slots are
+    /// recycled, so this does *not* grow with total events scheduled).
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Schedules `event` at absolute time `at`, returning a cancellation
     /// handle.
     ///
     /// # Panics
     ///
-    /// Panics if `at` is earlier than the current simulation time: an event
-    /// in the past indicates a logic error in the caller.
+    /// Panics if `at` is earlier than the current simulation time (an event
+    /// in the past indicates a logic error in the caller), or if more than
+    /// `u32::MAX` events are scheduled without the queue ever draining (the
+    /// FIFO tie-break counter resets whenever the queue empties).
     pub fn schedule(&mut self, at: Time, event: E) -> EventHandle {
         assert!(
             at >= self.now,
@@ -91,53 +143,112 @@ impl<E> EventQueue<E> {
             at,
             self.now
         );
-        let slot = self.entries.len();
-        let seq = slot as u64;
-        self.entries.push(Entry {
+        if self.heap.is_empty() {
+            // No key can coexist with the new one, so FIFO order restarts.
+            self.next_seq = 0;
+        }
+        let seq = self.next_seq;
+        self.next_seq = self
+            .next_seq
+            .checked_add(1)
+            .expect("more than u32::MAX events scheduled without a drain");
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.event.is_none());
+                s.time = at;
+                s.seq = seq;
+                s.gen = s.gen.wrapping_add(1);
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab slots fit in u32");
+                self.slots.push(Slot {
+                    time: at,
+                    seq,
+                    gen: 0,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        self.heap.push(Reverse(HeapKey {
             time: at,
             seq,
-            event: Some(event),
-        });
-        self.heap.push(Reverse(HeapKey { time: at, seq, slot }));
+            slot,
+        }));
         self.live += 1;
-        EventHandle(seq)
+        EventHandle {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
     }
 
     /// Cancels a previously scheduled event. Returns the event if it was
-    /// still pending, `None` if it already fired or was already cancelled.
+    /// still pending, `None` if it already fired, was already cancelled, or
+    /// the handle is stale (its slot was recycled).
     pub fn cancel(&mut self, handle: EventHandle) -> Option<E> {
-        let slot = handle.0 as usize;
-        let entry = self.entries.get_mut(slot)?;
-        let ev = entry.event.take();
-        if ev.is_some() {
-            self.live -= 1;
+        let slot = self.slots.get_mut(handle.slot as usize)?;
+        if slot.gen != handle.gen {
+            return None; // stale handle: the slot moved on
         }
-        ev
+        let ev = slot.event.take()?;
+        self.live -= 1;
+        self.free.push(handle.slot);
+        // If the cancelled event was the heap head, restore the
+        // head-is-live invariant right away (this is what keeps peek_time
+        // `O(1)` and `&self`).
+        self.prune_stale_head();
+        Some(ev)
     }
 
     /// Removes and returns the earliest live event, advancing `now`.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         while let Some(Reverse(key)) = self.heap.pop() {
-            let entry = &mut self.entries[key.slot];
-            debug_assert_eq!(entry.seq, key.seq);
-            if let Some(ev) = entry.event.take() {
+            let slot = &mut self.slots[key.slot as usize];
+            if slot.seq != key.seq {
+                continue; // stale key: slot was recycled since
+            }
+            if let Some(ev) = slot.event.take() {
+                let at = slot.time;
                 self.live -= 1;
-                self.now = entry.time;
-                return Some((entry.time, ev));
+                self.now = at;
+                self.free.push(key.slot);
+                self.prune_stale_head();
+                return Some((at, ev));
             }
         }
         None
     }
 
     /// The time of the earliest live event without removing it.
-    pub fn peek_time(&mut self) -> Option<Time> {
+    ///
+    /// `O(1)` and read-only: the queue maintains the invariant that the
+    /// heap head is always live (stale keys are pruned when they surface in
+    /// [`pop`](EventQueue::pop) / [`cancel`](EventQueue::cancel)), so
+    /// peeking never has to clean anything up.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(key)| {
+            debug_assert!(self.key_is_live(key), "head-is-live invariant broken");
+            key.time
+        })
+    }
+
+    fn key_is_live(&self, key: &HeapKey) -> bool {
+        let slot = &self.slots[key.slot as usize];
+        slot.seq == key.seq && slot.event.is_some()
+    }
+
+    /// Pops stale keys off the heap until the head refers to a live event
+    /// (or the heap is empty).
+    fn prune_stale_head(&mut self) {
         while let Some(Reverse(key)) = self.heap.peek() {
-            if self.entries[key.slot].event.is_some() {
-                return Some(key.time);
+            if self.key_is_live(key) {
+                return;
             }
             self.heap.pop();
         }
-        None
     }
 }
 
@@ -172,6 +283,19 @@ mod tests {
     }
 
     #[test]
+    fn fifo_order_survives_slot_recycling() {
+        // Recycled slots get fresh seqs: an event scheduled later but into
+        // a lower slot index must still be delivered later at equal times.
+        let mut q = EventQueue::new();
+        let h = q.schedule(Time::from_ns(5), 0);
+        q.schedule(Time::from_ns(5), 1);
+        q.cancel(h); // frees slot 0
+        q.schedule(Time::from_ns(5), 2); // recycles slot 0, scheduled last
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
     fn cancel_removes_event() {
         let mut q = EventQueue::new();
         let h1 = q.schedule(Time::from_ns(1), 'x');
@@ -190,6 +314,52 @@ mod tests {
         let h = q.schedule(Time::from_ns(1), 'x');
         assert!(q.pop().is_some());
         assert_eq!(q.cancel(h), None);
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_recycled_slot() {
+        // The slab-reuse regression: a handle to a fired event must not
+        // cancel the unrelated event that now occupies the same slot.
+        let mut q = EventQueue::new();
+        let h_old = q.schedule(Time::from_ns(1), "first");
+        assert_eq!(q.pop(), Some((Time::from_ns(1), "first")));
+        // "second" recycles the freed slot (same index, new generation).
+        let h_new = q.schedule(Time::from_ns(2), "second");
+        assert_eq!(h_old.slot, h_new.slot, "slot must be recycled");
+        assert_ne!(h_old.gen, h_new.gen);
+        assert_eq!(q.cancel(h_old), None, "stale handle must be rejected");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time::from_ns(2), "second")));
+        // And a cancelled slot's stale handle can't cancel its successor.
+        let h1 = q.schedule(Time::from_ns(3), "a");
+        assert_eq!(q.cancel(h1), Some("a"));
+        let _h2 = q.schedule(Time::from_ns(4), "b");
+        assert_eq!(q.cancel(h1), None);
+        assert_eq!(q.pop(), Some((Time::from_ns(4), "b")));
+    }
+
+    #[test]
+    fn slab_memory_is_bounded_by_live_events() {
+        // Schedule/pop one million events through a queue that never holds
+        // more than `width` at once: the slab must stay at `width` slots.
+        let width = 8;
+        let mut q = EventQueue::new();
+        let mut t = 0;
+        for i in 0..width {
+            q.schedule(Time::from_ns(i), i);
+        }
+        for i in 0..1_000_000u64 {
+            let (at, _) = q.pop().expect("queue stays primed");
+            t = t.max(at.as_ps());
+            q.schedule(Time::from_ps(t + 1 + (i % 7)), i);
+        }
+        assert_eq!(q.len(), width as usize);
+        assert!(
+            q.slot_capacity() <= width as usize + 1,
+            "slab grew to {} slots for {} live events",
+            q.slot_capacity(),
+            width
+        );
     }
 
     #[test]
@@ -224,6 +394,20 @@ mod tests {
     }
 
     #[test]
+    fn peek_is_read_only() {
+        // peek_time takes &self: it must observe a live head even when
+        // cancelled entries are buried below it.
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(1), 'a');
+        let h = q.schedule(Time::from_ns(2), 'b');
+        q.schedule(Time::from_ns(3), 'c');
+        q.cancel(h);
+        let r = &q;
+        assert_eq!(r.peek_time(), Some(Time::from_ns(1)));
+        assert_eq!(r.peek_time(), Some(Time::from_ns(1)));
+    }
+
+    #[test]
     fn interleaved_schedule_and_pop() {
         let mut q = EventQueue::new();
         q.schedule(Time::from_ns(10), 1);
@@ -232,5 +416,10 @@ mod tests {
         q.schedule(t + Time::from_ns(1), 3);
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn heap_key_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<HeapKey>(), 16);
     }
 }

@@ -120,7 +120,9 @@ mod tests {
         ];
         assert_eq!(peak_speedup(&pts).unwrap().comm_fraction, 0.5);
         assert_eq!(
-            point_nearest_comm_fraction(&pts, 0.45).unwrap().comm_fraction,
+            point_nearest_comm_fraction(&pts, 0.45)
+                .unwrap()
+                .comm_fraction,
             0.5
         );
         assert!(peak_speedup(&[]).is_none());

@@ -42,12 +42,12 @@ impl OverlapBounds {
             compute_bound = compute_bound.max(compute);
             for rec in rank_trace.iter() {
                 match rec {
-                    Record::Send { to, bytes, .. } | Record::ISend { to, bytes, .. } => {
-                        // Intra-node messages bypass the network links.
-                        if platform.node_of(to.get()) as usize != node {
-                            out_bytes[node] += bytes;
-                            in_bytes[platform.node_of(to.get()) as usize] += bytes;
-                        }
+                    // Intra-node messages bypass the network links.
+                    Record::Send { to, bytes, .. } | Record::ISend { to, bytes, .. }
+                        if platform.node_of(to.get()) as usize != node =>
+                    {
+                        out_bytes[node] += bytes;
+                        in_bytes[platform.node_of(to.get()) as usize] += bytes;
                     }
                     _ => {}
                 }
@@ -114,8 +114,12 @@ mod tests {
             "b",
             MipsRate::new(1000).unwrap(),
             vec![
-                RankTrace::from_records(vec![Record::Burst { instr: Instr::new(5_000) }]),
-                RankTrace::from_records(vec![Record::Burst { instr: Instr::new(9_000) }]),
+                RankTrace::from_records(vec![Record::Burst {
+                    instr: Instr::new(5_000),
+                }]),
+                RankTrace::from_records(vec![Record::Burst {
+                    instr: Instr::new(9_000),
+                }]),
             ],
         );
         let bounds = OverlapBounds::of(&ts, &Platform::default());
@@ -134,8 +138,16 @@ mod tests {
             MipsRate::new(1000).unwrap(),
             vec![
                 RankTrace::from_records(vec![
-                    Record::Send { to: Rank::new(1), bytes: 1_000_000, tag: Tag::new(0) },
-                    Record::Send { to: Rank::new(2), bytes: 1_000_000, tag: Tag::new(0) },
+                    Record::Send {
+                        to: Rank::new(1),
+                        bytes: 1_000_000,
+                        tag: Tag::new(0),
+                    },
+                    Record::Send {
+                        to: Rank::new(2),
+                        bytes: 1_000_000,
+                        tag: Tag::new(0),
+                    },
                 ]),
                 RankTrace::from_records(vec![Record::Recv {
                     from: Rank::new(0),
@@ -210,10 +222,7 @@ mod tests {
         let eff = bounds
             .efficiency(orig, ovl)
             .expect("original is above the bound");
-        assert!(
-            (0.0..=1.0).contains(&eff),
-            "efficiency {eff} outside [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&eff), "efficiency {eff} outside [0,1]");
         // Linear-pattern overlap on BT recovers a substantial share.
         assert!(eff > 0.4, "efficiency only {eff:.2}");
         // Identity case: no recovery.

@@ -72,7 +72,9 @@ mod tests {
     fn conversions_and_display() {
         let e: LabError = CoreError::InvalidMips(0).into();
         assert!(format!("{e}").contains("invalid configuration"));
-        let e = LabError::SearchFailed { what: "iso bandwidth".into() };
+        let e = LabError::SearchFailed {
+            what: "iso bandwidth".into(),
+        };
         assert!(format!("{e}").contains("iso bandwidth"));
         assert!(e.source().is_none());
     }

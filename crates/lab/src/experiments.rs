@@ -20,6 +20,7 @@ use ovlsim_tracer::{
 use crate::analysis::{intermediate_bandwidth, peak_speedup};
 use crate::error::LabError;
 use crate::iso::bandwidth_relaxation;
+use crate::par;
 use crate::sweep::{log_bandwidths, sweep_bundle, sweep_traces};
 use crate::table::Table;
 
@@ -39,7 +40,12 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// Renders the full report.
     pub fn render(&self) -> String {
-        let mut out = format!("== {}: {} ==\n\n{}", self.id, self.title, self.table.render());
+        let mut out = format!(
+            "== {}: {} ==\n\n{}",
+            self.id,
+            self.title,
+            self.table.render()
+        );
         for note in &self.notes {
             out.push('\n');
             out.push_str(note);
@@ -80,9 +86,11 @@ pub fn find_half_comm_bandwidth(
             // Fall back: scan a coarse sweep for the closest point.
             let bws = log_bandwidths(SWEEP_LO, SWEEP_HI, 21);
             let points = sweep_bundle(bundle, base, OverlapMode::linear(), &bws)?;
-            let nearest = crate::analysis::point_nearest_comm_fraction(&points, 0.5)
-                .ok_or_else(|| LabError::SearchFailed {
-                    what: "empty sweep".into(),
+            let nearest =
+                crate::analysis::point_nearest_comm_fraction(&points, 0.5).ok_or_else(|| {
+                    LabError::SearchFailed {
+                        what: "empty sweep".into(),
+                    }
                 })?;
             Ok(nearest.bandwidth)
         }
@@ -127,8 +135,14 @@ pub fn e1_pipeline(app: &dyn Application) -> Result<ExperimentReport, LabError> 
     for mode in [
         OverlapMode::real(),
         OverlapMode::linear(),
-        OverlapMode { pattern: PatternSource::Real, mechanisms: Mechanisms::EARLY_SEND_ONLY },
-        OverlapMode { pattern: PatternSource::Real, mechanisms: Mechanisms::LATE_WAIT_ONLY },
+        OverlapMode {
+            pattern: PatternSource::Real,
+            mechanisms: Mechanisms::EARLY_SEND_ONLY,
+        },
+        OverlapMode {
+            pattern: PatternSource::Real,
+            mechanisms: Mechanisms::LATE_WAIT_ONLY,
+        },
     ] {
         let ts = bundle.overlapped(mode)?;
         let (tl, res) = Timeline::capture(&base, &ts)?;
@@ -138,13 +152,28 @@ pub fn e1_pipeline(app: &dyn Application) -> Result<ExperimentReport, LabError> 
             ts.total_records().to_string(),
             format_time(res.total_time()),
             format!("{:.1}", profile.efficiency() * 100.0),
-            format!("{:.3}x", orig_time.as_secs_f64() / res.total_time().as_secs_f64()),
+            format!(
+                "{:.3}x",
+                orig_time.as_secs_f64() / res.total_time().as_secs_f64()
+            ),
         ]);
         if mode == OverlapMode::linear() {
             notes.push(format!(
                 "original timeline:\n{}\noverlapped (linear) timeline:\n{}",
-                render_gantt(&orig_tl, &GanttOptions { width: 72, legend: false }),
-                render_gantt(&tl, &GanttOptions { width: 72, legend: true }),
+                render_gantt(
+                    &orig_tl,
+                    &GanttOptions {
+                        width: 72,
+                        legend: false
+                    }
+                ),
+                render_gantt(
+                    &tl,
+                    &GanttOptions {
+                        width: 72,
+                        legend: true
+                    }
+                ),
             ));
         }
     }
@@ -189,18 +218,23 @@ pub fn e2_real_patterns(
         "at bandwidth",
         "peak speedup (linear)",
     ]);
-    for app in apps {
+    // Each app traces and sweeps independently: fan the apps out, keep
+    // the table rows in input order.
+    let rows = par::par_map(apps, |app| -> Result<Vec<String>, LabError> {
         let bundle = trace_app(app.as_ref())?;
         let real = sweep_bundle(&bundle, &base, OverlapMode::real(), &bws)?;
         let linear = sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws)?;
         let real_peak = peak_speedup(&real).expect("nonempty sweep");
         let linear_peak = peak_speedup(&linear).expect("nonempty sweep");
-        table.row(vec![
+        Ok(vec![
             app.name().to_string(),
             format!("{:+.1}%", real_peak.speedup_percent()),
             format_bandwidth(real_peak.bandwidth),
             format!("{:+.1}%", linear_peak.speedup_percent()),
-        ]);
+        ])
+    });
+    for row in rows {
+        table.row(row?);
     }
     Ok(ExperimentReport {
         id: "E2",
@@ -231,12 +265,12 @@ pub fn e3_ideal_speedup(apps: &[Box<dyn Application>]) -> Result<ExperimentRepor
         "measured",
         "paper",
     ]);
-    for app in apps {
+    let rows = par::par_map(apps, |app| -> Result<Vec<String>, LabError> {
         let bundle = trace_app(app.as_ref())?;
         let points = sweep_bundle(&bundle, &base, OverlapMode::linear(), &[bw])?;
         let p = &points[0];
         let paper = target_for(app.name()).map(|t| t.paper);
-        table.row(vec![
+        Ok(vec![
             app.name().to_string(),
             format_bandwidth(bw),
             format!("{:.2}", p.comm_fraction),
@@ -244,7 +278,10 @@ pub fn e3_ideal_speedup(apps: &[Box<dyn Application>]) -> Result<ExperimentRepor
             paper
                 .map(|v| format!("{:+.0}%", v * 100.0))
                 .unwrap_or_else(|| "-".into()),
-        ]);
+        ])
+    });
+    for row in rows {
+        table.row(row?);
     }
     Ok(ExperimentReport {
         id: "E3",
@@ -277,11 +314,16 @@ pub fn e4_speedup_curves(
     let mut table = Table::new(headers);
     let mut columns: Vec<Vec<f64>> = Vec::new();
     let mut curves = Vec::new();
-    for app in apps {
+    let per_app = par::par_map(apps, |app| -> Result<_, LabError> {
         let bundle = trace_app(app.as_ref())?;
         let pts = sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws)?;
-        curves.push(crate::plot::curve_of(app.name(), &pts));
-        columns.push(pts.iter().map(|p| p.speedup()).collect());
+        let speedups: Vec<f64> = pts.iter().map(|p| p.speedup()).collect();
+        Ok((crate::plot::curve_of(app.name(), &pts), speedups))
+    });
+    for result in per_app {
+        let (curve, speedups) = result?;
+        curves.push(curve);
+        columns.push(speedups);
     }
     for (i, bw) in bws.iter().enumerate() {
         let mut row = vec![format_bandwidth(*bw)];
@@ -318,11 +360,11 @@ pub fn e5_bandwidth_relaxation(
         "iso BW (overlapped)",
         "relaxation",
     ]);
-    for app in apps {
+    let rows = par::par_map(apps, |app| -> Result<Vec<String>, LabError> {
         let bundle = trace_app(app.as_ref())?;
         let overlapped = bundle.overlapped(OverlapMode::linear())?;
         let r = bandwidth_relaxation(bundle.original(), &overlapped, &base, reference, 1.0e3)?;
-        table.row(vec![
+        Ok(vec![
             app.name().to_string(),
             format_bandwidth(r.reference_bandwidth),
             format_time(r.original_time),
@@ -332,7 +374,10 @@ pub fn e5_bandwidth_relaxation(
                 r.relaxation_factor(),
                 r.orders_of_magnitude()
             ),
-        ]);
+        ])
+    });
+    for row in rows {
+        table.row(row?);
     }
     Ok(ExperimentReport {
         id: "E5",
@@ -364,7 +409,7 @@ pub fn e6_mechanisms(apps: &[Box<dyn Application>]) -> Result<ExperimentReport, 
         "late-wait only",
         "both",
     ]);
-    for app in apps {
+    let rows = par::par_map(apps, |app| -> Result<Vec<String>, LabError> {
         let bundle = trace_app(app.as_ref())?;
         let mut cells = vec![app.name().to_string()];
         for mechanisms in [
@@ -380,7 +425,10 @@ pub fn e6_mechanisms(apps: &[Box<dyn Application>]) -> Result<ExperimentReport, 
             let s = speedup_at(&bundle, &base, mode, bw)?;
             cells.push(format!("{:+.1}%", (s - 1.0) * 100.0));
         }
-        table.row(cells);
+        Ok(cells)
+    });
+    for row in rows {
+        table.row(row?);
     }
     Ok(ExperimentReport {
         id: "E6",
@@ -405,7 +453,7 @@ pub fn e7_pattern_cdf(apps: &[Box<dyn Application>]) -> Result<ExperimentReport,
         "q75 ready@",
         "q100 ready@",
     ]);
-    for app in apps {
+    let rows = par::par_map(apps, |app| -> Result<Option<Vec<String>>, LabError> {
         let bundle = trace_app(app.as_ref())?;
         // Average the readiness CDF over the first-rank sends.
         let meta = bundle
@@ -426,13 +474,18 @@ pub fn e7_pattern_cdf(apps: &[Box<dyn Application>]) -> Result<ExperimentReport,
             }
         }
         if n == 0 {
-            continue;
+            return Ok(None);
         }
         let mut row = vec![app.name().to_string()];
         for a in acc {
             row.push(format!("{:.0}%", a / n as f64 * 100.0));
         }
-        table.row(row);
+        Ok(Some(row))
+    });
+    for row in rows {
+        if let Some(row) = row? {
+            table.row(row);
+        }
     }
     Ok(ExperimentReport {
         id: "E7",
@@ -460,7 +513,13 @@ pub fn e8_platform_sensitivity(app: &dyn Application) -> Result<ExperimentReport
     let base = reference_platform();
     let bw = base.bandwidth();
     let overlapped = bundle.overlapped(OverlapMode::linear())?;
-    let mut table = Table::new(vec!["latency", "buses", "original", "overlapped", "speedup"]);
+    let mut table = Table::new(vec![
+        "latency",
+        "buses",
+        "original",
+        "overlapped",
+        "speedup",
+    ]);
     for latency_us in [1u64, 5, 25, 125] {
         for buses in [None, Some(4u32), Some(1)] {
             let mut b = Platform::builder();
@@ -612,7 +671,12 @@ pub fn custom_curve(
     bandwidths: &[Bandwidth],
 ) -> Result<Vec<(Bandwidth, f64)>, LabError> {
     let overlapped = bundle.overlapped(mode)?;
-    let pts = sweep_traces(bundle.original(), &overlapped, &reference_platform(), bandwidths)?;
+    let pts = sweep_traces(
+        bundle.original(),
+        &overlapped,
+        &reference_platform(),
+        bandwidths,
+    )?;
     Ok(pts.iter().map(|p| (p.bandwidth, p.speedup())).collect())
 }
 
@@ -633,11 +697,20 @@ pub fn side_by_side_gantt(
     let (orig_tl, _) = Timeline::capture(&base, bundle.original())?;
     let ts = bundle.overlapped(mode)?;
     let (ovl_tl, _) = Timeline::capture(&base, &ts)?;
-    let opts = GanttOptions { width, legend: true };
+    let opts = GanttOptions {
+        width,
+        legend: true,
+    };
     let _ = Rank::new(0);
     Ok(format!(
         "{}\n{}",
-        render_gantt(&orig_tl, &GanttOptions { width, legend: false }),
+        render_gantt(
+            &orig_tl,
+            &GanttOptions {
+                width,
+                legend: false
+            }
+        ),
         render_gantt(&ovl_tl, &opts)
     ))
 }
@@ -648,18 +721,16 @@ mod tests {
     use ovlsim_apps::{Synthetic, Topology};
 
     fn quick_apps() -> Vec<Box<dyn Application>> {
-        vec![
-            Box::new(
-                Synthetic::builder()
-                    .ranks(4)
-                    .topology(Topology::Ring)
-                    .compute_instr(500_000)
-                    .message_bytes(131_072)
-                    .iterations(2)
-                    .build()
-                    .unwrap(),
-            ),
-        ]
+        vec![Box::new(
+            Synthetic::builder()
+                .ranks(4)
+                .topology(Topology::Ring)
+                .compute_instr(500_000)
+                .message_bytes(131_072)
+                .iterations(2)
+                .build()
+                .unwrap(),
+        )]
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! the smallest bandwidth at which the *overlapped* execution is at least
 //! as fast. The ratio of the two bandwidths is the relaxation factor.
 
-use ovlsim_core::{Bandwidth, Platform, Time, TraceSet};
-use ovlsim_dimemas::Simulator;
+use ovlsim_core::{Bandwidth, Platform, Time, TraceIndex, TraceSet};
+use ovlsim_dimemas::{SimError, Simulator};
 
 use crate::error::LabError;
 
@@ -58,10 +58,14 @@ pub fn min_bandwidth_for(
     reference: f64,
 ) -> Result<Bandwidth, LabError> {
     assert!(lo > 0.0 && reference > lo, "need 0 < lo < reference");
+    // The bisection probes the same trace dozens of times: validate and
+    // channel-index once, then replay prepared per probe.
+    let index = TraceIndex::build(trace)
+        .map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))?;
     let time_at = |bps: f64| -> Result<Time, LabError> {
         let bw = Bandwidth::from_bytes_per_sec(bps)?;
         Ok(Simulator::new(base.with_bandwidth(bw))
-            .run(trace)?
+            .run_prepared(trace, &index)?
             .total_time())
     };
     if time_at(reference)? > target {
@@ -140,12 +144,11 @@ mod tests {
     fn min_bandwidth_is_minimal() {
         let (orig, _) = traces();
         let base = ovlsim_apps::calibration::reference_platform();
-        let target = Simulator::new(
-            base.with_bandwidth(Bandwidth::from_bytes_per_sec(5.0e7).unwrap()),
-        )
-        .run(&orig)
-        .unwrap()
-        .total_time();
+        let target =
+            Simulator::new(base.with_bandwidth(Bandwidth::from_bytes_per_sec(5.0e7).unwrap()))
+                .run(&orig)
+                .unwrap()
+                .total_time();
         let found = min_bandwidth_for(&orig, &base, target, 1.0e5, 1.0e10).unwrap();
         // At the found bandwidth the target is met …
         let t = Simulator::new(base.with_bandwidth(found))

@@ -43,6 +43,7 @@ mod bounds;
 mod error;
 mod experiments;
 mod iso;
+mod par;
 mod plot;
 mod sweep;
 mod table;
@@ -51,11 +52,14 @@ pub use analysis::{intermediate_bandwidth, peak_speedup, point_nearest_comm_frac
 pub use bounds::OverlapBounds;
 pub use error::LabError;
 pub use experiments::{
-    custom_curve, e1_pipeline, e2_real_patterns, e3_ideal_speedup, e4_speedup_curves,
-    e5_bandwidth_relaxation, e6_mechanisms, e7_pattern_cdf, e8_platform_sensitivity, e9_chunk_overhead, e10_multicore,
-    find_half_comm_bandwidth, side_by_side_gantt, ExperimentReport, SWEEP_HI, SWEEP_LO,
+    custom_curve, e10_multicore, e1_pipeline, e2_real_patterns, e3_ideal_speedup,
+    e4_speedup_curves, e5_bandwidth_relaxation, e6_mechanisms, e7_pattern_cdf,
+    e8_platform_sensitivity, e9_chunk_overhead, find_half_comm_bandwidth, side_by_side_gantt,
+    ExperimentReport, SWEEP_HI, SWEEP_LO,
 };
 pub use iso::{bandwidth_relaxation, min_bandwidth_for, RelaxationResult};
 pub use plot::{curve_of, render_curves, Curve, PlotOptions};
+#[doc(hidden)]
+pub use sweep::sweep_traces_threaded;
 pub use sweep::{log_bandwidths, sweep_bundle, sweep_traces, SweepPoint};
 pub use table::Table;

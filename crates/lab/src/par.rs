@@ -1,0 +1,177 @@
+//! Deterministic fan-out of independent experiment work across threads.
+//!
+//! Every sweep point and every app×platform combination in the experiment
+//! suite replays immutable traces on its own `Simulator`, so they can run
+//! on any thread in any order — only the *collection order* of results
+//! matters for determinism. [`par_map`] preserves it: results come back
+//! indexed by input position, so the output is byte-identical to the
+//! sequential path no matter how the OS schedules the workers.
+//!
+//! Controls:
+//!
+//! * the `parallel` cargo feature (default on) compiles the threaded path;
+//!   without it every call degrades to a sequential `map`,
+//! * `OVLSIM_THREADS=n` caps the worker count at runtime (`1` forces
+//!   sequential execution — handy for scaling measurements),
+//! * nested calls run sequentially (a per-thread guard), so an app-level
+//!   fan-out containing per-point sweeps does not oversubscribe the
+//!   machine with threads² workers.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Set inside worker threads: nested `par_map` calls run inline
+    /// instead of spawning threads-of-threads.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Worker count for the next top-level [`par_map`]: `OVLSIM_THREADS` if
+/// set to a positive integer, else the machine's available parallelism.
+/// An unparseable value is reported on stderr and ignored rather than
+/// silently serializing the whole run.
+pub(crate) fn max_threads() -> usize {
+    let available = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("OVLSIM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!(
+                    "ovlsim-lab: ignoring unparseable OVLSIM_THREADS={v:?} \
+                     (want a positive integer); using available parallelism"
+                );
+                available()
+            }
+        },
+        Err(_) => available(),
+    }
+}
+
+/// Maps `f` over `items`, returning results in input order. Runs on up to
+/// [`max_threads`] scoped threads when the `parallel` feature is enabled
+/// and this is a top-level call; otherwise sequentially. Panics in `f`
+/// propagate to the caller.
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(items, max_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker cap (used by tests and scaling
+/// measurements to pin the thread count).
+#[cfg(feature = "parallel")]
+pub(crate) fn par_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 || IN_PARALLEL.with(Cell::get) {
+        return items.iter().map(f).collect();
+    }
+    // Work-stealing by atomic cursor: threads grab the next unclaimed
+    // index, so an expensive item (low bandwidth → long replay) does not
+    // leave the other workers idle behind a static partition.
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_PARALLEL.with(|c| c.set(true));
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for w in workers {
+            match w.join() {
+                Ok(part) => collected.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Sequential fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn par_map_with<T, R, F>(items: &[T], _threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    items.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map_with(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = par_map_with(&items, 1, |&x| x * x + 1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(par_map_with(&items, threads, |&x| x * x + 1), seq);
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let outer: Vec<u64> = (0..4).collect();
+        let out = par_map_with(&outer, 4, |&x| {
+            let inner: Vec<u64> = (0..8).collect();
+            par_map_with(&inner, 4, move |&y| x * 100 + y)
+        });
+        for (x, row) in out.iter().enumerate() {
+            assert_eq!(row.len(), 8);
+            assert_eq!(row[3], x as u64 * 100 + 3);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = par_map_with(&[] as &[u64], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u64> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(&items, 4, |&x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,10 +1,11 @@
 //! Bandwidth sweeps: the x-axis of every figure in the paper.
 
-use ovlsim_core::{Bandwidth, Platform, Time, TraceSet};
-use ovlsim_dimemas::Simulator;
+use ovlsim_core::{Bandwidth, Platform, Time, TraceIndex, TraceSet};
+use ovlsim_dimemas::{SimError, Simulator};
 use ovlsim_tracer::{OverlapMode, TraceBundle};
 
 use crate::error::LabError;
+use crate::par;
 
 /// `points` logarithmically spaced bandwidths covering `[lo, hi]` bytes/s
 /// inclusive.
@@ -63,7 +64,12 @@ impl SweepPoint {
 ///
 /// The traces are bandwidth-independent (the transform works in the
 /// instruction domain), so they are synthesized once by the caller and
-/// replayed per point here.
+/// replayed per point here. Each trace is validated and channel-indexed
+/// **once**; every point then replays via
+/// [`Simulator::run_prepared`], and with the `parallel` feature the points
+/// fan out across threads (each point is an independent `Simulator` over
+/// immutable traces). Results are byte-identical to the sequential path —
+/// they come back in bandwidth order regardless of scheduling.
 ///
 /// # Errors
 ///
@@ -74,20 +80,45 @@ pub fn sweep_traces(
     base: &Platform,
     bandwidths: &[Bandwidth],
 ) -> Result<Vec<SweepPoint>, LabError> {
-    let mut out = Vec::with_capacity(bandwidths.len());
-    for &bw in bandwidths {
-        let platform = base.with_bandwidth(bw);
-        let sim = Simulator::new(platform);
-        let orig = sim.run(original)?;
-        let ovl = sim.run(overlapped)?;
-        out.push(SweepPoint {
+    sweep_traces_threaded(original, overlapped, base, bandwidths, par::max_threads())
+}
+
+/// [`sweep_traces`] with an explicit worker cap (exposed for scaling
+/// measurements and the sequential-equivalence tests).
+#[doc(hidden)]
+pub fn sweep_traces_threaded(
+    original: &TraceSet,
+    overlapped: &TraceSet,
+    base: &Platform,
+    bandwidths: &[Bandwidth],
+    threads: usize,
+) -> Result<Vec<SweepPoint>, LabError> {
+    let index = |ts: &TraceSet| -> Result<TraceIndex, LabError> {
+        TraceIndex::build(ts).map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))
+    };
+    let orig_index = index(original)?;
+    let ovl_index = index(overlapped)?;
+    let point_at = |bw: Bandwidth| -> Result<SweepPoint, LabError> {
+        let sim = Simulator::new(base.with_bandwidth(bw));
+        let orig = sim.run_prepared(original, &orig_index)?;
+        let ovl = sim.run_prepared(overlapped, &ovl_index)?;
+        Ok(SweepPoint {
             bandwidth: bw,
             original: orig.total_time(),
             overlapped: ovl.total_time(),
             comm_fraction: orig.comm_fraction(),
-        });
+        })
+    };
+    if threads <= 1 {
+        // Sequential path: stop at the first failing point.
+        return bandwidths.iter().map(|&bw| point_at(bw)).collect();
     }
-    Ok(out)
+    // Parallel path: in-flight points drain before the error surfaces —
+    // the first error in bandwidth order is reported, independent of
+    // which worker hit it.
+    par::par_map_with(bandwidths, threads, |&bw| point_at(bw))
+        .into_iter()
+        .collect()
 }
 
 /// Traces nothing — synthesizes the overlapped variant for `mode` from the
@@ -162,6 +193,27 @@ mod tests {
         // Speedup sane.
         for p in &points {
             assert!(p.speedup() > 0.5 && p.speedup() < 10.0);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let app = Synthetic::builder()
+            .ranks(4)
+            .compute_instr(200_000)
+            .message_bytes(65_536)
+            .iterations(2)
+            .build()
+            .unwrap();
+        let bundle = TracingSession::new(&app).run().unwrap();
+        let overlapped = bundle.overlapped_linear();
+        let base = ovlsim_apps::calibration::reference_platform();
+        let bws = log_bandwidths(1.0e6, 1.0e10, 9);
+        let seq = sweep_traces_threaded(bundle.original(), &overlapped, &base, &bws, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let par = sweep_traces_threaded(bundle.original(), &overlapped, &base, &bws, threads)
+                .unwrap();
+            assert_eq!(seq, par, "sweep diverged at {threads} threads");
         }
     }
 }

@@ -178,11 +178,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "before .access")]
     fn access_without_phase_panics() {
-        let _ = Kernel::builder().access(
-            BufferId::new(0),
-            AccessKind::Read,
-            IndexPattern::Sequential,
-        );
+        let _ =
+            Kernel::builder().access(BufferId::new(0), AccessKind::Read, IndexPattern::Sequential);
     }
 
     #[test]

@@ -197,8 +197,8 @@ impl MemTracer {
                 if access.kind == AccessKind::Write {
                     // A single write in the phase suffices to trip watches;
                     // use the earliest element timestamp in this stream.
-                    let earliest = phase_start
-                        + Instr::new(((phase_instr.get() as u128) / n) as u64);
+                    let earliest =
+                        phase_start + Instr::new(((phase_instr.get() as u128) / n) as u64);
                     for w in &mut self.watches {
                         if w.buffer == access.buffer && w.first_write.is_none() {
                             w.first_write = Some(earliest);

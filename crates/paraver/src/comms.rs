@@ -120,8 +120,8 @@ impl CommStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ovlsim_core::{MipsRate, Platform, RankTrace, Record, Tag, Time, TraceSet};
     use crate::timeline::Timeline;
+    use ovlsim_core::{MipsRate, Platform, RankTrace, Record, Tag, Time, TraceSet};
 
     fn capture() -> Timeline {
         let trace = TraceSet::new(
@@ -129,13 +129,33 @@ mod tests {
             MipsRate::new(1000).unwrap(),
             vec![
                 RankTrace::from_records(vec![
-                    Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
-                    Record::Send { to: Rank::new(1), bytes: 3000, tag: Tag::new(1) },
-                    Record::Send { to: Rank::new(2), bytes: 64, tag: Tag::new(2) },
+                    Record::Send {
+                        to: Rank::new(1),
+                        bytes: 1000,
+                        tag: Tag::new(0),
+                    },
+                    Record::Send {
+                        to: Rank::new(1),
+                        bytes: 3000,
+                        tag: Tag::new(1),
+                    },
+                    Record::Send {
+                        to: Rank::new(2),
+                        bytes: 64,
+                        tag: Tag::new(2),
+                    },
                 ]),
                 RankTrace::from_records(vec![
-                    Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
-                    Record::Recv { from: Rank::new(0), bytes: 3000, tag: Tag::new(1) },
+                    Record::Recv {
+                        from: Rank::new(0),
+                        bytes: 1000,
+                        tag: Tag::new(0),
+                    },
+                    Record::Recv {
+                        from: Rank::new(0),
+                        bytes: 3000,
+                        tag: Tag::new(1),
+                    },
                 ]),
                 RankTrace::from_records(vec![Record::Recv {
                     from: Rank::new(0),

@@ -69,11 +69,7 @@ pub fn render_gantt(timeline: &Timeline, options: &GanttOptions) -> String {
     let width = options.width.max(1);
     let span = timeline.span();
     let mut out = String::new();
-    out.push_str(&format!(
-        "{} — span {}\n",
-        timeline.name(),
-        span
-    ));
+    out.push_str(&format!("{} — span {}\n", timeline.name(), span));
     if span.is_zero() {
         out.push_str("(empty timeline)\n");
         return out;
@@ -93,7 +89,10 @@ pub fn render_gantt(timeline: &Timeline, options: &GanttOptions) -> String {
         for iv in timeline.intervals(rank) {
             let s = iv.start.as_ps() as f64;
             let e = iv.end.as_ps() as f64;
-            let si = states.iter().position(|st| *st == iv.state).expect("known state");
+            let si = states
+                .iter()
+                .position(|st| *st == iv.state)
+                .expect("known state");
             let first = (s / bucket_ps) as usize;
             let last = ((e / bucket_ps).ceil() as usize).min(width);
             for (b, bucket) in buckets.iter_mut().enumerate().take(last).skip(first) {
@@ -106,16 +105,19 @@ pub fn render_gantt(timeline: &Timeline, options: &GanttOptions) -> String {
         let row: String = buckets
             .iter()
             .map(|occ| {
-                let (best, best_t) = occ
-                    .iter()
-                    .enumerate()
-                    .fold((0usize, 0.0f64), |(bi, bt), (i, &t)| {
-                        if t > bt {
-                            (i, t)
-                        } else {
-                            (bi, bt)
-                        }
-                    });
+                let (best, best_t) =
+                    occ.iter()
+                        .enumerate()
+                        .fold(
+                            (0usize, 0.0f64),
+                            |(bi, bt), (i, &t)| {
+                                if t > bt {
+                                    (i, t)
+                                } else {
+                                    (bi, bt)
+                                }
+                            },
+                        );
                 if best_t <= 0.0 {
                     '.'
                 } else {
@@ -159,8 +161,16 @@ mod tests {
 
     #[test]
     fn compute_renders_hashes() {
-        let tl = capture(vec![vec![Record::Burst { instr: Instr::new(1000) }]]);
-        let chart = render_gantt(&tl, &GanttOptions { width: 20, legend: false });
+        let tl = capture(vec![vec![Record::Burst {
+            instr: Instr::new(1000),
+        }]]);
+        let chart = render_gantt(
+            &tl,
+            &GanttOptions {
+                width: 20,
+                legend: false,
+            },
+        );
         assert!(chart.contains(&"#".repeat(20)));
     }
 
@@ -168,12 +178,28 @@ mod tests {
     fn waiting_receiver_renders_r() {
         let tl = capture(vec![
             vec![
-                Record::Burst { instr: Instr::new(10_000) },
-                Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                Record::Burst {
+                    instr: Instr::new(10_000),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
             ],
-            vec![Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
         ]);
-        let chart = render_gantt(&tl, &GanttOptions { width: 12, legend: true });
+        let chart = render_gantt(
+            &tl,
+            &GanttOptions {
+                width: 12,
+                legend: true,
+            },
+        );
         let lines: Vec<&str> = chart.lines().collect();
         // Rank 0 computes, rank 1 waits.
         assert!(lines[1].contains('#'));
@@ -191,11 +217,23 @@ mod tests {
     #[test]
     fn rows_match_rank_count() {
         let tl = capture(vec![
-            vec![Record::Burst { instr: Instr::new(100) }],
-            vec![Record::Burst { instr: Instr::new(100) }],
-            vec![Record::Burst { instr: Instr::new(100) }],
+            vec![Record::Burst {
+                instr: Instr::new(100),
+            }],
+            vec![Record::Burst {
+                instr: Instr::new(100),
+            }],
+            vec![Record::Burst {
+                instr: Instr::new(100),
+            }],
         ]);
-        let chart = render_gantt(&tl, &GanttOptions { width: 10, legend: false });
+        let chart = render_gantt(
+            &tl,
+            &GanttOptions {
+                width: 10,
+                legend: false,
+            },
+        );
         // Header + 3 rank rows.
         assert_eq!(chart.lines().count(), 4);
     }

@@ -124,12 +124,24 @@ mod tests {
             MipsRate::new(1000).unwrap(),
             vec![
                 RankTrace::from_records(vec![
-                    Record::Burst { instr: Instr::new(3000) },
-                    Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                    Record::Burst {
+                        instr: Instr::new(3000),
+                    },
+                    Record::Send {
+                        to: Rank::new(1),
+                        bytes: 1000,
+                        tag: Tag::new(0),
+                    },
                 ]),
                 RankTrace::from_records(vec![
-                    Record::Recv { from: Rank::new(0), bytes: 1000, tag: Tag::new(0) },
-                    Record::Burst { instr: Instr::new(1000) },
+                    Record::Recv {
+                        from: Rank::new(0),
+                        bytes: 1000,
+                        tag: Tag::new(0),
+                    },
+                    Record::Burst {
+                        instr: Instr::new(1000),
+                    },
                 ]),
             ],
         );

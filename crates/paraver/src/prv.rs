@@ -134,8 +134,14 @@ mod tests {
             MipsRate::new(1000).unwrap(),
             vec![
                 RankTrace::from_records(vec![
-                    Record::Burst { instr: Instr::new(1000) },
-                    Record::Send { to: Rank::new(1), bytes: 512, tag: Tag::new(2) },
+                    Record::Burst {
+                        instr: Instr::new(1000),
+                    },
+                    Record::Send {
+                        to: Rank::new(1),
+                        bytes: 512,
+                        tag: Tag::new(2),
+                    },
                     Record::Marker { code: 3 },
                 ]),
                 RankTrace::from_records(vec![Record::Recv {
@@ -158,7 +164,10 @@ mod tests {
         let prv = to_prv(&capture());
         let lines: Vec<&str> = prv.lines().collect();
         assert!(lines[0].starts_with("#Paraver"));
-        assert!(lines.iter().any(|l| l.starts_with("1:1:1:1:1:")), "state record");
+        assert!(
+            lines.iter().any(|l| l.starts_with("1:1:1:1:1:")),
+            "state record"
+        );
         assert!(lines.iter().any(|l| l.starts_with("2:")), "event record");
         assert!(lines.iter().any(|l| l.starts_with("3:")), "comm record");
         // Comm record carries size and tag at the end.
@@ -170,13 +179,22 @@ mod tests {
     fn prv_times_are_nanoseconds() {
         let prv = to_prv(&capture());
         // The compute burst is 1000 instructions at 1000 MIPS = 1000 ns.
-        assert!(prv.contains(":0:1000:1"), "missing compute state in ns: {prv}");
+        assert!(
+            prv.contains(":0:1000:1"),
+            "missing compute state in ns: {prv}"
+        );
     }
 
     #[test]
     fn pcf_lists_all_states() {
         let pcf = to_pcf();
-        for label in ["COMPUTE", "WAIT-RECV", "WAIT-SEND", "WAIT-REQUEST", "COLLECTIVE"] {
+        for label in [
+            "COMPUTE",
+            "WAIT-RECV",
+            "WAIT-SEND",
+            "WAIT-REQUEST",
+            "COLLECTIVE",
+        ] {
             assert!(pcf.contains(label), "missing {label}");
         }
         assert!(pcf.contains(&MARKER_EVENT_TYPE.to_string()));

@@ -167,7 +167,15 @@ impl ReplayObserver for Timeline {
         }
     }
 
-    fn message(&mut self, from: Rank, to: Rank, wire_start: Time, wire_end: Time, bytes: u64, tag: Tag) {
+    fn message(
+        &mut self,
+        from: Rank,
+        to: Rank,
+        wire_start: Time,
+        wire_end: Time,
+        bytes: u64,
+        tag: Tag,
+    ) {
         self.messages.push(MessageArrow {
             from,
             to,
@@ -198,8 +206,14 @@ mod tests {
             MipsRate::new(1000).unwrap(),
             vec![
                 RankTrace::from_records(vec![
-                    Record::Burst { instr: Instr::new(1000) },
-                    Record::Send { to: Rank::new(1), bytes: 1000, tag: Tag::new(0) },
+                    Record::Burst {
+                        instr: Instr::new(1000),
+                    },
+                    Record::Send {
+                        to: Rank::new(1),
+                        bytes: 1000,
+                        tag: Tag::new(0),
+                    },
                     Record::Marker { code: 5 },
                 ]),
                 RankTrace::from_records(vec![Record::Recv {
@@ -255,7 +269,12 @@ mod tests {
     #[test]
     fn zero_length_intervals_dropped() {
         let mut tl = Timeline::new("x", 1);
-        tl.interval(Rank::new(0), Time::from_us(1), Time::from_us(1), ProcState::Compute);
+        tl.interval(
+            Rank::new(0),
+            Time::from_us(1),
+            Time::from_us(1),
+            ProcState::Compute,
+        );
         assert!(tl.intervals(Rank::new(0)).is_empty());
     }
 }

@@ -46,7 +46,12 @@ use crate::error::TraceError;
 ///
 /// assert_eq!(PingPong.ranks(), 2);
 /// ```
-pub trait Application {
+///
+/// `Sync` is a supertrait so the experiment harness (`ovlsim-lab`) can fan
+/// app×platform combinations out across threads; models are parameter
+/// structs read-only during tracing, so this costs implementations
+/// nothing.
+pub trait Application: Sync {
     /// A short machine-friendly name used in trace names and reports.
     fn name(&self) -> &str;
 
@@ -82,11 +87,7 @@ mod tests {
         fn ranks(&self) -> usize {
             1
         }
-        fn run(
-            &self,
-            _rank: ovlsim_core::Rank,
-            _ctx: &mut TraceContext,
-        ) -> Result<(), TraceError> {
+        fn run(&self, _rank: ovlsim_core::Rank, _ctx: &mut TraceContext) -> Result<(), TraceError> {
             Ok(())
         }
     }

@@ -167,7 +167,11 @@ impl ChunkingPolicy {
                     let hi = (lo + size).min(total);
                     // Absorb a tiny remainder into the final chunk rather
                     // than emitting a sub-minimum fragment.
-                    let hi = if total - hi < self.min_chunk_bytes { total } else { hi };
+                    let hi = if total - hi < self.min_chunk_bytes {
+                        total
+                    } else {
+                        hi
+                    };
                     out.push(lo..hi);
                     lo = hi;
                     size = size.saturating_mul(2);
@@ -188,7 +192,9 @@ impl fmt::Display for ChunkingPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             ChunkKind::FixedCount(n) => write!(f, "{} chunks (min {} B)", n, self.min_chunk_bytes),
-            ChunkKind::FixedBytes(b) => write!(f, "{} B chunks (min {} B)", b, self.min_chunk_bytes),
+            ChunkKind::FixedBytes(b) => {
+                write!(f, "{} B chunks (min {} B)", b, self.min_chunk_bytes)
+            }
             ChunkKind::Doubling(b) => {
                 write!(f, "doubling from {} B (min {} B)", b, self.min_chunk_bytes)
             }

@@ -320,7 +320,12 @@ impl TraceContext {
         let watch = self.mem.watch_first_write(buf);
         let req = self.fresh_req();
         let record_idx = self.records.len();
-        self.records.push(Record::ISend { to, bytes, tag, req });
+        self.records.push(Record::ISend {
+            to,
+            bytes,
+            tag,
+            req,
+        });
         let meta_idx = self.sends.len();
         self.sends.push(SendMeta {
             record_idx,
@@ -434,7 +439,12 @@ impl TraceContext {
         let channel_seq = self.next_in_seq(from, tag);
         let req = self.fresh_req();
         let record_idx = self.records.len();
-        self.records.push(Record::IRecv { from, bytes, tag, req });
+        self.records.push(Record::IRecv {
+            from,
+            bytes,
+            tag,
+            req,
+        });
         let meta_idx = self.recvs.len();
         self.recvs.push(RecvMeta {
             post_record_idx: record_idx,
@@ -573,7 +583,12 @@ mod tests {
         c.compute(Instr::new(20));
         let (records, meta) = c.finish().unwrap();
         assert_eq!(records.len(), 1);
-        assert_eq!(records[0], Record::Burst { instr: Instr::new(30) });
+        assert_eq!(
+            records[0],
+            Record::Burst {
+                instr: Instr::new(30)
+            }
+        );
         assert_eq!(meta.total_instr, Instr::new(30));
     }
 

@@ -58,7 +58,10 @@ impl fmt::Display for TraceError {
                 write!(f, "application must declare at least one rank, got {n}")
             }
             TraceError::PeerOutOfRange { rank, peer, size } => {
-                write!(f, "{rank} references peer {peer} outside communicator of {size}")
+                write!(
+                    f,
+                    "{rank} references peer {peer} outside communicator of {size}"
+                )
             }
             TraceError::SelfMessage { rank } => {
                 write!(f, "{rank} attempted to send a message to itself")

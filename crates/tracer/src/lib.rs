@@ -34,6 +34,6 @@ pub use context::{RankMeta, RecvHandle, RecvMeta, SendHandle, SendMeta, TraceCon
 pub use error::TraceError;
 pub use session::{TraceBundle, TracingSession};
 pub use transform::{
-    chunk_tag, overlap_rank, Mechanisms, OverlapMode, PatternSource, MAX_APP_TAG,
-    MAX_CHANNEL_SEQ, MAX_CHUNKS_PER_MESSAGE,
+    chunk_tag, overlap_rank, Mechanisms, OverlapMode, PatternSource, MAX_APP_TAG, MAX_CHANNEL_SEQ,
+    MAX_CHUNKS_PER_MESSAGE,
 };

@@ -257,7 +257,10 @@ impl<'a, A: Application + ?Sized> TracingSession<'a, A> {
         let original = TraceSet::new(
             format!("{name}.original"),
             mips,
-            all_records.into_iter().map(RankTrace::from_records).collect(),
+            all_records
+                .into_iter()
+                .map(RankTrace::from_records)
+                .collect(),
         );
         let issues = validate_trace_set(&original);
         if !issues.is_empty() {
@@ -442,6 +445,9 @@ mod tests {
         assert_eq!(bundle.recv_chunkable[1], vec![false]);
         // Overlapped trace equals original (message passes through).
         let ovl = bundle.overlapped_real();
-        assert_eq!(ovl.ranks()[0].records(), bundle.original().ranks()[0].records());
+        assert_eq!(
+            ovl.ranks()[0].records(),
+            bundle.original().ranks()[0].records()
+        );
     }
 }

@@ -137,9 +137,18 @@ pub const MAX_CHUNKS_PER_MESSAGE: usize = 1 << 16;
 /// Panics if any component exceeds its encodable range (see
 /// [`MAX_APP_TAG`], [`MAX_CHANNEL_SEQ`], [`MAX_CHUNKS_PER_MESSAGE`]).
 pub fn chunk_tag(app_tag: Tag, channel_seq: u32, chunk: usize) -> Tag {
-    assert!(app_tag.get() < MAX_APP_TAG, "application tag too large to chunk");
-    assert!(channel_seq < MAX_CHANNEL_SEQ, "channel sequence too large to chunk");
-    assert!(chunk < MAX_CHUNKS_PER_MESSAGE, "too many chunks per message");
+    assert!(
+        app_tag.get() < MAX_APP_TAG,
+        "application tag too large to chunk"
+    );
+    assert!(
+        channel_seq < MAX_CHANNEL_SEQ,
+        "channel sequence too large to chunk"
+    );
+    assert!(
+        chunk < MAX_CHUNKS_PER_MESSAGE,
+        "too many chunks per message"
+    );
     Tag::new((1 << 63) | (app_tag.get() << 40) | ((channel_seq as u64) << 16) | chunk as u64)
 }
 
@@ -389,10 +398,12 @@ pub fn overlap_rank(
         }
         replacements.insert(recv.post_record_idx, posts);
 
-        let orig_req = recv.wait_record_idx.map(|_| match &records[recv.post_record_idx] {
-            Record::IRecv { req, .. } => *req,
-            other => unreachable!("recv meta with wait points at {other}"),
-        });
+        let orig_req = recv
+            .wait_record_idx
+            .map(|_| match &records[recv.post_record_idx] {
+                Record::IRecv { req, .. } => *req,
+                other => unreachable!("recv meta with wait points at {other}"),
+            });
 
         if !mode.mechanisms.late_wait {
             // All chunks complete where the original message completed.
@@ -426,9 +437,7 @@ pub fn overlap_rank(
         for (j, (range, req)) in ranges.iter().zip(&chunk_reqs).enumerate() {
             let needed = match mode.pattern {
                 PatternSource::Real => consumption.and_then(|c| c.needed_at(range.clone())),
-                PatternSource::Linear => {
-                    Some(lerp_instr(complete, wend, j as u64, n as u64))
-                }
+                PatternSource::Linear => Some(lerp_instr(complete, wend, j as u64, n as u64)),
             };
             match needed {
                 Some(at) => {
@@ -582,14 +591,7 @@ mod tests {
             ctx.send(Rank::new(1), buf, Tag::new(0)).unwrap();
         });
         let policy = ChunkingPolicy::fixed_count(4).with_min_chunk_bytes(1);
-        let out = overlap_rank(
-            &records,
-            &meta,
-            &[true],
-            &[],
-            &policy,
-            OverlapMode::real(),
-        );
+        let out = overlap_rank(&records, &meta, &[true], &[], &policy, OverlapMode::real());
         // Expect bursts split at 250/500/750/1000 with ISends between.
         let kinds: Vec<RecordKind> = out.iter().map(Record::kind).collect();
         assert_eq!(
@@ -656,7 +658,14 @@ mod tests {
             ctx.send(Rank::new(1), buf, Tag::new(0)).unwrap();
         });
         let policy = ChunkingPolicy::fixed_count(4).with_min_chunk_bytes(1);
-        let out = overlap_rank(&records, &meta, &[true], &[], &policy, OverlapMode::linear());
+        let out = overlap_rank(
+            &records,
+            &meta,
+            &[true],
+            &[],
+            &policy,
+            OverlapMode::linear(),
+        );
         let bursts: Vec<u64> = out
             .iter()
             .filter_map(|r| match r {
@@ -972,7 +981,9 @@ mod tests {
                         for m in &mut meta.recvs {
                             m.wait_record_idx = Some(new_idx);
                         }
-                        merged.push(Record::WaitAll { reqs: shared.clone() });
+                        merged.push(Record::WaitAll {
+                            reqs: shared.clone(),
+                        });
                     }
                     let _ = idx;
                 }

@@ -11,7 +11,10 @@ use ovlsim::lab::bandwidth_relaxation;
 use ovlsim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = ovlsim::apps::NasBt::builder().ranks(16).iterations(2).build()?;
+    let app = ovlsim::apps::NasBt::builder()
+        .ranks(16)
+        .iterations(2)
+        .build()?;
     let bundle = TracingSession::new(&app).run()?;
     let overlapped = bundle.overlapped_linear();
     let base = ovlsim::apps::calibration::reference_platform();

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example custom_app`
 
-use ovlsim::prelude::*;
 use ovlsim::memtrace::{AccessKind, IndexPattern, Kernel};
+use ovlsim::prelude::*;
 use ovlsim::tracer::TraceError;
 use ovlsim_core::{BufferId, Instr, Rank, Tag};
 use ovlsim_paraver::{to_pcf, to_prv, to_row, Timeline};
@@ -31,10 +31,10 @@ impl Application for Pipeline {
     }
 
     fn run(&self, rank: Rank, ctx: &mut TraceContext) -> Result<(), TraceError> {
-        let inbox: Option<BufferId> = (rank.index() > 0)
-            .then(|| ctx.register_buffer("inbox", 65_536, 8));
-        let outbox: Option<BufferId> = (rank.index() + 1 < self.stages)
-            .then(|| ctx.register_buffer("outbox", 65_536, 8));
+        let inbox: Option<BufferId> =
+            (rank.index() > 0).then(|| ctx.register_buffer("inbox", 65_536, 8));
+        let outbox: Option<BufferId> =
+            (rank.index() + 1 < self.stages).then(|| ctx.register_buffer("outbox", 65_536, 8));
 
         for block in 0..self.blocks {
             let tag = Tag::new(block as u64);
@@ -60,7 +60,10 @@ impl Application for Pipeline {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = Pipeline { stages: 4, blocks: 6 };
+    let app = Pipeline {
+        stages: 4,
+        blocks: 6,
+    };
     let bundle = TracingSession::new(&app)
         .policy(ChunkingPolicy::fixed_count(8))
         .run()?;

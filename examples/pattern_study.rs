@@ -13,8 +13,8 @@
 //!
 //! Run with: `cargo run --example pattern_study`
 
-use ovlsim::prelude::*;
 use ovlsim::apps::{ConsumptionShape, ProductionShape, Synthetic, Topology};
+use ovlsim::prelude::*;
 
 fn speedup(bundle: &TraceBundle, mode: OverlapMode, platform: &Platform) -> f64 {
     let sim = Simulator::new(platform.clone());
@@ -60,10 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bundle_tail = TracingSession::new(&tail).run()?;
 
     println!("identical apps, different production patterns, same platform:\n");
-    println!(
-        "{:<44} {:>9}",
-        "configuration", "speedup"
-    );
+    println!("{:<44} {:>9}", "configuration", "speedup");
     println!("{}", "-".repeat(54));
     println!(
         "{:<44} {:>8.3}x",

@@ -11,7 +11,10 @@ use ovlsim_paraver::{compare, StateProfile, Timeline};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An application model (one of the six codes from the paper).
-    let app = ovlsim::apps::Sweep3d::builder().ranks(9).planes(8).build()?;
+    let app = ovlsim::apps::Sweep3d::builder()
+        .ranks(9)
+        .planes(8)
+        .build()?;
 
     // 2. The tracing tool: one run produces the original trace plus
     //    everything needed to synthesize the overlapped variants.

@@ -26,13 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bundle = TracingSession::new(&app).run()?;
     let (tl_orig, res_orig) = Timeline::capture(&platform, bundle.original())?;
     let (tl_ovl, res_ovl) = Timeline::capture(&platform, &bundle.overlapped_linear())?;
-    let opts = GanttOptions { width: 76, legend: false };
+    let opts = GanttOptions {
+        width: 76,
+        legend: false,
+    };
     println!("original (note the wavefront staircase):");
     println!("{}", render_gantt(&tl_orig, &opts));
     println!("overlapped, linear pattern (fill collapsed):");
     println!(
         "{}",
-        render_gantt(&tl_ovl, &GanttOptions { width: 76, legend: true })
+        render_gantt(
+            &tl_ovl,
+            &GanttOptions {
+                width: 76,
+                legend: true
+            }
+        )
     );
     println!(
         "makespan {} -> {}\n",

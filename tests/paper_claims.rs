@@ -18,7 +18,11 @@ fn bundle_of(app: &dyn Application) -> TraceBundle {
 
 fn speedup(bundle: &TraceBundle, mode: OverlapMode, platform: &Platform) -> f64 {
     let sim = Simulator::new(platform.clone());
-    let orig = sim.run(bundle.original()).unwrap().total_time().as_secs_f64();
+    let orig = sim
+        .run(bundle.original())
+        .unwrap()
+        .total_time()
+        .as_secs_f64();
     let ovl = sim
         .run(&bundle.overlapped(mode).unwrap())
         .unwrap()

@@ -44,7 +44,10 @@ fn every_app_traces_and_replays_in_every_mode() {
                 Mechanisms::LATE_WAIT_ONLY,
                 Mechanisms::NONE,
             ] {
-                let mode = OverlapMode { pattern, mechanisms };
+                let mode = OverlapMode {
+                    pattern,
+                    mechanisms,
+                };
                 let ts = bundle
                     .overlapped(mode)
                     .unwrap_or_else(|e| panic!("{} {mode:?} invalid: {e}", app.name()));
@@ -98,7 +101,11 @@ fn linear_beats_real_for_pack_heavy_apps() {
     for app in small_apps() {
         let bundle = TracingSession::new(app.as_ref()).run().unwrap();
         let sim = Simulator::new(platform());
-        let orig = sim.run(bundle.original()).unwrap().total_time().as_secs_f64();
+        let orig = sim
+            .run(bundle.original())
+            .unwrap()
+            .total_time()
+            .as_secs_f64();
         let real = sim
             .run(&bundle.overlapped_real())
             .unwrap()
@@ -122,7 +129,12 @@ fn linear_beats_real_for_pack_heavy_apps() {
 #[test]
 fn deterministic_end_to_end() {
     // Same app, same platform => bit-identical results.
-    let app = Alya::builder().ranks(6).iterations(2).seed(123).build().unwrap();
+    let app = Alya::builder()
+        .ranks(6)
+        .iterations(2)
+        .seed(123)
+        .build()
+        .unwrap();
     let run = || {
         let bundle = TracingSession::new(&app).run().unwrap();
         let sim = Simulator::new(platform());
@@ -149,7 +161,11 @@ fn problem_classes_preserve_overlap_shape() {
             .unwrap();
         let bundle = TracingSession::new(&app).run().unwrap();
         let sim = Simulator::new(ovlsim_apps::calibration::reference_platform());
-        let orig = sim.run(bundle.original()).unwrap().total_time().as_secs_f64();
+        let orig = sim
+            .run(bundle.original())
+            .unwrap()
+            .total_time()
+            .as_secs_f64();
         let ovl = sim
             .run(&bundle.overlapped_linear())
             .unwrap()
@@ -160,8 +176,14 @@ fn problem_classes_preserve_overlap_shape() {
     let s = speedup_of(ProblemClass::S);
     let a = speedup_of(ProblemClass::A);
     let b = speedup_of(ProblemClass::B);
-    assert!((s - a).abs() < 0.25, "class S speedup {s:.3} far from A {a:.3}");
-    assert!((b - a).abs() < 0.25, "class B speedup {b:.3} far from A {a:.3}");
+    assert!(
+        (s - a).abs() < 0.25,
+        "class S speedup {s:.3} far from A {a:.3}"
+    );
+    assert!(
+        (b - a).abs() < 0.25,
+        "class B speedup {b:.3} far from A {a:.3}"
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! applications and platforms, checking invariants that must hold for
 //! *every* configuration.
 
-use ovlsim::prelude::*;
 use ovlsim::apps::{ConsumptionShape, ProductionShape, Synthetic, Topology};
+use ovlsim::prelude::*;
 use ovlsim::tracer::{Mechanisms, PatternSource};
 use proptest::prelude::*;
 
@@ -47,14 +47,14 @@ struct Config {
 
 fn arb_config() -> impl Strategy<Value = Config> {
     (
-        (1usize..5),           // ranks/2 (ensures even for Pairs)
+        (1usize..5), // ranks/2 (ensures even for Pairs)
         arb_topology(),
-        (1usize..4),           // iterations
+        (1usize..4), // iterations
         (10_000u64..2_000_000),
-        (1u64..2_000),         // message_bytes/8
+        (1u64..2_000), // message_bytes/8
         arb_production(),
         arb_consumption(),
-        (1usize..20),          // chunks
+        (1usize..20), // chunks
         (1.0e6f64..1.0e10),
         (0u64..50),
         prop_oneof![Just(PatternSource::Real), Just(PatternSource::Linear)],

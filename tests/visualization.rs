@@ -49,7 +49,11 @@ fn prv_export_is_wellformed_for_real_apps() {
         // State intervals never exceed the makespan.
         let span_ns = result.total_time().as_ps() / 1000;
         for line in lines[1..].iter().filter(|l| l.starts_with("1:")) {
-            let fields: Vec<u64> = line.split(':').skip(1).map(|f| f.parse().unwrap()).collect();
+            let fields: Vec<u64> = line
+                .split(':')
+                .skip(1)
+                .map(|f| f.parse().unwrap())
+                .collect();
             assert!(fields[4] <= fields[5], "inverted interval: {line}");
             assert!(fields[5] <= span_ns, "interval beyond makespan: {line}");
         }
@@ -78,10 +82,7 @@ fn timeline_state_times_sum_to_busy_time() {
         .map(|&s| timeline.time_in_state(rank, s))
         .sum();
         let finish = result.rank_finish()[rank.index()];
-        assert_eq!(
-            busy, finish,
-            "rank {rank} busy {busy} != finish {finish}"
-        );
+        assert_eq!(busy, finish, "rank {rank} busy {busy} != finish {finish}");
     }
 }
 
@@ -90,7 +91,13 @@ fn gantt_renders_all_paper_apps() {
     for app in ovlsim_apps::paper_apps() {
         let bundle = TracingSession::new(app.as_ref()).run().unwrap();
         let (timeline, _) = Timeline::capture(&platform(), bundle.original()).unwrap();
-        let chart = render_gantt(&timeline, &GanttOptions { width: 60, legend: true });
+        let chart = render_gantt(
+            &timeline,
+            &GanttOptions {
+                width: 60,
+                legend: true,
+            },
+        );
         // One row per rank plus header and legend.
         assert_eq!(chart.lines().count(), timeline.rank_count() + 2);
         assert!(chart.contains('#'), "{}: no compute visible", app.name());

@@ -1,0 +1,311 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small, honest benchmark runner exposing the criterion API subset its
+//! benches use: `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], and `Bencher::iter`.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `samples` samples of `iters` iterations each (`iters` is sized so one
+//! sample takes ≳2 ms). The median per-iteration time is reported, plus
+//! elements/second when a throughput was declared.
+//!
+//! CLI/env controls (a subset of criterion's):
+//!
+//! * a positional argument filters benchmarks by substring,
+//! * `--quick` (or `OVLSIM_BENCH_QUICK=1`) runs 1 warmup + 3 samples for
+//!   smoke-testing in CI,
+//! * `OVLSIM_BENCH_SAMPLES=n` overrides the sample count,
+//! * `--bench` / `--test` flags passed by cargo are accepted and ignored
+//!   (`--test` additionally switches to quick mode, matching criterion's
+//!   behavior of only checking that benches run).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Run-wide measurement settings, parsed from argv/env.
+#[derive(Debug, Clone)]
+struct Settings {
+    filter: Option<String>,
+    samples: usize,
+    quick: bool,
+}
+
+impl Settings {
+    fn from_env() -> Self {
+        let mut filter = None;
+        let mut quick = std::env::var_os("OVLSIM_BENCH_QUICK").is_some();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" | "--test" => quick = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        let samples = std::env::var("OVLSIM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if quick { 3 } else { 15 });
+        Settings {
+            filter,
+            samples,
+            quick,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.settings.matches(id) {
+            run_benchmark(id, &self.settings, None, |b| f(b));
+        }
+        self
+    }
+}
+
+/// Declared throughput of one benchmark, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        if self.criterion.settings.matches(&full) {
+            run_benchmark(&full, &self.criterion.settings, self.throughput, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Benchmarks a function without an input parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.settings.matches(&full) {
+            run_benchmark(&full, &self.criterion.settings, self.throughput, |b| f(b));
+        }
+        self
+    }
+
+    /// Ends the group (drop would do; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Times closures; handed to benchmark functions.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    /// Median per-iteration time of the last `iter` call.
+    median: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and calibration: time single calls until we know how many
+        // iterations fill one sample.
+        let warmup_start = Instant::now();
+        std::hint::black_box(f());
+        let one = warmup_start.elapsed();
+        let iters = if self.settings.quick {
+            1
+        } else {
+            (TARGET_SAMPLE.as_nanos() / one.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let mut samples = Vec::with_capacity(self.settings.samples);
+        for _ in 0..self.settings.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed() / iters as u32);
+            self.total_iters += iters;
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        settings: settings.clone(),
+        median: Duration::ZERO,
+        total_iters: 0,
+    };
+    f(&mut bencher);
+    let mut line = format!("{id:<55} {:>12}/iter", format_duration(bencher.median));
+    if let Some(tp) = throughput {
+        let per_sec = |n: u64| {
+            let s = bencher.median.as_secs_f64();
+            if s > 0.0 {
+                n as f64 / s
+            } else {
+                f64::INFINITY
+            }
+        };
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>12.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>12.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Groups benchmark functions under one name (criterion API parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $fun(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export for benches written against criterion's `black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 10).render(), "f/10");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            settings: Settings {
+                filter: None,
+                samples: 3,
+                quick: true,
+            },
+            median: Duration::ZERO,
+            total_iters: 0,
+        };
+        b.iter(|| std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert!(b.total_iters >= 3);
+    }
+}
