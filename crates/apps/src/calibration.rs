@@ -8,7 +8,7 @@
 //! intermediate bandwidth, the linear-mode speedup lands in the same band.
 //! EXPERIMENTS.md records paper-vs-measured for every app.
 
-use ovlsim_core::{Platform, Time};
+use ovlsim_core::{Bandwidth, Platform, Time};
 
 /// Paper-reported ideal-pattern speedup at intermediate bandwidth, as a
 /// fraction (0.30 = "30%").
@@ -74,6 +74,28 @@ pub fn reference_platform() -> Platform {
         .build()
 }
 
+/// The reference fabric with `ranks_per_node` ranks packed onto each
+/// multicore node: same 5 µs / 250 MB/s inter-node network, but sibling
+/// ranks share their node's NIC links while exchanging through shared
+/// memory (500 ns, 10 GB/s) — a MareNostrum-style SMP blade. This is the
+/// base point of the `ranks_per_node × intra-node bandwidth` sweeps.
+///
+/// # Panics
+///
+/// Panics if `ranks_per_node == 0`.
+pub fn multicore_platform(ranks_per_node: u32) -> Platform {
+    Platform::builder()
+        .latency(Time::from_us(5))
+        .bandwidth_bytes_per_sec(250.0e6)
+        .expect("reference bandwidth is valid")
+        .ranks_per_node(ranks_per_node)
+        .intra_node_latency(Time::from_ns(500))
+        .intra_node_bandwidth(
+            Bandwidth::from_bytes_per_sec(10.0e9).expect("intra-node bandwidth is valid"),
+        )
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +116,19 @@ mod tests {
         assert_eq!(p.latency(), Time::from_us(5));
         assert_eq!(p.buses(), None);
         assert_eq!(p.eager_threshold(), 64 * 1024);
+    }
+
+    #[test]
+    fn multicore_platform_packs_ranks() {
+        let p = multicore_platform(4);
+        // Same inter-node fabric as the reference...
+        assert_eq!(p.latency(), reference_platform().latency());
+        assert_eq!(p.bandwidth(), reference_platform().bandwidth());
+        // ...plus the node hierarchy.
+        assert_eq!(p.ranks_per_node(), 4);
+        assert_eq!(p.intra_node_latency(), Time::from_ns(500));
+        assert_eq!(p.intra_node_bandwidth().bytes_per_sec(), 10.0e9);
+        assert!(p.topology(16).spans_nodes());
+        assert!(!p.topology(4).spans_nodes());
     }
 }

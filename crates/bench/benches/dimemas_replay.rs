@@ -67,6 +67,21 @@ fn bench_replay(c: &mut Criterion) {
         },
     );
 
+    // Hierarchical platform: the same trace packed 4 ranks per node, so a
+    // large share of the messages takes the intra-node fast path while the
+    // rest contends for shared NICs. Measures the node-aware routing cost
+    // on the prepared hot path.
+    let multicore = ovlsim_apps::calibration::multicore_platform(4);
+    group.throughput(Throughput::Elements(overlapped.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("nas_bt_overlapped_multicore", overlapped.total_records()),
+        &overlapped,
+        |b, trace| {
+            let sim = Simulator::new(multicore.clone());
+            b.iter(|| black_box(sim.run_prepared(trace, &index).expect("replays")));
+        },
+    );
+
     let sweep = Sweep3d::builder().ranks(16).build().expect("valid Sweep3D");
     let bundle = TracingSession::new(&sweep).run().expect("traces");
     let overlapped = bundle.overlapped_linear();

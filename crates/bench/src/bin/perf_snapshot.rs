@@ -9,6 +9,9 @@
 //! * replay throughput (records/s) on a large synthetic trace for the
 //!   naive reference engine, the optimized validating entry point, and the
 //!   optimized prepared (sweep) path, plus the naive→prepared speedup,
+//! * replay throughput on an intra-node-heavy scenario (the same trace
+//!   packed 4 ranks per node under a constrained bus), so the node-aware
+//!   routing path is tracked by every snapshot,
 //! * wall-clock of a multi-point bandwidth sweep at 1/2/4 worker threads
 //!   and the resulting scaling factors, with a byte-identity check between
 //!   the sequential and parallel results.
@@ -68,6 +71,29 @@ fn main() {
     let index = TraceIndex::build(trace).expect("valid trace");
     let prepared_s = time_call(|| {
         std::hint::black_box(sim.run_prepared(trace, &index).expect("replays"));
+    });
+
+    // Intra-node-heavy scenario: same trace, 4 ranks per node under a
+    // constrained bus — most NAS-BT neighbour traffic becomes same-node and
+    // takes the shared-memory path, exercising the node-aware routing. The
+    // naive engine must agree bit for bit on this platform too.
+    let multicore = ovlsim_core::Platform::builder()
+        .latency(platform.latency())
+        .bandwidth(platform.bandwidth())
+        .buses(Some(4))
+        .ranks_per_node(4)
+        .build();
+    let sim_mc = Simulator::new(multicore.clone());
+    assert_eq!(
+        sim_mc.run_prepared(trace, &index).expect("replays"),
+        replay_naive(&multicore, trace).expect("replays"),
+        "node-aware routing diverged between engines"
+    );
+    let multicore_prepared_s = time_call(|| {
+        std::hint::black_box(sim_mc.run_prepared(trace, &index).expect("replays"));
+    });
+    let multicore_naive_s = time_call(|| {
+        std::hint::black_box(replay_naive(&multicore, trace).expect("replays"));
     });
 
     // Multi-point sweep scaling. Points chosen so a run takes long enough
@@ -131,6 +157,23 @@ fn main() {
         json,
         "    \"speedup_prepared_vs_naive\": {:.2}",
         naive_s / prepared_s
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"replay_multicore_4rpn\": {{");
+    let _ = writeln!(
+        json,
+        "    \"naive_records_per_sec\": {:.0},",
+        records / multicore_naive_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"optimized_prepared_records_per_sec\": {:.0},",
+        records / multicore_prepared_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_prepared_vs_naive\": {:.2}",
+        multicore_naive_s / multicore_prepared_s
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sweep\": {{");

@@ -83,7 +83,11 @@ impl ChannelId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceIndex {
     trace_name: String,
-    channel_count: usize,
+    /// `(source, destination)` rank pair of each channel, indexed by dense
+    /// channel id. Node-aware replay derives per-channel routing (intra- vs
+    /// inter-node) from this once per run instead of recomputing node ids
+    /// per event.
+    channel_peers: Vec<(u32, u32)>,
     /// One entry per record per rank: the record's dense channel id, or
     /// [`NO_CHANNEL`] for non-point-to-point records.
     record_channels: Vec<Vec<u32>>,
@@ -107,12 +111,12 @@ impl TraceIndex {
 
     pub(crate) fn from_parts(
         trace_name: String,
-        channel_count: usize,
+        channel_peers: Vec<(u32, u32)>,
         record_channels: Vec<Vec<u32>>,
     ) -> Self {
         TraceIndex {
             trace_name,
-            channel_count,
+            channel_peers,
             record_channels,
         }
     }
@@ -125,7 +129,16 @@ impl TraceIndex {
 
     /// Number of distinct `(source, destination, tag)` channels.
     pub fn channel_count(&self) -> usize {
-        self.channel_count
+        self.channel_peers.len()
+    }
+
+    /// The `(source, destination)` rank pair of every channel, indexed by
+    /// dense channel id. A replay engine maps this through
+    /// [`Platform::node_of`](crate::Platform::node_of) **once** per run to
+    /// get a per-channel intra-/inter-node routing table — the hot loop
+    /// then never recomputes node ids per event.
+    pub fn channel_peers(&self) -> &[(u32, u32)] {
+        &self.channel_peers
     }
 
     /// Number of ranks indexed.
@@ -220,6 +233,8 @@ mod tests {
         assert_eq!(idx.rank_channels(1), &[0, 1, 0]);
         assert_eq!(idx.channel_of(0, 0), None);
         assert_eq!(idx.channel_of(0, 1), Some(ChannelId::new(0)));
+        // Endpoints recorded per channel: both tags run 0 -> 1.
+        assert_eq!(idx.channel_peers(), &[(0, 1), (0, 1)]);
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub use error::CoreError;
 pub use ids::{BufferId, MessageId, Rank, RequestId, Tag};
 pub use index::{ChannelId, TraceIndex, NO_CHANNEL};
 pub use instr::{Instr, MipsRate};
-pub use platform::{CollectiveModel, CollectiveOp, Platform, PlatformBuilder, StageModel};
+pub use platform::{
+    CollectiveModel, CollectiveOp, NodeTopology, Platform, PlatformBuilder, StageModel,
+};
 pub use record::{RankTrace, Record, RecordKind, TraceSet};
 pub use time::{Bandwidth, Time};
 pub use units::{format_bandwidth, format_bytes, format_time};

@@ -133,6 +133,85 @@ impl CollectiveModel {
     }
 }
 
+/// A read-only view of how a job's ranks map onto multicore nodes.
+///
+/// The hierarchical platform model distinguishes two contention domains:
+/// transfers *within* a node cross shared memory (intra-node latency and
+/// bandwidth, optionally a finite number of memory ports), while transfers
+/// *between* nodes cross the bus/link fabric. A `NodeTopology` binds a
+/// [`Platform`]'s `ranks_per_node` to a concrete rank count so callers can
+/// ask node-level questions without re-deriving the mapping.
+///
+/// ```
+/// use ovlsim_core::Platform;
+///
+/// let p = Platform::builder().ranks_per_node(4).build();
+/// let topo = p.topology(10);
+/// assert_eq!(topo.node_count(), 3); // nodes 0–1 full, node 2 holds 2 ranks
+/// assert!(topo.same_node(4, 7));
+/// assert!(!topo.same_node(3, 4));
+/// assert!(topo.spans_nodes());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTopology {
+    ranks: usize,
+    ranks_per_node: u32,
+}
+
+impl NodeTopology {
+    /// Builds the view for `ranks` ranks packed `ranks_per_node` to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks_per_node == 0`.
+    pub fn new(ranks: usize, ranks_per_node: u32) -> Self {
+        assert!(ranks_per_node >= 1, "ranks per node must be >= 1");
+        NodeTopology {
+            ranks,
+            ranks_per_node,
+        }
+    }
+
+    /// Total ranks in the job.
+    pub fn rank_count(&self) -> usize {
+        self.ranks
+    }
+
+    /// Ranks sharing one node.
+    pub fn ranks_per_node(&self) -> u32 {
+        self.ranks_per_node
+    }
+
+    /// Number of (possibly partially filled) nodes; at least 1.
+    pub fn node_count(&self) -> usize {
+        self.ranks.div_ceil(self.ranks_per_node as usize).max(1)
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: u32) -> u32 {
+        rank / self.ranks_per_node
+    }
+
+    /// Whether two ranks share a node (and thus the intra-node domain).
+    pub fn same_node(&self, a: u32, b: u32) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Whether the job occupies more than one node. Collectives over a
+    /// single node price their stages with the intra-node parameters.
+    pub fn spans_nodes(&self) -> bool {
+        self.node_count() > 1
+    }
+
+    /// The ranks hosted on `node`, as a range (empty if `node` is past the
+    /// last occupied node).
+    pub fn ranks_on_node(&self, node: u32) -> std::ops::Range<u32> {
+        let lo = (node as u64 * self.ranks_per_node as u64).min(self.ranks as u64) as u32;
+        let hi = ((node as u64 + 1) * self.ranks_per_node as u64).min(self.ranks as u64) as u32;
+        lo..hi
+    }
+}
+
 /// The simulated parallel platform.
 ///
 /// Build one with [`Platform::builder`]:
@@ -165,6 +244,7 @@ pub struct Platform {
     ranks_per_node: u32,
     intra_node_latency: Time,
     intra_node_bandwidth: Bandwidth,
+    intra_node_links: Option<u32>,
     cpu_ratio: f64,
     collectives: CollectiveModel,
 }
@@ -198,6 +278,26 @@ impl Platform {
     pub fn with_latency(&self, latency: Time) -> Platform {
         let mut p = self.clone();
         p.latency = latency;
+        p
+    }
+
+    /// Returns a copy with a different node packing (the second knob of
+    /// the hierarchical sweep: how many ranks share each node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks == 0`.
+    pub fn with_ranks_per_node(&self, ranks: u32) -> Platform {
+        assert!(ranks >= 1, "ranks per node must be >= 1");
+        let mut p = self.clone();
+        p.ranks_per_node = ranks;
+        p
+    }
+
+    /// Returns a copy with a different intra-node bandwidth.
+    pub fn with_intra_node_bandwidth(&self, bandwidth: Bandwidth) -> Platform {
+        let mut p = self.clone();
+        p.intra_node_bandwidth = bandwidth;
         p
     }
 
@@ -257,9 +357,23 @@ impl Platform {
         self.intra_node_bandwidth
     }
 
+    /// Concurrent intra-node transfers per node (shared-memory "ports"), or
+    /// `None` for an unlimited intra-node domain (the default). This is the
+    /// intra-node analogue of [`Platform::buses`]: same-node transfers never
+    /// touch the bus/NIC-link fabric, but a finite port count makes them
+    /// contend with each other.
+    pub fn intra_node_links(&self) -> Option<u32> {
+        self.intra_node_links
+    }
+
     /// The node hosting `rank`.
     pub fn node_of(&self, rank: u32) -> u32 {
         rank / self.ranks_per_node
+    }
+
+    /// The node-level view of a job with `ranks` ranks on this platform.
+    pub fn topology(&self, ranks: usize) -> NodeTopology {
+        NodeTopology::new(ranks, self.ranks_per_node)
     }
 
     /// Relative CPU speed: burst durations are divided by this factor
@@ -339,6 +453,7 @@ impl PlatformBuilder {
                 intra_node_latency: Time::from_ns(500),
                 intra_node_bandwidth: Bandwidth::from_bytes_per_sec(10.0e9)
                     .expect("default intra-node bandwidth is valid"),
+                intra_node_links: None,
                 cpu_ratio: 1.0,
                 collectives: CollectiveModel::default(),
             },
@@ -450,6 +565,20 @@ impl PlatformBuilder {
         self
     }
 
+    /// Sets the number of concurrent intra-node transfers per node
+    /// (`None` = unlimited, the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Some(0)` is passed; use `None` for "no limit".
+    pub fn intra_node_links(&mut self, links: Option<u32>) -> &mut Self {
+        if let Some(0) = links {
+            panic!("intra-node link count must be positive; use None for unlimited");
+        }
+        self.platform.intra_node_links = links;
+        self
+    }
+
     /// Sets the relative CPU speed factor.
     ///
     /// # Panics
@@ -549,6 +678,17 @@ mod tests {
         assert_eq!(p2.buses(), Some(2));
         let p3 = p.with_latency(Time::from_ns(100));
         assert_eq!(p3.latency(), Time::from_ns(100));
+        // Hierarchical knobs copy everything else (buses survive).
+        let p4 = p.with_ranks_per_node(4).with_intra_node_bandwidth(bw);
+        assert_eq!(p4.ranks_per_node(), 4);
+        assert_eq!(p4.intra_node_bandwidth(), bw);
+        assert_eq!(p4.buses(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks per node")]
+    fn with_zero_ranks_per_node_rejected() {
+        let _ = Platform::default().with_ranks_per_node(0);
     }
 
     #[test]
@@ -600,6 +740,48 @@ mod tests {
     #[should_panic(expected = "ranks per node")]
     fn zero_ranks_per_node_rejected() {
         Platform::builder().ranks_per_node(0);
+    }
+
+    #[test]
+    fn topology_view() {
+        let p = Platform::builder().ranks_per_node(4).build();
+        let topo = p.topology(10);
+        assert_eq!(topo.rank_count(), 10);
+        assert_eq!(topo.ranks_per_node(), 4);
+        assert_eq!(topo.node_count(), 3);
+        assert_eq!(topo.node_of(0), 0);
+        assert_eq!(topo.node_of(9), 2);
+        assert!(topo.same_node(4, 7));
+        assert!(!topo.same_node(3, 4));
+        assert!(topo.spans_nodes());
+        assert_eq!(topo.ranks_on_node(0), 0..4);
+        assert_eq!(topo.ranks_on_node(2), 8..10);
+        assert_eq!(topo.ranks_on_node(5), 10..10);
+        // A job fitting one node does not span nodes.
+        let single = p.topology(4);
+        assert_eq!(single.node_count(), 1);
+        assert!(!single.spans_nodes());
+        // Degenerate zero-rank job still reports one node.
+        assert_eq!(p.topology(0).node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks per node")]
+    fn topology_rejects_zero_ranks_per_node() {
+        NodeTopology::new(4, 0);
+    }
+
+    #[test]
+    fn intra_node_links_builder() {
+        assert_eq!(Platform::default().intra_node_links(), None);
+        let p = Platform::builder().intra_node_links(Some(2)).build();
+        assert_eq!(p.intra_node_links(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-node link")]
+    fn zero_intra_node_links_rejected() {
+        Platform::builder().intra_node_links(Some(0));
     }
 
     #[test]

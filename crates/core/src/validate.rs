@@ -376,9 +376,13 @@ pub(crate) fn scan_trace_set(ts: &TraceSet) -> (Vec<TraceIssue>, TraceIndex) {
         }
     }
 
+    let channel_peers = channels
+        .iter()
+        .map(|c| (c.from.get(), c.to.get()))
+        .collect();
     (
         issues,
-        TraceIndex::from_parts(ts.name().to_string(), channels.len(), record_channels),
+        TraceIndex::from_parts(ts.name().to_string(), channel_peers, record_channels),
     )
 }
 

@@ -6,6 +6,12 @@
 //! arrival, and all ranks resume together. Trace validation guarantees all
 //! ranks agree on the collective sequence, so tracking arrival counts per
 //! sequence index suffices.
+//!
+//! The per-stage cost is node-aware: when the communicator spans several
+//! nodes the stages cross the network and price with the inter-node
+//! latency/bandwidth, but a communicator that fits on a single multicore
+//! node exchanges through shared memory and prices its stages with the
+//! intra-node parameters instead.
 
 use ovlsim_core::{CollectiveOp, Platform, Record, Time};
 
@@ -71,13 +77,19 @@ impl CollectiveTracker {
         inst.arrivals += 1;
         inst.latest = inst.latest.max(now);
         if inst.arrivals == self.ranks {
-            let cost = platform.collectives().cost(
-                inst.op,
-                inst.bytes,
-                self.ranks,
-                platform.latency(),
-                platform.bandwidth(),
-            );
+            // Stage parameters depend on where the stages happen: only a
+            // communicator spanning several nodes crosses the network.
+            let (latency, bandwidth) = if platform.topology(self.ranks).spans_nodes() {
+                (platform.latency(), platform.bandwidth())
+            } else {
+                (
+                    platform.intra_node_latency(),
+                    platform.intra_node_bandwidth(),
+                )
+            };
+            let cost = platform
+                .collectives()
+                .cost(inst.op, inst.bytes, self.ranks, latency, bandwidth);
             Some(inst.latest + cost)
         } else {
             None
@@ -157,6 +169,49 @@ mod tests {
         assert!(t
             .arrive(1, CollectiveOp::Barrier, 0, Time::from_us(40), &platform)
             .is_some());
+    }
+
+    #[test]
+    fn single_node_communicator_uses_intra_node_parameters() {
+        // 4 ranks on one node: stages price at 500 ns / 10 GB/s instead of
+        // the 1 us / 1 GB/s network parameters.
+        let platform = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .ranks_per_node(4)
+            .intra_node_latency(Time::from_ns(500))
+            .intra_node_bandwidth(ovlsim_core::Bandwidth::from_bytes_per_sec(10.0e9).unwrap())
+            .build();
+        let mut t = CollectiveTracker::new(4);
+        for _ in 0..3 {
+            assert!(t
+                .arrive(0, CollectiveOp::Bcast, 10_000, Time::ZERO, &platform)
+                .is_none());
+        }
+        let done = t
+            .arrive(0, CollectiveOp::Bcast, 10_000, Time::ZERO, &platform)
+            .unwrap();
+        // log2(4) = 2 stages x (0.5 us + 1 us) = 3 us.
+        assert_eq!(done, Time::from_us(3));
+
+        // The same job spread 2-per-node spans nodes: 2 x (1 us + 10 us).
+        let spanning = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .ranks_per_node(2)
+            .build();
+        let mut t = CollectiveTracker::new(4);
+        for _ in 0..3 {
+            assert!(t
+                .arrive(0, CollectiveOp::Bcast, 10_000, Time::ZERO, &spanning)
+                .is_none());
+        }
+        let done = t
+            .arrive(0, CollectiveOp::Bcast, 10_000, Time::ZERO, &spanning)
+            .unwrap();
+        assert_eq!(done, Time::from_us(22));
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub enum SimError {
         /// Communicator size.
         size: usize,
     },
+    /// A prepared replay was handed a [`TraceIndex`](ovlsim_core::TraceIndex)
+    /// built from a different trace (detected best-effort via trace name and
+    /// rank/record counts).
+    IndexMismatch {
+        /// What disagreed between the index and the trace.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +63,9 @@ impl fmt::Display for SimError {
             SimError::RankMismatch { rank, size } => {
                 write!(f, "record references {rank} in a {size}-rank trace")
             }
+            SimError::IndexMismatch { reason } => {
+                write!(f, "trace index built from a different trace: {reason}")
+            }
         }
     }
 }
@@ -80,5 +90,14 @@ mod tests {
     fn is_std_error() {
         fn check<E: Error + Send + Sync>() {}
         check::<SimError>();
+    }
+
+    #[test]
+    fn index_mismatch_display_carries_reason() {
+        let e = SimError::IndexMismatch {
+            reason: "name mismatch: index `a`, trace `b`".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("different trace") && s.contains("name mismatch"));
     }
 }

@@ -243,6 +243,22 @@ impl<'a> NaiveState<'a> {
         }
     }
 
+    fn pump_intra(&mut self, now: Time) {
+        if !self.network.intra_limited() {
+            return;
+        }
+        let transfers = &self.transfers;
+        let platform = self.platform;
+        let started = self
+            .network
+            .start_eligible_intra(|id| platform.node_of(transfers[id].from.get()) as usize);
+        for tid in started {
+            self.transfers[tid].started_at = Some(now);
+            let dur = self.transmission_time(&self.transfers[tid]);
+            self.queue.schedule(now + dur, Event::TransferSent(tid));
+        }
+    }
+
     fn step(&mut self, r: usize, observer: &mut dyn ReplayObserver) {
         debug_assert!(self.procs[r].blocked.is_none(), "stepping a blocked rank");
         let records = self.trace.ranks()[r].records();
@@ -525,9 +541,14 @@ impl<'a> NaiveState<'a> {
         debug_assert!(!self.transfers[tid].enqueued);
         self.transfers[tid].enqueued = true;
         if self.transfers[tid].intra {
-            self.transfers[tid].started_at = Some(now);
-            let dur = self.transmission_time(&self.transfers[tid]);
-            self.queue.schedule(now + dur, Event::TransferSent(tid));
+            if self.network.intra_limited() {
+                self.network.enqueue_intra(tid);
+                self.pump_intra(now);
+            } else {
+                self.transfers[tid].started_at = Some(now);
+                let dur = self.transmission_time(&self.transfers[tid]);
+                self.queue.schedule(now + dur, Event::TransferSent(tid));
+            }
         } else {
             self.network.enqueue(tid);
             self.pump_network(now);
@@ -612,6 +633,9 @@ impl<'a> NaiveState<'a> {
         };
         if !intra {
             self.network.release(from, to, at);
+        } else if self.network.intra_limited() {
+            self.network
+                .release_intra(self.platform.node_of(from.get()) as usize);
         }
 
         match sender_kind {
@@ -632,7 +656,12 @@ impl<'a> NaiveState<'a> {
 
         let flight = self.flight_time(&self.transfers[tid]);
         self.queue.schedule(at + flight, Event::TransferDone(tid));
-        self.pump_network(at);
+        // Only the freed domain can have newly eligible transfers.
+        if intra {
+            self.pump_intra(at);
+        } else {
+            self.pump_network(at);
+        }
     }
 
     fn transfer_done(&mut self, tid: TransferId, at: Time, observer: &mut dyn ReplayObserver) {

@@ -1,11 +1,22 @@
-//! Network resource model: finite buses and per-node input/output links.
+//! Network resource model: finite buses and per-node input/output links,
+//! plus a separate intra-node contention domain.
 //!
-//! A point-to-point transfer occupies one output link of the sender, one
-//! network bus, and one input link of the receiver for its whole duration
-//! (`latency + bytes/bandwidth`). Transfers whose resources are busy wait
-//! in a global FIFO; whenever a resource frees, the queue is rescanned in
-//! order and every transfer whose full resource triple is available starts
-//! (a transfer never blocks others that use disjoint resources).
+//! An **inter-node** point-to-point transfer occupies one output link of
+//! the sender's node, one network bus, and one input link of the
+//! receiver's node for its whole duration (`latency + bytes/bandwidth`).
+//! Transfers whose resources are busy wait in a global FIFO; whenever a
+//! resource frees, the queue is rescanned in order and every transfer
+//! whose full resource triple is available starts (a transfer never
+//! blocks others that use disjoint resources).
+//!
+//! An **intra-node** transfer (both endpoints on one node) never touches
+//! the bus/link fabric. By default it proceeds uncontended at the
+//! intra-node latency/bandwidth; with
+//! [`Platform::intra_node_links`](ovlsim_core::Platform::intra_node_links)
+//! set, each node has that many shared-memory "ports" and same-node
+//! transfers queue in their own per-domain FIFO — completely disjoint from
+//! the inter-node resources, so packing ranks onto nodes relieves the bus
+//! without the two domains ever contending with each other.
 
 use std::collections::VecDeque;
 
@@ -29,6 +40,11 @@ pub(crate) struct Network {
     out_used: Vec<u32>,
     in_used: Vec<u32>,
     waiting: VecDeque<TransferId>,
+    /// Intra-node domain: per-node shared-memory port occupancy and its own
+    /// FIFO. Only used when the platform bounds `intra_node_links`.
+    intra_limit: Option<u32>,
+    intra_used: Vec<u32>,
+    intra_waiting: VecDeque<TransferId>,
     bus_util: TimeWeighted,
     pub(crate) started: u64,
     pub(crate) peak_waiting: usize,
@@ -47,6 +63,9 @@ impl Network {
             out_used: vec![0; nodes],
             in_used: vec![0; nodes],
             waiting: VecDeque::new(),
+            intra_limit: platform.intra_node_links(),
+            intra_used: vec![0; nodes],
+            intra_waiting: VecDeque::new(),
             bus_util: TimeWeighted::new(),
             started: 0,
             peak_waiting: 0,
@@ -89,7 +108,15 @@ impl Network {
     /// Enqueues a transfer that is ready to move data.
     pub(crate) fn enqueue(&mut self, id: TransferId) {
         self.waiting.push_back(id);
-        self.peak_waiting = self.peak_waiting.max(self.waiting.len());
+        self.note_waiting();
+    }
+
+    /// Records the current total of queued transfers (both domains) in the
+    /// peak statistic.
+    fn note_waiting(&mut self) {
+        self.peak_waiting = self
+            .peak_waiting
+            .max(self.waiting.len() + self.intra_waiting.len());
     }
 
     /// Scans the waiting FIFO and starts every transfer whose resource
@@ -113,6 +140,49 @@ impl Network {
         }
         self.waiting = remaining;
         started
+    }
+
+    /// Whether intra-node transfers contend for finite per-node ports (if
+    /// not, they bypass the network module entirely and the engines
+    /// schedule them directly).
+    pub(crate) fn intra_limited(&self) -> bool {
+        self.intra_limit.is_some()
+    }
+
+    /// Enqueues an intra-node transfer in the intra-node domain's FIFO.
+    pub(crate) fn enqueue_intra(&mut self, id: TransferId) {
+        debug_assert!(self.intra_limited());
+        self.intra_waiting.push_back(id);
+        self.note_waiting();
+    }
+
+    /// Scans the intra-node FIFO and starts every transfer whose node has
+    /// a free shared-memory port, occupying it. `node_of` maps a transfer
+    /// id to the node both its endpoints share.
+    pub(crate) fn start_eligible_intra(
+        &mut self,
+        node_of: impl Fn(TransferId) -> usize,
+    ) -> Vec<TransferId> {
+        let limit = self.intra_limit.expect("intra domain is limited");
+        let mut started = Vec::new();
+        let mut remaining = VecDeque::with_capacity(self.intra_waiting.len());
+        while let Some(id) = self.intra_waiting.pop_front() {
+            let node = node_of(id);
+            if self.intra_used[node] < limit {
+                self.intra_used[node] += 1;
+                started.push(id);
+            } else {
+                remaining.push_back(id);
+            }
+        }
+        self.intra_waiting = remaining;
+        started
+    }
+
+    /// Releases the shared-memory port of a finished intra-node transfer.
+    pub(crate) fn release_intra(&mut self, node: usize) {
+        debug_assert!(self.intra_used[node] > 0);
+        self.intra_used[node] -= 1;
     }
 
     /// Number of transfers waiting for resources.
@@ -228,6 +298,41 @@ mod tests {
             net.start_eligible(Time::from_us(1), |id| routes[id]),
             vec![1]
         );
+    }
+
+    #[test]
+    fn intra_domain_is_disjoint_and_port_limited() {
+        // Two ranks per node, one shared-memory port per node, and a
+        // fully-occupied single bus: intra transfers still start (disjoint
+        // domains) but serialize on the node's port.
+        let p = Platform::builder()
+            .ranks_per_node(2)
+            .buses(Some(1))
+            .intra_node_links(Some(1))
+            .build();
+        let mut net = Network::new(&p, 4);
+        assert!(net.intra_limited());
+        // Occupy the only bus with the inter-node transfer 0 -> 2
+        // (node 0 -> node 1).
+        net.enqueue(0);
+        let routes = [(Rank::new(0), Rank::new(2))];
+        assert_eq!(net.start_eligible(Time::ZERO, |id| routes[id]), vec![0]);
+        // Intra transfers 1 and 2 both live on node 1 (ranks 2 and 3).
+        net.enqueue_intra(1);
+        net.enqueue_intra(2);
+        let started = net.start_eligible_intra(|_| 1);
+        assert_eq!(started, vec![1], "one port per node");
+        // Bus saturation did not block the intra start; releasing the port
+        // admits the second sibling transfer.
+        net.release_intra(1);
+        assert_eq!(net.start_eligible_intra(|_| 1), vec![2]);
+    }
+
+    #[test]
+    fn unlimited_intra_domain_reports_unlimited() {
+        let p = Platform::builder().ranks_per_node(2).build();
+        let net = Network::new(&p, 4);
+        assert!(!net.intra_limited());
     }
 
     #[test]

@@ -127,8 +127,9 @@ impl ReplayResult {
         self.peak_busy_buses
     }
 
-    /// Largest number of transfers simultaneously waiting for network
-    /// resources.
+    /// Largest number of transfers simultaneously waiting for transport
+    /// resources in either contention domain (bus/NIC links, or a node's
+    /// finite intra-node ports when the platform bounds them).
     pub fn peak_waiting_transfers(&self) -> usize {
         self.peak_waiting_transfers
     }
@@ -311,14 +312,11 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Deadlock`] if replay stalls.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` does not match `trace` — detected best-effort via
-    /// trace name and rank/record counts; an index from a different trace
-    /// that agrees on all three is not caught, so always build the index
-    /// from the trace you replay.
+    /// Returns [`SimError::Deadlock`] if replay stalls, and
+    /// [`SimError::IndexMismatch`] if `index` does not match `trace` —
+    /// detected best-effort via trace name and rank/record counts; an index
+    /// from a different trace that agrees on all three is not caught, so
+    /// always build the index from the trace you replay.
     pub fn run_prepared(
         &self,
         trace: &TraceSet,
@@ -331,33 +329,43 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Deadlock`] if replay stalls.
-    ///
-    /// # Panics
-    ///
-    /// Same best-effort mismatch detection as [`Simulator::run_prepared`].
+    /// Returns [`SimError::Deadlock`] if replay stalls, and
+    /// [`SimError::IndexMismatch`] on the same best-effort mismatch
+    /// detection as [`Simulator::run_prepared`].
     pub fn run_prepared_observed(
         &self,
         trace: &TraceSet,
         index: &TraceIndex,
         observer: &mut dyn ReplayObserver,
     ) -> Result<ReplayResult, SimError> {
-        assert_eq!(
-            index.trace_name(),
-            trace.name(),
-            "trace index built from a different trace (name mismatch)"
-        );
-        assert_eq!(
-            index.rank_count(),
-            trace.rank_count(),
-            "trace index built from a different trace (rank count mismatch)"
-        );
+        if index.trace_name() != trace.name() {
+            return Err(SimError::IndexMismatch {
+                reason: format!(
+                    "name mismatch: index `{}`, trace `{}`",
+                    index.trace_name(),
+                    trace.name()
+                ),
+            });
+        }
+        if index.rank_count() != trace.rank_count() {
+            return Err(SimError::IndexMismatch {
+                reason: format!(
+                    "rank count mismatch: index has {}, trace has {}",
+                    index.rank_count(),
+                    trace.rank_count()
+                ),
+            });
+        }
         for (r, rank) in trace.ranks().iter().enumerate() {
-            assert_eq!(
-                index.rank_channels(r).len(),
-                rank.len(),
-                "trace index built from a different trace (rank {r} record count mismatch)"
-            );
+            if index.rank_channels(r).len() != rank.len() {
+                return Err(SimError::IndexMismatch {
+                    reason: format!(
+                        "rank {r} record count mismatch: index has {}, trace has {}",
+                        index.rank_channels(r).len(),
+                        rank.len()
+                    ),
+                });
+            }
         }
         ReplayState::new(&self.platform, trace, index).run(observer)
     }
@@ -371,6 +379,10 @@ struct ReplayState<'a> {
     records: Vec<&'a [Record]>,
     /// Per-rank interned channel ids, parallel to `records`.
     chans: Vec<&'a [u32]>,
+    /// Per-channel routing decision (true = both endpoints share a node),
+    /// derived once from [`TraceIndex::channel_peers`] and the platform's
+    /// node mapping — the hot loop never recomputes node ids per event.
+    intra_chan: Vec<bool>,
     queue: EventQueue<Event>,
     procs: Vec<Proc>,
     transfers: Vec<Transfer>,
@@ -391,6 +403,11 @@ impl<'a> ReplayState<'a> {
             trace,
             records: trace.ranks().iter().map(|rt| rt.records()).collect(),
             chans: (0..n).map(|r| index.rank_channels(r)).collect(),
+            intra_chan: index
+                .channel_peers()
+                .iter()
+                .map(|&(src, dst)| platform.node_of(src) == platform.node_of(dst))
+                .collect(),
             queue: EventQueue::new(),
             procs: (0..n)
                 .map(|_| Proc {
@@ -523,6 +540,25 @@ impl<'a> ReplayState<'a> {
         }
     }
 
+    /// Starts eligible intra-node transfers when the intra domain has a
+    /// finite port count (no-op otherwise: unlimited intra transfers are
+    /// scheduled directly and never queue).
+    fn pump_intra(&mut self, now: Time) {
+        if !self.network.intra_limited() {
+            return;
+        }
+        let transfers = &self.transfers;
+        let platform = self.platform;
+        let started = self
+            .network
+            .start_eligible_intra(|id| platform.node_of(transfers[id].from.get()) as usize);
+        for tid in started {
+            self.transfers[tid].started_at = Some(now);
+            let dur = self.transmission_time(&self.transfers[tid]);
+            self.queue.schedule(now + dur, Event::TransferSent(tid));
+        }
+    }
+
     /// Executes records of rank `r` until it blocks, yields, or finishes.
     fn step(&mut self, r: usize, observer: &mut dyn ReplayObserver) {
         debug_assert!(self.procs[r].blocked.is_none(), "stepping a blocked rank");
@@ -566,7 +602,8 @@ impl<'a> ReplayState<'a> {
                     } else {
                         SenderKind::Fire
                     };
-                    let tid = self.create_transfer(r, *to, *bytes, *tag, rendezvous, kind);
+                    let intra = self.intra_chan[chans[cursor] as usize];
+                    let tid = self.create_transfer(r, *to, *bytes, *tag, intra, kind);
                     self.post_send(tid, chans[cursor], now);
                     self.procs[r].cursor += 1;
                     if rendezvous {
@@ -591,7 +628,8 @@ impl<'a> ReplayState<'a> {
                     } else {
                         SenderKind::Fire
                     };
-                    let tid = self.create_transfer(r, *to, *bytes, *tag, rendezvous, kind);
+                    let intra = self.intra_chan[chans[cursor] as usize];
+                    let tid = self.create_transfer(r, *to, *bytes, *tag, intra, kind);
                     let state = if rendezvous {
                         ReqState::InFlight
                     } else {
@@ -762,17 +800,20 @@ impl<'a> ReplayState<'a> {
         true
     }
 
+    /// Registers a new transfer. The protocol follows from the sender
+    /// kind: eager sends fire and forget ([`SenderKind::Fire`]), both
+    /// blocking and request-completing senders are rendezvous.
     fn create_transfer(
         &mut self,
         from: usize,
         to: Rank,
         bytes: u64,
         tag: Tag,
-        rendezvous: bool,
+        intra: bool,
         sender_kind: SenderKind,
     ) -> TransferId {
         let tid = self.transfers.len();
-        let intra = self.platform.node_of(from as u32) == self.platform.node_of(to.get());
+        let rendezvous = sender_kind != SenderKind::Fire;
         self.transfers.push(Transfer {
             from: Rank::new(from as u32),
             to,
@@ -811,14 +852,20 @@ impl<'a> ReplayState<'a> {
     }
 
     /// Starts (or enqueues) a ready transfer: intra-node transfers bypass
-    /// the network resources entirely.
+    /// the bus/NIC-link fabric entirely, contending only for their node's
+    /// shared-memory ports (if the platform bounds them at all).
     fn start_transfer(&mut self, tid: TransferId, now: Time) {
         debug_assert!(!self.transfers[tid].enqueued);
         self.transfers[tid].enqueued = true;
         if self.transfers[tid].intra {
-            self.transfers[tid].started_at = Some(now);
-            let dur = self.transmission_time(&self.transfers[tid]);
-            self.queue.schedule(now + dur, Event::TransferSent(tid));
+            if self.network.intra_limited() {
+                self.network.enqueue_intra(tid);
+                self.pump_intra(now);
+            } else {
+                self.transfers[tid].started_at = Some(now);
+                let dur = self.transmission_time(&self.transfers[tid]);
+                self.queue.schedule(now + dur, Event::TransferSent(tid));
+            }
         } else {
             self.network.enqueue(tid);
             self.pump_network(now);
@@ -910,6 +957,9 @@ impl<'a> ReplayState<'a> {
         };
         if !intra {
             self.network.release(from, to, at);
+        } else if self.network.intra_limited() {
+            self.network
+                .release_intra(self.platform.node_of(from.get()) as usize);
         }
 
         match sender_kind {
@@ -930,7 +980,13 @@ impl<'a> ReplayState<'a> {
 
         let flight = self.flight_time(&self.transfers[tid]);
         self.queue.schedule(at + flight, Event::TransferDone(tid));
-        self.pump_network(at);
+        // Only the domain whose resources this completion freed can have
+        // newly eligible transfers; the other's occupancy is unchanged.
+        if intra {
+            self.pump_intra(at);
+        } else {
+            self.pump_network(at);
+        }
     }
 
     /// The message arrived at the receiver.
@@ -1694,6 +1750,125 @@ mod tests {
     }
 
     #[test]
+    fn packing_ranks_onto_nodes_relieves_a_constrained_bus() {
+        // Pairs (0,1) and (2,3) exchange under a single shared bus. With
+        // one rank per node every message crosses the bus and serializes;
+        // with two ranks per node both messages are intra-node, bypass the
+        // bus/NIC fabric entirely, and the run finishes faster. Naive and
+        // prepared replay stay bit-identical on both topologies.
+        let ts = trace(vec![
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 100_000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 100_000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Send {
+                to: Rank::new(3),
+                bytes: 100_000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(2),
+                bytes: 100_000,
+                tag: Tag::new(0),
+            }],
+        ]);
+        let index = ovlsim_core::TraceIndex::build(&ts).expect("valid");
+        let platform_with_rpn = |rpn: u32| {
+            Platform::builder()
+                .latency(Time::from_us(1))
+                .bandwidth_bytes_per_sec(1.0e9)
+                .unwrap()
+                .buses(Some(1))
+                .ranks_per_node(rpn)
+                .build()
+        };
+        let mut totals = Vec::new();
+        for rpn in [1u32, 2] {
+            let p = platform_with_rpn(rpn);
+            let sim = Simulator::new(p.clone());
+            let run = sim.run(&ts).unwrap();
+            let prepared = sim.run_prepared(&ts, &index).unwrap();
+            let naive = crate::naive::replay_naive(&p, &ts).unwrap();
+            assert_eq!(run, prepared, "prepared diverged at rpn={rpn}");
+            assert_eq!(run, naive, "naive diverged at rpn={rpn}");
+            totals.push(run.total_time());
+        }
+        // rpn=1: the two 100 us transmissions serialize on the one bus.
+        // rpn=2: both messages use the 10 GB/s intra path concurrently.
+        assert!(
+            totals[1] < totals[0],
+            "2 ranks/node ({}) should beat 1 rank/node ({}) under a constrained bus",
+            totals[1],
+            totals[0],
+        );
+    }
+
+    #[test]
+    fn finite_intra_node_ports_serialize_sibling_messages() {
+        // Ranks 0 and 1 share a node and exchange 0->1 and 1->0
+        // simultaneously: with a single shared-memory port the two
+        // transmissions serialize; with unlimited ports they overlap.
+        let ts = trace(vec![
+            vec![
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 10_000,
+                    tag: Tag::new(0),
+                },
+                Record::Recv {
+                    from: Rank::new(1),
+                    bytes: 10_000,
+                    tag: Tag::new(1),
+                },
+            ],
+            vec![
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 10_000,
+                    tag: Tag::new(1),
+                },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 10_000,
+                    tag: Tag::new(0),
+                },
+            ],
+        ]);
+        let base = |ports: Option<u32>| {
+            Platform::builder()
+                .latency(Time::from_us(1))
+                .bandwidth_bytes_per_sec(1.0e9)
+                .unwrap()
+                .ranks_per_node(2)
+                .intra_node_latency(Time::from_ns(500))
+                .intra_node_bandwidth(ovlsim_core::Bandwidth::from_bytes_per_sec(10.0e9).unwrap())
+                .intra_node_links(ports)
+                .build()
+        };
+        // Unlimited: both 1 us transmissions overlap; done at 1.5 us.
+        let free = Simulator::new(base(None)).run(&ts).unwrap();
+        assert_eq!(free.total_time(), Time::from_ns(1500));
+        // One port: the second transmission waits; done at 2.5 us. The
+        // queueing is visible in the waiting-transfer statistic.
+        let p = base(Some(1));
+        let ported = Simulator::new(p.clone()).run(&ts).unwrap();
+        assert_eq!(ported.total_time(), Time::from_ns(2500));
+        assert!(ported.peak_waiting_transfers() >= 1);
+        assert_eq!(free.peak_waiting_transfers(), 0);
+        // Differential: naive and prepared agree on the ported topology.
+        let index = ovlsim_core::TraceIndex::build(&ts).expect("valid");
+        let sim = Simulator::new(p.clone());
+        assert_eq!(ported, sim.run_prepared(&ts, &index).unwrap());
+        assert_eq!(ported, crate::naive::replay_naive(&p, &ts).unwrap());
+    }
+
+    #[test]
     fn empty_trace_finishes_at_zero() {
         let ts = trace(vec![vec![], vec![]]);
         let res = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
@@ -1758,14 +1933,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different trace")]
-    fn run_prepared_rejects_foreign_index() {
+    fn run_prepared_rejects_name_mismatch() {
+        let ts = trace(vec![vec![]]);
+        let other = TraceSet::new("other", mips(), vec![RankTrace::new()]);
+        let index = ovlsim_core::TraceIndex::build(&other).expect("valid");
+        match Simulator::new(platform_1us_1gb()).run_prepared(&ts, &index) {
+            Err(SimError::IndexMismatch { reason }) => {
+                assert!(reason.contains("name mismatch"), "got: {reason}");
+            }
+            other => panic!("expected IndexMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_prepared_rejects_rank_count_mismatch() {
+        // Same name ("test" via the helper), different rank counts.
         let ts = trace(vec![vec![Record::Burst {
             instr: Instr::new(10),
         }]]);
         let other = trace(vec![vec![], vec![]]);
         let index = ovlsim_core::TraceIndex::build(&other).expect("valid");
-        let _ = Simulator::new(platform_1us_1gb()).run_prepared(&ts, &index);
+        match Simulator::new(platform_1us_1gb()).run_prepared(&ts, &index) {
+            Err(SimError::IndexMismatch { reason }) => {
+                assert!(reason.contains("rank count mismatch"), "got: {reason}");
+            }
+            other => panic!("expected IndexMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_prepared_rejects_record_count_mismatch() {
+        // Same name, same rank count, different records per rank.
+        let ts = trace(vec![vec![Record::Burst {
+            instr: Instr::new(10),
+        }]]);
+        let other = trace(vec![vec![]]);
+        let index = ovlsim_core::TraceIndex::build(&other).expect("valid");
+        match Simulator::new(platform_1us_1gb()).run_prepared(&ts, &index) {
+            Err(SimError::IndexMismatch { reason }) => {
+                assert!(
+                    reason.contains("rank 0 record count mismatch"),
+                    "got: {reason}"
+                );
+            }
+            other => panic!("expected IndexMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -48,6 +48,99 @@ fn arb_paired_trace() -> impl Strategy<Value = TraceSet> {
         })
 }
 
+/// A four-rank trace whose messages deliberately mix same-node and
+/// cross-node channels under `ranks_per_node > 1`: neighbour exchanges
+/// (0<->1, 2<->3, intra when packed two per node) interleaved with stride-2
+/// traffic (0->2, 1->3, always inter-node), closed by a barrier.
+fn arb_multinode_trace() -> impl Strategy<Value = TraceSet> {
+    (
+        proptest::collection::vec((1u64..300_000, 1u64..150_000), 1..12),
+        1u64..5_000,
+    )
+        .prop_map(|(rounds, mips)| {
+            let mut ranks: Vec<Vec<Record>> = vec![Vec::new(); 4];
+            for (i, (burst, bytes)) in rounds.iter().enumerate() {
+                let tag = Tag::new(i as u64);
+                for (r, rank) in ranks.iter_mut().enumerate() {
+                    rank.push(Record::Burst {
+                        instr: Instr::new(*burst + r as u64),
+                    });
+                }
+                // Neighbour pairs: 0->1 and 2->3 (intra-node at rpn=2).
+                ranks[0].push(Record::Send {
+                    to: Rank::new(1),
+                    bytes: *bytes,
+                    tag,
+                });
+                ranks[1].push(Record::Recv {
+                    from: Rank::new(0),
+                    bytes: *bytes,
+                    tag,
+                });
+                ranks[2].push(Record::Send {
+                    to: Rank::new(3),
+                    bytes: *bytes,
+                    tag,
+                });
+                ranks[3].push(Record::Recv {
+                    from: Rank::new(2),
+                    bytes: *bytes,
+                    tag,
+                });
+                // Stride-2 pair: 0->2 (inter-node at every packing < 4).
+                if i % 2 == 0 {
+                    ranks[0].push(Record::Send {
+                        to: Rank::new(2),
+                        bytes: *bytes,
+                        tag,
+                    });
+                    ranks[2].push(Record::Recv {
+                        from: Rank::new(0),
+                        bytes: *bytes,
+                        tag,
+                    });
+                }
+            }
+            for r in &mut ranks {
+                r.push(Record::Barrier);
+            }
+            TraceSet::new(
+                "prop-multinode",
+                MipsRate::new(mips).unwrap(),
+                ranks.into_iter().map(RankTrace::from_records).collect(),
+            )
+        })
+}
+
+/// Hierarchical platforms: multicore nodes, intra-node parameters and an
+/// optionally finite intra-node port count.
+fn arb_hier_platform() -> impl Strategy<Value = Platform> {
+    (
+        0u64..50,         // latency us
+        1.0e6f64..1.0e10, // bandwidth
+        prop_oneof![Just(None), (1u32..4).prop_map(Some)],
+        1u32..5,          // ranks per node (1..=4 over a 4-rank trace)
+        1.0e8f64..1.0e11, // intra-node bandwidth
+        prop_oneof![Just(None), (1u32..3).prop_map(Some)],
+        0u64..500_000, // eager threshold
+    )
+        .prop_map(|(lat, bw, buses, rpn, intra_bw, intra_links, eager)| {
+            let mut b = Platform::builder();
+            b.latency(Time::from_us(lat))
+                .bandwidth_bytes_per_sec(bw)
+                .expect("positive")
+                .buses(buses)
+                .ranks_per_node(rpn)
+                .intra_node_latency(Time::from_ns(300))
+                .intra_node_bandwidth(
+                    ovlsim_core::Bandwidth::from_bytes_per_sec(intra_bw).expect("positive"),
+                )
+                .intra_node_links(intra_links)
+                .eager_threshold(eager);
+            b.build()
+        })
+}
+
 fn arb_platform() -> impl Strategy<Value = Platform> {
     (
         0u64..100,        // latency us
@@ -173,6 +266,27 @@ proptest! {
         let naive = ovlsim_dimemas::replay_naive(&platform, &trace)
             .expect("valid traces replay");
         prop_assert_eq!(optimized, naive);
+    }
+
+    /// Node-aware routing: on hierarchical platforms (`ranks_per_node > 1`,
+    /// intra-node parameters, optionally finite intra-node ports) the
+    /// naive reference, the validating entry point and the prepared hot
+    /// path produce bit-identical `ReplayResult`s — the per-channel
+    /// intra/inter precomputation cannot drift from the per-transfer
+    /// classification.
+    #[test]
+    fn multinode_replay_is_identical_across_all_engines(
+        trace in arb_multinode_trace(),
+        platform in arb_hier_platform(),
+    ) {
+        let index = ovlsim_core::TraceIndex::build(&trace).expect("valid");
+        let sim = Simulator::new(platform.clone());
+        let validated = sim.run(&trace).expect("replays");
+        let prepared = sim.run_prepared(&trace, &index).expect("replays");
+        let naive = ovlsim_dimemas::replay_naive(&platform, &trace)
+            .expect("replays");
+        prop_assert_eq!(&validated, &prepared, "prepared diverged");
+        prop_assert_eq!(&validated, &naive, "naive diverged");
     }
 
     /// A prebuilt index replayed at any bandwidth matches the validating

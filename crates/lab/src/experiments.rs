@@ -617,31 +617,33 @@ pub fn e10_multicore(app: &dyn Application) -> Result<ExperimentReport, LabError
     let base = reference_platform();
     let bundle = trace_app(app)?;
     let overlapped = bundle.overlapped(OverlapMode::linear())?;
+    let intra_bws: Vec<Bandwidth> = [2.0e9f64, 20.0e9]
+        .iter()
+        .map(|&b| Bandwidth::from_bytes_per_sec(b))
+        .collect::<Result<_, _>>()?;
+    let points = crate::sweep::sweep_node_packing(
+        bundle.original(),
+        &overlapped,
+        &base,
+        &[1, 2, 4, 8],
+        &intra_bws,
+    )?;
     let mut table = Table::new(vec![
         "ranks/node",
+        "intra BW",
         "original",
         "overlapped",
         "speedup",
         "mean busy buses",
     ]);
-    for rpn in [1u32, 2, 4, 8] {
-        let mut b = Platform::builder();
-        b.latency(base.latency())
-            .bandwidth(base.bandwidth())
-            .ranks_per_node(rpn);
-        let platform = b.build();
-        let sim = Simulator::new(platform);
-        let orig = sim.run(bundle.original())?;
-        let ovl = sim.run(&overlapped)?;
+    for p in &points {
         table.row(vec![
-            rpn.to_string(),
-            format_time(orig.total_time()),
-            format_time(ovl.total_time()),
-            format!(
-                "{:.3}x",
-                orig.total_time().as_secs_f64() / ovl.total_time().as_secs_f64()
-            ),
-            format!("{:.2}", orig.mean_busy_buses()),
+            p.ranks_per_node.to_string(),
+            format_bandwidth(p.intra_bandwidth),
+            format_time(p.original),
+            format_time(p.overlapped),
+            format!("{:.3}x", p.speedup()),
+            format!("{:.2}", p.mean_busy_buses),
         ]);
     }
     Ok(ExperimentReport {
@@ -653,7 +655,8 @@ pub fn e10_multicore(app: &dyn Application) -> Result<ExperimentReport, LabError
         table,
         notes: vec![
             "ranks packed onto fewer nodes share the node's network links but gain a \
-             fast shared-memory path for sibling messages"
+             fast shared-memory path for sibling messages; the intra-node bandwidth \
+             column shows how sensitive each packing is to the shared-memory speed"
                 .into(),
         ],
     })
@@ -789,6 +792,14 @@ mod tests {
         let app = Synthetic::builder().ranks(4).iterations(2).build().unwrap();
         let report = e8_platform_sensitivity(&app).unwrap();
         assert_eq!(report.table.len(), 12); // 4 latencies x 3 bus settings
+    }
+
+    #[test]
+    fn e10_multicore_grid() {
+        let app = Synthetic::builder().ranks(4).iterations(2).build().unwrap();
+        let report = e10_multicore(&app).unwrap();
+        assert_eq!(report.table.len(), 8); // 4 packings x 2 intra bandwidths
+        assert!(report.render().contains("intra BW"));
     }
 
     #[test]

@@ -32,13 +32,20 @@ pub struct RelaxationResult {
 impl RelaxationResult {
     /// How many times less bandwidth the overlapped execution needs
     /// (`reference / iso`; > 1 means overlap relaxes the network).
+    ///
+    /// Always finite: a degenerate (zero or subnormal) iso bandwidth is
+    /// clamped so the ratio never becomes `inf`/`NaN` — downstream report
+    /// code can format the factor unconditionally.
     pub fn relaxation_factor(&self) -> f64 {
-        self.reference_bandwidth.bytes_per_sec() / self.iso_bandwidth.bytes_per_sec()
+        let reference = self.reference_bandwidth.bytes_per_sec();
+        let iso = self.iso_bandwidth.bytes_per_sec().max(f64::MIN_POSITIVE);
+        (reference / iso).min(f64::MAX)
     }
 
-    /// The relaxation factor in decimal orders of magnitude.
+    /// The relaxation factor in decimal orders of magnitude (finite for
+    /// the same reason as [`RelaxationResult::relaxation_factor`]).
     pub fn orders_of_magnitude(&self) -> f64 {
-        self.relaxation_factor().log10()
+        self.relaxation_factor().max(f64::MIN_POSITIVE).log10()
     }
 }
 
@@ -48,8 +55,11 @@ impl RelaxationResult {
 ///
 /// # Errors
 ///
-/// Returns [`LabError::SearchFailed`] if even the reference bandwidth
-/// misses the target, and propagates replay errors.
+/// Returns [`LabError::SearchFailed`] if the search range is degenerate
+/// (the lower bound must satisfy `0 < lo < reference`, both finite — a
+/// zero lower bound would let the bisection converge onto a zero iso
+/// bandwidth and poison every derived ratio) or if even the reference
+/// bandwidth misses the target, and propagates replay errors.
 pub fn min_bandwidth_for(
     trace: &TraceSet,
     base: &Platform,
@@ -57,7 +67,11 @@ pub fn min_bandwidth_for(
     lo: f64,
     reference: f64,
 ) -> Result<Bandwidth, LabError> {
-    assert!(lo > 0.0 && reference > lo, "need 0 < lo < reference");
+    if !(lo > 0.0 && lo.is_finite() && reference.is_finite() && reference > lo) {
+        return Err(LabError::SearchFailed {
+            what: format!("degenerate search range [{lo}, {reference}]: need 0 < lo < reference"),
+        });
+    }
     // The bisection probes the same trace dozens of times: validate and
     // channel-index once, then replay prepared per probe.
     let index = TraceIndex::build(trace)
@@ -166,6 +180,54 @@ mod tests {
         let base = ovlsim_apps::calibration::reference_platform();
         let err = min_bandwidth_for(&orig, &base, Time::from_ns(1), 1.0e5, 1.0e10);
         assert!(matches!(err, Err(LabError::SearchFailed { .. })));
+    }
+
+    #[test]
+    fn degenerate_search_range_is_an_error_not_a_panic() {
+        let (orig, _) = traces();
+        let base = ovlsim_apps::calibration::reference_platform();
+        let target = Time::from_us(1);
+        // Zero lower bound (the bug: the bisection would converge onto a
+        // zero iso bandwidth), inverted and empty ranges, non-finite ends.
+        for (lo, hi) in [
+            (0.0, 1.0e10),
+            (-1.0, 1.0e10),
+            (1.0e10, 1.0e5),
+            (1.0e5, 1.0e5),
+            (f64::NAN, 1.0e10),
+            (1.0e5, f64::INFINITY),
+        ] {
+            match min_bandwidth_for(&orig, &base, target, lo, hi) {
+                Err(LabError::SearchFailed { what }) => {
+                    assert!(what.contains("degenerate"), "[{lo}, {hi}] -> {what}");
+                }
+                other => panic!("expected degenerate-range error for [{lo}, {hi}], got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn relaxation_ratios_stay_finite_for_degenerate_iso_bandwidth() {
+        // The smallest Bandwidth the type admits: the naive ratio
+        // reference/iso overflows to inf, and log10 of that is inf too.
+        // The guarded accessors clamp both into finite values.
+        let r = RelaxationResult {
+            reference_bandwidth: Bandwidth::from_bytes_per_sec(1.0e300).unwrap(),
+            original_time: Time::from_us(10),
+            iso_bandwidth: Bandwidth::from_bytes_per_sec(f64::MIN_POSITIVE).unwrap(),
+            overlapped_time: Time::from_us(10),
+        };
+        assert!(r.relaxation_factor().is_finite());
+        assert!(r.orders_of_magnitude().is_finite());
+        // Sane case unchanged: 1e10 / 1e7 = 1000x = 3 orders.
+        let r = RelaxationResult {
+            reference_bandwidth: Bandwidth::from_bytes_per_sec(1.0e10).unwrap(),
+            original_time: Time::from_us(10),
+            iso_bandwidth: Bandwidth::from_bytes_per_sec(1.0e7).unwrap(),
+            overlapped_time: Time::from_us(10),
+        };
+        assert!((r.relaxation_factor() - 1000.0).abs() < 1e-9);
+        assert!((r.orders_of_magnitude() - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub use experiments::{
 };
 pub use iso::{bandwidth_relaxation, min_bandwidth_for, RelaxationResult};
 pub use plot::{curve_of, render_curves, Curve, PlotOptions};
+pub use sweep::{
+    log_bandwidths, sweep_bundle, sweep_node_packing, sweep_traces, NodePackingPoint, SweepPoint,
+};
 #[doc(hidden)]
-pub use sweep::sweep_traces_threaded;
-pub use sweep::{log_bandwidths, sweep_bundle, sweep_traces, SweepPoint};
+pub use sweep::{sweep_node_packing_threaded, sweep_traces_threaded};
 pub use table::Table;

@@ -49,4 +49,4 @@ mod recorder;
 pub use kernel::{AccessKind, BufferAccess, Kernel, KernelBuilder, Phase};
 pub use pattern::IndexPattern;
 pub use profile::{ConsumptionProfile, ProductionProfile};
-pub use recorder::{BufferInfo, MemTracer, WriteWatch};
+pub use recorder::{BufferInfo, MemTracer, RecorderError, WriteWatch};

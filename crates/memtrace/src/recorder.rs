@@ -1,9 +1,36 @@
 //! The virtual instrumentation recorder.
 
+use std::error::Error;
+use std::fmt;
+
 use ovlsim_core::{BufferId, Instr};
 
 use crate::kernel::{AccessKind, Kernel};
 use crate::profile::{ConsumptionProfile, ProductionProfile};
+
+/// Errors produced by the [`MemTracer`] recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecorderError {
+    /// An operation referenced a buffer id that was never registered with
+    /// this recorder (e.g. a handle from a different [`MemTracer`]).
+    UnregisteredBuffer {
+        /// The offending buffer id.
+        buf: BufferId,
+    },
+}
+
+impl fmt::Display for RecorderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecorderError::UnregisteredBuffer { buf } => {
+                write!(f, "{buf} was not registered with this recorder")
+            }
+        }
+    }
+}
+
+impl Error for RecorderError {}
 
 /// Metadata for a registered communication buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +155,16 @@ impl MemTracer {
         &self.state(buf).info
     }
 
+    /// Fallible [`MemTracer::buffer_info`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecorderError::UnregisteredBuffer`] if `buf` was not
+    /// registered with this recorder.
+    pub fn try_buffer_info(&self, buf: BufferId) -> Result<&BufferInfo, RecorderError> {
+        Ok(&self.try_state(buf)?.info)
+    }
+
     /// Number of registered buffers.
     pub fn buffer_count(&self) -> usize {
         self.buffers.len()
@@ -220,6 +257,23 @@ impl MemTracer {
         ProductionProfile::new(s.info.elem_bytes, s.last_write.clone())
     }
 
+    /// Fallible [`MemTracer::snapshot_production`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecorderError::UnregisteredBuffer`] if `buf` was not
+    /// registered.
+    pub fn try_snapshot_production(
+        &self,
+        buf: BufferId,
+    ) -> Result<ProductionProfile, RecorderError> {
+        let s = self.try_state(buf)?;
+        Ok(ProductionProfile::new(
+            s.info.elem_bytes,
+            s.last_write.clone(),
+        ))
+    }
+
     /// Clears the first-read tracking of a buffer; called by the tracer at
     /// each receive so the next snapshot reflects consumption *of this
     /// message*.
@@ -228,9 +282,23 @@ impl MemTracer {
     ///
     /// Panics if `buf` was not registered.
     pub fn reset_consumption(&mut self, buf: BufferId) {
+        self.try_reset_consumption(buf)
+            .unwrap_or_else(|_| panic!("unregistered {buf}"));
+    }
+
+    /// Fallible [`MemTracer::reset_consumption`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecorderError::UnregisteredBuffer`] if `buf` was not
+    /// registered.
+    pub fn try_reset_consumption(&mut self, buf: BufferId) -> Result<(), RecorderError> {
         let idx = buf.index();
-        assert!(idx < self.buffers.len(), "unregistered {buf}");
+        if idx >= self.buffers.len() {
+            return Err(RecorderError::UnregisteredBuffer { buf });
+        }
         self.buffers[idx].first_read.fill(None);
+        Ok(())
     }
 
     /// Snapshots the consumption profile (first-read instants since the
@@ -244,19 +312,49 @@ impl MemTracer {
         ConsumptionProfile::new(s.info.elem_bytes, s.first_read.clone())
     }
 
+    /// Fallible [`MemTracer::snapshot_consumption`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecorderError::UnregisteredBuffer`] if `buf` was not
+    /// registered.
+    pub fn try_snapshot_consumption(
+        &self,
+        buf: BufferId,
+    ) -> Result<ConsumptionProfile, RecorderError> {
+        let s = self.try_state(buf)?;
+        Ok(ConsumptionProfile::new(
+            s.info.elem_bytes,
+            s.first_read.clone(),
+        ))
+    }
+
     /// Arms a watch that reports the first write to `buf` from now on.
     ///
     /// # Panics
     ///
     /// Panics if `buf` was not registered.
     pub fn watch_first_write(&mut self, buf: BufferId) -> WriteWatch {
-        assert!(buf.index() < self.buffers.len(), "unregistered {buf}");
+        self.try_watch_first_write(buf)
+            .unwrap_or_else(|_| panic!("unregistered {buf}"))
+    }
+
+    /// Fallible [`MemTracer::watch_first_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecorderError::UnregisteredBuffer`] if `buf` was not
+    /// registered.
+    pub fn try_watch_first_write(&mut self, buf: BufferId) -> Result<WriteWatch, RecorderError> {
+        if buf.index() >= self.buffers.len() {
+            return Err(RecorderError::UnregisteredBuffer { buf });
+        }
         let id = WriteWatch(self.watches.len());
         self.watches.push(WatchState {
             buffer: buf,
             first_write: None,
         });
-        id
+        Ok(id)
     }
 
     /// The instant of the first write observed by `watch`, if any yet.
@@ -264,10 +362,15 @@ impl MemTracer {
         self.watches[watch.0].first_write
     }
 
-    fn state(&self, buf: BufferId) -> &BufferState {
+    fn try_state(&self, buf: BufferId) -> Result<&BufferState, RecorderError> {
         self.buffers
             .get(buf.index())
-            .unwrap_or_else(|| panic!("unregistered {buf}"))
+            .ok_or(RecorderError::UnregisteredBuffer { buf })
+    }
+
+    fn state(&self, buf: BufferId) -> &BufferState {
+        self.try_state(buf)
+            .unwrap_or_else(|_| panic!("unregistered {buf}"))
     }
 }
 
@@ -430,5 +533,27 @@ mod tests {
     fn unknown_buffer_panics() {
         let mt = MemTracer::new();
         mt.buffer_info(BufferId::new(3));
+    }
+
+    #[test]
+    fn unknown_buffer_surfaces_as_recorder_error() {
+        let mut mt = MemTracer::new();
+        let ghost = BufferId::new(3);
+        let expected = RecorderError::UnregisteredBuffer { buf: ghost };
+        assert_eq!(mt.try_buffer_info(ghost).unwrap_err(), expected);
+        assert_eq!(mt.try_snapshot_production(ghost).unwrap_err(), expected);
+        assert_eq!(mt.try_snapshot_consumption(ghost).unwrap_err(), expected);
+        assert_eq!(mt.try_reset_consumption(ghost).unwrap_err(), expected);
+        assert_eq!(mt.try_watch_first_write(ghost).unwrap_err(), expected);
+        let msg = format!("{expected}");
+        assert!(msg.contains("not registered"), "got: {msg}");
+        // A registered buffer goes through the fallible paths cleanly.
+        let b = mt.register("a", 8, 4);
+        assert_eq!(mt.try_buffer_info(b).unwrap().elements(), 2);
+        assert!(mt.try_snapshot_production(b).is_ok());
+        assert!(mt.try_snapshot_consumption(b).is_ok());
+        assert!(mt.try_reset_consumption(b).is_ok());
+        let watch = mt.try_watch_first_write(b).unwrap();
+        assert_eq!(mt.watch_result(watch), None);
     }
 }

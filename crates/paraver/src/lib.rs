@@ -1,7 +1,7 @@
 //! Timeline capture and visualization for `ovlsim` — the environment's
 //! Paraver stage.
 //!
-//! "The comparable time-behaviors can be visualized using [the] Paraver
+//! "The comparable time-behaviors can be visualized using \[the\] Paraver
 //! visualization tool, allowing to profoundly study the effects of
 //! automatic overlap." This crate provides:
 //!

@@ -51,7 +51,7 @@ pub use ovlsim_tracer as tracer;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use ovlsim_core::{
-        Bandwidth, Instr, MipsRate, Platform, Rank, Record, Tag, Time, TraceSet,
+        Bandwidth, Instr, MipsRate, NodeTopology, Platform, Rank, Record, Tag, Time, TraceSet,
     };
     pub use ovlsim_dimemas::{ReplayResult, Simulator};
     pub use ovlsim_tracer::{
