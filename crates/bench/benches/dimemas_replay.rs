@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ovlsim_apps::{calibration::reference_platform, NasBt, Sweep3d};
-use ovlsim_core::TraceIndex;
+use ovlsim_core::{CompiledTrace, TraceIndex};
 use ovlsim_dimemas::{replay_naive, Simulator};
 use ovlsim_tracer::TracingSession;
 use std::hint::black_box;
@@ -56,6 +56,20 @@ fn bench_replay(c: &mut Criterion) {
         },
     );
 
+    // The compiled sweep hot path: validate + index + compile once, then
+    // execute the flat SoA program per point. This is what sweeps and the
+    // iso-bisection pay after the trace-compilation layer.
+    let program = CompiledTrace::compile(&overlapped, &index).expect("compiles");
+    group.throughput(Throughput::Elements(overlapped.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("nas_bt_overlapped_compiled", overlapped.total_records()),
+        &overlapped,
+        |b, _trace| {
+            let sim = Simulator::new(platform.clone());
+            b.iter(|| black_box(sim.run_compiled(&program).expect("replays")));
+        },
+    );
+
     // Pre-optimization baseline: BTreeMap channels, BTreeSet wait groups,
     // revalidation per run (the seed's only entry point).
     group.throughput(Throughput::Elements(overlapped.total_records() as u64));
@@ -79,6 +93,18 @@ fn bench_replay(c: &mut Criterion) {
         |b, trace| {
             let sim = Simulator::new(multicore.clone());
             b.iter(|| black_box(sim.run_prepared(trace, &index).expect("replays")));
+        },
+    );
+    group.throughput(Throughput::Elements(overlapped.total_records() as u64));
+    group.bench_with_input(
+        BenchmarkId::new(
+            "nas_bt_overlapped_multicore_compiled",
+            overlapped.total_records(),
+        ),
+        &overlapped,
+        |b, _trace| {
+            let sim = Simulator::new(multicore.clone());
+            b.iter(|| black_box(sim.run_compiled(&program).expect("replays")));
         },
     );
 

@@ -7,14 +7,19 @@
 //! directory with:
 //!
 //! * replay throughput (records/s) on a large synthetic trace for the
-//!   naive reference engine, the optimized validating entry point, and the
-//!   optimized prepared (sweep) path, plus the naive→prepared speedup,
+//!   naive reference engine, the optimized validating entry point, the
+//!   optimized prepared (sweep) path and the compiled (flat SoA program)
+//!   path, plus the naive→prepared and prepared→compiled speedups,
 //! * replay throughput on an intra-node-heavy scenario (the same trace
 //!   packed 4 ranks per node under a constrained bus), so the node-aware
-//!   routing path is tracked by every snapshot,
+//!   routing path is tracked by every snapshot — prepared and compiled,
 //! * wall-clock of a multi-point bandwidth sweep at 1/2/4 worker threads
 //!   and the resulting scaling factors, with a byte-identity check between
 //!   the sequential and parallel results.
+//!
+//! Every reported speedup is asserted finite and positive before the
+//! snapshot is written — a zero/NaN/∞ ratio means a timer or engine
+//! regression, and CI treats it as a failure, not a data point.
 //!
 //! Snapshots are committed next to the README so perf regressions are
 //! visible in review diffs; see README.md §Benchmarks.
@@ -23,7 +28,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use ovlsim_apps::{calibration::reference_platform, NasBt};
-use ovlsim_core::{TraceIndex, TraceSet};
+use ovlsim_core::{CompiledTrace, TraceIndex, TraceSet};
 use ovlsim_dimemas::{replay_naive, Simulator};
 use ovlsim_lab::{log_bandwidths, sweep_traces_threaded};
 use ovlsim_tracer::{ChunkingPolicy, TracingSession};
@@ -73,6 +78,19 @@ fn main() {
         std::hint::black_box(sim.run_prepared(trace, &index).expect("replays"));
     });
 
+    // The compiled path: lower once into the flat SoA program (coalesced
+    // bursts, pre-resolved request slots), then execute it per point. The
+    // result must stay bit-identical to the naive oracle.
+    let program = CompiledTrace::compile(trace, &index).expect("compiles");
+    assert_eq!(
+        sim.run_compiled(&program).expect("replays"),
+        replay_naive(&platform, trace).expect("replays"),
+        "compiled replay diverged from the naive oracle"
+    );
+    let compiled_s = time_call(|| {
+        std::hint::black_box(sim.run_compiled(&program).expect("replays"));
+    });
+
     // Intra-node-heavy scenario: same trace, 4 ranks per node under a
     // constrained bus — most NAS-BT neighbour traffic becomes same-node and
     // takes the shared-memory path, exercising the node-aware routing. The
@@ -84,16 +102,25 @@ fn main() {
         .ranks_per_node(4)
         .build();
     let sim_mc = Simulator::new(multicore.clone());
+    let naive_mc = replay_naive(&multicore, trace).expect("replays");
     assert_eq!(
         sim_mc.run_prepared(trace, &index).expect("replays"),
-        replay_naive(&multicore, trace).expect("replays"),
+        naive_mc,
         "node-aware routing diverged between engines"
+    );
+    assert_eq!(
+        sim_mc.run_compiled(&program).expect("replays"),
+        naive_mc,
+        "compiled replay diverged from the naive oracle on the multicore platform"
     );
     let multicore_prepared_s = time_call(|| {
         std::hint::black_box(sim_mc.run_prepared(trace, &index).expect("replays"));
     });
     let multicore_naive_s = time_call(|| {
         std::hint::black_box(replay_naive(&multicore, trace).expect("replays"));
+    });
+    let multicore_compiled_s = time_call(|| {
+        std::hint::black_box(sim_mc.run_compiled(&program).expect("replays"));
     });
 
     // Multi-point sweep scaling. Points chosen so a run takes long enough
@@ -124,6 +151,35 @@ fn main() {
         }
     }
 
+    // Each published ratio is computed exactly once here and used by both
+    // the sanity gate and the JSON below, so the gated value is always
+    // the published value.
+    let sp_run_vs_naive = naive_s / run_s;
+    let sp_prepared_vs_naive = naive_s / prepared_s;
+    let sp_compiled_vs_naive = naive_s / compiled_s;
+    let sp_compiled_vs_prepared = prepared_s / compiled_s;
+    let sp_mc_prepared_vs_naive = multicore_naive_s / multicore_prepared_s;
+    let sp_mc_compiled_vs_prepared = multicore_prepared_s / multicore_compiled_s;
+
+    // Sanity gate: every ratio the snapshot publishes must be a real,
+    // positive number. A NaN/∞/0 here means a timer returned zero or an
+    // engine stopped doing work — fail the snapshot instead of committing
+    // a nonsense baseline.
+    let speedups = [
+        ("run_vs_naive", sp_run_vs_naive),
+        ("prepared_vs_naive", sp_prepared_vs_naive),
+        ("compiled_vs_naive", sp_compiled_vs_naive),
+        ("compiled_vs_prepared", sp_compiled_vs_prepared),
+        ("multicore_prepared_vs_naive", sp_mc_prepared_vs_naive),
+        ("multicore_compiled_vs_prepared", sp_mc_compiled_vs_prepared),
+    ];
+    for (what, value) in speedups {
+        assert!(
+            value.is_finite() && value > 0.0,
+            "speedup {what} is {value}: expected a finite, positive ratio"
+        );
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"label\": \"{label}\",");
@@ -151,12 +207,39 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"speedup_run_vs_naive\": {:.2},",
-        naive_s / run_s
+        sp_run_vs_naive
     );
     let _ = writeln!(
         json,
         "    \"speedup_prepared_vs_naive\": {:.2}",
-        naive_s / prepared_s
+        sp_prepared_vs_naive
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"replay_compiled\": {{");
+    let _ = writeln!(
+        json,
+        "    \"records_per_sec\": {:.0},",
+        records / compiled_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_naive\": {:.2},",
+        sp_compiled_vs_naive
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_prepared\": {:.2},",
+        sp_compiled_vs_prepared
+    );
+    let _ = writeln!(
+        json,
+        "    \"multicore_records_per_sec\": {:.0},",
+        records / multicore_compiled_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"multicore_speedup_vs_prepared\": {:.2}",
+        sp_mc_compiled_vs_prepared
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"replay_multicore_4rpn\": {{");
@@ -173,7 +256,7 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"speedup_prepared_vs_naive\": {:.2}",
-        multicore_naive_s / multicore_prepared_s
+        sp_mc_prepared_vs_naive
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sweep\": {{");

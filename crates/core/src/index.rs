@@ -168,6 +168,40 @@ impl TraceIndex {
             id => Some(ChannelId::new(id)),
         }
     }
+
+    /// Best-effort check that this index was built from `trace`: compares
+    /// the trace name, the rank count and every rank's record count,
+    /// returning a description of the first disagreement (`None` = all
+    /// three agree). This is the single detection policy shared by
+    /// prepared replay and trace compilation — an index from a different
+    /// trace that happens to agree on all three is not caught, so always
+    /// build the index from the trace you replay.
+    pub fn mismatch_reason(&self, trace: &TraceSet) -> Option<String> {
+        if self.trace_name() != trace.name() {
+            return Some(format!(
+                "name mismatch: index `{}`, trace `{}`",
+                self.trace_name(),
+                trace.name()
+            ));
+        }
+        if self.rank_count() != trace.rank_count() {
+            return Some(format!(
+                "rank count mismatch: index has {}, trace has {}",
+                self.rank_count(),
+                trace.rank_count()
+            ));
+        }
+        for (r, rank) in trace.ranks().iter().enumerate() {
+            if self.rank_channels(r).len() != rank.len() {
+                return Some(format!(
+                    "rank {r} record count mismatch: index has {}, trace has {}",
+                    self.rank_channels(r).len(),
+                    rank.len()
+                ));
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]

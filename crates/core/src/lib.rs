@@ -40,6 +40,7 @@ mod ids;
 mod index;
 mod instr;
 mod platform;
+mod program;
 mod record;
 mod time;
 mod units;
@@ -52,6 +53,7 @@ pub use instr::{Instr, MipsRate};
 pub use platform::{
     CollectiveModel, CollectiveOp, NodeTopology, Platform, PlatformBuilder, StageModel,
 };
+pub use program::{ChannelEndpoints, CompileError, CompiledTrace, RankProgram};
 pub use record::{RankTrace, Record, RecordKind, TraceSet};
 pub use time::{Bandwidth, Time};
 pub use units::{format_bandwidth, format_bytes, format_time};

@@ -1,0 +1,671 @@
+//! Trace compilation: lowering a validated [`TraceSet`] + [`TraceIndex`]
+//! into a flat struct-of-arrays replay program.
+//!
+//! The paper's methodology replays one trace at hundreds of platform
+//! points. Everything about the *trace* is invariant across that sweep,
+//! yet a prepared replay still walks heap-allocated [`Record`] enums,
+//! resolves request ids through a runtime table, and converts burst
+//! instruction counts to time on every point. [`CompiledTrace`] pays those
+//! costs **once per trace**:
+//!
+//! * records are lowered to dense parallel columns — a one-byte opcode
+//!   ([`RecordKind`]), two `u32` operands and one `u64` payload per
+//!   instruction — with no enum tags and no per-record allocation,
+//! * runs of adjacent [`Record::Burst`]s are **coalesced** into a single
+//!   instruction over a side arena of pre-converted picosecond durations
+//!   (the conversion through the trace's [`MipsRate`] happens at compile
+//!   time), so the replay engine can retire a whole compute run in one
+//!   event when nothing else is scheduled before its end,
+//! * `ISend`/`IRecv`/`Wait*` request ids are **pre-resolved** into dense
+//!   per-rank slot indices (a compile-time free-list reuses slots exactly
+//!   as the runtime would), so the hot loop indexes a flat array instead
+//!   of scanning an association table,
+//! * per-channel `(source, destination, tag)` endpoints ride along, so an
+//!   engine derives intra-/inter-node routing once per run without
+//!   touching the [`TraceIndex`] again.
+//!
+//! Coalescing merges timeline granularity that observers may need:
+//! [`CompiledTrace::compile_observed`] keeps every burst (and marker)
+//! separate so observed timelines are unchanged, at the cost of the
+//! coalescing speedup. Replay engines refuse to attach an observer to a
+//! coalesced program.
+
+use std::collections::HashMap;
+
+use crate::ids::{Rank, Tag};
+use crate::index::{TraceIndex, NO_CHANNEL};
+use crate::instr::MipsRate;
+use crate::record::{Record, RecordKind, TraceSet};
+
+/// Why a trace could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The [`TraceIndex`] disagrees with the trace (detected best-effort
+    /// via trace name and rank/record counts, like prepared replay).
+    IndexMismatch {
+        /// What disagreed between the index and the trace.
+        reason: String,
+    },
+    /// A wait referenced a request with no matching outstanding post —
+    /// the trace was not validated (or the index belongs to another
+    /// trace that passed the best-effort checks).
+    InvalidWait {
+        /// Rank whose stream contains the wait.
+        rank: Rank,
+        /// Index of the offending record.
+        record: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::IndexMismatch { reason } => {
+                write!(f, "trace index built from a different trace: {reason}")
+            }
+            CompileError::InvalidWait { rank, record } => {
+                write!(f, "record {record} of {rank} waits on an unposted request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The `(source, destination, tag)` identity of one interned channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelEndpoints {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Message tag.
+    pub tag: Tag,
+}
+
+/// The compiled instruction stream of one rank: parallel columns plus the
+/// side arenas the wide instructions index into.
+///
+/// Column meaning by opcode (unused columns hold zero):
+///
+/// | opcode       | `a`                    | `b`    | `payload`      |
+/// |--------------|------------------------|--------|----------------|
+/// | `Burst`      | sub-burst count        | —      | —              |
+/// | `Send`/`Recv`| channel id             | —      | bytes          |
+/// | `ISend`      | channel id             | slot   | bytes          |
+/// | `IRecv`      | channel id             | slot   | —              |
+/// | `Wait`       | slot                   | —      | —              |
+/// | `WaitAll`    | slot count             | —      | —              |
+/// | collectives  | —                      | —      | bytes          |
+/// | `Marker`     | event code             | —      | —              |
+///
+/// `Burst` consumes `a` consecutive entries of [`RankProgram::burst_ps`];
+/// `WaitAll` consumes `a` consecutive entries of
+/// [`RankProgram::wait_slots`]. Both arenas are laid out in program order,
+/// so an executor only needs one monotone cursor per arena.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankProgram {
+    ops: Vec<RecordKind>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    payload: Vec<u64>,
+    burst_ps: Vec<u64>,
+    wait_slots: Vec<u32>,
+    slot_count: u32,
+}
+
+impl RankProgram {
+    /// The opcode column (one entry per instruction).
+    pub fn ops(&self) -> &[RecordKind] {
+        &self.ops
+    }
+
+    /// The first `u32` operand column, parallel to [`RankProgram::ops`].
+    pub fn a(&self) -> &[u32] {
+        &self.a
+    }
+
+    /// The second `u32` operand column, parallel to [`RankProgram::ops`].
+    pub fn b(&self) -> &[u32] {
+        &self.b
+    }
+
+    /// The `u64` payload column, parallel to [`RankProgram::ops`].
+    pub fn payload(&self) -> &[u64] {
+        &self.payload
+    }
+
+    /// Per-burst durations in picoseconds (already converted through the
+    /// trace's [`MipsRate`]), in program order.
+    pub fn burst_ps(&self) -> &[u64] {
+        &self.burst_ps
+    }
+
+    /// Concatenated `WaitAll` slot lists, in program order.
+    pub fn wait_slots(&self) -> &[u32] {
+        &self.wait_slots
+    }
+
+    /// Number of request slots this rank's stream uses — the size of the
+    /// flat request-state table an executor allocates per run. Slots are
+    /// reused after their wait, so this is the rank's peak number of
+    /// simultaneously outstanding requests, not its total post count.
+    pub fn slot_count(&self) -> u32 {
+        self.slot_count
+    }
+
+    /// Number of instructions in the stream.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A [`TraceSet`] lowered to flat per-rank instruction streams, ready for
+/// `Simulator::run_compiled` in `ovlsim-dimemas`.
+///
+/// The program is self-contained: it carries the trace name, MIPS rate and
+/// channel endpoints, so a sweep holds one `CompiledTrace` and shares it
+/// (`&CompiledTrace` is `Sync`) across every platform point without
+/// touching the `TraceSet` or `TraceIndex` again.
+///
+/// # Example
+///
+/// ```
+/// use ovlsim_core::{CompiledTrace, MipsRate, Rank, RankTrace, Record, Tag, TraceIndex, TraceSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = TraceSet::new(
+///     "pair",
+///     MipsRate::new(1000)?,
+///     vec![
+///         RankTrace::from_records(vec![Record::Send {
+///             to: Rank::new(1),
+///             bytes: 8,
+///             tag: Tag::new(0),
+///         }]),
+///         RankTrace::from_records(vec![Record::Recv {
+///             from: Rank::new(0),
+///             bytes: 8,
+///             tag: Tag::new(0),
+///         }]),
+///     ],
+/// );
+/// let index = TraceIndex::build(&ts).expect("valid trace");
+/// let prog = CompiledTrace::compile(&ts, &index)?;
+/// assert_eq!(prog.rank_count(), 2);
+/// assert_eq!(prog.channels().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTrace {
+    name: String,
+    mips: MipsRate,
+    coalesced: bool,
+    channels: Vec<ChannelEndpoints>,
+    ranks: Vec<RankProgram>,
+    source_records: usize,
+}
+
+impl CompiledTrace {
+    /// Compiles `trace` with burst coalescing: adjacent bursts merge into
+    /// one instruction (markers, which have no timing effect, are dropped
+    /// and do not break a run). Replay results are bit-identical to the
+    /// uncompiled engines, but per-burst timeline granularity is gone, so
+    /// engines refuse to attach an observer to the result — use
+    /// [`CompiledTrace::compile_observed`] for timeline capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::IndexMismatch`] if `index` does not match
+    /// `trace` (same best-effort detection as prepared replay: trace name
+    /// plus rank/record counts) and [`CompileError::InvalidWait`] if a
+    /// wait references an unposted request (impossible for a validated
+    /// trace with its own index).
+    pub fn compile(trace: &TraceSet, index: &TraceIndex) -> Result<Self, CompileError> {
+        Self::lower(trace, index, true)
+    }
+
+    /// Compiles `trace` without coalescing: every burst and marker stays a
+    /// separate instruction, so observed timelines are identical to the
+    /// uncompiled engines, record for record.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledTrace::compile`].
+    pub fn compile_observed(trace: &TraceSet, index: &TraceIndex) -> Result<Self, CompileError> {
+        Self::lower(trace, index, false)
+    }
+
+    fn lower(trace: &TraceSet, index: &TraceIndex, coalesce: bool) -> Result<Self, CompileError> {
+        if let Some(reason) = index.mismatch_reason(trace) {
+            return Err(CompileError::IndexMismatch { reason });
+        }
+
+        // Channel endpoints come from the index; the tag is filled in from
+        // the first record referencing each channel (every interned
+        // channel is referenced by construction).
+        let mut channels: Vec<ChannelEndpoints> = index
+            .channel_peers()
+            .iter()
+            .map(|&(src, dst)| ChannelEndpoints {
+                src: Rank::new(src),
+                dst: Rank::new(dst),
+                tag: Tag::new(0),
+            })
+            .collect();
+        let mut tag_known = vec![false; channels.len()];
+
+        let mips = trace.mips();
+        let mut ranks = Vec::with_capacity(trace.rank_count());
+        for (r, rank_trace) in trace.ranks().iter().enumerate() {
+            let chans = index.rank_channels(r);
+            let mut p = RankProgram::default();
+            // Compile-time slot allocator: posts pop the free list (or
+            // grow the table), waits push the slot back — mirroring the
+            // lifetime the runtime table will see, so the table stays as
+            // small as the rank's peak outstanding-request count.
+            let mut slots = SlotAllocator::default();
+            // True while the previous *emitted* instruction is a burst a
+            // new burst may merge into (dropped markers don't break runs).
+            let mut open_burst = false;
+
+            for (ri, rec) in rank_trace.iter().enumerate() {
+                let mut note_channel = |ch: u32, tag: Tag| {
+                    debug_assert_ne!(ch, NO_CHANNEL, "p2p records are interned");
+                    if !tag_known[ch as usize] {
+                        channels[ch as usize].tag = tag;
+                        tag_known[ch as usize] = true;
+                    }
+                };
+                match rec {
+                    Record::Burst { instr } => {
+                        let ps = mips.instr_to_time(*instr).as_ps();
+                        if coalesce && open_burst {
+                            let last = p.ops.len() - 1;
+                            p.a[last] += 1;
+                        } else {
+                            p.push(RecordKind::Burst, 1, 0, 0);
+                        }
+                        p.burst_ps.push(ps);
+                        open_burst = true;
+                        continue;
+                    }
+                    Record::Marker { code } => {
+                        if !coalesce {
+                            p.push(RecordKind::Marker, *code, 0, 0);
+                            open_burst = false;
+                        }
+                        // Coalesced: markers have no timing effect; drop
+                        // them without closing the surrounding burst run.
+                        continue;
+                    }
+                    Record::Send { to: _, bytes, tag } => {
+                        note_channel(chans[ri], *tag);
+                        p.push(RecordKind::Send, chans[ri], 0, *bytes);
+                    }
+                    Record::ISend {
+                        to: _,
+                        bytes,
+                        tag,
+                        req,
+                    } => {
+                        note_channel(chans[ri], *tag);
+                        let slot = slots.post(req.get());
+                        p.push(RecordKind::ISend, chans[ri], slot, *bytes);
+                    }
+                    Record::Recv {
+                        from: _,
+                        bytes,
+                        tag,
+                    } => {
+                        note_channel(chans[ri], *tag);
+                        p.push(RecordKind::Recv, chans[ri], 0, *bytes);
+                    }
+                    Record::IRecv {
+                        from: _,
+                        bytes: _,
+                        tag,
+                        req,
+                    } => {
+                        note_channel(chans[ri], *tag);
+                        let slot = slots.post(req.get());
+                        p.push(RecordKind::IRecv, chans[ri], slot, 0);
+                    }
+                    Record::Wait { req } => {
+                        let slot = slots.wait(req.get(), r, ri)?;
+                        p.push(RecordKind::Wait, slot, 0, 0);
+                    }
+                    Record::WaitAll { reqs } => {
+                        for req in reqs {
+                            let slot = slots.wait(req.get(), r, ri)?;
+                            p.wait_slots.push(slot);
+                        }
+                        p.push(RecordKind::WaitAll, reqs.len() as u32, 0, 0);
+                    }
+                    Record::Barrier => p.push(RecordKind::Barrier, 0, 0, 0),
+                    Record::AllReduce { bytes } => p.push(RecordKind::AllReduce, 0, 0, *bytes),
+                    Record::Bcast { root: _, bytes } => p.push(RecordKind::Bcast, 0, 0, *bytes),
+                    Record::Reduce { root: _, bytes } => p.push(RecordKind::Reduce, 0, 0, *bytes),
+                    Record::AllToAll { bytes } => p.push(RecordKind::AllToAll, 0, 0, *bytes),
+                    Record::AllGather { bytes } => p.push(RecordKind::AllGather, 0, 0, *bytes),
+                }
+                open_burst = false;
+            }
+            p.slot_count = slots.high_water();
+            ranks.push(p);
+        }
+
+        Ok(CompiledTrace {
+            name: trace.name().to_string(),
+            mips,
+            coalesced: coalesce,
+            channels,
+            ranks,
+            source_records: trace.total_records(),
+        })
+    }
+
+    /// Name of the trace this program was compiled from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The MIPS rate of the source trace (burst durations in
+    /// [`RankProgram::burst_ps`] are already converted through it).
+    pub fn mips(&self) -> MipsRate {
+        self.mips
+    }
+
+    /// True if adjacent bursts were merged (and markers dropped): replay
+    /// results are unchanged, but per-record timeline granularity is gone,
+    /// so engines must refuse to attach an observer.
+    pub fn coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// The `(source, destination, tag)` identity of every interned
+    /// channel, indexed by dense channel id. Replay engines map the
+    /// endpoints through the platform's node assignment **once** per run
+    /// to get the intra-/inter-node routing table.
+    pub fn channels(&self) -> &[ChannelEndpoints] {
+        &self.channels
+    }
+
+    /// Number of ranks.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The compiled instruction stream of one rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn rank(&self, rank: usize) -> &RankProgram {
+        &self.ranks[rank]
+    }
+
+    /// Number of records in the source trace (before coalescing), for
+    /// throughput accounting.
+    pub fn source_records(&self) -> usize {
+        self.source_records
+    }
+
+    /// Total number of compiled instructions across all ranks (after
+    /// coalescing and marker elision).
+    pub fn total_instructions(&self) -> usize {
+        self.ranks.iter().map(RankProgram::len).sum()
+    }
+}
+
+/// Compile-time request-slot allocator: replays the post/wait lifetime of
+/// one rank's requests so each post gets a dense slot index and slots are
+/// reused as soon as their wait retires them.
+#[derive(Debug, Default)]
+struct SlotAllocator {
+    live: HashMap<u32, u32>,
+    free: Vec<u32>,
+    next: u32,
+}
+
+impl SlotAllocator {
+    fn post(&mut self, req: u32) -> u32 {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            let s = self.next;
+            self.next += 1;
+            s
+        });
+        self.live.insert(req, slot);
+        slot
+    }
+
+    fn wait(&mut self, req: u32, rank: usize, record: usize) -> Result<u32, CompileError> {
+        match self.live.remove(&req) {
+            Some(slot) => {
+                self.free.push(slot);
+                Ok(slot)
+            }
+            None => Err(CompileError::InvalidWait {
+                rank: Rank::new(rank as u32),
+                record,
+            }),
+        }
+    }
+
+    fn high_water(&self) -> u32 {
+        self.next
+    }
+}
+
+impl RankProgram {
+    fn push(&mut self, op: RecordKind, a: u32, b: u32, payload: u64) {
+        self.ops.push(op);
+        self.a.push(a);
+        self.b.push(b);
+        self.payload.push(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RequestId;
+    use crate::instr::Instr;
+    use crate::record::RankTrace;
+
+    fn mips() -> MipsRate {
+        MipsRate::new(1000).unwrap()
+    }
+
+    fn burst(instr: u64) -> Record {
+        Record::Burst {
+            instr: Instr::new(instr),
+        }
+    }
+
+    #[test]
+    fn coalesces_adjacent_bursts_across_markers() {
+        let ts = TraceSet::new(
+            "t",
+            mips(),
+            vec![RankTrace::from_records(vec![
+                burst(1000),
+                Record::Marker { code: 7 },
+                burst(2000),
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 8,
+                    tag: Tag::new(0),
+                },
+                burst(3000),
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 8,
+                    tag: Tag::new(0),
+                },
+            ])],
+        );
+        let index = TraceIndex::build(&ts).unwrap();
+        let prog = CompiledTrace::compile(&ts, &index).unwrap();
+        assert!(prog.coalesced());
+        let rp = prog.rank(0);
+        // Burst(x2), Send, Burst(x1), Recv — the marker is dropped and
+        // does not break the first run.
+        assert_eq!(
+            rp.ops(),
+            &[
+                RecordKind::Burst,
+                RecordKind::Send,
+                RecordKind::Burst,
+                RecordKind::Recv
+            ]
+        );
+        assert_eq!(rp.a()[0], 2);
+        assert_eq!(rp.a()[2], 1);
+        // 1000 instr at 1000 MIPS = 1 us = 1_000_000 ps.
+        assert_eq!(rp.burst_ps(), &[1_000_000, 2_000_000, 3_000_000]);
+        assert_eq!(prog.source_records(), 6);
+        assert_eq!(prog.total_instructions(), 4);
+    }
+
+    #[test]
+    fn observed_compile_keeps_every_record() {
+        let ts = TraceSet::new(
+            "t",
+            mips(),
+            vec![RankTrace::from_records(vec![
+                burst(1000),
+                burst(2000),
+                Record::Marker { code: 9 },
+            ])],
+        );
+        let index = TraceIndex::build(&ts).unwrap();
+        let prog = CompiledTrace::compile_observed(&ts, &index).unwrap();
+        assert!(!prog.coalesced());
+        let rp = prog.rank(0);
+        assert_eq!(
+            rp.ops(),
+            &[RecordKind::Burst, RecordKind::Burst, RecordKind::Marker]
+        );
+        assert_eq!(rp.a(), &[1, 1, 9]);
+    }
+
+    #[test]
+    fn request_slots_are_reused_after_waits() {
+        // Two sequential post/wait pairs with *different* request ids must
+        // share one slot; an overlapping post needs a second slot.
+        let ts = TraceSet::new(
+            "t",
+            mips(),
+            vec![
+                RankTrace::from_records(vec![
+                    Record::IRecv {
+                        from: Rank::new(1),
+                        bytes: 8,
+                        tag: Tag::new(0),
+                        req: RequestId::new(10),
+                    },
+                    Record::Wait {
+                        req: RequestId::new(10),
+                    },
+                    Record::IRecv {
+                        from: Rank::new(1),
+                        bytes: 8,
+                        tag: Tag::new(1),
+                        req: RequestId::new(20),
+                    },
+                    Record::IRecv {
+                        from: Rank::new(1),
+                        bytes: 8,
+                        tag: Tag::new(2),
+                        req: RequestId::new(30),
+                    },
+                    Record::WaitAll {
+                        reqs: vec![RequestId::new(30), RequestId::new(20)],
+                    },
+                ]),
+                RankTrace::from_records(vec![
+                    Record::Send {
+                        to: Rank::new(0),
+                        bytes: 8,
+                        tag: Tag::new(0),
+                    },
+                    Record::Send {
+                        to: Rank::new(0),
+                        bytes: 8,
+                        tag: Tag::new(1),
+                    },
+                    Record::Send {
+                        to: Rank::new(0),
+                        bytes: 8,
+                        tag: Tag::new(2),
+                    },
+                ]),
+            ],
+        );
+        let index = TraceIndex::build(&ts).unwrap();
+        let prog = CompiledTrace::compile(&ts, &index).unwrap();
+        let rp = prog.rank(0);
+        assert_eq!(rp.slot_count(), 2);
+        // First IRecv takes slot 0; the wait frees it; the next post
+        // reuses slot 0 and the overlapping one takes slot 1.
+        assert_eq!(rp.b()[0], 0);
+        assert_eq!(rp.a()[1], 0); // Wait on slot 0
+        assert_eq!(rp.b()[2], 0);
+        assert_eq!(rp.b()[3], 1);
+        // WaitAll lists slots in record order: req 30 (slot 1), req 20
+        // (slot 0).
+        assert_eq!(rp.wait_slots(), &[1, 0]);
+        assert_eq!(rp.a()[4], 2);
+    }
+
+    #[test]
+    fn channel_tags_are_recorded() {
+        let ts = TraceSet::new(
+            "t",
+            mips(),
+            vec![
+                RankTrace::from_records(vec![Record::Send {
+                    to: Rank::new(1),
+                    bytes: 8,
+                    tag: Tag::new(42),
+                }]),
+                RankTrace::from_records(vec![Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 8,
+                    tag: Tag::new(42),
+                }]),
+            ],
+        );
+        let index = TraceIndex::build(&ts).unwrap();
+        let prog = CompiledTrace::compile(&ts, &index).unwrap();
+        assert_eq!(
+            prog.channels(),
+            &[ChannelEndpoints {
+                src: Rank::new(0),
+                dst: Rank::new(1),
+                tag: Tag::new(42),
+            }]
+        );
+    }
+
+    #[test]
+    fn mismatched_index_is_rejected() {
+        let ts = TraceSet::new("a", mips(), vec![RankTrace::new()]);
+        let other = TraceSet::new("b", mips(), vec![RankTrace::new()]);
+        let index = TraceIndex::build(&other).unwrap();
+        match CompiledTrace::compile(&ts, &index) {
+            Err(CompileError::IndexMismatch { reason }) => {
+                assert!(reason.contains("name mismatch"), "got: {reason}");
+            }
+            other => panic!("expected IndexMismatch, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1160 @@
+//! Executor for compiled trace programs ([`CompiledTrace`]).
+//!
+//! This is the fastest replay path: it walks the flat struct-of-arrays
+//! instruction streams produced by [`CompiledTrace::compile`] — one-byte
+//! opcodes, dense operand columns, pre-converted burst durations and
+//! pre-resolved request slots — instead of decoding [`ovlsim_core::Record`]
+//! enums and scanning request tables per event. Results are bit-identical
+//! to [`crate::naive::replay_naive`] and [`crate::Simulator::run`]; the
+//! differential property tests in `tests/props.rs` enforce it.
+//!
+//! Beyond the program format, the executor shaves per-event overhead the
+//! record-walking engines pay:
+//!
+//! * it is generic over the observer, so the common unobserved run
+//!   monomorphizes against [`NullObserver`] and every timeline callback
+//!   compiles to nothing (the other engines pay a virtual call each),
+//! * platform scalars (eager threshold, overheads, the three possible
+//!   flight delays) are hoisted out of the loop once per run,
+//! * wire transmission times are memoized per distinct `(domain, bytes)`
+//!   pair — chunked traces reuse a handful of message sizes thousands of
+//!   times, and the memo returns the identical rounded [`Time`],
+//! * network pump rescans reuse scratch buffers instead of allocating a
+//!   queue and a result vector per pump
+//!   ([`Network::start_eligible_into`]).
+//!
+//! # Coalesced burst runs and exact tie-breaking
+//!
+//! The event queue delivers same-time events FIFO in schedule order, and
+//! that order is observable: transfers that become ready at the same
+//! instant contend for finite buses/links in FIFO order. Naively replacing
+//! a run of K bursts with one end-of-run resume would move that resume's
+//! position in the FIFO and could flip such ties. The executor therefore
+//! *jumps* a coalesced run (or a prefix of it) in a single event **only
+//! when the event queue proves no other event fires before the jump's
+//! end** — in that window the rest of the machine is provably idle, so
+//! eliding the intermediate resumes is unobservable. Otherwise it falls
+//! back to stepping one sub-burst per event, exactly like the uncompiled
+//! engines. Either way the arithmetic is identical: durations are summed
+//! per sub-burst through the same `scale_f64` rounding the other engines
+//! apply.
+
+use std::collections::VecDeque;
+
+use ovlsim_core::{CollectiveOp, CompiledTrace, Platform, Rank, RecordKind, Tag, Time};
+use ovlsim_engine::EventQueue;
+
+use crate::collective::CollectiveTracker;
+use crate::error::SimError;
+use crate::network::{Network, TransferId};
+use crate::observer::{NullObserver, ProcState, ReplayObserver};
+use crate::replay::{ReplayResult, Simulator};
+use crate::reqs::{ReqGroup, ReqState};
+
+impl Simulator {
+    /// Replays a compiled trace program, the cheapest per-sweep-point
+    /// entry. The result is bit-identical to [`Simulator::run`] on the
+    /// source trace; only the per-point record decoding, request-table
+    /// scanning and (where provably safe) per-burst event traffic are
+    /// gone. Compile once with [`CompiledTrace::compile`] and share
+    /// `&CompiledTrace` across parallel sweep points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if replay stalls.
+    pub fn run_compiled(&self, prog: &CompiledTrace) -> Result<ReplayResult, SimError> {
+        CompiledState::new(self.platform(), prog).run(&mut NullObserver)
+    }
+
+    /// [`Simulator::run_compiled`] with timeline observation. The program
+    /// must have been compiled with [`CompiledTrace::compile_observed`]:
+    /// a coalesced program has merged compute intervals and dropped
+    /// markers, so attaching an observer to one is refused rather than
+    /// silently reporting a coarser timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CoalescedObservation`] if `prog` was compiled
+    /// with coalescing, and [`SimError::Deadlock`] if replay stalls.
+    pub fn run_compiled_observed(
+        &self,
+        prog: &CompiledTrace,
+        observer: &mut dyn ReplayObserver,
+    ) -> Result<ReplayResult, SimError> {
+        if prog.coalesced() {
+            return Err(SimError::CoalescedObservation);
+        }
+        CompiledState::new(self.platform(), prog).run(observer)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Resume(usize),
+    TransferSent(TransferId),
+    TransferDone(TransferId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SenderKind {
+    Fire,
+    Blocking,
+    /// Rendezvous isend: complete this pre-resolved slot at completion.
+    Request(u32),
+}
+
+#[derive(Debug)]
+struct Transfer {
+    from: Rank,
+    to: Rank,
+    bytes: u64,
+    tag: Tag,
+    rendezvous: bool,
+    intra: bool,
+    sender_kind: SenderKind,
+    recv: Option<usize>,
+    enqueued: bool,
+    started_at: Option<Time>,
+    arrived: Option<Time>,
+}
+
+#[derive(Debug)]
+struct RecvPost {
+    rank: usize,
+    /// Pre-resolved request slot for irecvs; `None` for blocking receives.
+    slot: Option<u32>,
+    from: Rank,
+    tag: Tag,
+    transfer: Option<TransferId>,
+    done: Option<Time>,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    unmatched_sends: VecDeque<TransferId>,
+    unmatched_recvs: VecDeque<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Blocker {
+    Recv(usize),
+    SendDone(TransferId),
+    /// Remaining request *slots* of a wait-set.
+    Reqs(ReqGroup),
+    Collective(usize),
+}
+
+#[derive(Debug)]
+struct Proc {
+    cursor: usize,
+    clock: Time,
+    blocked: Option<Blocker>,
+    block_start: Time,
+    coll_seq: usize,
+    /// Flat request-state table indexed by pre-resolved slot. Entries are
+    /// overwritten on post, so no per-wait cleanup is needed.
+    slots: Vec<ReqState>,
+    compute: Time,
+    finished: Option<Time>,
+    overhead_paid: bool,
+    /// Cursor into the rank's burst-duration arena (program order).
+    burst_pos: usize,
+    /// Sub-bursts left in the burst run currently being executed; while
+    /// non-zero, resumes continue the run instead of decoding the stream.
+    bursts_left: u32,
+    /// Cursor into the rank's `WaitAll` slot arena (program order).
+    wait_pos: usize,
+}
+
+/// One rank's stream slices, resolved once so the hot loop never chases
+/// back through the [`CompiledTrace`] accessors.
+#[derive(Clone, Copy)]
+struct Stream<'a> {
+    ops: &'a [RecordKind],
+    a: &'a [u32],
+    b: &'a [u32],
+    payload: &'a [u64],
+    burst_ps: &'a [u64],
+    wait_slots: &'a [u32],
+}
+
+/// Memo of rounded wire transmission times per distinct byte count. The
+/// list stays tiny for chunked traces (a handful of distinct sizes); it is
+/// capped so a pathological all-distinct trace degrades to computing, not
+/// to a quadratic scan.
+#[derive(Debug, Default)]
+struct XmitMemo {
+    entries: Vec<(u64, Time)>,
+}
+
+const XMIT_MEMO_CAP: usize = 64;
+
+impl XmitMemo {
+    #[inline]
+    fn get(&mut self, bytes: u64, compute: impl Fn(u64) -> Time) -> Time {
+        if let Some(&(_, t)) = self.entries.iter().find(|(b, _)| *b == bytes) {
+            return t;
+        }
+        let t = compute(bytes);
+        if self.entries.len() < XMIT_MEMO_CAP {
+            self.entries.push((bytes, t));
+        }
+        t
+    }
+}
+
+struct CompiledState<'a> {
+    platform: &'a Platform,
+    prog: &'a CompiledTrace,
+    streams: Vec<Stream<'a>>,
+    /// Per-channel routing decision (true = both endpoints share a node),
+    /// derived once per run from the program's channel endpoints.
+    intra_chan: Vec<bool>,
+    /// Hoisted burst scale factor (`1 / cpu_ratio`), identical to the
+    /// value the uncompiled engines recompute per burst.
+    inv_cpu_ratio: f64,
+    // Platform scalars hoisted out of the event loop (all values the
+    // other engines re-derive per event).
+    eager_threshold: u64,
+    send_overhead: Time,
+    recv_overhead: Time,
+    flight_eager: Time,
+    flight_rendezvous: Time,
+    flight_intra: Time,
+    xmit_inter: XmitMemo,
+    xmit_intra: XmitMemo,
+    queue: EventQueue<Event>,
+    procs: Vec<Proc>,
+    transfers: Vec<Transfer>,
+    recv_posts: Vec<RecvPost>,
+    channels: Vec<Channel>,
+    network: Network,
+    /// Reused result buffer for network pumps.
+    started_scratch: Vec<TransferId>,
+    collectives: CollectiveTracker,
+    p2p_messages: u64,
+    p2p_bytes: u64,
+}
+
+impl<'a> CompiledState<'a> {
+    fn new(platform: &'a Platform, prog: &'a CompiledTrace) -> Self {
+        let n = prog.rank_count();
+        CompiledState {
+            platform,
+            prog,
+            streams: (0..n)
+                .map(|r| {
+                    let rp = prog.rank(r);
+                    Stream {
+                        ops: rp.ops(),
+                        a: rp.a(),
+                        b: rp.b(),
+                        payload: rp.payload(),
+                        burst_ps: rp.burst_ps(),
+                        wait_slots: rp.wait_slots(),
+                    }
+                })
+                .collect(),
+            intra_chan: prog
+                .channels()
+                .iter()
+                .map(|c| platform.node_of(c.src.get()) == platform.node_of(c.dst.get()))
+                .collect(),
+            inv_cpu_ratio: 1.0 / platform.cpu_ratio(),
+            eager_threshold: platform.eager_threshold(),
+            send_overhead: platform.send_overhead(),
+            recv_overhead: platform.recv_overhead(),
+            flight_eager: platform.latency(),
+            flight_rendezvous: platform.latency() + platform.rendezvous_latency(),
+            flight_intra: platform.intra_node_latency(),
+            xmit_inter: XmitMemo::default(),
+            xmit_intra: XmitMemo::default(),
+            queue: EventQueue::new(),
+            procs: (0..n)
+                .map(|r| Proc {
+                    cursor: 0,
+                    clock: Time::ZERO,
+                    blocked: None,
+                    block_start: Time::ZERO,
+                    coll_seq: 0,
+                    slots: vec![ReqState::InFlight; prog.rank(r).slot_count() as usize],
+                    compute: Time::ZERO,
+                    finished: None,
+                    overhead_paid: false,
+                    burst_pos: 0,
+                    bursts_left: 0,
+                    wait_pos: 0,
+                })
+                .collect(),
+            transfers: Vec::new(),
+            recv_posts: Vec::new(),
+            channels: (0..prog.channels().len())
+                .map(|_| Channel::default())
+                .collect(),
+            network: Network::new(platform, n),
+            started_scratch: Vec::new(),
+            collectives: CollectiveTracker::new(n),
+            p2p_messages: 0,
+            p2p_bytes: 0,
+        }
+    }
+
+    fn run<O: ReplayObserver + ?Sized>(
+        &mut self,
+        observer: &mut O,
+    ) -> Result<ReplayResult, SimError> {
+        for r in 0..self.procs.len() {
+            self.queue.schedule(Time::ZERO, Event::Resume(r));
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Resume(r) => {
+                    if self.procs[r].bursts_left > 0 {
+                        self.burst_step(r, observer);
+                    } else {
+                        self.step(r, observer);
+                    }
+                }
+                Event::TransferSent(id) => self.transfer_sent(id, t, observer),
+                Event::TransferDone(id) => self.transfer_done(id, t, observer),
+            }
+        }
+        let blocked: Vec<(Rank, String)> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.finished.is_none())
+            .map(|(r, p)| (Rank::new(r as u32), self.describe_blocker(p)))
+            .collect();
+        if !blocked.is_empty() {
+            let at = self
+                .procs
+                .iter()
+                .map(|p| p.clock)
+                .max()
+                .unwrap_or(Time::ZERO);
+            return Err(SimError::Deadlock { at, blocked });
+        }
+        let rank_finish: Vec<Time> = self
+            .procs
+            .iter()
+            .map(|p| p.finished.expect("all finished"))
+            .collect();
+        let total_time = rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
+        Ok(ReplayResult {
+            name: self.prog.name().to_string(),
+            total_time,
+            rank_compute: self.procs.iter().map(|p| p.compute).collect(),
+            rank_finish,
+            p2p_messages: self.p2p_messages,
+            p2p_bytes: self.p2p_bytes,
+            collective_count: self.collectives.instance_count() as u64,
+            mean_busy_buses: self.network.mean_busy_buses(total_time),
+            peak_busy_buses: self.network.peak_busy_buses(),
+            peak_waiting_transfers: self.network.peak_waiting,
+        })
+    }
+
+    fn describe_blocker(&self, p: &Proc) -> String {
+        match &p.blocked {
+            None => "runnable but starved (internal error)".to_string(),
+            Some(Blocker::Recv(pid)) => {
+                let post = &self.recv_posts[*pid];
+                format!("blocked in recv from {} {}", post.from, post.tag)
+            }
+            Some(Blocker::SendDone(tid)) => {
+                let t = &self.transfers[*tid];
+                format!("blocked in rendezvous send to {} {}", t.to, t.tag)
+            }
+            Some(Blocker::Reqs(reqs)) => format!("blocked waiting {} requests", reqs.len()),
+            Some(Blocker::Collective(seq)) => format!("blocked in collective #{seq}"),
+        }
+    }
+
+    /// Memoized wire occupancy time of a transfer (exactly
+    /// `bandwidth.transfer_time(bytes)` of the relevant domain).
+    #[inline]
+    fn transmission_time(&mut self, intra: bool, bytes: u64) -> Time {
+        if intra {
+            let bw = self.platform.intra_node_bandwidth();
+            self.xmit_intra.get(bytes, |b| bw.transfer_time(b))
+        } else {
+            let bw = self.platform.bandwidth();
+            self.xmit_inter.get(bytes, |b| bw.transfer_time(b))
+        }
+    }
+
+    #[inline]
+    fn flight_time(&self, intra: bool, rendezvous: bool) -> Time {
+        if intra {
+            self.flight_intra
+        } else if rendezvous {
+            self.flight_rendezvous
+        } else {
+            self.flight_eager
+        }
+    }
+
+    fn pump_network(&mut self, now: Time) {
+        let mut started = std::mem::take(&mut self.started_scratch);
+        {
+            let transfers = &self.transfers;
+            self.network.start_eligible_into(
+                now,
+                |id| (transfers[id].from, transfers[id].to),
+                &mut started,
+            );
+        }
+        for &tid in &started {
+            self.transfers[tid].started_at = Some(now);
+            let dur = self.transmission_time(self.transfers[tid].intra, self.transfers[tid].bytes);
+            self.queue.schedule(now + dur, Event::TransferSent(tid));
+        }
+        self.started_scratch = started;
+    }
+
+    fn pump_intra(&mut self, now: Time) {
+        if !self.network.intra_limited() {
+            return;
+        }
+        let mut started = std::mem::take(&mut self.started_scratch);
+        {
+            let transfers = &self.transfers;
+            let platform = self.platform;
+            self.network.start_eligible_intra_into(
+                |id| platform.node_of(transfers[id].from.get()) as usize,
+                &mut started,
+            );
+        }
+        for &tid in &started {
+            self.transfers[tid].started_at = Some(now);
+            let dur = self.transmission_time(self.transfers[tid].intra, self.transfers[tid].bytes);
+            self.queue.schedule(now + dur, Event::TransferSent(tid));
+        }
+        self.started_scratch = started;
+    }
+
+    /// Executes (part of) the burst run at the rank's burst cursor,
+    /// scheduling exactly one resume. Greedily absorbs the longest prefix
+    /// of remaining sub-bursts whose end the event queue proves
+    /// undisturbed (nothing else fires before it), and always consumes at
+    /// least one sub-burst — which is precisely the uncompiled engines'
+    /// one-event-per-burst behaviour, so the fallback is tie-exact.
+    fn burst_step<O: ReplayObserver + ?Sized>(&mut self, r: usize, observer: &mut O) {
+        let now = self.procs[r].clock;
+        let left = self.procs[r].bursts_left as usize;
+        let pos = self.procs[r].burst_pos;
+        debug_assert!(left > 0);
+        let arena = &self.streams[r].burst_ps[pos..pos + left];
+        let peek = self.queue.peek_time();
+        // First sub-burst is unconditional (matches the naive engines).
+        let mut total = Time::from_ps(arena[0]).scale_f64(self.inv_cpu_ratio);
+        let mut end = now + total;
+        let mut consumed = 1;
+        while consumed < left {
+            let dur = Time::from_ps(arena[consumed]).scale_f64(self.inv_cpu_ratio);
+            let next_end = end + dur;
+            // Absorbing the next sub-burst is unobservable iff no other
+            // event fires before its end. `t > now` guards zero-length
+            // runs: a pending same-instant event would interleave with the
+            // chain in the uncompiled engines, so the chain must yield.
+            let quiet = match peek {
+                None => true,
+                Some(t) => t >= next_end && t > now,
+            };
+            if !quiet {
+                break;
+            }
+            total += dur;
+            end = next_end;
+            consumed += 1;
+        }
+        observer.interval(Rank::new(r as u32), now, end, ProcState::Compute);
+        let p = &mut self.procs[r];
+        p.compute += total;
+        p.clock = end;
+        p.burst_pos += consumed;
+        p.bursts_left -= consumed as u32;
+        self.queue.schedule(end, Event::Resume(r));
+    }
+
+    /// Executes instructions of rank `r` until it blocks, yields, or
+    /// finishes.
+    fn step<O: ReplayObserver + ?Sized>(&mut self, r: usize, observer: &mut O) {
+        debug_assert!(self.procs[r].blocked.is_none(), "stepping a blocked rank");
+        let stream = self.streams[r];
+        loop {
+            let cursor = self.procs[r].cursor;
+            if cursor >= stream.ops.len() {
+                let at = self.procs[r].clock;
+                self.procs[r].finished = Some(at);
+                observer.finished(Rank::new(r as u32), at);
+                return;
+            }
+            let now = self.procs[r].clock;
+            match stream.ops[cursor] {
+                RecordKind::Burst => {
+                    let p = &mut self.procs[r];
+                    p.bursts_left = stream.a[cursor];
+                    p.cursor += 1;
+                    self.burst_step(r, observer);
+                    return;
+                }
+                RecordKind::Marker => {
+                    observer.marker(Rank::new(r as u32), now, stream.a[cursor]);
+                    self.procs[r].cursor += 1;
+                }
+                RecordKind::Send => {
+                    if self.charge_send_overhead(r, now) {
+                        return;
+                    }
+                    let bytes = stream.payload[cursor];
+                    let rendezvous = bytes > self.eager_threshold;
+                    let kind = if rendezvous {
+                        SenderKind::Blocking
+                    } else {
+                        SenderKind::Fire
+                    };
+                    let chan = stream.a[cursor];
+                    let tid = self.create_transfer(r, chan, bytes, kind);
+                    self.post_send(tid, chan, now);
+                    self.procs[r].cursor += 1;
+                    if rendezvous {
+                        let p = &mut self.procs[r];
+                        p.blocked = Some(Blocker::SendDone(tid));
+                        p.block_start = now;
+                        return;
+                    }
+                }
+                RecordKind::ISend => {
+                    if self.charge_send_overhead(r, now) {
+                        return;
+                    }
+                    let bytes = stream.payload[cursor];
+                    let rendezvous = bytes > self.eager_threshold;
+                    let slot = stream.b[cursor];
+                    let kind = if rendezvous {
+                        SenderKind::Request(slot)
+                    } else {
+                        SenderKind::Fire
+                    };
+                    let chan = stream.a[cursor];
+                    let tid = self.create_transfer(r, chan, bytes, kind);
+                    self.procs[r].slots[slot as usize] = if rendezvous {
+                        ReqState::InFlight
+                    } else {
+                        // Eager isend: the buffer is copied out immediately.
+                        ReqState::Done(now)
+                    };
+                    self.post_send(tid, chan, now);
+                    self.procs[r].cursor += 1;
+                }
+                RecordKind::Recv => {
+                    let pid = self.post_recv(r, None, stream.a[cursor], now);
+                    self.procs[r].cursor += 1;
+                    match self.recv_posts[pid].done {
+                        Some(done) => {
+                            debug_assert!(done >= now);
+                            if done > now {
+                                self.procs[r].clock = done;
+                                self.queue.schedule(done, Event::Resume(r));
+                                return;
+                            }
+                        }
+                        None => {
+                            let p = &mut self.procs[r];
+                            p.blocked = Some(Blocker::Recv(pid));
+                            p.block_start = now;
+                            return;
+                        }
+                    }
+                }
+                RecordKind::IRecv => {
+                    let slot = stream.b[cursor];
+                    let pid = self.post_recv(r, Some(slot), stream.a[cursor], now);
+                    self.procs[r].slots[slot as usize] = match self.recv_posts[pid].done {
+                        Some(done) => ReqState::Done(done),
+                        None => ReqState::InFlight,
+                    };
+                    self.procs[r].cursor += 1;
+                }
+                RecordKind::Wait => {
+                    let slot = stream.a[cursor];
+                    if self.enter_wait(r, Slots::One(slot), now, observer) {
+                        return;
+                    }
+                }
+                RecordKind::WaitAll => {
+                    let len = stream.a[cursor] as usize;
+                    let start = self.procs[r].wait_pos;
+                    self.procs[r].wait_pos += len;
+                    if self.enter_wait(r, Slots::Arena(start, len), now, observer) {
+                        return;
+                    }
+                }
+                op => {
+                    let coll = collective_of(op);
+                    let bytes = stream.payload[cursor];
+                    let seq = self.procs[r].coll_seq;
+                    self.procs[r].coll_seq += 1;
+                    self.procs[r].cursor += 1;
+                    match self
+                        .collectives
+                        .arrive(seq, coll, bytes, now, self.platform)
+                    {
+                        Some(done) => {
+                            for (q, proc) in self.procs.iter_mut().enumerate() {
+                                if proc.blocked == Some(Blocker::Collective(seq)) {
+                                    observer.interval(
+                                        Rank::new(q as u32),
+                                        proc.block_start,
+                                        done,
+                                        ProcState::Collective,
+                                    );
+                                    proc.blocked = None;
+                                    proc.clock = done;
+                                    self.queue.schedule(done, Event::Resume(q));
+                                }
+                            }
+                            observer.interval(
+                                Rank::new(r as u32),
+                                now,
+                                done,
+                                ProcState::Collective,
+                            );
+                            self.procs[r].clock = done;
+                            self.queue.schedule(done, Event::Resume(r));
+                            return;
+                        }
+                        None => {
+                            let p = &mut self.procs[r];
+                            p.blocked = Some(Blocker::Collective(seq));
+                            p.block_start = now;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes a wait over pre-resolved slots. Returns true if the rank
+    /// blocked or yielded (caller must return).
+    fn enter_wait<O: ReplayObserver + ?Sized>(
+        &mut self,
+        r: usize,
+        slots: Slots,
+        now: Time,
+        observer: &mut O,
+    ) -> bool {
+        let mut remaining = ReqGroup::new();
+        let mut latest = now;
+        let one;
+        let wait_slots: &[u32] = match slots {
+            Slots::One(s) => {
+                one = [s];
+                &one
+            }
+            Slots::Arena(start, len) => &self.streams[r].wait_slots[start..start + len],
+        };
+        let p = &mut self.procs[r];
+        for &slot in wait_slots {
+            match p.slots[slot as usize] {
+                ReqState::Done(t) => latest = latest.max(t),
+                ReqState::InFlight => remaining.push(slot),
+            }
+        }
+        p.cursor += 1;
+        if remaining.is_empty() {
+            if latest > now {
+                observer.interval(Rank::new(r as u32), now, latest, ProcState::WaitRequest);
+                p.clock = latest;
+                self.queue.schedule(latest, Event::Resume(r));
+                return true;
+            }
+            false
+        } else {
+            p.blocked = Some(Blocker::Reqs(remaining));
+            p.block_start = now;
+            true
+        }
+    }
+
+    fn charge_send_overhead(&mut self, r: usize, now: Time) -> bool {
+        let overhead = self.send_overhead;
+        if overhead.is_zero() {
+            return false;
+        }
+        let p = &mut self.procs[r];
+        if p.overhead_paid {
+            p.overhead_paid = false;
+            return false;
+        }
+        p.overhead_paid = true;
+        p.clock = now + overhead;
+        let at = p.clock;
+        self.queue.schedule(at, Event::Resume(r));
+        true
+    }
+
+    fn create_transfer(
+        &mut self,
+        from: usize,
+        chan: u32,
+        bytes: u64,
+        sender_kind: SenderKind,
+    ) -> TransferId {
+        let tid = self.transfers.len();
+        let endpoints = &self.prog.channels()[chan as usize];
+        let rendezvous = sender_kind != SenderKind::Fire;
+        self.transfers.push(Transfer {
+            from: Rank::new(from as u32),
+            to: endpoints.dst,
+            bytes,
+            tag: endpoints.tag,
+            rendezvous,
+            intra: self.intra_chan[chan as usize],
+            sender_kind,
+            recv: None,
+            enqueued: false,
+            started_at: None,
+            arrived: None,
+        });
+        self.p2p_messages += 1;
+        self.p2p_bytes += bytes;
+        tid
+    }
+
+    fn post_send(&mut self, tid: TransferId, channel: u32, now: Time) {
+        let ch = &mut self.channels[channel as usize];
+        let matched = match ch.unmatched_recvs.pop_front() {
+            Some(pid) => {
+                self.transfers[tid].recv = Some(pid);
+                self.recv_posts[pid].transfer = Some(tid);
+                true
+            }
+            None => {
+                ch.unmatched_sends.push_back(tid);
+                false
+            }
+        };
+        let ready = !self.transfers[tid].rendezvous || matched;
+        if ready {
+            self.start_transfer(tid, now);
+        }
+    }
+
+    fn start_transfer(&mut self, tid: TransferId, now: Time) {
+        debug_assert!(!self.transfers[tid].enqueued);
+        self.transfers[tid].enqueued = true;
+        if self.transfers[tid].intra {
+            if self.network.intra_limited() {
+                self.network.enqueue_intra(tid);
+                self.pump_intra(now);
+            } else {
+                self.transfers[tid].started_at = Some(now);
+                let dur = self.transmission_time(true, self.transfers[tid].bytes);
+                self.queue.schedule(now + dur, Event::TransferSent(tid));
+            }
+        } else {
+            self.network.enqueue(tid);
+            self.pump_network(now);
+        }
+    }
+
+    fn post_recv(&mut self, r: usize, slot: Option<u32>, channel: u32, now: Time) -> usize {
+        let pid = self.recv_posts.len();
+        let endpoints = &self.prog.channels()[channel as usize];
+        self.recv_posts.push(RecvPost {
+            rank: r,
+            slot,
+            from: endpoints.src,
+            tag: endpoints.tag,
+            transfer: None,
+            done: None,
+        });
+        let ch = &mut self.channels[channel as usize];
+        let matched = match ch.unmatched_sends.pop_front() {
+            Some(tid) => Some(tid),
+            None => {
+                ch.unmatched_recvs.push_back(pid);
+                None
+            }
+        };
+        if let Some(tid) = matched {
+            self.transfers[tid].recv = Some(pid);
+            self.recv_posts[pid].transfer = Some(tid);
+            if self.transfers[tid].arrived.is_some() {
+                self.recv_posts[pid].done = Some(now + self.recv_overhead);
+            } else if !self.transfers[tid].enqueued {
+                self.start_transfer(tid, now);
+            }
+        }
+        pid
+    }
+
+    fn complete_request<O: ReplayObserver + ?Sized>(
+        &mut self,
+        r: usize,
+        slot: u32,
+        at: Time,
+        observer: &mut O,
+    ) {
+        let proc = &mut self.procs[r];
+        let unblock = match &mut proc.blocked {
+            Some(Blocker::Reqs(set)) if set.contains(slot) => {
+                set.remove(slot);
+                set.is_empty()
+            }
+            _ => {
+                proc.slots[slot as usize] = ReqState::Done(at);
+                false
+            }
+        };
+        if unblock {
+            let p = &mut self.procs[r];
+            observer.interval(
+                Rank::new(r as u32),
+                p.block_start,
+                at,
+                ProcState::WaitRequest,
+            );
+            p.blocked = None;
+            p.clock = at;
+            self.queue.schedule(at, Event::Resume(r));
+        }
+    }
+
+    fn transfer_sent<O: ReplayObserver + ?Sized>(
+        &mut self,
+        tid: TransferId,
+        at: Time,
+        observer: &mut O,
+    ) {
+        let (from, to, sender_kind, intra, rendezvous) = {
+            let t = &self.transfers[tid];
+            (t.from, t.to, t.sender_kind, t.intra, t.rendezvous)
+        };
+        if !intra {
+            self.network.release(from, to, at);
+        } else if self.network.intra_limited() {
+            self.network
+                .release_intra(self.platform.node_of(from.get()) as usize);
+        }
+
+        match sender_kind {
+            SenderKind::Fire => {}
+            SenderKind::Blocking => {
+                let s = from.index();
+                debug_assert_eq!(self.procs[s].blocked, Some(Blocker::SendDone(tid)));
+                let p = &mut self.procs[s];
+                observer.interval(from, p.block_start, at, ProcState::WaitSend);
+                p.blocked = None;
+                p.clock = at;
+                self.queue.schedule(at, Event::Resume(s));
+            }
+            SenderKind::Request(slot) => {
+                self.complete_request(from.index(), slot, at, observer);
+            }
+        }
+
+        let flight = self.flight_time(intra, rendezvous);
+        self.queue.schedule(at + flight, Event::TransferDone(tid));
+        // Only the freed domain can have newly eligible transfers.
+        if intra {
+            self.pump_intra(at);
+        } else {
+            self.pump_network(at);
+        }
+    }
+
+    fn transfer_done<O: ReplayObserver + ?Sized>(
+        &mut self,
+        tid: TransferId,
+        at: Time,
+        observer: &mut O,
+    ) {
+        let (from, to, bytes, tag, started, recv) = {
+            let t = &self.transfers[tid];
+            (
+                t.from,
+                t.to,
+                t.bytes,
+                t.tag,
+                t.started_at.expect("done transfers started"),
+                t.recv,
+            )
+        };
+        self.transfers[tid].arrived = Some(at);
+        observer.message(from, to, started, at, bytes, tag);
+
+        if let Some(pid) = recv {
+            let done = at + self.recv_overhead;
+            self.recv_posts[pid].done = Some(done);
+            let r = self.recv_posts[pid].rank;
+            match self.recv_posts[pid].slot {
+                None => {
+                    debug_assert_eq!(self.procs[r].blocked, Some(Blocker::Recv(pid)));
+                    let p = &mut self.procs[r];
+                    observer.interval(
+                        Rank::new(r as u32),
+                        p.block_start,
+                        done,
+                        ProcState::WaitRecv,
+                    );
+                    p.blocked = None;
+                    p.clock = done;
+                    self.queue.schedule(done, Event::Resume(r));
+                }
+                Some(slot) => {
+                    self.complete_request(r, slot, done, observer);
+                }
+            }
+        }
+    }
+}
+
+/// How a wait instruction names its slots: inline (single wait) or as a
+/// span of the rank's `WaitAll` arena.
+enum Slots {
+    One(u32),
+    Arena(usize, usize),
+}
+
+/// Maps a collective opcode to its cost-model operation.
+fn collective_of(op: RecordKind) -> CollectiveOp {
+    match op {
+        RecordKind::Barrier => CollectiveOp::Barrier,
+        RecordKind::AllReduce => CollectiveOp::AllReduce,
+        RecordKind::Bcast => CollectiveOp::Bcast,
+        RecordKind::Reduce => CollectiveOp::Reduce,
+        RecordKind::AllToAll => CollectiveOp::AllToAll,
+        RecordKind::AllGather => CollectiveOp::AllGather,
+        other => unreachable!("not a collective opcode: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{Instr, MipsRate, RankTrace, Record, RequestId, TraceIndex, TraceSet};
+
+    fn mips() -> MipsRate {
+        MipsRate::new(1000).unwrap()
+    }
+
+    fn platform_1us_1gb() -> Platform {
+        Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build()
+    }
+
+    fn trace(ranks: Vec<Vec<Record>>) -> TraceSet {
+        TraceSet::new(
+            "test",
+            mips(),
+            ranks.into_iter().map(RankTrace::from_records).collect(),
+        )
+    }
+
+    fn compile(ts: &TraceSet) -> CompiledTrace {
+        let index = TraceIndex::build(ts).expect("valid");
+        CompiledTrace::compile(ts, &index).expect("compiles")
+    }
+
+    #[test]
+    fn compiled_matches_run_on_mixed_trace() {
+        let reqs: Vec<RequestId> = (0..4).map(RequestId::new).collect();
+        let mut r0: Vec<Record> = vec![
+            Record::Burst {
+                instr: Instr::new(700),
+            },
+            Record::Burst {
+                instr: Instr::new(1300),
+            },
+            Record::Marker { code: 3 },
+            Record::Burst {
+                instr: Instr::new(500),
+            },
+        ];
+        for &req in &reqs {
+            r0.push(Record::ISend {
+                to: Rank::new(1),
+                bytes: 100_000,
+                tag: Tag::new(req.get() as u64),
+                req,
+            });
+        }
+        r0.push(Record::WaitAll { reqs: reqs.clone() });
+        r0.push(Record::Barrier);
+        let mut r1: Vec<Record> = reqs
+            .iter()
+            .map(|&req| Record::Recv {
+                from: Rank::new(0),
+                bytes: 100_000,
+                tag: Tag::new(req.get() as u64),
+            })
+            .collect();
+        r1.push(Record::Barrier);
+        let ts = trace(vec![r0, r1]);
+        let sim = Simulator::new(platform_1us_1gb());
+        let reference = sim.run(&ts).unwrap();
+        let compiled = sim.run_compiled(&compile(&ts)).unwrap();
+        assert_eq!(reference, compiled);
+    }
+
+    #[test]
+    fn compiled_jump_handles_lone_computer() {
+        // One rank computes a long run while the other is already done:
+        // the jump path fires and the makespan is exact.
+        let ts = trace(vec![
+            (0..10)
+                .map(|i| Record::Burst {
+                    instr: Instr::new(1000 + i),
+                })
+                .collect(),
+            vec![],
+        ]);
+        let sim = Simulator::new(platform_1us_1gb());
+        let reference = sim.run(&ts).unwrap();
+        let compiled = sim.run_compiled(&compile(&ts)).unwrap();
+        assert_eq!(reference, compiled);
+    }
+
+    #[test]
+    fn compiled_respects_cpu_ratio_rounding() {
+        // cpu_ratio scaling rounds per sub-burst; the coalesced run must
+        // accumulate identically.
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .cpu_ratio(3.0)
+            .build();
+        let ts = trace(vec![(0..7)
+            .map(|i| Record::Burst {
+                instr: Instr::new(101 + 13 * i),
+            })
+            .collect()]);
+        let sim = Simulator::new(p.clone());
+        let reference = crate::naive::replay_naive(&p, &ts).unwrap();
+        let compiled = sim.run_compiled(&compile(&ts)).unwrap();
+        assert_eq!(reference, compiled);
+    }
+
+    #[test]
+    fn observer_requires_uncoalesced_program() {
+        let ts = trace(vec![vec![Record::Burst {
+            instr: Instr::new(1000),
+        }]]);
+        let sim = Simulator::new(platform_1us_1gb());
+        let coalesced = compile(&ts);
+        assert!(matches!(
+            sim.run_compiled_observed(&coalesced, &mut NullObserver),
+            Err(SimError::CoalescedObservation)
+        ));
+        let index = TraceIndex::build(&ts).unwrap();
+        let observed = CompiledTrace::compile_observed(&ts, &index).unwrap();
+        let res = sim
+            .run_compiled_observed(&observed, &mut NullObserver)
+            .unwrap();
+        assert_eq!(res, sim.run(&ts).unwrap());
+    }
+
+    #[test]
+    fn observed_compiled_timeline_matches_uncompiled() {
+        #[derive(Default, PartialEq, Debug, Clone)]
+        struct Capture {
+            intervals: Vec<(Rank, Time, Time, ProcState)>,
+            messages: Vec<(Rank, Rank, Time, Time, u64, Tag)>,
+            markers: Vec<(Rank, Time, u32)>,
+            finished: Vec<(Rank, Time)>,
+        }
+        impl ReplayObserver for Capture {
+            fn interval(&mut self, r: Rank, s: Time, e: Time, st: ProcState) {
+                self.intervals.push((r, s, e, st));
+            }
+            fn message(&mut self, f: Rank, t: Rank, s: Time, e: Time, b: u64, tag: Tag) {
+                self.messages.push((f, t, s, e, b, tag));
+            }
+            fn marker(&mut self, r: Rank, at: Time, code: u32) {
+                self.markers.push((r, at, code));
+            }
+            fn finished(&mut self, r: Rank, at: Time) {
+                self.finished.push((r, at));
+            }
+        }
+        let ts = trace(vec![
+            vec![
+                Record::Burst {
+                    instr: Instr::new(1000),
+                },
+                Record::Burst {
+                    instr: Instr::new(2000),
+                },
+                Record::Marker { code: 5 },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                },
+            ],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
+        ]);
+        let sim = Simulator::new(platform_1us_1gb());
+        let mut direct = Capture::default();
+        sim.run_observed(&ts, &mut direct).unwrap();
+        let index = TraceIndex::build(&ts).unwrap();
+        let prog = CompiledTrace::compile_observed(&ts, &index).unwrap();
+        let mut compiled = Capture::default();
+        sim.run_compiled_observed(&prog, &mut compiled).unwrap();
+        assert_eq!(direct, compiled);
+    }
+
+    #[test]
+    fn compiled_multicore_ported_intra_domain_matches() {
+        let ts = trace(vec![
+            vec![
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 10_000,
+                    tag: Tag::new(0),
+                },
+                Record::Recv {
+                    from: Rank::new(1),
+                    bytes: 10_000,
+                    tag: Tag::new(1),
+                },
+            ],
+            vec![
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 10_000,
+                    tag: Tag::new(1),
+                },
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 10_000,
+                    tag: Tag::new(0),
+                },
+            ],
+        ]);
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .ranks_per_node(2)
+            .intra_node_links(Some(1))
+            .build();
+        let sim = Simulator::new(p.clone());
+        let reference = crate::naive::replay_naive(&p, &ts).unwrap();
+        let compiled = sim.run_compiled(&compile(&ts)).unwrap();
+        assert_eq!(reference, compiled);
+    }
+}

@@ -35,6 +35,13 @@ pub enum SimError {
         /// What disagreed between the index and the trace.
         reason: String,
     },
+    /// An observer was attached to a burst-coalesced
+    /// [`CompiledTrace`](ovlsim_core::CompiledTrace): coalescing merges
+    /// compute intervals and drops markers, so the observed timeline would
+    /// be coarser than the trace. Compile with
+    /// [`CompiledTrace::compile_observed`](ovlsim_core::CompiledTrace::compile_observed)
+    /// for timeline capture.
+    CoalescedObservation,
 }
 
 impl fmt::Display for SimError {
@@ -66,6 +73,11 @@ impl fmt::Display for SimError {
             SimError::IndexMismatch { reason } => {
                 write!(f, "trace index built from a different trace: {reason}")
             }
+            SimError::CoalescedObservation => write!(
+                f,
+                "cannot observe a burst-coalesced program; compile with \
+                 CompiledTrace::compile_observed for timeline capture"
+            ),
         }
     }
 }

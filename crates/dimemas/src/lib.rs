@@ -10,7 +10,9 @@
 //! models.
 //!
 //! * [`Simulator`] — replays a [`ovlsim_core::TraceSet`], returning a
-//!   [`ReplayResult`] with makespan, per-rank times and network statistics,
+//!   [`ReplayResult`] with makespan, per-rank times and network statistics;
+//!   [`Simulator::run_compiled`] executes a pre-lowered
+//!   [`ovlsim_core::CompiledTrace`] (the cheapest per-sweep-point path),
 //! * [`ReplayObserver`] — timeline hooks consumed by the visualization
 //!   layer (`ovlsim-paraver`),
 //! * [`emit_trace_set`]/[`parse_trace_set`] — the `.dim`-style text
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod collective;
+mod compiled;
 mod error;
 mod format;
 mod naive;

@@ -376,8 +376,11 @@ impl<'a> NaiveState<'a> {
                     }
                 }
                 Record::WaitAll { reqs } => {
-                    let reqs = reqs.clone();
-                    if self.enter_wait(r, &reqs, now, observer) {
+                    // `records` borrows the trace through the shared
+                    // `&'a TraceSet` field, not through `self`, so the
+                    // wait-set passes by reference — the oracle allocates
+                    // nothing per wait either.
+                    if self.enter_wait(r, reqs, now, observer) {
                         return;
                     }
                 }

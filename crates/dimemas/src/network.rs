@@ -40,6 +40,10 @@ pub(crate) struct Network {
     out_used: Vec<u32>,
     in_used: Vec<u32>,
     waiting: VecDeque<TransferId>,
+    /// Reused backing storage for the FIFO rescan (the `_into` variants
+    /// swap it with `waiting`/`intra_waiting` instead of allocating a
+    /// fresh queue per pump).
+    scratch: VecDeque<TransferId>,
     /// Intra-node domain: per-node shared-memory port occupancy and its own
     /// FIFO. Only used when the platform bounds `intra_node_links`.
     intra_limit: Option<u32>,
@@ -63,6 +67,7 @@ impl Network {
             out_used: vec![0; nodes],
             in_used: vec![0; nodes],
             waiting: VecDeque::new(),
+            scratch: VecDeque::new(),
             intra_limit: platform.intra_node_links(),
             intra_used: vec![0; nodes],
             intra_waiting: VecDeque::new(),
@@ -128,7 +133,25 @@ impl Network {
         route: impl Fn(TransferId) -> (Rank, Rank),
     ) -> Vec<TransferId> {
         let mut started = Vec::new();
-        let mut remaining = VecDeque::with_capacity(self.waiting.len());
+        self.start_eligible_into(now, route, &mut started);
+        started
+    }
+
+    /// [`Network::start_eligible`] without the per-call allocations:
+    /// started ids are appended to the caller's reusable `started` buffer
+    /// (cleared first) and the rescan swaps through an internal scratch
+    /// queue. Scan order — and therefore every start decision — is
+    /// identical to [`Network::start_eligible`]; the compiled engine's
+    /// hot loop uses this variant.
+    pub(crate) fn start_eligible_into(
+        &mut self,
+        now: Time,
+        route: impl Fn(TransferId) -> (Rank, Rank),
+        started: &mut Vec<TransferId>,
+    ) {
+        started.clear();
+        let mut remaining = std::mem::take(&mut self.scratch);
+        remaining.clear();
         while let Some(id) = self.waiting.pop_front() {
             let (from, to) = route(id);
             if self.triple_free(from, to) {
@@ -138,8 +161,7 @@ impl Network {
                 remaining.push_back(id);
             }
         }
-        self.waiting = remaining;
-        started
+        self.scratch = std::mem::replace(&mut self.waiting, remaining);
     }
 
     /// Whether intra-node transfers contend for finite per-node ports (if
@@ -163,9 +185,22 @@ impl Network {
         &mut self,
         node_of: impl Fn(TransferId) -> usize,
     ) -> Vec<TransferId> {
-        let limit = self.intra_limit.expect("intra domain is limited");
         let mut started = Vec::new();
-        let mut remaining = VecDeque::with_capacity(self.intra_waiting.len());
+        self.start_eligible_intra_into(node_of, &mut started);
+        started
+    }
+
+    /// Allocation-free variant of [`Network::start_eligible_intra`] with
+    /// the same scan order (see [`Network::start_eligible_into`]).
+    pub(crate) fn start_eligible_intra_into(
+        &mut self,
+        node_of: impl Fn(TransferId) -> usize,
+        started: &mut Vec<TransferId>,
+    ) {
+        let limit = self.intra_limit.expect("intra domain is limited");
+        started.clear();
+        let mut remaining = std::mem::take(&mut self.scratch);
+        remaining.clear();
         while let Some(id) = self.intra_waiting.pop_front() {
             let node = node_of(id);
             if self.intra_used[node] < limit {
@@ -175,8 +210,7 @@ impl Network {
                 remaining.push_back(id);
             }
         }
-        self.intra_waiting = remaining;
-        started
+        self.scratch = std::mem::replace(&mut self.intra_waiting, remaining);
     }
 
     /// Releases the shared-memory port of a finished intra-node transfer.

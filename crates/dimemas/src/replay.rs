@@ -34,9 +34,13 @@
 //!
 //! Sweeps should build the [`TraceIndex`] once per trace and call
 //! [`Simulator::run_prepared`] per platform point, skipping revalidation
-//! entirely. [`Simulator::run`] remains the validating single-shot entry
-//! point; both produce bit-identical results (the original engine is kept
-//! in [`crate::naive`] and differential property tests enforce equality).
+//! entirely — or go one stage further and lower the trace into a
+//! [`ovlsim_core::CompiledTrace`] executed by [`Simulator::run_compiled`]
+//! (flat struct-of-arrays instruction streams, coalesced burst runs,
+//! pre-resolved request slots; see the `compiled` module's docs).
+//! [`Simulator::run`] remains the validating single-shot entry point; all
+//! paths produce bit-identical results (the original engine is kept in
+//! [`crate::naive`] and differential property tests enforce equality).
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -338,34 +342,8 @@ impl Simulator {
         index: &TraceIndex,
         observer: &mut dyn ReplayObserver,
     ) -> Result<ReplayResult, SimError> {
-        if index.trace_name() != trace.name() {
-            return Err(SimError::IndexMismatch {
-                reason: format!(
-                    "name mismatch: index `{}`, trace `{}`",
-                    index.trace_name(),
-                    trace.name()
-                ),
-            });
-        }
-        if index.rank_count() != trace.rank_count() {
-            return Err(SimError::IndexMismatch {
-                reason: format!(
-                    "rank count mismatch: index has {}, trace has {}",
-                    index.rank_count(),
-                    trace.rank_count()
-                ),
-            });
-        }
-        for (r, rank) in trace.ranks().iter().enumerate() {
-            if index.rank_channels(r).len() != rank.len() {
-                return Err(SimError::IndexMismatch {
-                    reason: format!(
-                        "rank {r} record count mismatch: index has {}, trace has {}",
-                        index.rank_channels(r).len(),
-                        rank.len()
-                    ),
-                });
-            }
+        if let Some(reason) = index.mismatch_reason(trace) {
+            return Err(SimError::IndexMismatch { reason });
         }
         ReplayState::new(&self.platform, trace, index).run(observer)
     }

@@ -217,6 +217,132 @@ fn arb_nonblocking_trace() -> impl Strategy<Value = TraceSet> {
         })
 }
 
+/// Splits `total` instructions into `parts` bursts whose counts sum to
+/// `total` exactly.
+fn split_instr(total: u64, parts: u64) -> Vec<Record> {
+    let parts = parts.max(1).min(total.max(1));
+    let each = total / parts;
+    let mut out: Vec<Record> = (0..parts.saturating_sub(1))
+        .map(|_| Record::Burst {
+            instr: Instr::new(each),
+        })
+        .collect();
+    out.push(Record::Burst {
+        instr: Instr::new(total - each * parts.saturating_sub(1)),
+    });
+    out
+}
+
+/// A four-rank trace engineered to stress the compiled engine's burst
+/// coalescing: every round gives all ranks the **same total compute** but
+/// *different adjacent-burst splits* (so compiled runs coalesce where the
+/// uncompiled engines step burst-by-burst, while message-readiness ties at
+/// identical instants still abound), then exchanges messages on a mix of
+/// neighbour (intra-node when packed) and stride-2 (inter-node) channels —
+/// blocking on even rounds, isend/irecv + wait/waitall with *reused*
+/// request ids on odd rounds (exercising compile-time slot reuse) — and
+/// sprinkles markers and a rotating collective.
+fn arb_bursty_trace() -> impl Strategy<Value = TraceSet> {
+    (
+        proptest::collection::vec((1u64..300_000, 1u64..150_000, 0u8..3), 1..8),
+        1u64..5_000,
+    )
+        .prop_map(|(rounds, mips)| {
+            let mut ranks: Vec<Vec<Record>> = vec![Vec::new(); 4];
+            for (i, (total, bytes, coll)) in rounds.iter().enumerate() {
+                let tag = Tag::new(i as u64);
+                for (r, rank) in ranks.iter_mut().enumerate() {
+                    // Same total, different split: ranks reach the round's
+                    // sends at the same instant via different burst runs.
+                    rank.extend(split_instr(*total, 1 + ((r + i) % 3) as u64));
+                    if r == i % 4 {
+                        rank.push(Record::Marker { code: i as u32 });
+                    }
+                }
+                if i % 2 == 0 {
+                    // Blocking neighbour exchange: 0->1 and 2->3.
+                    for (s, d) in [(0usize, 1usize), (2, 3)] {
+                        ranks[s].push(Record::Send {
+                            to: Rank::new(d as u32),
+                            bytes: *bytes,
+                            tag,
+                        });
+                        ranks[d].push(Record::Recv {
+                            from: Rank::new(s as u32),
+                            bytes: *bytes,
+                            tag,
+                        });
+                    }
+                } else {
+                    // Non-blocking stride-2 exchange with request ids
+                    // reused every round (0 on the send side, 1 on the
+                    // receive side): 0->2 and 1->3.
+                    for (s, d) in [(0usize, 2usize), (1, 3)] {
+                        ranks[s].push(Record::ISend {
+                            to: Rank::new(d as u32),
+                            bytes: *bytes,
+                            tag,
+                            req: RequestId::new(0),
+                        });
+                        ranks[d].push(Record::IRecv {
+                            from: Rank::new(s as u32),
+                            bytes: *bytes,
+                            tag,
+                            req: RequestId::new(1),
+                        });
+                        // A little compute between post and wait so the
+                        // transfer can overlap.
+                        ranks[s].push(Record::Burst {
+                            instr: Instr::new(*total / 2 + 1),
+                        });
+                        ranks[d].push(Record::Burst {
+                            instr: Instr::new(*total / 3 + 1),
+                        });
+                        ranks[s].push(Record::Wait {
+                            req: RequestId::new(0),
+                        });
+                        ranks[d].push(Record::WaitAll {
+                            reqs: vec![RequestId::new(1)],
+                        });
+                    }
+                }
+                if i % 3 == 2 {
+                    let rec = match coll {
+                        0 => Record::Barrier,
+                        1 => Record::AllReduce { bytes: *bytes },
+                        _ => Record::AllGather { bytes: *bytes },
+                    };
+                    for rank in &mut ranks {
+                        rank.push(rec.clone());
+                    }
+                }
+            }
+            for rank in &mut ranks {
+                rank.push(Record::Barrier);
+            }
+            TraceSet::new(
+                "prop-bursty",
+                MipsRate::new(mips).unwrap(),
+                ranks.into_iter().map(RankTrace::from_records).collect(),
+            )
+        })
+}
+
+/// Runs all four replay engines and asserts bit-identical results.
+fn assert_engines_agree(trace: &TraceSet, platform: &Platform) -> Result<(), TestCaseError> {
+    let index = ovlsim_core::TraceIndex::build(trace).expect("valid");
+    let prog = ovlsim_core::CompiledTrace::compile(trace, &index).expect("compiles");
+    let sim = Simulator::new(platform.clone());
+    let naive = ovlsim_dimemas::replay_naive(platform, trace).expect("replays");
+    let validated = sim.run(trace).expect("replays");
+    let prepared = sim.run_prepared(trace, &index).expect("replays");
+    let compiled = sim.run_compiled(&prog).expect("replays");
+    prop_assert_eq!(&naive, &validated, "validating engine diverged");
+    prop_assert_eq!(&naive, &prepared, "prepared engine diverged");
+    prop_assert_eq!(&naive, &compiled, "compiled engine diverged");
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -301,6 +427,49 @@ proptest! {
         let validated = sim.run(&trace).expect("replays");
         let prepared = sim.run_prepared(&trace, &index).expect("replays");
         prop_assert_eq!(validated, prepared);
+    }
+
+    /// The compiled engine (flat SoA program, coalesced burst runs,
+    /// pre-resolved request slots) is bit-identical to every other engine
+    /// on traces full of adjacent-burst runs and same-instant ties, on
+    /// flat platforms with finite buses/links and overheads.
+    #[test]
+    fn compiled_replay_matches_all_engines_flat(
+        trace in arb_bursty_trace(),
+        platform in arb_platform(),
+    ) {
+        assert_engines_agree(&trace, &platform)?;
+    }
+
+    /// Same four-way differential on hierarchical (multicore-node)
+    /// platforms: mixed intra-/inter-node channels, finite intra-node
+    /// ports, and node-aware collectives.
+    #[test]
+    fn compiled_replay_matches_all_engines_multicore(
+        trace in arb_bursty_trace(),
+        platform in arb_hier_platform(),
+    ) {
+        assert_engines_agree(&trace, &platform)?;
+    }
+
+    /// The multinode generator from PR 2, run through the compiled engine
+    /// as well.
+    #[test]
+    fn compiled_replay_matches_on_multinode_traces(
+        trace in arb_multinode_trace(),
+        platform in arb_hier_platform(),
+    ) {
+        assert_engines_agree(&trace, &platform)?;
+    }
+
+    /// Non-blocking traces with large wait-sets (request-group spill paths)
+    /// through the compiled engine.
+    #[test]
+    fn compiled_replay_matches_on_nonblocking_traces(
+        trace in arb_nonblocking_trace(),
+        platform in arb_platform(),
+    ) {
+        assert_engines_agree(&trace, &platform)?;
     }
 
     /// Latency monotonicity: increasing latency never speeds things up.

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use ovlsim_core::CoreError;
+use ovlsim_core::{CompileError, CoreError};
 use ovlsim_dimemas::SimError;
 use ovlsim_tracer::TraceError;
 
@@ -22,6 +22,16 @@ pub enum LabError {
         /// What was being searched for.
         what: String,
     },
+    /// Compiling a trace into a replay program failed.
+    Compile(CompileError),
+    /// `OVLSIM_THREADS` was set to something other than a positive
+    /// integer. The run fails loudly instead of silently substituting a
+    /// different worker count (which would invalidate any scaling
+    /// measurement the setting was meant to pin).
+    InvalidThreadConfig {
+        /// The offending environment value.
+        value: String,
+    },
 }
 
 impl fmt::Display for LabError {
@@ -31,6 +41,12 @@ impl fmt::Display for LabError {
             LabError::Sim(e) => write!(f, "replay failed: {e}"),
             LabError::Core(e) => write!(f, "invalid configuration: {e}"),
             LabError::SearchFailed { what } => write!(f, "search failed: {what}"),
+            LabError::Compile(e) => write!(f, "trace compilation failed: {e}"),
+            LabError::InvalidThreadConfig { value } => write!(
+                f,
+                "invalid OVLSIM_THREADS value {value:?}: want a positive integer \
+                 (unset the variable to use the machine's available parallelism)"
+            ),
         }
     }
 }
@@ -42,7 +58,15 @@ impl Error for LabError {
             LabError::Sim(e) => Some(e),
             LabError::Core(e) => Some(e),
             LabError::SearchFailed { .. } => None,
+            LabError::Compile(e) => Some(e),
+            LabError::InvalidThreadConfig { .. } => None,
         }
+    }
+}
+
+impl From<CompileError> for LabError {
+    fn from(e: CompileError) -> Self {
+        LabError::Compile(e)
     }
 }
 

@@ -232,7 +232,7 @@ pub fn e2_real_patterns(
             format_bandwidth(real_peak.bandwidth),
             format!("{:+.1}%", linear_peak.speedup_percent()),
         ])
-    });
+    })?;
     for row in rows {
         table.row(row?);
     }
@@ -279,7 +279,7 @@ pub fn e3_ideal_speedup(apps: &[Box<dyn Application>]) -> Result<ExperimentRepor
                 .map(|v| format!("{:+.0}%", v * 100.0))
                 .unwrap_or_else(|| "-".into()),
         ])
-    });
+    })?;
     for row in rows {
         table.row(row?);
     }
@@ -319,7 +319,7 @@ pub fn e4_speedup_curves(
         let pts = sweep_bundle(&bundle, &base, OverlapMode::linear(), &bws)?;
         let speedups: Vec<f64> = pts.iter().map(|p| p.speedup()).collect();
         Ok((crate::plot::curve_of(app.name(), &pts), speedups))
-    });
+    })?;
     for result in per_app {
         let (curve, speedups) = result?;
         curves.push(curve);
@@ -375,7 +375,7 @@ pub fn e5_bandwidth_relaxation(
                 r.orders_of_magnitude()
             ),
         ])
-    });
+    })?;
     for row in rows {
         table.row(row?);
     }
@@ -426,7 +426,7 @@ pub fn e6_mechanisms(apps: &[Box<dyn Application>]) -> Result<ExperimentReport, 
             cells.push(format!("{:+.1}%", (s - 1.0) * 100.0));
         }
         Ok(cells)
-    });
+    })?;
     for row in rows {
         table.row(row?);
     }
@@ -481,7 +481,7 @@ pub fn e7_pattern_cdf(apps: &[Box<dyn Application>]) -> Result<ExperimentReport,
             row.push(format!("{:.0}%", a / n as f64 * 100.0));
         }
         Ok(Some(row))
-    });
+    })?;
     for row in rows {
         if let Some(row) = row? {
             table.row(row);

@@ -11,10 +11,11 @@
 //! the smallest bandwidth at which the *overlapped* execution is at least
 //! as fast. The ratio of the two bandwidths is the relaxation factor.
 
-use ovlsim_core::{Bandwidth, Platform, Time, TraceIndex, TraceSet};
-use ovlsim_dimemas::{SimError, Simulator};
+use ovlsim_core::{Bandwidth, Platform, Time, TraceSet};
+use ovlsim_dimemas::Simulator;
 
 use crate::error::LabError;
+use crate::sweep::compile_trace;
 
 /// Result of an iso-performance bandwidth search.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,7 +60,8 @@ impl RelaxationResult {
 /// (the lower bound must satisfy `0 < lo < reference`, both finite — a
 /// zero lower bound would let the bisection converge onto a zero iso
 /// bandwidth and poison every derived ratio) or if even the reference
-/// bandwidth misses the target, and propagates replay errors.
+/// bandwidth misses the target, and propagates validation, compilation
+/// ([`LabError::Compile`]) and replay errors.
 pub fn min_bandwidth_for(
     trace: &TraceSet,
     base: &Platform,
@@ -72,14 +74,14 @@ pub fn min_bandwidth_for(
             what: format!("degenerate search range [{lo}, {reference}]: need 0 < lo < reference"),
         });
     }
-    // The bisection probes the same trace dozens of times: validate and
-    // channel-index once, then replay prepared per probe.
-    let index = TraceIndex::build(trace)
-        .map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))?;
+    // The bisection probes the same trace dozens of times: validate,
+    // channel-index and compile once, then execute the flat program per
+    // probe.
+    let prog = compile_trace(trace)?;
     let time_at = |bps: f64| -> Result<Time, LabError> {
         let bw = Bandwidth::from_bytes_per_sec(bps)?;
         Ok(Simulator::new(base.with_bandwidth(bw))
-            .run_prepared(trace, &index)?
+            .run_compiled(&prog)?
             .total_time())
     };
     if time_at(reference)? > target {

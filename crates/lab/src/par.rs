@@ -19,6 +19,8 @@
 
 use std::cell::Cell;
 
+use crate::error::LabError;
+
 thread_local! {
     /// Set inside worker threads: nested `par_map` calls run inline
     /// instead of spawning threads-of-threads.
@@ -27,40 +29,57 @@ thread_local! {
 
 /// Worker count for the next top-level [`par_map`]: `OVLSIM_THREADS` if
 /// set to a positive integer, else the machine's available parallelism.
-/// An unparseable value is reported on stderr and ignored rather than
-/// silently serializing the whole run.
-pub(crate) fn max_threads() -> usize {
+///
+/// # Errors
+///
+/// Returns [`LabError::InvalidThreadConfig`] when `OVLSIM_THREADS` is set
+/// but is not a positive integer. The user explicitly asked for a worker
+/// count; running with some *other* count (or serializing the whole run)
+/// would silently invalidate whatever scaling measurement they were
+/// after, so the misconfiguration surfaces as a hard error instead of a
+/// fallback.
+pub(crate) fn configured_threads() -> Result<usize, LabError> {
     let available = || {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     };
     match std::env::var("OVLSIM_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) => n.max(1),
-            Err(_) => {
-                eprintln!(
-                    "ovlsim-lab: ignoring unparseable OVLSIM_THREADS={v:?} \
-                     (want a positive integer); using available parallelism"
-                );
-                available()
-            }
-        },
-        Err(_) => available(),
+        Ok(v) => parse_threads(&v),
+        Err(std::env::VarError::NotPresent) => Ok(available()),
+        Err(std::env::VarError::NotUnicode(v)) => Err(LabError::InvalidThreadConfig {
+            value: v.to_string_lossy().into_owned(),
+        }),
+    }
+}
+
+/// Parses an explicit `OVLSIM_THREADS` setting (split out so tests can
+/// exercise the policy without racing on the process environment).
+fn parse_threads(v: &str) -> Result<usize, LabError> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(LabError::InvalidThreadConfig {
+            value: v.to_string(),
+        }),
     }
 }
 
 /// Maps `f` over `items`, returning results in input order. Runs on up to
-/// [`max_threads`] scoped threads when the `parallel` feature is enabled
-/// and this is a top-level call; otherwise sequentially. Panics in `f`
-/// propagate to the caller.
-pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// [`configured_threads`] scoped threads when the `parallel` feature is
+/// enabled and this is a top-level call; otherwise sequentially. Panics in
+/// `f` propagate to the caller.
+///
+/// # Errors
+///
+/// Returns [`LabError::InvalidThreadConfig`] on a malformed
+/// `OVLSIM_THREADS` (see [`configured_threads`]).
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, LabError>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_with(items, max_threads(), f)
+    Ok(par_map_with(items, configured_threads()?, f))
 }
 
 /// [`par_map`] with an explicit worker cap (used by tests and scaling
@@ -153,6 +172,18 @@ mod tests {
         for (x, row) in out.iter().enumerate() {
             assert_eq!(row.len(), 8);
             assert_eq!(row[3], x as u64 * 100 + 3);
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_parse() {
+        assert!(matches!(parse_threads("1"), Ok(1)));
+        assert!(matches!(parse_threads(" 8 "), Ok(8)));
+        for bad in ["", "0", "-2", "two", "3.5", "4threads"] {
+            match parse_threads(bad) {
+                Err(LabError::InvalidThreadConfig { value }) => assert_eq!(value, bad),
+                other => panic!("OVLSIM_THREADS={bad:?} should be rejected, got {other:?}"),
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! Bandwidth sweeps (the x-axis of every figure in the paper) and the
 //! hierarchical-platform sweep over node packing × intra-node bandwidth.
 
-use ovlsim_core::{Bandwidth, Platform, Time, TraceIndex, TraceSet};
+use ovlsim_core::{Bandwidth, CompiledTrace, Platform, Time, TraceIndex, TraceSet};
 use ovlsim_dimemas::{SimError, Simulator};
 use ovlsim_tracer::{OverlapMode, TraceBundle};
 
@@ -30,6 +30,15 @@ pub fn log_bandwidths(lo: f64, hi: f64, points: usize) -> Vec<Bandwidth> {
             Bandwidth::from_bytes_per_sec(bps).expect("interpolated bandwidth is positive")
         })
         .collect()
+}
+
+/// Validates, channel-indexes and compiles a trace in one step — the
+/// once-per-trace cost every sweep and bisection pays before fanning its
+/// points out over the shared [`CompiledTrace`].
+pub(crate) fn compile_trace(ts: &TraceSet) -> Result<CompiledTrace, LabError> {
+    let index =
+        TraceIndex::build(ts).map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))?;
+    Ok(CompiledTrace::compile(ts, &index)?)
 }
 
 /// One measurement of original vs overlapped at a single bandwidth.
@@ -71,23 +80,32 @@ impl SweepPoint {
 ///
 /// The traces are bandwidth-independent (the transform works in the
 /// instruction domain), so they are synthesized once by the caller and
-/// replayed per point here. Each trace is validated and channel-indexed
-/// **once**; every point then replays via
-/// [`Simulator::run_prepared`], and with the `parallel` feature the points
-/// fan out across threads (each point is an independent `Simulator` over
-/// immutable traces). Results are byte-identical to the sequential path —
-/// they come back in bandwidth order regardless of scheduling.
+/// replayed per point here. Each trace is validated, channel-indexed and
+/// **compiled** once ([`CompiledTrace::compile`]); every point then
+/// executes the shared flat program via [`Simulator::run_compiled`], and
+/// with the `parallel` feature the points fan out across threads (each
+/// point is an independent `Simulator` over the shared `&CompiledTrace`).
+/// Results are byte-identical to the sequential path — and to the
+/// uncompiled engines — and come back in bandwidth order regardless of
+/// scheduling.
 ///
 /// # Errors
 ///
-/// Propagates replay errors.
+/// Propagates validation, compilation and replay errors, and rejects a
+/// malformed `OVLSIM_THREADS` ([`LabError::InvalidThreadConfig`]).
 pub fn sweep_traces(
     original: &TraceSet,
     overlapped: &TraceSet,
     base: &Platform,
     bandwidths: &[Bandwidth],
 ) -> Result<Vec<SweepPoint>, LabError> {
-    sweep_traces_threaded(original, overlapped, base, bandwidths, par::max_threads())
+    sweep_traces_threaded(
+        original,
+        overlapped,
+        base,
+        bandwidths,
+        par::configured_threads()?,
+    )
 }
 
 /// [`sweep_traces`] with an explicit worker cap (exposed for scaling
@@ -100,15 +118,13 @@ pub fn sweep_traces_threaded(
     bandwidths: &[Bandwidth],
     threads: usize,
 ) -> Result<Vec<SweepPoint>, LabError> {
-    let index = |ts: &TraceSet| -> Result<TraceIndex, LabError> {
-        TraceIndex::build(ts).map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))
-    };
-    let orig_index = index(original)?;
-    let ovl_index = index(overlapped)?;
+    // Compile once: every point shares the same flat programs.
+    let orig_prog = compile_trace(original)?;
+    let ovl_prog = compile_trace(overlapped)?;
     let point_at = |bw: Bandwidth| -> Result<SweepPoint, LabError> {
         let sim = Simulator::new(base.with_bandwidth(bw));
-        let orig = sim.run_prepared(original, &orig_index)?;
-        let ovl = sim.run_prepared(overlapped, &ovl_index)?;
+        let orig = sim.run_compiled(&orig_prog)?;
+        let ovl = sim.run_compiled(&ovl_prog)?;
         Ok(SweepPoint {
             bandwidth: bw,
             original: orig.total_time(),
@@ -160,15 +176,18 @@ impl NodePackingPoint {
 /// Each grid point keeps `base`'s inter-node fabric and varies only where
 /// ranks live and how fast their shared-memory path is: packing more ranks
 /// per node converts traffic from the bus/NIC domain into the intra-node
-/// domain. The traces are validated and channel-indexed **once**; every
-/// point replays via [`Simulator::run_prepared`] (the index depends only
-/// on the trace, not the platform), and with the `parallel` feature the
-/// points fan out across threads with byte-identical, grid-ordered
-/// results (`ranks_per_node` major, intra-bandwidth minor).
+/// domain. The traces are validated, channel-indexed and **compiled**
+/// once; every point executes the shared program via
+/// [`Simulator::run_compiled`] (the program depends only on the trace,
+/// never on where ranks live — routing is re-derived per run), and with
+/// the `parallel` feature the points fan out across threads with
+/// byte-identical, grid-ordered results (`ranks_per_node` major,
+/// intra-bandwidth minor).
 ///
 /// # Errors
 ///
-/// Propagates replay errors.
+/// Propagates validation, compilation and replay errors, and rejects a
+/// malformed `OVLSIM_THREADS` ([`LabError::InvalidThreadConfig`]).
 pub fn sweep_node_packing(
     original: &TraceSet,
     overlapped: &TraceSet,
@@ -182,7 +201,7 @@ pub fn sweep_node_packing(
         base,
         ranks_per_node,
         intra_bandwidths,
-        par::max_threads(),
+        par::configured_threads()?,
     )
 }
 
@@ -197,11 +216,10 @@ pub fn sweep_node_packing_threaded(
     intra_bandwidths: &[Bandwidth],
     threads: usize,
 ) -> Result<Vec<NodePackingPoint>, LabError> {
-    let index = |ts: &TraceSet| -> Result<TraceIndex, LabError> {
-        TraceIndex::build(ts).map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))
-    };
-    let orig_index = index(original)?;
-    let ovl_index = index(overlapped)?;
+    // Compile once: the program depends only on the trace, never on where
+    // ranks live, so every packing point shares it.
+    let orig_prog = compile_trace(original)?;
+    let ovl_prog = compile_trace(overlapped)?;
     let grid: Vec<(u32, Bandwidth)> = ranks_per_node
         .iter()
         .flat_map(|&rpn| intra_bandwidths.iter().map(move |&bw| (rpn, bw)))
@@ -211,8 +229,8 @@ pub fn sweep_node_packing_threaded(
             .with_ranks_per_node(rpn)
             .with_intra_node_bandwidth(intra_bw);
         let sim = Simulator::new(platform);
-        let orig = sim.run_prepared(original, &orig_index)?;
-        let ovl = sim.run_prepared(overlapped, &ovl_index)?;
+        let orig = sim.run_compiled(&orig_prog)?;
+        let ovl = sim.run_compiled(&ovl_prog)?;
         Ok(NodePackingPoint {
             ranks_per_node: rpn,
             intra_bandwidth: intra_bw,
