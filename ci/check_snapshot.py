@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Sanity- and regression-check a perf_snapshot JSON file.
+
+Usage:
+    python3 ci/check_snapshot.py BENCH_ci.json [BENCH_baseline.json]
+
+Two layers of checking:
+
+1. Structural sanity (always): every ``*speedup*`` field and every
+   ``scaling_*`` field except ``scaling_note`` must be a finite positive
+   number, and at least MIN_SPEEDUP_FIELDS of them must exist — a schema
+   change that silently drops the speedup fields should fail loudly, not
+   pass vacuously.
+
+2. Baseline comparison (when a second file is given): each speedup field
+   present in *both* snapshots must not collapse below
+   ``TOLERANCE * baseline``. The tolerance is deliberately generous — CI
+   runners are noisy, shared, and differently-provisioned, so this gate
+   only catches *gross* regressions (an engine accidentally falling back
+   to a slow path), not few-percent drift. Absolute records/sec fields are
+   never compared: they track host speed, not code quality.
+
+Exit status: 0 ok, 1 check failed, 2 usage/IO error.
+"""
+
+import json
+import math
+import sys
+
+MIN_SPEEDUP_FIELDS = 4
+# A speedup may shrink to a third of its recorded baseline before we call
+# it a regression. Speedups are ratios of two measurements on the same
+# host, so they are far more stable than raw throughput — but 3x headroom
+# still absorbs the worst CI-runner noise observed in practice.
+TOLERANCE = 1.0 / 3.0
+
+
+def walk(prefix, node, out):
+    """Collects {dotted.path: value} for every checkable numeric field."""
+    for key, value in node.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            walk(path, value, out)
+        elif "speedup" in key or (key.startswith("scaling_") and key != "scaling_note"):
+            out[path] = value
+
+
+def check_sanity(snap):
+    fields = {}
+    walk("", snap, fields)
+    failures = []
+    for path, value in sorted(fields.items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            failures.append(f"{path} is not numeric: {value!r}")
+        elif not (math.isfinite(value) and value > 0):
+            failures.append(f"{path} = {value} (want finite and > 0)")
+    if len(fields) < MIN_SPEEDUP_FIELDS:
+        failures.append(
+            f"only {len(fields)} speedup/scaling fields found "
+            f"(want >= {MIN_SPEEDUP_FIELDS}); snapshot schema changed?"
+        )
+    return fields, failures
+
+
+def check_against_baseline(fields, baseline):
+    base_fields = {}
+    walk("", baseline, base_fields)
+    failures = []
+    compared = 0
+    for path, base_value in sorted(base_fields.items()):
+        if "speedup" not in path.rsplit(".", 1)[-1]:
+            continue  # scaling_* wall-clock ratios are host-dependent
+        if path not in fields:
+            continue  # schema may gain/lose sections between PRs
+        value = fields[path]
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue  # already reported by check_sanity; < would TypeError
+
+        compared += 1
+        floor = base_value * TOLERANCE
+        if value < floor:
+            failures.append(
+                f"{path} = {value} is a gross regression vs baseline "
+                f"{base_value} (floor {floor:.2f})"
+            )
+    if compared == 0:
+        # A gate that compares nothing is not a gate: the baseline's
+        # schema no longer overlaps the snapshot's (or the wrong file was
+        # passed) — fail loudly instead of vacuously passing.
+        failures.append(
+            "no speedup fields overlap between snapshot and baseline; "
+            "regenerate BENCH_baseline.json or fix the field names"
+        )
+    return compared, failures
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        snap = json.load(open(argv[1]))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {argv[1]}: {e}", file=sys.stderr)
+        return 2
+
+    fields, failures = check_sanity(snap)
+    if not failures:
+        print(f"ok: {len(fields)} speedup/scaling fields finite and positive")
+
+    if len(argv) == 3:
+        try:
+            baseline = json.load(open(argv[2]))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot load {argv[2]}: {e}", file=sys.stderr)
+            return 2
+        compared, base_failures = check_against_baseline(fields, baseline)
+        failures.extend(base_failures)
+        if not base_failures:
+            print(
+                f"ok: {compared} speedup fields within {1 / TOLERANCE:.0f}x "
+                f"of {argv[2]}"
+            )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -39,6 +39,7 @@ mod kernels;
 mod nas_bt;
 mod nas_cg;
 mod pop;
+pub mod registry;
 mod specfem;
 mod sweep3d;
 mod synthetic;

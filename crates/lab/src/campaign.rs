@@ -1,0 +1,1217 @@
+//! Declarative campaign runner: `app × ProblemClass × platform-grid ×
+//! engine` studies described as data instead of hand-rolled binaries.
+//!
+//! A *campaign* is a grid of scenarios over the paper's workflow — trace
+//! an application once, replay it across many simulated platform points —
+//! written in a small line-oriented spec format (see
+//! [`CampaignSpec::parse`]). The runner expands the grid, traces and
+//! compiles each `app × class × mode` combination **once**, fans the
+//! platform points out through the same deterministic thread pool the
+//! sweeps use, and renders the results as byte-stable JSON and CSV
+//! reports. Committing a report as a *golden* turns any behavioral drift
+//! into a one-line diff ([`diff_reports`]), which is what the CI campaign
+//! job gates on.
+//!
+//! # Spec format
+//!
+//! One `key value...` statement per line; `#` starts a comment; blank
+//! lines are ignored; keys may appear at most once.
+//!
+//! ```text
+//! campaign paper            # required: report name
+//! apps nas-bt pop alya      # required: registered app names
+//! bandwidths log 1e7 1e10 5 # required: `log <lo> <hi> <points>` bytes/s
+//!                           #        or `list <v> <v> ...`
+//! classes S A               # optional: problem classes (default A)
+//! modes linear real         # optional: overlap modes (default linear)
+//! engines compiled naive    # optional: replay engines (default compiled)
+//! ranks-per-node 1 4        # optional: node packings (default 1 = flat)
+//! intra-bandwidth 1e10      # optional: shared-memory bytes/s (default 1e10)
+//! latency-us 5              # optional: wire latency (default 5)
+//! ranks 16                  # optional: override every app's rank count
+//! iterations 2              # optional: override every app's iterations
+//! ```
+//!
+//! Modes are [`OverlapMode`] labels without the `ovl-` prefix: `real`,
+//! `linear`, optionally suffixed `-earlysend`, `-latewait` or `-chunked`
+//! to enable only half of the mechanism.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ovlsim_apps::registry::{build_app, AppOverrides};
+use ovlsim_apps::ProblemClass;
+use ovlsim_core::{Bandwidth, CompiledTrace, Platform, Time, TraceIndex, TraceSet};
+use ovlsim_dimemas::{replay_naive, SimError, Simulator};
+use ovlsim_tracer::{Mechanisms, OverlapMode, PatternSource, TracingSession};
+
+use crate::error::LabError;
+use crate::par;
+
+/// A replay engine selectable per campaign. All three produce
+/// bit-identical [`ReplayResult`](ovlsim_dimemas::ReplayResult)s; naive
+/// and prepared exist in campaigns to cross-check the compiled fast path
+/// on any scenario a spec can describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Flat SoA replay program ([`Simulator::run_compiled`]) — the fast
+    /// path, and the default.
+    Compiled,
+    /// Channel-indexed replay over the record stream
+    /// ([`Simulator::run_prepared`]).
+    Prepared,
+    /// The reference engine kept from the seed
+    /// ([`ovlsim_dimemas::replay_naive`]).
+    Naive,
+}
+
+impl Engine {
+    fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "compiled" => Some(Engine::Compiled),
+            "prepared" => Some(Engine::Prepared),
+            "naive" => Some(Engine::Naive),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Compiled => "compiled",
+            Engine::Prepared => "prepared",
+            Engine::Naive => "naive",
+        })
+    }
+}
+
+/// A structural error in a campaign spec, with the 1-based line it was
+/// found on where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The spec contains no statements at all.
+    Empty,
+    /// A line starts with an unrecognized key.
+    UnknownKey {
+        /// 1-based spec line.
+        line: usize,
+        /// The offending key.
+        key: String,
+    },
+    /// A key appears more than once.
+    DuplicateKey {
+        /// 1-based spec line of the second occurrence.
+        line: usize,
+        /// The repeated key.
+        key: String,
+    },
+    /// A required key never appears.
+    MissingKey {
+        /// The absent key.
+        key: &'static str,
+    },
+    /// A key appears with no values after it.
+    MissingValue {
+        /// 1-based spec line.
+        line: usize,
+        /// The valueless key.
+        key: String,
+    },
+    /// An `apps` entry names no registered application.
+    UnknownApp {
+        /// 1-based spec line.
+        line: usize,
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A `classes` entry is not one of S, W, A, B.
+    UnknownClass {
+        /// 1-based spec line.
+        line: usize,
+        /// The unrecognized value.
+        value: String,
+    },
+    /// A `modes` entry is not a recognized overlap-mode label.
+    UnknownMode {
+        /// 1-based spec line.
+        line: usize,
+        /// The unrecognized value.
+        value: String,
+    },
+    /// An `engines` entry is not `compiled`, `prepared` or `naive`.
+    UnknownEngine {
+        /// 1-based spec line.
+        line: usize,
+        /// The unrecognized value.
+        value: String,
+    },
+    /// A numeric value failed to parse or is out of domain.
+    MalformedNumber {
+        /// 1-based spec line.
+        line: usize,
+        /// The key being parsed.
+        key: String,
+        /// The offending token.
+        value: String,
+    },
+    /// A grid range is structurally empty or inverted.
+    EmptyRange {
+        /// 1-based spec line.
+        line: usize,
+        /// The key being parsed.
+        key: String,
+        /// Why the range denotes no points.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "spec contains no statements"),
+            SpecError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown key `{key}`")
+            }
+            SpecError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: key `{key}` given more than once")
+            }
+            SpecError::MissingKey { key } => write!(f, "required key `{key}` is missing"),
+            SpecError::MissingValue { line, key } => {
+                write!(f, "line {line}: key `{key}` needs at least one value")
+            }
+            SpecError::UnknownApp { line, name } => write!(
+                f,
+                "line {line}: unknown app `{name}` (expected one of {})",
+                ovlsim_apps::registry::APP_NAMES.join(" ")
+            ),
+            SpecError::UnknownClass { line, value } => write!(
+                f,
+                "line {line}: unknown problem class `{value}` (expected S, W, A or B)"
+            ),
+            SpecError::UnknownMode { line, value } => write!(
+                f,
+                "line {line}: unknown overlap mode `{value}` (expected real or linear, \
+                 optionally suffixed -earlysend, -latewait or -chunked)"
+            ),
+            SpecError::UnknownEngine { line, value } => write!(
+                f,
+                "line {line}: unknown engine `{value}` (expected compiled, prepared or naive)"
+            ),
+            SpecError::MalformedNumber { line, key, value } => {
+                write!(
+                    f,
+                    "line {line}: `{key}` value `{value}` is not a valid number"
+                )
+            }
+            SpecError::EmptyRange { line, key, reason } => {
+                write!(f, "line {line}: `{key}` denotes no points: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses an overlap-mode label (an [`OverlapMode::label`] without the
+/// `ovl-` prefix).
+fn parse_mode(s: &str) -> Option<OverlapMode> {
+    let (pattern, rest) = if let Some(rest) = s.strip_prefix("real") {
+        (PatternSource::Real, rest)
+    } else if let Some(rest) = s.strip_prefix("linear") {
+        (PatternSource::Linear, rest)
+    } else {
+        return None;
+    };
+    let mechanisms = match rest {
+        "" => Mechanisms::BOTH,
+        "-earlysend" => Mechanisms::EARLY_SEND_ONLY,
+        "-latewait" => Mechanisms::LATE_WAIT_ONLY,
+        "-chunked" => Mechanisms::NONE,
+        _ => return None,
+    };
+    Some(OverlapMode {
+        pattern,
+        mechanisms,
+    })
+}
+
+fn parse_class(s: &str) -> Option<ProblemClass> {
+    match s {
+        "S" => Some(ProblemClass::S),
+        "W" => Some(ProblemClass::W),
+        "A" => Some(ProblemClass::A),
+        "B" => Some(ProblemClass::B),
+        _ => None,
+    }
+}
+
+/// A parsed, validated campaign description.
+///
+/// Construct with [`CampaignSpec::parse`]; run with [`run_campaign`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign (and report) name.
+    pub name: String,
+    /// Registered application names, in spec order.
+    pub apps: Vec<String>,
+    /// Problem classes to trace each app at.
+    pub classes: Vec<ProblemClass>,
+    /// Overlap modes to synthesize per trace.
+    pub modes: Vec<OverlapMode>,
+    /// Replay engines to run each point on.
+    pub engines: Vec<Engine>,
+    /// Inter-node bandwidth points.
+    pub bandwidths: Vec<Bandwidth>,
+    /// Node packings (1 = flat platform).
+    pub ranks_per_node: Vec<u32>,
+    /// Shared-memory bandwidth for packed points.
+    pub intra_bandwidth: Bandwidth,
+    /// Wire latency.
+    pub latency: Time,
+    /// Optional override of every app's rank count.
+    pub ranks: Option<usize>,
+    /// Optional override of every app's iteration count.
+    pub iterations: Option<usize>,
+}
+
+/// One expanded grid point (the unit [`run_campaign`] replays twice:
+/// original and overlapped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPoint {
+    /// Application name.
+    pub app: String,
+    /// Problem class.
+    pub class: ProblemClass,
+    /// Overlap-mode label (`ovl-linear`, …).
+    pub mode: String,
+    /// Replay engine.
+    pub engine: Engine,
+    /// Ranks per node.
+    pub ranks_per_node: u32,
+    /// Inter-node bandwidth.
+    pub bandwidth: Bandwidth,
+}
+
+impl CampaignSpec {
+    /// Parses a spec from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] encountered, with its line number.
+    pub fn parse(text: &str) -> Result<CampaignSpec, SpecError> {
+        let mut name: Option<String> = None;
+        let mut apps: Option<Vec<String>> = None;
+        let mut classes: Option<Vec<ProblemClass>> = None;
+        let mut modes: Option<Vec<OverlapMode>> = None;
+        let mut engines: Option<Vec<Engine>> = None;
+        let mut bandwidths: Option<Vec<Bandwidth>> = None;
+        let mut ranks_per_node: Option<Vec<u32>> = None;
+        let mut intra_bandwidth: Option<Bandwidth> = None;
+        let mut latency: Option<Time> = None;
+        let mut ranks: Option<usize> = None;
+        let mut iterations: Option<usize> = None;
+
+        let mut saw_statement = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let stmt = raw.split('#').next().unwrap_or("").trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            saw_statement = true;
+            let mut tokens = stmt.split_whitespace();
+            let key = tokens.next().expect("non-empty statement has a key");
+            let values: Vec<&str> = tokens.collect();
+            let dup = |taken: bool| -> Result<(), SpecError> {
+                if taken {
+                    Err(SpecError::DuplicateKey {
+                        line,
+                        key: key.to_string(),
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            let nonempty = || -> Result<(), SpecError> {
+                if values.is_empty() {
+                    Err(SpecError::MissingValue {
+                        line,
+                        key: key.to_string(),
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            let number = |value: &str| -> Result<f64, SpecError> {
+                value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite())
+                    .ok_or_else(|| SpecError::MalformedNumber {
+                        line,
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    })
+            };
+            let positive_bandwidth = |value: &str| -> Result<Bandwidth, SpecError> {
+                Bandwidth::from_bytes_per_sec(number(value)?).map_err(|_| {
+                    SpecError::MalformedNumber {
+                        line,
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    }
+                })
+            };
+            match key {
+                "campaign" => {
+                    dup(name.is_some())?;
+                    nonempty()?;
+                    name = Some(values.join("-"));
+                }
+                "apps" => {
+                    dup(apps.is_some())?;
+                    nonempty()?;
+                    let mut list = Vec::new();
+                    for v in &values {
+                        if !ovlsim_apps::registry::is_registered(v) {
+                            return Err(SpecError::UnknownApp {
+                                line,
+                                name: v.to_string(),
+                            });
+                        }
+                        list.push(v.to_string());
+                    }
+                    apps = Some(list);
+                }
+                "classes" => {
+                    dup(classes.is_some())?;
+                    nonempty()?;
+                    let mut list = Vec::new();
+                    for v in &values {
+                        list.push(parse_class(v).ok_or_else(|| SpecError::UnknownClass {
+                            line,
+                            value: v.to_string(),
+                        })?);
+                    }
+                    classes = Some(list);
+                }
+                "modes" => {
+                    dup(modes.is_some())?;
+                    nonempty()?;
+                    let mut list = Vec::new();
+                    for v in &values {
+                        list.push(parse_mode(v).ok_or_else(|| SpecError::UnknownMode {
+                            line,
+                            value: v.to_string(),
+                        })?);
+                    }
+                    modes = Some(list);
+                }
+                "engines" => {
+                    dup(engines.is_some())?;
+                    nonempty()?;
+                    let mut list = Vec::new();
+                    for v in &values {
+                        list.push(Engine::parse(v).ok_or_else(|| SpecError::UnknownEngine {
+                            line,
+                            value: v.to_string(),
+                        })?);
+                    }
+                    engines = Some(list);
+                }
+                "bandwidths" => {
+                    dup(bandwidths.is_some())?;
+                    nonempty()?;
+                    match values[0] {
+                        "log" => {
+                            if values.len() != 4 {
+                                return Err(SpecError::EmptyRange {
+                                    line,
+                                    key: key.to_string(),
+                                    reason: format!(
+                                        "`log` takes exactly <lo> <hi> <points>, got {} values",
+                                        values.len() - 1
+                                    ),
+                                });
+                            }
+                            let lo = number(values[1])?;
+                            let hi = number(values[2])?;
+                            let points: usize =
+                                values[3].parse().map_err(|_| SpecError::MalformedNumber {
+                                    line,
+                                    key: key.to_string(),
+                                    value: values[3].to_string(),
+                                })?;
+                            if !(lo > 0.0 && hi >= lo) {
+                                return Err(SpecError::EmptyRange {
+                                    line,
+                                    key: key.to_string(),
+                                    reason: format!("need 0 < lo <= hi, got lo={lo} hi={hi}"),
+                                });
+                            }
+                            if points == 0 || (points == 1 && hi > lo) {
+                                return Err(SpecError::EmptyRange {
+                                    line,
+                                    key: key.to_string(),
+                                    reason: format!(
+                                        "need at least 2 points to span {lo}..{hi} (got {points})"
+                                    ),
+                                });
+                            }
+                            // Quantize the interpolated grid to integer
+                            // bytes/s: ln/exp are not IEEE-specified, so
+                            // raw results can differ by an ulp across
+                            // libm versions — a committed golden report
+                            // must not depend on the host's math library.
+                            let grid = crate::log_bandwidths(lo, hi, points)
+                                .into_iter()
+                                .map(|bw| {
+                                    Bandwidth::from_bytes_per_sec(
+                                        bw.bytes_per_sec().round().max(1.0),
+                                    )
+                                    .expect("rounded positive bandwidth is valid")
+                                })
+                                .collect();
+                            bandwidths = Some(grid);
+                        }
+                        "list" => {
+                            if values.len() < 2 {
+                                return Err(SpecError::EmptyRange {
+                                    line,
+                                    key: key.to_string(),
+                                    reason: "`list` needs at least one value".to_string(),
+                                });
+                            }
+                            let mut list = Vec::new();
+                            for v in &values[1..] {
+                                list.push(positive_bandwidth(v)?);
+                            }
+                            bandwidths = Some(list);
+                        }
+                        other => {
+                            return Err(SpecError::EmptyRange {
+                                line,
+                                key: key.to_string(),
+                                reason: format!("expected `log` or `list`, got `{other}`"),
+                            });
+                        }
+                    }
+                }
+                "ranks-per-node" => {
+                    dup(ranks_per_node.is_some())?;
+                    nonempty()?;
+                    let mut list = Vec::new();
+                    for v in &values {
+                        let rpn: u32 = v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            SpecError::MalformedNumber {
+                                line,
+                                key: key.to_string(),
+                                value: v.to_string(),
+                            }
+                        })?;
+                        list.push(rpn);
+                    }
+                    ranks_per_node = Some(list);
+                }
+                "intra-bandwidth" => {
+                    dup(intra_bandwidth.is_some())?;
+                    nonempty()?;
+                    intra_bandwidth = Some(positive_bandwidth(values[0])?);
+                }
+                "latency-us" => {
+                    dup(latency.is_some())?;
+                    nonempty()?;
+                    let us: u64 =
+                        values[0]
+                            .parse()
+                            .ok()
+                            .ok_or_else(|| SpecError::MalformedNumber {
+                                line,
+                                key: key.to_string(),
+                                value: values[0].to_string(),
+                            })?;
+                    latency = Some(Time::from_us(us));
+                }
+                "ranks" => {
+                    dup(ranks.is_some())?;
+                    nonempty()?;
+                    ranks = Some(values[0].parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        SpecError::MalformedNumber {
+                            line,
+                            key: key.to_string(),
+                            value: values[0].to_string(),
+                        }
+                    })?);
+                }
+                "iterations" => {
+                    dup(iterations.is_some())?;
+                    nonempty()?;
+                    iterations =
+                        Some(values[0].parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            SpecError::MalformedNumber {
+                                line,
+                                key: key.to_string(),
+                                value: values[0].to_string(),
+                            }
+                        })?);
+                }
+                _ => {
+                    return Err(SpecError::UnknownKey {
+                        line,
+                        key: key.to_string(),
+                    });
+                }
+            }
+        }
+
+        if !saw_statement {
+            return Err(SpecError::Empty);
+        }
+        Ok(CampaignSpec {
+            name: name.ok_or(SpecError::MissingKey { key: "campaign" })?,
+            apps: apps.ok_or(SpecError::MissingKey { key: "apps" })?,
+            classes: classes.unwrap_or_else(|| vec![ProblemClass::A]),
+            modes: modes.unwrap_or_else(|| vec![OverlapMode::linear()]),
+            engines: engines.unwrap_or_else(|| vec![Engine::Compiled]),
+            bandwidths: bandwidths.ok_or(SpecError::MissingKey { key: "bandwidths" })?,
+            ranks_per_node: ranks_per_node.unwrap_or_else(|| vec![1]),
+            intra_bandwidth: intra_bandwidth.unwrap_or_else(|| {
+                Bandwidth::from_bytes_per_sec(1.0e10).expect("default intra bandwidth is valid")
+            }),
+            latency: latency.unwrap_or_else(|| Time::from_us(5)),
+            ranks,
+            iterations,
+        })
+    }
+
+    /// Expands the grid into its points, in report order: app-major, then
+    /// class, mode, engine, ranks-per-node, bandwidth.
+    pub fn expand(&self) -> Vec<CampaignPoint> {
+        let mut points = Vec::with_capacity(self.point_count());
+        for app in &self.apps {
+            for &class in &self.classes {
+                for &mode in &self.modes {
+                    for &engine in &self.engines {
+                        for &rpn in &self.ranks_per_node {
+                            for &bw in &self.bandwidths {
+                                points.push(CampaignPoint {
+                                    app: app.clone(),
+                                    class,
+                                    mode: mode.label(),
+                                    engine,
+                                    ranks_per_node: rpn,
+                                    bandwidth: bw,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Number of grid points ([`CampaignSpec::expand`] without the
+    /// allocation).
+    pub fn point_count(&self) -> usize {
+        self.apps.len()
+            * self.classes.len()
+            * self.modes.len()
+            * self.engines.len()
+            * self.ranks_per_node.len()
+            * self.bandwidths.len()
+    }
+}
+
+/// One measured campaign point: original vs overlapped makespan on one
+/// platform under one engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Application name.
+    pub app: String,
+    /// Problem class the app was traced at.
+    pub class: ProblemClass,
+    /// Overlap-mode label.
+    pub mode: String,
+    /// Replay engine that produced this row.
+    pub engine: Engine,
+    /// Ranks per node of the platform point.
+    pub ranks_per_node: u32,
+    /// Inter-node bandwidth of the platform point.
+    pub bandwidth: Bandwidth,
+    /// Makespan of the original execution.
+    pub original: Time,
+    /// Makespan of the overlapped execution.
+    pub overlapped: Time,
+    /// Fraction of rank-time the original spends communicating.
+    pub comm_fraction: f64,
+}
+
+impl CampaignRow {
+    /// `original / overlapped` makespan ratio (degenerate zero overlapped
+    /// makespan counts as parity).
+    pub fn speedup(&self) -> f64 {
+        if self.overlapped.is_zero() {
+            return 1.0;
+        }
+        self.original.as_secs_f64() / self.overlapped.as_secs_f64()
+    }
+}
+
+/// A completed campaign: every grid point measured, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub campaign: String,
+    /// Measured rows in [`CampaignSpec::expand`] order.
+    pub rows: Vec<CampaignRow>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl CampaignReport {
+    /// Renders the report as deterministic JSON: one row per line, times
+    /// as integer picoseconds, floats in Rust's shortest-roundtrip form.
+    /// Identical simulations produce byte-identical output, which is what
+    /// golden comparison and the determinism tests rely on.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"campaign\": \"{}\",\n",
+            json_escape(&self.campaign)
+        ));
+        out.push_str(&format!("  \"points\": {},\n", self.rows.len()));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"app\":\"{}\",\"class\":\"{}\",\"mode\":\"{}\",\"engine\":\"{}\",\
+                 \"ranks_per_node\":{},\"bandwidth_bytes_per_sec\":{},\
+                 \"original_ps\":{},\"overlapped_ps\":{},\
+                 \"comm_fraction\":{},\"speedup\":{}}}{sep}\n",
+                json_escape(&row.app),
+                row.class,
+                json_escape(&row.mode),
+                row.engine,
+                row.ranks_per_node,
+                row.bandwidth.bytes_per_sec(),
+                row.original.as_ps(),
+                row.overlapped.as_ps(),
+                row.comm_fraction,
+                row.speedup(),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the report as CSV with the same columns as the JSON rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "app,class,mode,engine,ranks_per_node,bandwidth_bytes_per_sec,\
+             original_ps,overlapped_ps,comm_fraction,speedup\n",
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                row.app,
+                row.class,
+                row.mode,
+                row.engine,
+                row.ranks_per_node,
+                row.bandwidth.bytes_per_sec(),
+                row.original.as_ps(),
+                row.overlapped.as_ps(),
+                row.comm_fraction,
+                row.speedup(),
+            ));
+        }
+        out
+    }
+}
+
+/// One differing line between two rendered reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportDiff {
+    /// 1-based line number in the reports.
+    pub line: usize,
+    /// The line in the expected (golden) report, or `"<absent>"`.
+    pub expected: String,
+    /// The line in the actual report, or `"<absent>"`.
+    pub actual: String,
+}
+
+/// Compares two rendered reports line by line.
+///
+/// Reports are deterministic and line-oriented (one grid point per line),
+/// so a plain line diff *is* a semantic diff: each entry names the first
+/// divergent value of a drifted point. Returns an empty vec iff the
+/// reports are byte-identical.
+pub fn diff_reports(expected: &str, actual: &str) -> Vec<ReportDiff> {
+    const ABSENT: &str = "<absent>";
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut diffs = Vec::new();
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            diffs.push(ReportDiff {
+                line: i + 1,
+                expected: e.unwrap_or(ABSENT).to_string(),
+                actual: a.unwrap_or(ABSENT).to_string(),
+            });
+        }
+    }
+    diffs
+}
+
+/// The per-trace data one engine family needs, built once per
+/// `app × class × mode` group. Fields the spec's engine list does not
+/// require are never built (a compiled-only campaign keeps no record
+/// streams or indexes alive; a naive-only campaign compiles nothing).
+struct EngineInput {
+    /// Record stream — kept only for the prepared and naive engines.
+    trace: Option<TraceSet>,
+    /// Channel index — kept only for the prepared engine.
+    index: Option<TraceIndex>,
+    /// Flat replay program — built only for the compiled engine.
+    prog: Option<CompiledTrace>,
+}
+
+impl EngineInput {
+    fn build(ts: TraceSet, engines: &[Engine]) -> Result<EngineInput, LabError> {
+        let needs_prog = engines.contains(&Engine::Compiled);
+        let needs_index = engines.contains(&Engine::Prepared);
+        let needs_trace = needs_index || engines.contains(&Engine::Naive);
+        let (index, prog) = if needs_prog || needs_index {
+            let index = TraceIndex::build(&ts)
+                .map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))?;
+            let prog = if needs_prog {
+                Some(CompiledTrace::compile(&ts, &index)?)
+            } else {
+                None
+            };
+            (needs_index.then_some(index), prog)
+        } else {
+            (None, None)
+        };
+        Ok(EngineInput {
+            trace: needs_trace.then_some(ts),
+            index,
+            prog,
+        })
+    }
+}
+
+/// A traced `app × class × mode` combination: the once-per-group work
+/// every platform point of the group shares.
+struct Group {
+    orig: EngineInput,
+    ovl: EngineInput,
+}
+
+impl Group {
+    /// Replays original and overlapped on `platform`. The `expect`s hold
+    /// by construction: [`EngineInput::build`] receives the same engine
+    /// list this `engine` is drawn from.
+    fn replay(
+        &self,
+        engine: Engine,
+        platform: &Platform,
+    ) -> Result<(ovlsim_dimemas::ReplayResult, ovlsim_dimemas::ReplayResult), SimError> {
+        let input = |e: &EngineInput| match engine {
+            Engine::Compiled => {
+                let prog = e.prog.as_ref().expect("compiled engine was requested");
+                Simulator::new(platform.clone()).run_compiled(prog)
+            }
+            Engine::Prepared => {
+                let trace = e.trace.as_ref().expect("prepared engine was requested");
+                let index = e.index.as_ref().expect("prepared engine was requested");
+                Simulator::new(platform.clone()).run_prepared(trace, index)
+            }
+            Engine::Naive => {
+                let trace = e.trace.as_ref().expect("naive engine was requested");
+                replay_naive(platform, trace)
+            }
+        };
+        Ok((input(&self.orig)?, input(&self.ovl)?))
+    }
+}
+
+/// Runs a campaign with the configured worker count (`OVLSIM_THREADS` or
+/// the machine's available parallelism). Results are byte-identical to the
+/// sequential path.
+///
+/// # Errors
+///
+/// Propagates app construction, tracing, validation, compilation and
+/// replay errors, and a malformed `OVLSIM_THREADS`.
+pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignReport, LabError> {
+    run_campaign_threaded(spec, par::configured_threads()?)
+}
+
+/// [`run_campaign`] with an explicit worker cap (exposed for the
+/// determinism tests and scaling measurements).
+#[doc(hidden)]
+pub fn run_campaign_threaded(
+    spec: &CampaignSpec,
+    threads: usize,
+) -> Result<CampaignReport, LabError> {
+    let overrides = AppOverrides {
+        ranks: spec.ranks,
+        iterations: spec.iterations,
+    };
+    // Once-per-group work, sequential: trace each app×class once, then
+    // synthesize (and index/compile as the engine list requires) each
+    // mode variant once.
+    let mut groups: HashMap<(String, ProblemClass, String), Group> = HashMap::new();
+    for app_name in &spec.apps {
+        for &class in &spec.classes {
+            let app = build_app(app_name, class, overrides)?;
+            let bundle = TracingSession::new(app.as_ref()).run()?;
+            for &mode in &spec.modes {
+                let ovl = bundle.overlapped(mode)?;
+                let orig = bundle.original().clone();
+                groups.insert(
+                    (app_name.clone(), class, mode.label()),
+                    Group {
+                        orig: EngineInput::build(orig, &spec.engines)?,
+                        ovl: EngineInput::build(ovl, &spec.engines)?,
+                    },
+                );
+            }
+        }
+    }
+    // Per-point work: [`CampaignSpec::expand`] is the single owner of the
+    // grid order — its points are fanned out through the shared
+    // deterministic pool and come back as rows in the same order.
+    let points = spec.expand();
+    let base = Platform::builder()
+        .latency(spec.latency)
+        .intra_node_bandwidth(spec.intra_bandwidth)
+        .build();
+    let rows: Result<Vec<CampaignRow>, LabError> = par::par_map_with(&points, threads, |point| {
+        let group = &groups[&(point.app.clone(), point.class, point.mode.clone())];
+        let platform = base
+            .with_bandwidth(point.bandwidth)
+            .with_ranks_per_node(point.ranks_per_node);
+        let (orig, ovl) = group.replay(point.engine, &platform)?;
+        Ok(CampaignRow {
+            app: point.app.clone(),
+            class: point.class,
+            mode: point.mode.clone(),
+            engine: point.engine,
+            ranks_per_node: point.ranks_per_node,
+            bandwidth: point.bandwidth,
+            original: orig.total_time(),
+            overlapped: ovl.total_time(),
+            comm_fraction: orig.comm_fraction(),
+        })
+    })
+    .into_iter()
+    .collect();
+    Ok(CampaignReport {
+        campaign: spec.name.clone(),
+        rows: rows?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = "\
+# a tiny two-point campaign
+campaign mini
+apps sweep3d
+classes S
+modes linear
+bandwidths list 1e8 1e9
+ranks 4
+iterations 1
+";
+
+    #[test]
+    fn parses_full_spec_with_defaults() {
+        let spec = CampaignSpec::parse(MINI).unwrap();
+        assert_eq!(spec.name, "mini");
+        assert_eq!(spec.apps, vec!["sweep3d"]);
+        assert_eq!(spec.classes, vec![ProblemClass::S]);
+        assert_eq!(spec.modes, vec![OverlapMode::linear()]);
+        assert_eq!(spec.engines, vec![Engine::Compiled]);
+        assert_eq!(spec.bandwidths.len(), 2);
+        assert_eq!(spec.ranks_per_node, vec![1]);
+        assert_eq!(spec.ranks, Some(4));
+        assert_eq!(spec.point_count(), 2);
+    }
+
+    #[test]
+    fn log_grid_expands() {
+        let spec = CampaignSpec::parse(
+            "campaign g\napps pop\nbandwidths log 1e6 1e9 4\nranks-per-node 1 2\n",
+        )
+        .unwrap();
+        assert_eq!(spec.bandwidths.len(), 4);
+        assert_eq!(spec.point_count(), 8);
+        let points = spec.expand();
+        assert_eq!(points.len(), 8);
+        // Order: rpn major, bandwidth minor.
+        assert_eq!(points[0].ranks_per_node, 1);
+        assert_eq!(points[3].ranks_per_node, 1);
+        assert_eq!(points[4].ranks_per_node, 2);
+        assert!((points[0].bandwidth.bytes_per_sec() - 1.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        assert_eq!(CampaignSpec::parse(""), Err(SpecError::Empty));
+        assert_eq!(
+            CampaignSpec::parse("# only comments\n\n"),
+            Err(SpecError::Empty)
+        );
+        // A non-empty spec missing its required keys names the first
+        // missing key instead of claiming the spec is empty.
+        assert_eq!(
+            CampaignSpec::parse("classes S\nmodes real\n"),
+            Err(SpecError::MissingKey { key: "campaign" })
+        );
+    }
+
+    #[test]
+    fn log_grid_is_quantized_to_integer_bytes_per_sec() {
+        // ln/exp results vary by an ulp across libm versions; the grid
+        // must not, or committed goldens become host-dependent.
+        let spec =
+            CampaignSpec::parse("campaign q\napps pop\nbandwidths log 1e7 1e10 5\n").unwrap();
+        for bw in &spec.bandwidths {
+            let bps = bw.bytes_per_sec();
+            assert_eq!(bps, bps.round(), "bandwidth {bps} is not an integer");
+        }
+    }
+
+    #[test]
+    fn missing_required_keys_are_rejected() {
+        assert_eq!(
+            CampaignSpec::parse("campaign x\nbandwidths list 1e8\n"),
+            Err(SpecError::MissingKey { key: "apps" })
+        );
+        assert_eq!(
+            CampaignSpec::parse("campaign x\napps pop\n"),
+            Err(SpecError::MissingKey { key: "bandwidths" })
+        );
+        assert_eq!(
+            CampaignSpec::parse("apps pop\nbandwidths list 1e8\n"),
+            Err(SpecError::MissingKey { key: "campaign" })
+        );
+    }
+
+    #[test]
+    fn unknown_app_is_rejected_with_line() {
+        let err =
+            CampaignSpec::parse("campaign x\napps pop hpl\nbandwidths list 1e8\n").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::UnknownApp {
+                line: 2,
+                name: "hpl".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_key_class_mode_engine_are_rejected() {
+        assert!(matches!(
+            CampaignSpec::parse("campaign x\ncolor blue\n").unwrap_err(),
+            SpecError::UnknownKey { line: 2, .. }
+        ));
+        assert!(matches!(
+            CampaignSpec::parse("campaign x\nclasses S Z\n").unwrap_err(),
+            SpecError::UnknownClass { line: 2, .. }
+        ));
+        assert!(matches!(
+            CampaignSpec::parse("campaign x\nmodes linear quadratic\n").unwrap_err(),
+            SpecError::UnknownMode { line: 2, .. }
+        ));
+        assert!(matches!(
+            CampaignSpec::parse("campaign x\nengines compiled turbo\n").unwrap_err(),
+            SpecError::UnknownEngine { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn mode_suffixes_parse() {
+        let spec = CampaignSpec::parse(
+            "campaign x\napps pop\nbandwidths list 1e8\n\
+             modes real linear real-earlysend linear-latewait real-chunked\n",
+        )
+        .unwrap();
+        let labels: Vec<String> = spec.modes.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "ovl-real",
+                "ovl-linear",
+                "ovl-real-earlysend",
+                "ovl-linear-latewait",
+                "ovl-real-chunked"
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_and_valueless_keys_are_rejected() {
+        assert!(matches!(
+            CampaignSpec::parse("campaign x\ncampaign y\n").unwrap_err(),
+            SpecError::DuplicateKey { line: 2, .. }
+        ));
+        assert!(matches!(
+            CampaignSpec::parse("campaign x\napps\n").unwrap_err(),
+            SpecError::MissingValue { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        for bad in [
+            "campaign x\nbandwidths list fast\n",
+            "campaign x\nbandwidths log 1e6 1e9 many\n",
+            "campaign x\nbandwidths list -5\n",
+            "campaign x\nranks-per-node 0\n",
+            "campaign x\nranks one\n",
+            "campaign x\niterations 0\n",
+            "campaign x\nlatency-us 5.5.5\n",
+            "campaign x\nintra-bandwidth nan\n",
+        ] {
+            assert!(
+                matches!(
+                    CampaignSpec::parse(bad).unwrap_err(),
+                    SpecError::MalformedNumber { line: 2, .. }
+                ),
+                "spec {bad:?} should be a malformed number"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ranges_are_rejected() {
+        for bad in [
+            "campaign x\nbandwidths log 1e9 1e6 4\n", // inverted
+            "campaign x\nbandwidths log 0 1e6 4\n",   // zero lo
+            "campaign x\nbandwidths log 1e6 1e9 0\n", // zero points
+            "campaign x\nbandwidths log 1e6 1e9 1\n", // one point, wide span
+            "campaign x\nbandwidths log 1e6 1e9\n",   // missing operand
+            "campaign x\nbandwidths list\n",          // empty list
+            "campaign x\nbandwidths linear 1 2 3\n",  // unknown shape
+        ] {
+            assert!(
+                matches!(
+                    CampaignSpec::parse(bad).unwrap_err(),
+                    SpecError::EmptyRange { line: 2, .. }
+                ),
+                "spec {bad:?} should be an empty range"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_error_displays_mention_the_line() {
+        let err = CampaignSpec::parse("campaign x\napps hal9000\n").unwrap_err();
+        assert!(format!("{err}").contains("line 2"));
+    }
+
+    #[test]
+    fn mini_campaign_runs_and_reports() {
+        let spec = CampaignSpec::parse(MINI).unwrap();
+        let report = run_campaign_threaded(&spec, 1).unwrap();
+        assert_eq!(report.campaign, "mini");
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert_eq!(row.app, "sweep3d");
+            assert!(row.original >= row.overlapped, "overlap never hurts here");
+            assert!(row.speedup() >= 1.0 - 1e-9);
+            assert!(row.comm_fraction > 0.0 && row.comm_fraction < 1.0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"campaign\": \"mini\""));
+        assert!(json.ends_with("}\n"));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3, "header + two rows");
+    }
+
+    #[test]
+    fn engines_cross_check_bit_identical() {
+        let spec = CampaignSpec::parse(
+            "campaign cross\napps sweep3d\nclasses S\nranks 4\niterations 1\n\
+             engines compiled prepared naive\nbandwidths list 2e8\nranks-per-node 1 2\n",
+        )
+        .unwrap();
+        let report = run_campaign_threaded(&spec, 1).unwrap();
+        assert_eq!(report.rows.len(), 6);
+        // Rows pair up (engine major, rpn minor): each engine's pair of
+        // platform points must agree exactly with the other engines'.
+        let by_engine: Vec<&[CampaignRow]> = report.rows.chunks(2).collect();
+        for other in &by_engine[1..] {
+            for (a, b) in by_engine[0].iter().zip(other.iter()) {
+                assert_eq!(a.original, b.original, "engines disagree");
+                assert_eq!(a.overlapped, b.overlapped, "engines disagree");
+                assert_eq!(a.ranks_per_node, b.ranks_per_node);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_to_sequential() {
+        let spec = CampaignSpec::parse(
+            "campaign det\napps sweep3d pop\nclasses S\nranks 4\niterations 1\n\
+             modes linear real\nbandwidths list 1e8 1e9\nranks-per-node 1 2\n",
+        )
+        .unwrap();
+        let seq = run_campaign_threaded(&spec, 1).unwrap();
+        for threads in [2, 4] {
+            let par = run_campaign_threaded(&spec, threads).unwrap();
+            assert_eq!(
+                seq.to_json(),
+                par.to_json(),
+                "diverged at {threads} threads"
+            );
+            assert_eq!(seq.to_csv(), par.to_csv());
+        }
+    }
+
+    #[test]
+    fn diff_reports_flags_drift() {
+        assert!(diff_reports("a\nb\n", "a\nb\n").is_empty());
+        let diffs = diff_reports("a\nb\nc\n", "a\nX\n");
+        assert_eq!(diffs.len(), 2);
+        assert_eq!(diffs[0].line, 2);
+        assert_eq!(diffs[0].expected, "b");
+        assert_eq!(diffs[0].actual, "X");
+        assert_eq!(diffs[1].actual, "<absent>");
+    }
+
+    #[test]
+    fn invalid_app_override_surfaces_as_lab_error() {
+        // nas-bt requires a perfect square; ranks 6 must fail at build.
+        let spec = CampaignSpec::parse("campaign bad\napps nas-bt\nbandwidths list 1e8\nranks 6\n")
+            .unwrap();
+        match run_campaign_threaded(&spec, 1) {
+            Err(LabError::App(_)) => {}
+            other => panic!("expected LabError::App, got {other:?}"),
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use ovlsim_apps::AppConfigError;
 use ovlsim_core::{CompileError, CoreError};
 use ovlsim_dimemas::SimError;
 use ovlsim_tracer::TraceError;
@@ -24,6 +25,9 @@ pub enum LabError {
     },
     /// Compiling a trace into a replay program failed.
     Compile(CompileError),
+    /// Building an application model from a campaign spec failed (bad
+    /// rank count for the topology, zero iterations, …).
+    App(AppConfigError),
     /// `OVLSIM_THREADS` was set to something other than a positive
     /// integer. The run fails loudly instead of silently substituting a
     /// different worker count (which would invalidate any scaling
@@ -42,6 +46,7 @@ impl fmt::Display for LabError {
             LabError::Core(e) => write!(f, "invalid configuration: {e}"),
             LabError::SearchFailed { what } => write!(f, "search failed: {what}"),
             LabError::Compile(e) => write!(f, "trace compilation failed: {e}"),
+            LabError::App(e) => write!(f, "building application failed: {e}"),
             LabError::InvalidThreadConfig { value } => write!(
                 f,
                 "invalid OVLSIM_THREADS value {value:?}: want a positive integer \
@@ -59,8 +64,15 @@ impl Error for LabError {
             LabError::Core(e) => Some(e),
             LabError::SearchFailed { .. } => None,
             LabError::Compile(e) => Some(e),
+            LabError::App(e) => Some(e),
             LabError::InvalidThreadConfig { .. } => None,
         }
+    }
+}
+
+impl From<AppConfigError> for LabError {
+    fn from(e: AppConfigError) -> Self {
+        LabError::App(e)
     }
 }
 

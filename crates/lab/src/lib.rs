@@ -40,6 +40,7 @@
 
 mod analysis;
 mod bounds;
+pub mod campaign;
 mod error;
 mod experiments;
 mod iso;
@@ -50,6 +51,9 @@ mod table;
 
 pub use analysis::{intermediate_bandwidth, peak_speedup, point_nearest_comm_fraction};
 pub use bounds::OverlapBounds;
+pub use campaign::{
+    diff_reports, run_campaign, CampaignReport, CampaignRow, CampaignSpec, Engine, SpecError,
+};
 pub use error::LabError;
 pub use experiments::{
     custom_curve, e10_multicore, e1_pipeline, e2_real_patterns, e3_ideal_speedup,

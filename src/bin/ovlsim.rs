@@ -1,0 +1,320 @@
+//! `ovlsim` — the environment's single command-line entry point.
+//!
+//! ```text
+//! ovlsim campaign run <spec.campaign> [--out <dir>] [--csv]
+//!                                          expand + replay the grid, write
+//!                                          <dir>/<name>.report.json (and
+//!                                          .csv), print a summary table
+//! ovlsim campaign list <spec.campaign>     print the expanded grid points
+//! ovlsim campaign diff <golden> <actual>   exit 1 (with per-line diffs)
+//!                                          if the reports drifted
+//!
+//! ovlsim trace gen <app> <out-prefix>      write <prefix>.original.dim,
+//!                                          <prefix>.ovl-real.dim and
+//!                                          <prefix>.ovl-linear.dim
+//! ovlsim trace stats <file.dim>            validate + per-rank summary
+//! ovlsim trace validate <file.dim>         exit 1 if structurally invalid
+//! ovlsim trace replay <file.dim> [bw] [lat] replay (bytes/s, us) + Gantt
+//! ```
+//!
+//! Campaign specs are the declarative replacement for one-off experiment
+//! binaries; see `ovlsim_lab::campaign` for the grammar and
+//! `examples/campaigns/` for the committed corpus.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ovlsim::apps::registry;
+use ovlsim::apps::ProblemClass;
+use ovlsim::core::{format_bytes, format_time, validate_trace_set, Platform, Rank, Time, TraceSet};
+use ovlsim::dimemas::{emit_trace_set, parse_trace_set};
+use ovlsim::lab::campaign::{diff_reports, run_campaign, CampaignSpec};
+use ovlsim::paraver::{render_gantt, GanttOptions, Timeline};
+use ovlsim::tracer::TracingSession;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ovlsim campaign run <spec.campaign> [--out <dir>] [--csv]\n  \
+         ovlsim campaign list <spec.campaign>\n  \
+         ovlsim campaign diff <golden.json> <actual.json>\n  \
+         ovlsim trace gen <app> <out-prefix>\n  \
+         ovlsim trace stats <file.dim>\n  \
+         ovlsim trace validate <file.dim>\n  \
+         ovlsim trace replay <file.dim> [bytes-per-sec] [latency-us]"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+// ---------------------------------------------------------------- campaign
+
+fn load_spec(path: &str) -> Result<CampaignSpec, String> {
+    CampaignSpec::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_campaign_run(spec_path: &str, out_dir: &Path, csv: bool) -> Result<(), String> {
+    let spec = load_spec(spec_path)?;
+    let report = run_campaign(&spec).map_err(|e| format!("{spec_path}: {e}"))?;
+    fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let json_path = out_dir.join(format!("{}.report.json", report.campaign));
+    fs::write(&json_path, report.to_json())
+        .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    println!(
+        "campaign {}: {} points -> {}",
+        report.campaign,
+        report.rows.len(),
+        json_path.display()
+    );
+    if csv {
+        let csv_path = out_dir.join(format!("{}.report.csv", report.campaign));
+        fs::write(&csv_path, report.to_csv())
+            .map_err(|e| format!("write {}: {e}", csv_path.display()))?;
+        println!("              csv -> {}", csv_path.display());
+    }
+    // Per app×class×mode summary: the peak speedup over the platform grid
+    // (the number every figure in the paper reports per scenario).
+    println!(
+        "\n{:<10} {:>5} {:<20} {:>10}",
+        "app", "class", "mode", "peak"
+    );
+    let mut seen: Vec<(String, String, String)> = Vec::new();
+    for row in &report.rows {
+        let key = (row.app.clone(), row.class.to_string(), row.mode.clone());
+        if seen.contains(&key) {
+            continue;
+        }
+        let peak = report
+            .rows
+            .iter()
+            .filter(|r| r.app == key.0 && r.class.to_string() == key.1 && r.mode == key.2)
+            .map(|r| r.speedup())
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{:<10} {:>5} {:<20} {:>+9.1}%",
+            key.0,
+            key.1,
+            key.2,
+            (peak - 1.0) * 100.0
+        );
+        seen.push(key);
+    }
+    Ok(())
+}
+
+fn cmd_campaign_list(spec_path: &str) -> Result<(), String> {
+    let spec = load_spec(spec_path)?;
+    let points = spec.expand();
+    println!(
+        "campaign {}: {} apps x {} classes x {} modes x {} engines x {} packings x {} bandwidths = {} points",
+        spec.name,
+        spec.apps.len(),
+        spec.classes.len(),
+        spec.modes.len(),
+        spec.engines.len(),
+        spec.ranks_per_node.len(),
+        spec.bandwidths.len(),
+        points.len()
+    );
+    for p in &points {
+        println!(
+            "  {} class={} {} engine={} rpn={} bw={}",
+            p.app,
+            p.class,
+            p.mode,
+            p.engine,
+            p.ranks_per_node,
+            format_bytes(p.bandwidth.bytes_per_sec() as u64)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_campaign_diff(golden_path: &str, actual_path: &str) -> Result<(), String> {
+    let golden = read(golden_path)?;
+    let actual = read(actual_path)?;
+    let diffs = diff_reports(&golden, &actual);
+    if diffs.is_empty() {
+        println!("reports identical ({golden_path} vs {actual_path})");
+        return Ok(());
+    }
+    const SHOWN: usize = 20;
+    for d in diffs.iter().take(SHOWN) {
+        eprintln!(
+            "line {}:\n  golden: {}\n  actual: {}",
+            d.line, d.expected, d.actual
+        );
+    }
+    if diffs.len() > SHOWN {
+        eprintln!("... and {} more differing lines", diffs.len() - SHOWN);
+    }
+    Err(format!(
+        "{} differing lines between {golden_path} and {actual_path}",
+        diffs.len()
+    ))
+}
+
+// ------------------------------------------------------------------- trace
+
+fn load_trace(path: &str) -> Result<TraceSet, String> {
+    parse_trace_set(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_trace_gen(app_name: &str, prefix: &str) -> Result<(), String> {
+    let app = registry::build_app(app_name, ProblemClass::A, Default::default())
+        .map_err(|e| format!("unknown or invalid app `{app_name}`: {e}"))?;
+    let bundle = TracingSession::new(app.as_ref())
+        .run()
+        .map_err(|e| e.to_string())?;
+    let variants = [
+        ("original", bundle.original().clone()),
+        ("ovl-real", bundle.overlapped_real()),
+        ("ovl-linear", bundle.overlapped_linear()),
+    ];
+    for (label, trace) in variants {
+        let path = format!("{prefix}.{label}.dim");
+        fs::write(&path, emit_trace_set(&trace)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path} ({} records)", trace.total_records());
+    }
+    Ok(())
+}
+
+fn cmd_trace_stats(path: &str) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let issues = validate_trace_set(&trace);
+    println!("{trace}");
+    println!(
+        "total: {} instr, {} p2p",
+        trace.total_instr().get(),
+        format_bytes(trace.total_p2p_send_bytes())
+    );
+    for (r, rank_trace) in trace.ranks().iter().enumerate() {
+        let sends = rank_trace
+            .iter()
+            .filter(|rec| {
+                matches!(
+                    rec,
+                    ovlsim::core::Record::Send { .. } | ovlsim::core::Record::ISend { .. }
+                )
+            })
+            .count();
+        let collectives = rank_trace.iter().filter(|rec| rec.is_collective()).count();
+        println!(
+            "  rank {r}: {} records, {} instr, {} sends ({}), {} collectives",
+            rank_trace.len(),
+            rank_trace.total_instr().get(),
+            sends,
+            format_bytes(rank_trace.total_p2p_send_bytes()),
+            collectives
+        );
+    }
+    if issues.is_empty() {
+        println!("validation: ok");
+        Ok(())
+    } else {
+        for issue in &issues {
+            eprintln!("issue: {issue}");
+        }
+        Err(format!("{} validation issues", issues.len()))
+    }
+}
+
+fn cmd_trace_validate(path: &str) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let issues = validate_trace_set(&trace);
+    if issues.is_empty() {
+        println!("{path}: ok");
+        Ok(())
+    } else {
+        for issue in &issues {
+            eprintln!("{path}: {issue}");
+        }
+        Err(format!("{} issues", issues.len()))
+    }
+}
+
+fn cmd_trace_replay(path: &str, bw: Option<&str>, lat: Option<&str>) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let bw: f64 = bw.unwrap_or("250e6").parse().map_err(|_| "bad bandwidth")?;
+    let lat: u64 = lat.unwrap_or("5").parse().map_err(|_| "bad latency")?;
+    let mut b = Platform::builder();
+    b.latency(Time::from_us(lat))
+        .bandwidth_bytes_per_sec(bw)
+        .map_err(|e| e.to_string())?;
+    let platform = b.build();
+    let (timeline, result) = Timeline::capture(&platform, &trace).map_err(|e| e.to_string())?;
+    println!("{result}");
+    for r in 0..result.rank_finish().len() {
+        println!(
+            "  rank {r}: finish {}, compute {}",
+            format_time(result.rank_finish()[r]),
+            format_time(result.rank_compute()[Rank::new(r as u32).index()])
+        );
+    }
+    println!(
+        "\n{}",
+        render_gantt(
+            &timeline,
+            &GanttOptions {
+                width: 72,
+                legend: true
+            }
+        )
+    );
+    Ok(())
+}
+
+// -------------------------------------------------------------------- main
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut out_dir = PathBuf::from(".");
+    let mut csv = false;
+    let mut flags_given = false;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(arg) = it.next() {
+        match arg {
+            "--csv" => {
+                csv = true;
+                flags_given = true;
+            }
+            "--out" => match it.next() {
+                Some(dir) => {
+                    out_dir = PathBuf::from(dir);
+                    flags_given = true;
+                }
+                None => return usage(),
+            },
+            _ if arg.starts_with("--") => return usage(),
+            _ => positional.push(arg),
+        }
+    }
+    // --out/--csv only mean something to `campaign run`; silently
+    // swallowing them elsewhere would misplace the user's output.
+    if flags_given && positional.get(..2) != Some(&["campaign", "run"]) {
+        return usage();
+    }
+    let result = match positional[..] {
+        ["campaign", "run", spec] => cmd_campaign_run(spec, &out_dir, csv),
+        ["campaign", "list", spec] => cmd_campaign_list(spec),
+        ["campaign", "diff", golden, actual] => cmd_campaign_diff(golden, actual),
+        ["trace", "gen", app, prefix] => cmd_trace_gen(app, prefix),
+        ["trace", "stats", path] => cmd_trace_stats(path),
+        ["trace", "validate", path] => cmd_trace_validate(path),
+        ["trace", "replay", path] => cmd_trace_replay(path, None, None),
+        ["trace", "replay", path, bw] => cmd_trace_replay(path, Some(bw), None),
+        ["trace", "replay", path, bw, lat] => cmd_trace_replay(path, Some(bw), Some(lat)),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end tests of the `ovlsim` command-line binary: the absorbed
+//! trace pipeline (gen → stats → validate → replay) and the campaign
+//! subcommands (run → diff, list).
+
+use std::path::Path;
+use std::process::Command;
+
+fn ovlsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ovlsim"))
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ovlsim-cli-test").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn trace_gen_stats_validate_replay_roundtrip() {
+    let dir = scratch_dir("trace");
+    let prefix = dir.join("cg");
+    let prefix_str = prefix.to_str().unwrap();
+
+    // gen
+    let out = ovlsim()
+        .args(["trace", "gen", "nas-cg", prefix_str])
+        .output()
+        .expect("ovlsim runs");
+    assert!(out.status.success(), "gen failed: {out:?}");
+    let original = format!("{prefix_str}.original.dim");
+    let linear = format!("{prefix_str}.ovl-linear.dim");
+    assert!(Path::new(&original).exists());
+    assert!(Path::new(&linear).exists());
+
+    // stats
+    let out = ovlsim()
+        .args(["trace", "stats", &original])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("validation: ok"));
+    assert!(stdout.contains("rank 0"));
+
+    // validate
+    let out = ovlsim()
+        .args(["trace", "validate", &linear])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // replay
+    let out = ovlsim()
+        .args(["trace", "replay", &linear, "100e6", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("legend"), "replay should render a gantt");
+}
+
+#[test]
+fn trace_validate_rejects_broken_trace() {
+    let dir = scratch_dir("broken");
+    let path = dir.join("broken.dim");
+    // Unmatched send: structurally invalid.
+    std::fs::write(
+        &path,
+        "name broken\nmips 1000\nranks 2\nrank 0\nsend r1 100 t0\nend\nrank 1\nend\n",
+    )
+    .unwrap();
+    let out = ovlsim()
+        .args(["trace", "validate", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "broken trace must fail validation");
+}
+
+#[test]
+fn trace_unknown_app_is_reported() {
+    let out = ovlsim()
+        .args(["trace", "gen", "no-such-app", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown or invalid app"));
+}
+
+#[test]
+fn bad_usage_prints_help() {
+    let out = ovlsim().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+const MINI_CAMPAIGN: &str = "\
+campaign cli-mini
+apps sweep3d
+classes S
+ranks 4
+iterations 1
+bandwidths list 1e8 1e9
+ranks-per-node 1 2
+";
+
+#[test]
+fn campaign_run_list_diff_roundtrip() {
+    let dir = scratch_dir("campaign");
+    let spec = dir.join("mini.campaign");
+    std::fs::write(&spec, MINI_CAMPAIGN).unwrap();
+    let spec_str = spec.to_str().unwrap();
+    let out_dir = dir.join("out");
+    let out_dir_str = out_dir.to_str().unwrap();
+
+    // list
+    let out = ovlsim()
+        .args(["campaign", "list", spec_str])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "list failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("= 4 points"), "got: {stdout}");
+    assert!(stdout.contains("rpn=2"));
+
+    // run (with csv)
+    let out = ovlsim()
+        .args(["campaign", "run", spec_str, "--out", out_dir_str, "--csv"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "run failed: {out:?}");
+    let report = out_dir.join("cli-mini.report.json");
+    let csv = out_dir.join("cli-mini.report.csv");
+    assert!(report.exists());
+    assert!(csv.exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 points"));
+    assert!(stdout.contains("sweep3d"), "summary table names the app");
+
+    // diff against itself: identical
+    let report_str = report.to_str().unwrap();
+    let out = ovlsim()
+        .args(["campaign", "diff", report_str, report_str])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("identical"));
+
+    // diff against a tampered copy: drift detected, named on stderr
+    let tampered_path = dir.join("tampered.json");
+    let tampered = std::fs::read_to_string(&report).unwrap().replacen(
+        "\"ranks_per_node\":1",
+        "\"ranks_per_node\":3",
+        1,
+    );
+    std::fs::write(&tampered_path, tampered).unwrap();
+    let out = ovlsim()
+        .args([
+            "campaign",
+            "diff",
+            report_str,
+            tampered_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("golden:"), "diff lines on stderr: {stderr}");
+    assert!(stderr.contains("differing line"));
+}
+
+#[test]
+fn campaign_run_rejects_bad_spec_with_line_number() {
+    let dir = scratch_dir("badspec");
+    let spec = dir.join("bad.campaign");
+    std::fs::write(&spec, "campaign x\napps warp-drive\nbandwidths list 1e8\n").unwrap();
+    let out = ovlsim()
+        .args(["campaign", "run", spec.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "error names the line: {stderr}");
+    assert!(stderr.contains("warp-drive"));
+}
+
+#[test]
+fn campaign_diff_missing_file_is_an_error() {
+    let out = ovlsim()
+        .args([
+            "campaign",
+            "diff",
+            "/nonexistent/a.json",
+            "/nonexistent/b.json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
