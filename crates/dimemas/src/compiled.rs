@@ -47,7 +47,7 @@ use ovlsim_engine::EventQueue;
 use crate::collective::CollectiveTracker;
 use crate::error::SimError;
 use crate::network::{Network, TransferId};
-use crate::observer::{NullObserver, ProcState, ReplayObserver};
+use crate::observer::{DepEdge, NullObserver, ProcState, ReplayObserver, WaitCause};
 use crate::replay::{ReplayResult, Simulator};
 use crate::reqs::{ReqGroup, ReqState};
 
@@ -116,6 +116,15 @@ struct Transfer {
     enqueued: bool,
     started_at: Option<Time>,
     arrived: Option<Time>,
+    /// Dense channel id, for wait attribution.
+    chan: u32,
+    /// Sender's clock when the send instruction was executed.
+    posted_at: Time,
+    /// When the transfer entered a finite-resource queue (`None` if it
+    /// never queued).
+    queued_at: Option<Time>,
+    /// When the transfer became ready to move data.
+    ready_at: Time,
 }
 
 #[derive(Debug)]
@@ -142,6 +151,14 @@ enum Blocker {
     /// Remaining request *slots* of a wait-set.
     Reqs(ReqGroup),
     Collective(usize),
+}
+
+/// Which wait cause a blocked window is charged to (see `emit_blocked`).
+#[derive(Debug, Clone, Copy)]
+enum BlockKind {
+    Recv,
+    Send,
+    Wait,
 }
 
 #[derive(Debug)]
@@ -470,6 +487,9 @@ impl<'a> CompiledState<'a> {
             consumed += 1;
         }
         observer.interval(Rank::new(r as u32), now, end, ProcState::Compute);
+        if end > now {
+            observer.attributed(Rank::new(r as u32), now, end, WaitCause::Compute, None);
+        }
         let p = &mut self.procs[r];
         p.compute += total;
         p.clock = end;
@@ -505,7 +525,7 @@ impl<'a> CompiledState<'a> {
                     self.procs[r].cursor += 1;
                 }
                 RecordKind::Send => {
-                    if self.charge_send_overhead(r, now) {
+                    if self.charge_send_overhead(r, now, observer) {
                         return;
                     }
                     let bytes = stream.payload[cursor];
@@ -516,7 +536,7 @@ impl<'a> CompiledState<'a> {
                         SenderKind::Fire
                     };
                     let chan = stream.a[cursor];
-                    let tid = self.create_transfer(r, chan, bytes, kind);
+                    let tid = self.create_transfer(r, chan, bytes, kind, now);
                     self.post_send(tid, chan, now);
                     self.procs[r].cursor += 1;
                     if rendezvous {
@@ -527,7 +547,7 @@ impl<'a> CompiledState<'a> {
                     }
                 }
                 RecordKind::ISend => {
-                    if self.charge_send_overhead(r, now) {
+                    if self.charge_send_overhead(r, now, observer) {
                         return;
                     }
                     let bytes = stream.payload[cursor];
@@ -539,12 +559,12 @@ impl<'a> CompiledState<'a> {
                         SenderKind::Fire
                     };
                     let chan = stream.a[cursor];
-                    let tid = self.create_transfer(r, chan, bytes, kind);
+                    let tid = self.create_transfer(r, chan, bytes, kind, now);
                     self.procs[r].slots[slot as usize] = if rendezvous {
                         ReqState::InFlight
                     } else {
                         // Eager isend: the buffer is copied out immediately.
-                        ReqState::Done(now)
+                        ReqState::Done { at: now, tid }
                     };
                     self.post_send(tid, chan, now);
                     self.procs[r].cursor += 1;
@@ -556,6 +576,10 @@ impl<'a> CompiledState<'a> {
                         Some(done) => {
                             debug_assert!(done >= now);
                             if done > now {
+                                let tid = self.recv_posts[pid]
+                                    .transfer
+                                    .expect("completed receives are matched");
+                                self.emit_blocked(observer, r, now, done, BlockKind::Recv, tid);
                                 self.procs[r].clock = done;
                                 self.queue.schedule(done, Event::Resume(r));
                                 return;
@@ -573,7 +597,12 @@ impl<'a> CompiledState<'a> {
                     let slot = stream.b[cursor];
                     let pid = self.post_recv(r, Some(slot), stream.a[cursor], now);
                     self.procs[r].slots[slot as usize] = match self.recv_posts[pid].done {
-                        Some(done) => ReqState::Done(done),
+                        Some(done) => ReqState::Done {
+                            at: done,
+                            tid: self.recv_posts[pid]
+                                .transfer
+                                .expect("completed receives are matched"),
+                        },
                         None => ReqState::InFlight,
                     };
                     self.procs[r].cursor += 1;
@@ -603,6 +632,10 @@ impl<'a> CompiledState<'a> {
                         .arrive(seq, coll, bytes, now, self.platform)
                     {
                         Some(done) => {
+                            let release = DepEdge {
+                                rank: Rank::new(r as u32),
+                                at: now,
+                            };
                             for (q, proc) in self.procs.iter_mut().enumerate() {
                                 if proc.blocked == Some(Blocker::Collective(seq)) {
                                     observer.interval(
@@ -611,6 +644,15 @@ impl<'a> CompiledState<'a> {
                                         done,
                                         ProcState::Collective,
                                     );
+                                    if done > proc.block_start {
+                                        observer.attributed(
+                                            Rank::new(q as u32),
+                                            proc.block_start,
+                                            done,
+                                            WaitCause::Collective { seq: seq as u32 },
+                                            Some(release),
+                                        );
+                                    }
                                     proc.blocked = None;
                                     proc.clock = done;
                                     self.queue.schedule(done, Event::Resume(q));
@@ -622,6 +664,15 @@ impl<'a> CompiledState<'a> {
                                 done,
                                 ProcState::Collective,
                             );
+                            if done > now {
+                                observer.attributed(
+                                    Rank::new(r as u32),
+                                    now,
+                                    done,
+                                    WaitCause::Collective { seq: seq as u32 },
+                                    None,
+                                );
+                            }
                             self.procs[r].clock = done;
                             self.queue.schedule(done, Event::Resume(r));
                             return;
@@ -649,6 +700,9 @@ impl<'a> CompiledState<'a> {
     ) -> bool {
         let mut remaining = ReqGroup::new();
         let mut latest = now;
+        // Transfer of the last-completing slot: the whole wait interval is
+        // attributed to its channel (the "last unblocker").
+        let mut latest_tid: Option<TransferId> = None;
         let one;
         let wait_slots: &[u32] = match slots {
             Slots::One(s) => {
@@ -660,7 +714,12 @@ impl<'a> CompiledState<'a> {
         let p = &mut self.procs[r];
         for &slot in wait_slots {
             match p.slots[slot as usize] {
-                ReqState::Done(t) => latest = latest.max(t),
+                ReqState::Done { at, tid } => {
+                    if at > latest {
+                        latest = at;
+                        latest_tid = Some(tid);
+                    }
+                }
                 ReqState::InFlight => remaining.push(slot),
             }
         }
@@ -668,7 +727,9 @@ impl<'a> CompiledState<'a> {
         if remaining.is_empty() {
             if latest > now {
                 observer.interval(Rank::new(r as u32), now, latest, ProcState::WaitRequest);
-                p.clock = latest;
+                let tid = latest_tid.expect("a request completed after now");
+                self.emit_blocked(observer, r, now, latest, BlockKind::Wait, tid);
+                self.procs[r].clock = latest;
                 self.queue.schedule(latest, Event::Resume(r));
                 return true;
             }
@@ -680,7 +741,12 @@ impl<'a> CompiledState<'a> {
         }
     }
 
-    fn charge_send_overhead(&mut self, r: usize, now: Time) -> bool {
+    fn charge_send_overhead<O: ReplayObserver + ?Sized>(
+        &mut self,
+        r: usize,
+        now: Time,
+        observer: &mut O,
+    ) -> bool {
         let overhead = self.send_overhead;
         if overhead.is_zero() {
             return false;
@@ -693,8 +759,76 @@ impl<'a> CompiledState<'a> {
         p.overhead_paid = true;
         p.clock = now + overhead;
         let at = p.clock;
+        observer.attributed(Rank::new(r as u32), now, at, WaitCause::SendOverhead, None);
         self.queue.schedule(at, Event::Resume(r));
         true
+    }
+
+    /// The cross-rank dependency that released rank `r` from an interval
+    /// gated by transfer `tid` (None when the interval was self-paced).
+    fn blocked_edge(&self, r: usize, start: Time, tid: TransferId) -> Option<DepEdge> {
+        let t = &self.transfers[tid];
+        if t.from.index() == r {
+            (t.ready_at > t.posted_at).then_some(DepEdge {
+                rank: t.to,
+                at: t.ready_at,
+            })
+        } else {
+            match t.arrived {
+                Some(a) if a <= start => None,
+                _ => Some(DepEdge {
+                    rank: t.from,
+                    at: t.posted_at,
+                }),
+            }
+        }
+    }
+
+    /// Emits the attributed intervals of a blocked window `[start, end)`
+    /// on rank `r` gated by transfer `tid` (identical decomposition to the
+    /// uncompiled engine's `emit_blocked`).
+    fn emit_blocked<O: ReplayObserver + ?Sized>(
+        &self,
+        observer: &mut O,
+        r: usize,
+        start: Time,
+        end: Time,
+        kind: BlockKind,
+        tid: TransferId,
+    ) {
+        if end <= start {
+            return;
+        }
+        let t = &self.transfers[tid];
+        let chan = t.chan;
+        let cause = match kind {
+            BlockKind::Recv => WaitCause::BlockedRecv { chan },
+            BlockKind::Send => WaitCause::BlockedSend { chan },
+            BlockKind::Wait => WaitCause::BlockedWait { chan },
+        };
+        let edge = self.blocked_edge(r, start, tid);
+        let (qs, qe) = match (t.queued_at, t.started_at) {
+            (Some(q), Some(s)) => (q.max(start), s.min(end)),
+            _ => (end, end),
+        };
+        let rank = Rank::new(r as u32);
+        if qs >= qe {
+            observer.attributed(rank, start, end, cause, edge);
+            return;
+        }
+        let contended = WaitCause::Contended {
+            chan,
+            intra: t.intra,
+        };
+        if start < qs {
+            observer.attributed(rank, start, qs, cause, None);
+        }
+        if qe < end {
+            observer.attributed(rank, qs, qe, contended, None);
+            observer.attributed(rank, qe, end, cause, edge);
+        } else {
+            observer.attributed(rank, qs, qe, contended, edge);
+        }
     }
 
     fn create_transfer(
@@ -703,6 +837,7 @@ impl<'a> CompiledState<'a> {
         chan: u32,
         bytes: u64,
         sender_kind: SenderKind,
+        now: Time,
     ) -> TransferId {
         let tid = self.transfers.len();
         let endpoints = &self.prog.channels()[chan as usize];
@@ -719,6 +854,10 @@ impl<'a> CompiledState<'a> {
             enqueued: false,
             started_at: None,
             arrived: None,
+            chan,
+            posted_at: now,
+            queued_at: None,
+            ready_at: now,
         });
         self.p2p_messages += 1;
         self.p2p_bytes += bytes;
@@ -747,8 +886,10 @@ impl<'a> CompiledState<'a> {
     fn start_transfer(&mut self, tid: TransferId, now: Time) {
         debug_assert!(!self.transfers[tid].enqueued);
         self.transfers[tid].enqueued = true;
+        self.transfers[tid].ready_at = now;
         if self.transfers[tid].intra {
             if self.network.intra_limited() {
+                self.transfers[tid].queued_at = Some(now);
                 self.network.enqueue_intra(tid);
                 self.pump_intra(now);
             } else {
@@ -757,6 +898,7 @@ impl<'a> CompiledState<'a> {
                 self.queue.schedule(now + dur, Event::TransferSent(tid));
             }
         } else {
+            self.transfers[tid].queued_at = Some(now);
             self.network.enqueue(tid);
             self.pump_network(now);
         }
@@ -798,6 +940,7 @@ impl<'a> CompiledState<'a> {
         r: usize,
         slot: u32,
         at: Time,
+        tid: TransferId,
         observer: &mut O,
     ) {
         let proc = &mut self.procs[r];
@@ -807,18 +950,15 @@ impl<'a> CompiledState<'a> {
                 set.is_empty()
             }
             _ => {
-                proc.slots[slot as usize] = ReqState::Done(at);
+                proc.slots[slot as usize] = ReqState::Done { at, tid };
                 false
             }
         };
         if unblock {
+            let start = self.procs[r].block_start;
+            observer.interval(Rank::new(r as u32), start, at, ProcState::WaitRequest);
+            self.emit_blocked(observer, r, start, at, BlockKind::Wait, tid);
             let p = &mut self.procs[r];
-            observer.interval(
-                Rank::new(r as u32),
-                p.block_start,
-                at,
-                ProcState::WaitRequest,
-            );
             p.blocked = None;
             p.clock = at;
             self.queue.schedule(at, Event::Resume(r));
@@ -847,14 +987,16 @@ impl<'a> CompiledState<'a> {
             SenderKind::Blocking => {
                 let s = from.index();
                 debug_assert_eq!(self.procs[s].blocked, Some(Blocker::SendDone(tid)));
+                let start = self.procs[s].block_start;
+                observer.interval(from, start, at, ProcState::WaitSend);
+                self.emit_blocked(observer, s, start, at, BlockKind::Send, tid);
                 let p = &mut self.procs[s];
-                observer.interval(from, p.block_start, at, ProcState::WaitSend);
                 p.blocked = None;
                 p.clock = at;
                 self.queue.schedule(at, Event::Resume(s));
             }
             SenderKind::Request(slot) => {
-                self.complete_request(from.index(), slot, at, observer);
+                self.complete_request(from.index(), slot, at, tid, observer);
             }
         }
 
@@ -895,19 +1037,16 @@ impl<'a> CompiledState<'a> {
             match self.recv_posts[pid].slot {
                 None => {
                     debug_assert_eq!(self.procs[r].blocked, Some(Blocker::Recv(pid)));
+                    let start = self.procs[r].block_start;
+                    observer.interval(Rank::new(r as u32), start, done, ProcState::WaitRecv);
+                    self.emit_blocked(observer, r, start, done, BlockKind::Recv, tid);
                     let p = &mut self.procs[r];
-                    observer.interval(
-                        Rank::new(r as u32),
-                        p.block_start,
-                        done,
-                        ProcState::WaitRecv,
-                    );
                     p.blocked = None;
                     p.clock = done;
                     self.queue.schedule(done, Event::Resume(r));
                 }
                 Some(slot) => {
-                    self.complete_request(r, slot, done, observer);
+                    self.complete_request(r, slot, done, tid, observer);
                 }
             }
         }

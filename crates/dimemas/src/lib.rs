@@ -56,5 +56,5 @@ pub use naive::replay_naive;
 
 pub use error::SimError;
 pub use format::{emit_trace_set, parse_trace_set, ParseError};
-pub use observer::{NullObserver, ProcState, ReplayObserver};
+pub use observer::{DepEdge, NullObserver, ProcState, ReplayObserver, WaitCause};
 pub use replay::{ReplayResult, Simulator};

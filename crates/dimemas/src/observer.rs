@@ -41,6 +41,128 @@ impl ProcState {
     }
 }
 
+/// Why a rank's simulated clock advanced during an attributed interval.
+///
+/// Where [`ProcState`] names *what the rank was doing*, `WaitCause` names
+/// *what the time should be charged to*: blocked states carry the dense
+/// [`ChannelId`](ovlsim_core::ChannelId) of the transfer that gated the
+/// rank, so attribution can be rolled up per channel and per peer, and
+/// resource-queue waits are split out as [`WaitCause::Contended`] with the
+/// contention domain (intra-node ports vs the bus/NIC fabric).
+///
+/// Engines that emit attribution (`run_prepared_observed`,
+/// `run_observed`, `run_compiled_observed`) guarantee the **conservation
+/// property**: per rank, attributed intervals are disjoint, gapless and
+/// tile `[0, finish)` exactly — their durations sum to the rank's finish
+/// time bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WaitCause {
+    /// Executing a computation burst.
+    Compute,
+    /// Per-message sender CPU overhead (LogGP `o`).
+    SendOverhead,
+    /// Blocked in a blocking receive on channel `chan` (includes the wire
+    /// wait and the per-message receiver overhead).
+    BlockedRecv {
+        /// Dense channel id of the gating transfer.
+        chan: u32,
+    },
+    /// Blocked in a rendezvous send on channel `chan` (handshake plus
+    /// wire occupancy).
+    BlockedSend {
+        /// Dense channel id of the gating transfer.
+        chan: u32,
+    },
+    /// Blocked in `Wait`/`WaitAll`; `chan` is the channel of the
+    /// last-completing request (the *last unblocker*), which the whole
+    /// interval is charged to.
+    BlockedWait {
+        /// Dense channel id of the last-unblocking transfer.
+        chan: u32,
+    },
+    /// The transfer gating this rank sat in a transport resource queue
+    /// (finite buses/links, or a node's shared-memory ports).
+    Contended {
+        /// Dense channel id of the queued transfer.
+        chan: u32,
+        /// True for the intra-node port domain, false for the bus/NIC
+        /// fabric.
+        intra: bool,
+    },
+    /// Inside collective number `seq` (per-rank arrival order), from this
+    /// rank's arrival (or block) to the collective's completion.
+    Collective {
+        /// The collective's sequence number on this rank.
+        seq: u32,
+    },
+}
+
+impl WaitCause {
+    /// A stable numeric encoding used by the Paraver cause-timeline
+    /// exporter. Blocked states reuse the [`ProcState`] codes; the
+    /// attribution-only states extend them.
+    pub fn code(self) -> u32 {
+        match self {
+            WaitCause::Compute => 1,
+            WaitCause::BlockedRecv { .. } => 2,
+            WaitCause::BlockedSend { .. } => 3,
+            WaitCause::BlockedWait { .. } => 4,
+            WaitCause::Collective { .. } => 5,
+            WaitCause::SendOverhead => 6,
+            WaitCause::Contended { intra: false, .. } => 7,
+            WaitCause::Contended { intra: true, .. } => 8,
+        }
+    }
+
+    /// Human-readable label (used by reports and the `.pcf` export).
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitCause::Compute => "compute",
+            WaitCause::BlockedRecv { .. } => "blocked-recv",
+            WaitCause::BlockedSend { .. } => "blocked-send",
+            WaitCause::BlockedWait { .. } => "blocked-wait",
+            WaitCause::Collective { .. } => "collective",
+            WaitCause::SendOverhead => "send-overhead",
+            WaitCause::Contended { intra: false, .. } => "contended-inter",
+            WaitCause::Contended { intra: true, .. } => "contended-intra",
+        }
+    }
+
+    /// The dense channel id this cause charges time to, if any.
+    pub fn channel(self) -> Option<u32> {
+        match self {
+            WaitCause::BlockedRecv { chan }
+            | WaitCause::BlockedSend { chan }
+            | WaitCause::BlockedWait { chan }
+            | WaitCause::Contended { chan, .. } => Some(chan),
+            _ => None,
+        }
+    }
+
+    /// True for the causes that count as communication wait (everything
+    /// except compute and sender overhead).
+    pub fn is_wait(self) -> bool {
+        !matches!(self, WaitCause::Compute | WaitCause::SendOverhead)
+    }
+}
+
+/// The cross-rank dependency that released a blocked interval: the chain
+/// of causes continues on `rank` at time `at` (the peer's clock when it
+/// executed the releasing operation — a send post, a matching receive
+/// post, or the last arrival of a collective).
+///
+/// `at` is always within `[0, end]` of the interval the edge is attached
+/// to, and always a boundary between two of the peer's attributed
+/// intervals (or zero), which is what makes the critical-path back-walk
+/// well defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// The releasing rank.
+    pub rank: Rank,
+    /// The releasing rank's clock when its part of the chain began.
+    pub at: Time,
+}
+
 /// Receives replay happenings as they are simulated.
 ///
 /// All callbacks are optional (default: no-op). Intervals are closed-open
@@ -50,6 +172,27 @@ pub trait ReplayObserver {
     /// A rank spent `[start, end)` in `state`.
     fn interval(&mut self, rank: Rank, start: Time, end: Time, state: ProcState) {
         let _ = (rank, start, end, state);
+    }
+
+    /// Cause-tagged attribution: `[start, end)` on `rank` is charged to
+    /// `cause`. For blocked causes, `edge` names the cross-rank
+    /// dependency that released the rank (`None` when the interval was
+    /// self-paced — e.g. pure wire time of an unmatched eager transfer,
+    /// or a message that had already arrived).
+    ///
+    /// Per rank, attributed intervals are disjoint, gapless and tile
+    /// `[0, finish)` exactly (see [`WaitCause`]); zero-length intervals
+    /// are never emitted. Only the attribution-capable engines emit this
+    /// callback; the naive reference engine does not.
+    fn attributed(
+        &mut self,
+        rank: Rank,
+        start: Time,
+        end: Time,
+        cause: WaitCause,
+        edge: Option<DepEdge>,
+    ) {
+        let _ = (rank, start, end, cause, edge);
     }
 
     /// A message (or chunk) moved across the wire.
@@ -103,6 +246,56 @@ mod tests {
     }
 
     #[test]
+    fn cause_codes_and_labels_distinct() {
+        use std::collections::BTreeSet;
+        let causes = [
+            WaitCause::Compute,
+            WaitCause::SendOverhead,
+            WaitCause::BlockedRecv { chan: 0 },
+            WaitCause::BlockedSend { chan: 0 },
+            WaitCause::BlockedWait { chan: 0 },
+            WaitCause::Contended {
+                chan: 0,
+                intra: false,
+            },
+            WaitCause::Contended {
+                chan: 0,
+                intra: true,
+            },
+            WaitCause::Collective { seq: 0 },
+        ];
+        let codes: BTreeSet<u32> = causes.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), causes.len());
+        let labels: BTreeSet<&str> = causes.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), causes.len());
+        // Blocked causes share codes with their ProcState counterparts.
+        assert_eq!(
+            WaitCause::BlockedRecv { chan: 3 }.code(),
+            ProcState::WaitRecv.code()
+        );
+    }
+
+    #[test]
+    fn cause_channel_and_wait_classification() {
+        assert_eq!(WaitCause::Compute.channel(), None);
+        assert_eq!(WaitCause::SendOverhead.channel(), None);
+        assert_eq!(WaitCause::Collective { seq: 1 }.channel(), None);
+        assert_eq!(WaitCause::BlockedRecv { chan: 7 }.channel(), Some(7));
+        assert_eq!(
+            WaitCause::Contended {
+                chan: 2,
+                intra: true
+            }
+            .channel(),
+            Some(2)
+        );
+        assert!(!WaitCause::Compute.is_wait());
+        assert!(!WaitCause::SendOverhead.is_wait());
+        assert!(WaitCause::BlockedWait { chan: 0 }.is_wait());
+        assert!(WaitCause::Collective { seq: 0 }.is_wait());
+    }
+
+    #[test]
     fn null_observer_accepts_everything() {
         let mut o = NullObserver;
         o.interval(
@@ -120,6 +313,23 @@ mod tests {
             Tag::new(0),
         );
         o.marker(Rank::new(0), Time::ZERO, 3);
+        o.attributed(
+            Rank::new(0),
+            Time::ZERO,
+            Time::from_ns(1),
+            WaitCause::Compute,
+            None,
+        );
+        o.attributed(
+            Rank::new(0),
+            Time::from_ns(1),
+            Time::from_ns(2),
+            WaitCause::BlockedRecv { chan: 0 },
+            Some(DepEdge {
+                rank: Rank::new(1),
+                at: Time::ZERO,
+            }),
+        );
         o.finished(Rank::new(0), Time::from_ns(9));
     }
 }

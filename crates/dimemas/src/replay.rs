@@ -51,7 +51,7 @@ use ovlsim_engine::EventQueue;
 use crate::collective::{collective_op, CollectiveTracker};
 use crate::error::SimError;
 use crate::network::{Network, TransferId};
-use crate::observer::{NullObserver, ProcState, ReplayObserver};
+use crate::observer::{DepEdge, NullObserver, ProcState, ReplayObserver, WaitCause};
 use crate::reqs::{ReqGroup, ReqState, ReqTable};
 
 /// Outcome of replaying one trace set on one platform.
@@ -189,6 +189,16 @@ struct Transfer {
     enqueued: bool,
     started_at: Option<Time>,
     arrived: Option<Time>,
+    /// Dense channel id, for wait attribution.
+    chan: u32,
+    /// Sender's clock when the send record was executed.
+    posted_at: Time,
+    /// When the transfer entered a finite-resource queue (`None` if it
+    /// never queued — unlimited intra-node transfers start directly).
+    queued_at: Option<Time>,
+    /// When the transfer became ready to move data (eager: at the post;
+    /// rendezvous: when the matching receive arrived).
+    ready_at: Time,
 }
 
 #[derive(Debug)]
@@ -215,6 +225,14 @@ enum Blocker {
     SendDone(TransferId),
     Reqs(ReqGroup),
     Collective(usize),
+}
+
+/// Which wait cause a blocked window is charged to (see `emit_blocked`).
+#[derive(Debug, Clone, Copy)]
+enum BlockKind {
+    Recv,
+    Send,
+    Wait,
 }
 
 #[derive(Debug)]
@@ -556,6 +574,15 @@ impl<'a> ReplayState<'a> {
                     let dur = self.burst_duration(*instr);
                     let end = now + dur;
                     observer.interval(Rank::new(r as u32), now, end, ProcState::Compute);
+                    if end > now {
+                        observer.attributed(
+                            Rank::new(r as u32),
+                            now,
+                            end,
+                            WaitCause::Compute,
+                            None,
+                        );
+                    }
                     let p = &mut self.procs[r];
                     p.compute += dur;
                     p.clock = end;
@@ -571,7 +598,7 @@ impl<'a> ReplayState<'a> {
                     // Per-message sender CPU overhead (LogGP `o`): charge
                     // it as its own simulation step so global event order
                     // is preserved, then process the send on resume.
-                    if self.charge_send_overhead(r, now) {
+                    if self.charge_send_overhead(r, now, observer) {
                         return;
                     }
                     let rendezvous = *bytes > self.platform.eager_threshold();
@@ -581,7 +608,8 @@ impl<'a> ReplayState<'a> {
                         SenderKind::Fire
                     };
                     let intra = self.intra_chan[chans[cursor] as usize];
-                    let tid = self.create_transfer(r, *to, *bytes, *tag, intra, kind);
+                    let tid =
+                        self.create_transfer(r, *to, *bytes, *tag, intra, kind, chans[cursor], now);
                     self.post_send(tid, chans[cursor], now);
                     self.procs[r].cursor += 1;
                     if rendezvous {
@@ -597,7 +625,7 @@ impl<'a> ReplayState<'a> {
                     tag,
                     req,
                 } => {
-                    if self.charge_send_overhead(r, now) {
+                    if self.charge_send_overhead(r, now, observer) {
                         return;
                     }
                     let rendezvous = *bytes > self.platform.eager_threshold();
@@ -607,12 +635,13 @@ impl<'a> ReplayState<'a> {
                         SenderKind::Fire
                     };
                     let intra = self.intra_chan[chans[cursor] as usize];
-                    let tid = self.create_transfer(r, *to, *bytes, *tag, intra, kind);
+                    let tid =
+                        self.create_transfer(r, *to, *bytes, *tag, intra, kind, chans[cursor], now);
                     let state = if rendezvous {
                         ReqState::InFlight
                     } else {
                         // Eager isend: the buffer is copied out immediately.
-                        ReqState::Done(now)
+                        ReqState::Done { at: now, tid }
                     };
                     self.procs[r].reqs.insert(req.get(), state);
                     self.post_send(tid, chans[cursor], now);
@@ -632,6 +661,10 @@ impl<'a> ReplayState<'a> {
                             // the clock never outruns the event queue.
                             debug_assert!(done >= now);
                             if done > now {
+                                let tid = self.recv_posts[pid]
+                                    .transfer
+                                    .expect("completed receives are matched");
+                                self.emit_blocked(observer, r, now, done, BlockKind::Recv, tid);
                                 self.procs[r].clock = done;
                                 self.queue.schedule(done, Event::Resume(r));
                                 return;
@@ -653,7 +686,12 @@ impl<'a> ReplayState<'a> {
                 } => {
                     let pid = self.post_recv(r, Some(*req), *from, *tag, chans[cursor], now);
                     let state = match self.recv_posts[pid].done {
-                        Some(done) => ReqState::Done(done),
+                        Some(done) => ReqState::Done {
+                            at: done,
+                            tid: self.recv_posts[pid]
+                                .transfer
+                                .expect("completed receives are matched"),
+                        },
                         None => ReqState::InFlight,
                     };
                     self.procs[r].reqs.insert(req.get(), state);
@@ -680,6 +718,12 @@ impl<'a> ReplayState<'a> {
                     match self.collectives.arrive(seq, op, bytes, now, self.platform) {
                         Some(done) => {
                             // Last arrival: release everyone blocked on it.
+                            // Blocked ranks were gated by this arrival;
+                            // the last arriver itself is self-paced.
+                            let release = DepEdge {
+                                rank: Rank::new(r as u32),
+                                at: now,
+                            };
                             for (q, proc) in self.procs.iter_mut().enumerate() {
                                 if proc.blocked == Some(Blocker::Collective(seq)) {
                                     observer.interval(
@@ -688,6 +732,15 @@ impl<'a> ReplayState<'a> {
                                         done,
                                         ProcState::Collective,
                                     );
+                                    if done > proc.block_start {
+                                        observer.attributed(
+                                            Rank::new(q as u32),
+                                            proc.block_start,
+                                            done,
+                                            WaitCause::Collective { seq: seq as u32 },
+                                            Some(release),
+                                        );
+                                    }
                                     proc.blocked = None;
                                     proc.clock = done;
                                     self.queue.schedule(done, Event::Resume(q));
@@ -699,6 +752,15 @@ impl<'a> ReplayState<'a> {
                                 done,
                                 ProcState::Collective,
                             );
+                            if done > now {
+                                observer.attributed(
+                                    Rank::new(r as u32),
+                                    now,
+                                    done,
+                                    WaitCause::Collective { seq: seq as u32 },
+                                    None,
+                                );
+                            }
                             self.procs[r].clock = done;
                             self.queue.schedule(done, Event::Resume(r));
                             return;
@@ -727,11 +789,17 @@ impl<'a> ReplayState<'a> {
     ) -> bool {
         let mut remaining = ReqGroup::new();
         let mut latest = now;
+        // Transfer of the last-completing request: the whole wait interval
+        // is attributed to its channel (the "last unblocker").
+        let mut latest_tid: Option<TransferId> = None;
         for req in reqs {
             match self.procs[r].reqs.get(req.get()) {
-                Some(ReqState::Done(t)) => {
+                Some(ReqState::Done { at, tid }) => {
                     self.procs[r].reqs.remove(req.get());
-                    latest = latest.max(t);
+                    if at > latest {
+                        latest = at;
+                        latest_tid = Some(tid);
+                    }
                 }
                 Some(ReqState::InFlight) => {
                     // Stays registered for completion bookkeeping.
@@ -744,6 +812,8 @@ impl<'a> ReplayState<'a> {
         if remaining.is_empty() {
             if latest > now {
                 observer.interval(Rank::new(r as u32), now, latest, ProcState::WaitRequest);
+                let tid = latest_tid.expect("a request completed after now");
+                self.emit_blocked(observer, r, now, latest, BlockKind::Wait, tid);
                 self.procs[r].clock = latest;
                 self.queue.schedule(latest, Event::Resume(r));
                 return true;
@@ -761,7 +831,12 @@ impl<'a> ReplayState<'a> {
     /// rank's cursor. Returns true if a resume was scheduled (the caller
     /// must return); on the resumed call the overhead is already paid and
     /// processing continues at the advanced clock.
-    fn charge_send_overhead(&mut self, r: usize, now: Time) -> bool {
+    fn charge_send_overhead(
+        &mut self,
+        r: usize,
+        now: Time,
+        observer: &mut dyn ReplayObserver,
+    ) -> bool {
         let overhead = self.platform.send_overhead();
         if overhead.is_zero() {
             return false;
@@ -774,13 +849,90 @@ impl<'a> ReplayState<'a> {
         p.overhead_paid = true;
         p.clock = now + overhead;
         let at = p.clock;
+        observer.attributed(Rank::new(r as u32), now, at, WaitCause::SendOverhead, None);
         self.queue.schedule(at, Event::Resume(r));
         true
+    }
+
+    /// The cross-rank dependency that released rank `r` from an interval
+    /// gated by transfer `tid` (None when the interval was self-paced).
+    fn blocked_edge(&self, r: usize, start: Time, tid: TransferId) -> Option<DepEdge> {
+        let t = &self.transfers[tid];
+        if t.from.index() == r {
+            // Send side: the sender is released when its last byte
+            // leaves; the receiver is the gate only if the wire start
+            // waited for the matching receive to be posted.
+            (t.ready_at > t.posted_at).then_some(DepEdge {
+                rank: t.to,
+                at: t.ready_at,
+            })
+        } else {
+            // Receive side: gated by the sender unless the message had
+            // already arrived when this interval began.
+            match t.arrived {
+                Some(a) if a <= start => None,
+                _ => Some(DepEdge {
+                    rank: t.from,
+                    at: t.posted_at,
+                }),
+            }
+        }
+    }
+
+    /// Emits the attributed intervals of a blocked window `[start, end)`
+    /// on rank `r` gated by transfer `tid`: the portion the transfer spent
+    /// queued for transport resources becomes a [`WaitCause::Contended`]
+    /// sub-interval, the rest carries the wait kind; the releasing edge is
+    /// attached to the final sub-interval.
+    fn emit_blocked(
+        &self,
+        observer: &mut dyn ReplayObserver,
+        r: usize,
+        start: Time,
+        end: Time,
+        kind: BlockKind,
+        tid: TransferId,
+    ) {
+        if end <= start {
+            return;
+        }
+        let t = &self.transfers[tid];
+        let chan = t.chan;
+        let cause = match kind {
+            BlockKind::Recv => WaitCause::BlockedRecv { chan },
+            BlockKind::Send => WaitCause::BlockedSend { chan },
+            BlockKind::Wait => WaitCause::BlockedWait { chan },
+        };
+        let edge = self.blocked_edge(r, start, tid);
+        // Clip the transfer's resource-queue wait to the blocked window.
+        let (qs, qe) = match (t.queued_at, t.started_at) {
+            (Some(q), Some(s)) => (q.max(start), s.min(end)),
+            _ => (end, end),
+        };
+        let rank = Rank::new(r as u32);
+        if qs >= qe {
+            observer.attributed(rank, start, end, cause, edge);
+            return;
+        }
+        let contended = WaitCause::Contended {
+            chan,
+            intra: t.intra,
+        };
+        if start < qs {
+            observer.attributed(rank, start, qs, cause, None);
+        }
+        if qe < end {
+            observer.attributed(rank, qs, qe, contended, None);
+            observer.attributed(rank, qe, end, cause, edge);
+        } else {
+            observer.attributed(rank, qs, qe, contended, edge);
+        }
     }
 
     /// Registers a new transfer. The protocol follows from the sender
     /// kind: eager sends fire and forget ([`SenderKind::Fire`]), both
     /// blocking and request-completing senders are rendezvous.
+    #[allow(clippy::too_many_arguments)]
     fn create_transfer(
         &mut self,
         from: usize,
@@ -789,6 +941,8 @@ impl<'a> ReplayState<'a> {
         tag: Tag,
         intra: bool,
         sender_kind: SenderKind,
+        chan: u32,
+        now: Time,
     ) -> TransferId {
         let tid = self.transfers.len();
         let rendezvous = sender_kind != SenderKind::Fire;
@@ -804,6 +958,10 @@ impl<'a> ReplayState<'a> {
             enqueued: false,
             started_at: None,
             arrived: None,
+            chan,
+            posted_at: now,
+            queued_at: None,
+            ready_at: now,
         });
         self.p2p_messages += 1;
         self.p2p_bytes += bytes;
@@ -835,8 +993,10 @@ impl<'a> ReplayState<'a> {
     fn start_transfer(&mut self, tid: TransferId, now: Time) {
         debug_assert!(!self.transfers[tid].enqueued);
         self.transfers[tid].enqueued = true;
+        self.transfers[tid].ready_at = now;
         if self.transfers[tid].intra {
             if self.network.intra_limited() {
+                self.transfers[tid].queued_at = Some(now);
                 self.network.enqueue_intra(tid);
                 self.pump_intra(now);
             } else {
@@ -845,6 +1005,7 @@ impl<'a> ReplayState<'a> {
                 self.queue.schedule(now + dur, Event::TransferSent(tid));
             }
         } else {
+            self.transfers[tid].queued_at = Some(now);
             self.network.enqueue(tid);
             self.pump_network(now);
         }
@@ -896,6 +1057,7 @@ impl<'a> ReplayState<'a> {
         r: usize,
         req: RequestId,
         at: Time,
+        tid: TransferId,
         observer: &mut dyn ReplayObserver,
     ) {
         // If the rank is blocked on a wait-set containing this request,
@@ -908,18 +1070,15 @@ impl<'a> ReplayState<'a> {
                 set.is_empty()
             }
             _ => {
-                proc.reqs.insert(req.get(), ReqState::Done(at));
+                proc.reqs.insert(req.get(), ReqState::Done { at, tid });
                 false
             }
         };
         if unblock {
+            let start = self.procs[r].block_start;
+            observer.interval(Rank::new(r as u32), start, at, ProcState::WaitRequest);
+            self.emit_blocked(observer, r, start, at, BlockKind::Wait, tid);
             let p = &mut self.procs[r];
-            observer.interval(
-                Rank::new(r as u32),
-                p.block_start,
-                at,
-                ProcState::WaitRequest,
-            );
             p.blocked = None;
             p.clock = at;
             self.queue.schedule(at, Event::Resume(r));
@@ -945,14 +1104,16 @@ impl<'a> ReplayState<'a> {
             SenderKind::Blocking => {
                 let s = from.index();
                 debug_assert_eq!(self.procs[s].blocked, Some(Blocker::SendDone(tid)));
+                let start = self.procs[s].block_start;
+                observer.interval(from, start, at, ProcState::WaitSend);
+                self.emit_blocked(observer, s, start, at, BlockKind::Send, tid);
                 let p = &mut self.procs[s];
-                observer.interval(from, p.block_start, at, ProcState::WaitSend);
                 p.blocked = None;
                 p.clock = at;
                 self.queue.schedule(at, Event::Resume(s));
             }
             SenderKind::Request(req) => {
-                self.complete_request(from.index(), req, at, observer);
+                self.complete_request(from.index(), req, at, tid, observer);
             }
         }
 
@@ -991,19 +1152,16 @@ impl<'a> ReplayState<'a> {
             match self.recv_posts[pid].req {
                 None => {
                     debug_assert_eq!(self.procs[r].blocked, Some(Blocker::Recv(pid)));
+                    let start = self.procs[r].block_start;
+                    observer.interval(Rank::new(r as u32), start, done, ProcState::WaitRecv);
+                    self.emit_blocked(observer, r, start, done, BlockKind::Recv, tid);
                     let p = &mut self.procs[r];
-                    observer.interval(
-                        Rank::new(r as u32),
-                        p.block_start,
-                        done,
-                        ProcState::WaitRecv,
-                    );
                     p.blocked = None;
                     p.clock = done;
                     self.queue.schedule(done, Event::Resume(r));
                 }
                 Some(req) => {
-                    self.complete_request(r, req, done, observer);
+                    self.complete_request(r, req, done, tid, observer);
                 }
             }
         }

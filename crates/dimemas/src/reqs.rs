@@ -16,8 +16,15 @@ use ovlsim_core::Time;
 pub(crate) enum ReqState {
     /// Posted, not yet completed.
     InFlight,
-    /// Completed at the recorded time.
-    Done(Time),
+    /// Completed at the recorded time by the recorded transfer (the
+    /// engine's transfer-table index, kept so wait intervals can be
+    /// attributed to the last-completing request's channel).
+    Done {
+        /// Completion time.
+        at: Time,
+        /// Index of the completing transfer in the engine's table.
+        tid: usize,
+    },
 }
 
 /// Association list from request id to [`ReqState`].
@@ -152,11 +159,15 @@ mod tests {
 
     #[test]
     fn table_insert_replaces() {
+        let done = ReqState::Done {
+            at: Time::from_ns(5),
+            tid: 2,
+        };
         let mut t = ReqTable::new();
         t.insert(3, ReqState::InFlight);
-        t.insert(3, ReqState::Done(Time::from_ns(5)));
-        assert_eq!(t.get(3), Some(ReqState::Done(Time::from_ns(5))));
-        assert_eq!(t.remove(3), Some(ReqState::Done(Time::from_ns(5))));
+        t.insert(3, done);
+        assert_eq!(t.get(3), Some(done));
+        assert_eq!(t.remove(3), Some(done));
         assert_eq!(t.remove(3), None);
         assert_eq!(t.get(3), None);
     }

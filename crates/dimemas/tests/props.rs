@@ -3,7 +3,9 @@
 use ovlsim_core::{
     Instr, MipsRate, Platform, Rank, RankTrace, Record, RequestId, Tag, Time, TraceSet,
 };
-use ovlsim_dimemas::{emit_trace_set, parse_trace_set, Simulator};
+use ovlsim_dimemas::{
+    emit_trace_set, parse_trace_set, DepEdge, ReplayObserver, Simulator, WaitCause,
+};
 use proptest::prelude::*;
 
 /// Generates an arbitrary *structurally valid* two-rank trace: rank 0
@@ -328,6 +330,116 @@ fn arb_bursty_trace() -> impl Strategy<Value = TraceSet> {
         })
 }
 
+/// One recorded attribution callback: `(start, end, cause, edge)`.
+type AttrEntry = (Time, Time, WaitCause, Option<DepEdge>);
+
+/// Records every attributed interval per rank, plus finish times.
+#[derive(Default, Debug, PartialEq, Eq)]
+struct AttrCapture {
+    per_rank: Vec<Vec<AttrEntry>>,
+    finish: Vec<Time>,
+}
+
+impl AttrCapture {
+    fn new(ranks: usize) -> Self {
+        AttrCapture {
+            per_rank: vec![Vec::new(); ranks],
+            finish: vec![Time::ZERO; ranks],
+        }
+    }
+}
+
+impl ReplayObserver for AttrCapture {
+    fn attributed(
+        &mut self,
+        rank: Rank,
+        start: Time,
+        end: Time,
+        cause: WaitCause,
+        edge: Option<DepEdge>,
+    ) {
+        self.per_rank[rank.index()].push((start, end, cause, edge));
+    }
+    fn finished(&mut self, rank: Rank, at: Time) {
+        self.finish[rank.index()] = at;
+    }
+}
+
+/// The conservation property: per rank, attributed intervals are
+/// disjoint, gapless, in order, and their durations sum exactly to the
+/// rank's finish time (and the makespan for the slowest rank).
+fn assert_conserved(cap: &AttrCapture, trace: &TraceSet, total: Time) -> Result<(), TestCaseError> {
+    let channel_count = ovlsim_core::TraceIndex::build(trace)
+        .expect("valid")
+        .channel_count() as u32;
+    let mut max_finish = Time::ZERO;
+    for (r, ivs) in cap.per_rank.iter().enumerate() {
+        let finish = cap.finish[r];
+        max_finish = max_finish.max(finish);
+        let mut cursor = Time::ZERO;
+        let mut sum = Time::ZERO;
+        for &(start, end, cause, _) in ivs {
+            prop_assert_eq!(
+                start,
+                cursor,
+                "rank {} interval starts at {} but previous ended at {}",
+                r,
+                start,
+                cursor
+            );
+            prop_assert!(end > start, "rank {r}: zero-length interval emitted");
+            if let Some(chan) = cause.channel() {
+                prop_assert!(chan < channel_count, "rank {r}: dangling channel {chan}");
+            }
+            sum += end - start;
+            cursor = end;
+        }
+        prop_assert_eq!(
+            cursor,
+            finish,
+            "rank {}'s intervals end at {} but it finished at {}",
+            r,
+            cursor,
+            finish
+        );
+        prop_assert_eq!(sum, finish, "rank {}'s durations do not sum up", r);
+    }
+    prop_assert_eq!(max_finish, total, "finish times disagree with makespan");
+    Ok(())
+}
+
+/// Captures attribution through the prepared and the observed-compiled
+/// engines, asserts the conservation property on both, and asserts the
+/// two streams are **identical** (same intervals, causes and edges).
+fn assert_attribution_conserved(
+    trace: &TraceSet,
+    platform: &Platform,
+) -> Result<(), TestCaseError> {
+    let index = ovlsim_core::TraceIndex::build(trace).expect("valid");
+    let sim = Simulator::new(platform.clone());
+
+    let mut prepared_cap = AttrCapture::new(trace.rank_count());
+    let prepared = sim
+        .run_prepared_observed(trace, &index, &mut prepared_cap)
+        .expect("replays");
+    assert_conserved(&prepared_cap, trace, prepared.total_time())?;
+
+    let prog = ovlsim_core::CompiledTrace::compile_observed(trace, &index).expect("compiles");
+    let mut compiled_cap = AttrCapture::new(trace.rank_count());
+    let compiled = sim
+        .run_compiled_observed(&prog, &mut compiled_cap)
+        .expect("replays");
+    assert_conserved(&compiled_cap, trace, compiled.total_time())?;
+
+    prop_assert_eq!(&prepared, &compiled, "engines disagree on the result");
+    prop_assert_eq!(
+        prepared_cap,
+        compiled_cap,
+        "prepared and compiled attribution streams diverged"
+    );
+    Ok(())
+}
+
 /// Runs all four replay engines and asserts bit-identical results.
 fn assert_engines_agree(trace: &TraceSet, platform: &Platform) -> Result<(), TestCaseError> {
     let index = ovlsim_core::TraceIndex::build(trace).expect("valid");
@@ -470,6 +582,40 @@ proptest! {
         platform in arb_platform(),
     ) {
         assert_engines_agree(&trace, &platform)?;
+    }
+
+    /// Conservation on flat platforms: every rank's cause-tagged intervals
+    /// are disjoint, gapless and sum exactly to its finish time, with the
+    /// prepared and observed-compiled engines emitting identical streams.
+    /// Bursty traces cover blocking sends/recvs, request waits, reused
+    /// request slots, markers, collectives and sender overheads.
+    #[test]
+    fn attribution_conserves_time_flat(
+        trace in arb_bursty_trace(),
+        platform in arb_platform(),
+    ) {
+        assert_attribution_conserved(&trace, &platform)?;
+    }
+
+    /// Conservation on hierarchical (multicore-node) platforms: mixed
+    /// intra-/inter-node channels and finite intra-node ports, which
+    /// exercise the contended-intra vs contended-inter cause split.
+    #[test]
+    fn attribution_conserves_time_multicore(
+        trace in arb_bursty_trace(),
+        platform in arb_hier_platform(),
+    ) {
+        assert_attribution_conserved(&trace, &platform)?;
+    }
+
+    /// Conservation on non-blocking traces with large wait-sets (the
+    /// last-unblocker attribution path for `WaitAll`).
+    #[test]
+    fn attribution_conserves_time_nonblocking(
+        trace in arb_nonblocking_trace(),
+        platform in arb_platform(),
+    ) {
+        assert_attribution_conserved(&trace, &platform)?;
     }
 
     /// Latency monotonicity: increasing latency never speeds things up.

@@ -30,6 +30,9 @@
 //! latency-us 5              # optional: wire latency (default 5)
 //! ranks 16                  # optional: override every app's rank count
 //! iterations 2              # optional: override every app's iterations
+//! attribution on            # optional: per-point attribution columns
+//!                           # (original replay's wait/contention totals
+//!                           # and top overlap-gain channel; default off)
 //! ```
 //!
 //! Modes are [`OverlapMode`] labels without the `ovl-` prefix: `real`,
@@ -165,6 +168,15 @@ pub enum SpecError {
         /// Why the range denotes no points.
         reason: String,
     },
+    /// A boolean key was given something other than `on` or `off`.
+    InvalidFlag {
+        /// 1-based spec line.
+        line: usize,
+        /// The key being parsed.
+        key: String,
+        /// The offending token.
+        value: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -207,6 +219,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::EmptyRange { line, key, reason } => {
                 write!(f, "line {line}: `{key}` denotes no points: {reason}")
+            }
+            SpecError::InvalidFlag { line, key, value } => {
+                write!(f, "line {line}: `{key}` wants `on` or `off`, got `{value}`")
             }
         }
     }
@@ -274,6 +289,11 @@ pub struct CampaignSpec {
     pub ranks: Option<usize>,
     /// Optional override of every app's iteration count.
     pub iterations: Option<usize>,
+    /// Per-point attribution columns: each row additionally reports the
+    /// original replay's total communication wait, total resource-queue
+    /// contention, and the top overlap-gain channel (computed through the
+    /// attribution-capable prepared engine).
+    pub attribution: bool,
 }
 
 /// One expanded grid point (the unit [`run_campaign`] replays twice:
@@ -312,6 +332,7 @@ impl CampaignSpec {
         let mut latency: Option<Time> = None;
         let mut ranks: Option<usize> = None;
         let mut iterations: Option<usize> = None;
+        let mut attribution: Option<bool> = None;
 
         let mut saw_statement = false;
         for (idx, raw) in text.lines().enumerate() {
@@ -557,6 +578,21 @@ impl CampaignSpec {
                             }
                         })?);
                 }
+                "attribution" => {
+                    dup(attribution.is_some())?;
+                    nonempty()?;
+                    attribution = Some(match values[0] {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(SpecError::InvalidFlag {
+                                line,
+                                key: key.to_string(),
+                                value: other.to_string(),
+                            });
+                        }
+                    });
+                }
                 _ => {
                     return Err(SpecError::UnknownKey {
                         line,
@@ -583,6 +619,7 @@ impl CampaignSpec {
             latency: latency.unwrap_or_else(|| Time::from_us(5)),
             ranks,
             iterations,
+            attribution: attribution.unwrap_or(false),
         })
     }
 
@@ -625,6 +662,21 @@ impl CampaignSpec {
     }
 }
 
+/// Per-point attribution summary of the *original* replay (present when
+/// the spec sets `attribution on`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowAttribution {
+    /// Total communication wait across ranks (blocked + contended +
+    /// collective time).
+    pub orig_wait: Time,
+    /// Total transport resource-queue time across ranks (both domains).
+    pub orig_contended: Time,
+    /// Top-ranked channel by overlap gain potential, if any.
+    pub top_channel: Option<u32>,
+    /// That channel's gain potential (zero when no channel exists).
+    pub top_gain: Time,
+}
+
 /// One measured campaign point: original vs overlapped makespan on one
 /// platform under one engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -647,6 +699,8 @@ pub struct CampaignRow {
     pub overlapped: Time,
     /// Fraction of rank-time the original spends communicating.
     pub comm_fraction: f64,
+    /// Attribution columns (only when the spec sets `attribution on`).
+    pub attribution: Option<RowAttribution>,
 }
 
 impl CampaignRow {
@@ -665,11 +719,15 @@ impl CampaignRow {
 pub struct CampaignReport {
     /// Campaign name (from the spec).
     pub campaign: String,
+    /// Whether rows carry attribution columns (spec `attribution on`).
+    pub attribution: bool,
     /// Measured rows in [`CampaignSpec::expand`] order.
     pub rows: Vec<CampaignRow>,
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in the deterministic JSON reports
+/// (shared by campaign and attribution rendering).
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -698,11 +756,23 @@ impl CampaignReport {
         out.push_str("  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            let attr = match &row.attribution {
+                None => String::new(),
+                Some(a) => format!(
+                    ",\"orig_wait_ps\":{},\"orig_contended_ps\":{},\
+                     \"top_channel\":{},\"top_gain_ps\":{}",
+                    a.orig_wait.as_ps(),
+                    a.orig_contended.as_ps(),
+                    a.top_channel
+                        .map_or_else(|| "null".to_string(), |c| c.to_string()),
+                    a.top_gain.as_ps(),
+                ),
+            };
             out.push_str(&format!(
                 "    {{\"app\":\"{}\",\"class\":\"{}\",\"mode\":\"{}\",\"engine\":\"{}\",\
                  \"ranks_per_node\":{},\"bandwidth_bytes_per_sec\":{},\
                  \"original_ps\":{},\"overlapped_ps\":{},\
-                 \"comm_fraction\":{},\"speedup\":{}}}{sep}\n",
+                 \"comm_fraction\":{},\"speedup\":{}{attr}}}{sep}\n",
                 json_escape(&row.app),
                 row.class,
                 json_escape(&row.mode),
@@ -723,11 +793,15 @@ impl CampaignReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "app,class,mode,engine,ranks_per_node,bandwidth_bytes_per_sec,\
-             original_ps,overlapped_ps,comm_fraction,speedup\n",
+             original_ps,overlapped_ps,comm_fraction,speedup",
         );
+        if self.attribution {
+            out.push_str(",orig_wait_ps,orig_contended_ps,top_channel,top_gain_ps");
+        }
+        out.push('\n');
         for row in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}",
                 row.app,
                 row.class,
                 row.mode,
@@ -739,6 +813,16 @@ impl CampaignReport {
                 row.comm_fraction,
                 row.speedup(),
             ));
+            if let Some(a) = &row.attribution {
+                out.push_str(&format!(
+                    ",{},{},{},{}",
+                    a.orig_wait.as_ps(),
+                    a.orig_contended.as_ps(),
+                    a.top_channel.map_or_else(String::new, |c| c.to_string()),
+                    a.top_gain.as_ps(),
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -794,9 +878,12 @@ struct EngineInput {
 }
 
 impl EngineInput {
-    fn build(ts: TraceSet, engines: &[Engine]) -> Result<EngineInput, LabError> {
+    /// `attribution` forces the record stream and index to be kept (the
+    /// attribution pass replays through the prepared engine regardless of
+    /// the row's engine).
+    fn build(ts: TraceSet, engines: &[Engine], attribution: bool) -> Result<EngineInput, LabError> {
         let needs_prog = engines.contains(&Engine::Compiled);
-        let needs_index = engines.contains(&Engine::Prepared);
+        let needs_index = engines.contains(&Engine::Prepared) || attribution;
         let needs_trace = needs_index || engines.contains(&Engine::Naive);
         let (index, prog) = if needs_prog || needs_index {
             let index = TraceIndex::build(&ts)
@@ -890,8 +977,8 @@ pub fn run_campaign_threaded(
                 groups.insert(
                     (app_name.clone(), class, mode.label()),
                     Group {
-                        orig: EngineInput::build(orig, &spec.engines)?,
-                        ovl: EngineInput::build(ovl, &spec.engines)?,
+                        orig: EngineInput::build(orig, &spec.engines, spec.attribution)?,
+                        ovl: EngineInput::build(ovl, &spec.engines, false)?,
                     },
                 );
             }
@@ -911,6 +998,28 @@ pub fn run_campaign_threaded(
             .with_bandwidth(point.bandwidth)
             .with_ranks_per_node(point.ranks_per_node);
         let (orig, ovl) = group.replay(point.engine, &platform)?;
+        let attribution = if spec.attribution {
+            let trace = group.orig.trace.as_ref().expect("attribution keeps traces");
+            let index = group.orig.index.as_ref().expect("attribution keeps index");
+            let attr = crate::attribution::Attribution::analyze(&platform, trace, index)?;
+            let (mut wait, mut contended) = (Time::ZERO, Time::ZERO);
+            for b in attr.ranks() {
+                wait += b.wait();
+                contended += b.contended_inter + b.contended_intra;
+            }
+            let top = attr
+                .ranked_channels()
+                .first()
+                .map(|c| (c.chan, c.gain_potential));
+            Some(RowAttribution {
+                orig_wait: wait,
+                orig_contended: contended,
+                top_channel: top.map(|(c, _)| c),
+                top_gain: top.map_or(Time::ZERO, |(_, g)| g),
+            })
+        } else {
+            None
+        };
         Ok(CampaignRow {
             app: point.app.clone(),
             class: point.class,
@@ -921,12 +1030,14 @@ pub fn run_campaign_threaded(
             original: orig.total_time(),
             overlapped: ovl.total_time(),
             comm_fraction: orig.comm_fraction(),
+            attribution,
         })
     })
     .into_iter()
     .collect();
     Ok(CampaignReport {
         campaign: spec.name.clone(),
+        attribution: spec.attribution,
         rows: rows?,
     })
 }
@@ -1191,6 +1302,55 @@ iterations 1
             );
             assert_eq!(seq.to_csv(), par.to_csv());
         }
+    }
+
+    #[test]
+    fn attribution_flag_parses_and_adds_columns() {
+        // Default off; bad values rejected with the line number.
+        let spec = CampaignSpec::parse(MINI).unwrap();
+        assert!(!spec.attribution);
+        assert!(matches!(
+            CampaignSpec::parse("campaign x\napps pop\nbandwidths list 1e8\nattribution maybe\n")
+                .unwrap_err(),
+            SpecError::InvalidFlag { line: 4, .. }
+        ));
+
+        let spec = CampaignSpec::parse(&format!("{MINI}attribution on\n")).unwrap();
+        assert!(spec.attribution);
+        let report = run_campaign_threaded(&spec, 1).unwrap();
+        assert!(report.attribution);
+        for row in &report.rows {
+            let a = row.attribution.expect("attribution columns present");
+            // sweep3d communicates, so the original replay waits somewhere
+            // and some channel carries an overlap opportunity.
+            assert!(a.orig_wait > Time::ZERO);
+            assert!(a.top_channel.is_some());
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"orig_wait_ps\":"));
+        assert!(json.contains("\"top_channel\":"));
+        let csv = report.to_csv();
+        assert!(csv.starts_with("app,class,"));
+        assert!(csv.lines().next().unwrap().ends_with(",top_gain_ps"));
+
+        // Off: reports are byte-identical to a spec without the key.
+        let plain = run_campaign_threaded(&CampaignSpec::parse(MINI).unwrap(), 1).unwrap();
+        let off = run_campaign_threaded(
+            &CampaignSpec::parse(&format!("{MINI}attribution off\n")).unwrap(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(plain.to_json(), off.to_json());
+        assert_eq!(plain.to_csv(), off.to_csv());
+    }
+
+    #[test]
+    fn attribution_campaign_is_deterministic_across_threads() {
+        let spec = CampaignSpec::parse(&format!("{MINI}attribution on\n")).unwrap();
+        let seq = run_campaign_threaded(&spec, 1).unwrap();
+        let par = run_campaign_threaded(&spec, 4).unwrap();
+        assert_eq!(seq.to_json(), par.to_json());
+        assert_eq!(seq.to_csv(), par.to_csv());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+pub mod attribution;
 mod bounds;
 pub mod campaign;
 mod error;
@@ -50,9 +51,13 @@ mod sweep;
 mod table;
 
 pub use analysis::{intermediate_bandwidth, peak_speedup, point_nearest_comm_fraction};
+pub use attribution::{
+    AttrInterval, Attribution, AttributionRecorder, ChannelBreakdown, PathStep, RankBreakdown,
+};
 pub use bounds::OverlapBounds;
 pub use campaign::{
-    diff_reports, run_campaign, CampaignReport, CampaignRow, CampaignSpec, Engine, SpecError,
+    diff_reports, run_campaign, CampaignReport, CampaignRow, CampaignSpec, Engine, RowAttribution,
+    SpecError,
 };
 pub use error::LabError;
 pub use experiments::{

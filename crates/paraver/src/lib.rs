@@ -9,6 +9,8 @@
 //!   message arrows and markers,
 //! * [`to_prv`]/[`to_pcf`]/[`to_row`] — export to the real Paraver file
 //!   format (loadable by the BSC Paraver tool),
+//! * [`to_cause_prv`]/[`to_cause_pcf`] — export of cause-tagged
+//!   attribution timelines (what each rank's time is *charged to*),
 //! * [`render_gantt`] — an ASCII Gantt chart for terminal-side qualitative
 //!   comparison,
 //! * [`StateProfile`]/[`compare`] — quantitative state breakdowns and
@@ -19,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cause;
 mod comms;
 mod gantt;
 mod profile;
 mod prv;
 mod timeline;
 
+pub use cause::{to_cause_pcf, to_cause_prv};
 pub use comms::CommStats;
 pub use gantt::{render_gantt, state_glyph, GanttOptions};
 pub use profile::{compare, StateProfile};

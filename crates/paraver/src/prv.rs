@@ -20,8 +20,25 @@ use crate::timeline::Timeline;
 /// Event type used for `ovlsim` markers in the `.pcf`.
 pub const MARKER_EVENT_TYPE: u32 = 90_000_001;
 
-fn ns(t: Time) -> u64 {
+/// Picosecond-to-nanosecond truncation used by every `.prv` exporter.
+pub(crate) fn ns(t: Time) -> u64 {
     t.as_ps() / 1_000
+}
+
+/// Renders the deterministic `.prv` header for `n` ranks spanning
+/// `span`: one application with `n` tasks of one thread, one task per
+/// node, with a fixed date stamp. Shared by the activity and cause
+/// timeline exporters so the header format can never diverge.
+pub(crate) fn prv_header(n: usize, span: Time) -> String {
+    let ftime = ns(span);
+    format!(
+        "#Paraver (01/01/2010 at 00:00):{ftime}_ns:{n}({}):1:1:{n}({})\n",
+        vec!["1"; n].join(","),
+        (1..=n)
+            .map(|i| format!("1:{i}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    )
 }
 
 /// Renders the `.prv` body for a timeline.
@@ -29,21 +46,7 @@ fn ns(t: Time) -> u64 {
 /// The header uses a fixed date stamp (the export is deterministic).
 pub fn to_prv(timeline: &Timeline) -> String {
     let n = timeline.rank_count();
-    let ftime = ns(timeline.span());
-    let mut out = String::new();
-    // Header: one application with n tasks of one thread, one task per node.
-    let task_list: Vec<String> = (1..=n).map(|_| "1".to_string()).collect();
-    let _ = writeln!(
-        out,
-        "#Paraver (01/01/2010 at 00:00):{ftime}_ns:{n}({}):1:1:{n}({})",
-        vec!["1"; n].join(","),
-        task_list
-            .iter()
-            .enumerate()
-            .map(|(i, _)| format!("1:{}", i + 1))
-            .collect::<Vec<_>>()
-            .join(",")
-    );
+    let mut out = prv_header(n, timeline.span());
     // State records, per rank in time order.
     for r in 0..n {
         let rank = ovlsim_core::Rank::new(r as u32);

@@ -129,8 +129,26 @@ pub const MAX_CHUNKS_PER_MESSAGE: usize = 1 << 16;
 /// Derives the wire tag of chunk `chunk` of the `channel_seq`-th message
 /// with application tag `app_tag` on its channel.
 ///
-/// Chunk tags have the top bit set so they can never collide with
-/// application tags.
+/// # Non-collision guarantee
+///
+/// The three components occupy **disjoint bit fields** of the 64-bit tag:
+///
+/// ```text
+/// bit 63  | bits 40..59        | bits 16..38           | bits 0..15
+/// chunk   | app_tag (20 bits)  | channel_seq (23 bits) | chunk (16 bits)
+/// flag    |                    |                       |
+/// ```
+///
+/// Within the asserted ranges the encoding is therefore **injective**:
+/// two chunk tags are equal iff all three components are equal — in
+/// particular, the last chunk of one message can never collide with the
+/// first chunk of the next message on an adjacent `channel_seq`, and no
+/// chunk count below [`MAX_CHUNKS_PER_MESSAGE`] can overflow into the
+/// sequence field. The top bit is always set, so a chunk tag can never
+/// collide with an application tag below [`MAX_APP_TAG`] either (bit 39
+/// is deliberately left unused as a guard between the sequence and
+/// application fields). `tracer::tests` and `tests/props.rs` assert the
+/// guarantee on the boundaries.
 ///
 /// # Panics
 ///
@@ -577,6 +595,65 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn chunk_tag_rejects_huge_app_tag() {
         chunk_tag(Tag::new(MAX_APP_TAG), 0, 0);
+    }
+
+    #[test]
+    fn chunk_tag_adjacent_channels_never_collide() {
+        // The classic carry hazard: the LAST chunk of message `seq` vs
+        // the FIRST chunk of message `seq + 1`. Disjoint bit fields mean
+        // the chunk count can never overflow into the sequence field.
+        let last_chunk = MAX_CHUNKS_PER_MESSAGE - 1;
+        for seq in [0u32, 1, 1000, MAX_CHANNEL_SEQ - 2] {
+            let end_of_seq = chunk_tag(Tag::new(7), seq, last_chunk);
+            let start_of_next = chunk_tag(Tag::new(7), seq + 1, 0);
+            assert_ne!(
+                end_of_seq, start_of_next,
+                "carry from chunk field into sequence field at seq {seq}"
+            );
+            // And the difference is exactly what the layout predicts:
+            // clearing the chunk bits of `end_of_seq` recovers `seq`.
+            assert_eq!((end_of_seq.get() >> 16) & 0x7f_ffff, seq as u64);
+            assert_eq!(end_of_seq.get() & 0xffff, last_chunk as u64);
+        }
+    }
+
+    #[test]
+    fn chunk_tag_boundary_values_stay_injective() {
+        // Every component at its maximum simultaneously: fields must not
+        // bleed into each other or the flag bit.
+        let max = chunk_tag(
+            Tag::new(MAX_APP_TAG - 1),
+            MAX_CHANNEL_SEQ - 1,
+            MAX_CHUNKS_PER_MESSAGE - 1,
+        );
+        assert_eq!(max.get() >> 63, 1, "flag bit survives max components");
+        assert_eq!((max.get() >> 40) & 0xf_ffff, MAX_APP_TAG - 1);
+        assert_eq!((max.get() >> 16) & 0x7f_ffff, (MAX_CHANNEL_SEQ - 1) as u64);
+        assert_eq!(max.get() & 0xffff, (MAX_CHUNKS_PER_MESSAGE - 1) as u64);
+        // High chunk counts on adjacent (app_tag, seq) pairs: pairwise
+        // distinct across a dense block of the boundary region.
+        let mut seen = std::collections::BTreeSet::new();
+        for app in [0u64, 1, MAX_APP_TAG - 1] {
+            for seq in [0u32, 1, MAX_CHANNEL_SEQ - 1] {
+                for chunk in [0usize, 1, 255, MAX_CHUNKS_PER_MESSAGE - 1] {
+                    assert!(
+                        seen.insert(chunk_tag(Tag::new(app), seq, chunk)),
+                        "collision at app={app} seq={seq} chunk={chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_tags_disjoint_from_application_tags() {
+        // Application tags are < MAX_APP_TAG and the flag bit is always
+        // set: no chunk tag can shadow any valid application tag.
+        let smallest_chunk_tag = chunk_tag(Tag::new(0), 0, 0);
+        assert!(smallest_chunk_tag.get() >= 1 << 63);
+        for app_tag in [0, 1, MAX_APP_TAG - 1] {
+            assert!(Tag::new(app_tag).get() < smallest_chunk_tag.get());
+        }
     }
 
     #[test]

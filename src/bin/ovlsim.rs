@@ -9,12 +9,21 @@
 //! ovlsim campaign diff <golden> <actual>   exit 1 (with per-line diffs)
 //!                                          if the reports drifted
 //!
-//! ovlsim trace gen <app> <out-prefix>      write <prefix>.original.dim,
+//! ovlsim trace gen <app> <out-prefix> [class] [ranks] [iters]
+//!                                          write <prefix>.original.dim,
 //!                                          <prefix>.ovl-real.dim and
 //!                                          <prefix>.ovl-linear.dim
 //! ovlsim trace stats <file.dim>            validate + per-rank summary
 //! ovlsim trace validate <file.dim>         exit 1 if structurally invalid
 //! ovlsim trace replay <file.dim> [bw] [lat] replay (bytes/s, us) + Gantt
+//!
+//! ovlsim analyze <file.dim> [bw] [lat] [--out <dir>] [--csv] [--prv]
+//!                                          time attribution + critical
+//!                                          path: write
+//!                                          <dir>/<name>.analysis.json
+//!                                          (and .csv, and a Paraver
+//!                                          cause timeline), print the
+//!                                          per-channel gain ranking
 //! ```
 //!
 //! Campaign specs are the declarative replacement for one-off experiment
@@ -27,10 +36,13 @@ use std::process::ExitCode;
 
 use ovlsim::apps::registry;
 use ovlsim::apps::ProblemClass;
-use ovlsim::core::{format_bytes, format_time, validate_trace_set, Platform, Rank, Time, TraceSet};
-use ovlsim::dimemas::{emit_trace_set, parse_trace_set};
+use ovlsim::core::{
+    format_bytes, format_time, validate_trace_set, Platform, Rank, Time, TraceIndex, TraceSet,
+};
+use ovlsim::dimemas::{emit_trace_set, parse_trace_set, Simulator};
 use ovlsim::lab::campaign::{diff_reports, run_campaign, CampaignSpec};
-use ovlsim::paraver::{render_gantt, GanttOptions, Timeline};
+use ovlsim::lab::{Attribution, AttributionRecorder};
+use ovlsim::paraver::{render_gantt, to_cause_pcf, to_cause_prv, to_row, GanttOptions, Timeline};
 use ovlsim::tracer::TracingSession;
 
 fn usage() -> ExitCode {
@@ -38,10 +50,11 @@ fn usage() -> ExitCode {
         "usage:\n  ovlsim campaign run <spec.campaign> [--out <dir>] [--csv]\n  \
          ovlsim campaign list <spec.campaign>\n  \
          ovlsim campaign diff <golden.json> <actual.json>\n  \
-         ovlsim trace gen <app> <out-prefix>\n  \
+         ovlsim trace gen <app> <out-prefix> [class] [ranks] [iterations]\n  \
          ovlsim trace stats <file.dim>\n  \
          ovlsim trace validate <file.dim>\n  \
-         ovlsim trace replay <file.dim> [bytes-per-sec] [latency-us]"
+         ovlsim trace replay <file.dim> [bytes-per-sec] [latency-us]\n  \
+         ovlsim analyze <file.dim> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv]"
     );
     ExitCode::from(2)
 }
@@ -163,8 +176,40 @@ fn load_trace(path: &str) -> Result<TraceSet, String> {
     parse_trace_set(&read(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_trace_gen(app_name: &str, prefix: &str) -> Result<(), String> {
-    let app = registry::build_app(app_name, ProblemClass::A, Default::default())
+fn parse_class(s: &str) -> Result<ProblemClass, String> {
+    match s {
+        "S" => Ok(ProblemClass::S),
+        "W" => Ok(ProblemClass::W),
+        "A" => Ok(ProblemClass::A),
+        "B" => Ok(ProblemClass::B),
+        other => Err(format!(
+            "unknown problem class `{other}` (want S, W, A or B)"
+        )),
+    }
+}
+
+fn cmd_trace_gen(
+    app_name: &str,
+    prefix: &str,
+    class: Option<&str>,
+    ranks: Option<&str>,
+    iterations: Option<&str>,
+) -> Result<(), String> {
+    let class = class.map_or(Ok(ProblemClass::A), parse_class)?;
+    let parse_count = |what: &str, v: Option<&str>| -> Result<Option<usize>, String> {
+        v.map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("bad {what} `{s}`: want a positive integer"))
+        })
+        .transpose()
+    };
+    let overrides = ovlsim::apps::registry::AppOverrides {
+        ranks: parse_count("rank count", ranks)?,
+        iterations: parse_count("iteration count", iterations)?,
+    };
+    let app = registry::build_app(app_name, class, overrides)
         .map_err(|e| format!("unknown or invalid app `{app_name}`: {e}"))?;
     let bundle = TracingSession::new(app.as_ref())
         .run()
@@ -236,15 +281,23 @@ fn cmd_trace_validate(path: &str) -> Result<(), String> {
     }
 }
 
-fn cmd_trace_replay(path: &str, bw: Option<&str>, lat: Option<&str>) -> Result<(), String> {
-    let trace = load_trace(path)?;
+/// Builds the platform shared by `trace replay` and `analyze` from their
+/// optional `[bytes-per-sec] [latency-us]` arguments (defaults: 250e6,
+/// 5 us) — one parser so the two subcommands can never simulate
+/// different platforms for the same arguments.
+fn parse_platform(bw: Option<&str>, lat: Option<&str>) -> Result<Platform, String> {
     let bw: f64 = bw.unwrap_or("250e6").parse().map_err(|_| "bad bandwidth")?;
     let lat: u64 = lat.unwrap_or("5").parse().map_err(|_| "bad latency")?;
     let mut b = Platform::builder();
     b.latency(Time::from_us(lat))
         .bandwidth_bytes_per_sec(bw)
         .map_err(|e| e.to_string())?;
-    let platform = b.build();
+    Ok(b.build())
+}
+
+fn cmd_trace_replay(path: &str, bw: Option<&str>, lat: Option<&str>) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let platform = parse_platform(bw, lat)?;
     let (timeline, result) = Timeline::capture(&platform, &trace).map_err(|e| e.to_string())?;
     println!("{result}");
     for r in 0..result.rank_finish().len() {
@@ -267,6 +320,97 @@ fn cmd_trace_replay(path: &str, bw: Option<&str>, lat: Option<&str>) -> Result<(
     Ok(())
 }
 
+// ----------------------------------------------------------------- analyze
+
+fn cmd_analyze(
+    path: &str,
+    bw: Option<&str>,
+    lat: Option<&str>,
+    out_dir: &Path,
+    csv: bool,
+    prv: bool,
+) -> Result<(), String> {
+    let trace = load_trace(path)?;
+    let platform = parse_platform(bw, lat)?;
+    let index = TraceIndex::build(&trace).map_err(|issues| {
+        for issue in &issues {
+            eprintln!("{path}: {issue}");
+        }
+        format!("{path}: {} validation issues", issues.len())
+    })?;
+    let mut recorder = AttributionRecorder::new(trace.rank_count());
+    let result = Simulator::new(platform.clone())
+        .run_prepared_observed(&trace, &index, &mut recorder)
+        .map_err(|e| e.to_string())?;
+    let attr = Attribution::from_recorded(&recorder, &result, &trace, &index, &platform);
+
+    fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let write_out = |name: String, content: String| -> Result<PathBuf, String> {
+        let p = out_dir.join(name);
+        fs::write(&p, content).map_err(|e| format!("write {}: {e}", p.display()))?;
+        Ok(p)
+    };
+    let json_path = write_out(
+        format!("{}.analysis.json", attr.trace_name()),
+        attr.to_json(),
+    )?;
+    println!(
+        "analysis {}: {} ranks, {} channels -> {}",
+        attr.trace_name(),
+        trace.rank_count(),
+        attr.channels().len(),
+        json_path.display()
+    );
+    if csv {
+        let p = write_out(format!("{}.analysis.csv", attr.trace_name()), attr.to_csv())?;
+        println!("              csv -> {}", p.display());
+    }
+    if prv {
+        let intervals = (0..trace.rank_count()).flat_map(|r| {
+            recorder
+                .intervals(r)
+                .iter()
+                .map(move |iv| (Rank::new(r as u32), iv.start, iv.end, iv.cause))
+        });
+        let prv_body = to_cause_prv(trace.rank_count(), attr.makespan(), intervals);
+        let p = write_out(format!("{}.cause.prv", attr.trace_name()), prv_body)?;
+        write_out(format!("{}.cause.pcf", attr.trace_name()), to_cause_pcf())?;
+        write_out(
+            format!("{}.cause.row", attr.trace_name()),
+            to_row(trace.rank_count()),
+        )?;
+        println!("              paraver cause timeline -> {}", p.display());
+    }
+
+    println!(
+        "\nmakespan {}  bound {}  critical path {} segments",
+        format_time(attr.makespan()),
+        format_time(attr.makespan_bound()),
+        attr.critical_path().len()
+    );
+    println!(
+        "\n{:<6} {:>4} {:>4} {:>12} {:>12} {:>12}",
+        "chan", "src", "dst", "wait", "critical", "gain"
+    );
+    const SHOWN: usize = 10;
+    let ranked = attr.ranked_channels();
+    for c in ranked.iter().take(SHOWN) {
+        println!(
+            "{:<6} {:>4} {:>4} {:>12} {:>12} {:>12}",
+            c.chan,
+            c.src.get(),
+            c.dst.get(),
+            format_time(c.total_wait()),
+            format_time(c.critical),
+            format_time(c.gain_potential)
+        );
+    }
+    if ranked.len() > SHOWN {
+        println!("... and {} more channels", ranked.len() - SHOWN);
+    }
+    Ok(())
+}
+
 // -------------------------------------------------------------------- main
 
 fn main() -> ExitCode {
@@ -274,12 +418,17 @@ fn main() -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut out_dir = PathBuf::from(".");
     let mut csv = false;
+    let mut prv = false;
     let mut flags_given = false;
     let mut it = args.iter().map(String::as_str);
     while let Some(arg) = it.next() {
         match arg {
             "--csv" => {
                 csv = true;
+                flags_given = true;
+            }
+            "--prv" => {
+                prv = true;
                 flags_given = true;
             }
             "--out" => match it.next() {
@@ -293,21 +442,37 @@ fn main() -> ExitCode {
             _ => positional.push(arg),
         }
     }
-    // --out/--csv only mean something to `campaign run`; silently
-    // swallowing them elsewhere would misplace the user's output.
-    if flags_given && positional.get(..2) != Some(&["campaign", "run"]) {
+    // Flags only mean something to `campaign run` and `analyze`; silently
+    // swallowing them elsewhere would misplace the user's output. `--prv`
+    // is analyze-only.
+    let takes_flags =
+        positional.get(..2) == Some(&["campaign", "run"]) || positional.first() == Some(&"analyze");
+    if flags_given && !takes_flags {
+        return usage();
+    }
+    if prv && positional.first() != Some(&"analyze") {
         return usage();
     }
     let result = match positional[..] {
         ["campaign", "run", spec] => cmd_campaign_run(spec, &out_dir, csv),
         ["campaign", "list", spec] => cmd_campaign_list(spec),
         ["campaign", "diff", golden, actual] => cmd_campaign_diff(golden, actual),
-        ["trace", "gen", app, prefix] => cmd_trace_gen(app, prefix),
+        ["trace", "gen", app, prefix] => cmd_trace_gen(app, prefix, None, None, None),
+        ["trace", "gen", app, prefix, class] => cmd_trace_gen(app, prefix, Some(class), None, None),
+        ["trace", "gen", app, prefix, class, ranks] => {
+            cmd_trace_gen(app, prefix, Some(class), Some(ranks), None)
+        }
+        ["trace", "gen", app, prefix, class, ranks, iters] => {
+            cmd_trace_gen(app, prefix, Some(class), Some(ranks), Some(iters))
+        }
         ["trace", "stats", path] => cmd_trace_stats(path),
         ["trace", "validate", path] => cmd_trace_validate(path),
         ["trace", "replay", path] => cmd_trace_replay(path, None, None),
         ["trace", "replay", path, bw] => cmd_trace_replay(path, Some(bw), None),
         ["trace", "replay", path, bw, lat] => cmd_trace_replay(path, Some(bw), Some(lat)),
+        ["analyze", path] => cmd_analyze(path, None, None, &out_dir, csv, prv),
+        ["analyze", path, bw] => cmd_analyze(path, Some(bw), None, &out_dir, csv, prv),
+        ["analyze", path, bw, lat] => cmd_analyze(path, Some(bw), Some(lat), &out_dir, csv, prv),
         _ => return usage(),
     };
     match result {
