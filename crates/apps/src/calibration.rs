@@ -89,6 +89,7 @@ pub fn multicore_platform(ranks_per_node: u32) -> Platform {
         .bandwidth_bytes_per_sec(250.0e6)
         .expect("reference bandwidth is valid")
         .ranks_per_node(ranks_per_node)
+        .expect("positive ranks per node")
         .intra_node_latency(Time::from_ns(500))
         .intra_node_bandwidth(
             Bandwidth::from_bytes_per_sec(10.0e9).expect("intra-node bandwidth is valid"),

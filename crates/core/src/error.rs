@@ -13,6 +13,17 @@ pub enum CoreError {
     InvalidMips(u64),
     /// A time value was negative, non-finite, or out of range.
     InvalidTime(f64),
+    /// A CPU speed ratio was not finite and strictly positive.
+    InvalidCpuRatio(f64),
+    /// A ranks-per-node packing was zero.
+    InvalidRanksPerNode,
+    /// A perturbation parameter was out of its domain.
+    InvalidPerturbation {
+        /// Which parameter was rejected.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +35,18 @@ impl fmt::Display for CoreError {
             CoreError::InvalidMips(v) => write!(f, "MIPS rate must be positive, got {v}"),
             CoreError::InvalidTime(v) => {
                 write!(f, "time must be finite, non-negative and in range, got {v}")
+            }
+            CoreError::InvalidCpuRatio(v) => {
+                write!(f, "cpu ratio must be finite and positive, got {v}")
+            }
+            CoreError::InvalidRanksPerNode => {
+                write!(f, "ranks per node must be at least 1, got 0")
+            }
+            CoreError::InvalidPerturbation { param, value } => {
+                write!(
+                    f,
+                    "perturbation parameter {param} is out of domain: {value}"
+                )
             }
         }
     }
@@ -41,6 +64,12 @@ mod tests {
             CoreError::InvalidBandwidth(-1.0),
             CoreError::InvalidMips(0),
             CoreError::InvalidTime(f64::NAN),
+            CoreError::InvalidCpuRatio(0.0),
+            CoreError::InvalidRanksPerNode,
+            CoreError::InvalidPerturbation {
+                param: "noise level",
+                value: -0.5,
+            },
         ] {
             let s = format!("{e}");
             assert!(!s.is_empty());

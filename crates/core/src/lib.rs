@@ -12,7 +12,10 @@
 //! * [`Rank`], [`Tag`], [`RequestId`], [`BufferId`] — identifier newtypes,
 //! * [`Record`], [`RankTrace`], [`TraceSet`] — Dimemas-style trace records,
 //! * [`Platform`] — the configurable target platform (latency, bandwidth,
-//!   buses, links, eager/rendezvous, collective cost models).
+//!   buses, links, eager/rendezvous, collective cost models),
+//! * [`PerturbationModel`] — seeded, deterministic deviations from the
+//!   clean machine (OS noise, stragglers, heterogeneous nodes, degraded
+//!   links, transient faults), backed by the counter-based [`rng`].
 //!
 //! # Example
 //!
@@ -39,9 +42,11 @@ mod error;
 mod ids;
 mod index;
 mod instr;
+mod perturb;
 mod platform;
 mod program;
 mod record;
+pub mod rng;
 mod time;
 mod units;
 mod validate;
@@ -50,6 +55,7 @@ pub use error::CoreError;
 pub use ids::{BufferId, MessageId, Rank, RequestId, Tag};
 pub use index::{ChannelId, TraceIndex, NO_CHANNEL};
 pub use instr::{Instr, MipsRate};
+pub use perturb::PerturbationModel;
 pub use platform::{
     CollectiveModel, CollectiveOp, NodeTopology, Platform, PlatformBuilder, StageModel,
 };

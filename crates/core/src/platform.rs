@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::error::CoreError;
+use crate::perturb::PerturbationModel;
 use crate::time::{Bandwidth, Time};
 
 /// How the number of communication stages of a collective scales with the
@@ -145,12 +146,15 @@ impl CollectiveModel {
 /// ```
 /// use ovlsim_core::Platform;
 ///
-/// let p = Platform::builder().ranks_per_node(4).build();
+/// # fn main() -> Result<(), ovlsim_core::CoreError> {
+/// let p = Platform::builder().ranks_per_node(4)?.build();
 /// let topo = p.topology(10);
 /// assert_eq!(topo.node_count(), 3); // nodes 0–1 full, node 2 holds 2 ranks
 /// assert!(topo.same_node(4, 7));
 /// assert!(!topo.same_node(3, 4));
 /// assert!(topo.spans_nodes());
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeTopology {
@@ -247,6 +251,7 @@ pub struct Platform {
     intra_node_links: Option<u32>,
     cpu_ratio: f64,
     collectives: CollectiveModel,
+    perturbation: PerturbationModel,
 }
 
 impl Platform {
@@ -298,6 +303,15 @@ impl Platform {
     pub fn with_intra_node_bandwidth(&self, bandwidth: Bandwidth) -> Platform {
         let mut p = self.clone();
         p.intra_node_bandwidth = bandwidth;
+        p
+    }
+
+    /// Returns a copy with a different perturbation model. Attaching the
+    /// identity model (the default) leaves every replay bit-identical to a
+    /// clean one.
+    pub fn with_perturbation(&self, model: PerturbationModel) -> Platform {
+        let mut p = self.clone();
+        p.perturbation = model;
         p
     }
 
@@ -387,6 +401,11 @@ impl Platform {
         &self.collectives
     }
 
+    /// The attached perturbation model (the identity by default).
+    pub fn perturbation(&self) -> &PerturbationModel {
+        &self.perturbation
+    }
+
     /// End-to-end duration of an uncontended point-to-point transfer:
     /// `latency + bytes/bandwidth` (+ rendezvous handshake if above the
     /// eager threshold).
@@ -456,6 +475,7 @@ impl PlatformBuilder {
                 intra_node_links: None,
                 cpu_ratio: 1.0,
                 collectives: CollectiveModel::default(),
+                perturbation: PerturbationModel::default(),
             },
         }
     }
@@ -544,13 +564,15 @@ impl PlatformBuilder {
 
     /// Sets how many ranks share one node (must be ≥ 1).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ranks == 0`.
-    pub fn ranks_per_node(&mut self, ranks: u32) -> &mut Self {
-        assert!(ranks >= 1, "ranks per node must be >= 1");
+    /// Returns [`CoreError::InvalidRanksPerNode`] if `ranks == 0`.
+    pub fn ranks_per_node(&mut self, ranks: u32) -> Result<&mut Self, CoreError> {
+        if ranks == 0 {
+            return Err(CoreError::InvalidRanksPerNode);
+        }
         self.platform.ranks_per_node = ranks;
-        self
+        Ok(self)
     }
 
     /// Sets the intra-node transfer latency.
@@ -581,21 +603,27 @@ impl PlatformBuilder {
 
     /// Sets the relative CPU speed factor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `ratio` is finite and positive.
-    pub fn cpu_ratio(&mut self, ratio: f64) -> &mut Self {
-        assert!(
-            ratio.is_finite() && ratio > 0.0,
-            "cpu ratio must be finite and positive"
-        );
+    /// Returns [`CoreError::InvalidCpuRatio`] unless `ratio` is finite and
+    /// strictly positive.
+    pub fn cpu_ratio(&mut self, ratio: f64) -> Result<&mut Self, CoreError> {
+        if !ratio.is_finite() || ratio <= 0.0 {
+            return Err(CoreError::InvalidCpuRatio(ratio));
+        }
         self.platform.cpu_ratio = ratio;
-        self
+        Ok(self)
     }
 
     /// Sets the collective cost models.
     pub fn collectives(&mut self, model: CollectiveModel) -> &mut Self {
         self.platform.collectives = model;
+        self
+    }
+
+    /// Attaches a perturbation model (the identity by default).
+    pub fn perturbation(&mut self, model: PerturbationModel) -> &mut Self {
+        self.platform.perturbation = model;
         self
     }
 
@@ -666,6 +694,7 @@ mod tests {
             .send_overhead(Time::from_ns(500))
             .recv_overhead(Time::from_ns(700))
             .cpu_ratio(2.0)
+            .expect("positive ratio")
             .build();
         assert_eq!(p.buses(), Some(2));
         assert_eq!(p.input_links(), 4);
@@ -719,14 +748,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cpu ratio")]
-    fn bad_cpu_ratio_rejected() {
-        Platform::builder().cpu_ratio(0.0);
+    fn bad_cpu_ratio_rejected_with_typed_error() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            match Platform::builder().cpu_ratio(bad) {
+                Err(CoreError::InvalidCpuRatio(v)) => {
+                    assert!(v == bad || (v.is_nan() && bad.is_nan()));
+                }
+                other => panic!("cpu_ratio({bad}) should be rejected, got {other:?}"),
+            }
+        }
+        // The error does not poison the builder: valid values still work.
+        let mut b = Platform::builder();
+        assert!(b.cpu_ratio(-1.0).is_err());
+        let p = b.cpu_ratio(2.0).expect("valid ratio").build();
+        assert_eq!(p.cpu_ratio(), 2.0);
     }
 
     #[test]
     fn node_mapping() {
-        let p = Platform::builder().ranks_per_node(4).build();
+        let p = Platform::builder()
+            .ranks_per_node(4)
+            .expect("positive packing")
+            .build();
         assert_eq!(p.ranks_per_node(), 4);
         assert_eq!(p.node_of(0), 0);
         assert_eq!(p.node_of(3), 0);
@@ -737,14 +780,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ranks per node")]
-    fn zero_ranks_per_node_rejected() {
-        Platform::builder().ranks_per_node(0);
+    fn zero_ranks_per_node_rejected_with_typed_error() {
+        assert_eq!(
+            Platform::builder().ranks_per_node(0).unwrap_err(),
+            CoreError::InvalidRanksPerNode
+        );
     }
 
     #[test]
     fn topology_view() {
-        let p = Platform::builder().ranks_per_node(4).build();
+        let p = Platform::builder()
+            .ranks_per_node(4)
+            .expect("positive packing")
+            .build();
         let topo = p.topology(10);
         assert_eq!(topo.rank_count(), 10);
         assert_eq!(topo.ranks_per_node(), 4);
@@ -782,6 +830,22 @@ mod tests {
     #[should_panic(expected = "intra-node link")]
     fn zero_intra_node_links_rejected() {
         Platform::builder().intra_node_links(Some(0));
+    }
+
+    #[test]
+    fn perturbation_attaches_and_copies() {
+        let p = Platform::default();
+        assert!(p.perturbation().is_identity());
+        let model = PerturbationModel::new(9).with_noise(0.2).unwrap();
+        let perturbed = p.with_perturbation(model.clone());
+        assert_eq!(perturbed.perturbation(), &model);
+        assert_ne!(p, perturbed);
+        // The model survives the other `with_` copies.
+        let swept = perturbed.with_bandwidth(Bandwidth::from_bytes_per_sec(1.0e6).unwrap());
+        assert_eq!(swept.perturbation(), &model);
+        // Builder form.
+        let built = Platform::builder().perturbation(model.clone()).build();
+        assert_eq!(built.perturbation(), &model);
     }
 
     #[test]

@@ -138,6 +138,11 @@ impl RankProgram {
 
     /// Per-burst durations in picoseconds (already converted through the
     /// trace's [`MipsRate`]), in program order.
+    ///
+    /// These are *clean* durations: no platform `cpu_ratio` and no
+    /// [`PerturbationModel`](crate::PerturbationModel) effect is baked in.
+    /// Both are applied at replay time, so one compiled program can be
+    /// shared across every sweep point and every perturbation scenario.
     pub fn burst_ps(&self) -> &[u64] {
         &self.burst_ps
     }

@@ -180,6 +180,7 @@ mod tests {
             .bandwidth_bytes_per_sec(1.0e9)
             .unwrap()
             .ranks_per_node(4)
+            .expect("positive packing")
             .intra_node_latency(Time::from_ns(500))
             .intra_node_bandwidth(ovlsim_core::Bandwidth::from_bytes_per_sec(10.0e9).unwrap())
             .build();
@@ -201,6 +202,7 @@ mod tests {
             .bandwidth_bytes_per_sec(1.0e9)
             .unwrap()
             .ranks_per_node(2)
+            .expect("positive packing")
             .build();
         let mut t = CollectiveTracker::new(4);
         for _ in 0..3 {

@@ -46,7 +46,7 @@ use ovlsim_engine::EventQueue;
 
 use crate::collective::CollectiveTracker;
 use crate::error::SimError;
-use crate::network::{Network, TransferId};
+use crate::network::{LinkPerturb, Network, TransferId};
 use crate::observer::{DepEdge, NullObserver, ProcState, ReplayObserver, WaitCause};
 use crate::replay::{ReplayResult, Simulator};
 use crate::reqs::{ReqGroup, ReqState};
@@ -93,6 +93,9 @@ enum Event {
     Resume(usize),
     TransferSent(TransferId),
     TransferDone(TransferId),
+    /// Re-attempt a transfer held back by a transient link outage
+    /// (faulty platforms only; never scheduled on a clean run).
+    TransferRetry(TransferId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +128,10 @@ struct Transfer {
     queued_at: Option<Time>,
     /// When the transfer became ready to move data.
     ready_at: Time,
+    /// Flight-latency jitter drawn at creation time (zero on clean runs).
+    jitter: Time,
+    /// End of the link outage that held this transfer back, if any.
+    outage_until: Option<Time>,
 }
 
 #[derive(Debug)]
@@ -230,6 +237,27 @@ struct CompiledState<'a> {
     /// Hoisted burst scale factor (`1 / cpu_ratio`), identical to the
     /// value the uncompiled engines recompute per burst.
     inv_cpu_ratio: f64,
+    /// True when the platform's perturbation model stretches compute
+    /// bursts (noise, stragglers or heterogeneous nodes).
+    compute_perturbed: bool,
+    /// True when the model draws per-burst OS noise (the only compute
+    /// effect that needs a hash per sub-burst).
+    noise_on: bool,
+    /// Per-rank burst prefactor (cpu ratio x node speed x straggler),
+    /// hoisted out of the event loop; empty on clean runs. The values are
+    /// exactly `PerturbationModel::burst_prefactor`, so per-burst rounding
+    /// stays bit-identical to the uncompiled engines.
+    burst_pre: Vec<f64>,
+    /// Per-channel link-degradation stretch factor, hoisted once per run
+    /// (`PerturbationModel::link_factor` is stable per directed rank
+    /// pair); empty when degradation is off.
+    chan_stretch: Vec<f64>,
+    /// Link-level perturbations (degradation, jitter, faults); shared
+    /// logic with the uncompiled engines so factors match bit-exactly.
+    link: LinkPerturb,
+    /// Per-channel send sequence numbers feeding jitter draws; empty when
+    /// the model has no link effects.
+    send_seq: Vec<u64>,
     // Platform scalars hoisted out of the event loop (all values the
     // other engines re-derive per event).
     eager_threshold: u64,
@@ -256,6 +284,24 @@ struct CompiledState<'a> {
 impl<'a> CompiledState<'a> {
     fn new(platform: &'a Platform, prog: &'a CompiledTrace) -> Self {
         let n = prog.rank_count();
+        let model = platform.perturbation();
+        let inv_cpu_ratio = 1.0 / platform.cpu_ratio();
+        let compute_perturbed = model.has_compute_effects();
+        let burst_pre = if compute_perturbed {
+            (0..n as u32)
+                .map(|r| model.burst_prefactor(inv_cpu_ratio, r, platform.node_of(r)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let chan_stretch = if model.link_degradation() > 0.0 {
+            prog.channels()
+                .iter()
+                .map(|c| model.link_factor(c.src.get(), c.dst.get()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         CompiledState {
             platform,
             prog,
@@ -277,7 +323,17 @@ impl<'a> CompiledState<'a> {
                 .iter()
                 .map(|c| platform.node_of(c.src.get()) == platform.node_of(c.dst.get()))
                 .collect(),
-            inv_cpu_ratio: 1.0 / platform.cpu_ratio(),
+            inv_cpu_ratio,
+            compute_perturbed,
+            noise_on: model.noise_level() > 0.0,
+            burst_pre,
+            chan_stretch,
+            link: LinkPerturb::new(platform),
+            send_seq: if platform.perturbation().has_link_effects() {
+                vec![0; prog.channels().len()]
+            } else {
+                Vec::new()
+            },
             eager_threshold: platform.eager_threshold(),
             send_overhead: platform.send_overhead(),
             recv_overhead: platform.recv_overhead(),
@@ -334,6 +390,7 @@ impl<'a> CompiledState<'a> {
                 }
                 Event::TransferSent(id) => self.transfer_sent(id, t, observer),
                 Event::TransferDone(id) => self.transfer_done(id, t, observer),
+                Event::TransferRetry(id) => self.launch_transfer(id, t),
             }
         }
         let blocked: Vec<(Rank, String)> = self
@@ -389,15 +446,50 @@ impl<'a> CompiledState<'a> {
     }
 
     /// Memoized wire occupancy time of a transfer (exactly
-    /// `bandwidth.transfer_time(bytes)` of the relevant domain).
+    /// `bandwidth.transfer_time(bytes)` of the relevant domain). Link
+    /// degradation stretches the *rounded* memoized base by the channel's
+    /// hoisted `link_factor` — the same evaluation order as the uncompiled
+    /// engines — so the memo stays valid under perturbation. Intra-node
+    /// transfers are exempt from all link perturbations.
     #[inline]
-    fn transmission_time(&mut self, intra: bool, bytes: u64) -> Time {
+    fn transmission_time(&mut self, intra: bool, bytes: u64, chan: u32) -> Time {
         if intra {
             let bw = self.platform.intra_node_bandwidth();
             self.xmit_intra.get(bytes, |b| bw.transfer_time(b))
         } else {
             let bw = self.platform.bandwidth();
-            self.xmit_inter.get(bytes, |b| bw.transfer_time(b))
+            let base = self.xmit_inter.get(bytes, |b| bw.transfer_time(b));
+            if self.chan_stretch.is_empty() {
+                base
+            } else {
+                base.scale_f64(self.chan_stretch[chan as usize])
+            }
+        }
+    }
+
+    /// Duration of the sub-burst at arena index `idx` of rank `r`. Clean
+    /// runs scale by `1 / cpu_ratio` exactly as before; perturbed runs
+    /// apply the full per-burst factor keyed on the arena index, which
+    /// equals the uncompiled engines' per-rank burst ordinal (the arena
+    /// holds one entry per original burst record, in program order).
+    #[inline]
+    fn sub_burst(&self, r: usize, idx: usize, ps: u64) -> Time {
+        let base = Time::from_ps(ps);
+        if !self.compute_perturbed {
+            return base.scale_f64(self.inv_cpu_ratio);
+        }
+        // `burst_pre[r] * noise_factor` is exactly `burst_factor` with the
+        // rank-constant part hoisted (same multiply order, bit-identical
+        // rounding to the uncompiled engines).
+        let pre = self.burst_pre[r];
+        if self.noise_on {
+            let noise = self
+                .platform
+                .perturbation()
+                .noise_factor(r as u32, idx as u64);
+            base.scale_f64(pre * noise)
+        } else {
+            base.scale_f64(pre)
         }
     }
 
@@ -424,7 +516,11 @@ impl<'a> CompiledState<'a> {
         }
         for &tid in &started {
             self.transfers[tid].started_at = Some(now);
-            let dur = self.transmission_time(self.transfers[tid].intra, self.transfers[tid].bytes);
+            let (intra, bytes, chan) = {
+                let t = &self.transfers[tid];
+                (t.intra, t.bytes, t.chan)
+            };
+            let dur = self.transmission_time(intra, bytes, chan);
             self.queue.schedule(now + dur, Event::TransferSent(tid));
         }
         self.started_scratch = started;
@@ -445,7 +541,11 @@ impl<'a> CompiledState<'a> {
         }
         for &tid in &started {
             self.transfers[tid].started_at = Some(now);
-            let dur = self.transmission_time(self.transfers[tid].intra, self.transfers[tid].bytes);
+            let (intra, bytes, chan) = {
+                let t = &self.transfers[tid];
+                (t.intra, t.bytes, t.chan)
+            };
+            let dur = self.transmission_time(intra, bytes, chan);
             self.queue.schedule(now + dur, Event::TransferSent(tid));
         }
         self.started_scratch = started;
@@ -465,11 +565,11 @@ impl<'a> CompiledState<'a> {
         let arena = &self.streams[r].burst_ps[pos..pos + left];
         let peek = self.queue.peek_time();
         // First sub-burst is unconditional (matches the naive engines).
-        let mut total = Time::from_ps(arena[0]).scale_f64(self.inv_cpu_ratio);
+        let mut total = self.sub_burst(r, pos, arena[0]);
         let mut end = now + total;
         let mut consumed = 1;
         while consumed < left {
-            let dur = Time::from_ps(arena[consumed]).scale_f64(self.inv_cpu_ratio);
+            let dur = self.sub_burst(r, pos + consumed, arena[consumed]);
             let next_end = end + dur;
             // Absorbing the next sub-burst is unobservable iff no other
             // event fires before its end. `t > now` guards zero-length
@@ -807,27 +907,48 @@ impl<'a> CompiledState<'a> {
             BlockKind::Wait => WaitCause::BlockedWait { chan },
         };
         let edge = self.blocked_edge(r, start, tid);
+        let rank = Rank::new(r as u32);
+        let (os, oe) = match t.outage_until {
+            Some(up) => (t.ready_at.max(start), up.min(end)),
+            None => (start, start),
+        };
         let (qs, qe) = match (t.queued_at, t.started_at) {
             (Some(q), Some(s)) => (q.max(start), s.min(end)),
             _ => (end, end),
         };
-        let rank = Rank::new(r as u32);
-        if qs >= qe {
-            observer.attributed(rank, start, end, cause, edge);
-            return;
-        }
+        let down = WaitCause::LinkDown { chan };
         let contended = WaitCause::Contended {
             chan,
             intra: t.intra,
         };
-        if start < qs {
-            observer.attributed(rank, start, qs, cause, None);
+        let mut segs = [(start, start, cause); 5];
+        let mut n = 0;
+        let mut cur = start;
+        if oe > os {
+            if os > cur {
+                segs[n] = (cur, os, cause);
+                n += 1;
+            }
+            segs[n] = (os.max(cur), oe, down);
+            n += 1;
+            cur = oe;
         }
-        if qe < end {
-            observer.attributed(rank, qs, qe, contended, None);
-            observer.attributed(rank, qe, end, cause, edge);
-        } else {
-            observer.attributed(rank, qs, qe, contended, edge);
+        if qe > qs && qe > cur {
+            if qs > cur {
+                segs[n] = (cur, qs, cause);
+                n += 1;
+            }
+            segs[n] = (qs.max(cur), qe, contended);
+            n += 1;
+            cur = qe;
+        }
+        if end > cur {
+            segs[n] = (cur, end, cause);
+            n += 1;
+        }
+        for (i, &(s, e, c)) in segs[..n].iter().enumerate() {
+            let eg = if i + 1 == n { edge } else { None };
+            observer.attributed(rank, s, e, c, eg);
         }
     }
 
@@ -840,15 +961,26 @@ impl<'a> CompiledState<'a> {
         now: Time,
     ) -> TransferId {
         let tid = self.transfers.len();
-        let endpoints = &self.prog.channels()[chan as usize];
+        let (to, tag) = {
+            let e = &self.prog.channels()[chan as usize];
+            (e.dst, e.tag)
+        };
+        let intra = self.intra_chan[chan as usize];
         let rendezvous = sender_kind != SenderKind::Fire;
+        let jitter = if intra || self.send_seq.is_empty() {
+            Time::ZERO
+        } else {
+            let seq = self.send_seq[chan as usize];
+            self.send_seq[chan as usize] += 1;
+            self.link.jitter(Rank::new(from as u32), to, tag, seq)
+        };
         self.transfers.push(Transfer {
             from: Rank::new(from as u32),
-            to: endpoints.dst,
+            to,
             bytes,
-            tag: endpoints.tag,
+            tag,
             rendezvous,
-            intra: self.intra_chan[chan as usize],
+            intra,
             sender_kind,
             recv: None,
             enqueued: false,
@@ -858,6 +990,8 @@ impl<'a> CompiledState<'a> {
             posted_at: now,
             queued_at: None,
             ready_at: now,
+            jitter,
+            outage_until: None,
         });
         self.p2p_messages += 1;
         self.p2p_bytes += bytes;
@@ -887,6 +1021,20 @@ impl<'a> CompiledState<'a> {
         debug_assert!(!self.transfers[tid].enqueued);
         self.transfers[tid].enqueued = true;
         self.transfers[tid].ready_at = now;
+        if !self.transfers[tid].intra {
+            let (from, to) = (self.transfers[tid].from, self.transfers[tid].to);
+            if let Some(up) = self.link.outage_end(from, to, now) {
+                self.transfers[tid].outage_until = Some(up);
+                self.queue.schedule(up, Event::TransferRetry(tid));
+                return;
+            }
+        }
+        self.launch_transfer(tid, now);
+    }
+
+    /// Enters a ready transfer into its transport domain (the tail of
+    /// `start_transfer`, split out so link-outage retries re-enter here).
+    fn launch_transfer(&mut self, tid: TransferId, now: Time) {
         if self.transfers[tid].intra {
             if self.network.intra_limited() {
                 self.transfers[tid].queued_at = Some(now);
@@ -894,7 +1042,11 @@ impl<'a> CompiledState<'a> {
                 self.pump_intra(now);
             } else {
                 self.transfers[tid].started_at = Some(now);
-                let dur = self.transmission_time(true, self.transfers[tid].bytes);
+                let (bytes, chan) = {
+                    let t = &self.transfers[tid];
+                    (t.bytes, t.chan)
+                };
+                let dur = self.transmission_time(true, bytes, chan);
                 self.queue.schedule(now + dur, Event::TransferSent(tid));
             }
         } else {
@@ -971,9 +1123,9 @@ impl<'a> CompiledState<'a> {
         at: Time,
         observer: &mut O,
     ) {
-        let (from, to, sender_kind, intra, rendezvous) = {
+        let (from, to, sender_kind, intra, rendezvous, jitter) = {
             let t = &self.transfers[tid];
-            (t.from, t.to, t.sender_kind, t.intra, t.rendezvous)
+            (t.from, t.to, t.sender_kind, t.intra, t.rendezvous, t.jitter)
         };
         if !intra {
             self.network.release(from, to, at);
@@ -1000,7 +1152,7 @@ impl<'a> CompiledState<'a> {
             }
         }
 
-        let flight = self.flight_time(intra, rendezvous);
+        let flight = self.flight_time(intra, rendezvous) + jitter;
         self.queue.schedule(at + flight, Event::TransferDone(tid));
         // Only the freed domain can have newly eligible transfers.
         if intra {
@@ -1171,6 +1323,7 @@ mod tests {
             .bandwidth_bytes_per_sec(1.0e9)
             .unwrap()
             .cpu_ratio(3.0)
+            .expect("positive ratio")
             .build();
         let ts = trace(vec![(0..7)
             .map(|i| Record::Burst {
@@ -1289,11 +1442,92 @@ mod tests {
             .bandwidth_bytes_per_sec(1.0e9)
             .unwrap()
             .ranks_per_node(2)
+            .expect("positive packing")
             .intra_node_links(Some(1))
             .build();
         let sim = Simulator::new(p.clone());
         let reference = crate::naive::replay_naive(&p, &ts).unwrap();
         let compiled = sim.run_compiled(&compile(&ts)).unwrap();
         assert_eq!(reference, compiled);
+    }
+
+    #[test]
+    fn compiled_matches_both_engines_under_full_perturbation() {
+        use ovlsim_core::PerturbationModel;
+        // Bursts + eager and rendezvous traffic + a collective, replayed
+        // under every perturbation axis at once: the compiled engine must
+        // stay bit-identical to the prepared and naive engines.
+        let mk = |to: u32, from: u32| {
+            vec![
+                Record::Burst {
+                    instr: Instr::new(2500),
+                },
+                Record::Send {
+                    to: Rank::new(to),
+                    bytes: 500,
+                    tag: Tag::new(7),
+                },
+                Record::Burst {
+                    instr: Instr::new(900),
+                },
+                Record::Recv {
+                    from: Rank::new(from),
+                    bytes: 200_000,
+                    tag: Tag::new(8),
+                },
+                Record::Barrier,
+            ]
+        };
+        let swap = |to: u32, from: u32| {
+            vec![
+                Record::Burst {
+                    instr: Instr::new(1800),
+                },
+                Record::Recv {
+                    from: Rank::new(from),
+                    bytes: 500,
+                    tag: Tag::new(7),
+                },
+                Record::Send {
+                    to: Rank::new(to),
+                    bytes: 200_000,
+                    tag: Tag::new(8),
+                },
+                Record::Barrier,
+            ]
+        };
+        // With two ranks per node, pair 0<->2 and 1<->3 so the p2p
+        // traffic crosses nodes and the link perturbations actually fire.
+        let ts = trace(vec![mk(2, 2), mk(3, 3), swap(0, 0), swap(1, 1)]);
+        let model = PerturbationModel::new(0xBEEF)
+            .with_noise(0.2)
+            .unwrap()
+            .with_stragglers(&[2], 1.7)
+            .unwrap()
+            .with_node_speeds(&[1.0, 0.8])
+            .unwrap()
+            .with_link_degradation(0.3)
+            .unwrap()
+            .with_latency_jitter(Time::from_us(2))
+            .with_faults(Time::from_us(40), Time::from_us(9))
+            .unwrap();
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .ranks_per_node(2)
+            .expect("positive packing")
+            .perturbation(model)
+            .build();
+        let sim = Simulator::new(p.clone());
+        let naive = crate::naive::replay_naive(&p, &ts).unwrap();
+        let prepared = sim.run(&ts).unwrap();
+        let compiled = sim.run_compiled(&compile(&ts)).unwrap();
+        assert_eq!(naive, prepared);
+        assert_eq!(prepared, compiled);
+        // And the perturbed makespan differs from the clean one (the
+        // model actually did something).
+        let clean = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        assert_ne!(clean.total_time, compiled.total_time);
     }
 }

@@ -23,7 +23,7 @@ use ovlsim_engine::EventQueue;
 
 use crate::collective::{collective_op, CollectiveTracker};
 use crate::error::SimError;
-use crate::network::{Network, TransferId};
+use crate::network::{LinkPerturb, Network, TransferId};
 use crate::observer::{NullObserver, ProcState, ReplayObserver};
 use crate::replay::ReplayResult;
 
@@ -50,6 +50,9 @@ enum Event {
     Resume(usize),
     TransferSent(TransferId),
     TransferDone(TransferId),
+    /// A transfer held by a transient link outage may now enter the
+    /// transport queue (faulty platforms only).
+    TransferRetry(TransferId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +75,8 @@ struct Transfer {
     enqueued: bool,
     started_at: Option<Time>,
     arrived: Option<Time>,
+    /// Per-message latency jitter ([`Time::ZERO`] unless perturbed).
+    jitter: Time,
 }
 
 #[derive(Debug)]
@@ -113,6 +118,8 @@ struct Proc {
     compute: Time,
     finished: Option<Time>,
     overhead_paid: bool,
+    /// Burst ordinal keying this rank's OS-noise draws.
+    burst_seq: u64,
 }
 
 struct NaiveState<'a> {
@@ -127,6 +134,12 @@ struct NaiveState<'a> {
     collectives: CollectiveTracker,
     p2p_messages: u64,
     p2p_bytes: u64,
+    inv_cpu_ratio: f64,
+    compute_perturbed: bool,
+    link: LinkPerturb,
+    /// Per-channel send sequence numbers for latency-jitter draws, keyed
+    /// like the channel map (this engine has no dense channel ids).
+    send_seq: BTreeMap<(u32, u32, u64), u64>,
 }
 
 impl<'a> NaiveState<'a> {
@@ -147,6 +160,7 @@ impl<'a> NaiveState<'a> {
                     compute: Time::ZERO,
                     finished: None,
                     overhead_paid: false,
+                    burst_seq: 0,
                 })
                 .collect(),
             transfers: Vec::new(),
@@ -156,6 +170,10 @@ impl<'a> NaiveState<'a> {
             collectives: CollectiveTracker::new(n),
             p2p_messages: 0,
             p2p_bytes: 0,
+            inv_cpu_ratio: 1.0 / platform.cpu_ratio(),
+            compute_perturbed: platform.perturbation().has_compute_effects(),
+            link: LinkPerturb::new(platform),
+            send_seq: BTreeMap::new(),
         }
     }
 
@@ -168,6 +186,7 @@ impl<'a> NaiveState<'a> {
                 Event::Resume(r) => self.step(r, observer),
                 Event::TransferSent(id) => self.transfer_sent(id, t, observer),
                 Event::TransferDone(id) => self.transfer_done(id, t, observer),
+                Event::TransferRetry(id) => self.launch_transfer(id, t),
             }
         }
         let blocked: Vec<(Rank, String)> = self
@@ -206,29 +225,40 @@ impl<'a> NaiveState<'a> {
         })
     }
 
-    fn burst_duration(&self, instr: ovlsim_core::Instr) -> Time {
-        self.trace
-            .mips()
-            .instr_to_time(instr)
-            .scale_f64(1.0 / self.platform.cpu_ratio())
+    fn burst_duration(&self, r: usize, seq: u64, instr: ovlsim_core::Instr) -> Time {
+        let base = self.trace.mips().instr_to_time(instr);
+        if self.compute_perturbed {
+            let rank = r as u32;
+            let node = self.platform.node_of(rank);
+            base.scale_f64(self.platform.perturbation().burst_factor(
+                self.inv_cpu_ratio,
+                rank,
+                node,
+                seq,
+            ))
+        } else {
+            base.scale_f64(self.inv_cpu_ratio)
+        }
     }
 
     fn transmission_time(&self, t: &Transfer) -> Time {
         if t.intra {
             self.platform.intra_node_bandwidth().transfer_time(t.bytes)
         } else {
-            self.platform.bandwidth().transfer_time(t.bytes)
+            let base = self.platform.bandwidth().transfer_time(t.bytes);
+            self.link.stretch(base, t.from, t.to)
         }
     }
 
     fn flight_time(&self, t: &Transfer) -> Time {
-        if t.intra {
+        let base = if t.intra {
             self.platform.intra_node_latency()
         } else if t.rendezvous {
             self.platform.latency() + self.platform.rendezvous_latency()
         } else {
             self.platform.latency()
-        }
+        };
+        base + t.jitter
     }
 
     fn pump_network(&mut self, now: Time) {
@@ -273,7 +303,9 @@ impl<'a> NaiveState<'a> {
             let now = self.procs[r].clock;
             match &records[cursor] {
                 Record::Burst { instr } => {
-                    let dur = self.burst_duration(*instr);
+                    let seq = self.procs[r].burst_seq;
+                    self.procs[r].burst_seq += 1;
+                    let dur = self.burst_duration(r, seq, *instr);
                     let end = now + dur;
                     observer.interval(Rank::new(r as u32), now, end, ProcState::Compute);
                     let p = &mut self.procs[r];
@@ -491,6 +523,19 @@ impl<'a> NaiveState<'a> {
     ) -> TransferId {
         let tid = self.transfers.len();
         let intra = self.platform.node_of(from as u32) == self.platform.node_of(to.get());
+        // Same jitter coordinates as the prepared engine: raw channel
+        // triple plus per-channel send ordinal.
+        let jitter = if intra || !self.link.active() {
+            Time::ZERO
+        } else {
+            let seq = self
+                .send_seq
+                .entry((from as u32, to.get(), tag.get()))
+                .or_insert(0);
+            let this = *seq;
+            *seq += 1;
+            self.link.jitter(Rank::new(from as u32), to, tag, this)
+        };
         self.transfers.push(Transfer {
             from: Rank::new(from as u32),
             to,
@@ -503,6 +548,7 @@ impl<'a> NaiveState<'a> {
             enqueued: false,
             started_at: None,
             arrived: None,
+            jitter,
         });
         self.p2p_messages += 1;
         self.p2p_bytes += bytes;
@@ -543,6 +589,17 @@ impl<'a> NaiveState<'a> {
     fn start_transfer(&mut self, tid: TransferId, now: Time) {
         debug_assert!(!self.transfers[tid].enqueued);
         self.transfers[tid].enqueued = true;
+        if !self.transfers[tid].intra {
+            let (from, to) = (self.transfers[tid].from, self.transfers[tid].to);
+            if let Some(up) = self.link.outage_end(from, to, now) {
+                self.queue.schedule(up, Event::TransferRetry(tid));
+                return;
+            }
+        }
+        self.launch_transfer(tid, now);
+    }
+
+    fn launch_transfer(&mut self, tid: TransferId, now: Time) {
         if self.transfers[tid].intra {
             if self.network.intra_limited() {
                 self.network.enqueue_intra(tid);

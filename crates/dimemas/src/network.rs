@@ -20,11 +20,77 @@
 
 use std::collections::VecDeque;
 
-use ovlsim_core::{Platform, Rank, Time};
+use ovlsim_core::{PerturbationModel, Platform, Rank, Tag, Time};
 use ovlsim_engine::stats::TimeWeighted;
 
 /// Index of a transfer in the simulator's transfer table.
 pub(crate) type TransferId = usize;
+
+/// Link-side perturbation shared by all three replay engines.
+///
+/// Every engine computes a transfer's wire time through this one helper so
+/// that the degradation factor, the latency jitter, and the fault windows
+/// are evaluated from identical inputs in an identical order — keyed on
+/// *raw rank numbers*, tags, and per-channel send sequence numbers, never
+/// on engine-internal ids. That is what keeps the three engines
+/// bit-identical under perturbation.
+///
+/// Intra-node transfers never cross a link and are exempt from all three
+/// effects.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkPerturb {
+    model: PerturbationModel,
+    degraded: bool,
+    jittered: bool,
+    faulty: bool,
+}
+
+impl LinkPerturb {
+    pub(crate) fn new(platform: &Platform) -> Self {
+        let model = platform.perturbation().clone();
+        LinkPerturb {
+            degraded: model.has_link_effects() && model.link_degradation() > 0.0,
+            jittered: model.has_link_effects() && !model.latency_jitter().is_zero(),
+            faulty: model.has_faults(),
+            model,
+        }
+    }
+
+    /// True if any inter-node wire time can differ from the clean run.
+    pub(crate) fn active(&self) -> bool {
+        self.degraded || self.jittered
+    }
+
+    /// Stretches an inter-node wire occupancy by the (deterministic)
+    /// degradation factor of the `from -> to` link. Identity when link
+    /// degradation is off.
+    pub(crate) fn stretch(&self, base: Time, from: Rank, to: Rank) -> Time {
+        if !self.degraded {
+            return base;
+        }
+        base.scale_f64(self.model.link_factor(from.get(), to.get()))
+    }
+
+    /// Extra latency for the `seq`-th message on the `(from, to, tag)`
+    /// channel. Zero when jitter is off.
+    pub(crate) fn jitter(&self, from: Rank, to: Rank, tag: Tag, seq: u64) -> Time {
+        if !self.jittered {
+            return Time::ZERO;
+        }
+        self.model
+            .latency_jitter_for(from.get(), to.get(), tag.get(), seq)
+    }
+
+    /// If the `from -> to` link is inside a transient outage at `at`,
+    /// returns the instant the outage ends (when the held transfer may
+    /// enter the transport queue).
+    pub(crate) fn outage_end(&self, from: Rank, to: Rank, at: Time) -> Option<Time> {
+        if !self.faulty {
+            return None;
+        }
+        self.model.outage_end(from.get(), to.get(), at)
+    }
+}
 
 /// Tracks bus/link occupancy and the FIFO of transfers awaiting resources.
 ///
@@ -315,6 +381,7 @@ mod tests {
         // Two ranks on one node both sending out: one shared output link.
         let p = Platform::builder()
             .ranks_per_node(2)
+            .expect("positive packing")
             .input_links(1)
             .output_links(1)
             .build();
@@ -341,6 +408,7 @@ mod tests {
         // domains) but serialize on the node's port.
         let p = Platform::builder()
             .ranks_per_node(2)
+            .expect("positive packing")
             .buses(Some(1))
             .intra_node_links(Some(1))
             .build();
@@ -364,7 +432,10 @@ mod tests {
 
     #[test]
     fn unlimited_intra_domain_reports_unlimited() {
-        let p = Platform::builder().ranks_per_node(2).build();
+        let p = Platform::builder()
+            .ranks_per_node(2)
+            .expect("positive packing")
+            .build();
         let net = Network::new(&p, 4);
         assert!(!net.intra_limited());
     }

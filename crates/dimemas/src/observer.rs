@@ -95,6 +95,15 @@ pub enum WaitCause {
         /// The collective's sequence number on this rank.
         seq: u32,
     },
+    /// The transfer gating this rank was held back by a transient link
+    /// outage (see
+    /// [`PerturbationModel::with_faults`](ovlsim_core::PerturbationModel::with_faults)):
+    /// the message was ready to move but its link was down, so it waited
+    /// for the outage window to end before entering the transport queue.
+    LinkDown {
+        /// Dense channel id of the held transfer.
+        chan: u32,
+    },
 }
 
 impl WaitCause {
@@ -111,6 +120,7 @@ impl WaitCause {
             WaitCause::SendOverhead => 6,
             WaitCause::Contended { intra: false, .. } => 7,
             WaitCause::Contended { intra: true, .. } => 8,
+            WaitCause::LinkDown { .. } => 9,
         }
     }
 
@@ -125,6 +135,7 @@ impl WaitCause {
             WaitCause::SendOverhead => "send-overhead",
             WaitCause::Contended { intra: false, .. } => "contended-inter",
             WaitCause::Contended { intra: true, .. } => "contended-intra",
+            WaitCause::LinkDown { .. } => "link-down",
         }
     }
 
@@ -134,7 +145,8 @@ impl WaitCause {
             WaitCause::BlockedRecv { chan }
             | WaitCause::BlockedSend { chan }
             | WaitCause::BlockedWait { chan }
-            | WaitCause::Contended { chan, .. } => Some(chan),
+            | WaitCause::Contended { chan, .. }
+            | WaitCause::LinkDown { chan } => Some(chan),
             _ => None,
         }
     }
@@ -263,6 +275,7 @@ mod tests {
                 intra: true,
             },
             WaitCause::Collective { seq: 0 },
+            WaitCause::LinkDown { chan: 0 },
         ];
         let codes: BTreeSet<u32> = causes.iter().map(|c| c.code()).collect();
         assert_eq!(codes.len(), causes.len());
@@ -293,6 +306,8 @@ mod tests {
         assert!(!WaitCause::SendOverhead.is_wait());
         assert!(WaitCause::BlockedWait { chan: 0 }.is_wait());
         assert!(WaitCause::Collective { seq: 0 }.is_wait());
+        assert_eq!(WaitCause::LinkDown { chan: 4 }.channel(), Some(4));
+        assert!(WaitCause::LinkDown { chan: 4 }.is_wait());
     }
 
     #[test]

@@ -50,7 +50,7 @@ use ovlsim_engine::EventQueue;
 
 use crate::collective::{collective_op, CollectiveTracker};
 use crate::error::SimError;
-use crate::network::{Network, TransferId};
+use crate::network::{LinkPerturb, Network, TransferId};
 use crate::observer::{DepEdge, NullObserver, ProcState, ReplayObserver, WaitCause};
 use crate::reqs::{ReqGroup, ReqState, ReqTable};
 
@@ -162,6 +162,9 @@ enum Event {
     /// The message arrived at the receiver (one wire latency after it was
     /// fully sent).
     TransferDone(TransferId),
+    /// A transfer held back by a transient link outage may now enter the
+    /// transport queue (faulty platforms only; never scheduled clean).
+    TransferRetry(TransferId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +202,12 @@ struct Transfer {
     /// When the transfer became ready to move data (eager: at the post;
     /// rendezvous: when the matching receive arrived).
     ready_at: Time,
+    /// Per-message latency jitter added to the flight delay
+    /// ([`Time::ZERO`] unless the platform's perturbation model jitters).
+    jitter: Time,
+    /// End of the transient link outage that held this transfer between
+    /// `ready_at` and its queue entry (`None` when the link was up).
+    outage_until: Option<Time>,
 }
 
 #[derive(Debug)]
@@ -249,6 +258,10 @@ struct Proc {
     /// has been charged (two-phase send processing keeps global event
     /// order intact).
     overhead_paid: bool,
+    /// Number of compute bursts executed so far: the burst ordinal that
+    /// keys this rank's OS-noise draws (engine-invariant — the compiled
+    /// engine derives the same ordinal from its burst arena index).
+    burst_seq: u64,
 }
 
 /// The Dimemas-style replay simulator.
@@ -389,6 +402,15 @@ struct ReplayState<'a> {
     collectives: CollectiveTracker,
     p2p_messages: u64,
     p2p_bytes: u64,
+    /// Hoisted `1 / cpu_ratio` (the clean burst factor).
+    inv_cpu_ratio: f64,
+    /// True when the platform's perturbation model stretches bursts.
+    compute_perturbed: bool,
+    /// Link-side perturbation (degradation, jitter, faults).
+    link: LinkPerturb,
+    /// Per-channel send sequence numbers keying latency-jitter draws
+    /// (empty unless jitter is on).
+    send_seq: Vec<u64>,
 }
 
 impl<'a> ReplayState<'a> {
@@ -416,6 +438,7 @@ impl<'a> ReplayState<'a> {
                     compute: Time::ZERO,
                     finished: None,
                     overhead_paid: false,
+                    burst_seq: 0,
                 })
                 .collect(),
             transfers: Vec::new(),
@@ -427,6 +450,14 @@ impl<'a> ReplayState<'a> {
             collectives: CollectiveTracker::new(n),
             p2p_messages: 0,
             p2p_bytes: 0,
+            inv_cpu_ratio: 1.0 / platform.cpu_ratio(),
+            compute_perturbed: platform.perturbation().has_compute_effects(),
+            link: LinkPerturb::new(platform),
+            send_seq: if platform.perturbation().has_link_effects() {
+                vec![0; index.channel_count()]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -439,6 +470,7 @@ impl<'a> ReplayState<'a> {
                 Event::Resume(r) => self.step(r, observer),
                 Event::TransferSent(id) => self.transfer_sent(id, t, observer),
                 Event::TransferDone(id) => self.transfer_done(id, t, observer),
+                Event::TransferRetry(id) => self.launch_transfer(id, t),
             }
         }
         // Either everyone finished, or we deadlocked.
@@ -494,34 +526,49 @@ impl<'a> ReplayState<'a> {
         }
     }
 
-    /// Duration of a burst of `instr` instructions on this platform.
-    fn burst_duration(&self, instr: ovlsim_core::Instr) -> Time {
-        self.trace
-            .mips()
-            .instr_to_time(instr)
-            .scale_f64(1.0 / self.platform.cpu_ratio())
+    /// Duration of burst number `seq` of rank `r` on this platform
+    /// (`instr / MIPS / cpu_ratio`, stretched by the perturbation model's
+    /// compute effects when active).
+    fn burst_duration(&self, r: usize, seq: u64, instr: ovlsim_core::Instr) -> Time {
+        let base = self.trace.mips().instr_to_time(instr);
+        if self.compute_perturbed {
+            let rank = r as u32;
+            let node = self.platform.node_of(rank);
+            base.scale_f64(self.platform.perturbation().burst_factor(
+                self.inv_cpu_ratio,
+                rank,
+                node,
+                seq,
+            ))
+        } else {
+            base.scale_f64(self.inv_cpu_ratio)
+        }
     }
 
     /// Time the transfer occupies its link/bus resources (pure
     /// transmission; latency is flight time on top). Intra-node transfers
-    /// use the shared-memory bandwidth.
+    /// use the shared-memory bandwidth; inter-node transfers stretch by
+    /// the link's degradation factor when perturbed.
     fn transmission_time(&self, t: &Transfer) -> Time {
         if t.intra {
             self.platform.intra_node_bandwidth().transfer_time(t.bytes)
         } else {
-            self.platform.bandwidth().transfer_time(t.bytes)
+            let base = self.platform.bandwidth().transfer_time(t.bytes);
+            self.link.stretch(base, t.from, t.to)
         }
     }
 
-    /// Flight delay between "fully sent" and "arrived".
+    /// Flight delay between "fully sent" and "arrived" (plus the
+    /// message's latency jitter when perturbed).
     fn flight_time(&self, t: &Transfer) -> Time {
-        if t.intra {
+        let base = if t.intra {
             self.platform.intra_node_latency()
         } else if t.rendezvous {
             self.platform.latency() + self.platform.rendezvous_latency()
         } else {
             self.platform.latency()
-        }
+        };
+        base + t.jitter
     }
 
     fn pump_network(&mut self, now: Time) {
@@ -571,7 +618,9 @@ impl<'a> ReplayState<'a> {
             let now = self.procs[r].clock;
             match &records[cursor] {
                 Record::Burst { instr } => {
-                    let dur = self.burst_duration(*instr);
+                    let seq = self.procs[r].burst_seq;
+                    self.procs[r].burst_seq += 1;
+                    let dur = self.burst_duration(r, seq, *instr);
                     let end = now + dur;
                     observer.interval(Rank::new(r as u32), now, end, ProcState::Compute);
                     if end > now {
@@ -904,28 +953,53 @@ impl<'a> ReplayState<'a> {
             BlockKind::Wait => WaitCause::BlockedWait { chan },
         };
         let edge = self.blocked_edge(r, start, tid);
-        // Clip the transfer's resource-queue wait to the blocked window.
+        // Clip the transfer's outage hold and resource-queue wait to the
+        // blocked window. When both exist the outage always precedes the
+        // queue entry (the transfer launches at the window's end).
+        let (os, oe) = match t.outage_until {
+            Some(up) => (t.ready_at.max(start), up.min(end)),
+            None => (start, start),
+        };
         let (qs, qe) = match (t.queued_at, t.started_at) {
             (Some(q), Some(s)) => (q.max(start), s.min(end)),
             _ => (end, end),
         };
         let rank = Rank::new(r as u32);
-        if qs >= qe {
-            observer.attributed(rank, start, end, cause, edge);
-            return;
-        }
+        let down = WaitCause::LinkDown { chan };
         let contended = WaitCause::Contended {
             chan,
             intra: t.intra,
         };
-        if start < qs {
-            observer.attributed(rank, start, qs, cause, None);
+        // Assemble the (at most five) sub-intervals in order; the
+        // releasing edge is attached to the last one emitted.
+        let mut segs = [(start, start, cause); 5];
+        let mut n = 0;
+        let mut cur = start;
+        if oe > os {
+            if os > cur {
+                segs[n] = (cur, os, cause);
+                n += 1;
+            }
+            segs[n] = (os.max(cur), oe, down);
+            n += 1;
+            cur = oe;
         }
-        if qe < end {
-            observer.attributed(rank, qs, qe, contended, None);
-            observer.attributed(rank, qe, end, cause, edge);
-        } else {
-            observer.attributed(rank, qs, qe, contended, edge);
+        if qe > qs && qe > cur {
+            if qs > cur {
+                segs[n] = (cur, qs, cause);
+                n += 1;
+            }
+            segs[n] = (qs.max(cur), qe, contended);
+            n += 1;
+            cur = qe;
+        }
+        if end > cur {
+            segs[n] = (cur, end, cause);
+            n += 1;
+        }
+        for (i, &(s, e, c)) in segs[..n].iter().enumerate() {
+            let eg = if i + 1 == n { edge } else { None };
+            observer.attributed(rank, s, e, c, eg);
         }
     }
 
@@ -946,6 +1020,16 @@ impl<'a> ReplayState<'a> {
     ) -> TransferId {
         let tid = self.transfers.len();
         let rendezvous = sender_kind != SenderKind::Fire;
+        // Latency jitter keys on the raw channel coordinates plus the
+        // message's per-channel send ordinal — program order on the one
+        // sending rank, hence identical across engines.
+        let jitter = if intra || self.send_seq.is_empty() {
+            Time::ZERO
+        } else {
+            let seq = self.send_seq[chan as usize];
+            self.send_seq[chan as usize] += 1;
+            self.link.jitter(Rank::new(from as u32), to, tag, seq)
+        };
         self.transfers.push(Transfer {
             from: Rank::new(from as u32),
             to,
@@ -962,6 +1046,8 @@ impl<'a> ReplayState<'a> {
             posted_at: now,
             queued_at: None,
             ready_at: now,
+            jitter,
+            outage_until: None,
         });
         self.p2p_messages += 1;
         self.p2p_bytes += bytes;
@@ -990,10 +1076,29 @@ impl<'a> ReplayState<'a> {
     /// Starts (or enqueues) a ready transfer: intra-node transfers bypass
     /// the bus/NIC-link fabric entirely, contending only for their node's
     /// shared-memory ports (if the platform bounds them at all).
+    ///
+    /// On a faulty platform an inter-node transfer whose link is inside a
+    /// transient outage is held back first: it launches (enters the
+    /// transport queue) when the outage window ends.
     fn start_transfer(&mut self, tid: TransferId, now: Time) {
         debug_assert!(!self.transfers[tid].enqueued);
         self.transfers[tid].enqueued = true;
         self.transfers[tid].ready_at = now;
+        if !self.transfers[tid].intra {
+            let (from, to) = (self.transfers[tid].from, self.transfers[tid].to);
+            if let Some(up) = self.link.outage_end(from, to, now) {
+                self.transfers[tid].outage_until = Some(up);
+                self.queue.schedule(up, Event::TransferRetry(tid));
+                return;
+            }
+        }
+        self.launch_transfer(tid, now);
+    }
+
+    /// Enters a ready transfer into its transport domain (the tail of
+    /// [`ReplayState::start_transfer`], reached directly when the link is
+    /// up and via [`Event::TransferRetry`] after an outage).
+    fn launch_transfer(&mut self, tid: TransferId, now: Time) {
         if self.transfers[tid].intra {
             if self.network.intra_limited() {
                 self.transfers[tid].queued_at = Some(now);
@@ -1211,6 +1316,7 @@ mod tests {
             .bandwidth_bytes_per_sec(1.0e9)
             .unwrap()
             .cpu_ratio(2.0)
+            .expect("positive ratio")
             .build();
         let ts = trace(vec![vec![Record::Burst {
             instr: Instr::new(5000),
@@ -1816,6 +1922,7 @@ mod tests {
             .bandwidth_bytes_per_sec(1.0e9)
             .unwrap()
             .ranks_per_node(2)
+            .expect("positive packing")
             .intra_node_latency(Time::from_ns(500))
             .intra_node_bandwidth(ovlsim_core::Bandwidth::from_bytes_per_sec(10.0e9).unwrap())
             .build();
@@ -1853,6 +1960,7 @@ mod tests {
             .bandwidth_bytes_per_sec(1.0e9)
             .unwrap()
             .ranks_per_node(2)
+            .expect("positive packing")
             .build();
         let ts = trace(vec![
             vec![Record::Send {
@@ -1922,6 +2030,7 @@ mod tests {
                 .unwrap()
                 .buses(Some(1))
                 .ranks_per_node(rpn)
+                .expect("positive packing")
                 .build()
         };
         let mut totals = Vec::new();
@@ -1982,6 +2091,7 @@ mod tests {
                 .bandwidth_bytes_per_sec(1.0e9)
                 .unwrap()
                 .ranks_per_node(2)
+                .expect("positive packing")
                 .intra_node_latency(Time::from_ns(500))
                 .intra_node_bandwidth(ovlsim_core::Bandwidth::from_bytes_per_sec(10.0e9).unwrap())
                 .intra_node_links(ports)
@@ -2066,6 +2176,126 @@ mod tests {
             let prepared = sim.run_prepared(&ts, &index).unwrap();
             assert_eq!(validated, prepared, "prepared replay diverged at {bw} B/s");
         }
+    }
+
+    #[test]
+    fn perturbed_noise_stretches_bursts_deterministically() {
+        use ovlsim_core::PerturbationModel;
+        let ts = trace(vec![vec![
+            Record::Burst {
+                instr: Instr::new(5000),
+            },
+            Record::Burst {
+                instr: Instr::new(5000),
+            },
+        ]]);
+        let clean = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        let noisy = platform_1us_1gb()
+            .with_perturbation(PerturbationModel::new(42).with_noise(0.2).unwrap());
+        let a = Simulator::new(noisy.clone()).run(&ts).unwrap();
+        let b = Simulator::new(noisy).run(&ts).unwrap();
+        assert_eq!(a, b, "same seed replays bit-identically");
+        assert!(a.total_time() > clean.total_time());
+        // Bounded: at most (1 + level) times the clean duration.
+        assert!(a.total_time() <= clean.total_time().scale_f64(1.2));
+        // A zero-noise model is the identity.
+        let ident = platform_1us_1gb().with_perturbation(PerturbationModel::new(42));
+        assert_eq!(Simulator::new(ident).run(&ts).unwrap(), clean);
+    }
+
+    #[test]
+    fn perturbed_stragglers_and_node_speeds_slow_ranks() {
+        use ovlsim_core::PerturbationModel;
+        let ts = trace(vec![
+            vec![Record::Burst {
+                instr: Instr::new(1000),
+            }],
+            vec![Record::Burst {
+                instr: Instr::new(1000),
+            }],
+        ]);
+        let model = PerturbationModel::new(0)
+            .with_stragglers(&[1], 3.0)
+            .unwrap();
+        let p = platform_1us_1gb().with_perturbation(model);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        assert_eq!(res.rank_finish()[0], Time::from_us(1));
+        assert_eq!(res.rank_finish()[1], Time::from_us(3));
+        // Heterogeneous nodes: rank 1 is node 1 at half speed (rpn = 1).
+        let model = PerturbationModel::new(0)
+            .with_node_speeds(&[1.0, 0.5])
+            .unwrap();
+        let p = platform_1us_1gb().with_perturbation(model);
+        let res = Simulator::new(p).run(&ts).unwrap();
+        assert_eq!(res.rank_finish()[0], Time::from_us(1));
+        assert_eq!(res.rank_finish()[1], Time::from_us(2));
+    }
+
+    #[test]
+    fn perturbed_faults_hold_transfers_and_surface_link_down() {
+        use crate::observer::DepEdge;
+        use ovlsim_core::PerturbationModel;
+
+        #[derive(Default)]
+        struct Causes(Vec<(Time, Time, WaitCause)>);
+        impl ReplayObserver for Causes {
+            fn attributed(
+                &mut self,
+                _r: Rank,
+                s: Time,
+                e: Time,
+                cause: WaitCause,
+                _edge: Option<DepEdge>,
+            ) {
+                self.0.push((s, e, cause));
+            }
+        }
+
+        let ts = trace(vec![
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
+        ]);
+        let clean = Simulator::new(platform_1us_1gb()).run(&ts).unwrap();
+        // Find a seed whose 0 -> 1 outage window covers t = 0: the send is
+        // posted at time zero, so the transfer must be held back.
+        let period = Time::from_us(100);
+        let down = Time::from_us(30);
+        let seed = (0..64)
+            .find(|&s| {
+                PerturbationModel::new(s)
+                    .with_faults(period, down)
+                    .unwrap()
+                    .outage_end(0, 1, Time::ZERO)
+                    .is_some()
+            })
+            .expect("some seed puts the link down at t=0");
+        let model = PerturbationModel::new(seed)
+            .with_faults(period, down)
+            .unwrap();
+        let up = model.outage_end(0, 1, Time::ZERO).unwrap();
+        let p = platform_1us_1gb().with_perturbation(model);
+        let mut causes = Causes::default();
+        let faulty = Simulator::new(p).run_observed(&ts, &mut causes).unwrap();
+        // The whole execution is delayed by exactly the outage remainder.
+        assert_eq!(faulty.total_time(), clean.total_time() + (up - Time::ZERO));
+        // The receiver's blocked window contains a link-down segment
+        // covering the hold.
+        let downs: Vec<_> = causes
+            .0
+            .iter()
+            .filter(|(_, _, c)| matches!(c, WaitCause::LinkDown { .. }))
+            .collect();
+        assert_eq!(downs.len(), 1);
+        assert_eq!(downs[0].0, Time::ZERO);
+        assert_eq!(downs[0].1, up);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property tests for the replay simulator and the text trace format.
 
 use ovlsim_core::{
-    Instr, MipsRate, Platform, Rank, RankTrace, Record, RequestId, Tag, Time, TraceSet,
+    Instr, MipsRate, PerturbationModel, Platform, Rank, RankTrace, Record, RequestId, Tag, Time,
+    TraceSet,
 };
 use ovlsim_dimemas::{
     emit_trace_set, parse_trace_set, DepEdge, ReplayObserver, Simulator, WaitCause,
@@ -133,6 +134,7 @@ fn arb_hier_platform() -> impl Strategy<Value = Platform> {
                 .expect("positive")
                 .buses(buses)
                 .ranks_per_node(rpn)
+                .expect("positive packing")
                 .intra_node_latency(Time::from_ns(300))
                 .intra_node_bandwidth(
                     ovlsim_core::Bandwidth::from_bytes_per_sec(intra_bw).expect("positive"),
@@ -141,6 +143,60 @@ fn arb_hier_platform() -> impl Strategy<Value = Platform> {
                 .eager_threshold(eager);
             b.build()
         })
+}
+
+/// An arbitrary perturbation model spanning every axis — seeded OS noise,
+/// straggler ranks, heterogeneous node speeds, link degradation, latency
+/// jitter and transient link faults — with each axis individually
+/// switchable, so identity, single-axis and fully-stacked models are all
+/// fuzzed.
+fn arb_perturbation() -> impl Strategy<Value = PerturbationModel> {
+    (
+        any::<u64>(),                         // seed
+        prop_oneof![Just(0.0), 0.01f64..0.5], // noise level
+        prop_oneof![
+            Just(None),
+            (proptest::collection::vec(0u32..4, 1..3), 1.1f64..3.0).prop_map(Some)
+        ],
+        prop_oneof![
+            Just(None),
+            proptest::collection::vec(0.5f64..2.0, 1..3).prop_map(Some)
+        ],
+        prop_oneof![Just(0.0), 0.01f64..0.8], // link degradation
+        0u64..3_000,                          // latency jitter ns
+        prop_oneof![Just(None), (50u64..500, 1u64..40).prop_map(Some)], // fault period/down us
+    )
+        .prop_map(
+            |(seed, noise, stragglers, speeds, degradation, jitter, faults)| {
+                let mut m = PerturbationModel::new(seed);
+                if noise > 0.0 {
+                    m = m.with_noise(noise).expect("valid noise");
+                }
+                if let Some((ranks, slowdown)) = stragglers {
+                    // Duplicates are fine: the model sorts and dedups.
+                    m = m
+                        .with_stragglers(&ranks, slowdown)
+                        .expect("valid stragglers");
+                }
+                if let Some(speeds) = speeds {
+                    m = m.with_node_speeds(&speeds).expect("valid speeds");
+                }
+                if degradation > 0.0 {
+                    m = m
+                        .with_link_degradation(degradation)
+                        .expect("valid degradation");
+                }
+                if jitter > 0 {
+                    m = m.with_latency_jitter(Time::from_ns(jitter));
+                }
+                if let Some((period, down)) = faults {
+                    m = m
+                        .with_faults(Time::from_us(period), Time::from_us(down))
+                        .expect("valid faults");
+                }
+                m
+            },
+        )
 }
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
@@ -616,6 +672,44 @@ proptest! {
         platform in arb_platform(),
     ) {
         assert_attribution_conserved(&trace, &platform)?;
+    }
+
+    /// Tentpole guarantee: under any seeded perturbation (noise,
+    /// stragglers, heterogeneous nodes, link degradation/jitter,
+    /// transient link faults) all four engines stay bit-identical on
+    /// flat platforms.
+    #[test]
+    fn perturbed_replay_is_identical_across_all_engines_flat(
+        trace in arb_bursty_trace(),
+        platform in arb_platform(),
+        model in arb_perturbation(),
+    ) {
+        assert_engines_agree(&trace, &platform.with_perturbation(model))?;
+    }
+
+    /// Same four-way perturbed differential on hierarchical platforms,
+    /// where intra-node channels must stay exempt from link perturbations
+    /// in every engine.
+    #[test]
+    fn perturbed_replay_is_identical_across_all_engines_multicore(
+        trace in arb_bursty_trace(),
+        platform in arb_hier_platform(),
+        model in arb_perturbation(),
+    ) {
+        assert_engines_agree(&trace, &platform.with_perturbation(model))?;
+    }
+
+    /// Attribution conservation survives perturbation: cause-tagged
+    /// intervals (now including link-down holds) stay disjoint, gapless
+    /// and sum to each rank's finish time, with the prepared and
+    /// observed-compiled streams identical.
+    #[test]
+    fn perturbed_attribution_conserves_time(
+        trace in arb_bursty_trace(),
+        platform in arb_hier_platform(),
+        model in arb_perturbation(),
+    ) {
+        assert_attribution_conserved(&trace, &platform.with_perturbation(model))?;
     }
 
     /// Latency monotonicity: increasing latency never speeds things up.

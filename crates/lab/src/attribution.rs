@@ -124,6 +124,9 @@ pub struct RankBreakdown {
     pub contended_inter: Time,
     /// Gating transfer queued for intra-node ports.
     pub contended_intra: Time,
+    /// Gating transfer held back by a transient link outage (fault
+    /// injection; always zero on clean platforms).
+    pub link_down: Time,
     /// Inside collectives.
     pub collective: Time,
     /// The rank's finish time (sum of all categories).
@@ -139,6 +142,7 @@ impl RankBreakdown {
             + self.blocked_wait
             + self.contended_inter
             + self.contended_intra
+            + self.link_down
             + self.collective
     }
 }
@@ -163,6 +167,9 @@ pub struct ChannelBreakdown {
     pub contended_inter: Time,
     /// Intra-node port queue time of this channel's gating transfers.
     pub contended_intra: Time,
+    /// Link-outage hold time of this channel's gating transfers (fault
+    /// injection; always zero on clean platforms).
+    pub link_down: Time,
     /// Wait time this channel contributes to the critical path.
     pub critical: Time,
     /// [`ChannelBreakdown::critical`] clamped to the overlappable gap
@@ -179,6 +186,7 @@ impl ChannelBreakdown {
             + self.blocked_wait
             + self.contended_inter
             + self.contended_intra
+            + self.link_down
     }
 }
 
@@ -212,6 +220,10 @@ pub struct Attribution {
     ranks: Vec<RankBreakdown>,
     channels: Vec<ChannelBreakdown>,
     path: Vec<PathStep>,
+    /// True when the platform injects link faults; gates the
+    /// `link_down_ps` report columns so clean reports stay byte-identical
+    /// to pre-fault-model versions.
+    faulty: bool,
 }
 
 impl Attribution {
@@ -260,6 +272,7 @@ impl Attribution {
                     WaitCause::BlockedWait { .. } => b.blocked_wait += dur,
                     WaitCause::Contended { intra: false, .. } => b.contended_inter += dur,
                     WaitCause::Contended { intra: true, .. } => b.contended_intra += dur,
+                    WaitCause::LinkDown { .. } => b.link_down += dur,
                     WaitCause::Collective { .. } => b.collective += dur,
                 }
                 b.total += dur;
@@ -291,6 +304,7 @@ impl Attribution {
                 blocked_wait: Time::ZERO,
                 contended_inter: Time::ZERO,
                 contended_intra: Time::ZERO,
+                link_down: Time::ZERO,
                 critical: Time::ZERO,
                 gain_potential: Time::ZERO,
             })
@@ -308,6 +322,7 @@ impl Attribution {
                     WaitCause::BlockedWait { .. } => c.blocked_wait += dur,
                     WaitCause::Contended { intra: false, .. } => c.contended_inter += dur,
                     WaitCause::Contended { intra: true, .. } => c.contended_intra += dur,
+                    WaitCause::LinkDown { .. } => c.link_down += dur,
                     _ => unreachable!("cause with channel is a wait"),
                 }
             }
@@ -331,6 +346,7 @@ impl Attribution {
             ranks,
             channels,
             path,
+            faulty: platform.perturbation().has_faults(),
         }
     }
 
@@ -408,12 +424,17 @@ impl Attribution {
         out.push_str("  \"ranks\": [\n");
         for (r, b) in self.ranks.iter().enumerate() {
             let sep = if r + 1 == self.ranks.len() { "" } else { "," };
+            let link_down = if self.faulty {
+                format!("\"link_down_ps\":{},", b.link_down.as_ps())
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
                 "    {{\"rank\":{r},\"compute_ps\":{},\"send_overhead_ps\":{},\
                  \"blocked_recv_ps\":{},\"blocked_send_ps\":{},\"blocked_wait_ps\":{},\
-                 \"contended_inter_ps\":{},\"contended_intra_ps\":{},\"collective_ps\":{},\
-                 \"total_ps\":{}}}{sep}",
+                 \"contended_inter_ps\":{},\"contended_intra_ps\":{},{link_down}\
+                 \"collective_ps\":{},\"total_ps\":{}}}{sep}",
                 b.compute.as_ps(),
                 b.send_overhead.as_ps(),
                 b.blocked_recv.as_ps(),
@@ -430,11 +451,16 @@ impl Attribution {
         let ranked = self.ranked_channels();
         for (i, c) in ranked.iter().enumerate() {
             let sep = if i + 1 == ranked.len() { "" } else { "," };
+            let link_down = if self.faulty {
+                format!("\"link_down_ps\":{},", c.link_down.as_ps())
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
                 "    {{\"chan\":{},\"src\":{},\"dst\":{},\"blocked_recv_ps\":{},\
                  \"blocked_send_ps\":{},\"blocked_wait_ps\":{},\"contended_inter_ps\":{},\
-                 \"contended_intra_ps\":{},\"total_wait_ps\":{},\"critical_ps\":{},\
+                 \"contended_intra_ps\":{},{link_down}\"total_wait_ps\":{},\"critical_ps\":{},\
                  \"gain_potential_ps\":{}}}{sep}",
                 c.chan,
                 c.src.get(),
@@ -478,14 +504,21 @@ impl Attribution {
     /// Renders the per-channel table as CSV (ranked order, same columns
     /// as the JSON channel rows).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
+        let link_down_col = if self.faulty { "link_down_ps," } else { "" };
+        let mut out = format!(
             "chan,src,dst,blocked_recv_ps,blocked_send_ps,blocked_wait_ps,\
-             contended_inter_ps,contended_intra_ps,total_wait_ps,critical_ps,gain_potential_ps\n",
+             contended_inter_ps,contended_intra_ps,{link_down_col}total_wait_ps,\
+             critical_ps,gain_potential_ps\n",
         );
         for c in self.ranked_channels() {
+            let link_down = if self.faulty {
+                format!("{},", c.link_down.as_ps())
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{link_down}{},{},{}",
                 c.chan,
                 c.src.get(),
                 c.dst.get(),
@@ -702,12 +735,48 @@ mod tests {
         assert_eq!(a.to_csv(), b.to_csv());
         let json = a.to_json();
         assert!(json.contains("\"trace\": \"pair\""));
+        // Clean platforms keep the pre-fault-model schema exactly.
+        assert!(!json.contains("link_down_ps"));
+        assert!(!a.to_csv().contains("link_down_ps"));
         assert!(json.contains("\"makespan_ps\""));
         assert!(json.contains("\"critical_path\""));
         assert!(json.ends_with("}\n"));
         let csv = a.to_csv();
         assert_eq!(csv.lines().count(), 2, "header + one channel");
         assert!(csv.starts_with("chan,src,dst,"));
+    }
+
+    #[test]
+    fn fault_injection_surfaces_link_down_and_stays_conserved() {
+        use ovlsim_core::PerturbationModel;
+        let trace = pair_trace();
+        let period = Time::from_us(40);
+        let down = Time::from_us(10);
+        // Rank 0 posts its send at 1 us (after its burst); pick a seed
+        // whose outage window covers that instant so the transfer is held.
+        let send_at = Time::from_us(1);
+        let model = (0..64)
+            .map(|s| PerturbationModel::new(s).with_faults(period, down).unwrap())
+            .find(|m| m.outage_end(0, 1, send_at).is_some())
+            .expect("some seed puts the send inside an outage window");
+        let platform = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .perturbation(model)
+            .build();
+        let attr = analyze(&trace, &platform);
+        // The held transfer surfaces as link-down time on the blocked
+        // receiver and rolls up to its channel.
+        assert!(attr.ranks()[1].link_down > Time::ZERO);
+        assert_eq!(attr.channels()[0].link_down, attr.ranks()[1].link_down);
+        // Conservation still holds bit-exactly per rank.
+        for b in attr.ranks() {
+            assert_eq!(b.compute + b.send_overhead + b.wait(), b.total);
+        }
+        // Faulty platforms grow the extra report column.
+        assert!(attr.to_json().contains("\"link_down_ps\""));
+        assert!(attr.to_csv().contains("link_down_ps,"));
     }
 
     #[test]

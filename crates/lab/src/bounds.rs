@@ -171,6 +171,7 @@ mod tests {
         let p = Platform::builder()
             .bandwidth(Bandwidth::from_bytes_per_sec(1.0e6).unwrap())
             .ranks_per_node(2)
+            .expect("positive packing")
             .build();
         let ts = TraceSet::new(
             "b",

@@ -33,7 +33,18 @@
 //! attribution on            # optional: per-point attribution columns
 //!                           # (original replay's wait/contention totals
 //!                           # and top overlap-gain channel; default off)
+//! noise seed 42             # optional: perturbation seed (default 0)
+//! noise level 0 0.05 0.3    # optional: OS-noise levels — a grid axis
+//!                           # like bandwidths (default 0 = clean)
+//! stragglers 1.5 0 3        # optional: <slowdown> <rank...>
+//! faults 200 20             # optional: <period-us> <downtime-us>
 //! ```
+//!
+//! The perturbation keys build one [`PerturbationModel`] per grid point
+//! (seeded noise at the point's level, plus the campaign-wide straggler
+//! and fault axes); a campaign that uses any of them gains a
+//! `noise_level` report column, while campaigns that use none render
+//! byte-identically to reports from before the keys existed.
 //!
 //! Modes are [`OverlapMode`] labels without the `ovl-` prefix: `real`,
 //! `linear`, optionally suffixed `-earlysend`, `-latewait` or `-chunked`
@@ -44,7 +55,9 @@ use std::fmt;
 
 use ovlsim_apps::registry::{build_app, AppOverrides};
 use ovlsim_apps::ProblemClass;
-use ovlsim_core::{Bandwidth, CompiledTrace, Platform, Time, TraceIndex, TraceSet};
+use ovlsim_core::{
+    Bandwidth, CompiledTrace, PerturbationModel, Platform, Time, TraceIndex, TraceSet,
+};
 use ovlsim_dimemas::{replay_naive, SimError, Simulator};
 use ovlsim_tracer::{Mechanisms, OverlapMode, PatternSource, TracingSession};
 
@@ -55,7 +68,7 @@ use crate::par;
 /// bit-identical [`ReplayResult`](ovlsim_dimemas::ReplayResult)s; naive
 /// and prepared exist in campaigns to cross-check the compiled fast path
 /// on any scenario a spec can describe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// Flat SoA replay program ([`Simulator::run_compiled`]) — the fast
     /// path, and the default.
@@ -177,6 +190,16 @@ pub enum SpecError {
         /// The offending token.
         value: String,
     },
+    /// A perturbation key (`noise`, `stragglers`, `faults`) is
+    /// structurally malformed or out of the model's domain.
+    InvalidPerturbation {
+        /// 1-based spec line.
+        line: usize,
+        /// The key being parsed.
+        key: String,
+        /// What the key wanted.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -222,6 +245,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::InvalidFlag { line, key, value } => {
                 write!(f, "line {line}: `{key}` wants `on` or `off`, got `{value}`")
+            }
+            SpecError::InvalidPerturbation { line, key, reason } => {
+                write!(f, "line {line}: `{key}`: {reason}")
             }
         }
     }
@@ -294,6 +320,17 @@ pub struct CampaignSpec {
     /// contention, and the top overlap-gain channel (computed through the
     /// attribution-capable prepared engine).
     pub attribution: bool,
+    /// Seed of the per-point [`PerturbationModel`]s (`noise seed`).
+    pub noise_seed: u64,
+    /// OS-noise levels — a grid axis like `bandwidths` (`noise level`;
+    /// default `[0.0]` = clean).
+    pub noise_levels: Vec<f64>,
+    /// Campaign-wide straggler axis: `(slowdown, ranks)` when the spec
+    /// enables it.
+    pub stragglers: Option<(f64, Vec<u32>)>,
+    /// Campaign-wide transient link-fault axis: `(period, downtime)` when
+    /// the spec enables it.
+    pub faults: Option<(Time, Time)>,
 }
 
 /// One expanded grid point (the unit [`run_campaign`] replays twice:
@@ -310,6 +347,8 @@ pub struct CampaignPoint {
     pub engine: Engine,
     /// Ranks per node.
     pub ranks_per_node: u32,
+    /// OS-noise level of the point's perturbation model.
+    pub noise_level: f64,
     /// Inter-node bandwidth.
     pub bandwidth: Bandwidth,
 }
@@ -333,6 +372,10 @@ impl CampaignSpec {
         let mut ranks: Option<usize> = None;
         let mut iterations: Option<usize> = None;
         let mut attribution: Option<bool> = None;
+        let mut noise_seed: Option<u64> = None;
+        let mut noise_levels: Option<Vec<f64>> = None;
+        let mut stragglers: Option<(f64, Vec<u32>)> = None;
+        let mut faults: Option<(Time, Time)> = None;
 
         let mut saw_statement = false;
         for (idx, raw) in text.lines().enumerate() {
@@ -578,6 +621,108 @@ impl CampaignSpec {
                             }
                         })?);
                 }
+                "noise" => {
+                    // Two sub-keys share the `noise` keyword, so
+                    // duplicate detection is per sub-key.
+                    nonempty()?;
+                    let bad = |reason: String| SpecError::InvalidPerturbation {
+                        line,
+                        key: key.to_string(),
+                        reason,
+                    };
+                    match values[0] {
+                        "seed" => {
+                            dup(noise_seed.is_some())?;
+                            if values.len() != 2 {
+                                return Err(bad(format!(
+                                    "`seed` takes exactly one value, got {}",
+                                    values.len() - 1
+                                )));
+                            }
+                            noise_seed = Some(values[1].parse::<u64>().map_err(|_| {
+                                SpecError::MalformedNumber {
+                                    line,
+                                    key: key.to_string(),
+                                    value: values[1].to_string(),
+                                }
+                            })?);
+                        }
+                        "level" => {
+                            dup(noise_levels.is_some())?;
+                            if values.len() < 2 {
+                                return Err(bad("`level` needs at least one value".to_string()));
+                            }
+                            let mut list = Vec::new();
+                            for v in &values[1..] {
+                                let l = number(v)?;
+                                if l < 0.0 {
+                                    return Err(bad(format!(
+                                        "noise level must be non-negative, got {l}"
+                                    )));
+                                }
+                                list.push(l);
+                            }
+                            noise_levels = Some(list);
+                        }
+                        other => {
+                            return Err(bad(format!("expected `seed` or `level`, got `{other}`")));
+                        }
+                    }
+                }
+                "stragglers" => {
+                    dup(stragglers.is_some())?;
+                    nonempty()?;
+                    let bad = |reason: String| SpecError::InvalidPerturbation {
+                        line,
+                        key: key.to_string(),
+                        reason,
+                    };
+                    if values.len() < 2 {
+                        return Err(bad("wants <slowdown> <rank...>".to_string()));
+                    }
+                    let slowdown = number(values[0])?;
+                    if slowdown < 1.0 {
+                        return Err(bad(format!("slowdown must be at least 1, got {slowdown}")));
+                    }
+                    let mut ranks = Vec::new();
+                    for v in &values[1..] {
+                        ranks.push(v.parse::<u32>().map_err(|_| SpecError::MalformedNumber {
+                            line,
+                            key: key.to_string(),
+                            value: v.to_string(),
+                        })?);
+                    }
+                    stragglers = Some((slowdown, ranks));
+                }
+                "faults" => {
+                    dup(faults.is_some())?;
+                    nonempty()?;
+                    let bad = |reason: String| SpecError::InvalidPerturbation {
+                        line,
+                        key: key.to_string(),
+                        reason,
+                    };
+                    if values.len() != 2 {
+                        return Err(bad(format!(
+                            "wants exactly <period-us> <downtime-us>, got {} values",
+                            values.len()
+                        )));
+                    }
+                    let us = |v: &str| -> Result<u64, SpecError> {
+                        v.parse::<u64>().map_err(|_| SpecError::MalformedNumber {
+                            line,
+                            key: key.to_string(),
+                            value: v.to_string(),
+                        })
+                    };
+                    let (period, down) = (us(values[0])?, us(values[1])?);
+                    if down == 0 || down >= period {
+                        return Err(bad(format!(
+                            "needs 0 < downtime < period, got period={period} downtime={down}"
+                        )));
+                    }
+                    faults = Some((Time::from_us(period), Time::from_us(down)));
+                }
                 "attribution" => {
                     dup(attribution.is_some())?;
                     nonempty()?;
@@ -620,11 +765,45 @@ impl CampaignSpec {
             ranks,
             iterations,
             attribution: attribution.unwrap_or(false),
+            noise_seed: noise_seed.unwrap_or(0),
+            noise_levels: noise_levels.unwrap_or_else(|| vec![0.0]),
+            stragglers,
+            faults,
         })
     }
 
+    /// True when the spec perturbs anything: a positive noise level,
+    /// stragglers, or faults. Perturbed campaigns carry a `noise_level`
+    /// report column; clean ones render byte-identically to specs without
+    /// the perturbation keys.
+    pub fn perturbed(&self) -> bool {
+        self.noise_levels.iter().any(|&l| l > 0.0)
+            || self.stragglers.is_some()
+            || self.faults.is_some()
+    }
+
+    /// Builds the point-level perturbation model at `noise_level`. The
+    /// `expect`s hold by construction: every axis was domain-checked
+    /// during [`CampaignSpec::parse`].
+    pub fn perturbation_at(&self, noise_level: f64) -> PerturbationModel {
+        let mut model = PerturbationModel::new(self.noise_seed)
+            .with_noise(noise_level)
+            .expect("noise level validated at parse");
+        if let Some((slowdown, ranks)) = &self.stragglers {
+            model = model
+                .with_stragglers(ranks, *slowdown)
+                .expect("straggler slowdown validated at parse");
+        }
+        if let Some((period, down)) = self.faults {
+            model = model
+                .with_faults(period, down)
+                .expect("fault window validated at parse");
+        }
+        model
+    }
+
     /// Expands the grid into its points, in report order: app-major, then
-    /// class, mode, engine, ranks-per-node, bandwidth.
+    /// class, mode, engine, ranks-per-node, noise level, bandwidth.
     pub fn expand(&self) -> Vec<CampaignPoint> {
         let mut points = Vec::with_capacity(self.point_count());
         for app in &self.apps {
@@ -632,15 +811,18 @@ impl CampaignSpec {
                 for &mode in &self.modes {
                     for &engine in &self.engines {
                         for &rpn in &self.ranks_per_node {
-                            for &bw in &self.bandwidths {
-                                points.push(CampaignPoint {
-                                    app: app.clone(),
-                                    class,
-                                    mode: mode.label(),
-                                    engine,
-                                    ranks_per_node: rpn,
-                                    bandwidth: bw,
-                                });
+                            for &noise in &self.noise_levels {
+                                for &bw in &self.bandwidths {
+                                    points.push(CampaignPoint {
+                                        app: app.clone(),
+                                        class,
+                                        mode: mode.label(),
+                                        engine,
+                                        ranks_per_node: rpn,
+                                        noise_level: noise,
+                                        bandwidth: bw,
+                                    });
+                                }
                             }
                         }
                     }
@@ -658,6 +840,7 @@ impl CampaignSpec {
             * self.modes.len()
             * self.engines.len()
             * self.ranks_per_node.len()
+            * self.noise_levels.len()
             * self.bandwidths.len()
     }
 }
@@ -691,6 +874,8 @@ pub struct CampaignRow {
     pub engine: Engine,
     /// Ranks per node of the platform point.
     pub ranks_per_node: u32,
+    /// OS-noise level of the point's perturbation model.
+    pub noise_level: f64,
     /// Inter-node bandwidth of the platform point.
     pub bandwidth: Bandwidth,
     /// Makespan of the original execution.
@@ -721,6 +906,9 @@ pub struct CampaignReport {
     pub campaign: String,
     /// Whether rows carry attribution columns (spec `attribution on`).
     pub attribution: bool,
+    /// Whether rows carry a `noise_level` column (the spec used a
+    /// perturbation key; see [`CampaignSpec::perturbed`]).
+    pub perturbed: bool,
     /// Measured rows in [`CampaignSpec::expand`] order.
     pub rows: Vec<CampaignRow>,
 }
@@ -768,9 +956,14 @@ impl CampaignReport {
                     a.top_gain.as_ps(),
                 ),
             };
+            let noise = if self.perturbed {
+                format!("\"noise_level\":{},", row.noise_level)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
                 "    {{\"app\":\"{}\",\"class\":\"{}\",\"mode\":\"{}\",\"engine\":\"{}\",\
-                 \"ranks_per_node\":{},\"bandwidth_bytes_per_sec\":{},\
+                 \"ranks_per_node\":{},{noise}\"bandwidth_bytes_per_sec\":{},\
                  \"original_ps\":{},\"overlapped_ps\":{},\
                  \"comm_fraction\":{},\"speedup\":{}{attr}}}{sep}\n",
                 json_escape(&row.app),
@@ -791,17 +984,23 @@ impl CampaignReport {
 
     /// Renders the report as CSV with the same columns as the JSON rows.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "app,class,mode,engine,ranks_per_node,bandwidth_bytes_per_sec,\
-             original_ps,overlapped_ps,comm_fraction,speedup",
-        );
+        let mut out = String::from("app,class,mode,engine,ranks_per_node,");
+        if self.perturbed {
+            out.push_str("noise_level,");
+        }
+        out.push_str("bandwidth_bytes_per_sec,original_ps,overlapped_ps,comm_fraction,speedup");
         if self.attribution {
             out.push_str(",orig_wait_ps,orig_contended_ps,top_channel,top_gain_ps");
         }
         out.push('\n');
         for row in &self.rows {
+            let noise = if self.perturbed {
+                format!("{},", row.noise_level)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{noise}{},{},{},{},{}",
                 row.app,
                 row.class,
                 row.mode,
@@ -825,6 +1024,58 @@ impl CampaignReport {
             out.push('\n');
         }
         out
+    }
+
+    /// Mean overlap-gain retention per noise level: for every scenario
+    /// (same app, class, mode, engine, packing and bandwidth), each row's
+    /// gain `speedup - 1` is divided by the gain of that scenario's
+    /// lowest-noise row, and the ratios are averaged per level. Scenarios
+    /// whose baseline shows no gain are skipped (there is nothing to
+    /// retain). Returns `(level, mean_retention)` pairs in first-seen row
+    /// order — the headline "how much of the overlap win survives noise"
+    /// curve of a noise campaign.
+    pub fn retention_by_level(&self) -> Vec<(f64, f64)> {
+        type Scenario = (String, String, String, Engine, u32, u64);
+        fn key(row: &CampaignRow) -> Scenario {
+            (
+                row.app.clone(),
+                row.class.to_string(),
+                row.mode.clone(),
+                row.engine,
+                row.ranks_per_node,
+                row.bandwidth.bytes_per_sec().to_bits(),
+            )
+        }
+        // Baseline gain per scenario: the row with the lowest noise level.
+        let mut baseline: HashMap<Scenario, (f64, f64)> = HashMap::new();
+        for row in &self.rows {
+            let entry = baseline
+                .entry(key(row))
+                .or_insert((row.noise_level, row.speedup() - 1.0));
+            if row.noise_level < entry.0 {
+                *entry = (row.noise_level, row.speedup() - 1.0);
+            }
+        }
+        // Accumulate ratios per level, in first-seen order.
+        let mut levels: Vec<(f64, f64, usize)> = Vec::new();
+        for row in &self.rows {
+            let (_, base_gain) = baseline[&key(row)];
+            if base_gain <= 0.0 {
+                continue;
+            }
+            let ratio = (row.speedup() - 1.0) / base_gain;
+            match levels.iter_mut().find(|(l, _, _)| *l == row.noise_level) {
+                Some((_, sum, n)) => {
+                    *sum += ratio;
+                    *n += 1;
+                }
+                None => levels.push((row.noise_level, ratio, 1)),
+            }
+        }
+        levels
+            .into_iter()
+            .map(|(l, sum, n)| (l, sum / n as f64))
+            .collect()
     }
 }
 
@@ -994,9 +1245,13 @@ pub fn run_campaign_threaded(
         .build();
     let rows: Result<Vec<CampaignRow>, LabError> = par::par_map_with(&points, threads, |point| {
         let group = &groups[&(point.app.clone(), point.class, point.mode.clone())];
-        let platform = base
+        let mut platform = base
             .with_bandwidth(point.bandwidth)
             .with_ranks_per_node(point.ranks_per_node);
+        let model = spec.perturbation_at(point.noise_level);
+        if !model.is_identity() {
+            platform = platform.with_perturbation(model);
+        }
         let (orig, ovl) = group.replay(point.engine, &platform)?;
         let attribution = if spec.attribution {
             let trace = group.orig.trace.as_ref().expect("attribution keeps traces");
@@ -1026,6 +1281,7 @@ pub fn run_campaign_threaded(
             mode: point.mode.clone(),
             engine: point.engine,
             ranks_per_node: point.ranks_per_node,
+            noise_level: point.noise_level,
             bandwidth: point.bandwidth,
             original: orig.total_time(),
             overlapped: ovl.total_time(),
@@ -1038,6 +1294,7 @@ pub fn run_campaign_threaded(
     Ok(CampaignReport {
         campaign: spec.name.clone(),
         attribution: spec.attribution,
+        perturbed: spec.perturbed(),
         rows: rows?,
     })
 }
@@ -1351,6 +1608,164 @@ iterations 1
         let par = run_campaign_threaded(&spec, 4).unwrap();
         assert_eq!(seq.to_json(), par.to_json());
         assert_eq!(seq.to_csv(), par.to_csv());
+    }
+
+    #[test]
+    fn perturbation_keys_parse_and_expand_the_grid() {
+        let spec = CampaignSpec::parse(
+            "campaign n\napps sweep3d\nclasses S\nranks 4\niterations 1\n\
+             bandwidths list 2e8\nnoise seed 42\nnoise level 0 0.1\n\
+             stragglers 1.5 0 2\nfaults 200 20\n",
+        )
+        .unwrap();
+        assert_eq!(spec.noise_seed, 42);
+        assert_eq!(spec.noise_levels, vec![0.0, 0.1]);
+        assert_eq!(spec.stragglers, Some((1.5, vec![0, 2])));
+        assert_eq!(spec.faults, Some((Time::from_us(200), Time::from_us(20))));
+        assert!(spec.perturbed());
+        assert_eq!(spec.point_count(), 2);
+        let points = spec.expand();
+        assert_eq!(points[0].noise_level, 0.0);
+        assert_eq!(points[1].noise_level, 0.1);
+        // The per-point model folds every axis in.
+        let model = spec.perturbation_at(0.1);
+        assert!(model.has_compute_effects());
+        assert!(model.has_faults());
+        assert_eq!(model.seed(), 42);
+        // Clean defaults: one zero level, no stragglers or faults.
+        let clean = CampaignSpec::parse(MINI).unwrap();
+        assert_eq!(clean.noise_seed, 0);
+        assert_eq!(clean.noise_levels, vec![0.0]);
+        assert!(!clean.perturbed());
+        assert!(clean.perturbation_at(0.0).is_identity());
+    }
+
+    #[test]
+    fn malformed_perturbation_keys_are_rejected() {
+        for bad in [
+            "campaign x\nnoise tempo 3\n",    // unknown sub-key
+            "campaign x\nnoise seed 1 2\n",   // seed takes one value
+            "campaign x\nnoise level\n",      // level needs values... (MissingValue-adjacent)
+            "campaign x\nnoise level -0.1\n", // negative level
+            "campaign x\nstragglers 2.0\n",   // no ranks
+            "campaign x\nstragglers 0.5 0\n", // slowdown below 1
+            "campaign x\nfaults 200\n",       // missing downtime
+            "campaign x\nfaults 20 20\n",     // downtime not below period
+            "campaign x\nfaults 20 0\n",      // zero downtime
+        ] {
+            assert!(
+                matches!(
+                    CampaignSpec::parse(bad).unwrap_err(),
+                    SpecError::InvalidPerturbation { line: 2, .. }
+                ),
+                "spec {bad:?} should be an invalid perturbation"
+            );
+        }
+        for bad in [
+            "campaign x\nnoise seed many\n",
+            "campaign x\nnoise level fast\n",
+            "campaign x\nstragglers 2.0 minus-one\n",
+            "campaign x\nfaults soon 5\n",
+        ] {
+            assert!(
+                matches!(
+                    CampaignSpec::parse(bad).unwrap_err(),
+                    SpecError::MalformedNumber { line: 2, .. }
+                ),
+                "spec {bad:?} should be a malformed number"
+            );
+        }
+        // The two noise sub-keys duplicate independently.
+        assert!(
+            CampaignSpec::parse("campaign x\nnoise seed 1\nnoise level 0.1\n")
+                .unwrap_err()
+                .to_string()
+                .contains("apps")
+        ); // only the missing required key remains
+        assert!(matches!(
+            CampaignSpec::parse("campaign x\nnoise seed 1\nnoise seed 2\n").unwrap_err(),
+            SpecError::DuplicateKey { line: 3, .. }
+        ));
+        let err = CampaignSpec::parse("campaign x\nfaults 20 20\n").unwrap_err();
+        assert!(format!("{err}").contains("line 2"));
+    }
+
+    #[test]
+    fn clean_campaign_reports_are_unchanged_by_the_perturbation_axis() {
+        // `noise seed` alone (levels default to the clean [0.0]) must not
+        // change a single report byte: committed clean goldens predate
+        // the perturbation engine.
+        let plain = run_campaign_threaded(&CampaignSpec::parse(MINI).unwrap(), 1).unwrap();
+        assert!(!plain.perturbed);
+        assert!(!plain.to_json().contains("noise_level"));
+        assert!(!plain.to_csv().contains("noise_level"));
+        let seeded = run_campaign_threaded(
+            &CampaignSpec::parse(&format!("{MINI}noise seed 42\n")).unwrap(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(plain.to_json(), seeded.to_json());
+        assert_eq!(plain.to_csv(), seeded.to_csv());
+    }
+
+    #[test]
+    fn perturbed_campaign_cross_checks_engines_and_reports_retention() {
+        let spec = CampaignSpec::parse(
+            "campaign noisy\napps sweep3d\nclasses S\nranks 4\niterations 1\n\
+             engines compiled prepared naive\nbandwidths list 2e8\n\
+             noise seed 7\nnoise level 0 0.3\nstragglers 1.4 1\nfaults 300 30\n",
+        )
+        .unwrap();
+        let report = run_campaign_threaded(&spec, 1).unwrap();
+        assert!(report.perturbed);
+        assert_eq!(report.rows.len(), 6);
+        // Rows pair up (engine major, noise minor): all three engines
+        // must agree bit-exactly at every perturbation point.
+        let by_engine: Vec<&[CampaignRow]> = report.rows.chunks(2).collect();
+        for other in &by_engine[1..] {
+            for (a, b) in by_engine[0].iter().zip(other.iter()) {
+                assert_eq!(
+                    a.original, b.original,
+                    "engines disagree under perturbation"
+                );
+                assert_eq!(a.overlapped, b.overlapped, "engines disagree");
+                assert_eq!(a.noise_level, b.noise_level);
+            }
+        }
+        // Perturbation actually bites: the stressed point is slower.
+        assert!(by_engine[0][1].original > by_engine[0][0].original);
+        // Retention: the baseline level retains 100% by definition.
+        let retention = report.retention_by_level();
+        assert_eq!(retention.len(), 2);
+        assert_eq!(retention[0], (0.0, 1.0));
+        assert!(retention[1].0 == 0.3 && retention[1].1.is_finite());
+        // The column shows up in both renderings.
+        assert!(report.to_json().contains("\"noise_level\":0.3"));
+        assert!(report
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .contains("noise_level"));
+    }
+
+    #[test]
+    fn perturbed_campaign_is_byte_identical_across_threads() {
+        let spec = CampaignSpec::parse(
+            "campaign det-noise\napps sweep3d\nclasses S\nranks 4\niterations 1\n\
+             bandwidths list 1e8 1e9\nnoise seed 9\nnoise level 0.1 0.2\nfaults 250 25\n",
+        )
+        .unwrap();
+        let seq = run_campaign_threaded(&spec, 1).unwrap();
+        for threads in [2, 4] {
+            let par = run_campaign_threaded(&spec, threads).unwrap();
+            assert_eq!(
+                seq.to_json(),
+                par.to_json(),
+                "perturbed campaign diverged at {threads} threads"
+            );
+            assert_eq!(seq.to_csv(), par.to_csv());
+        }
     }
 
     #[test]

@@ -69,8 +69,9 @@ pub use experiments::{
 pub use iso::{bandwidth_relaxation, min_bandwidth_for, RelaxationResult};
 pub use plot::{curve_of, render_curves, Curve, PlotOptions};
 pub use sweep::{
-    log_bandwidths, sweep_bundle, sweep_node_packing, sweep_traces, NodePackingPoint, SweepPoint,
+    log_bandwidths, noise_retention, sweep_bundle, sweep_node_packing, sweep_noise, sweep_traces,
+    NodePackingPoint, NoisePoint, SweepPoint,
 };
 #[doc(hidden)]
-pub use sweep::{sweep_node_packing_threaded, sweep_traces_threaded};
+pub use sweep::{sweep_node_packing_threaded, sweep_noise_threaded, sweep_traces_threaded};
 pub use table::Table;

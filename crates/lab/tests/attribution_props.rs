@@ -105,6 +105,7 @@ fn arb_platform() -> impl Strategy<Value = Platform> {
                 .expect("positive")
                 .buses(buses)
                 .ranks_per_node(rpn)
+                .expect("positive packing")
                 .intra_node_links(intra_links)
                 .eager_threshold(eager)
                 .send_overhead(Time::from_us(oh))

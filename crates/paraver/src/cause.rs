@@ -62,6 +62,7 @@ pub fn to_cause_pcf() -> String {
             chan: 0,
             intra: true,
         },
+        WaitCause::LinkDown { chan: 0 },
     ];
     let mut out = String::new();
     out.push_str("DEFAULT_OPTIONS\n\nLEVEL               TASK\nUNITS               NANOSEC\n\n");
@@ -112,6 +113,7 @@ mod tests {
             "SEND-OVERHEAD",
             "CONTENDED-INTER",
             "CONTENDED-INTRA",
+            "LINK-DOWN",
         ] {
             assert!(pcf.contains(label), "missing {label}");
         }

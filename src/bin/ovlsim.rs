@@ -26,6 +26,18 @@
 //!                                          per-channel gain ranking
 //! ```
 //!
+//! `campaign run`, `trace replay` and `analyze` additionally accept
+//! deterministic perturbation flags (see `ovlsim_core::PerturbationModel`):
+//!
+//! ```text
+//! --seed <n>                 perturbation seed (campaign: overrides the
+//!                            spec's `noise seed`)
+//! --noise <level>            OS-noise level (campaign: replaces the
+//!                            spec's `noise level` axis)
+//! --stragglers <slow>:<r0>,<r1>,...   straggler ranks at a slowdown
+//! --faults <period-us>:<down-us>      transient link outages
+//! ```
+//!
 //! Campaign specs are the declarative replacement for one-off experiment
 //! binaries; see `ovlsim_lab::campaign` for the grammar and
 //! `examples/campaigns/` for the committed corpus.
@@ -37,7 +49,8 @@ use std::process::ExitCode;
 use ovlsim::apps::registry;
 use ovlsim::apps::ProblemClass;
 use ovlsim::core::{
-    format_bytes, format_time, validate_trace_set, Platform, Rank, Time, TraceIndex, TraceSet,
+    format_bytes, format_time, validate_trace_set, PerturbationModel, Platform, Rank, Time,
+    TraceIndex, TraceSet,
 };
 use ovlsim::dimemas::{emit_trace_set, parse_trace_set, Simulator};
 use ovlsim::lab::campaign::{diff_reports, run_campaign, CampaignSpec};
@@ -54,9 +67,84 @@ fn usage() -> ExitCode {
          ovlsim trace stats <file.dim>\n  \
          ovlsim trace validate <file.dim>\n  \
          ovlsim trace replay <file.dim> [bytes-per-sec] [latency-us]\n  \
-         ovlsim analyze <file.dim> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv]"
+         ovlsim analyze <file.dim> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv]\n\
+         perturbation flags (campaign run, trace replay, analyze):\n  \
+         --seed <n>  --noise <level>  --stragglers <slow>:<r0>,<r1>,...  \
+         --faults <period-us>:<down-us>"
     );
     ExitCode::from(2)
+}
+
+/// Deterministic perturbation flags shared by `campaign run`,
+/// `trace replay` and `analyze`.
+#[derive(Default)]
+struct PerturbFlags {
+    seed: Option<u64>,
+    noise: Option<f64>,
+    stragglers: Option<(f64, Vec<u32>)>,
+    faults: Option<(u64, u64)>,
+}
+
+impl PerturbFlags {
+    fn given(&self) -> bool {
+        self.seed.is_some()
+            || self.noise.is_some()
+            || self.stragglers.is_some()
+            || self.faults.is_some()
+    }
+
+    fn parse_stragglers(v: &str) -> Result<(f64, Vec<u32>), String> {
+        let bad = || format!("bad --stragglers `{v}`: want <slowdown>:<rank>,<rank>,...");
+        let (slow, ranks) = v.split_once(':').ok_or_else(bad)?;
+        let slowdown: f64 = slow.parse().map_err(|_| bad())?;
+        let ranks: Vec<u32> = ranks
+            .split(',')
+            .map(|r| r.parse::<u32>().map_err(|_| bad()))
+            .collect::<Result<_, _>>()?;
+        if ranks.is_empty() {
+            return Err(bad());
+        }
+        Ok((slowdown, ranks))
+    }
+
+    fn parse_faults(v: &str) -> Result<(u64, u64), String> {
+        let bad = || format!("bad --faults `{v}`: want <period-us>:<downtime-us>");
+        let (period, down) = v.split_once(':').ok_or_else(bad)?;
+        Ok((
+            period.parse().map_err(|_| bad())?,
+            down.parse().map_err(|_| bad())?,
+        ))
+    }
+
+    /// Builds the model the flags describe (the identity when none were
+    /// given), surfacing the core domain errors as CLI messages.
+    fn model(&self) -> Result<PerturbationModel, String> {
+        let mut m = PerturbationModel::new(self.seed.unwrap_or(0));
+        if let Some(level) = self.noise {
+            m = m.with_noise(level).map_err(|e| e.to_string())?;
+        }
+        if let Some((slowdown, ranks)) = &self.stragglers {
+            m = m
+                .with_stragglers(ranks, *slowdown)
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some((period, down)) = self.faults {
+            m = m
+                .with_faults(Time::from_us(period), Time::from_us(down))
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(m)
+    }
+
+    /// Applies the flag model to a platform (no-op for the identity).
+    fn perturb(&self, platform: Platform) -> Result<Platform, String> {
+        let model = self.model()?;
+        if model.is_identity() {
+            Ok(platform)
+        } else {
+            Ok(platform.with_perturbation(model))
+        }
+    }
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -69,8 +157,28 @@ fn load_spec(path: &str) -> Result<CampaignSpec, String> {
     CampaignSpec::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_campaign_run(spec_path: &str, out_dir: &Path, csv: bool) -> Result<(), String> {
-    let spec = load_spec(spec_path)?;
+fn cmd_campaign_run(
+    spec_path: &str,
+    out_dir: &Path,
+    csv: bool,
+    perturb: &PerturbFlags,
+) -> Result<(), String> {
+    let mut spec = load_spec(spec_path)?;
+    // Domain-check the flag values through the model builders before
+    // splicing them into the spec's perturbation axes.
+    perturb.model()?;
+    if let Some(seed) = perturb.seed {
+        spec.noise_seed = seed;
+    }
+    if let Some(level) = perturb.noise {
+        spec.noise_levels = vec![level];
+    }
+    if let Some(stragglers) = &perturb.stragglers {
+        spec.stragglers = Some(stragglers.clone());
+    }
+    if let Some((period, down)) = perturb.faults {
+        spec.faults = Some((Time::from_us(period), Time::from_us(down)));
+    }
     let report = run_campaign(&spec).map_err(|e| format!("{spec_path}: {e}"))?;
     fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
     let json_path = out_dir.join(format!("{}.report.json", report.campaign));
@@ -115,6 +223,14 @@ fn cmd_campaign_run(spec_path: &str, out_dir: &Path, csv: bool) -> Result<(), St
         );
         seen.push(key);
     }
+    // Perturbed campaigns additionally answer the robustness question:
+    // how much of the clean overlap gain survives at each noise level?
+    if report.perturbed {
+        println!("\n{:<12} {:>10}", "noise", "retention");
+        for (level, retention) in report.retention_by_level() {
+            println!("{level:<12} {:>9.1}%", retention * 100.0);
+        }
+    }
     Ok(())
 }
 
@@ -122,19 +238,25 @@ fn cmd_campaign_list(spec_path: &str) -> Result<(), String> {
     let spec = load_spec(spec_path)?;
     let points = spec.expand();
     println!(
-        "campaign {}: {} apps x {} classes x {} modes x {} engines x {} packings x {} bandwidths = {} points",
+        "campaign {}: {} apps x {} classes x {} modes x {} engines x {} packings x {} noise levels x {} bandwidths = {} points",
         spec.name,
         spec.apps.len(),
         spec.classes.len(),
         spec.modes.len(),
         spec.engines.len(),
         spec.ranks_per_node.len(),
+        spec.noise_levels.len(),
         spec.bandwidths.len(),
         points.len()
     );
     for p in &points {
+        let noise = if spec.perturbed() {
+            format!(" noise={}", p.noise_level)
+        } else {
+            String::new()
+        };
         println!(
-            "  {} class={} {} engine={} rpn={} bw={}",
+            "  {} class={} {} engine={} rpn={}{noise} bw={}",
             p.app,
             p.class,
             p.mode,
@@ -295,9 +417,14 @@ fn parse_platform(bw: Option<&str>, lat: Option<&str>) -> Result<Platform, Strin
     Ok(b.build())
 }
 
-fn cmd_trace_replay(path: &str, bw: Option<&str>, lat: Option<&str>) -> Result<(), String> {
+fn cmd_trace_replay(
+    path: &str,
+    bw: Option<&str>,
+    lat: Option<&str>,
+    perturb: &PerturbFlags,
+) -> Result<(), String> {
     let trace = load_trace(path)?;
-    let platform = parse_platform(bw, lat)?;
+    let platform = perturb.perturb(parse_platform(bw, lat)?)?;
     let (timeline, result) = Timeline::capture(&platform, &trace).map_err(|e| e.to_string())?;
     println!("{result}");
     for r in 0..result.rank_finish().len() {
@@ -329,9 +456,10 @@ fn cmd_analyze(
     out_dir: &Path,
     csv: bool,
     prv: bool,
+    perturb: &PerturbFlags,
 ) -> Result<(), String> {
     let trace = load_trace(path)?;
-    let platform = parse_platform(bw, lat)?;
+    let platform = perturb.perturb(parse_platform(bw, lat)?)?;
     let index = TraceIndex::build(&trace).map_err(|issues| {
         for issue in &issues {
             eprintln!("{path}: {issue}");
@@ -420,6 +548,7 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut prv = false;
     let mut flags_given = false;
+    let mut perturb = PerturbFlags::default();
     let mut it = args.iter().map(String::as_str);
     while let Some(arg) = it.next() {
         match arg {
@@ -438,13 +567,38 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => perturb.seed = Some(seed),
+                None => return usage(),
+            },
+            "--noise" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(level) => perturb.noise = Some(level),
+                None => return usage(),
+            },
+            "--stragglers" => match it.next().map(PerturbFlags::parse_stragglers) {
+                Some(Ok(stragglers)) => perturb.stragglers = Some(stragglers),
+                Some(Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+                None => return usage(),
+            },
+            "--faults" => match it.next().map(PerturbFlags::parse_faults) {
+                Some(Ok(faults)) => perturb.faults = Some(faults),
+                Some(Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+                None => return usage(),
+            },
             _ if arg.starts_with("--") => return usage(),
             _ => positional.push(arg),
         }
     }
     // Flags only mean something to `campaign run` and `analyze`; silently
     // swallowing them elsewhere would misplace the user's output. `--prv`
-    // is analyze-only.
+    // is analyze-only, and the perturbation flags belong to the three
+    // replaying subcommands.
     let takes_flags =
         positional.get(..2) == Some(&["campaign", "run"]) || positional.first() == Some(&"analyze");
     if flags_given && !takes_flags {
@@ -453,8 +607,12 @@ fn main() -> ExitCode {
     if prv && positional.first() != Some(&"analyze") {
         return usage();
     }
+    let takes_perturb = takes_flags || positional.get(..2) == Some(&["trace", "replay"]);
+    if perturb.given() && !takes_perturb {
+        return usage();
+    }
     let result = match positional[..] {
-        ["campaign", "run", spec] => cmd_campaign_run(spec, &out_dir, csv),
+        ["campaign", "run", spec] => cmd_campaign_run(spec, &out_dir, csv, &perturb),
         ["campaign", "list", spec] => cmd_campaign_list(spec),
         ["campaign", "diff", golden, actual] => cmd_campaign_diff(golden, actual),
         ["trace", "gen", app, prefix] => cmd_trace_gen(app, prefix, None, None, None),
@@ -467,12 +625,14 @@ fn main() -> ExitCode {
         }
         ["trace", "stats", path] => cmd_trace_stats(path),
         ["trace", "validate", path] => cmd_trace_validate(path),
-        ["trace", "replay", path] => cmd_trace_replay(path, None, None),
-        ["trace", "replay", path, bw] => cmd_trace_replay(path, Some(bw), None),
-        ["trace", "replay", path, bw, lat] => cmd_trace_replay(path, Some(bw), Some(lat)),
-        ["analyze", path] => cmd_analyze(path, None, None, &out_dir, csv, prv),
-        ["analyze", path, bw] => cmd_analyze(path, Some(bw), None, &out_dir, csv, prv),
-        ["analyze", path, bw, lat] => cmd_analyze(path, Some(bw), Some(lat), &out_dir, csv, prv),
+        ["trace", "replay", path] => cmd_trace_replay(path, None, None, &perturb),
+        ["trace", "replay", path, bw] => cmd_trace_replay(path, Some(bw), None, &perturb),
+        ["trace", "replay", path, bw, lat] => cmd_trace_replay(path, Some(bw), Some(lat), &perturb),
+        ["analyze", path] => cmd_analyze(path, None, None, &out_dir, csv, prv, &perturb),
+        ["analyze", path, bw] => cmd_analyze(path, Some(bw), None, &out_dir, csv, prv, &perturb),
+        ["analyze", path, bw, lat] => {
+            cmd_analyze(path, Some(bw), Some(lat), &out_dir, csv, prv, &perturb)
+        }
         _ => return usage(),
     };
     match result {
