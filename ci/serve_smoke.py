@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Smoke-test a running ``ovlsim serve`` instance over loopback HTTP.
+
+Usage:
+    python3 ci/serve_smoke.py PORT VERSION SPEC_FILE GOLDEN_REPORT
+
+Checks, in order:
+
+1. ``GET /status`` answers 200 within a startup deadline, identifies
+   itself as the ``ovlsim`` service, and reports exactly VERSION (the
+   string ``ovlsim --version`` printed — the CLI and the server must
+   never disagree about what build is running).
+2. ``POST /campaign`` with the spec file's text returns the campaign
+   report **byte-identical** to the committed golden: the server path
+   reuses the exact CLI report serialization, so goldens gate it too.
+3. A second identical ``POST /campaign`` is byte-identical to the first
+   and performs zero additional trace-cache builds (every artifact is
+   served from the session's content-addressed store).
+4. ``POST /shutdown`` answers ``{"ok":true}`` and the listener actually
+   goes away.
+
+Exit status: 0 ok, 1 check failed, 2 usage/IO error.
+"""
+
+import http.client
+import json
+import sys
+import time
+
+STARTUP_DEADLINE_S = 30.0
+
+
+def fail(msg):
+    print(f"serve_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(port, method, path, body=None):
+    """One round-trip; returns (status, raw body bytes)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def wait_for_status(port):
+    deadline = time.monotonic() + STARTUP_DEADLINE_S
+    while True:
+        try:
+            return request(port, "GET", "/status")
+        except OSError:
+            if time.monotonic() >= deadline:
+                fail(f"server did not come up on port {port}")
+            time.sleep(0.1)
+
+
+def main():
+    if len(sys.argv) != 5:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    port = int(sys.argv[1])
+    version = sys.argv[2]
+    with open(sys.argv[3], "rb") as f:
+        spec = f.read().decode("utf-8")
+    with open(sys.argv[4], "rb") as f:
+        golden = f.read()
+
+    status, body = wait_for_status(port)
+    if status != 200:
+        fail(f"/status answered {status}: {body!r}")
+    info = json.loads(body)
+    if info.get("service") != "ovlsim":
+        fail(f"/status service field: {body!r}")
+    if info.get("version") != version:
+        fail(f"/status version {info.get('version')!r} != CLI version {version!r}")
+
+    campaign_body = json.dumps({"spec": spec})
+    status, first = request(port, "POST", "/campaign", campaign_body)
+    if status != 200:
+        fail(f"/campaign answered {status}: {first[:400]!r}")
+    if first != golden:
+        fail(
+            "campaign response is not byte-identical to the golden "
+            f"({len(first)} vs {len(golden)} bytes)"
+        )
+    _, mid = request(port, "GET", "/status")
+    builds_before = json.loads(mid)["cache"]["traces"]["builds"]
+
+    status, second = request(port, "POST", "/campaign", campaign_body)
+    if status != 200 or second != first:
+        fail("repeated campaign diverged from the first response")
+    _, after = request(port, "GET", "/status")
+    builds_after = json.loads(after)["cache"]["traces"]["builds"]
+    if builds_after != builds_before:
+        fail(
+            f"repeat campaign rebuilt traces ({builds_before} -> {builds_after}); "
+            "the content-addressed cache should have served every artifact"
+        )
+
+    status, body = request(port, "POST", "/shutdown")
+    if status != 200 or body != b'{"ok":true}':
+        fail(f"/shutdown answered {status}: {body!r}")
+    deadline = time.monotonic() + STARTUP_DEADLINE_S
+    while time.monotonic() < deadline:
+        try:
+            request(port, "GET", "/status")
+            time.sleep(0.1)
+        except OSError:
+            print("serve_smoke: ok (status, golden-byte campaign, cache reuse, shutdown)")
+            return
+    fail("listener still accepting connections after /shutdown")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,32 @@ impl ProblemClass {
     }
 }
 
+/// Error from parsing a [`ProblemClass`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownClassError(String);
+
+impl std::fmt::Display for UnknownClassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown problem class `{}` (want S, W, A or B)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownClassError {}
+
+impl std::str::FromStr for ProblemClass {
+    type Err = UnknownClassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "S" => Ok(ProblemClass::S),
+            "W" => Ok(ProblemClass::W),
+            "A" => Ok(ProblemClass::A),
+            "B" => Ok(ProblemClass::B),
+            other => Err(UnknownClassError(other.to_string())),
+        }
+    }
+}
+
 impl std::fmt::Display for ProblemClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let c = match self {
@@ -115,5 +141,20 @@ mod tests {
     fn display_single_letter() {
         assert_eq!(format!("{}", ProblemClass::S), "S");
         assert_eq!(format!("{}", ProblemClass::B), "B");
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for class in [
+            ProblemClass::S,
+            ProblemClass::W,
+            ProblemClass::A,
+            ProblemClass::B,
+        ] {
+            assert_eq!(class.to_string().parse::<ProblemClass>(), Ok(class));
+        }
+        let err = "C".parse::<ProblemClass>().unwrap_err();
+        assert!(err.to_string().contains("unknown problem class `C`"));
+        assert!("a".parse::<ProblemClass>().is_err());
     }
 }

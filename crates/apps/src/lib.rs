@@ -45,7 +45,7 @@ mod sweep3d;
 mod synthetic;
 
 pub use alya::{Alya, AlyaBuilder};
-pub use class::ProblemClass;
+pub use class::{ProblemClass, UnknownClassError};
 pub use decomp::Grid2d;
 pub use error::AppConfigError;
 pub use halo::{exchange, HaloLeg};

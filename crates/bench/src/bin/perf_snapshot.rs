@@ -197,6 +197,57 @@ fn main() {
         std::hint::black_box(sim_mc.run_compiled(&program).expect("replays"));
     });
 
+    // Session-layer cache overhead: replaying through a warmed
+    // `ovlsim_session::Session` (content-keyed lookups for trace, index
+    // and compiled program, then `run_compiled`) must cost within 5% of
+    // calling `run_compiled` directly on the same program. Clean and
+    // session-routed runs are timed in interleaved best-of-3 pairs, same
+    // as the perturbation hot-path gate, so shared-runner noise cannot
+    // flake the ratio.
+    let session = ovlsim_session::Session::with_threads(1);
+    let session_req = ovlsim_session::ReplayRequest {
+        source: ovlsim_session::TraceSource::Generated {
+            app: "nas-bt".to_string(),
+            class: ovlsim_apps::ProblemClass::A,
+            ranks: Some(16),
+            iterations: Some(4),
+            mode: Some(ovlsim_tracer::OverlapMode::linear()),
+        },
+        platform: ovlsim_session::PlatformSpec::default(),
+        perturb: ovlsim_session::PerturbSpec::default(),
+        engine: ovlsim_lab::Engine::Compiled,
+    };
+    let warm = session.replay(&session_req).expect("session replays");
+    let strace = session.trace(&session_req.source).expect("cached trace");
+    let sindex = ovlsim_lab::ArtifactPipeline::index(&session, &strace).expect("cached index");
+    let sprog =
+        ovlsim_lab::ArtifactPipeline::compiled(&session, &strace, &sindex).expect("cached program");
+    assert_eq!(
+        session.stats().compiles(),
+        1,
+        "a warmed session must have compiled its one trace exactly once"
+    );
+    let session_platform = ovlsim_session::PlatformSpec::default()
+        .build()
+        .expect("default platform");
+    let ssim = Simulator::new(session_platform);
+    let direct = ssim.run_compiled(&sprog).expect("replays");
+    assert_eq!(
+        (direct.total_time(), direct.rank_finish()),
+        (warm.total, warm.rank_finish.as_slice()),
+        "session-routed replay diverged from direct run_compiled"
+    );
+    let mut session_cached_overhead = f64::INFINITY;
+    for _ in 0..3 {
+        let direct_s = time_call(|| {
+            std::hint::black_box(ssim.run_compiled(&sprog).expect("replays"));
+        });
+        let cached_s = time_call(|| {
+            std::hint::black_box(session.replay(&session_req).expect("session replays"));
+        });
+        session_cached_overhead = session_cached_overhead.min(cached_s / direct_s);
+    }
+
     // Multi-point sweep scaling. Points chosen so a run takes long enough
     // to measure but the snapshot stays quick. Thread counts are capped at
     // the host's parallelism: measuring 4 workers on a 1-core container
@@ -266,6 +317,15 @@ fn main() {
         hotpath_overhead < 1.10,
         "perturbation hot path costs {:.1}% over clean compiled replay (budget: <10%)",
         (hotpath_overhead - 1.0) * 100.0
+    );
+    assert!(
+        session_cached_overhead.is_finite() && session_cached_overhead > 0.0,
+        "session cache overhead is {session_cached_overhead}: expected a finite, positive ratio"
+    );
+    assert!(
+        session_cached_overhead < 1.05,
+        "session-cached replay costs {:.1}% over direct run_compiled (budget: <5%)",
+        (session_cached_overhead - 1.0) * 100.0
     );
 
     let mut json = String::new();
@@ -363,6 +423,14 @@ fn main() {
         "    \"speedup_prepared_vs_naive\": {:.2}",
         sp_mc_prepared_vs_naive
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"session_cache\": {{");
+    let _ = writeln!(
+        json,
+        "    \"cached_replay_overhead_vs_direct\": {:.3},",
+        session_cached_overhead
+    );
+    let _ = writeln!(json, "    \"compiles\": 1");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sweep\": {{");
     let mut lines: Vec<String> = Vec::new();

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod hash;
 mod ids;
 mod index;
 mod instr;
@@ -52,6 +53,7 @@ mod units;
 mod validate;
 
 pub use error::CoreError;
+pub use hash::{Digest, StableHasher};
 pub use ids::{BufferId, MessageId, Rank, RequestId, Tag};
 pub use index::{ChannelId, TraceIndex, NO_CHANNEL};
 pub use instr::{Instr, MipsRate};

@@ -238,12 +238,25 @@ impl Attribution {
         trace: &TraceSet,
         index: &TraceIndex,
     ) -> Result<Attribution, LabError> {
+        Ok(Self::analyze_with_recorder(platform, trace, index)?.0)
+    }
+
+    /// [`Attribution::analyze`], additionally returning the raw recorder
+    /// (whose wait intervals the Paraver exporter consumes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay errors ([`LabError::Sim`]).
+    pub fn analyze_with_recorder(
+        platform: &Platform,
+        trace: &TraceSet,
+        index: &TraceIndex,
+    ) -> Result<(Attribution, AttributionRecorder), LabError> {
         let mut recorder = AttributionRecorder::new(trace.rank_count());
         let result =
             Simulator::new(platform.clone()).run_prepared_observed(trace, index, &mut recorder)?;
-        Ok(Self::from_recorded(
-            &recorder, &result, trace, index, platform,
-        ))
+        let attribution = Self::from_recorded(&recorder, &result, trace, index, platform);
+        Ok((attribution, recorder))
     }
 
     /// Folds an already-captured attribution stream. `result` must come

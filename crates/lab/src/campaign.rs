@@ -53,16 +53,15 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use ovlsim_apps::registry::{build_app, AppOverrides};
+use ovlsim_apps::registry::AppOverrides;
 use ovlsim_apps::ProblemClass;
-use ovlsim_core::{
-    Bandwidth, CompiledTrace, PerturbationModel, Platform, Time, TraceIndex, TraceSet,
-};
-use ovlsim_dimemas::{replay_naive, SimError, Simulator};
-use ovlsim_tracer::{Mechanisms, OverlapMode, PatternSource, TracingSession};
+use ovlsim_core::{Bandwidth, PerturbationModel, Platform, Time};
+use ovlsim_dimemas::SimError;
+use ovlsim_tracer::{Mechanisms, OverlapMode, PatternSource};
 
 use crate::error::LabError;
 use crate::par;
+use crate::pipeline::{ArtifactPipeline, DirectPipeline, EngineInput};
 
 /// A replay engine selectable per campaign. All three produce
 /// bit-identical [`ReplayResult`](ovlsim_dimemas::ReplayResult)s; naive
@@ -70,11 +69,11 @@ use crate::par;
 /// on any scenario a spec can describe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
-    /// Flat SoA replay program ([`Simulator::run_compiled`]) — the fast
+    /// Flat SoA replay program ([`Simulator::run_compiled`](ovlsim_dimemas::Simulator::run_compiled)) — the fast
     /// path, and the default.
     Compiled,
     /// Channel-indexed replay over the record stream
-    /// ([`Simulator::run_prepared`]).
+    /// ([`Simulator::run_prepared`](ovlsim_dimemas::Simulator::run_prepared)).
     Prepared,
     /// The reference engine kept from the seed
     /// ([`ovlsim_dimemas::replay_naive`]).
@@ -82,7 +81,8 @@ pub enum Engine {
 }
 
 impl Engine {
-    fn parse(s: &str) -> Option<Engine> {
+    /// Parses an engine name (`compiled`, `prepared` or `naive`).
+    pub fn parse(s: &str) -> Option<Engine> {
         match s {
             "compiled" => Some(Engine::Compiled),
             "prepared" => Some(Engine::Prepared),
@@ -256,8 +256,9 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// Parses an overlap-mode label (an [`OverlapMode::label`] without the
-/// `ovl-` prefix).
-fn parse_mode(s: &str) -> Option<OverlapMode> {
+/// `ovl-` prefix): `real` or `linear`, optionally suffixed `-earlysend`,
+/// `-latewait` or `-chunked`.
+pub fn parse_mode(s: &str) -> Option<OverlapMode> {
     let (pattern, rest) = if let Some(rest) = s.strip_prefix("real") {
         (PatternSource::Real, rest)
     } else if let Some(rest) = s.strip_prefix("linear") {
@@ -279,13 +280,7 @@ fn parse_mode(s: &str) -> Option<OverlapMode> {
 }
 
 fn parse_class(s: &str) -> Option<ProblemClass> {
-    match s {
-        "S" => Some(ProblemClass::S),
-        "W" => Some(ProblemClass::W),
-        "A" => Some(ProblemClass::A),
-        "B" => Some(ProblemClass::B),
-        _ => None,
-    }
+    s.parse().ok()
 }
 
 /// A parsed, validated campaign description.
@@ -1115,47 +1110,6 @@ pub fn diff_reports(expected: &str, actual: &str) -> Vec<ReportDiff> {
     diffs
 }
 
-/// The per-trace data one engine family needs, built once per
-/// `app × class × mode` group. Fields the spec's engine list does not
-/// require are never built (a compiled-only campaign keeps no record
-/// streams or indexes alive; a naive-only campaign compiles nothing).
-struct EngineInput {
-    /// Record stream — kept only for the prepared and naive engines.
-    trace: Option<TraceSet>,
-    /// Channel index — kept only for the prepared engine.
-    index: Option<TraceIndex>,
-    /// Flat replay program — built only for the compiled engine.
-    prog: Option<CompiledTrace>,
-}
-
-impl EngineInput {
-    /// `attribution` forces the record stream and index to be kept (the
-    /// attribution pass replays through the prepared engine regardless of
-    /// the row's engine).
-    fn build(ts: TraceSet, engines: &[Engine], attribution: bool) -> Result<EngineInput, LabError> {
-        let needs_prog = engines.contains(&Engine::Compiled);
-        let needs_index = engines.contains(&Engine::Prepared) || attribution;
-        let needs_trace = needs_index || engines.contains(&Engine::Naive);
-        let (index, prog) = if needs_prog || needs_index {
-            let index = TraceIndex::build(&ts)
-                .map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))?;
-            let prog = if needs_prog {
-                Some(CompiledTrace::compile(&ts, &index)?)
-            } else {
-                None
-            };
-            (needs_index.then_some(index), prog)
-        } else {
-            (None, None)
-        };
-        Ok(EngineInput {
-            trace: needs_trace.then_some(ts),
-            index,
-            prog,
-        })
-    }
-}
-
 /// A traced `app × class × mode` combination: the once-per-group work
 /// every platform point of the group shares.
 struct Group {
@@ -1164,30 +1118,16 @@ struct Group {
 }
 
 impl Group {
-    /// Replays original and overlapped on `platform`. The `expect`s hold
-    /// by construction: [`EngineInput::build`] receives the same engine
-    /// list this `engine` is drawn from.
+    /// Replays original and overlapped on `platform`.
     fn replay(
         &self,
         engine: Engine,
         platform: &Platform,
     ) -> Result<(ovlsim_dimemas::ReplayResult, ovlsim_dimemas::ReplayResult), SimError> {
-        let input = |e: &EngineInput| match engine {
-            Engine::Compiled => {
-                let prog = e.prog.as_ref().expect("compiled engine was requested");
-                Simulator::new(platform.clone()).run_compiled(prog)
-            }
-            Engine::Prepared => {
-                let trace = e.trace.as_ref().expect("prepared engine was requested");
-                let index = e.index.as_ref().expect("prepared engine was requested");
-                Simulator::new(platform.clone()).run_prepared(trace, index)
-            }
-            Engine::Naive => {
-                let trace = e.trace.as_ref().expect("naive engine was requested");
-                replay_naive(platform, trace)
-            }
-        };
-        Ok((input(&self.orig)?, input(&self.ovl)?))
+        Ok((
+            self.orig.replay(engine, platform)?,
+            self.ovl.replay(engine, platform)?,
+        ))
     }
 }
 
@@ -1210,26 +1150,42 @@ pub fn run_campaign_threaded(
     spec: &CampaignSpec,
     threads: usize,
 ) -> Result<CampaignReport, LabError> {
+    run_campaign_with(&DirectPipeline, spec, threads)
+}
+
+/// [`run_campaign`] with an explicit artifact pipeline and worker cap.
+/// The session layer passes its caching pipeline here; results are
+/// byte-identical regardless of the pipeline's caching policy.
+///
+/// # Errors
+///
+/// Propagates app construction, tracing, validation, compilation and
+/// replay errors.
+pub fn run_campaign_with(
+    pipeline: &dyn ArtifactPipeline,
+    spec: &CampaignSpec,
+    threads: usize,
+) -> Result<CampaignReport, LabError> {
     let overrides = AppOverrides {
         ranks: spec.ranks,
         iterations: spec.iterations,
     };
     // Once-per-group work, sequential: trace each app×class once, then
     // synthesize (and index/compile as the engine list requires) each
-    // mode variant once.
+    // mode variant once. A caching pipeline collapses repeated artifacts
+    // across groups (the original trace is shared by every mode).
     let mut groups: HashMap<(String, ProblemClass, String), Group> = HashMap::new();
     for app_name in &spec.apps {
         for &class in &spec.classes {
-            let app = build_app(app_name, class, overrides)?;
-            let bundle = TracingSession::new(app.as_ref()).run()?;
+            let bundle = pipeline.bundle(app_name, class, overrides)?;
             for &mode in &spec.modes {
-                let ovl = bundle.overlapped(mode)?;
-                let orig = bundle.original().clone();
+                let ovl = pipeline.variant(&bundle, Some(mode))?;
+                let orig = pipeline.variant(&bundle, None)?;
                 groups.insert(
                     (app_name.clone(), class, mode.label()),
                     Group {
-                        orig: EngineInput::build(orig, &spec.engines, spec.attribution)?,
-                        ovl: EngineInput::build(ovl, &spec.engines, false)?,
+                        orig: EngineInput::build(pipeline, orig, &spec.engines, spec.attribution)?,
+                        ovl: EngineInput::build(pipeline, ovl, &spec.engines, false)?,
                     },
                 );
             }

@@ -46,6 +46,7 @@ mod error;
 mod experiments;
 mod iso;
 mod par;
+pub mod pipeline;
 mod plot;
 mod sweep;
 mod table;
@@ -56,8 +57,8 @@ pub use attribution::{
 };
 pub use bounds::OverlapBounds;
 pub use campaign::{
-    diff_reports, run_campaign, CampaignReport, CampaignRow, CampaignSpec, Engine, RowAttribution,
-    SpecError,
+    diff_reports, parse_mode, run_campaign, run_campaign_with, CampaignReport, CampaignRow,
+    CampaignSpec, Engine, RowAttribution, SpecError,
 };
 pub use error::LabError;
 pub use experiments::{
@@ -67,11 +68,16 @@ pub use experiments::{
     ExperimentReport, SWEEP_HI, SWEEP_LO,
 };
 pub use iso::{bandwidth_relaxation, min_bandwidth_for, RelaxationResult};
+pub use par::configured_threads;
+pub use pipeline::{ArtifactPipeline, DirectPipeline, EngineInput};
 pub use plot::{curve_of, render_curves, Curve, PlotOptions};
 pub use sweep::{
-    log_bandwidths, noise_retention, sweep_bundle, sweep_node_packing, sweep_noise, sweep_traces,
-    NodePackingPoint, NoisePoint, SweepPoint,
+    compile_trace, log_bandwidths, noise_retention, sweep_bundle, sweep_compiled,
+    sweep_node_packing, sweep_noise, sweep_traces, NodePackingPoint, NoisePoint, SweepPoint,
 };
 #[doc(hidden)]
-pub use sweep::{sweep_node_packing_threaded, sweep_noise_threaded, sweep_traces_threaded};
+pub use sweep::{
+    sweep_compiled_threaded, sweep_node_packing_threaded, sweep_noise_threaded,
+    sweep_traces_threaded,
+};
 pub use table::Table;

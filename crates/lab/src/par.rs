@@ -27,7 +27,7 @@ thread_local! {
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Worker count for the next top-level [`par_map`]: `OVLSIM_THREADS` if
+/// Worker count for the next top-level `par_map`: `OVLSIM_THREADS` if
 /// set to a positive integer, else the machine's available parallelism.
 ///
 /// # Errors
@@ -38,7 +38,7 @@ thread_local! {
 /// would silently invalidate whatever scaling measurement they were
 /// after, so the misconfiguration surfaces as a hard error instead of a
 /// fallback.
-pub(crate) fn configured_threads() -> Result<usize, LabError> {
+pub fn configured_threads() -> Result<usize, LabError> {
     let available = || {
         std::thread::available_parallelism()
             .map(|n| n.get())

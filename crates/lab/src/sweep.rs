@@ -1,10 +1,8 @@
 //! Bandwidth sweeps (the x-axis of every figure in the paper) and the
 //! hierarchical-platform sweep over node packing × intra-node bandwidth.
 
-use ovlsim_core::{
-    Bandwidth, CompiledTrace, PerturbationModel, Platform, Time, TraceIndex, TraceSet,
-};
-use ovlsim_dimemas::{SimError, Simulator};
+use ovlsim_core::{Bandwidth, CompiledTrace, PerturbationModel, Platform, Time, TraceSet};
+use ovlsim_dimemas::Simulator;
 use ovlsim_tracer::{OverlapMode, TraceBundle};
 
 use crate::error::LabError;
@@ -37,9 +35,12 @@ pub fn log_bandwidths(lo: f64, hi: f64, points: usize) -> Vec<Bandwidth> {
 /// Validates, channel-indexes and compiles a trace in one step — the
 /// once-per-trace cost every sweep and bisection pays before fanning its
 /// points out over the shared [`CompiledTrace`].
-pub(crate) fn compile_trace(ts: &TraceSet) -> Result<CompiledTrace, LabError> {
-    let index =
-        TraceIndex::build(ts).map_err(|issues| LabError::Sim(SimError::InvalidTrace { issues }))?;
+///
+/// # Errors
+///
+/// Propagates validation and compilation errors.
+pub fn compile_trace(ts: &TraceSet) -> Result<CompiledTrace, LabError> {
+    let index = crate::pipeline::build_index(ts)?;
     Ok(CompiledTrace::compile(ts, &index)?)
 }
 
@@ -123,10 +124,44 @@ pub fn sweep_traces_threaded(
     // Compile once: every point shares the same flat programs.
     let orig_prog = compile_trace(original)?;
     let ovl_prog = compile_trace(overlapped)?;
+    sweep_compiled_threaded(&orig_prog, &ovl_prog, base, bandwidths, threads)
+}
+
+/// [`sweep_traces`] over already-compiled programs — the entry point for
+/// callers (the session layer) that cache [`CompiledTrace`]s and replay
+/// them many times without re-paying validation or compilation.
+///
+/// # Errors
+///
+/// Propagates replay errors and rejects a malformed `OVLSIM_THREADS`.
+pub fn sweep_compiled(
+    orig_prog: &CompiledTrace,
+    ovl_prog: &CompiledTrace,
+    base: &Platform,
+    bandwidths: &[Bandwidth],
+) -> Result<Vec<SweepPoint>, LabError> {
+    sweep_compiled_threaded(
+        orig_prog,
+        ovl_prog,
+        base,
+        bandwidths,
+        par::configured_threads()?,
+    )
+}
+
+/// [`sweep_compiled`] with an explicit worker cap.
+#[doc(hidden)]
+pub fn sweep_compiled_threaded(
+    orig_prog: &CompiledTrace,
+    ovl_prog: &CompiledTrace,
+    base: &Platform,
+    bandwidths: &[Bandwidth],
+    threads: usize,
+) -> Result<Vec<SweepPoint>, LabError> {
     let point_at = |bw: Bandwidth| -> Result<SweepPoint, LabError> {
         let sim = Simulator::new(base.with_bandwidth(bw));
-        let orig = sim.run_compiled(&orig_prog)?;
-        let ovl = sim.run_compiled(&ovl_prog)?;
+        let orig = sim.run_compiled(orig_prog)?;
+        let ovl = sim.run_compiled(ovl_prog)?;
         Ok(SweepPoint {
             bandwidth: bw,
             original: orig.total_time(),

@@ -1,0 +1,64 @@
+//! The session layer's error type.
+
+use std::fmt;
+
+use ovlsim_lab::LabError;
+
+/// Any failure surfaced by the session layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// An error from the underlying experiment harness (tracing,
+    /// validation, compilation, replay, spec parsing).
+    Lab(LabError),
+    /// A trace file failed to parse.
+    TraceParse(ovlsim_dimemas::ParseError),
+    /// A campaign spec failed to parse.
+    Spec(ovlsim_lab::SpecError),
+    /// A request was structurally invalid (unknown app, bad class, bad
+    /// JSON field, ...).
+    BadRequest(String),
+    /// A socket operation failed (`ovlsim serve` only).
+    Io(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Lab(e) => write!(f, "{e}"),
+            SessionError::TraceParse(e) => write!(f, "trace parse: {e}"),
+            SessionError::Spec(e) => write!(f, "campaign spec: {e}"),
+            SessionError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            SessionError::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Lab(e) => Some(e),
+            SessionError::TraceParse(e) => Some(e),
+            SessionError::Spec(e) => Some(e),
+            SessionError::BadRequest(_) | SessionError::Io(_) => None,
+        }
+    }
+}
+
+impl From<LabError> for SessionError {
+    fn from(e: LabError) -> Self {
+        SessionError::Lab(e)
+    }
+}
+
+impl From<ovlsim_dimemas::ParseError> for SessionError {
+    fn from(e: ovlsim_dimemas::ParseError) -> Self {
+        SessionError::TraceParse(e)
+    }
+}
+
+impl From<ovlsim_lab::SpecError> for SessionError {
+    fn from(e: ovlsim_lab::SpecError) -> Self {
+        SessionError::Spec(e)
+    }
+}

@@ -1,0 +1,153 @@
+//! A minimal HTTP/1.1 reader/writer over `std::net` — just enough for a
+//! loopback JSON API with no external dependencies: request line, headers
+//! up to a size cap, `Content-Length` bodies, `Connection: close`
+//! responses.
+
+use std::io::{Read, Write};
+
+/// Largest accepted head (request line + headers) in bytes.
+const MAX_HEAD: usize = 64 * 1024;
+/// Largest accepted request body in bytes (traces are inlined in request
+/// bodies, so this is generous).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// One parsed request.
+pub(crate) struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The request target, e.g. `/status`.
+    pub path: String,
+    /// The decoded body (empty when there was none).
+    pub body: String,
+}
+
+/// A request-reading failure, split so the server can answer with an
+/// appropriate status line.
+pub(crate) enum ReadError {
+    /// The peer closed before sending a full request.
+    Closed,
+    /// The request was malformed or exceeded a cap.
+    Bad(String),
+    /// The socket itself failed (the error itself is not inspected; the
+    /// connection is simply dropped).
+    Io,
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(_: std::io::Error) -> Self {
+        ReadError::Io
+    }
+}
+
+/// Reads one request from `stream`.
+pub(crate) fn read_request(stream: &mut impl Read) -> Result<Request, ReadError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until the blank line; requests are tiny and local,
+    // and this avoids over-reading into the body.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(ReadError::Bad("request head too large".to_string()));
+        }
+        match stream.read(&mut byte)? {
+            0 if head.is_empty() => return Err(ReadError::Closed),
+            0 => return Err(ReadError::Bad("connection closed mid-request".to_string())),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| ReadError::Bad("request head is not utf-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Bad("empty request line".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Bad("request line has no target".to_string()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Bad("bad content-length".to_string()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ReadError::Bad("request body too large".to_string()));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    let body =
+        String::from_utf8(body).map_err(|_| ReadError::Bad("body is not utf-8".to_string()))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes one `Connection: close` JSON response.
+pub(crate) fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /replay HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"\":1}";
+        let req = match read_request(&mut &raw[..]) {
+            Ok(r) => r,
+            Err(_) => panic!("should parse"),
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/replay");
+        assert_eq!(req.body, "{\"\":");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let raw = b"GET /status HTTP/1.1\r\n\r\n";
+        let req = match read_request(&mut &raw[..]) {
+            Ok(r) => r,
+            Err(_) => panic!("should parse"),
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/status");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_stream_reports_closed() {
+        assert!(matches!(
+            read_request(&mut &b""[..]),
+            Err(ReadError::Closed)
+        ));
+    }
+
+    #[test]
+    fn response_has_exact_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

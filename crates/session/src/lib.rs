@@ -1,0 +1,38 @@
+//! The reusable session layer: one process-wide simulation context with a
+//! content-addressed artifact cache, shared by the `ovlsim` CLI and the
+//! `ovlsim serve` HTTP front-end.
+//!
+//! A [`Session`] owns an [`ArtifactStore`] keyed by stable content
+//! digests (app × class × overrides for bundles, trace fingerprints for
+//! indexes and compiled programs), so any two requests describing the
+//! same simulation — across a batch, across server connections, across a
+//! whole campaign — build each artifact exactly once. The session
+//! implements the lab crate's `ArtifactPipeline`, which routes the
+//! campaign runner, sweeps and analyses through the same cache.
+//!
+//! Requests are typed ([`ReplayRequest`], [`SweepRequest`],
+//! [`AnalyzeRequest`], [`CampaignRequest`]) and fan out across the
+//! deterministic `OVLSIM_THREADS` worker pool; responses render to
+//! byte-stable JSON matching the CLI's on-disk report formats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod json;
+pub mod request;
+pub mod serve;
+pub mod session;
+pub mod store;
+
+mod http;
+
+pub use error::SessionError;
+pub use json::{Json, JsonError};
+pub use request::{
+    AnalyzeRequest, CampaignRequest, PerturbSpec, PlatformSpec, ReplayRequest, ReplayResponse,
+    SweepRequest, SweepResponse, TraceSource,
+};
+pub use serve::Server;
+pub use session::Session;
+pub use store::{ArtifactStore, CacheStats, ShelfStats};

@@ -1,0 +1,276 @@
+//! The [`Session`]: one artifact store + one thread pool behind every
+//! simulation entry point.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ovlsim_apps::registry::AppOverrides;
+use ovlsim_apps::ProblemClass;
+use ovlsim_core::{CompiledTrace, Digest, StableHasher, TraceIndex, TraceSet};
+use ovlsim_dimemas::parse_trace_set;
+use ovlsim_lab::attribution::{Attribution, AttributionRecorder};
+use ovlsim_lab::pipeline::{build_index, ArtifactPipeline, DirectPipeline, EngineInput};
+use ovlsim_lab::{configured_threads, run_campaign_with, CampaignReport, CampaignSpec, LabError};
+use ovlsim_tracer::{OverlapMode, TraceBundle};
+
+use crate::error::SessionError;
+use crate::request::{
+    AnalyzeRequest, CampaignRequest, ReplayRequest, ReplayResponse, SweepRequest, SweepResponse,
+    TraceSource,
+};
+use crate::store::{ArtifactStore, CacheStats};
+
+/// A long-lived simulation context: a content-addressed [`ArtifactStore`]
+/// plus the deterministic `OVLSIM_THREADS` worker count, serving typed
+/// requests ([`ReplayRequest`], [`SweepRequest`], [`AnalyzeRequest`],
+/// [`CampaignRequest`]).
+///
+/// `Session` implements [`ArtifactPipeline`], so the campaign runner and
+/// every other lab entry point transparently share its cache: equal
+/// traces index and compile exactly once per session, no matter how many
+/// requests — or how many concurrent server connections — ask for them.
+pub struct Session {
+    store: ArtifactStore,
+    threads: usize,
+    /// Memoized content digests, keyed by artifact address. Each entry
+    /// pins its artifact's `Arc`, so an address can never be reused while
+    /// it is a key — repeated lookups of a cached trace cost a pointer
+    /// hash instead of re-hashing every record (that re-hash is what the
+    /// perf snapshot's <5% cached-replay budget guards against).
+    trace_keys: Mutex<HashMap<usize, (Arc<TraceSet>, Digest)>>,
+    bundle_keys: Mutex<HashMap<usize, (Arc<TraceBundle>, Digest)>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Session {
+    /// Creates a session with the configured worker count
+    /// (`OVLSIM_THREADS` or the machine's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a malformed `OVLSIM_THREADS`.
+    pub fn new() -> Result<Session, SessionError> {
+        Ok(Session {
+            threads: configured_threads()?,
+            ..Session::with_threads(1)
+        })
+    }
+
+    /// Creates a session with an explicit worker cap (for determinism
+    /// tests).
+    pub fn with_threads(threads: usize) -> Session {
+        Session {
+            store: ArtifactStore::new(),
+            threads: threads.max(1),
+            trace_keys: Mutex::new(HashMap::new()),
+            bundle_keys: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The content digest of a trace, hashing its records only the first
+    /// time this session sees this `Arc`.
+    fn trace_key(&self, trace: &Arc<TraceSet>) -> Digest {
+        let addr = Arc::as_ptr(trace) as usize;
+        let mut memo = lock(&self.trace_keys);
+        if let Some((_, digest)) = memo.get(&addr) {
+            return *digest;
+        }
+        let digest = trace.fingerprint();
+        memo.insert(addr, (Arc::clone(trace), digest));
+        digest
+    }
+
+    /// A snapshot of the artifact store's hit/build counters.
+    pub fn stats(&self) -> CacheStats {
+        self.store.stats()
+    }
+
+    /// The trace a source describes, cached by content.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors (text sources) or app construction,
+    /// tracing and synthesis errors (generated sources).
+    pub fn trace(&self, source: &TraceSource) -> Result<Arc<TraceSet>, SessionError> {
+        match source {
+            TraceSource::Text { dim } => {
+                self.store.trace(source.key(), || Ok(parse_trace_set(dim)?))
+            }
+            TraceSource::Generated {
+                app, class, mode, ..
+            } => {
+                let bundle = ArtifactPipeline::bundle(self, app, *class, source.overrides())?;
+                Ok(self.variant(&bundle, *mode)?)
+            }
+        }
+    }
+
+    /// Replays one trace on one platform point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source, platform and replay errors.
+    pub fn replay(&self, req: &ReplayRequest) -> Result<ReplayResponse, SessionError> {
+        let trace = self.trace(&req.source)?;
+        let platform = req.perturb.apply(req.platform.build()?)?;
+        let input = EngineInput::build(self, Arc::clone(&trace), &[req.engine], false)?;
+        let result = input
+            .replay(req.engine, &platform)
+            .map_err(LabError::from)?;
+        Ok(ReplayResponse {
+            trace: trace.name().to_string(),
+            total: result.total_time(),
+            comm_fraction: result.comm_fraction(),
+            rank_finish: result.rank_finish().to_vec(),
+        })
+    }
+
+    /// Replays an original/overlapped pair over a bandwidth range,
+    /// fanning points across the session's worker pool. Both programs
+    /// come from the cache: repeated sweeps over the same traces compile
+    /// exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source, validation, compilation and replay errors.
+    pub fn sweep(&self, req: &SweepRequest) -> Result<SweepResponse, SessionError> {
+        let orig = self.trace(&req.original)?;
+        let ovl = self.trace(&req.overlapped)?;
+        let base = crate::request::PlatformSpec {
+            bandwidth: None,
+            latency_us: req.latency_us,
+        }
+        .build()?;
+        let orig_prog = self.compiled(&orig, &ArtifactPipeline::index(self, &orig)?)?;
+        let ovl_prog = self.compiled(&ovl, &ArtifactPipeline::index(self, &ovl)?)?;
+        let points = ovlsim_lab::sweep_compiled_threaded(
+            &orig_prog,
+            &ovl_prog,
+            &base,
+            &req.bandwidths,
+            self.threads,
+        )?;
+        Ok(SweepResponse { points })
+    }
+
+    /// Attributes wait time and extracts the critical path of one trace
+    /// on one platform point, returning the folded attribution and the
+    /// raw recorder (whose intervals the Paraver exporter consumes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates source, validation and replay errors.
+    pub fn analyze(
+        &self,
+        req: &AnalyzeRequest,
+    ) -> Result<(Attribution, AttributionRecorder), SessionError> {
+        let trace = self.trace(&req.source)?;
+        let platform = req.perturb.apply(req.platform.build()?)?;
+        let index = ArtifactPipeline::index(self, &trace)?;
+        Ok(Attribution::analyze_with_recorder(
+            &platform, &trace, &index,
+        )?)
+    }
+
+    /// Parses and runs a full campaign through this session's cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec parse errors and campaign run errors.
+    pub fn campaign(&self, req: &CampaignRequest) -> Result<CampaignReport, SessionError> {
+        let spec = CampaignSpec::parse(&req.spec)?;
+        self.run_campaign(&spec)
+    }
+
+    /// Runs an already-parsed campaign spec through this session's cache
+    /// (the CLI splices perturbation flags into the spec before running).
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign run errors.
+    pub fn run_campaign(&self, spec: &CampaignSpec) -> Result<CampaignReport, SessionError> {
+        Ok(run_campaign_with(self, spec, self.threads)?)
+    }
+}
+
+fn bundle_key(app: &str, class: ProblemClass, overrides: AppOverrides) -> Digest {
+    let mut h = StableHasher::new();
+    h.write_str("artifact:bundle");
+    h.write_str(app);
+    h.write_str(&class.to_string());
+    // +1 keeps `None` distinct from `Some(0)`.
+    h.write_u64(overrides.ranks.map_or(0, |r| r as u64 + 1));
+    h.write_u64(overrides.iterations.map_or(0, |i| i as u64 + 1));
+    h.finish()
+}
+
+fn derived_key(kind: &str, fingerprint: Digest) -> Digest {
+    let mut h = StableHasher::new();
+    h.write_str(kind);
+    h.write_u64(fingerprint.0);
+    h.write_u64(fingerprint.1);
+    h.finish()
+}
+
+impl ArtifactPipeline for Session {
+    fn bundle(
+        &self,
+        app: &str,
+        class: ProblemClass,
+        overrides: AppOverrides,
+    ) -> Result<Arc<TraceBundle>, LabError> {
+        let key = bundle_key(app, class, overrides);
+        let bundle = self.store.bundle(key, || {
+            DirectPipeline
+                .bundle(app, class, overrides)
+                .map(|b| Arc::try_unwrap(b).unwrap_or_else(|b| (*b).clone()))
+        })?;
+        lock(&self.bundle_keys)
+            .entry(Arc::as_ptr(&bundle) as usize)
+            .or_insert_with(|| (Arc::clone(&bundle), key));
+        Ok(bundle)
+    }
+
+    fn variant(
+        &self,
+        bundle: &TraceBundle,
+        mode: Option<OverlapMode>,
+    ) -> Result<Arc<TraceSet>, LabError> {
+        // A bundle this session built is identified by its descriptor
+        // digest; a foreign bundle falls back to hashing its records.
+        let bundle_digest = lock(&self.bundle_keys)
+            .get(&(bundle as *const TraceBundle as usize))
+            .map(|(_, digest)| *digest)
+            .unwrap_or_else(|| bundle.original().fingerprint());
+        let mut h = StableHasher::new();
+        h.write_str("artifact:variant");
+        h.write_u64(bundle_digest.0);
+        h.write_u64(bundle_digest.1);
+        h.write_str(&mode.map_or_else(|| "original".to_string(), |m| m.label()));
+        self.store.trace(h.finish(), || match mode {
+            None => Ok(bundle.original().clone()),
+            Some(mode) => Ok(bundle.overlapped(mode)?),
+        })
+    }
+
+    fn index(&self, trace: &Arc<TraceSet>) -> Result<Arc<TraceIndex>, LabError> {
+        self.store
+            .index(derived_key("artifact:index", self.trace_key(trace)), || {
+                build_index(trace)
+            })
+    }
+
+    fn compiled(
+        &self,
+        trace: &Arc<TraceSet>,
+        index: &Arc<TraceIndex>,
+    ) -> Result<Arc<CompiledTrace>, LabError> {
+        self.store.program(
+            derived_key("artifact:compiled", self.trace_key(trace)),
+            || Ok(CompiledTrace::compile(trace, index)?),
+        )
+    }
+}

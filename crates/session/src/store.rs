@@ -1,0 +1,292 @@
+//! The content-addressed artifact store.
+//!
+//! Four shelves — trace bundles, trace variants, channel indexes, and
+//! compiled replay programs — each mapping a stable content [`Digest`] to
+//! a shared artifact. A shelf guarantees *once semantics per key*: the
+//! first requester builds, every concurrent or later requester for the
+//! same key blocks on (or finds) the finished artifact. That is what
+//! makes `compiles == 1` observable when a server fans a thousand sweep
+//! points over one trace.
+//!
+//! Hit/build counters are exposed through [`CacheStats`]; `compiles` in
+//! particular is asserted by the serve integration tests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ovlsim_core::{CompiledTrace, Digest, TraceIndex, TraceSet};
+use ovlsim_tracer::TraceBundle;
+
+/// Locks a mutex, recovering from poisoning: an artifact build that
+/// panicked leaves its slot empty, so the next requester simply rebuilds.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A shareable per-key slot: `None` until the first builder fills it.
+type Slot<T> = Arc<Mutex<Option<Arc<T>>>>;
+
+/// One artifact family: digest-keyed slots with once-per-key building.
+struct Shelf<T> {
+    slots: Mutex<HashMap<Digest, Slot<T>>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl<T> Default for Shelf<T> {
+    fn default() -> Self {
+        Shelf {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T> Shelf<T> {
+    /// Returns the artifact for `key`, building it exactly once. The
+    /// outer map lock is held only to find/insert the slot; the build
+    /// runs under the slot's own lock, so concurrent requests for
+    /// *different* keys build in parallel while requests for the *same*
+    /// key serialize on one build.
+    fn get_or_build<E>(
+        &self,
+        key: Digest,
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        let slot = lock(&self.slots).entry(key).or_default().clone();
+        let mut filled = lock(&slot);
+        if let Some(artifact) = filled.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(artifact));
+        }
+        // A failed build leaves the slot empty: the error propagates to
+        // this requester and the next one retries.
+        let artifact = Arc::new(build()?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        *filled = Some(Arc::clone(&artifact));
+        Ok(artifact)
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.builds.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Hit/build counters of one shelf at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShelfStats {
+    /// Requests served from an already-built artifact.
+    pub hits: u64,
+    /// Artifacts physically built (cache misses that succeeded).
+    pub builds: u64,
+}
+
+/// A point-in-time snapshot of every shelf's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Trace bundles (one per traced `app × class × overrides`).
+    pub bundles: ShelfStats,
+    /// Trace variants (original or overlap-transformed record streams).
+    pub traces: ShelfStats,
+    /// Channel indexes.
+    pub indexes: ShelfStats,
+    /// Compiled replay programs.
+    pub programs: ShelfStats,
+}
+
+impl CacheStats {
+    /// Number of trace compilations actually performed — the number the
+    /// compile-once tests assert on.
+    pub fn compiles(&self) -> u64 {
+        self.programs.builds
+    }
+
+    /// Renders the stats as a deterministic JSON object (used verbatim in
+    /// the serve `/status` response).
+    pub fn to_json(&self) -> String {
+        let shelf = |s: &ShelfStats| format!("{{\"hits\":{},\"builds\":{}}}", s.hits, s.builds);
+        format!(
+            "{{\"bundles\":{},\"traces\":{},\"indexes\":{},\"programs\":{},\"compiles\":{}}}",
+            shelf(&self.bundles),
+            shelf(&self.traces),
+            shelf(&self.indexes),
+            shelf(&self.programs),
+            self.compiles()
+        )
+    }
+}
+
+/// The content-addressed artifact store backing a
+/// [`Session`](crate::Session).
+#[derive(Default)]
+pub struct ArtifactStore {
+    bundles: Shelf<TraceBundle>,
+    traces: Shelf<TraceSet>,
+    indexes: Shelf<TraceIndex>,
+    programs: Shelf<CompiledTrace>,
+}
+
+impl ArtifactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The trace bundle for `key`, building it at most once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (the slot stays empty).
+    pub fn bundle<E>(
+        &self,
+        key: Digest,
+        build: impl FnOnce() -> Result<TraceBundle, E>,
+    ) -> Result<Arc<TraceBundle>, E> {
+        self.bundles.get_or_build(key, build)
+    }
+
+    /// The trace variant for `key`, building it at most once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (the slot stays empty).
+    pub fn trace<E>(
+        &self,
+        key: Digest,
+        build: impl FnOnce() -> Result<TraceSet, E>,
+    ) -> Result<Arc<TraceSet>, E> {
+        self.traces.get_or_build(key, build)
+    }
+
+    /// The channel index for `key`, building it at most once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (the slot stays empty).
+    pub fn index<E>(
+        &self,
+        key: Digest,
+        build: impl FnOnce() -> Result<TraceIndex, E>,
+    ) -> Result<Arc<TraceIndex>, E> {
+        self.indexes.get_or_build(key, build)
+    }
+
+    /// The compiled replay program for `key`, building it at most once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (the slot stays empty).
+    pub fn program<E>(
+        &self,
+        key: Digest,
+        build: impl FnOnce() -> Result<CompiledTrace, E>,
+    ) -> Result<Arc<CompiledTrace>, E> {
+        self.programs.get_or_build(key, build)
+    }
+
+    /// A consistent-enough snapshot of all counters (each counter is read
+    /// atomically; the set is not a transaction).
+    pub fn stats(&self) -> CacheStats {
+        let shelf = |(hits, builds)| ShelfStats { hits, builds };
+        CacheStats {
+            bundles: shelf(self.bundles.counters()),
+            traces: shelf(self.traces.counters()),
+            indexes: shelf(self.indexes.counters()),
+            programs: shelf(self.programs.counters()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+    use std::sync::atomic::AtomicUsize;
+
+    fn key(n: u64) -> Digest {
+        Digest(n, !n)
+    }
+
+    fn tiny_trace(name: &str) -> TraceSet {
+        TraceSet::new(
+            name,
+            ovlsim_core::MipsRate::new(1000).unwrap(),
+            vec![ovlsim_core::RankTrace::new()],
+        )
+    }
+
+    #[test]
+    fn second_request_is_a_hit() {
+        let store = ArtifactStore::new();
+        let built = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let t = store
+                .trace::<Infallible>(key(1), || {
+                    built.fetch_add(1, Ordering::Relaxed);
+                    Ok(tiny_trace("a"))
+                })
+                .unwrap();
+            assert_eq!(t.name(), "a");
+        }
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+        let stats = store.stats();
+        assert_eq!(stats.traces, ShelfStats { hits: 2, builds: 1 });
+    }
+
+    #[test]
+    fn failed_build_is_retried() {
+        let store = ArtifactStore::new();
+        let r = store.trace(key(2), || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        let t = store
+            .trace::<Infallible>(key(2), || Ok(tiny_trace("b")))
+            .unwrap();
+        assert_eq!(t.name(), "b");
+        assert_eq!(store.stats().traces, ShelfStats { hits: 0, builds: 1 });
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let store = ArtifactStore::new();
+        let built = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    store
+                        .trace::<Infallible>(key(3), || {
+                            built.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window: the slot lock must
+                            // still serialize to exactly one build.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            Ok(tiny_trace("c"))
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+        let stats = store.stats();
+        assert_eq!(stats.traces.builds, 1);
+        assert_eq!(stats.traces.hits, 7);
+    }
+
+    #[test]
+    fn stats_render_deterministic_json() {
+        let store = ArtifactStore::new();
+        store
+            .program::<Infallible>(key(4), || {
+                let t = tiny_trace("d");
+                let i = TraceIndex::build(&t).unwrap();
+                Ok(CompiledTrace::compile(&t, &i).unwrap())
+            })
+            .unwrap();
+        let json = store.stats().to_json();
+        assert!(json.contains("\"programs\":{\"hits\":0,\"builds\":1}"));
+        assert!(json.ends_with("\"compiles\":1}"));
+    }
+}

@@ -24,6 +24,13 @@
 //!                                          (and .csv, and a Paraver
 //!                                          cause timeline), print the
 //!                                          per-channel gain ranking
+//!
+//! ovlsim serve [--port <n>]                loopback HTTP/JSON API over one
+//!                                          shared session (see
+//!                                          `ovlsim_session::serve`);
+//!                                          --port 0 (the default) picks an
+//!                                          ephemeral port
+//! ovlsim --version                         print the version and exit
 //! ```
 //!
 //! `campaign run`, `trace replay` and `analyze` additionally accept
@@ -41,22 +48,32 @@
 //! Campaign specs are the declarative replacement for one-off experiment
 //! binaries; see `ovlsim_lab::campaign` for the grammar and
 //! `examples/campaigns/` for the committed corpus.
+//!
+//! Every replaying subcommand runs through one `ovlsim_session::Session`,
+//! so all intermediate artifacts (traces, indexes, compiled replay
+//! programs) are content-addressed and built at most once per invocation.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ovlsim::apps::registry;
 use ovlsim::apps::ProblemClass;
 use ovlsim::core::{
     format_bytes, format_time, validate_trace_set, PerturbationModel, Platform, Rank, Time,
-    TraceIndex, TraceSet,
+    TraceSet,
 };
-use ovlsim::dimemas::{emit_trace_set, parse_trace_set, Simulator};
-use ovlsim::lab::campaign::{diff_reports, run_campaign, CampaignSpec};
-use ovlsim::lab::{Attribution, AttributionRecorder};
+use ovlsim::dimemas::{emit_trace_set, parse_trace_set, SimError};
+use ovlsim::lab::campaign::{diff_reports, CampaignSpec};
+use ovlsim::lab::{ArtifactPipeline, Attribution, LabError};
 use ovlsim::paraver::{render_gantt, to_cause_pcf, to_cause_prv, to_row, GanttOptions, Timeline};
+use ovlsim::session::{Server, Session, TraceSource};
 use ovlsim::tracer::TracingSession;
+
+/// The one version string: `--version` prints it and `serve` reports it
+/// from `/status`, so the two can never disagree.
+const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -67,12 +84,19 @@ fn usage() -> ExitCode {
          ovlsim trace stats <file.dim>\n  \
          ovlsim trace validate <file.dim>\n  \
          ovlsim trace replay <file.dim> [bytes-per-sec] [latency-us]\n  \
-         ovlsim analyze <file.dim> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv]\n\
+         ovlsim analyze <file.dim> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv]\n  \
+         ovlsim serve [--port <n>]\n  \
+         ovlsim --version\n\
          perturbation flags (campaign run, trace replay, analyze):\n  \
          --seed <n>  --noise <level>  --stragglers <slow>:<r0>,<r1>,...  \
          --faults <period-us>:<down-us>"
     );
     ExitCode::from(2)
+}
+
+/// Builds the one session an invocation shares across its work.
+fn open_session() -> Result<Session, String> {
+    Session::new().map_err(|e| e.to_string())
 }
 
 /// Deterministic perturbation flags shared by `campaign run`,
@@ -179,7 +203,10 @@ fn cmd_campaign_run(
     if let Some((period, down)) = perturb.faults {
         spec.faults = Some((Time::from_us(period), Time::from_us(down)));
     }
-    let report = run_campaign(&spec).map_err(|e| format!("{spec_path}: {e}"))?;
+    let session = open_session()?;
+    let report = session
+        .run_campaign(&spec)
+        .map_err(|e| format!("{spec_path}: {e}"))?;
     fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
     let json_path = out_dir.join(format!("{}.report.json", report.campaign));
     fs::write(&json_path, report.to_json())
@@ -299,15 +326,8 @@ fn load_trace(path: &str) -> Result<TraceSet, String> {
 }
 
 fn parse_class(s: &str) -> Result<ProblemClass, String> {
-    match s {
-        "S" => Ok(ProblemClass::S),
-        "W" => Ok(ProblemClass::W),
-        "A" => Ok(ProblemClass::A),
-        "B" => Ok(ProblemClass::B),
-        other => Err(format!(
-            "unknown problem class `{other}` (want S, W, A or B)"
-        )),
-    }
+    s.parse()
+        .map_err(|e: ovlsim::apps::UnknownClassError| e.to_string())
 }
 
 fn cmd_trace_gen(
@@ -458,19 +478,26 @@ fn cmd_analyze(
     prv: bool,
     perturb: &PerturbFlags,
 ) -> Result<(), String> {
-    let trace = load_trace(path)?;
+    let session = open_session()?;
+    let trace = session
+        .trace(&TraceSource::Text { dim: read(path)? })
+        .map_err(|e| match e {
+            // Same message shape as `load_trace` for parse failures.
+            ovlsim::session::SessionError::TraceParse(pe) => format!("{path}: {pe}"),
+            other => format!("{path}: {other}"),
+        })?;
     let platform = perturb.perturb(parse_platform(bw, lat)?)?;
-    let index = TraceIndex::build(&trace).map_err(|issues| {
-        for issue in &issues {
-            eprintln!("{path}: {issue}");
+    let index = ArtifactPipeline::index(&session, &trace).map_err(|e| match e {
+        LabError::Sim(SimError::InvalidTrace { issues }) => {
+            for issue in &issues {
+                eprintln!("{path}: {issue}");
+            }
+            format!("{path}: {} validation issues", issues.len())
         }
-        format!("{path}: {} validation issues", issues.len())
+        other => other.to_string(),
     })?;
-    let mut recorder = AttributionRecorder::new(trace.rank_count());
-    let result = Simulator::new(platform.clone())
-        .run_prepared_observed(&trace, &index, &mut recorder)
-        .map_err(|e| e.to_string())?;
-    let attr = Attribution::from_recorded(&recorder, &result, &trace, &index, &platform);
+    let (attr, recorder) =
+        Attribution::analyze_with_recorder(&platform, &trace, &index).map_err(|e| e.to_string())?;
 
     fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
     let write_out = |name: String, content: String| -> Result<PathBuf, String> {
@@ -539,6 +566,18 @@ fn cmd_analyze(
     Ok(())
 }
 
+// ------------------------------------------------------------------- serve
+
+fn cmd_serve(port: u16) -> Result<(), String> {
+    let session = Arc::new(open_session()?);
+    let server = Server::bind(port, session, VERSION).map_err(|e| e.to_string())?;
+    println!(
+        "ovlsim {VERSION} serving on http://127.0.0.1:{} (POST /shutdown to stop)",
+        server.port().map_err(|e| e.to_string())?
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
 // -------------------------------------------------------------------- main
 
 fn main() -> ExitCode {
@@ -548,10 +587,19 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut prv = false;
     let mut flags_given = false;
+    let mut port: Option<u16> = None;
     let mut perturb = PerturbFlags::default();
     let mut it = args.iter().map(String::as_str);
     while let Some(arg) = it.next() {
         match arg {
+            "--version" => {
+                println!("ovlsim {VERSION}");
+                return ExitCode::SUCCESS;
+            }
+            "--port" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(p) => port = Some(p),
+                None => return usage(),
+            },
             "--csv" => {
                 csv = true;
                 flags_given = true;
@@ -611,7 +659,11 @@ fn main() -> ExitCode {
     if perturb.given() && !takes_perturb {
         return usage();
     }
+    if port.is_some() && positional.first() != Some(&"serve") {
+        return usage();
+    }
     let result = match positional[..] {
+        ["serve"] => cmd_serve(port.unwrap_or(0)),
         ["campaign", "run", spec] => cmd_campaign_run(spec, &out_dir, csv, &perturb),
         ["campaign", "list", spec] => cmd_campaign_list(spec),
         ["campaign", "diff", golden, actual] => cmd_campaign_diff(golden, actual),

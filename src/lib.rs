@@ -16,7 +16,9 @@
 //!    time-behavior on a configurable platform,
 //! 4. [`paraver`] renders and compares the resulting timelines, and
 //! 5. [`lab`] sweeps platform parameters to quantify speedup and bandwidth
-//!    relaxation.
+//!    relaxation, and
+//! 6. [`session`] fronts the whole stack with a content-addressed artifact
+//!    cache shared by the `ovlsim` CLI and the `ovlsim serve` HTTP API.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@ pub use ovlsim_engine as engine;
 pub use ovlsim_lab as lab;
 pub use ovlsim_memtrace as memtrace;
 pub use ovlsim_paraver as paraver;
+pub use ovlsim_session as session;
 pub use ovlsim_tracer as tracer;
 
 /// The most commonly used items, for glob import.

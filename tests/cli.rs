@@ -198,3 +198,153 @@ fn campaign_diff_missing_file_is_an_error() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn version_flag_prints_the_package_version() {
+    let out = ovlsim().arg("--version").output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        format!("ovlsim {}", env!("CARGO_PKG_VERSION"))
+    );
+}
+
+/// Usage mistakes exit 2; runtime failures exit 1 with a single typed
+/// `error:` line on stderr.
+#[test]
+fn exit_codes_distinguish_usage_from_runtime_failures() {
+    // Unknown flag: usage error, exit 2.
+    let out = ovlsim()
+        .args(["campaign", "run", "x", "--frobnicate"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Valid flag on the wrong subcommand: usage error, exit 2.
+    let out = ovlsim()
+        .args(["trace", "stats", "x", "--prv"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ovlsim()
+        .args(["trace", "stats", "x", "--port", "1234"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Missing input file: runtime error, exit 1, one `error:` line.
+    for args in [
+        ["trace", "replay", "/nonexistent/trace.dim"],
+        ["campaign", "run", "/nonexistent/spec.campaign"],
+    ] {
+        let out = ovlsim().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error: "), "{args:?}: {stderr}");
+        assert_eq!(
+            stderr.trim_end().lines().count(),
+            1,
+            "{args:?} must fail with a single line: {stderr}"
+        );
+    }
+
+    // Analyze on a missing file too (it routes through the session layer).
+    let out = ovlsim()
+        .args(["analyze", "/nonexistent/trace.dim"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error: "), "{stderr}");
+}
+
+/// `ovlsim serve` answers `/campaign` with exactly the bytes
+/// `ovlsim campaign run` writes to disk, and `/status` reports the same
+/// version string as `--version`.
+#[test]
+fn serve_campaign_response_matches_cli_report_bytes() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let dir = scratch_dir("serve");
+    let spec = dir.join("mini.campaign");
+    std::fs::write(&spec, MINI_CAMPAIGN).unwrap();
+    let out_dir = dir.join("out");
+
+    // CLI run: the on-disk report is the golden bytes.
+    let out = ovlsim()
+        .args([
+            "campaign",
+            "run",
+            spec.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "campaign run failed: {out:?}");
+    let report = std::fs::read_to_string(out_dir.join("cli-mini.report.json")).unwrap();
+
+    // Server on an ephemeral port; the port is announced on stdout.
+    let mut child = ovlsim()
+        .arg("serve")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let port: u16 = banner
+        .rsplit_once("127.0.0.1:")
+        .expect("banner names the port")
+        .1
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    let request = |method: &str, path: &str, body: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status = response.split_whitespace().nth(1).unwrap().parse().unwrap();
+        (
+            status,
+            response.split_once("\r\n\r\n").unwrap().1.to_string(),
+        )
+    };
+
+    // /status version == --version output.
+    let (status, body) = request("GET", "/status", "");
+    assert_eq!(status, 200);
+    let expected = format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"));
+    assert!(body.contains(&expected), "status: {body}");
+
+    // /campaign with the same spec text: byte-identical to the CLI file.
+    let spec_json = MINI_CAMPAIGN.replace('\n', "\\n");
+    let (status, body) = request(
+        "POST",
+        "/campaign",
+        &format!("{{\"spec\":\"{spec_json}\"}}"),
+    );
+    assert_eq!(status, 200, "campaign over HTTP failed: {body}");
+    assert_eq!(
+        body, report,
+        "serve response must be byte-identical to the CLI report file"
+    );
+
+    // Clean shutdown: acknowledged, process exits 0.
+    let (status, _) = request("POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    let exit = child.wait().unwrap();
+    assert!(exit.success(), "serve should exit cleanly after /shutdown");
+}
