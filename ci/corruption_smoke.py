@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Corruption-recovery smoke test for the persistent artifact cache.
+
+Usage:
+    python3 ci/corruption_smoke.py OVLSIM_BIN SPEC_FILE GOLDEN_REPORT
+
+Exercises the full durability story end to end, against the same golden
+bytes that gate the ordinary campaign run:
+
+1. **Cold run** with ``--cache-dir``: every artifact is built and
+   persisted (``cache:`` line reports 0 loads, >0 stores, 0 quarantined)
+   and the report is byte-identical to the committed golden.
+2. **Warm run** over the same cache: everything is served from disk
+   (>0 loads, 0 stores, 0 quarantined) and the report is still
+   byte-identical.
+3. **Corruption**: one cached trace gets a bit flipped mid-file and one
+   cached program is truncated (a torn write). The rerun must quarantine
+   exactly those two entries (``2 quarantined`` on stdout, two
+   ``*.quarantined`` files left for post-mortem), rebuild them
+   transparently, and produce the golden bytes again.
+
+Exit status: 0 ok, 1 check failed, 2 usage/IO error.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"corruption_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_campaign(binary, spec, out_dir, cache_dir):
+    proc = subprocess.run(
+        [binary, "campaign", "run", spec, "--out", str(out_dir),
+         "--cache-dir", str(cache_dir)],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        fail(f"campaign run exited {proc.returncode}: {proc.stderr.strip()}")
+    cache_lines = [l for l in proc.stdout.splitlines() if l.startswith("cache: ")]
+    if len(cache_lines) != 1:
+        fail(f"expected one `cache:` line on stdout, got: {proc.stdout!r}")
+    # "cache: L loads, S stores, Q quarantined"
+    words = cache_lines[0].split()
+    loads, stores, quarantined = int(words[1]), int(words[3]), int(words[5])
+    return loads, stores, quarantined, proc.stderr
+
+
+def report_bytes(out_dir, golden):
+    name = pathlib.Path(golden).name
+    produced = out_dir / name
+    if not produced.exists():
+        fail(f"campaign produced no {name} in {out_dir}")
+    return produced.read_bytes()
+
+
+def main() -> None:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    binary, spec, golden = sys.argv[1:4]
+    golden_bytes = pathlib.Path(golden).read_bytes()
+
+    scratch = pathlib.Path("corruption-smoke")
+    cache = scratch / "cache"
+
+    # 1. Cold run: builds everything, persists everything.
+    loads, stores, quarantined, _ = run_campaign(binary, spec, scratch / "cold", cache)
+    if loads != 0 or stores == 0 or quarantined != 0:
+        fail(f"cold run: expected 0 loads / >0 stores / 0 quarantined, "
+             f"got {loads}/{stores}/{quarantined}")
+    if report_bytes(scratch / "cold", golden) != golden_bytes:
+        fail("cold cached run diverged from the committed golden")
+    print(f"corruption_smoke: cold run ok ({stores} artifacts persisted)")
+
+    # 2. Warm run: everything comes back from disk, nothing is rebuilt.
+    loads, warm_stores, quarantined, _ = run_campaign(
+        binary, spec, scratch / "warm", cache)
+    if loads == 0 or warm_stores != 0 or quarantined != 0:
+        fail(f"warm run: expected >0 loads / 0 stores / 0 quarantined, "
+             f"got {loads}/{warm_stores}/{quarantined}")
+    if report_bytes(scratch / "warm", golden) != golden_bytes:
+        fail("warm cached run diverged from the committed golden")
+    print(f"corruption_smoke: warm run ok ({loads} artifacts loaded, 0 rebuilt)")
+
+    # 3. Corrupt one trace (bit flip) and tear one program (truncation).
+    entries = sorted(cache.glob("*.ovlb"))
+    traces = [p for p in entries if p.name.startswith("trace-")]
+    progs = [p for p in entries if p.name.startswith("prog-")]
+    if not traces or not progs:
+        fail(f"expected trace-*.ovlb and prog-*.ovlb entries in {cache}")
+    victim_trace, victim_prog = traces[0], progs[0]
+    blob = bytearray(victim_trace.read_bytes())
+    blob[len(blob) // 2] ^= 0x40
+    victim_trace.write_bytes(blob)
+    torn = victim_prog.read_bytes()
+    victim_prog.write_bytes(torn[: max(1, len(torn) // 3)])
+
+    loads, stores, quarantined, stderr = run_campaign(
+        binary, spec, scratch / "recovered", cache)
+    if quarantined != 2:
+        fail(f"expected exactly 2 quarantined entries, got {quarantined}")
+    if stores != 2:
+        fail(f"expected the 2 damaged artifacts re-persisted, got {stores} stores")
+    if "quarantined" not in stderr:
+        fail(f"recovery must warn about quarantined entries, stderr: {stderr!r}")
+    if report_bytes(scratch / "recovered", golden) != golden_bytes:
+        fail("recovery run diverged from the committed golden")
+    leftovers = sorted(cache.glob("*.quarantined"))
+    if len(leftovers) != 2:
+        fail(f"expected 2 *.quarantined files for post-mortem, got {leftovers}")
+    print("corruption_smoke: recovery ok "
+          "(2 quarantined, 2 rebuilt, report byte-identical)")
+    print("corruption_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

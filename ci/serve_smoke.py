@@ -2,7 +2,7 @@
 """Smoke-test a running ``ovlsim serve`` instance over loopback HTTP.
 
 Usage:
-    python3 ci/serve_smoke.py PORT VERSION SPEC_FILE GOLDEN_REPORT
+    python3 ci/serve_smoke.py PORT VERSION SPEC_FILE GOLDEN_REPORT [--expect-warm]
 
 Checks, in order:
 
@@ -18,6 +18,10 @@ Checks, in order:
    served from the session's content-addressed store).
 4. ``POST /shutdown`` answers ``{"ok":true}`` and the listener actually
    goes away.
+
+With ``--expect-warm`` (a server restarted over a populated
+``--cache-dir``), the first campaign must already be served entirely from
+the persistent cache: every shelf's build counter stays at zero.
 
 Exit status: 0 ok, 1 check failed, 2 usage/IO error.
 """
@@ -58,9 +62,10 @@ def wait_for_status(port):
 
 
 def main():
-    if len(sys.argv) != 5:
+    if len(sys.argv) not in (5, 6) or (len(sys.argv) == 6 and sys.argv[5] != "--expect-warm"):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
+    expect_warm = len(sys.argv) == 6
     port = int(sys.argv[1])
     version = sys.argv[2]
     with open(sys.argv[3], "rb") as f:
@@ -88,6 +93,17 @@ def main():
         )
     _, mid = request(port, "GET", "/status")
     builds_before = json.loads(mid)["cache"]["traces"]["builds"]
+    if expect_warm:
+        rebuilt = {
+            shelf: counters["builds"]
+            for shelf, counters in json.loads(mid)["cache"].items()
+            if isinstance(counters, dict) and counters["builds"]
+        }
+        if rebuilt:
+            fail(
+                f"warm restart rebuilt artifacts: {rebuilt}; a populated "
+                "--cache-dir must serve every artifact from disk"
+            )
 
     status, second = request(port, "POST", "/campaign", campaign_body)
     if status != 200 or second != first:
@@ -109,7 +125,11 @@ def main():
             request(port, "GET", "/status")
             time.sleep(0.1)
         except OSError:
-            print("serve_smoke: ok (status, golden-byte campaign, cache reuse, shutdown)")
+            warm = ", zero warm rebuilds" if expect_warm else ""
+            print(
+                "serve_smoke: ok (status, golden-byte campaign, "
+                f"cache reuse{warm}, shutdown)"
+            )
             return
     fail("listener still accepting connections after /shutdown")
 

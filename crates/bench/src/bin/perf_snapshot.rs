@@ -248,6 +248,39 @@ fn main() {
         session_cached_overhead = session_cached_overhead.min(cached_s / direct_s);
     }
 
+    // Persistent-cache payoff gate: decoding a cached `.ovlb` artifact
+    // must be cheaper than rebuilding it from the trace (index build +
+    // compile for programs). If decode ever costs more than the work it
+    // replaces, the disk cache is a pessimization and the snapshot fails
+    // rather than commit it as a baseline. Both decodes are asserted
+    // bit-identical to the live artifacts first — a fast-but-wrong codec
+    // must never pass the gate.
+    let trace_blob = ovlsim_core::codec::encode_trace_set(trace);
+    let prog_blob = ovlsim_core::codec::encode_compiled_trace(&program);
+    assert_eq!(
+        &ovlsim_core::codec::decode_trace_set(&trace_blob).expect("decodes"),
+        trace,
+        "trace round-trip through the codec diverged"
+    );
+    assert_eq!(
+        ovlsim_core::codec::decode_compiled_trace(&prog_blob).expect("decodes"),
+        program,
+        "program round-trip through the codec diverged"
+    );
+    let decode_trace_s = time_call(|| {
+        std::hint::black_box(ovlsim_core::codec::decode_trace_set(&trace_blob).expect("decodes"));
+    });
+    let decode_prog_s = time_call(|| {
+        std::hint::black_box(
+            ovlsim_core::codec::decode_compiled_trace(&prog_blob).expect("decodes"),
+        );
+    });
+    let rebuild_prog_s = time_call(|| {
+        let index = TraceIndex::build(trace).expect("valid trace");
+        std::hint::black_box(CompiledTrace::compile(trace, &index).expect("compiles"));
+    });
+    let disk_cache_payoff = rebuild_prog_s / decode_prog_s;
+
     // Multi-point sweep scaling. Points chosen so a run takes long enough
     // to measure but the snapshot stays quick. Thread counts are capped at
     // the host's parallelism: measuring 4 workers on a 1-core container
@@ -326,6 +359,15 @@ fn main() {
         session_cached_overhead < 1.05,
         "session-cached replay costs {:.1}% over direct run_compiled (budget: <5%)",
         (session_cached_overhead - 1.0) * 100.0
+    );
+    assert!(
+        disk_cache_payoff.is_finite() && disk_cache_payoff > 0.0,
+        "disk cache payoff is {disk_cache_payoff}: expected a finite, positive ratio"
+    );
+    assert!(
+        disk_cache_payoff > 1.0,
+        "decoding a cached program ({decode_prog_s:.6}s) costs more than rebuilding it \
+         ({rebuild_prog_s:.6}s): the persistent cache is a pessimization"
     );
 
     let mut json = String::new();
@@ -431,6 +473,23 @@ fn main() {
         session_cached_overhead
     );
     let _ = writeln!(json, "    \"compiles\": 1");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"disk_cache\": {{");
+    let _ = writeln!(
+        json,
+        "    \"decode_trace_records_per_sec\": {:.0},",
+        records / decode_trace_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"decode_program_records_per_sec\": {:.0},",
+        records / decode_prog_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"program_decode_payoff_vs_rebuild\": {:.2}",
+        disk_cache_payoff
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"sweep\": {{");
     let mut lines: Vec<String> = Vec::new();

@@ -15,7 +15,9 @@
 //!   buses, links, eager/rendezvous, collective cost models),
 //! * [`PerturbationModel`] — seeded, deterministic deviations from the
 //!   clean machine (OS noise, stragglers, heterogeneous nodes, degraded
-//!   links, transient faults), backed by the counter-based [`rng`].
+//!   links, transient faults), backed by the counter-based [`rng`],
+//! * [`codec`] — the versioned, checksummed `.ovlb` binary artifact
+//!   format for persisting trace sets and compiled programs.
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod error;
 pub mod hash;
 mod ids;

@@ -476,6 +476,119 @@ impl RankProgram {
         self.b.push(b);
         self.payload.push(payload);
     }
+
+    /// Reassembles a rank program from decoded columns (`core::codec`
+    /// only). The caller must run [`RankProgram::check_consistency`]
+    /// before handing the result to a replay engine.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_columns(
+        ops: Vec<RecordKind>,
+        a: Vec<u32>,
+        b: Vec<u32>,
+        payload: Vec<u64>,
+        burst_ps: Vec<u64>,
+        wait_slots: Vec<u32>,
+        slot_count: u32,
+    ) -> Self {
+        RankProgram {
+            ops,
+            a,
+            b,
+            payload,
+            burst_ps,
+            wait_slots,
+            slot_count,
+        }
+    }
+
+    /// Checks the structural invariants `lower` guarantees by
+    /// construction, for programs that arrived from outside (decoded
+    /// from bytes): arena sizes match the instructions that consume
+    /// them, request slots stay below `slot_count`, and channel ids
+    /// stay below `channel_count`. Violations would send an executor's
+    /// cursors or tables out of bounds.
+    pub(crate) fn check_consistency(&self, channel_count: usize) -> Result<(), String> {
+        let len = self.ops.len();
+        if self.a.len() != len || self.b.len() != len || self.payload.len() != len {
+            return Err("instruction columns have mismatched lengths".to_string());
+        }
+        let mut bursts: u64 = 0;
+        let mut waits: u64 = 0;
+        for (i, &op) in self.ops.iter().enumerate() {
+            let a = self.a[i];
+            let b = self.b[i];
+            match op {
+                RecordKind::Burst => bursts += u64::from(a),
+                RecordKind::WaitAll => waits += u64::from(a),
+                RecordKind::Wait if a >= self.slot_count => {
+                    return Err(format!(
+                        "wait references slot {a} but only {} slot(s) exist",
+                        self.slot_count
+                    ));
+                }
+                RecordKind::ISend | RecordKind::IRecv => {
+                    if b >= self.slot_count {
+                        return Err(format!(
+                            "post references slot {b} but only {} slot(s) exist",
+                            self.slot_count
+                        ));
+                    }
+                    if a as usize >= channel_count {
+                        return Err(format!(
+                            "instruction references channel {a} of {channel_count}"
+                        ));
+                    }
+                }
+                RecordKind::Send | RecordKind::Recv if a as usize >= channel_count => {
+                    return Err(format!(
+                        "instruction references channel {a} of {channel_count}"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if bursts != self.burst_ps.len() as u64 {
+            return Err(format!(
+                "burst instructions consume {bursts} duration(s) but the arena holds {}",
+                self.burst_ps.len()
+            ));
+        }
+        if waits != self.wait_slots.len() as u64 {
+            return Err(format!(
+                "waitall instructions consume {waits} slot(s) but the arena holds {}",
+                self.wait_slots.len()
+            ));
+        }
+        if self.wait_slots.iter().any(|&s| s >= self.slot_count) {
+            return Err(format!(
+                "waitall arena references a slot beyond the {} slot(s)",
+                self.slot_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl CompiledTrace {
+    /// Reassembles a compiled trace from decoded parts (`core::codec`
+    /// only).
+    pub(crate) fn from_parts(
+        name: String,
+        mips: MipsRate,
+        coalesced: bool,
+        channels: Vec<ChannelEndpoints>,
+        ranks: Vec<RankProgram>,
+        source_records: usize,
+    ) -> Self {
+        CompiledTrace {
+            name,
+            mips,
+            coalesced,
+            channels,
+            ranks,
+            source_records,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -167,9 +167,15 @@ fn parse_record(line_no: usize, line: &str) -> Result<Record, ParseError> {
         ["allgather", bytes] => Ok(Record::AllGather {
             bytes: parse_u64(bytes, line_no, "byte count")?,
         }),
-        ["marker", code] => Ok(Record::Marker {
-            code: parse_u64(code, line_no, "marker code")? as u32,
-        }),
+        ["marker", code] => {
+            let code = parse_u64(code, line_no, "marker code")?;
+            // Markers are u32 on the wire; a silent `as u32` here would
+            // alias distinct codes.
+            let code = u32::try_from(code).map_err(|_| {
+                ParseError::new(line_no, format!("marker code {code} exceeds {}", u32::MAX))
+            })?;
+            Ok(Record::Marker { code })
+        }
         [] => Err(ParseError::new(line_no, "empty record")),
         [op, ..] => Err(ParseError::new(line_no, format!("unknown record `{op}`"))),
     }
@@ -193,16 +199,29 @@ pub fn parse_trace_set(text: &str) -> Result<TraceSet, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // Headers may appear once; a duplicate is corruption (e.g. two
+        // files concatenated by a torn copy), not a value to silently
+        // overwrite.
+        let dup = |what: &str| ParseError::new(line_no, format!("duplicate `{what}` header"));
         if let Some(rest) = line.strip_prefix("name ") {
+            if name.is_some() {
+                return Err(dup("name"));
+            }
             name = Some(rest.to_string());
             continue;
         }
         if let Some(rest) = line.strip_prefix("mips ") {
+            if mips.is_some() {
+                return Err(dup("mips"));
+            }
             let v = parse_u64(rest.trim(), line_no, "MIPS rate")?;
             mips = Some(MipsRate::new(v).map_err(|e| ParseError::new(line_no, e.to_string()))?);
             continue;
         }
         if let Some(rest) = line.strip_prefix("ranks ") {
+            if declared_ranks.is_some() {
+                return Err(dup("ranks"));
+            }
             declared_ranks = Some(parse_u64(rest.trim(), line_no, "rank count")? as usize);
             continue;
         }
@@ -384,5 +403,81 @@ mod tests {
     fn parse_rejects_out_of_order_ranks() {
         let text = "name x\nmips 1000\nrank 1\nend\n";
         assert!(parse_trace_set(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_marker_codes_beyond_u32() {
+        let text = "name x\nmips 1000\nrank 0\nmarker 4294967296\nend\n";
+        let err = parse_trace_set(text).unwrap_err();
+        assert_eq!(err.line(), 4);
+        assert!(err.to_string().contains("marker code"));
+        // The boundary value itself is fine.
+        let ok = "name x\nmips 1000\nrank 0\nmarker 4294967295\nend\n";
+        assert!(parse_trace_set(ok).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_headers() {
+        for (text, what) in [
+            ("name x\nname y\nmips 1000\nrank 0\nend\n", "name"),
+            ("name x\nmips 1000\nmips 2000\nrank 0\nend\n", "mips"),
+            (
+                "name x\nmips 1000\nranks 1\nranks 1\nrank 0\nend\n",
+                "ranks",
+            ),
+        ] {
+            let err = parse_trace_set(text).unwrap_err();
+            assert!(
+                err.to_string().contains(&format!("duplicate `{what}`")),
+                "{text:?} gave {err}"
+            );
+        }
+    }
+
+    /// Regression corpus from the fault-injection harness: each seed
+    /// reproduces one deterministic truncation or mid-file garbling of a
+    /// valid emitted trace. Every one must come back as a positioned
+    /// `ParseError` — never a panic, never a silently different trace.
+    #[test]
+    fn fault_seed_corruptions_yield_positioned_errors() {
+        use ovlsim_core::rng::SplitMix64;
+        let clean = emit_trace_set(&sample());
+        let mut detected = 0;
+        for seed in 0u64..64 {
+            let mut rng = SplitMix64::new(seed);
+            // Mirror of `session::faultinject::FaultPlan::truncate`: cut
+            // to a strict prefix (mid-record, mid-header, anywhere).
+            let cut = (rng.next_u64() % clean.len() as u64) as usize;
+            let truncated: String = clean.chars().take(cut).collect();
+            match parse_trace_set(&truncated) {
+                Err(e) => {
+                    assert!(e.line() >= 1);
+                    detected += 1;
+                }
+                // A cut landing exactly on a block boundary leaves a
+                // well-formed *shorter* trace — text has no integrity
+                // envelope (that is what `.ovlb` adds) — but it must
+                // never reproduce the full trace.
+                Ok(t) => assert!(cut + 1 >= clean.len() || t != sample()),
+            }
+        }
+        assert!(detected > 32, "only {detected}/64 truncations detected");
+        for seed in 64u64..96 {
+            let mut rng = SplitMix64::new(seed);
+            // Mirror of `FaultPlan::garble`: stomp a short run with
+            // non-format bytes.
+            let mut bytes = clean.clone().into_bytes();
+            let start = (rng.next_u64() % bytes.len() as u64) as usize;
+            let len = 1 + (rng.next_u64() % 8) as usize;
+            for b in bytes.iter_mut().skip(start).take(len) {
+                *b = b'\x01' + (rng.next_u64() % 26) as u8;
+            }
+            let garbled = String::from_utf8_lossy(&bytes).into_owned();
+            // Garbling may hit a name character (still a valid name) —
+            // but it must never panic, and an error must carry a line.
+            if let Err(e) = parse_trace_set(&garbled) {
+                assert!(e.line() >= 1 && e.line() <= garbled.lines().count() + 1);
+            }
+        }
     }
 }

@@ -52,10 +52,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use ovlsim_apps::registry::AppOverrides;
 use ovlsim_apps::ProblemClass;
-use ovlsim_core::{Bandwidth, PerturbationModel, Platform, Time};
+use ovlsim_core::{Bandwidth, PerturbationModel, Platform, Time, TraceSet};
 use ovlsim_dimemas::SimError;
 use ovlsim_tracer::{Mechanisms, OverlapMode, PatternSource};
 
@@ -1177,10 +1178,24 @@ pub fn run_campaign_with(
     let mut groups: HashMap<(String, ProblemClass, String), Group> = HashMap::new();
     for app_name in &spec.apps {
         for &class in &spec.classes {
-            let bundle = pipeline.bundle(app_name, class, overrides)?;
+            // The bundle (a full tracing run) is materialized only if
+            // some variant cannot be served from the pipeline's storage:
+            // a warm persistent cache answers every `load_variant` and
+            // never traces the app at all.
+            let mut bundle: Option<Arc<ovlsim_tracer::TraceBundle>> = None;
+            let mut variant_of = |mode: Option<OverlapMode>| -> Result<Arc<TraceSet>, LabError> {
+                if let Some(trace) = pipeline.load_variant(app_name, class, overrides, mode) {
+                    return Ok(trace);
+                }
+                let bundle = match &bundle {
+                    Some(b) => b,
+                    None => bundle.insert(pipeline.bundle(app_name, class, overrides)?),
+                };
+                pipeline.variant(bundle, mode)
+            };
             for &mode in &spec.modes {
-                let ovl = pipeline.variant(&bundle, Some(mode))?;
-                let orig = pipeline.variant(&bundle, None)?;
+                let ovl = variant_of(Some(mode))?;
+                let orig = variant_of(None)?;
                 groups.insert(
                     (app_name.clone(), class, mode.label()),
                     Group {

@@ -66,6 +66,23 @@ pub trait ArtifactPipeline: Sync {
         mode: Option<OverlapMode>,
     ) -> Result<Arc<TraceSet>, LabError>;
 
+    /// The `mode` variant of `app × class × overrides` if this pipeline
+    /// can serve it *without tracing the app* — the load hook for
+    /// persistent caches. The default has no storage and always answers
+    /// `None`; callers then fall back to
+    /// [`ArtifactPipeline::bundle`] + [`ArtifactPipeline::variant`].
+    /// A durable implementation answers from its integrity-checked
+    /// store, which is what lets a warm restart rebuild nothing.
+    fn load_variant(
+        &self,
+        _app: &str,
+        _class: ProblemClass,
+        _overrides: AppOverrides,
+        _mode: Option<OverlapMode>,
+    ) -> Option<Arc<TraceSet>> {
+        None
+    }
+
     /// The channel index of `trace` (validates the trace as a side
     /// effect).
     ///
@@ -85,6 +102,21 @@ pub trait ArtifactPipeline: Sync {
         trace: &Arc<TraceSet>,
         index: &Arc<TraceIndex>,
     ) -> Result<Arc<CompiledTrace>, LabError>;
+
+    /// The flat replay program of `trace` when the caller needs *only*
+    /// the program: the default builds the index (validating the trace)
+    /// and compiles through it. This is the load hook for persistent
+    /// caches — an implementation backed by durable storage overrides it
+    /// to serve an integrity-checked stored program directly, skipping
+    /// both validation and compilation on a warm start.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and compilation errors.
+    fn compiled_standalone(&self, trace: &Arc<TraceSet>) -> Result<Arc<CompiledTrace>, LabError> {
+        let index = self.index(trace)?;
+        self.compiled(trace, &index)
+    }
 }
 
 /// The no-cache pipeline: every request builds its artifact from scratch,
@@ -159,14 +191,18 @@ impl EngineInput {
         let needs_prog = engines.contains(&Engine::Compiled);
         let needs_index = engines.contains(&Engine::Prepared) || attribution;
         let needs_trace = needs_index || engines.contains(&Engine::Naive);
-        let (index, prog) = if needs_prog || needs_index {
+        let (index, prog) = if needs_index {
             let index = pipeline.index(&ts)?;
             let prog = if needs_prog {
                 Some(pipeline.compiled(&ts, &index)?)
             } else {
                 None
             };
-            (needs_index.then_some(index), prog)
+            (Some(index), prog)
+        } else if needs_prog {
+            // Compiled-only: let the pipeline skip the index build when
+            // it can serve a persisted program.
+            (None, Some(pipeline.compiled_standalone(&ts)?))
         } else {
             (None, None)
         };

@@ -13,6 +13,9 @@ pub enum SessionError {
     Lab(LabError),
     /// A trace file failed to parse.
     TraceParse(ovlsim_dimemas::ParseError),
+    /// A binary `.ovlb` artifact failed to decode (corruption, version
+    /// mismatch, truncation).
+    Decode(ovlsim_core::codec::DecodeError),
     /// A campaign spec failed to parse.
     Spec(ovlsim_lab::SpecError),
     /// A request was structurally invalid (unknown app, bad class, bad
@@ -27,6 +30,7 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::Lab(e) => write!(f, "{e}"),
             SessionError::TraceParse(e) => write!(f, "trace parse: {e}"),
+            SessionError::Decode(e) => write!(f, "trace decode: {e}"),
             SessionError::Spec(e) => write!(f, "campaign spec: {e}"),
             SessionError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             SessionError::Io(msg) => write!(f, "io: {msg}"),
@@ -39,6 +43,7 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Lab(e) => Some(e),
             SessionError::TraceParse(e) => Some(e),
+            SessionError::Decode(e) => Some(e),
             SessionError::Spec(e) => Some(e),
             SessionError::BadRequest(_) | SessionError::Io(_) => None,
         }
@@ -54,6 +59,12 @@ impl From<LabError> for SessionError {
 impl From<ovlsim_dimemas::ParseError> for SessionError {
     fn from(e: ovlsim_dimemas::ParseError) -> Self {
         SessionError::TraceParse(e)
+    }
+}
+
+impl From<ovlsim_core::codec::DecodeError> for SessionError {
+    fn from(e: ovlsim_core::codec::DecodeError) -> Self {
+        SessionError::Decode(e)
     }
 }
 

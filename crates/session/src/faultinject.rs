@@ -1,0 +1,216 @@
+//! Deterministic fault injection for the durability layer's tests and CI
+//! smoke scripts.
+//!
+//! Every mutation here is a pure function of `(seed, target)` — the same
+//! seed always tears the same write, flips the same bit, truncates at the
+//! same offset — so a failure found by the harness is a *seed*, and a
+//! regression test is one line: replay that seed and assert the typed
+//! error. The generators are backed by the core crate's splitmix64, the
+//! same dependency-free RNG the perturbation models use.
+//!
+//! The harness covers the failure families the robustness layer promises
+//! to survive:
+//!
+//! * [`FaultPlan::flip_bit`] / [`FaultPlan::truncate`] /
+//!   [`FaultPlan::garble`] — storage corruption on in-memory bytes,
+//! * [`FaultPlan::corrupt_file`] / [`FaultPlan::tear_file`] — the same
+//!   applied to cache entries on disk (a torn write is a truncation to a
+//!   prefix, which is exactly what a crash mid-`write` leaves when the
+//!   atomic rename never happened),
+//! * [`drip_feed`] — a slow/partial HTTP client, for exercising server
+//!   read timeouts.
+//!
+//! This module is part of the public API so integration tests and the CI
+//! corruption-recovery smoke can share one implementation, but nothing in
+//! the serving or simulation paths calls it.
+
+use std::fs;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+use ovlsim_core::rng::SplitMix64;
+
+/// A seeded source of corruption decisions.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: SplitMix64,
+}
+
+impl FaultPlan {
+    /// A plan reproducing exactly the faults of `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The next raw 64 draw bits (exposed so tests can derive positions
+    /// from the same stream the mutators use).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Picks an index below `len` (0 when empty).
+    fn index(&mut self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            (self.rng.next_u64() % len as u64) as usize
+        }
+    }
+
+    /// Flips one bit somewhere in `bytes`, returning `(offset, mask)`.
+    /// No-op on empty input.
+    pub fn flip_bit(&mut self, bytes: &mut [u8]) -> (usize, u8) {
+        if bytes.is_empty() {
+            return (0, 0);
+        }
+        let offset = self.index(bytes.len());
+        let mask = 1u8 << (self.rng.next_u64() % 8) as u8;
+        bytes[offset] ^= mask;
+        (offset, mask)
+    }
+
+    /// Truncates `bytes` to a strict prefix (possibly empty), returning
+    /// the new length.
+    pub fn truncate(&mut self, bytes: &mut Vec<u8>) -> usize {
+        let keep = self.index(bytes.len());
+        bytes.truncate(keep);
+        keep
+    }
+
+    /// Overwrites a random run of bytes with random garbage, returning
+    /// the start offset of the run. No-op on empty input.
+    pub fn garble(&mut self, bytes: &mut [u8]) -> usize {
+        if bytes.is_empty() {
+            return 0;
+        }
+        let start = self.index(bytes.len());
+        let len = 1 + self.index((bytes.len() - start).min(16));
+        for b in &mut bytes[start..start + len] {
+            *b = (self.rng.next_u64() & 0xFF) as u8;
+        }
+        start
+    }
+
+    /// Flips one bit of the file at `path` in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/write failures.
+    pub fn corrupt_file(&mut self, path: &Path) -> io::Result<(usize, u8)> {
+        let mut bytes = fs::read(path)?;
+        let hit = self.flip_bit(&mut bytes);
+        fs::write(path, &bytes)?;
+        Ok(hit)
+    }
+
+    /// Simulates a torn write: the file at `path` keeps only a strict
+    /// prefix of its bytes, as if the process died mid-write before any
+    /// atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/write failures.
+    pub fn tear_file(&mut self, path: &Path) -> io::Result<usize> {
+        let mut bytes = fs::read(path)?;
+        let keep = self.truncate(&mut bytes);
+        fs::write(path, &bytes)?;
+        Ok(keep)
+    }
+}
+
+/// Writes `bytes` to `stream` one small chunk at a time with `pause`
+/// between chunks, then stops after `chunks` chunks *without* completing
+/// the payload — a slow, then vanishing, client. Used against server
+/// read timeouts: the server must answer 408 or close cleanly, never
+/// hang.
+///
+/// # Errors
+///
+/// Propagates socket write failures (an early server hang-up is an
+/// expected outcome, so callers usually ignore the error).
+pub fn drip_feed(
+    stream: &mut TcpStream,
+    bytes: &[u8],
+    chunks: usize,
+    pause: Duration,
+) -> io::Result<()> {
+    for chunk in bytes.chunks(8).take(chunks) {
+        stream.write_all(chunk)?;
+        stream.flush()?;
+        std::thread::sleep(pause);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_faults() {
+        let base: Vec<u8> = (0u8..200).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let hit_a = FaultPlan::new(42).flip_bit(&mut a);
+        let hit_b = FaultPlan::new(42).flip_bit(&mut b);
+        assert_eq!(hit_a, hit_b);
+        assert_eq!(a, b);
+        assert_ne!(a, base);
+    }
+
+    #[test]
+    fn different_seeds_disagree_somewhere() {
+        let base: Vec<u8> = (0u8..200).collect();
+        let hits: Vec<_> = (0u64..16)
+            .map(|seed| {
+                let mut copy = base.clone();
+                FaultPlan::new(seed).flip_bit(&mut copy)
+            })
+            .collect();
+        assert!(hits.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn truncate_always_strictly_shrinks() {
+        for seed in 0..32 {
+            let mut bytes: Vec<u8> = (0u8..100).collect();
+            let keep = FaultPlan::new(seed).truncate(&mut bytes);
+            assert!(keep < 100);
+            assert_eq!(bytes.len(), keep);
+        }
+    }
+
+    #[test]
+    fn garble_stays_in_bounds_and_mutates() {
+        for seed in 0..32 {
+            let base: Vec<u8> = (0u8..50).collect();
+            let mut bytes = base.clone();
+            FaultPlan::new(seed).garble(&mut bytes);
+            assert_eq!(bytes.len(), base.len());
+        }
+        // Empty input is a no-op, not a panic.
+        FaultPlan::new(1).garble(&mut []);
+        FaultPlan::new(1).flip_bit(&mut []);
+        FaultPlan::new(1).truncate(&mut Vec::new());
+    }
+
+    #[test]
+    fn file_faults_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ovlsim-fi-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        let base: Vec<u8> = (0u8..=255).collect();
+        fs::write(&path, &base).unwrap();
+        let (offset, mask) = FaultPlan::new(7).corrupt_file(&path).unwrap();
+        let now = fs::read(&path).unwrap();
+        assert_eq!(now[offset], base[offset] ^ mask);
+        let keep = FaultPlan::new(8).tear_file(&path).unwrap();
+        assert_eq!(fs::read(&path).unwrap().len(), keep);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -4,12 +4,36 @@
 //! responses.
 
 use std::io::{Read, Write};
+use std::time::Duration;
 
 /// Largest accepted head (request line + headers) in bytes.
 const MAX_HEAD: usize = 64 * 1024;
-/// Largest accepted request body in bytes (traces are inlined in request
-/// bodies, so this is generous).
-const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Per-connection resource limits: how long a peer may take to produce a
+/// request or consume a response, and how large a body it may send.
+/// Violations yield *typed* outcomes — an over-limit body answers
+/// 413, a stalled read answers 408 — followed by a clean close,
+/// so a slow or hostile client can never pin a worker thread forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Socket read timeout (covers both head and body reads).
+    pub read_timeout: Duration,
+    /// Socket write timeout for the response.
+    pub write_timeout: Duration,
+    /// Largest accepted request body in bytes (traces are inlined in
+    /// request bodies, so the default is generous).
+    pub max_body: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body: 64 * 1024 * 1024,
+        }
+    }
+}
 
 /// One parsed request.
 pub(crate) struct Request {
@@ -26,21 +50,31 @@ pub(crate) struct Request {
 pub(crate) enum ReadError {
     /// The peer closed before sending a full request.
     Closed,
-    /// The request was malformed or exceeded a cap.
+    /// The request was malformed.
     Bad(String),
+    /// The declared body exceeds the configured maximum (answered 413).
+    TooLarge(String),
+    /// The peer was slower than the configured read timeout (answered
+    /// 408).
+    TimedOut,
     /// The socket itself failed (the error itself is not inspected; the
     /// connection is simply dropped).
     Io,
 }
 
 impl From<std::io::Error> for ReadError {
-    fn from(_: std::io::Error) -> Self {
-        ReadError::Io
+    fn from(e: std::io::Error) -> Self {
+        // SO_RCVTIMEO expiry surfaces as WouldBlock on Unix and TimedOut
+        // on Windows; both mean "the peer was too slow".
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::TimedOut,
+            _ => ReadError::Io,
+        }
     }
 }
 
-/// Reads one request from `stream`.
-pub(crate) fn read_request(stream: &mut impl Read) -> Result<Request, ReadError> {
+/// Reads one request from `stream`, holding bodies to `max_body` bytes.
+pub(crate) fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, ReadError> {
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
     // Byte-at-a-time until the blank line; requests are tiny and local,
@@ -80,8 +114,10 @@ pub(crate) fn read_request(stream: &mut impl Read) -> Result<Request, ReadError>
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(ReadError::Bad("request body too large".to_string()));
+    if content_length > max_body {
+        return Err(ReadError::TooLarge(format!(
+            "request body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
     }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body)?;
@@ -112,7 +148,7 @@ mod tests {
     #[test]
     fn parses_a_post_with_body() {
         let raw = b"POST /replay HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"\":1}";
-        let req = match read_request(&mut &raw[..]) {
+        let req = match read_request(&mut &raw[..], ServeLimits::default().max_body) {
             Ok(r) => r,
             Err(_) => panic!("should parse"),
         };
@@ -124,7 +160,7 @@ mod tests {
     #[test]
     fn parses_a_bodyless_get() {
         let raw = b"GET /status HTTP/1.1\r\n\r\n";
-        let req = match read_request(&mut &raw[..]) {
+        let req = match read_request(&mut &raw[..], ServeLimits::default().max_body) {
             Ok(r) => r,
             Err(_) => panic!("should parse"),
         };
@@ -136,9 +172,31 @@ mod tests {
     #[test]
     fn empty_stream_reports_closed() {
         assert!(matches!(
-            read_request(&mut &b""[..]),
+            read_request(&mut &b""[..], ServeLimits::default().max_body),
             Err(ReadError::Closed)
         ));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_a_typed_rejection() {
+        let raw = b"POST /replay HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        match read_request(&mut &raw[..], 10) {
+            Err(ReadError::TooLarge(msg)) => {
+                assert!(msg.contains("100"), "got: {msg}");
+                assert!(msg.contains("10-byte limit"), "got: {msg}");
+            }
+            _ => panic!("expected TooLarge"),
+        }
+    }
+
+    #[test]
+    fn timeout_io_errors_classify_as_timed_out() {
+        let e = std::io::Error::from(std::io::ErrorKind::WouldBlock);
+        assert!(matches!(ReadError::from(e), ReadError::TimedOut));
+        let e = std::io::Error::from(std::io::ErrorKind::TimedOut);
+        assert!(matches!(ReadError::from(e), ReadError::TimedOut));
+        let e = std::io::Error::from(std::io::ErrorKind::ConnectionReset);
+        assert!(matches!(ReadError::from(e), ReadError::Io));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disk;
 pub mod error;
+pub mod faultinject;
 pub mod json;
 pub mod request;
 pub mod serve;
@@ -27,7 +29,9 @@ pub mod store;
 
 mod http;
 
+pub use disk::{DiskCache, DiskStats};
 pub use error::SessionError;
+pub use http::ServeLimits;
 pub use json::{Json, JsonError};
 pub use request::{
     AnalyzeRequest, CampaignRequest, PerturbSpec, PlatformSpec, ReplayRequest, ReplayResponse,

@@ -26,6 +26,13 @@ pub enum TraceSource {
         /// The trace file contents.
         dim: String,
     },
+    /// An inline binary `.ovlb` artifact (see `ovlsim_core::codec`).
+    /// Decoding is fully verified: a corrupt body is a typed
+    /// [`SessionError::Decode`], never a panic or a wrong trace.
+    Binary {
+        /// The raw `.ovlb` bytes.
+        bytes: Vec<u8>,
+    },
     /// A trace synthesized from a registered application model.
     Generated {
         /// Registered app name (see `ovlsim_apps::registry::APP_NAMES`).
@@ -53,6 +60,10 @@ impl TraceSource {
                 h.write_str("source:text");
                 h.write_str(dim);
             }
+            TraceSource::Binary { bytes } => {
+                h.write_str("source:binary");
+                h.write_bytes(bytes);
+            }
             TraceSource::Generated {
                 app,
                 class,
@@ -71,10 +82,41 @@ impl TraceSource {
         h.finish()
     }
 
+    /// Builds a [`TraceSource::Binary`] from a hex string — the
+    /// transport encoding `ovlsim serve` accepts as `ovlb_hex`, since
+    /// raw `.ovlb` bytes cannot ride in a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Rejects odd-length input and non-hex characters as
+    /// [`SessionError::BadRequest`].
+    pub fn binary_from_hex(hex: &str) -> Result<TraceSource, SessionError> {
+        let hex = hex.trim().as_bytes();
+        if !hex.len().is_multiple_of(2) {
+            return Err(SessionError::BadRequest(
+                "`ovlb_hex` must have an even number of hex digits".into(),
+            ));
+        }
+        let nibble = |c: u8| match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(SessionError::BadRequest(format!(
+                "`ovlb_hex` has a non-hex character `{}`",
+                c.escape_ascii()
+            ))),
+        };
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for pair in hex.chunks_exact(2) {
+            bytes.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+        }
+        Ok(TraceSource::Binary { bytes })
+    }
+
     /// The generator overrides of this source (empty for text sources).
     pub(crate) fn overrides(&self) -> AppOverrides {
         match self {
-            TraceSource::Text { .. } => AppOverrides::default(),
+            TraceSource::Text { .. } | TraceSource::Binary { .. } => AppOverrides::default(),
             TraceSource::Generated {
                 ranks, iterations, ..
             } => AppOverrides {

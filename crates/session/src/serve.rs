@@ -27,7 +27,7 @@ use ovlsim_apps::ProblemClass;
 use ovlsim_core::Bandwidth;
 use ovlsim_lab::{parse_mode, Engine};
 
-use crate::http::{read_request, write_response, ReadError, Request};
+use crate::http::{read_request, write_response, ReadError, Request, ServeLimits};
 use crate::json::{escape, Json};
 use crate::request::{
     AnalyzeRequest, CampaignRequest, PerturbSpec, PlatformSpec, ReplayRequest, SweepRequest,
@@ -41,6 +41,7 @@ pub struct Server {
     session: Arc<Session>,
     version: String,
     shutdown: Arc<AtomicBool>,
+    limits: ServeLimits,
 }
 
 impl Server {
@@ -58,7 +59,16 @@ impl Server {
             session,
             version: version.to_string(),
             shutdown: Arc::new(AtomicBool::new(false)),
+            limits: ServeLimits::default(),
         })
+    }
+
+    /// Overrides the per-connection read/write timeouts and body cap
+    /// (defaults: 10 s / 10 s / 64 MiB).
+    #[must_use]
+    pub fn with_limits(mut self, limits: ServeLimits) -> Server {
+        self.limits = limits;
+        self
     }
 
     /// The port the server is bound to.
@@ -96,8 +106,9 @@ impl Server {
             let version = self.version.clone();
             let shutdown = Arc::clone(&self.shutdown);
             let port = self.port()?;
+            let limits = self.limits;
             workers.push(std::thread::spawn(move || {
-                handle_connection(stream, &session, &version, &shutdown, port);
+                handle_connection(stream, &session, &version, &shutdown, port, limits);
             }));
         }
         for worker in workers {
@@ -113,12 +124,35 @@ fn handle_connection(
     version: &str,
     shutdown: &AtomicBool,
     port: u16,
+    limits: ServeLimits,
 ) {
-    let req = match read_request(&mut stream) {
+    // Timeouts bound how long this worker can be pinned by one peer;
+    // every limit violation still gets a typed JSON answer before the
+    // close, so clients can tell "too slow" from "malformed".
+    let _ = stream.set_read_timeout(Some(limits.read_timeout));
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
+    let req = match read_request(&mut stream, limits.max_body) {
         Ok(req) => req,
         Err(ReadError::Closed) => return,
         Err(ReadError::Bad(msg)) => {
             let _ = write_response(&mut stream, 400, "Bad Request", &error_body(&msg));
+            return;
+        }
+        Err(ReadError::TooLarge(msg)) => {
+            let _ = write_response(&mut stream, 413, "Payload Too Large", &error_body(&msg));
+            // Discard what the peer already sent before closing: slamming
+            // the socket shut with unread bytes pending raises a TCP RST
+            // that can destroy the 413 before the client reads it.
+            drain_excess(&mut stream);
+            return;
+        }
+        Err(ReadError::TimedOut) => {
+            let _ = write_response(
+                &mut stream,
+                408,
+                "Request Timeout",
+                &error_body("request not received within the read timeout"),
+            );
             return;
         }
         Err(ReadError::Io) => return,
@@ -134,21 +168,45 @@ fn handle_connection(
     }
 }
 
+/// Swallow up to 64 KiB of an over-limit request body so the rejection
+/// response survives the close (a close with unread bytes pending sends
+/// RST, not FIN). Bounded in both bytes and time: a peer that keeps
+/// sending past the budget still gets cut off.
+fn drain_excess(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let mut scratch = [0u8; 8192];
+    let mut budget: usize = 64 * 1024;
+    while budget > 0 {
+        match std::io::Read::read(stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
 fn error_body(msg: &str) -> String {
     format!("{{\"error\":\"{}\"}}", escape(msg))
 }
 
 fn route(req: &Request, session: &Session, version: &str) -> (u16, &'static str, String) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/status") => (
-            200,
-            "OK",
-            format!(
-                "{{\"service\":\"ovlsim\",\"version\":\"{}\",\"cache\":{}}}",
-                escape(version),
-                session.stats().to_json()
-            ),
-        ),
+        ("GET", "/status") => {
+            let disk = session.disk_stats().map_or_else(String::new, |d| {
+                format!(
+                    ",\"disk\":{{\"loads\":{},\"stores\":{},\"quarantined\":{}}}",
+                    d.loads, d.stores, d.quarantined
+                )
+            });
+            (
+                200,
+                "OK",
+                format!(
+                    "{{\"service\":\"ovlsim\",\"version\":\"{}\",\"cache\":{}{disk}}}",
+                    escape(version),
+                    session.stats().to_json()
+                ),
+            )
+        }
         ("POST", "/shutdown") => (200, "OK", "{\"ok\":true}".to_string()),
         ("POST", "/replay") => batched(&req.body, |j| {
             session.replay(&parse_replay(j)?).map(|r| r.to_json())
@@ -206,10 +264,16 @@ fn parse_source(j: &Json) -> Result<TraceSource, SessionError> {
             dim: dim.to_string(),
         });
     }
+    if let Some(hex) = j.get("ovlb_hex") {
+        let hex = hex
+            .as_str()
+            .ok_or_else(|| bad("`ovlb_hex` must be a string"))?;
+        return TraceSource::binary_from_hex(hex);
+    }
     let app = j
         .get("app")
         .and_then(Json::as_str)
-        .ok_or_else(|| bad("source needs `dim` or `app`"))?;
+        .ok_or_else(|| bad("source needs `dim`, `ovlb_hex` or `app`"))?;
     let class = match j.get("class") {
         None => ProblemClass::S,
         Some(c) => c
@@ -425,7 +489,7 @@ mod tests {
                 assert_eq!(ranks, Some(4));
                 assert!(mode.is_some());
             }
-            TraceSource::Text { .. } => panic!("wrong source kind"),
+            TraceSource::Text { .. } | TraceSource::Binary { .. } => panic!("wrong source kind"),
         }
     }
 

@@ -2,6 +2,7 @@
 //! simulation entry point.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use ovlsim_apps::registry::AppOverrides;
@@ -13,6 +14,7 @@ use ovlsim_lab::pipeline::{build_index, ArtifactPipeline, DirectPipeline, Engine
 use ovlsim_lab::{configured_threads, run_campaign_with, CampaignReport, CampaignSpec, LabError};
 use ovlsim_tracer::{OverlapMode, TraceBundle};
 
+use crate::disk::{DiskCache, DiskStats};
 use crate::error::SessionError;
 use crate::request::{
     AnalyzeRequest, CampaignRequest, ReplayRequest, ReplayResponse, SweepRequest, SweepResponse,
@@ -31,6 +33,11 @@ use crate::store::{ArtifactStore, CacheStats};
 /// requests — or how many concurrent server connections — ask for them.
 pub struct Session {
     store: ArtifactStore,
+    /// Optional persistent backend: trace variants and compiled programs
+    /// survive process restarts as integrity-checked `.ovlb` files. When
+    /// present, cache misses consult disk before building, and builds
+    /// write through.
+    disk: Option<DiskCache>,
     threads: usize,
     /// Memoized content digests, keyed by artifact address. Each entry
     /// pins its artifact's `Arc`, so an address can never be reused while
@@ -64,10 +71,35 @@ impl Session {
     pub fn with_threads(threads: usize) -> Session {
         Session {
             store: ArtifactStore::new(),
+            disk: None,
             threads: threads.max(1),
             trace_keys: Mutex::new(HashMap::new()),
             bundle_keys: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches a persistent artifact cache rooted at `dir` (created if
+    /// missing). Trace variants and compiled programs are then written
+    /// through to disk and served back — after integrity verification —
+    /// on any later session pointed at the same directory, so a warm
+    /// restart rebuilds nothing.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces directory-creation failures as [`SessionError::Io`].
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Result<Session, SessionError> {
+        let dir = dir.into();
+        self.disk = Some(
+            DiskCache::open(&dir)
+                .map_err(|e| SessionError::Io(format!("cache dir {}: {e}", dir.display())))?,
+        );
+        Ok(self)
+    }
+
+    /// A snapshot of the persistent cache's counters, when one is
+    /// attached.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(DiskCache::stats)
     }
 
     /// The content digest of a trace, hashing its records only the first
@@ -97,11 +129,44 @@ impl Session {
     pub fn trace(&self, source: &TraceSource) -> Result<Arc<TraceSet>, SessionError> {
         match source {
             TraceSource::Text { dim } => {
-                self.store.trace(source.key(), || Ok(parse_trace_set(dim)?))
+                let key = source.key();
+                self.store.trace_with(
+                    key,
+                    || self.disk.as_ref().and_then(|d| d.load_trace(key)),
+                    || {
+                        let parsed = parse_trace_set(dim)?;
+                        if let Some(disk) = &self.disk {
+                            disk.store_trace(key, &parsed);
+                        }
+                        Ok(parsed)
+                    },
+                )
+            }
+            TraceSource::Binary { bytes } => {
+                let key = source.key();
+                self.store.trace_with(
+                    key,
+                    || self.disk.as_ref().and_then(|d| d.load_trace(key)),
+                    || {
+                        let decoded = ovlsim_core::codec::decode_trace_set(bytes)?;
+                        if let Some(disk) = &self.disk {
+                            disk.store_trace(key, &decoded);
+                        }
+                        Ok(decoded)
+                    },
+                )
             }
             TraceSource::Generated {
                 app, class, mode, ..
             } => {
+                // A persisted variant short-circuits tracing entirely —
+                // this is what keeps a warm restart's build counters at
+                // zero.
+                if let Some(trace) =
+                    ArtifactPipeline::load_variant(self, app, *class, source.overrides(), *mode)
+                {
+                    return Ok(trace);
+                }
                 let bundle = ArtifactPipeline::bundle(self, app, *class, source.overrides())?;
                 Ok(self.variant(&bundle, *mode)?)
             }
@@ -215,6 +280,19 @@ fn derived_key(kind: &str, fingerprint: Digest) -> Digest {
     h.finish()
 }
 
+/// The cache key of one trace variant of a bundle. Computable from the
+/// bundle's *descriptor* digest alone, which is what lets
+/// [`ArtifactPipeline::load_variant`] answer from persistent storage
+/// without tracing the app first.
+fn variant_key(bundle_digest: Digest, mode: Option<OverlapMode>) -> Digest {
+    let mut h = StableHasher::new();
+    h.write_str("artifact:variant");
+    h.write_u64(bundle_digest.0);
+    h.write_u64(bundle_digest.1);
+    h.write_str(&mode.map_or_else(|| "original".to_string(), |m| m.label()));
+    h.finish()
+}
+
 impl ArtifactPipeline for Session {
     fn bundle(
         &self,
@@ -245,15 +323,33 @@ impl ArtifactPipeline for Session {
             .get(&(bundle as *const TraceBundle as usize))
             .map(|(_, digest)| *digest)
             .unwrap_or_else(|| bundle.original().fingerprint());
-        let mut h = StableHasher::new();
-        h.write_str("artifact:variant");
-        h.write_u64(bundle_digest.0);
-        h.write_u64(bundle_digest.1);
-        h.write_str(&mode.map_or_else(|| "original".to_string(), |m| m.label()));
-        self.store.trace(h.finish(), || match mode {
-            None => Ok(bundle.original().clone()),
-            Some(mode) => Ok(bundle.overlapped(mode)?),
-        })
+        let key = variant_key(bundle_digest, mode);
+        self.store.trace_with(
+            key,
+            || self.disk.as_ref().and_then(|d| d.load_trace(key)),
+            || {
+                let built = match mode {
+                    None => bundle.original().clone(),
+                    Some(mode) => bundle.overlapped(mode)?,
+                };
+                if let Some(disk) = &self.disk {
+                    disk.store_trace(key, &built);
+                }
+                Ok(built)
+            },
+        )
+    }
+
+    fn load_variant(
+        &self,
+        app: &str,
+        class: ProblemClass,
+        overrides: AppOverrides,
+        mode: Option<OverlapMode>,
+    ) -> Option<Arc<TraceSet>> {
+        let key = variant_key(bundle_key(app, class, overrides), mode);
+        self.store
+            .load_trace(key, || self.disk.as_ref().and_then(|d| d.load_trace(key)))
     }
 
     fn index(&self, trace: &Arc<TraceSet>) -> Result<Arc<TraceIndex>, LabError> {
@@ -268,9 +364,31 @@ impl ArtifactPipeline for Session {
         trace: &Arc<TraceSet>,
         index: &Arc<TraceIndex>,
     ) -> Result<Arc<CompiledTrace>, LabError> {
-        self.store.program(
-            derived_key("artifact:compiled", self.trace_key(trace)),
-            || Ok(CompiledTrace::compile(trace, index)?),
+        let key = derived_key("artifact:compiled", self.trace_key(trace));
+        self.store.program_with(
+            key,
+            || self.disk.as_ref().and_then(|d| d.load_program(key)),
+            || {
+                let prog = CompiledTrace::compile(trace, index)?;
+                if let Some(disk) = &self.disk {
+                    disk.store_program(key, &prog);
+                }
+                Ok(prog)
+            },
         )
+    }
+
+    fn compiled_standalone(&self, trace: &Arc<TraceSet>) -> Result<Arc<CompiledTrace>, LabError> {
+        let key = derived_key("artifact:compiled", self.trace_key(trace));
+        if let Some(prog) = self
+            .store
+            .load_program(key, || self.disk.as_ref().and_then(|d| d.load_program(key)))
+        {
+            return Ok(prog);
+        }
+        // Cold path: validate + compile through the caches (which also
+        // writes the program through to disk).
+        let index = self.index(trace)?;
+        self.compiled(trace, &index)
     }
 }

@@ -31,6 +31,7 @@ type Slot<T> = Arc<Mutex<Option<Arc<T>>>>;
 struct Shelf<T> {
     slots: Mutex<HashMap<Digest, Slot<T>>>,
     hits: AtomicU64,
+    loads: AtomicU64,
     builds: AtomicU64,
 }
 
@@ -39,20 +40,24 @@ impl<T> Default for Shelf<T> {
         Shelf {
             slots: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
             builds: AtomicU64::new(0),
         }
     }
 }
 
 impl<T> Shelf<T> {
-    /// Returns the artifact for `key`, building it exactly once. The
-    /// outer map lock is held only to find/insert the slot; the build
-    /// runs under the slot's own lock, so concurrent requests for
-    /// *different* keys build in parallel while requests for the *same*
-    /// key serialize on one build.
+    /// Returns the artifact for `key`, physically building it at most
+    /// once: an empty slot first consults `load` (a persistent backend;
+    /// counted as a *load*, not a build) and only builds on a storage
+    /// miss. The outer map lock is held only to find/insert the slot;
+    /// load and build run under the slot's own lock, so concurrent
+    /// requests for *different* keys proceed in parallel while requests
+    /// for the *same* key serialize on one fill.
     fn get_or_build<E>(
         &self,
         key: Digest,
+        load: impl FnOnce() -> Option<T>,
         build: impl FnOnce() -> Result<T, E>,
     ) -> Result<Arc<T>, E> {
         let slot = lock(&self.slots).entry(key).or_default().clone();
@@ -60,6 +65,12 @@ impl<T> Shelf<T> {
         if let Some(artifact) = filled.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(artifact));
+        }
+        if let Some(loaded) = load() {
+            let artifact = Arc::new(loaded);
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            *filled = Some(Arc::clone(&artifact));
+            return Ok(artifact);
         }
         // A failed build leaves the slot empty: the error propagates to
         // this requester and the next one retries.
@@ -69,19 +80,38 @@ impl<T> Shelf<T> {
         Ok(artifact)
     }
 
-    fn counters(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.builds.load(Ordering::Relaxed),
-        )
+    /// Returns the artifact for `key` if it is in memory or `load` can
+    /// supply it, without ever building. Used by pipeline load hooks to
+    /// answer "can this be served without rebuilding?".
+    fn get_or_load(&self, key: Digest, load: impl FnOnce() -> Option<T>) -> Option<Arc<T>> {
+        let slot = lock(&self.slots).entry(key).or_default().clone();
+        let mut filled = lock(&slot);
+        if let Some(artifact) = filled.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(artifact));
+        }
+        let artifact = Arc::new(load()?);
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        *filled = Some(Arc::clone(&artifact));
+        Some(artifact)
+    }
+
+    fn counters(&self) -> ShelfStats {
+        ShelfStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
     }
 }
 
-/// Hit/build counters of one shelf at a point in time.
+/// Hit/load/build counters of one shelf at a point in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShelfStats {
-    /// Requests served from an already-built artifact.
+    /// Requests served from an already-built in-memory artifact.
     pub hits: u64,
+    /// Artifacts served from persistent storage (no rebuild).
+    pub loads: u64,
     /// Artifacts physically built (cache misses that succeeded).
     pub builds: u64,
 }
@@ -109,7 +139,12 @@ impl CacheStats {
     /// Renders the stats as a deterministic JSON object (used verbatim in
     /// the serve `/status` response).
     pub fn to_json(&self) -> String {
-        let shelf = |s: &ShelfStats| format!("{{\"hits\":{},\"builds\":{}}}", s.hits, s.builds);
+        let shelf = |s: &ShelfStats| {
+            format!(
+                "{{\"hits\":{},\"loads\":{},\"builds\":{}}}",
+                s.hits, s.loads, s.builds
+            )
+        };
         format!(
             "{{\"bundles\":{},\"traces\":{},\"indexes\":{},\"programs\":{},\"compiles\":{}}}",
             shelf(&self.bundles),
@@ -147,7 +182,7 @@ impl ArtifactStore {
         key: Digest,
         build: impl FnOnce() -> Result<TraceBundle, E>,
     ) -> Result<Arc<TraceBundle>, E> {
-        self.bundles.get_or_build(key, build)
+        self.bundles.get_or_build(key, || None, build)
     }
 
     /// The trace variant for `key`, building it at most once.
@@ -160,7 +195,33 @@ impl ArtifactStore {
         key: Digest,
         build: impl FnOnce() -> Result<TraceSet, E>,
     ) -> Result<Arc<TraceSet>, E> {
-        self.traces.get_or_build(key, build)
+        self.traces.get_or_build(key, || None, build)
+    }
+
+    /// [`ArtifactStore::trace`] with a persistent-storage load hook:
+    /// an empty slot asks `load` first (counted as a load, not a build)
+    /// and only falls back to `build` on a storage miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (the slot stays empty).
+    pub fn trace_with<E>(
+        &self,
+        key: Digest,
+        load: impl FnOnce() -> Option<TraceSet>,
+        build: impl FnOnce() -> Result<TraceSet, E>,
+    ) -> Result<Arc<TraceSet>, E> {
+        self.traces.get_or_build(key, load, build)
+    }
+
+    /// The trace variant for `key` if it is in memory or `load` yields
+    /// it — never builds.
+    pub fn load_trace(
+        &self,
+        key: Digest,
+        load: impl FnOnce() -> Option<TraceSet>,
+    ) -> Option<Arc<TraceSet>> {
+        self.traces.get_or_load(key, load)
     }
 
     /// The channel index for `key`, building it at most once.
@@ -173,7 +234,7 @@ impl ArtifactStore {
         key: Digest,
         build: impl FnOnce() -> Result<TraceIndex, E>,
     ) -> Result<Arc<TraceIndex>, E> {
-        self.indexes.get_or_build(key, build)
+        self.indexes.get_or_build(key, || None, build)
     }
 
     /// The compiled replay program for `key`, building it at most once.
@@ -186,18 +247,42 @@ impl ArtifactStore {
         key: Digest,
         build: impl FnOnce() -> Result<CompiledTrace, E>,
     ) -> Result<Arc<CompiledTrace>, E> {
-        self.programs.get_or_build(key, build)
+        self.programs.get_or_build(key, || None, build)
+    }
+
+    /// [`ArtifactStore::program`] with a persistent-storage load hook
+    /// (see [`ArtifactStore::trace_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (the slot stays empty).
+    pub fn program_with<E>(
+        &self,
+        key: Digest,
+        load: impl FnOnce() -> Option<CompiledTrace>,
+        build: impl FnOnce() -> Result<CompiledTrace, E>,
+    ) -> Result<Arc<CompiledTrace>, E> {
+        self.programs.get_or_build(key, load, build)
+    }
+
+    /// The compiled program for `key` if it is in memory or `load`
+    /// yields it — never builds.
+    pub fn load_program(
+        &self,
+        key: Digest,
+        load: impl FnOnce() -> Option<CompiledTrace>,
+    ) -> Option<Arc<CompiledTrace>> {
+        self.programs.get_or_load(key, load)
     }
 
     /// A consistent-enough snapshot of all counters (each counter is read
     /// atomically; the set is not a transaction).
     pub fn stats(&self) -> CacheStats {
-        let shelf = |(hits, builds)| ShelfStats { hits, builds };
         CacheStats {
-            bundles: shelf(self.bundles.counters()),
-            traces: shelf(self.traces.counters()),
-            indexes: shelf(self.indexes.counters()),
-            programs: shelf(self.programs.counters()),
+            bundles: self.bundles.counters(),
+            traces: self.traces.counters(),
+            indexes: self.indexes.counters(),
+            programs: self.programs.counters(),
         }
     }
 }
@@ -235,7 +320,14 @@ mod tests {
         }
         assert_eq!(built.load(Ordering::Relaxed), 1);
         let stats = store.stats();
-        assert_eq!(stats.traces, ShelfStats { hits: 2, builds: 1 });
+        assert_eq!(
+            stats.traces,
+            ShelfStats {
+                hits: 2,
+                loads: 0,
+                builds: 1
+            }
+        );
     }
 
     #[test]
@@ -247,7 +339,40 @@ mod tests {
             .trace::<Infallible>(key(2), || Ok(tiny_trace("b")))
             .unwrap();
         assert_eq!(t.name(), "b");
-        assert_eq!(store.stats().traces, ShelfStats { hits: 0, builds: 1 });
+        assert_eq!(
+            store.stats().traces,
+            ShelfStats {
+                hits: 0,
+                loads: 0,
+                builds: 1
+            }
+        );
+    }
+
+    #[test]
+    fn storage_load_counts_as_load_not_build() {
+        let store = ArtifactStore::new();
+        let t = store
+            .trace_with::<Infallible>(
+                key(9),
+                || Some(tiny_trace("persisted")),
+                || panic!("a storage hit must not build"),
+            )
+            .unwrap();
+        assert_eq!(t.name(), "persisted");
+        // Second request is a plain memory hit.
+        let again = store.load_trace(key(9), || None).unwrap();
+        assert_eq!(again.name(), "persisted");
+        assert_eq!(
+            store.stats().traces,
+            ShelfStats {
+                hits: 1,
+                loads: 1,
+                builds: 0
+            }
+        );
+        // A load miss without a builder stays a miss.
+        assert!(store.load_trace(key(10), || None).is_none());
     }
 
     #[test]
@@ -286,7 +411,7 @@ mod tests {
             })
             .unwrap();
         let json = store.stats().to_json();
-        assert!(json.contains("\"programs\":{\"hits\":0,\"builds\":1}"));
+        assert!(json.contains("\"programs\":{\"hits\":0,\"loads\":0,\"builds\":1}"));
         assert!(json.ends_with("\"compiles\":1}"));
     }
 }

@@ -1,0 +1,184 @@
+//! Serve hardening under the fault-injection harness: slow clients,
+//! oversized bodies, torn request streams and corrupted binary payloads
+//! must all come back as typed errors over a cleanly closed connection —
+//! the server never hangs and never answers differently afterwards.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ovlsim_session::faultinject::{drip_feed, FaultPlan};
+use ovlsim_session::{ServeLimits, Server, Session, TraceSource};
+
+/// One `Connection: close` round-trip, returning `(status, body)`.
+fn request(port: u16, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1
+        .to_string();
+    (status, body)
+}
+
+fn start(
+    limits: ServeLimits,
+) -> (
+    u16,
+    std::thread::JoinHandle<Result<(), ovlsim_session::SessionError>>,
+) {
+    let session = Arc::new(Session::with_threads(1));
+    let server = Server::bind(0, session, "fault-test")
+        .expect("bind ephemeral")
+        .with_limits(limits);
+    let port = server.port().expect("port");
+    let running = std::thread::spawn(move || server.run());
+    (port, running)
+}
+
+fn shut_down(
+    port: u16,
+    running: std::thread::JoinHandle<Result<(), ovlsim_session::SessionError>>,
+) {
+    let (status, _) = request(port, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    running.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let (port, running) = start(ServeLimits {
+        max_body: 256,
+        ..ServeLimits::default()
+    });
+
+    let big = format!(r#"{{"padding":"{}"}}"#, "x".repeat(1024));
+    let (status, body) = request(port, "POST", "/replay", &big);
+    assert_eq!(status, 413, "{body}");
+    assert!(
+        body.starts_with("{\"error\":\""),
+        "typed JSON error: {body}"
+    );
+    assert!(body.contains("exceeds"), "names the limit: {body}");
+
+    // The server is still healthy for well-formed requests afterwards.
+    let (status, _) = request(port, "GET", "/status", "");
+    assert_eq!(status, 200);
+    shut_down(port, running);
+}
+
+#[test]
+fn slow_clients_time_out_with_408_instead_of_hanging() {
+    let (port, running) = start(ServeLimits {
+        read_timeout: Duration::from_millis(200),
+        ..ServeLimits::default()
+    });
+
+    // Drip a request head so slowly the read timeout fires mid-parse.
+    let head = b"POST /replay HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    let _ = drip_feed(&mut stream, head, 2, Duration::from_millis(400));
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(
+        response.starts_with("HTTP/1.1 408"),
+        "expected 408, got: {response}"
+    );
+    assert!(response.contains("read timeout"), "{response}");
+
+    // A fast client on the same server is unaffected.
+    let (status, _) = request(port, "GET", "/status", "");
+    assert_eq!(status, 200);
+    shut_down(port, running);
+}
+
+#[test]
+fn torn_request_streams_close_cleanly() {
+    let (port, running) = start(ServeLimits {
+        read_timeout: Duration::from_millis(200),
+        ..ServeLimits::default()
+    });
+
+    // Declare a body, send half of it, then slam the connection shut.
+    let body = r#"{"source":{"app":"sweep3d","class":"S"},"bandwidth":1e9}"#;
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    write!(
+        stream,
+        "POST /replay HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        &body[..body.len() / 2]
+    )
+    .unwrap();
+    drop(stream);
+
+    // The worker must abandon the torn connection without wedging the
+    // accept loop: subsequent requests are answered promptly.
+    let (status, _) = request(port, "GET", "/status", "");
+    assert_eq!(status, 200);
+    shut_down(port, running);
+}
+
+#[test]
+fn binary_payloads_replay_and_reject_corruption() {
+    let session = Session::with_threads(1);
+    let trace = session
+        .trace(&TraceSource::Generated {
+            app: "sweep3d".into(),
+            class: "S".parse().unwrap(),
+            ranks: Some(4),
+            iterations: Some(1),
+            mode: None,
+        })
+        .expect("generates");
+    let bytes = ovlsim_core::codec::encode_trace_set(&trace);
+    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+
+    let (port, running) = start(ServeLimits::default());
+
+    // A pristine binary payload replays like any other source.
+    let good = format!(r#"{{"source":{{"ovlb_hex":"{hex}"}},"bandwidth":1e9,"latency_us":5}}"#);
+    let (status, body) = request(port, "POST", "/replay", &good);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"total_ps\":"), "{body}");
+
+    // Every seeded bit flip is caught by the codec and surfaces as a
+    // typed 400 — never a 500, never a hang, never a silent wrong answer.
+    let mut plan = FaultPlan::new(0xFA17);
+    for _ in 0..4 {
+        let mut bad = bytes.clone();
+        plan.flip_bit(&mut bad);
+        let bad_hex: String = bad.iter().map(|b| format!("{b:02x}")).collect();
+        let req =
+            format!(r#"{{"source":{{"ovlb_hex":"{bad_hex}"}},"bandwidth":1e9,"latency_us":5}}"#);
+        let (status, body) = request(port, "POST", "/replay", &req);
+        if status == 200 {
+            // The flip landed outside any decoded field only if the
+            // decode still produced the identical trace; the response
+            // must then match the pristine one byte for byte.
+            let (_, pristine) = request(port, "POST", "/replay", &good);
+            assert_eq!(body, pristine, "corrupt payload changed the answer");
+        } else {
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("trace decode"), "typed decode error: {body}");
+        }
+    }
+    shut_down(port, running);
+}

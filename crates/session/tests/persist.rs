@@ -1,0 +1,165 @@
+//! Durability integration tests: a session with a `--cache-dir` must
+//! serve a warm restart entirely from disk (zero rebuilds, byte-identical
+//! reports), and every corruption the fault-injection harness can inflict
+//! on the cache must end in quarantine + transparent rebuild — never a
+//! panic, never a different answer.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ovlsim_lab::CampaignSpec;
+use ovlsim_session::faultinject::FaultPlan;
+use ovlsim_session::{Session, TraceSource};
+
+const SPEC: &str = "campaign persist\napps sweep3d\nclasses S\nmodes linear\n\
+                    engines compiled\nbandwidths log 1e8 1e9 3\n";
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ovlsim-persist-test")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_campaign(cache: &PathBuf) -> (String, Session) {
+    let session = Session::with_threads(1)
+        .with_cache_dir(cache)
+        .expect("cache dir opens");
+    let spec = CampaignSpec::parse(SPEC).expect("spec parses");
+    let report = session.run_campaign(&spec).expect("campaign runs");
+    (report.to_json(), session)
+}
+
+#[test]
+fn warm_restart_rebuilds_nothing_and_is_byte_identical() {
+    let cache = scratch("warm");
+
+    let (cold_json, cold) = run_campaign(&cache);
+    let cold_stats = cold.stats();
+    assert!(cold_stats.traces.builds > 0, "cold run must build traces");
+    assert!(cold_stats.compiles() > 0, "cold run must compile");
+    let cold_disk = cold.disk_stats().expect("disk cache attached");
+    assert!(cold_disk.stores > 0, "cold run must persist artifacts");
+    assert_eq!(cold_disk.quarantined, 0);
+    drop(cold);
+
+    // A brand-new session over the same directory: everything must come
+    // from disk — zero builds on every shelf.
+    let (warm_json, warm) = run_campaign(&cache);
+    assert_eq!(warm_json, cold_json, "warm report must be byte-identical");
+    let warm_stats = warm.stats();
+    assert_eq!(warm_stats.bundles.builds, 0, "warm run traced an app");
+    assert_eq!(warm_stats.traces.builds, 0, "warm run rebuilt a trace");
+    assert_eq!(warm_stats.indexes.builds, 0, "warm run rebuilt an index");
+    assert_eq!(warm_stats.programs.builds, 0, "warm run recompiled");
+    let warm_disk = warm.disk_stats().unwrap();
+    assert!(warm_disk.loads > 0, "warm run must load from disk");
+    assert_eq!(warm_disk.stores, 0, "warm run had nothing to persist");
+
+    fs::remove_dir_all(&cache).unwrap();
+}
+
+#[test]
+fn corrupted_cache_entries_are_quarantined_and_rebuilt_identically() {
+    let cache = scratch("corrupt");
+    let (cold_json, _) = run_campaign(&cache);
+
+    // Inflict one deterministic bit flip on a trace entry and one torn
+    // write (truncation) on a program entry.
+    let mut entries: Vec<PathBuf> = fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("ovlb"))
+        .collect();
+    entries.sort();
+    let trace_entry = entries
+        .iter()
+        .find(|p| {
+            p.file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .starts_with("trace-")
+        })
+        .expect("a trace entry exists")
+        .clone();
+    let prog_entry = entries
+        .iter()
+        .find(|p| {
+            p.file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .starts_with("prog-")
+        })
+        .expect("a program entry exists")
+        .clone();
+    let mut plan = FaultPlan::new(0xD15EA5E);
+    plan.corrupt_file(&trace_entry).unwrap();
+    plan.tear_file(&prog_entry).unwrap();
+
+    let (rebuilt_json, session) = run_campaign(&cache);
+    assert_eq!(
+        rebuilt_json, cold_json,
+        "recovery must reproduce the exact report"
+    );
+    let disk = session.disk_stats().unwrap();
+    assert_eq!(disk.quarantined, 2, "both damaged entries quarantined");
+    assert_eq!(disk.stores, 2, "both damaged entries rebuilt and restored");
+    assert!(trace_entry.exists(), "rebuilt trace entry is re-persisted");
+    assert!(prog_entry.exists(), "rebuilt program entry is re-persisted");
+
+    // The quarantined bytes stay on disk for post-mortems...
+    let quarantined: Vec<_> = fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().to_string_lossy().ends_with(".quarantined"))
+        .collect();
+    assert_eq!(quarantined.len(), 2);
+
+    // ...and a third run is fully warm again.
+    let (third_json, session) = run_campaign(&cache);
+    assert_eq!(third_json, cold_json);
+    assert_eq!(session.stats().compiles(), 0);
+    assert_eq!(session.disk_stats().unwrap().quarantined, 0);
+
+    fs::remove_dir_all(&cache).unwrap();
+}
+
+#[test]
+fn binary_sources_round_trip_through_the_session() {
+    let session = Session::with_threads(1);
+    let generated = TraceSource::Generated {
+        app: "sweep3d".into(),
+        class: "S".parse().unwrap(),
+        ranks: Some(4),
+        iterations: Some(1),
+        mode: None,
+    };
+    let trace = session.trace(&generated).expect("generates");
+    let bytes = ovlsim_core::codec::encode_trace_set(&trace);
+
+    // The encoded artifact round-trips through a fresh session.
+    let fresh = Session::with_threads(1);
+    let decoded = fresh
+        .trace(&TraceSource::Binary {
+            bytes: bytes.clone(),
+        })
+        .expect("decodes");
+    assert_eq!(*decoded, *trace);
+
+    // Any single bit flip is a typed decode error, never a wrong trace.
+    let mut plan = FaultPlan::new(99);
+    for _ in 0..16 {
+        let mut bad = bytes.clone();
+        plan.flip_bit(&mut bad);
+        let another = Session::with_threads(1);
+        match another.trace(&TraceSource::Binary { bytes: bad }) {
+            Err(ovlsim_session::SessionError::Decode(_)) => {}
+            Err(other) => panic!("expected a decode error, got {other}"),
+            Ok(t) => assert_eq!(*t, *trace, "silently different trace"),
+        }
+    }
+}

@@ -13,9 +13,22 @@
 //!                                          write <prefix>.original.dim,
 //!                                          <prefix>.ovl-real.dim and
 //!                                          <prefix>.ovl-linear.dim
-//! ovlsim trace stats <file.dim>            validate + per-rank summary
-//! ovlsim trace validate <file.dim>         exit 1 if structurally invalid
-//! ovlsim trace replay <file.dim> [bw] [lat] replay (bytes/s, us) + Gantt
+//! ovlsim trace stats <file>                validate + per-rank summary
+//! ovlsim trace validate <file>             exit 1 if structurally invalid
+//! ovlsim trace replay <file> [bw] [lat]    replay (bytes/s, us) + Gantt
+//! ovlsim trace convert <in> <out>          re-encode between the text
+//!                                          format (`.dim`) and the
+//!                                          checksummed binary format
+//!                                          (`.ovlb`), either direction
+//! ```
+//!
+//! Trace-consuming subcommands dispatch on the file extension: `.ovlb`
+//! files decode through the verified binary codec (any corruption is a
+//! typed error), everything else parses as the text format. A file whose
+//! *contents* are binary but whose extension is not `.ovlb` is rejected
+//! with a pointer to `trace convert` rather than a parse-noise error.
+//!
+//! ```text
 //!
 //! ovlsim analyze <file.dim> [bw] [lat] [--out <dir>] [--csv] [--prv]
 //!                                          time attribution + critical
@@ -32,6 +45,13 @@
 //!                                          ephemeral port
 //! ovlsim --version                         print the version and exit
 //! ```
+//!
+//! `campaign run`, `analyze` and `serve` accept `--cache-dir <dir>`: a
+//! persistent, integrity-checked artifact cache of `.ovlb` files. Traces
+//! and compiled replay programs are written through on build and served
+//! back on any later invocation pointed at the same directory, so a warm
+//! restart rebuilds nothing; corrupt entries are quarantined and rebuilt
+//! transparently.
 //!
 //! `campaign run`, `trace replay` and `analyze` additionally accept
 //! deterministic perturbation flags (see `ovlsim_core::PerturbationModel`):
@@ -60,6 +80,7 @@ use std::sync::Arc;
 
 use ovlsim::apps::registry;
 use ovlsim::apps::ProblemClass;
+use ovlsim::core::codec;
 use ovlsim::core::{
     format_bytes, format_time, validate_trace_set, PerturbationModel, Platform, Rank, Time,
     TraceSet,
@@ -77,15 +98,16 @@ const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ovlsim campaign run <spec.campaign> [--out <dir>] [--csv]\n  \
+        "usage:\n  ovlsim campaign run <spec.campaign> [--out <dir>] [--csv] [--cache-dir <dir>]\n  \
          ovlsim campaign list <spec.campaign>\n  \
          ovlsim campaign diff <golden.json> <actual.json>\n  \
          ovlsim trace gen <app> <out-prefix> [class] [ranks] [iterations]\n  \
-         ovlsim trace stats <file.dim>\n  \
-         ovlsim trace validate <file.dim>\n  \
-         ovlsim trace replay <file.dim> [bytes-per-sec] [latency-us]\n  \
-         ovlsim analyze <file.dim> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv]\n  \
-         ovlsim serve [--port <n>]\n  \
+         ovlsim trace stats <file.dim|file.ovlb>\n  \
+         ovlsim trace validate <file.dim|file.ovlb>\n  \
+         ovlsim trace replay <file.dim|file.ovlb> [bytes-per-sec] [latency-us]\n  \
+         ovlsim trace convert <in.dim|in.ovlb> <out.dim|out.ovlb>\n  \
+         ovlsim analyze <file.dim|file.ovlb> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv] [--cache-dir <dir>]\n  \
+         ovlsim serve [--port <n>] [--cache-dir <dir>]\n  \
          ovlsim --version\n\
          perturbation flags (campaign run, trace replay, analyze):\n  \
          --seed <n>  --noise <level>  --stragglers <slow>:<r0>,<r1>,...  \
@@ -94,9 +116,14 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Builds the one session an invocation shares across its work.
-fn open_session() -> Result<Session, String> {
-    Session::new().map_err(|e| e.to_string())
+/// Builds the one session an invocation shares across its work,
+/// optionally backed by a persistent `--cache-dir`.
+fn open_session(cache_dir: Option<&Path>) -> Result<Session, String> {
+    let session = Session::new().map_err(|e| e.to_string())?;
+    match cache_dir {
+        Some(dir) => session.with_cache_dir(dir).map_err(|e| e.to_string()),
+        None => Ok(session),
+    }
 }
 
 /// Deterministic perturbation flags shared by `campaign run`,
@@ -186,6 +213,7 @@ fn cmd_campaign_run(
     out_dir: &Path,
     csv: bool,
     perturb: &PerturbFlags,
+    cache_dir: Option<&Path>,
 ) -> Result<(), String> {
     let mut spec = load_spec(spec_path)?;
     // Domain-check the flag values through the model builders before
@@ -203,7 +231,7 @@ fn cmd_campaign_run(
     if let Some((period, down)) = perturb.faults {
         spec.faults = Some((Time::from_us(period), Time::from_us(down)));
     }
-    let session = open_session()?;
+    let session = open_session(cache_dir)?;
     let report = session
         .run_campaign(&spec)
         .map_err(|e| format!("{spec_path}: {e}"))?;
@@ -222,6 +250,14 @@ fn cmd_campaign_run(
         fs::write(&csv_path, report.to_csv())
             .map_err(|e| format!("write {}: {e}", csv_path.display()))?;
         println!("              csv -> {}", csv_path.display());
+    }
+    // The persistent-cache summary is a stable stdout hook for scripts
+    // (the CI corruption smoke asserts on these counters).
+    if let Some(d) = session.disk_stats() {
+        println!(
+            "cache: {} loads, {} stores, {} quarantined",
+            d.loads, d.stores, d.quarantined
+        );
     }
     // Per app×class×mode summary: the peak speedup over the platform grid
     // (the number every figure in the paper reports per scenario).
@@ -321,8 +357,37 @@ fn cmd_campaign_diff(golden_path: &str, actual_path: &str) -> Result<(), String>
 
 // ------------------------------------------------------------------- trace
 
+/// Classifies a trace file by extension (and contents) into the session's
+/// source vocabulary: `.ovlb` files are binary artifacts, everything else
+/// is the text format. Binary *contents* under a non-`.ovlb` name are
+/// rejected with a pointer to `trace convert` instead of drowning the
+/// user in line-1 parse noise.
+fn load_source(path: &str) -> Result<TraceSource, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if Path::new(path).extension().and_then(|e| e.to_str()) == Some(codec::EXTENSION) {
+        return Ok(TraceSource::Binary { bytes });
+    }
+    if let Some(kind) = codec::sniff(&bytes) {
+        return Err(format!(
+            "{path}: contents are a binary .ovlb artifact ({kind}) but the extension is not \
+             `.{}`; rename it, or convert with `ovlsim trace convert`",
+            codec::EXTENSION
+        ));
+    }
+    let dim = String::from_utf8(bytes)
+        .map_err(|_| format!("{path}: not UTF-8 text and not an .ovlb artifact"))?;
+    Ok(TraceSource::Text { dim })
+}
+
 fn load_trace(path: &str) -> Result<TraceSet, String> {
-    parse_trace_set(&read(path)?).map_err(|e| format!("{path}: {e}"))
+    match load_source(path)? {
+        TraceSource::Text { dim } => parse_trace_set(&dim).map_err(|e| format!("{path}: {e}")),
+        TraceSource::Binary { bytes } => {
+            codec::decode_trace_set(&bytes).map_err(|e| format!("{path}: {e}"))
+        }
+        // `load_source` only produces file-backed sources.
+        _ => unreachable!(),
+    }
 }
 
 fn parse_class(s: &str) -> Result<ProblemClass, String> {
@@ -366,6 +431,34 @@ fn cmd_trace_gen(
         fs::write(&path, emit_trace_set(&trace)).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path} ({} records)", trace.total_records());
     }
+    Ok(())
+}
+
+/// `trace convert <in> <out>`: round-trips a trace between the text and
+/// binary formats, direction chosen by the output extension. Either
+/// direction is lossless (the codec round-trip is bit-identical and the
+/// text round-trip is value-identical), so `a.dim -> b.ovlb -> c.dim`
+/// reproduces `a.dim` byte for byte on canonically-emitted inputs.
+fn cmd_trace_convert(input: &str, output: &str) -> Result<(), String> {
+    let trace = load_trace(input)?;
+    let out_ext = Path::new(output).extension().and_then(|e| e.to_str());
+    let bytes = match out_ext {
+        Some(e) if e == codec::EXTENSION => codec::encode_trace_set(&trace),
+        Some("dim") => emit_trace_set(&trace).into_bytes(),
+        _ => {
+            return Err(format!(
+                "cannot infer output format of `{output}`: use a `.dim` or `.{}` extension",
+                codec::EXTENSION
+            ))
+        }
+    };
+    fs::write(output, &bytes).map_err(|e| format!("write {output}: {e}"))?;
+    println!(
+        "wrote {output} ({} ranks, {} records, {} bytes)",
+        trace.rank_count(),
+        trace.total_records(),
+        bytes.len()
+    );
     Ok(())
 }
 
@@ -469,6 +562,7 @@ fn cmd_trace_replay(
 
 // ----------------------------------------------------------------- analyze
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_analyze(
     path: &str,
     bw: Option<&str>,
@@ -477,15 +571,15 @@ fn cmd_analyze(
     csv: bool,
     prv: bool,
     perturb: &PerturbFlags,
+    cache_dir: Option<&Path>,
 ) -> Result<(), String> {
-    let session = open_session()?;
-    let trace = session
-        .trace(&TraceSource::Text { dim: read(path)? })
-        .map_err(|e| match e {
-            // Same message shape as `load_trace` for parse failures.
-            ovlsim::session::SessionError::TraceParse(pe) => format!("{path}: {pe}"),
-            other => format!("{path}: {other}"),
-        })?;
+    let session = open_session(cache_dir)?;
+    let trace = session.trace(&load_source(path)?).map_err(|e| match e {
+        // Same message shape as `load_trace` for parse/decode failures.
+        ovlsim::session::SessionError::TraceParse(pe) => format!("{path}: {pe}"),
+        ovlsim::session::SessionError::Decode(de) => format!("{path}: {de}"),
+        other => format!("{path}: {other}"),
+    })?;
     let platform = perturb.perturb(parse_platform(bw, lat)?)?;
     let index = ArtifactPipeline::index(&session, &trace).map_err(|e| match e {
         LabError::Sim(SimError::InvalidTrace { issues }) => {
@@ -568,8 +662,8 @@ fn cmd_analyze(
 
 // ------------------------------------------------------------------- serve
 
-fn cmd_serve(port: u16) -> Result<(), String> {
-    let session = Arc::new(open_session()?);
+fn cmd_serve(port: u16, cache_dir: Option<&Path>) -> Result<(), String> {
+    let session = Arc::new(open_session(cache_dir)?);
     let server = Server::bind(port, session, VERSION).map_err(|e| e.to_string())?;
     println!(
         "ovlsim {VERSION} serving on http://127.0.0.1:{} (POST /shutdown to stop)",
@@ -588,6 +682,7 @@ fn main() -> ExitCode {
     let mut prv = false;
     let mut flags_given = false;
     let mut port: Option<u16> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut perturb = PerturbFlags::default();
     let mut it = args.iter().map(String::as_str);
     while let Some(arg) = it.next() {
@@ -598,6 +693,10 @@ fn main() -> ExitCode {
             }
             "--port" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(p) => port = Some(p),
+                None => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
                 None => return usage(),
             },
             "--csv" => {
@@ -662,9 +761,15 @@ fn main() -> ExitCode {
     if port.is_some() && positional.first() != Some(&"serve") {
         return usage();
     }
+    // `--cache-dir` belongs to the session-backed subcommands.
+    let takes_cache = takes_flags || positional.first() == Some(&"serve");
+    if cache_dir.is_some() && !takes_cache {
+        return usage();
+    }
+    let cache = cache_dir.as_deref();
     let result = match positional[..] {
-        ["serve"] => cmd_serve(port.unwrap_or(0)),
-        ["campaign", "run", spec] => cmd_campaign_run(spec, &out_dir, csv, &perturb),
+        ["serve"] => cmd_serve(port.unwrap_or(0), cache),
+        ["campaign", "run", spec] => cmd_campaign_run(spec, &out_dir, csv, &perturb, cache),
         ["campaign", "list", spec] => cmd_campaign_list(spec),
         ["campaign", "diff", golden, actual] => cmd_campaign_diff(golden, actual),
         ["trace", "gen", app, prefix] => cmd_trace_gen(app, prefix, None, None, None),
@@ -680,11 +785,21 @@ fn main() -> ExitCode {
         ["trace", "replay", path] => cmd_trace_replay(path, None, None, &perturb),
         ["trace", "replay", path, bw] => cmd_trace_replay(path, Some(bw), None, &perturb),
         ["trace", "replay", path, bw, lat] => cmd_trace_replay(path, Some(bw), Some(lat), &perturb),
-        ["analyze", path] => cmd_analyze(path, None, None, &out_dir, csv, prv, &perturb),
-        ["analyze", path, bw] => cmd_analyze(path, Some(bw), None, &out_dir, csv, prv, &perturb),
-        ["analyze", path, bw, lat] => {
-            cmd_analyze(path, Some(bw), Some(lat), &out_dir, csv, prv, &perturb)
+        ["trace", "convert", input, output] => cmd_trace_convert(input, output),
+        ["analyze", path] => cmd_analyze(path, None, None, &out_dir, csv, prv, &perturb, cache),
+        ["analyze", path, bw] => {
+            cmd_analyze(path, Some(bw), None, &out_dir, csv, prv, &perturb, cache)
         }
+        ["analyze", path, bw, lat] => cmd_analyze(
+            path,
+            Some(bw),
+            Some(lat),
+            &out_dir,
+            csv,
+            prv,
+            &perturb,
+            cache,
+        ),
         _ => return usage(),
     };
     match result {

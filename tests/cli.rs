@@ -259,6 +259,168 @@ fn exit_codes_distinguish_usage_from_runtime_failures() {
     assert!(stderr.starts_with("error: "), "{stderr}");
 }
 
+/// `ovlsim trace convert` round-trips between `.dim` text and the `.ovlb`
+/// binary format byte-identically, and every other subcommand accepts the
+/// binary artifact by extension.
+#[test]
+fn trace_convert_roundtrips_between_dim_and_ovlb() {
+    let dir = scratch_dir("convert");
+    let prefix = dir.join("bt");
+    let out = ovlsim()
+        .args(["trace", "gen", "nas-bt", prefix.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+    let dim = dir.join("bt.original.dim");
+    let ovlb = dir.join("bt.ovlb");
+    let back = dir.join("bt.back.dim");
+
+    // dim -> ovlb -> dim must reproduce the original text exactly.
+    let out = ovlsim()
+        .args([
+            "trace",
+            "convert",
+            dim.to_str().unwrap(),
+            ovlb.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "convert to ovlb failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "{stdout}");
+    assert!(stdout.contains("ranks"), "{stdout}");
+    let out = ovlsim()
+        .args([
+            "trace",
+            "convert",
+            ovlb.to_str().unwrap(),
+            back.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "convert back failed: {out:?}");
+    assert_eq!(
+        std::fs::read(&dim).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "dim -> ovlb -> dim must be byte-identical"
+    );
+
+    // The binary artifact works everywhere a .dim does.
+    let out = ovlsim()
+        .args(["trace", "stats", ovlb.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stats on .ovlb failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("validation: ok"));
+
+    // A corrupted artifact is a typed error, not a panic.
+    let mut bytes = std::fs::read(&ovlb).unwrap();
+    bytes.extend_from_slice(b"garbage!");
+    std::fs::write(&ovlb, bytes).unwrap();
+    let out = ovlsim()
+        .args(["trace", "stats", ovlb.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error: "), "{stderr}");
+    assert!(stderr.contains("trailing"), "names the defect: {stderr}");
+}
+
+/// Binary bytes hiding under a text extension are diagnosed with a
+/// pointer at `trace convert`, not fed to the `.dim` parser.
+#[test]
+fn binary_content_under_a_dim_name_suggests_convert() {
+    let dir = scratch_dir("misnamed");
+    let prefix = dir.join("cg");
+    let out = ovlsim()
+        .args(["trace", "gen", "nas-cg", prefix.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let dim = dir.join("cg.original.dim");
+    let ovlb = dir.join("cg.ovlb");
+    let out = ovlsim()
+        .args([
+            "trace",
+            "convert",
+            dim.to_str().unwrap(),
+            ovlb.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let misnamed = dir.join("mislabelled.dim");
+    std::fs::copy(&ovlb, &misnamed).unwrap();
+    let out = ovlsim()
+        .args(["trace", "stats", misnamed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace convert"), "{stderr}");
+}
+
+/// `campaign run --cache-dir`: a cold run persists artifacts, a warm run
+/// loads them all back with zero stores and a byte-identical report.
+#[test]
+fn campaign_cache_dir_warm_run_is_all_loads_and_byte_identical() {
+    let dir = scratch_dir("cachedir");
+    let spec = dir.join("mini.campaign");
+    std::fs::write(&spec, MINI_CAMPAIGN).unwrap();
+    // The scratch directory survives between test runs: the cache must
+    // start empty or the "cold" run below is already warm.
+    let cache = dir.join("cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let run = |out_dir: &Path| {
+        let out = ovlsim()
+            .args([
+                "campaign",
+                "run",
+                spec.to_str().unwrap(),
+                "--out",
+                out_dir.to_str().unwrap(),
+                "--cache-dir",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "run failed: {out:?}");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    let cold_dir = dir.join("cold");
+    let warm_dir = dir.join("warm");
+    let cold = run(&cold_dir);
+    let warm = run(&warm_dir);
+
+    let cache_line = |stdout: &str| -> String {
+        stdout
+            .lines()
+            .find(|l| l.starts_with("cache: "))
+            .unwrap_or_else(|| panic!("no cache line in: {stdout}"))
+            .to_string()
+    };
+    assert!(
+        cache_line(&cold).contains("0 loads"),
+        "cold run loads nothing: {cold}"
+    );
+    assert!(
+        cache_line(&warm).ends_with("0 stores, 0 quarantined"),
+        "warm run stores nothing: {warm}"
+    );
+    assert!(
+        !cache_line(&warm).contains("cache: 0 loads"),
+        "warm run must load from the cache: {warm}"
+    );
+    assert_eq!(
+        std::fs::read(cold_dir.join("cli-mini.report.json")).unwrap(),
+        std::fs::read(warm_dir.join("cli-mini.report.json")).unwrap(),
+        "cached replay must not change the report"
+    );
+}
+
 /// `ovlsim serve` answers `/campaign` with exactly the bytes
 /// `ovlsim campaign run` writes to disk, and `/status` reports the same
 /// version string as `--version`.
