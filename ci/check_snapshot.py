@@ -2,9 +2,9 @@
 """Sanity- and regression-check a perf_snapshot JSON file.
 
 Usage:
-    python3 ci/check_snapshot.py BENCH_ci.json [BENCH_baseline.json]
+    python3 ci/check_snapshot.py BENCH_ci.json BENCH_baseline.json [BENCH_trajectory.md]
 
-Two layers of checking:
+Three layers of checking:
 
 1. Structural sanity (always): every ``*speedup*`` field and every
    ``scaling_*`` field except ``scaling_note`` must be a finite positive
@@ -12,15 +12,25 @@ Two layers of checking:
    change that silently drops the speedup fields should fail loudly, not
    pass vacuously.
 
-2. Baseline comparison (when a second file is given): each speedup field
-   present in *both* snapshots must not collapse below
-   ``TOLERANCE * baseline``. The tolerance is deliberately generous — CI
-   runners are noisy, shared, and differently-provisioned, so this gate
-   only catches *gross* regressions (an engine accidentally falling back
-   to a slow path), not few-percent drift. Absolute records/sec fields are
-   never compared: they track host speed, not code quality.
+2. Absolute floors: engine-vs-engine speedups that the design guarantees
+   must clear a floor even on the noisiest CI runner. Today that is the
+   fast-forward engine: locally it clears 5x over compiled; CI gates at
+   >= 3.5x so shared-runner noise cannot mask a collapse to 1x.
 
-Exit status: 0 ok, 1 check failed, 2 usage/IO error.
+3. Baseline comparison (required): each speedup field present in *both*
+   snapshots must not collapse below ``TOLERANCE * baseline``. The
+   tolerance is deliberately generous — CI runners are noisy, shared, and
+   differently-provisioned, so this gate only catches *gross* regressions
+   (an engine accidentally falling back to a slow path), not few-percent
+   drift. Absolute records/sec fields are never compared: they track host
+   speed, not code quality. A missing or unparsable baseline is a hard
+   failure: a gate that cannot load its reference is not a gate.
+
+When a third path is given, a compact markdown table of every speedup
+field (baseline vs. this run) is written there, so the uploaded CI
+artifact carries the perf trajectory alongside the raw JSON.
+
+Exit status: 0 ok, 1 check failed, 2 usage error.
 """
 
 import json
@@ -33,6 +43,12 @@ MIN_SPEEDUP_FIELDS = 4
 # host, so they are far more stable than raw throughput — but 3x headroom
 # still absorbs the worst CI-runner noise observed in practice.
 TOLERANCE = 1.0 / 3.0
+
+# Absolute floors, independent of the baseline: these ratios are design
+# guarantees, so even a stale baseline must not let them slide.
+FLOORS = {
+    "replay_fastforward.speedup_vs_compiled": 3.5,
+}
 
 
 def walk(prefix, node, out):
@@ -60,6 +76,18 @@ def check_sanity(snap):
             f"(want >= {MIN_SPEEDUP_FIELDS}); snapshot schema changed?"
         )
     return fields, failures
+
+
+def check_floors(fields):
+    failures = []
+    for path, floor in sorted(FLOORS.items()):
+        value = fields.get(path)
+        if value is None:
+            failures.append(f"{path} is missing but has a hard floor of {floor}")
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value < floor:
+                failures.append(f"{path} = {value} is below the hard CI floor {floor}")
+    return failures
 
 
 def check_against_baseline(fields, baseline):
@@ -96,26 +124,70 @@ def check_against_baseline(fields, baseline):
     return compared, failures
 
 
+def write_trajectory(path, fields, base_fields, snap_name, base_name):
+    """Writes a markdown table of every speedup field: baseline vs. now."""
+
+    def fmt(value):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return f"{value:.2f}"
+        return "—"
+
+    rows = []
+    for key in sorted(set(fields) | set(base_fields)):
+        if "speedup" not in key.rsplit(".", 1)[-1]:
+            continue
+        now = fields.get(key)
+        base = base_fields.get(key)
+        if isinstance(now, (int, float)) and isinstance(base, (int, float)) and base:
+            ratio = f"{now / base:.2f}x"
+        else:
+            ratio = "—"
+        rows.append(f"| `{key}` | {fmt(base)} | {fmt(now)} | {ratio} |")
+    lines = [
+        "# Perf trajectory",
+        "",
+        f"Speedup ratios: committed `{base_name}` vs. this run's `{snap_name}`.",
+        "Speedups are same-host measurement pairs, so they are comparable",
+        "across runners; absolute records/sec are not, and are omitted.",
+        "",
+        "| field | baseline | this run | vs baseline |",
+        "|---|---:|---:|---:|",
+        *rows,
+        "",
+    ]
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+    print(f"ok: wrote {len(rows)}-row trajectory table to {path}")
+
+
 def main(argv):
-    if len(argv) not in (2, 3):
+    if len(argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         return 2
     try:
         snap = json.load(open(argv[1]))
     except (OSError, json.JSONDecodeError) as e:
-        print(f"error: cannot load {argv[1]}: {e}", file=sys.stderr)
-        return 2
+        print(f"FAIL: cannot load snapshot {argv[1]}: {e}", file=sys.stderr)
+        return 1
 
     fields, failures = check_sanity(snap)
     if not failures:
         print(f"ok: {len(fields)} speedup/scaling fields finite and positive")
 
-    if len(argv) == 3:
-        try:
-            baseline = json.load(open(argv[2]))
-        except (OSError, json.JSONDecodeError) as e:
-            print(f"error: cannot load {argv[2]}: {e}", file=sys.stderr)
-            return 2
+    floor_failures = check_floors(fields)
+    failures.extend(floor_failures)
+    if not floor_failures:
+        print(f"ok: {len(FLOORS)} hard engine floor(s) cleared")
+
+    # The baseline is mandatory: silently skipping the regression gate when
+    # the file is missing or corrupt would let any collapse through.
+    try:
+        baseline = json.load(open(argv[2]))
+    except (OSError, json.JSONDecodeError) as e:
+        failures.append(f"cannot load required baseline {argv[2]}: {e}")
+        baseline = None
+
+    if baseline is not None:
         compared, base_failures = check_against_baseline(fields, baseline)
         failures.extend(base_failures)
         if not base_failures:
@@ -123,6 +195,10 @@ def main(argv):
                 f"ok: {compared} speedup fields within {1 / TOLERANCE:.0f}x "
                 f"of {argv[2]}"
             )
+        if len(argv) == 4:
+            base_fields = {}
+            walk("", baseline, base_fields)
+            write_trajectory(argv[3], fields, base_fields, argv[1], argv[2])
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

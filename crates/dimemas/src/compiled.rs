@@ -425,7 +425,7 @@ impl<'a> CompiledState<'a> {
             collective_count: self.collectives.instance_count() as u64,
             mean_busy_buses: self.network.mean_busy_buses(total_time),
             peak_busy_buses: self.network.peak_busy_buses(),
-            peak_waiting_transfers: self.network.peak_waiting,
+            peak_waiting_transfers: self.network.peak_waiting(),
         })
     }
 
@@ -535,6 +535,7 @@ impl<'a> CompiledState<'a> {
             let transfers = &self.transfers;
             let platform = self.platform;
             self.network.start_eligible_intra_into(
+                now,
                 |id| platform.node_of(transfers[id].from.get()) as usize,
                 &mut started,
             );
@@ -1038,7 +1039,7 @@ impl<'a> CompiledState<'a> {
         if self.transfers[tid].intra {
             if self.network.intra_limited() {
                 self.transfers[tid].queued_at = Some(now);
-                self.network.enqueue_intra(tid);
+                self.network.enqueue_intra(tid, now);
                 self.pump_intra(now);
             } else {
                 self.transfers[tid].started_at = Some(now);
@@ -1051,7 +1052,7 @@ impl<'a> CompiledState<'a> {
             }
         } else {
             self.transfers[tid].queued_at = Some(now);
-            self.network.enqueue(tid);
+            self.network.enqueue(tid, now);
             self.pump_network(now);
         }
     }
@@ -1213,7 +1214,7 @@ enum Slots {
 }
 
 /// Maps a collective opcode to its cost-model operation.
-fn collective_of(op: RecordKind) -> CollectiveOp {
+pub(crate) fn collective_of(op: RecordKind) -> CollectiveOp {
     match op {
         RecordKind::Barrier => CollectiveOp::Barrier,
         RecordKind::AllReduce => CollectiveOp::AllReduce,

@@ -1,0 +1,1754 @@
+//! Analytic fast-forward executor for compiled trace programs.
+//!
+//! `run_fastforward` is the fourth replay engine. It executes the same
+//! instruction streams as [`crate::Simulator::run_compiled`] with the same
+//! event semantics — every start decision, FIFO tie-break, and statistic is
+//! bit-identical — but it fast-forwards through *quiescent windows*: spans
+//! of simulated time where the event queue proves that only one causal
+//! chain is active, so its events never need to touch the real heap at
+//! all.
+//!
+//! # The quiescence proof obligation
+//!
+//! Replay correctness hinges on event *order*: transfers that become ready
+//! at the same instant contend for finite per-node links in global FIFO
+//! order, so an engine that reorders same-instant events can flip a tie
+//! and diverge. The fast-forward engine therefore never reorders anything.
+//! Scheduled events enter a small *virtual buffer* instead of the real
+//! event heap, and a buffered event at time `V` is executed directly from
+//! the buffer only when the real queue **proves** the window `[now, V]`
+//! is quiescent: `peek_time() > V` strictly (an equal-time heap event was
+//! scheduled earlier and must fire first). Whenever the proof fails the
+//! whole buffer falls back per-event: it is flushed into the real heap in
+//! original schedule order, re-creating exactly the state the compiled
+//! engine would have had. Retired windows are thus closed-form by
+//! construction — a chain of transfer sends/arrivals or a coalesced
+//! compute run plays out as straight-line arithmetic over the buffer,
+//! with no heap traffic — and ambiguous windows cost one flush and then
+//! proceed event-by-event, bit-identical to [`run_compiled`].
+//!
+//! On top of the window machinery, the executor specializes the transport
+//! for the platforms it supports (no finite bus pool, no finite intra-node
+//! ports — anything else falls back to `run_compiled` up front):
+//!
+//! * the waiting FIFO is sharded into per-node queues tagged with global
+//!   FIFO seqs, so a released link pair rescans only the waiters it could
+//!   possibly admit (merged back in global FIFO order) and rescans that
+//!   provably admit nothing are skipped outright — the outcome is
+//!   unchanged because after every scan each waiter is blocked on at
+//!   least one busy resource, and none of its resources were freed,
+//! * transfers carry only the fields replay needs (no observer
+//!   attribution state), and
+//! * the observer layer is gone entirely: fast-forward replay is
+//!   unobserved by definition (observation wants the per-event timeline
+//!   that fast-forwarding elides — use `run_compiled_observed`).
+//!
+//! [`run_compiled`]: crate::Simulator::run_compiled
+
+use std::collections::VecDeque;
+
+use ovlsim_core::{CompiledTrace, Platform, Rank, RecordKind, Time};
+use ovlsim_engine::stats::TimeWeighted;
+
+use crate::collective::CollectiveTracker;
+use crate::compiled::collective_of;
+use crate::error::SimError;
+use crate::network::{LinkPerturb, TransferId};
+use crate::replay::{ReplayResult, Simulator};
+use crate::reqs::{ReqGroup, ReqState};
+
+impl Simulator {
+    /// Replays a compiled trace program with analytic fast-forwarding
+    /// through quiescent windows. Bit-identical to
+    /// [`Simulator::run_compiled`] (and therefore to the prepared and
+    /// naive engines) on every platform and perturbation model; platforms
+    /// the fast path does not specialize for (finite bus pools, finite
+    /// intra-node ports) are delegated to `run_compiled` wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if replay stalls (diagnosed by the
+    /// compiled engine so the report is identical).
+    pub fn run_fastforward(&self, prog: &CompiledTrace) -> Result<ReplayResult, SimError> {
+        let platform = self.platform();
+        if platform.buses().is_some() || platform.intra_node_links().is_some() {
+            return self.run_compiled(prog);
+        }
+        match FfState::new(platform, prog).run() {
+            Ok(res) => Ok(res),
+            // Deadlock: re-run under the compiled engine, which reproduces
+            // the identical error (same stall point, same blocker text).
+            Err(FfAbort) => self.run_compiled(prog),
+        }
+    }
+}
+
+/// Abort marker: the run cannot finish cleanly here (deadlocked trace);
+/// the caller re-runs under `run_compiled` for the canonical diagnosis.
+struct FfAbort;
+
+/// A scheduled event packed into one word: kind tag in the low 2 bits,
+/// rank or transfer index above — halves event-store traffic versus the
+/// compiled engine's enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event(u64);
+
+const EV_RESUME: u64 = 0;
+const EV_SENT: u64 = 1;
+const EV_DONE: u64 = 2;
+const EV_RETRY: u64 = 3;
+
+impl Event {
+    #[inline]
+    fn resume(r: usize) -> Event {
+        Event((r as u64) << 2 | EV_RESUME)
+    }
+    #[inline]
+    fn sent(tid: TransferId) -> Event {
+        Event((tid as u64) << 2 | EV_SENT)
+    }
+    #[inline]
+    fn done(tid: TransferId) -> Event {
+        Event((tid as u64) << 2 | EV_DONE)
+    }
+    #[inline]
+    fn retry(tid: TransferId) -> Event {
+        Event((tid as u64) << 2 | EV_RETRY)
+    }
+    #[inline]
+    fn kind(self) -> u64 {
+        self.0 & 3
+    }
+    #[inline]
+    fn idx(self) -> usize {
+        (self.0 >> 2) as usize
+    }
+}
+
+/// Calendar-bucket event store with pop order bit-identical to the
+/// compiled engine's binary heap: time ascending, FIFO among equal
+/// times. Events at the same instant land in one bucket in push order,
+/// so no percolation and no per-event sequence numbers — scheduling is
+/// an O(1) append in the common case (the target instant is at or past
+/// the latest pending one) and popping is a cursor bump.
+struct BucketQueue {
+    /// Pending instants, ascending. A ring so that scheduling at the
+    /// current instant (front) and at the horizon (back) are both O(1);
+    /// the rare mid-insert shifts the shorter side.
+    order: VecDeque<(Time, u32)>,
+    buckets: Vec<Bucket>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+#[derive(Default)]
+struct Bucket {
+    events: Vec<Event>,
+    cursor: usize,
+}
+
+impl BucketQueue {
+    fn new() -> Self {
+        BucketQueue {
+            order: VecDeque::with_capacity(64),
+            buckets: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<Time> {
+        self.order.front().map(|&(t, _)| t)
+    }
+
+    #[inline]
+    fn fresh_bucket(&mut self, ev: Event) -> u32 {
+        let bi = match self.free.pop() {
+            Some(bi) => bi,
+            None => {
+                self.buckets.push(Bucket::default());
+                (self.buckets.len() - 1) as u32
+            }
+        };
+        self.buckets[bi as usize].events.push(ev);
+        bi
+    }
+
+    fn schedule(&mut self, at: Time, ev: Event) {
+        self.len += 1;
+        // Hot paths: the target instant is the latest pending one (chain
+        // extension), past the horizon (new latest), or the current
+        // front (resume-at-now).
+        match self.order.back() {
+            None => {
+                let bi = self.fresh_bucket(ev);
+                self.order.push_back((at, bi));
+                return;
+            }
+            Some(&(bt, bi)) if bt == at => {
+                self.buckets[bi as usize].events.push(ev);
+                return;
+            }
+            Some(&(bt, _)) if bt < at => {
+                let bi = self.fresh_bucket(ev);
+                self.order.push_back((at, bi));
+                return;
+            }
+            _ => {}
+        }
+        let &(ft, fi) = self.order.front().expect("nonempty");
+        if ft == at {
+            self.buckets[fi as usize].events.push(ev);
+            return;
+        }
+        if at < ft {
+            let bi = self.fresh_bucket(ev);
+            self.order.push_front((at, bi));
+            return;
+        }
+        // Mid insert: binary search the ring (both halves are sorted and
+        // contiguous in time across the wrap point).
+        let (a, b) = self.order.as_slices();
+        let i = match a.binary_search_by(|&(t, _)| t.cmp(&at)) {
+            Ok(i) => i,
+            Err(i) if i < a.len() => i,
+            Err(_) => match b.binary_search_by(|&(t, _)| t.cmp(&at)) {
+                Ok(j) => a.len() + j,
+                Err(j) => a.len() + j,
+            },
+        };
+        if let Some(&(t, bi)) = self.order.get(i) {
+            if t == at {
+                self.buckets[bi as usize].events.push(ev);
+                return;
+            }
+        }
+        let bi = self.fresh_bucket(ev);
+        self.order.insert(i, (at, bi));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Time, Event)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        let &(t, bi) = self.order.front().expect("len tracked");
+        let b = &mut self.buckets[bi as usize];
+        let ev = b.events[b.cursor];
+        b.cursor += 1;
+        if b.cursor == b.events.len() {
+            b.events.clear();
+            b.cursor = 0;
+            self.free.push(bi);
+            self.order.pop_front();
+        }
+        Some((t, ev))
+    }
+}
+
+/// Event queue with a virtual front-buffer over the calendar store.
+///
+/// `schedule` appends to a tiny ordered buffer instead of the real
+/// queue. `pop` executes straight from the buffer when the real queue
+/// proves the buffered event fires strictly first; otherwise the buffer
+/// is flushed in original schedule order (re-creating exactly the FIFO
+/// positions the compiled engine would have assigned) and the real queue
+/// decides. Pop order is therefore identical to scheduling everything on
+/// the real queue directly — the buffer only removes queue traffic from
+/// quiescent windows, it never reorders.
+struct VQueue {
+    real: BucketQueue,
+    /// Pending virtual events in schedule order (`Vec::remove` keeps it
+    /// sorted by schedule seq; the buffer is tiny so shifting is cheap).
+    vbuf: Vec<(Time, Event)>,
+    /// Forces the per-event fallback unconditionally: every schedule goes
+    /// straight to the real queue, as if the quiescence proof failed at
+    /// every pop. Pop order — and therefore the whole replay — must be
+    /// unchanged; the differential tests run both ways to prove it.
+    bypass: bool,
+}
+
+/// Buffered events beyond this force a flush: the linear scans stay cheap
+/// and a long-lived backlog belongs on the real queue anyway.
+const VBUF_CAP: usize = 12;
+
+impl VQueue {
+    fn new(bypass: bool) -> Self {
+        VQueue {
+            real: BucketQueue::new(),
+            vbuf: Vec::with_capacity(VBUF_CAP),
+            bypass,
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, at: Time, ev: Event) {
+        if self.bypass {
+            self.real.schedule(at, ev);
+            return;
+        }
+        if self.vbuf.len() == VBUF_CAP {
+            self.flush();
+        }
+        self.vbuf.push((at, ev));
+    }
+
+    /// Moves every buffered event onto the real queue, preserving
+    /// schedule order (bucket positions are assigned in push order, so
+    /// FIFO ties resolve exactly as if the buffer had never existed).
+    fn flush(&mut self) {
+        for (t, ev) in self.vbuf.drain(..) {
+            self.real.schedule(t, ev);
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, Event)> {
+        if self.vbuf.is_empty() {
+            return self.real.pop();
+        }
+        // Earliest buffered event; first occurrence wins at equal times
+        // (the buffer is in schedule order, matching queue FIFO).
+        let mut mi = 0;
+        for i in 1..self.vbuf.len() {
+            if self.vbuf[i].0 < self.vbuf[mi].0 {
+                mi = i;
+            }
+        }
+        let vt = self.vbuf[mi].0;
+        match self.real.peek_time() {
+            // Quiescence proof failed: a queued event fires at or before
+            // the buffered one, and at equal times the queued event is
+            // older. Fall back per-event through the real queue.
+            Some(p) if p <= vt => {
+                self.flush();
+                self.real.pop()
+            }
+            _ => Some(self.vbuf.remove(mi)),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SenderKind {
+    Fire,
+    Blocking,
+    Request(u32),
+}
+
+/// Replay-only transfer state (the compiled engine's `Transfer` minus the
+/// observer-attribution fields), with the endpoint nodes cached so the
+/// hot start/release paths never recompute them.
+#[derive(Debug)]
+struct Transfer {
+    from: Rank,
+    to: Rank,
+    nf: u32,
+    nt: u32,
+    bytes: u64,
+    rendezvous: bool,
+    intra: bool,
+    waiting: bool,
+    sender_kind: SenderKind,
+    /// Matched receive post, or `NONE_U32` while unmatched.
+    recv: u32,
+    enqueued: bool,
+    chan: u32,
+    jitter: Time,
+    arrived: Option<Time>,
+    /// Next unmatched send on the same channel (intrusive FIFO).
+    next: u32,
+}
+
+/// Sentinel for the intrusive channel lists and optional u32 indices.
+const NONE_U32: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct RecvPost {
+    rank: u32,
+    /// Request slot, or `NONE_U32` for a blocking receive.
+    slot: u32,
+    /// Matched transfer, or `NONE_U32` while unmatched.
+    transfer: u32,
+    done: Option<Time>,
+    /// Next unmatched receive on the same channel (intrusive FIFO).
+    next: u32,
+}
+
+/// Unmatched send/recv FIFOs as intrusive lists threaded through
+/// `Transfer::next` / `RecvPost::next` — channel matching allocates
+/// nothing even when every chunk gets its own channel.
+#[derive(Debug, Clone)]
+struct Channel {
+    send_head: u32,
+    send_tail: u32,
+    recv_head: u32,
+    recv_tail: u32,
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel {
+            send_head: NONE_U32,
+            send_tail: NONE_U32,
+            recv_head: NONE_U32,
+            recv_tail: NONE_U32,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Blocker {
+    Recv(usize),
+    SendDone(TransferId),
+    Reqs(ReqGroup),
+    Collective(usize),
+}
+
+#[derive(Debug)]
+struct Proc {
+    cursor: usize,
+    clock: Time,
+    blocked: Option<Blocker>,
+    coll_seq: usize,
+    slots: Vec<ReqState>,
+    compute: Time,
+    finished: Option<Time>,
+    overhead_paid: bool,
+    burst_pos: usize,
+    bursts_left: u32,
+    wait_pos: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Stream<'a> {
+    ops: &'a [RecordKind],
+    a: &'a [u32],
+    b: &'a [u32],
+    payload: &'a [u64],
+    burst_ps: &'a [u64],
+    wait_slots: &'a [u32],
+}
+
+#[derive(Debug, Default)]
+struct XmitMemo {
+    entries: Vec<(u64, Time)>,
+}
+
+const XMIT_MEMO_CAP: usize = 64;
+
+impl XmitMemo {
+    #[inline]
+    fn get(&mut self, bytes: u64, compute: impl Fn(u64) -> Time) -> Time {
+        if let Some(&(_, t)) = self.entries.iter().find(|(b, _)| *b == bytes) {
+            return t;
+        }
+        let t = compute(bytes);
+        if self.entries.len() < XMIT_MEMO_CAP {
+            self.entries.push((bytes, t));
+        }
+        t
+    }
+}
+
+/// A parked transfer in a per-node waiter queue. `seq` is the global
+/// enqueue order (the compiled engine's FIFO position), `other` the node
+/// on the opposite side of the pair so eligibility checks never touch
+/// the `Transfer` record.
+#[derive(Debug, Clone, Copy)]
+struct WaitEnt {
+    seq: u32,
+    tid: u32,
+    other: u32,
+}
+
+/// Transport state specialized for the supported platforms: no bus pool
+/// (`buses = None`) and an uncontended intra-node domain. Start/occupy/
+/// release/statistics semantics are copied from [`crate::network::Network`]
+/// exactly. The global waiting FIFO is sharded into per-node queues (a
+/// waiter is parked under both its sender and receiver node, tagged with
+/// its global FIFO seq) so a released link pair rescans only the waiters
+/// it could possibly admit — every other waiter's resources are untouched
+/// by the release, and after each scan every waiter is blocked on at
+/// least one busy resource, so the restricted scan provably reproduces
+/// the full scan's decisions in the same order.
+struct FfNet {
+    out_limit: u32,
+    in_limit: u32,
+    ranks_per_node: u32,
+    busy: u32,
+    out_used: Vec<u32>,
+    in_used: Vec<u32>,
+    /// Waiters parked per sender node / receiver node, global-FIFO order.
+    /// Entries are tombstoned in place when a start removes the twin.
+    out_q: Vec<VecDeque<WaitEnt>>,
+    in_q: Vec<VecDeque<WaitEnt>>,
+    enq_seq: u32,
+    waiting_len: usize,
+    bus_util: TimeWeighted,
+    waiting_peak: usize,
+    waiting_last_len: usize,
+    waiting_last_time: Time,
+}
+
+impl FfNet {
+    fn new(platform: &Platform, ranks: usize) -> Self {
+        let rpn = platform.ranks_per_node() as usize;
+        let nodes = ranks.div_ceil(rpn).max(1);
+        FfNet {
+            out_limit: platform.output_links(),
+            in_limit: platform.input_links(),
+            ranks_per_node: platform.ranks_per_node(),
+            busy: 0,
+            out_used: vec![0; nodes],
+            in_used: vec![0; nodes],
+            out_q: vec![VecDeque::new(); nodes],
+            in_q: vec![VecDeque::new(); nodes],
+            enq_seq: 0,
+            waiting_len: 0,
+            bus_util: TimeWeighted::new(),
+            waiting_peak: 0,
+            waiting_last_len: 0,
+            waiting_last_time: Time::ZERO,
+        }
+    }
+
+    #[inline]
+    fn node(&self, rank: Rank) -> usize {
+        (rank.get() / self.ranks_per_node) as usize
+    }
+
+    /// Same persisted-length semantics as `Network::note_waiting`. Calls
+    /// where the length did not change since the previous note are
+    /// omitted by the callers — a pure no-op for the peak statistic.
+    #[inline]
+    fn note_waiting(&mut self, now: Time) {
+        if now > self.waiting_last_time {
+            self.waiting_peak = self.waiting_peak.max(self.waiting_last_len);
+            self.waiting_last_time = now;
+        }
+        self.waiting_last_len = self.waiting_len;
+    }
+
+    fn peak_waiting(&self) -> usize {
+        self.waiting_peak.max(self.waiting_last_len)
+    }
+
+    #[inline]
+    fn occupy(&mut self, nf: usize, nt: usize, now: Time) {
+        self.busy += 1;
+        self.out_used[nf] += 1;
+        self.in_used[nt] += 1;
+        self.bus_util.record(now, self.busy as f64);
+    }
+
+    #[inline]
+    fn release(&mut self, nf: usize, nt: usize, now: Time) {
+        debug_assert!(self.busy > 0);
+        self.busy -= 1;
+        self.out_used[nf] -= 1;
+        self.in_used[nt] -= 1;
+        self.bus_util.record(now, self.busy as f64);
+    }
+}
+
+struct FfState<'a> {
+    platform: &'a Platform,
+    prog: &'a CompiledTrace,
+    streams: Vec<Stream<'a>>,
+    intra_chan: Vec<bool>,
+    inv_cpu_ratio: f64,
+    compute_perturbed: bool,
+    noise_on: bool,
+    burst_pre: Vec<f64>,
+    chan_stretch: Vec<f64>,
+    link: LinkPerturb,
+    send_seq: Vec<u64>,
+    eager_threshold: u64,
+    send_overhead: Time,
+    recv_overhead: Time,
+    flight_eager: Time,
+    flight_rendezvous: Time,
+    flight_intra: Time,
+    xmit_inter: XmitMemo,
+    xmit_intra: XmitMemo,
+    queue: VQueue,
+    procs: Vec<Proc>,
+    transfers: Vec<Transfer>,
+    recv_posts: Vec<RecvPost>,
+    channels: Vec<Channel>,
+    net: FfNet,
+    collectives: CollectiveTracker,
+    p2p_messages: u64,
+    p2p_bytes: u64,
+    /// Disables compute-run coalescing (one sub-burst per event), pairing
+    /// with the queue's `bypass` to force the full per-event fallback.
+    force_fallback: bool,
+    /// End of the last retired (coalesced) compute window — the window
+    /// proof implies these are monotone across the whole run, checked in
+    /// debug builds.
+    last_window_end: Time,
+}
+
+impl<'a> FfState<'a> {
+    fn new(platform: &'a Platform, prog: &'a CompiledTrace) -> Self {
+        Self::with_fallback(platform, prog, false)
+    }
+
+    /// `FfState` with the per-event fallback forced everywhere: no
+    /// virtual buffer, no compute-run coalescing. Exists for the
+    /// differential tests — a forced run must agree with the normal run
+    /// event for event (observable as an identical `ReplayResult`).
+    fn with_fallback(platform: &'a Platform, prog: &'a CompiledTrace, force: bool) -> Self {
+        let n = prog.rank_count();
+        let model = platform.perturbation();
+        let inv_cpu_ratio = 1.0 / platform.cpu_ratio();
+        let compute_perturbed = model.has_compute_effects();
+        let burst_pre = if compute_perturbed {
+            (0..n as u32)
+                .map(|r| model.burst_prefactor(inv_cpu_ratio, r, platform.node_of(r)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let chan_stretch = if model.link_degradation() > 0.0 {
+            prog.channels()
+                .iter()
+                .map(|c| model.link_factor(c.src.get(), c.dst.get()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (mut sends, mut recvs) = (0usize, 0usize);
+        for r in 0..n {
+            for op in prog.rank(r).ops() {
+                match op {
+                    RecordKind::Send | RecordKind::ISend => sends += 1,
+                    RecordKind::Recv | RecordKind::IRecv => recvs += 1,
+                    _ => {}
+                }
+            }
+        }
+        FfState {
+            platform,
+            prog,
+            streams: (0..n)
+                .map(|r| {
+                    let rp = prog.rank(r);
+                    Stream {
+                        ops: rp.ops(),
+                        a: rp.a(),
+                        b: rp.b(),
+                        payload: rp.payload(),
+                        burst_ps: rp.burst_ps(),
+                        wait_slots: rp.wait_slots(),
+                    }
+                })
+                .collect(),
+            intra_chan: prog
+                .channels()
+                .iter()
+                .map(|c| platform.node_of(c.src.get()) == platform.node_of(c.dst.get()))
+                .collect(),
+            inv_cpu_ratio,
+            compute_perturbed,
+            noise_on: model.noise_level() > 0.0,
+            burst_pre,
+            chan_stretch,
+            link: LinkPerturb::new(platform),
+            send_seq: if platform.perturbation().has_link_effects() {
+                vec![0; prog.channels().len()]
+            } else {
+                Vec::new()
+            },
+            eager_threshold: platform.eager_threshold(),
+            send_overhead: platform.send_overhead(),
+            recv_overhead: platform.recv_overhead(),
+            flight_eager: platform.latency(),
+            flight_rendezvous: platform.latency() + platform.rendezvous_latency(),
+            flight_intra: platform.intra_node_latency(),
+            xmit_inter: XmitMemo::default(),
+            xmit_intra: XmitMemo::default(),
+            queue: VQueue::new(force),
+            procs: (0..n)
+                .map(|r| Proc {
+                    cursor: 0,
+                    clock: Time::ZERO,
+                    blocked: None,
+                    coll_seq: 0,
+                    slots: vec![ReqState::InFlight; prog.rank(r).slot_count() as usize],
+                    compute: Time::ZERO,
+                    finished: None,
+                    overhead_paid: false,
+                    burst_pos: 0,
+                    bursts_left: 0,
+                    wait_pos: 0,
+                })
+                .collect(),
+            transfers: Vec::with_capacity(sends),
+            recv_posts: Vec::with_capacity(recvs),
+            channels: (0..prog.channels().len())
+                .map(|_| Channel::default())
+                .collect(),
+            net: FfNet::new(platform, n),
+            collectives: CollectiveTracker::new(n),
+            p2p_messages: 0,
+            p2p_bytes: 0,
+            force_fallback: force,
+            last_window_end: Time::ZERO,
+        }
+    }
+
+    fn run(&mut self) -> Result<ReplayResult, FfAbort> {
+        for r in 0..self.procs.len() {
+            self.queue.schedule(Time::ZERO, Event::resume(r));
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            let idx = ev.idx();
+            match ev.kind() {
+                EV_RESUME => {
+                    if self.procs[idx].bursts_left > 0 {
+                        self.burst_step(idx);
+                    } else {
+                        self.step(idx);
+                    }
+                }
+                EV_SENT => self.transfer_sent(idx, t),
+                EV_DONE => self.transfer_done(idx, t),
+                _ => self.launch_transfer(idx, t),
+            }
+        }
+        if self.procs.iter().any(|p| p.finished.is_none()) {
+            return Err(FfAbort);
+        }
+        let rank_finish: Vec<Time> = self
+            .procs
+            .iter()
+            .map(|p| p.finished.expect("all finished"))
+            .collect();
+        let total_time = rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
+        Ok(ReplayResult {
+            name: self.prog.name().to_string(),
+            total_time,
+            rank_compute: self.procs.iter().map(|p| p.compute).collect(),
+            rank_finish,
+            p2p_messages: self.p2p_messages,
+            p2p_bytes: self.p2p_bytes,
+            collective_count: self.collectives.instance_count() as u64,
+            mean_busy_buses: self.net.bus_util.mean(total_time),
+            peak_busy_buses: self.net.bus_util.peak(),
+            peak_waiting_transfers: self.net.peak_waiting(),
+        })
+    }
+
+    #[inline]
+    fn transmission_time(&mut self, intra: bool, bytes: u64, chan: u32) -> Time {
+        if intra {
+            let bw = self.platform.intra_node_bandwidth();
+            self.xmit_intra.get(bytes, |b| bw.transfer_time(b))
+        } else {
+            let bw = self.platform.bandwidth();
+            let base = self.xmit_inter.get(bytes, |b| bw.transfer_time(b));
+            if self.chan_stretch.is_empty() {
+                base
+            } else {
+                base.scale_f64(self.chan_stretch[chan as usize])
+            }
+        }
+    }
+
+    #[inline]
+    fn sub_burst(&self, r: usize, idx: usize, ps: u64) -> Time {
+        let base = Time::from_ps(ps);
+        if !self.compute_perturbed {
+            // scale_f64(1.0) is the identity below 2^53 ps (the f64
+            // round-trip is exact there), so the multiply is skippable
+            // bit-for-bit.
+            if self.inv_cpu_ratio == 1.0 && ps < (1u64 << 53) {
+                return base;
+            }
+            return base.scale_f64(self.inv_cpu_ratio);
+        }
+        let pre = self.burst_pre[r];
+        if self.noise_on {
+            let noise = self
+                .platform
+                .perturbation()
+                .noise_factor(r as u32, idx as u64);
+            base.scale_f64(pre * noise)
+        } else {
+            base.scale_f64(pre)
+        }
+    }
+
+    #[inline]
+    fn flight_time(&self, intra: bool, rendezvous: bool) -> Time {
+        if intra {
+            self.flight_intra
+        } else if rendezvous {
+            self.flight_rendezvous
+        } else {
+            self.flight_eager
+        }
+    }
+
+    /// Rescans the waiters a just-released `(nf, nt)` pair could admit —
+    /// identical order and start decisions to the compiled engine's full
+    /// FIFO scan (`Network::start_eligible_into`). Only waiters parked
+    /// under `nf`'s sender side or `nt`'s receiver side are candidates:
+    /// every other waiter was blocked on at least one busy resource after
+    /// the previous scan and none of its resources were freed, so the
+    /// full scan would skip it. Candidates are visited in global FIFO
+    /// (seq) order by merging the two node queues; blocked heads are
+    /// passed over exactly like the full scan, and the merge stops early
+    /// once the freed pair is saturated again (every remaining candidate
+    /// needs one of the two saturated links).
+    fn pump_pair(&mut self, nf: usize, nt: usize, now: Time) {
+        let mut oi = 0usize;
+        let mut ii = 0usize;
+        let mut started = false;
+        loop {
+            let out_open = self.net.out_used[nf] < self.net.out_limit;
+            let in_open = self.net.in_used[nt] < self.net.in_limit;
+            // Skip dead entries (tombstoned twins of started waiters) at
+            // the current scan positions.
+            let oc = if out_open {
+                loop {
+                    match self.net.out_q[nf].get(oi) {
+                        Some(e) if !self.transfers[e.tid as usize].waiting => {
+                            if oi == 0 {
+                                self.net.out_q[nf].pop_front();
+                            } else {
+                                oi += 1;
+                            }
+                        }
+                        other => break other.copied(),
+                    }
+                }
+            } else {
+                None
+            };
+            let ic = if in_open {
+                loop {
+                    match self.net.in_q[nt].get(ii) {
+                        Some(e) if !self.transfers[e.tid as usize].waiting => {
+                            if ii == 0 {
+                                self.net.in_q[nt].pop_front();
+                            } else {
+                                ii += 1;
+                            }
+                        }
+                        other => break other.copied(),
+                    }
+                }
+            } else {
+                None
+            };
+            // Next candidate in global FIFO order; a full-pair waiter
+            // (both endpoints on the released pair) appears in both
+            // queues with the same seq and is visited once.
+            let (ent, from_out, both) = match (oc, ic) {
+                (None, None) => break,
+                (Some(o), None) => (o, true, false),
+                (None, Some(i)) => (i, false, false),
+                (Some(o), Some(i)) => {
+                    if o.seq < i.seq {
+                        (o, true, false)
+                    } else if i.seq < o.seq {
+                        (i, false, false)
+                    } else {
+                        (o, true, true)
+                    }
+                }
+            };
+            let (cnf, cnt) = if from_out {
+                (nf, ent.other as usize)
+            } else {
+                (ent.other as usize, nt)
+            };
+            if self.net.out_used[cnf] < self.net.out_limit
+                && self.net.in_used[cnt] < self.net.in_limit
+            {
+                let tid = ent.tid as usize;
+                self.transfers[tid].waiting = false;
+                self.net.waiting_len -= 1;
+                started = true;
+                self.net.occupy(cnf, cnt, now);
+                let (bytes, chan) = (self.transfers[tid].bytes, self.transfers[tid].chan);
+                let dur = self.transmission_time(false, bytes, chan);
+                self.queue.schedule(now + dur, Event::sent(tid));
+            }
+            // Advance past the candidate whether it started (its entries
+            // are now tombstones) or stays blocked (pass-blocked-head).
+            if from_out {
+                if oi == 0 && !self.transfers[ent.tid as usize].waiting {
+                    self.net.out_q[nf].pop_front();
+                } else {
+                    oi += 1;
+                }
+                if both {
+                    if ii == 0 && !self.transfers[ent.tid as usize].waiting {
+                        self.net.in_q[nt].pop_front();
+                    } else {
+                        ii += 1;
+                    }
+                }
+            } else if ii == 0 && !self.transfers[ent.tid as usize].waiting {
+                self.net.in_q[nt].pop_front();
+            } else {
+                ii += 1;
+            }
+        }
+        if started {
+            self.net.note_waiting(now);
+        }
+    }
+
+    fn burst_step(&mut self, r: usize) {
+        let now = self.procs[r].clock;
+        let left = self.procs[r].bursts_left as usize;
+        let pos = self.procs[r].burst_pos;
+        debug_assert!(left > 0);
+        let arena = &self.streams[r].burst_ps[pos..pos + left];
+        // The jump window is proven against both event stores: nothing may
+        // fire before the absorbed run's end. Virtual events are part of
+        // "the machine" exactly like heap events here — the tie-break
+        // analysis is the compiled engine's, unchanged.
+        let peek = match (
+            self.queue.real.peek_time(),
+            self.queue.vbuf.iter().map(|&(t, _)| t).min(),
+        ) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        };
+        let mut total = self.sub_burst(r, pos, arena[0]);
+        let mut end = now + total;
+        let mut consumed = 1;
+        while consumed < left && !self.force_fallback {
+            let dur = self.sub_burst(r, pos + consumed, arena[consumed]);
+            let next_end = end + dur;
+            let quiet = match peek {
+                None => true,
+                Some(t) => t >= next_end && t > now,
+            };
+            if !quiet {
+                break;
+            }
+            total += dur;
+            end = next_end;
+            consumed += 1;
+        }
+        if consumed > 1 {
+            // The window proof (`peek >= end` for every absorbed step)
+            // makes retired-window end times monotone across the run:
+            // every pending and future event sits at or past this end.
+            debug_assert!(
+                end >= self.last_window_end,
+                "retired window ends out of order: {end:?} after {:?}",
+                self.last_window_end
+            );
+            self.last_window_end = end;
+        }
+        let p = &mut self.procs[r];
+        p.compute += total;
+        p.clock = end;
+        p.burst_pos += consumed;
+        p.bursts_left -= consumed as u32;
+        self.queue.schedule(end, Event::resume(r));
+    }
+
+    fn step(&mut self, r: usize) {
+        debug_assert!(self.procs[r].blocked.is_none(), "stepping a blocked rank");
+        let stream = self.streams[r];
+        loop {
+            let cursor = self.procs[r].cursor;
+            if cursor >= stream.ops.len() {
+                let at = self.procs[r].clock;
+                self.procs[r].finished = Some(at);
+                return;
+            }
+            let now = self.procs[r].clock;
+            match stream.ops[cursor] {
+                RecordKind::Burst => {
+                    let p = &mut self.procs[r];
+                    p.bursts_left = stream.a[cursor];
+                    p.cursor += 1;
+                    self.burst_step(r);
+                    return;
+                }
+                RecordKind::Marker => {
+                    self.procs[r].cursor += 1;
+                }
+                RecordKind::Send => {
+                    if self.charge_send_overhead(r, now) {
+                        return;
+                    }
+                    let bytes = stream.payload[cursor];
+                    let rendezvous = bytes > self.eager_threshold;
+                    let kind = if rendezvous {
+                        SenderKind::Blocking
+                    } else {
+                        SenderKind::Fire
+                    };
+                    let chan = stream.a[cursor];
+                    let tid = self.create_transfer(r, chan, bytes, kind);
+                    self.post_send(tid, chan, now);
+                    self.procs[r].cursor += 1;
+                    if rendezvous {
+                        self.procs[r].blocked = Some(Blocker::SendDone(tid));
+                        return;
+                    }
+                }
+                RecordKind::ISend => {
+                    if self.charge_send_overhead(r, now) {
+                        return;
+                    }
+                    let bytes = stream.payload[cursor];
+                    let rendezvous = bytes > self.eager_threshold;
+                    let slot = stream.b[cursor];
+                    let kind = if rendezvous {
+                        SenderKind::Request(slot)
+                    } else {
+                        SenderKind::Fire
+                    };
+                    let chan = stream.a[cursor];
+                    let tid = self.create_transfer(r, chan, bytes, kind);
+                    self.procs[r].slots[slot as usize] = if rendezvous {
+                        ReqState::InFlight
+                    } else {
+                        ReqState::Done { at: now, tid }
+                    };
+                    self.post_send(tid, chan, now);
+                    self.procs[r].cursor += 1;
+                }
+                RecordKind::Recv => {
+                    let pid = self.post_recv(r, NONE_U32, stream.a[cursor], now);
+                    self.procs[r].cursor += 1;
+                    match self.recv_posts[pid].done {
+                        Some(done) => {
+                            debug_assert!(done >= now);
+                            if done > now {
+                                self.procs[r].clock = done;
+                                self.queue.schedule(done, Event::resume(r));
+                                return;
+                            }
+                        }
+                        None => {
+                            self.procs[r].blocked = Some(Blocker::Recv(pid));
+                            return;
+                        }
+                    }
+                }
+                RecordKind::IRecv => {
+                    let slot = stream.b[cursor];
+                    let pid = self.post_recv(r, slot, stream.a[cursor], now);
+                    self.procs[r].slots[slot as usize] = match self.recv_posts[pid].done {
+                        Some(done) => {
+                            debug_assert_ne!(self.recv_posts[pid].transfer, NONE_U32);
+                            ReqState::Done {
+                                at: done,
+                                tid: self.recv_posts[pid].transfer as usize,
+                            }
+                        }
+                        None => ReqState::InFlight,
+                    };
+                    self.procs[r].cursor += 1;
+                }
+                RecordKind::Wait => {
+                    let slot = stream.a[cursor];
+                    if self.enter_wait(r, Slots::One(slot), now) {
+                        return;
+                    }
+                }
+                RecordKind::WaitAll => {
+                    let len = stream.a[cursor] as usize;
+                    let start = self.procs[r].wait_pos;
+                    self.procs[r].wait_pos += len;
+                    if self.enter_wait(r, Slots::Arena(start, len), now) {
+                        return;
+                    }
+                }
+                op => {
+                    let coll = collective_of(op);
+                    let bytes = stream.payload[cursor];
+                    let seq = self.procs[r].coll_seq;
+                    self.procs[r].coll_seq += 1;
+                    self.procs[r].cursor += 1;
+                    match self
+                        .collectives
+                        .arrive(seq, coll, bytes, now, self.platform)
+                    {
+                        Some(done) => {
+                            for (q, proc) in self.procs.iter_mut().enumerate() {
+                                if proc.blocked == Some(Blocker::Collective(seq)) {
+                                    proc.blocked = None;
+                                    proc.clock = done;
+                                    self.queue.schedule(done, Event::resume(q));
+                                }
+                            }
+                            self.procs[r].clock = done;
+                            self.queue.schedule(done, Event::resume(r));
+                            return;
+                        }
+                        None => {
+                            self.procs[r].blocked = Some(Blocker::Collective(seq));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns true if the rank blocked or yielded (caller must return).
+    fn enter_wait(&mut self, r: usize, slots: Slots, now: Time) -> bool {
+        let mut remaining = ReqGroup::new();
+        let mut latest = now;
+        let one;
+        let wait_slots: &[u32] = match slots {
+            Slots::One(s) => {
+                one = [s];
+                &one
+            }
+            Slots::Arena(start, len) => &self.streams[r].wait_slots[start..start + len],
+        };
+        let p = &mut self.procs[r];
+        for &slot in wait_slots {
+            match p.slots[slot as usize] {
+                ReqState::Done { at, .. } => {
+                    if at > latest {
+                        latest = at;
+                    }
+                }
+                ReqState::InFlight => remaining.push(slot),
+            }
+        }
+        p.cursor += 1;
+        if remaining.is_empty() {
+            if latest > now {
+                p.clock = latest;
+                self.queue.schedule(latest, Event::resume(r));
+                return true;
+            }
+            false
+        } else {
+            p.blocked = Some(Blocker::Reqs(remaining));
+            true
+        }
+    }
+
+    fn charge_send_overhead(&mut self, r: usize, now: Time) -> bool {
+        let overhead = self.send_overhead;
+        if overhead.is_zero() {
+            return false;
+        }
+        let p = &mut self.procs[r];
+        if p.overhead_paid {
+            p.overhead_paid = false;
+            return false;
+        }
+        p.overhead_paid = true;
+        p.clock = now + overhead;
+        let at = p.clock;
+        self.queue.schedule(at, Event::resume(r));
+        true
+    }
+
+    fn create_transfer(
+        &mut self,
+        from: usize,
+        chan: u32,
+        bytes: u64,
+        sender_kind: SenderKind,
+    ) -> TransferId {
+        let tid = self.transfers.len();
+        let (to, tag) = {
+            let e = &self.prog.channels()[chan as usize];
+            (e.dst, e.tag)
+        };
+        let intra = self.intra_chan[chan as usize];
+        let rendezvous = sender_kind != SenderKind::Fire;
+        let jitter = if intra || self.send_seq.is_empty() {
+            Time::ZERO
+        } else {
+            let seq = self.send_seq[chan as usize];
+            self.send_seq[chan as usize] += 1;
+            self.link.jitter(Rank::new(from as u32), to, tag, seq)
+        };
+        let fr = Rank::new(from as u32);
+        self.transfers.push(Transfer {
+            from: fr,
+            to,
+            nf: self.net.node(fr) as u32,
+            nt: self.net.node(to) as u32,
+            bytes,
+            rendezvous,
+            intra,
+            waiting: false,
+            sender_kind,
+            recv: NONE_U32,
+            enqueued: false,
+            chan,
+            jitter,
+            arrived: None,
+            next: NONE_U32,
+        });
+        self.p2p_messages += 1;
+        self.p2p_bytes += bytes;
+        tid
+    }
+
+    fn post_send(&mut self, tid: TransferId, channel: u32, now: Time) {
+        let head = self.channels[channel as usize].recv_head;
+        let matched = if head != NONE_U32 {
+            let pid = head as usize;
+            let next = self.recv_posts[pid].next;
+            let ch = &mut self.channels[channel as usize];
+            ch.recv_head = next;
+            if next == NONE_U32 {
+                ch.recv_tail = NONE_U32;
+            }
+            self.transfers[tid].recv = head;
+            self.recv_posts[pid].transfer = tid as u32;
+            true
+        } else {
+            let tail = self.channels[channel as usize].send_tail;
+            if tail == NONE_U32 {
+                self.channels[channel as usize].send_head = tid as u32;
+            } else {
+                self.transfers[tail as usize].next = tid as u32;
+            }
+            self.channels[channel as usize].send_tail = tid as u32;
+            false
+        };
+        let ready = !self.transfers[tid].rendezvous || matched;
+        if ready {
+            self.start_transfer(tid, now);
+        }
+    }
+
+    fn start_transfer(&mut self, tid: TransferId, now: Time) {
+        debug_assert!(!self.transfers[tid].enqueued);
+        self.transfers[tid].enqueued = true;
+        if !self.transfers[tid].intra {
+            let (from, to) = (self.transfers[tid].from, self.transfers[tid].to);
+            if let Some(up) = self.link.outage_end(from, to, now) {
+                self.queue.schedule(up, Event::retry(tid));
+                return;
+            }
+        }
+        self.launch_transfer(tid, now);
+    }
+
+    fn launch_transfer(&mut self, tid: TransferId, now: Time) {
+        if self.transfers[tid].intra {
+            // Supported platforms have an uncontended intra-node domain:
+            // the transfer starts immediately, bypassing the network.
+            let (bytes, chan) = {
+                let t = &self.transfers[tid];
+                (t.bytes, t.chan)
+            };
+            let dur = self.transmission_time(true, bytes, chan);
+            self.queue.schedule(now + dur, Event::sent(tid));
+        } else {
+            let (nf, nt) = (
+                self.transfers[tid].nf as usize,
+                self.transfers[tid].nt as usize,
+            );
+            if self.net.out_used[nf] < self.net.out_limit
+                && self.net.in_used[nt] < self.net.in_limit
+            {
+                // Free pair: the full scan would admit exactly this
+                // transfer (every parked waiter stays blocked — nothing
+                // was freed) and the transient push/pop cancels out of
+                // the persisted queue-length statistic.
+                self.net.occupy(nf, nt, now);
+                let (bytes, chan) = (self.transfers[tid].bytes, self.transfers[tid].chan);
+                let dur = self.transmission_time(false, bytes, chan);
+                self.queue.schedule(now + dur, Event::sent(tid));
+                self.net.note_waiting(now);
+            } else {
+                // Busy pair: the rescan would admit nothing (the new
+                // transfer is the only change since the last scan left
+                // every waiter blocked) — park it under both nodes.
+                let seq = self.net.enq_seq;
+                self.net.enq_seq += 1;
+                let tid32 = tid as u32;
+                self.transfers[tid].waiting = true;
+                self.net.out_q[nf].push_back(WaitEnt {
+                    seq,
+                    tid: tid32,
+                    other: nt as u32,
+                });
+                self.net.in_q[nt].push_back(WaitEnt {
+                    seq,
+                    tid: tid32,
+                    other: nf as u32,
+                });
+                self.net.waiting_len += 1;
+                self.net.note_waiting(now);
+            }
+        }
+    }
+
+    fn complete_request(&mut self, r: usize, slot: u32, at: Time, tid: TransferId) {
+        let proc = &mut self.procs[r];
+        let unblock = match &mut proc.blocked {
+            Some(Blocker::Reqs(set)) if set.contains(slot) => {
+                set.remove(slot);
+                set.is_empty()
+            }
+            _ => {
+                proc.slots[slot as usize] = ReqState::Done { at, tid };
+                false
+            }
+        };
+        if unblock {
+            let p = &mut self.procs[r];
+            p.blocked = None;
+            p.clock = at;
+            self.queue.schedule(at, Event::resume(r));
+        }
+    }
+
+    fn post_recv(&mut self, r: usize, slot: u32, channel: u32, now: Time) -> usize {
+        let pid = self.recv_posts.len();
+        self.recv_posts.push(RecvPost {
+            rank: r as u32,
+            slot,
+            transfer: NONE_U32,
+            done: None,
+            next: NONE_U32,
+        });
+        let head = self.channels[channel as usize].send_head;
+        if head != NONE_U32 {
+            let tid = head as usize;
+            let next = self.transfers[tid].next;
+            let ch = &mut self.channels[channel as usize];
+            ch.send_head = next;
+            if next == NONE_U32 {
+                ch.send_tail = NONE_U32;
+            }
+            self.transfers[tid].recv = pid as u32;
+            self.recv_posts[pid].transfer = head;
+            if self.transfers[tid].arrived.is_some() {
+                self.recv_posts[pid].done = Some(now + self.recv_overhead);
+            } else if !self.transfers[tid].enqueued {
+                self.start_transfer(tid, now);
+            }
+        } else {
+            let tail = self.channels[channel as usize].recv_tail;
+            if tail == NONE_U32 {
+                self.channels[channel as usize].recv_head = pid as u32;
+            } else {
+                self.recv_posts[tail as usize].next = pid as u32;
+            }
+            self.channels[channel as usize].recv_tail = pid as u32;
+        }
+        pid
+    }
+
+    fn transfer_sent(&mut self, tid: TransferId, at: Time) {
+        let (from, nf, nt, sender_kind, intra, rendezvous, jitter) = {
+            let t = &self.transfers[tid];
+            (
+                t.from,
+                t.nf as usize,
+                t.nt as usize,
+                t.sender_kind,
+                t.intra,
+                t.rendezvous,
+                t.jitter,
+            )
+        };
+        if !intra {
+            self.net.release(nf, nt, at);
+        }
+
+        match sender_kind {
+            SenderKind::Fire => {}
+            SenderKind::Blocking => {
+                let s = from.index();
+                debug_assert_eq!(self.procs[s].blocked, Some(Blocker::SendDone(tid)));
+                let p = &mut self.procs[s];
+                p.blocked = None;
+                p.clock = at;
+                self.queue.schedule(at, Event::resume(s));
+            }
+            SenderKind::Request(slot) => {
+                self.complete_request(from.index(), slot, at, tid);
+            }
+        }
+
+        let flight = self.flight_time(intra, rendezvous) + jitter;
+        self.queue.schedule(at + flight, Event::done(tid));
+        if !intra && (!self.net.out_q[nf].is_empty() || !self.net.in_q[nt].is_empty()) {
+            // The freed pair admits a waiter only if one is parked on it.
+            self.pump_pair(nf, nt, at);
+        }
+    }
+
+    fn transfer_done(&mut self, tid: TransferId, at: Time) {
+        self.transfers[tid].arrived = Some(at);
+        let recv = self.transfers[tid].recv;
+        if recv != NONE_U32 {
+            let pid = recv as usize;
+            let done = at + self.recv_overhead;
+            self.recv_posts[pid].done = Some(done);
+            let r = self.recv_posts[pid].rank as usize;
+            let slot = self.recv_posts[pid].slot;
+            if slot == NONE_U32 {
+                debug_assert_eq!(self.procs[r].blocked, Some(Blocker::Recv(pid)));
+                let p = &mut self.procs[r];
+                p.blocked = None;
+                p.clock = done;
+                self.queue.schedule(done, Event::resume(r));
+            } else {
+                self.complete_request(r, slot, done, tid);
+            }
+        }
+    }
+}
+
+enum Slots {
+    One(u32),
+    Arena(usize, usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovlsim_core::{Instr, MipsRate, RankTrace, Record, RequestId, Tag, TraceIndex, TraceSet};
+
+    fn mips() -> MipsRate {
+        MipsRate::new(1000).unwrap()
+    }
+
+    fn platform_1us_1gb() -> Platform {
+        Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .build()
+    }
+
+    fn trace(ranks: Vec<Vec<Record>>) -> TraceSet {
+        TraceSet::new(
+            "test",
+            mips(),
+            ranks.into_iter().map(RankTrace::from_records).collect(),
+        )
+    }
+
+    fn compile(ts: &TraceSet) -> CompiledTrace {
+        let index = TraceIndex::build(ts).expect("valid");
+        CompiledTrace::compile(ts, &index).expect("compiles")
+    }
+
+    fn assert_ff_matches(platform: Platform, ts: &TraceSet) {
+        let sim = Simulator::new(platform);
+        let prog = compile(ts);
+        let compiled = sim.run_compiled(&prog).unwrap();
+        let ff = sim.run_fastforward(&prog).unwrap();
+        assert_eq!(compiled, ff);
+    }
+
+    #[test]
+    fn fastforward_matches_compiled_on_mixed_trace() {
+        let reqs: Vec<RequestId> = (0..4).map(RequestId::new).collect();
+        let mut r0: Vec<Record> = vec![Record::Burst {
+            instr: Instr::new(700),
+        }];
+        for &req in &reqs {
+            r0.push(Record::ISend {
+                to: Rank::new(1),
+                bytes: 100_000,
+                tag: Tag::new(req.get() as u64),
+                req,
+            });
+        }
+        r0.push(Record::WaitAll { reqs: reqs.clone() });
+        r0.push(Record::Barrier);
+        let mut r1: Vec<Record> = reqs
+            .iter()
+            .map(|&req| Record::Recv {
+                from: Rank::new(0),
+                bytes: 100_000,
+                tag: Tag::new(req.get() as u64),
+            })
+            .collect();
+        r1.push(Record::Barrier);
+        assert_ff_matches(platform_1us_1gb(), &trace(vec![r0, r1]));
+    }
+
+    #[test]
+    fn fastforward_matches_under_full_perturbation() {
+        use ovlsim_core::PerturbationModel;
+        let mk = |to: u32, from: u32| {
+            vec![
+                Record::Burst {
+                    instr: Instr::new(2500),
+                },
+                Record::Send {
+                    to: Rank::new(to),
+                    bytes: 500,
+                    tag: Tag::new(7),
+                },
+                Record::Recv {
+                    from: Rank::new(from),
+                    bytes: 200_000,
+                    tag: Tag::new(8),
+                },
+                Record::Barrier,
+            ]
+        };
+        let swap = |to: u32, from: u32| {
+            vec![
+                Record::Recv {
+                    from: Rank::new(from),
+                    bytes: 500,
+                    tag: Tag::new(7),
+                },
+                Record::Send {
+                    to: Rank::new(to),
+                    bytes: 200_000,
+                    tag: Tag::new(8),
+                },
+                Record::Barrier,
+            ]
+        };
+        let ts = trace(vec![mk(2, 2), mk(3, 3), swap(0, 0), swap(1, 1)]);
+        let model = PerturbationModel::new(0xBEEF)
+            .with_noise(0.2)
+            .unwrap()
+            .with_stragglers(&[2], 1.7)
+            .unwrap()
+            .with_link_degradation(0.3)
+            .unwrap()
+            .with_latency_jitter(Time::from_us(2))
+            .with_faults(Time::from_us(40), Time::from_us(9))
+            .unwrap();
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .perturbation(model)
+            .build();
+        assert_ff_matches(p, &ts);
+    }
+
+    #[test]
+    fn fastforward_delegates_finite_bus_platforms() {
+        // A bus-limited platform takes the run_compiled fallback wholesale;
+        // the result must still agree.
+        let ts = trace(vec![
+            vec![Record::Send {
+                to: Rank::new(1),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
+            vec![Record::Recv {
+                from: Rank::new(0),
+                bytes: 1000,
+                tag: Tag::new(0),
+            }],
+        ]);
+        let p = Platform::builder()
+            .latency(Time::from_us(1))
+            .bandwidth_bytes_per_sec(1.0e9)
+            .unwrap()
+            .buses(Some(1))
+            .build();
+        assert_ff_matches(p, &ts);
+    }
+
+    #[test]
+    fn fastforward_reports_identical_deadlock() {
+        // A circular wait (both ranks receive before sending) compiles
+        // cleanly but stalls both engines with the same diagnosis.
+        let ts = trace(vec![
+            vec![
+                Record::Recv {
+                    from: Rank::new(1),
+                    bytes: 64,
+                    tag: Tag::new(0),
+                },
+                Record::Send {
+                    to: Rank::new(1),
+                    bytes: 64,
+                    tag: Tag::new(1),
+                },
+            ],
+            vec![
+                Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 64,
+                    tag: Tag::new(1),
+                },
+                Record::Send {
+                    to: Rank::new(0),
+                    bytes: 64,
+                    tag: Tag::new(0),
+                },
+            ],
+        ]);
+        let sim = Simulator::new(platform_1us_1gb());
+        let prog = compile(&ts);
+        let compiled = sim.run_compiled(&prog).unwrap_err();
+        let ff = sim.run_fastforward(&prog).unwrap_err();
+        assert_eq!(format!("{compiled}"), format!("{ff}"));
+    }
+
+    #[test]
+    fn fastforward_matches_on_rendezvous_chains() {
+        // Rendezvous traffic exercises blocking sends and the
+        // recv-triggered transfer start path.
+        let pairs: Vec<Vec<Record>> = (0..4)
+            .map(|r| {
+                let peer = (r + 2) % 4;
+                if r < 2 {
+                    vec![
+                        Record::Send {
+                            to: Rank::new(peer),
+                            bytes: 300_000,
+                            tag: Tag::new(1),
+                        },
+                        Record::Recv {
+                            from: Rank::new(peer),
+                            bytes: 300_000,
+                            tag: Tag::new(2),
+                        },
+                    ]
+                } else {
+                    vec![
+                        Record::Recv {
+                            from: Rank::new(peer),
+                            bytes: 300_000,
+                            tag: Tag::new(1),
+                        },
+                        Record::Send {
+                            to: Rank::new(peer),
+                            bytes: 300_000,
+                            tag: Tag::new(2),
+                        },
+                    ]
+                }
+            })
+            .collect();
+        assert_ff_matches(platform_1us_1gb(), &trace(pairs));
+    }
+
+    mod window_props {
+        use super::*;
+        use ovlsim_core::PerturbationModel;
+        use proptest::prelude::*;
+
+        /// Ring exchange: every rank computes, isends to its successor,
+        /// receives from its predecessor, then waits on all its sends and
+        /// synchronizes. Deadlock-free for any byte size (blocking sends
+        /// never occur), and the lockstep structure maximizes same-instant
+        /// ties — the case the window proof must refuse to certify.
+        fn ring(ranks: u32, iters: u32, bytes: u64, burst: u64) -> TraceSet {
+            let recs = (0..ranks)
+                .map(|r| {
+                    let mut recs = Vec::new();
+                    for i in 0..iters {
+                        recs.push(Record::Burst {
+                            instr: Instr::new(burst * (1 + (r as u64 + i as u64) % 3)),
+                        });
+                        recs.push(Record::ISend {
+                            to: Rank::new((r + 1) % ranks),
+                            bytes,
+                            tag: Tag::new(i as u64),
+                            req: RequestId::new(i),
+                        });
+                        recs.push(Record::Recv {
+                            from: Rank::new((r + ranks - 1) % ranks),
+                            bytes,
+                            tag: Tag::new(i as u64),
+                        });
+                    }
+                    recs.push(Record::WaitAll {
+                        reqs: (0..iters).map(RequestId::new).collect(),
+                    });
+                    recs.push(Record::Barrier);
+                    RankTrace::from_records(recs)
+                })
+                .collect();
+            TraceSet::new("ring", mips(), recs)
+        }
+
+        fn platform_at(lat_us: u64, bw: f64, perturbed: bool) -> Platform {
+            let mut b = Platform::builder();
+            b.latency(Time::from_us(lat_us))
+                .bandwidth_bytes_per_sec(bw)
+                .unwrap();
+            if perturbed {
+                b.perturbation(
+                    PerturbationModel::new(7)
+                        .with_noise(0.1)
+                        .unwrap()
+                        .with_latency_jitter(Time::from_ns(300)),
+                );
+            }
+            b.build()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Retired (coalesced) compute windows end in monotone order:
+            /// the `debug_assert` in `burst_step` checks every retirement,
+            /// and the result still matches the compiled engine bit for
+            /// bit.
+            #[test]
+            fn retired_window_ends_are_monotone(
+                ranks in 2u32..6,
+                iters in 1u32..5,
+                bytes in 1u64..200_000,
+                burst in 1u64..50_000,
+                lat_us in 0u64..6,
+                perturbed in any::<bool>(),
+            ) {
+                let ts = ring(ranks, iters, bytes, burst);
+                let index = TraceIndex::build(&ts).expect("valid");
+                let prog = CompiledTrace::compile(&ts, &index).expect("compiles");
+                let sim = Simulator::new(platform_at(lat_us, 1.0e9, perturbed));
+                let compiled = sim.run_compiled(&prog).expect("replays");
+                let ff = sim.run_fastforward(&prog).expect("replays");
+                prop_assert_eq!(compiled, ff);
+            }
+
+            /// Forcing the per-event fallback everywhere (no virtual
+            /// buffer, no window coalescing) replays the identical event
+            /// sequence: the forced run, the normal run and the compiled
+            /// engine agree on every observable.
+            #[test]
+            fn forced_fallback_agrees_event_for_event(
+                ranks in 2u32..6,
+                iters in 1u32..5,
+                bytes in 1u64..200_000,
+                burst in 1u64..50_000,
+                lat_us in 0u64..6,
+                perturbed in any::<bool>(),
+            ) {
+                let ts = ring(ranks, iters, bytes, burst);
+                let index = TraceIndex::build(&ts).expect("valid");
+                let prog = CompiledTrace::compile(&ts, &index).expect("compiles");
+                let platform = platform_at(lat_us, 1.0e9, perturbed);
+                let sim = Simulator::new(platform.clone());
+                let normal = sim.run_fastforward(&prog).expect("replays");
+                let forced = FfState::with_fallback(&platform, &prog, true)
+                    .run()
+                    .map_err(|FfAbort| "aborted")
+                    .expect("replays");
+                let compiled = sim.run_compiled(&prog).expect("replays");
+                prop_assert_eq!(&normal, &forced, "forced fallback diverged");
+                prop_assert_eq!(&normal, &compiled, "fastforward diverged");
+            }
+        }
+    }
+}

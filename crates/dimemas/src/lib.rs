@@ -12,7 +12,10 @@
 //! * [`Simulator`] — replays a [`ovlsim_core::TraceSet`], returning a
 //!   [`ReplayResult`] with makespan, per-rank times and network statistics;
 //!   [`Simulator::run_compiled`] executes a pre-lowered
-//!   [`ovlsim_core::CompiledTrace`] (the cheapest per-sweep-point path),
+//!   [`ovlsim_core::CompiledTrace`] (the cheapest per-event path), and
+//!   [`Simulator::run_fastforward`] replays the same program through the
+//!   window fast-forward engine — bit-identical, and several times
+//!   faster on contention-heavy many-rank traces,
 //! * [`ReplayObserver`] — timeline hooks consumed by the visualization
 //!   layer (`ovlsim-paraver`),
 //! * [`emit_trace_set`]/[`parse_trace_set`] — the `.dim`-style text
@@ -44,6 +47,7 @@
 mod collective;
 mod compiled;
 mod error;
+mod fastforward;
 mod format;
 mod naive;
 mod network;

@@ -221,7 +221,7 @@ impl<'a> NaiveState<'a> {
             collective_count: self.collectives.instance_count() as u64,
             mean_busy_buses: self.network.mean_busy_buses(total_time),
             peak_busy_buses: self.network.peak_busy_buses(),
-            peak_waiting_transfers: self.network.peak_waiting,
+            peak_waiting_transfers: self.network.peak_waiting(),
         })
     }
 
@@ -279,9 +279,9 @@ impl<'a> NaiveState<'a> {
         }
         let transfers = &self.transfers;
         let platform = self.platform;
-        let started = self
-            .network
-            .start_eligible_intra(|id| platform.node_of(transfers[id].from.get()) as usize);
+        let started = self.network.start_eligible_intra(now, |id| {
+            platform.node_of(transfers[id].from.get()) as usize
+        });
         for tid in started {
             self.transfers[tid].started_at = Some(now);
             let dur = self.transmission_time(&self.transfers[tid]);
@@ -602,7 +602,7 @@ impl<'a> NaiveState<'a> {
     fn launch_transfer(&mut self, tid: TransferId, now: Time) {
         if self.transfers[tid].intra {
             if self.network.intra_limited() {
-                self.network.enqueue_intra(tid);
+                self.network.enqueue_intra(tid, now);
                 self.pump_intra(now);
             } else {
                 self.transfers[tid].started_at = Some(now);
@@ -610,7 +610,7 @@ impl<'a> NaiveState<'a> {
                 self.queue.schedule(now + dur, Event::TransferSent(tid));
             }
         } else {
-            self.network.enqueue(tid);
+            self.network.enqueue(tid, now);
             self.pump_network(now);
         }
     }

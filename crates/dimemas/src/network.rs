@@ -117,7 +117,11 @@ pub(crate) struct Network {
     intra_waiting: VecDeque<TransferId>,
     bus_util: TimeWeighted,
     pub(crate) started: u64,
-    pub(crate) peak_waiting: usize,
+    /// Persisted peak of the combined waiting-queue length (see
+    /// [`Network::note_waiting`]).
+    waiting_peak: usize,
+    waiting_last_len: usize,
+    waiting_last_time: Time,
 }
 
 impl Network {
@@ -139,7 +143,9 @@ impl Network {
             intra_waiting: VecDeque::new(),
             bus_util: TimeWeighted::new(),
             started: 0,
-            peak_waiting: 0,
+            waiting_peak: 0,
+            waiting_last_len: 0,
+            waiting_last_time: Time::ZERO,
         }
     }
 
@@ -177,17 +183,28 @@ impl Network {
     }
 
     /// Enqueues a transfer that is ready to move data.
-    pub(crate) fn enqueue(&mut self, id: TransferId) {
+    pub(crate) fn enqueue(&mut self, id: TransferId, now: Time) {
         self.waiting.push_back(id);
-        self.note_waiting();
+        self.note_waiting(now);
     }
 
     /// Records the current total of queued transfers (both domains) in the
-    /// peak statistic.
-    fn note_waiting(&mut self) {
-        self.peak_waiting = self
-            .peak_waiting
-            .max(self.waiting.len() + self.intra_waiting.len());
+    /// peak statistic. Like [`TimeWeighted::record`], only *persisted*
+    /// lengths count: a queue that fills and drains within one instant
+    /// never moves the peak, so the statistic is independent of how an
+    /// engine orders same-instant enqueues and starts.
+    fn note_waiting(&mut self, now: Time) {
+        if now > self.waiting_last_time {
+            self.waiting_peak = self.waiting_peak.max(self.waiting_last_len);
+            self.waiting_last_time = now;
+        }
+        self.waiting_last_len = self.waiting.len() + self.intra_waiting.len();
+    }
+
+    /// Persisted peak of the combined waiting-queue length (the current
+    /// length counts: it persists to the horizon).
+    pub(crate) fn peak_waiting(&self) -> usize {
+        self.waiting_peak.max(self.waiting_last_len)
     }
 
     /// Scans the waiting FIFO and starts every transfer whose resource
@@ -228,6 +245,7 @@ impl Network {
             }
         }
         self.scratch = std::mem::replace(&mut self.waiting, remaining);
+        self.note_waiting(now);
     }
 
     /// Whether intra-node transfers contend for finite per-node ports (if
@@ -238,10 +256,10 @@ impl Network {
     }
 
     /// Enqueues an intra-node transfer in the intra-node domain's FIFO.
-    pub(crate) fn enqueue_intra(&mut self, id: TransferId) {
+    pub(crate) fn enqueue_intra(&mut self, id: TransferId, now: Time) {
         debug_assert!(self.intra_limited());
         self.intra_waiting.push_back(id);
-        self.note_waiting();
+        self.note_waiting(now);
     }
 
     /// Scans the intra-node FIFO and starts every transfer whose node has
@@ -249,10 +267,11 @@ impl Network {
     /// id to the node both its endpoints share.
     pub(crate) fn start_eligible_intra(
         &mut self,
+        now: Time,
         node_of: impl Fn(TransferId) -> usize,
     ) -> Vec<TransferId> {
         let mut started = Vec::new();
-        self.start_eligible_intra_into(node_of, &mut started);
+        self.start_eligible_intra_into(now, node_of, &mut started);
         started
     }
 
@@ -260,6 +279,7 @@ impl Network {
     /// the same scan order (see [`Network::start_eligible_into`]).
     pub(crate) fn start_eligible_intra_into(
         &mut self,
+        now: Time,
         node_of: impl Fn(TransferId) -> usize,
         started: &mut Vec<TransferId>,
     ) {
@@ -277,6 +297,7 @@ impl Network {
             }
         }
         self.scratch = std::mem::replace(&mut self.intra_waiting, remaining);
+        self.note_waiting(now);
     }
 
     /// Releases the shared-memory port of a finished intra-node transfer.
@@ -320,8 +341,8 @@ mod tests {
         let p = platform(None, 1);
         let mut net = Network::new(&p, 4);
         // Transfers 0: 0->1, 1: 2->3 (disjoint).
-        net.enqueue(0);
-        net.enqueue(1);
+        net.enqueue(0, Time::ZERO);
+        net.enqueue(1, Time::ZERO);
         let routes = [(Rank::new(0), Rank::new(1)), (Rank::new(2), Rank::new(3))];
         let started = net.start_eligible(Time::ZERO, |id| routes[id]);
         assert_eq!(started, vec![0, 1]);
@@ -333,8 +354,8 @@ mod tests {
         let p = platform(None, 1);
         let mut net = Network::new(&p, 3);
         let routes = [(Rank::new(0), Rank::new(1)), (Rank::new(0), Rank::new(2))];
-        net.enqueue(0);
-        net.enqueue(1);
+        net.enqueue(0, Time::ZERO);
+        net.enqueue(1, Time::ZERO);
         let started = net.start_eligible(Time::ZERO, |id| routes[id]);
         assert_eq!(started, vec![0]);
         assert_eq!(net.waiting_len(), 1);
@@ -348,8 +369,8 @@ mod tests {
         let p = platform(Some(1), 4);
         let mut net = Network::new(&p, 4);
         let routes = [(Rank::new(0), Rank::new(1)), (Rank::new(2), Rank::new(3))];
-        net.enqueue(0);
-        net.enqueue(1);
+        net.enqueue(0, Time::ZERO);
+        net.enqueue(1, Time::ZERO);
         let started = net.start_eligible(Time::ZERO, |id| routes[id]);
         assert_eq!(started, vec![0], "only one bus");
         net.release(Rank::new(0), Rank::new(1), Time::from_us(1));
@@ -368,9 +389,9 @@ mod tests {
             (Rank::new(0), Rank::new(2)), // blocked: same sender as 0
             (Rank::new(2), Rank::new(3)), // disjoint: may pass
         ];
-        net.enqueue(0);
-        net.enqueue(1);
-        net.enqueue(2);
+        net.enqueue(0, Time::ZERO);
+        net.enqueue(1, Time::ZERO);
+        net.enqueue(2, Time::ZERO);
         let started = net.start_eligible(Time::ZERO, |id| routes[id]);
         assert_eq!(started, vec![0, 2]);
         assert_eq!(net.waiting_len(), 1);
@@ -388,8 +409,8 @@ mod tests {
         let mut net = Network::new(&p, 4);
         // Rank 0 and 1 live on node 0; targets 2 and 3 live on node 1.
         let routes = [(Rank::new(0), Rank::new(2)), (Rank::new(1), Rank::new(3))];
-        net.enqueue(0);
-        net.enqueue(1);
+        net.enqueue(0, Time::ZERO);
+        net.enqueue(1, Time::ZERO);
         let started = net.start_eligible(Time::ZERO, |id| routes[id]);
         assert_eq!(started, vec![0], "siblings share the node's out-link");
         // But the receivers also share node 1's single in-link, so after
@@ -416,18 +437,18 @@ mod tests {
         assert!(net.intra_limited());
         // Occupy the only bus with the inter-node transfer 0 -> 2
         // (node 0 -> node 1).
-        net.enqueue(0);
+        net.enqueue(0, Time::ZERO);
         let routes = [(Rank::new(0), Rank::new(2))];
         assert_eq!(net.start_eligible(Time::ZERO, |id| routes[id]), vec![0]);
         // Intra transfers 1 and 2 both live on node 1 (ranks 2 and 3).
-        net.enqueue_intra(1);
-        net.enqueue_intra(2);
-        let started = net.start_eligible_intra(|_| 1);
+        net.enqueue_intra(1, Time::ZERO);
+        net.enqueue_intra(2, Time::ZERO);
+        let started = net.start_eligible_intra(Time::ZERO, |_| 1);
         assert_eq!(started, vec![1], "one port per node");
         // Bus saturation did not block the intra start; releasing the port
         // admits the second sibling transfer.
         net.release_intra(1);
-        assert_eq!(net.start_eligible_intra(|_| 1), vec![2]);
+        assert_eq!(net.start_eligible_intra(Time::ZERO, |_| 1), vec![2]);
     }
 
     #[test]
@@ -445,8 +466,8 @@ mod tests {
         let p = platform(Some(2), 2);
         let mut net = Network::new(&p, 2);
         let routes = [(Rank::new(0), Rank::new(1)), (Rank::new(1), Rank::new(0))];
-        net.enqueue(0);
-        net.enqueue(1);
+        net.enqueue(0, Time::ZERO);
+        net.enqueue(1, Time::ZERO);
         net.start_eligible(Time::ZERO, |id| routes[id]);
         net.release(Rank::new(0), Rank::new(1), Time::from_us(10));
         net.release(Rank::new(1), Rank::new(0), Time::from_us(10));

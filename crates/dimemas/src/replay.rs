@@ -506,7 +506,7 @@ impl<'a> ReplayState<'a> {
             collective_count: self.collectives.instance_count() as u64,
             mean_busy_buses: self.network.mean_busy_buses(total_time),
             peak_busy_buses: self.network.peak_busy_buses(),
-            peak_waiting_transfers: self.network.peak_waiting,
+            peak_waiting_transfers: self.network.peak_waiting(),
         })
     }
 
@@ -592,9 +592,9 @@ impl<'a> ReplayState<'a> {
         }
         let transfers = &self.transfers;
         let platform = self.platform;
-        let started = self
-            .network
-            .start_eligible_intra(|id| platform.node_of(transfers[id].from.get()) as usize);
+        let started = self.network.start_eligible_intra(now, |id| {
+            platform.node_of(transfers[id].from.get()) as usize
+        });
         for tid in started {
             self.transfers[tid].started_at = Some(now);
             let dur = self.transmission_time(&self.transfers[tid]);
@@ -1102,7 +1102,7 @@ impl<'a> ReplayState<'a> {
         if self.transfers[tid].intra {
             if self.network.intra_limited() {
                 self.transfers[tid].queued_at = Some(now);
-                self.network.enqueue_intra(tid);
+                self.network.enqueue_intra(tid, now);
                 self.pump_intra(now);
             } else {
                 self.transfers[tid].started_at = Some(now);
@@ -1111,7 +1111,7 @@ impl<'a> ReplayState<'a> {
             }
         } else {
             self.transfers[tid].queued_at = Some(now);
-            self.network.enqueue(tid);
+            self.network.enqueue(tid, now);
             self.pump_network(now);
         }
     }

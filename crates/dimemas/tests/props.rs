@@ -496,7 +496,7 @@ fn assert_attribution_conserved(
     Ok(())
 }
 
-/// Runs all four replay engines and asserts bit-identical results.
+/// Runs all five replay engines and asserts bit-identical results.
 fn assert_engines_agree(trace: &TraceSet, platform: &Platform) -> Result<(), TestCaseError> {
     let index = ovlsim_core::TraceIndex::build(trace).expect("valid");
     let prog = ovlsim_core::CompiledTrace::compile(trace, &index).expect("compiles");
@@ -505,9 +505,11 @@ fn assert_engines_agree(trace: &TraceSet, platform: &Platform) -> Result<(), Tes
     let validated = sim.run(trace).expect("replays");
     let prepared = sim.run_prepared(trace, &index).expect("replays");
     let compiled = sim.run_compiled(&prog).expect("replays");
+    let fastforward = sim.run_fastforward(&prog).expect("replays");
     prop_assert_eq!(&naive, &validated, "validating engine diverged");
     prop_assert_eq!(&naive, &prepared, "prepared engine diverged");
     prop_assert_eq!(&naive, &compiled, "compiled engine diverged");
+    prop_assert_eq!(&naive, &fastforward, "fastforward engine diverged");
     Ok(())
 }
 

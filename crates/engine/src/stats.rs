@@ -34,6 +34,14 @@ impl TimeWeighted {
 
     /// Records that the quantity changed to `value` at time `at`.
     ///
+    /// The peak statistic tracks *persisted* values only: a value that is
+    /// overwritten within the same instant occupied zero width of the
+    /// timeline and is invisible to both [`TimeWeighted::mean`] and
+    /// [`TimeWeighted::peak`]. This makes both statistics independent of
+    /// the order in which same-instant records arrive, which is what lets
+    /// replay engines with different internal event orderings agree
+    /// bit-for-bit.
+    ///
     /// # Panics
     ///
     /// Panics if `at` precedes the previous record (time must be
@@ -43,11 +51,13 @@ impl TimeWeighted {
             at >= self.last_time,
             "time-weighted samples must be monotone"
         );
-        let dt = (at - self.last_time).as_ps() as f64;
-        self.weighted_sum += self.last_value * dt;
-        self.last_time = at;
+        if at > self.last_time {
+            let dt = (at - self.last_time).as_ps() as f64;
+            self.weighted_sum += self.last_value * dt;
+            self.peak = self.peak.max(self.last_value);
+            self.last_time = at;
+        }
         self.last_value = value;
-        self.peak = self.peak.max(value);
     }
 
     /// Time-weighted mean over `[0, end]`.
@@ -64,9 +74,10 @@ impl TimeWeighted {
         sum / end.as_ps() as f64
     }
 
-    /// Highest value recorded.
+    /// Highest value that persisted for any nonzero width of the
+    /// timeline (the current value counts: it persists to the horizon).
     pub fn peak(&self) -> f64 {
-        self.peak
+        self.peak.max(self.last_value)
     }
 
     /// The current (most recently recorded) value.
@@ -168,6 +179,25 @@ mod tests {
     fn time_weighted_empty_interval() {
         let u = TimeWeighted::new();
         assert_eq!(u.mean(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_peak_ignores_zero_width_transients() {
+        let mut u = TimeWeighted::new();
+        u.record(Time::from_ns(10), 5.0);
+        u.record(Time::from_ns(10), 2.0); // 5.0 never persisted
+        u.record(Time::from_ns(30), 0.0);
+        assert_eq!(u.peak(), 2.0);
+        // [0,10): 0, [10,30): 2 => 40/40 = 1.0
+        assert_eq!(u.mean(Time::from_ns(40)), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_peak_includes_current_value() {
+        let mut u = TimeWeighted::new();
+        u.record(Time::from_ns(10), 3.0);
+        // 3.0 persists to any horizon even with no later record.
+        assert_eq!(u.peak(), 3.0);
     }
 
     #[test]

@@ -64,10 +64,11 @@ use crate::error::LabError;
 use crate::par;
 use crate::pipeline::{ArtifactPipeline, DirectPipeline, EngineInput};
 
-/// A replay engine selectable per campaign. All three produce
+/// A replay engine selectable per campaign. All four produce
 /// bit-identical [`ReplayResult`](ovlsim_dimemas::ReplayResult)s; naive
 /// and prepared exist in campaigns to cross-check the compiled fast path
-/// on any scenario a spec can describe.
+/// on any scenario a spec can describe, and fastforward is the
+/// contention-scalable production path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// Flat SoA replay program ([`Simulator::run_compiled`](ovlsim_dimemas::Simulator::run_compiled)) — the fast
@@ -79,15 +80,22 @@ pub enum Engine {
     /// The reference engine kept from the seed
     /// ([`ovlsim_dimemas::replay_naive`]).
     Naive,
+    /// Fast-forward replay over the compiled program
+    /// ([`Simulator::run_fastforward`](ovlsim_dimemas::Simulator::run_fastforward)):
+    /// calendar event store, per-node waiter queues and quiescent-window
+    /// coalescing, with a per-event fallback when the window proof fails.
+    Fastforward,
 }
 
 impl Engine {
-    /// Parses an engine name (`compiled`, `prepared` or `naive`).
+    /// Parses an engine name (`compiled`, `prepared`, `naive` or
+    /// `fastforward`).
     pub fn parse(s: &str) -> Option<Engine> {
         match s {
             "compiled" => Some(Engine::Compiled),
             "prepared" => Some(Engine::Prepared),
             "naive" => Some(Engine::Naive),
+            "fastforward" => Some(Engine::Fastforward),
             _ => None,
         }
     }
@@ -99,6 +107,7 @@ impl fmt::Display for Engine {
             Engine::Compiled => "compiled",
             Engine::Prepared => "prepared",
             Engine::Naive => "naive",
+            Engine::Fastforward => "fastforward",
         })
     }
 }
@@ -157,7 +166,8 @@ pub enum SpecError {
         /// The unrecognized value.
         value: String,
     },
-    /// An `engines` entry is not `compiled`, `prepared` or `naive`.
+    /// An `engines` entry is not `compiled`, `prepared`, `naive` or
+    /// `fastforward`.
     UnknownEngine {
         /// 1-based spec line.
         line: usize,
@@ -233,7 +243,8 @@ impl fmt::Display for SpecError {
             ),
             SpecError::UnknownEngine { line, value } => write!(
                 f,
-                "line {line}: unknown engine `{value}` (expected compiled, prepared or naive)"
+                "line {line}: unknown engine `{value}` \
+                 (expected compiled, prepared, naive or fastforward)"
             ),
             SpecError::MalformedNumber { line, key, value } => {
                 write!(
@@ -327,6 +338,16 @@ pub struct CampaignSpec {
     /// Campaign-wide transient link-fault axis: `(period, downtime)` when
     /// the spec enables it.
     pub faults: Option<(Time, Time)>,
+    /// Execution-only engine override (the CLI's `--force-engine`): every
+    /// point *runs* on this engine while the report still carries the
+    /// spec's engine labels. Because all engines are bit-identical, a
+    /// forced report is byte-for-byte the unforced one — the knob exists
+    /// so CI can re-execute a committed golden corpus on another engine
+    /// and diff the reports. Not part of the spec grammar; [`parse`]
+    /// always leaves it `None`.
+    ///
+    /// [`parse`]: CampaignSpec::parse
+    pub force_engine: Option<Engine>,
 }
 
 /// One expanded grid point (the unit [`run_campaign`] replays twice:
@@ -765,6 +786,7 @@ impl CampaignSpec {
             noise_levels: noise_levels.unwrap_or_else(|| vec![0.0]),
             stragglers,
             faults,
+            force_engine: None,
         })
     }
 
@@ -1171,6 +1193,13 @@ pub fn run_campaign_with(
         ranks: spec.ranks,
         iterations: spec.iterations,
     };
+    // `--force-engine` substitutes the engine at execution time only: the
+    // artifact set is built for the forced engine alone, and every point
+    // replays on it, while the report rows keep the spec's labels.
+    let exec_engines: Vec<Engine> = match spec.force_engine {
+        Some(forced) => vec![forced],
+        None => spec.engines.clone(),
+    };
     // Once-per-group work, sequential: trace each app×class once, then
     // synthesize (and index/compile as the engine list requires) each
     // mode variant once. A caching pipeline collapses repeated artifacts
@@ -1199,8 +1228,8 @@ pub fn run_campaign_with(
                 groups.insert(
                     (app_name.clone(), class, mode.label()),
                     Group {
-                        orig: EngineInput::build(pipeline, orig, &spec.engines, spec.attribution)?,
-                        ovl: EngineInput::build(pipeline, ovl, &spec.engines, false)?,
+                        orig: EngineInput::build(pipeline, orig, &exec_engines, spec.attribution)?,
+                        ovl: EngineInput::build(pipeline, ovl, &exec_engines, false)?,
                     },
                 );
             }
@@ -1223,7 +1252,7 @@ pub fn run_campaign_with(
         if !model.is_identity() {
             platform = platform.with_perturbation(model);
         }
-        let (orig, ovl) = group.replay(point.engine, &platform)?;
+        let (orig, ovl) = group.replay(spec.force_engine.unwrap_or(point.engine), &platform)?;
         let attribution = if spec.attribution {
             let trace = group.orig.trace.as_ref().expect("attribution keeps traces");
             let index = group.orig.index.as_ref().expect("attribution keeps index");

@@ -396,7 +396,7 @@ fn parse_replay(j: &Json) -> Result<ReplayRequest, SessionError> {
         Some(e) => e
             .as_str()
             .and_then(Engine::parse)
-            .ok_or_else(|| bad("`engine` must be compiled, prepared or naive"))?,
+            .ok_or_else(|| bad("`engine` must be compiled, prepared, naive or fastforward"))?,
     };
     Ok(ReplayRequest {
         source: parse_source(j)?,

@@ -86,8 +86,8 @@ use ovlsim::core::{
     TraceSet,
 };
 use ovlsim::dimemas::{emit_trace_set, parse_trace_set, SimError};
-use ovlsim::lab::campaign::{diff_reports, CampaignSpec};
-use ovlsim::lab::{ArtifactPipeline, Attribution, LabError};
+use ovlsim::lab::campaign::{diff_reports, CampaignSpec, Engine};
+use ovlsim::lab::{ArtifactPipeline, Attribution, DirectPipeline, EngineInput, LabError};
 use ovlsim::paraver::{render_gantt, to_cause_pcf, to_cause_prv, to_row, GanttOptions, Timeline};
 use ovlsim::session::{Server, Session, TraceSource};
 use ovlsim::tracer::TracingSession;
@@ -98,20 +98,21 @@ const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ovlsim campaign run <spec.campaign> [--out <dir>] [--csv] [--cache-dir <dir>]\n  \
+        "usage:\n  ovlsim campaign run <spec.campaign> [--out <dir>] [--csv] [--cache-dir <dir>] [--force-engine <engine>]\n  \
          ovlsim campaign list <spec.campaign>\n  \
          ovlsim campaign diff <golden.json> <actual.json>\n  \
          ovlsim trace gen <app> <out-prefix> [class] [ranks] [iterations]\n  \
          ovlsim trace stats <file.dim|file.ovlb>\n  \
          ovlsim trace validate <file.dim|file.ovlb>\n  \
-         ovlsim trace replay <file.dim|file.ovlb> [bytes-per-sec] [latency-us]\n  \
+         ovlsim trace replay <file.dim|file.ovlb> [bytes-per-sec] [latency-us] [--engine <engine>]\n  \
          ovlsim trace convert <in.dim|in.ovlb> <out.dim|out.ovlb>\n  \
          ovlsim analyze <file.dim|file.ovlb> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv] [--cache-dir <dir>]\n  \
          ovlsim serve [--port <n>] [--cache-dir <dir>]\n  \
          ovlsim --version\n\
          perturbation flags (campaign run, trace replay, analyze):\n  \
          --seed <n>  --noise <level>  --stragglers <slow>:<r0>,<r1>,...  \
-         --faults <period-us>:<down-us>"
+         --faults <period-us>:<down-us>\n\
+         engines: compiled (default), prepared, naive, fastforward"
     );
     ExitCode::from(2)
 }
@@ -214,8 +215,10 @@ fn cmd_campaign_run(
     csv: bool,
     perturb: &PerturbFlags,
     cache_dir: Option<&Path>,
+    force_engine: Option<Engine>,
 ) -> Result<(), String> {
     let mut spec = load_spec(spec_path)?;
+    spec.force_engine = force_engine;
     // Domain-check the flag values through the model builders before
     // splicing them into the spec's perturbation axes.
     perturb.model()?;
@@ -535,10 +538,24 @@ fn cmd_trace_replay(
     bw: Option<&str>,
     lat: Option<&str>,
     perturb: &PerturbFlags,
+    engine: Option<Engine>,
 ) -> Result<(), String> {
     let trace = load_trace(path)?;
     let platform = perturb.perturb(parse_platform(bw, lat)?)?;
     let (timeline, result) = Timeline::capture(&platform, &trace).map_err(|e| e.to_string())?;
+    // `--engine` reruns the replay on the named engine and prints *its*
+    // result. The engines are bit-identical by contract, so the output is
+    // byte-for-byte the default path's — which is exactly what makes the
+    // flag useful: diffing `trace replay --engine X` outputs across
+    // engines is a one-line cross-check.
+    let result = match engine {
+        None => result,
+        Some(eng) => {
+            let input = EngineInput::build(&DirectPipeline, Arc::new(trace), &[eng], false)
+                .map_err(|e| e.to_string())?;
+            input.replay(eng, &platform).map_err(|e| e.to_string())?
+        }
+    };
     println!("{result}");
     for r in 0..result.rank_finish().len() {
         println!(
@@ -684,6 +701,24 @@ fn main() -> ExitCode {
     let mut port: Option<u16> = None;
     let mut cache_dir: Option<PathBuf> = None;
     let mut perturb = PerturbFlags::default();
+    let mut engine: Option<Engine> = None;
+    let mut force_engine: Option<Engine> = None;
+    // Both engine flags fail the same way: a single typed line on stderr
+    // and the usage exit code, so scripts can distinguish "bad engine
+    // name" from a failed replay without parsing the usage text.
+    let parse_engine = |flag: &str, v: Option<&str>| -> Result<Engine, ExitCode> {
+        match v.map(|s| (s, Engine::parse(s))) {
+            Some((_, Some(e))) => Ok(e),
+            Some((s, None)) => {
+                eprintln!(
+                    "error: unknown engine `{s}` for {flag} \
+                     (expected compiled, prepared, naive or fastforward)"
+                );
+                Err(ExitCode::from(2))
+            }
+            None => Err(usage()),
+        }
+    };
     let mut it = args.iter().map(String::as_str);
     while let Some(arg) = it.next() {
         match arg {
@@ -730,6 +765,14 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--engine" => match parse_engine("--engine", it.next()) {
+                Ok(e) => engine = Some(e),
+                Err(code) => return code,
+            },
+            "--force-engine" => match parse_engine("--force-engine", it.next()) {
+                Ok(e) => force_engine = Some(e),
+                Err(code) => return code,
+            },
             "--faults" => match it.next().map(PerturbFlags::parse_faults) {
                 Some(Ok(faults)) => perturb.faults = Some(faults),
                 Some(Err(e)) => {
@@ -758,6 +801,15 @@ fn main() -> ExitCode {
     if perturb.given() && !takes_perturb {
         return usage();
     }
+    // `--engine` selects the replay engine of `trace replay`;
+    // `--force-engine` overrides campaign execution. Anywhere else the
+    // flags would silently do nothing.
+    if engine.is_some() && positional.get(..2) != Some(&["trace", "replay"]) {
+        return usage();
+    }
+    if force_engine.is_some() && positional.get(..2) != Some(&["campaign", "run"]) {
+        return usage();
+    }
     if port.is_some() && positional.first() != Some(&"serve") {
         return usage();
     }
@@ -769,7 +821,9 @@ fn main() -> ExitCode {
     let cache = cache_dir.as_deref();
     let result = match positional[..] {
         ["serve"] => cmd_serve(port.unwrap_or(0), cache),
-        ["campaign", "run", spec] => cmd_campaign_run(spec, &out_dir, csv, &perturb, cache),
+        ["campaign", "run", spec] => {
+            cmd_campaign_run(spec, &out_dir, csv, &perturb, cache, force_engine)
+        }
         ["campaign", "list", spec] => cmd_campaign_list(spec),
         ["campaign", "diff", golden, actual] => cmd_campaign_diff(golden, actual),
         ["trace", "gen", app, prefix] => cmd_trace_gen(app, prefix, None, None, None),
@@ -782,9 +836,11 @@ fn main() -> ExitCode {
         }
         ["trace", "stats", path] => cmd_trace_stats(path),
         ["trace", "validate", path] => cmd_trace_validate(path),
-        ["trace", "replay", path] => cmd_trace_replay(path, None, None, &perturb),
-        ["trace", "replay", path, bw] => cmd_trace_replay(path, Some(bw), None, &perturb),
-        ["trace", "replay", path, bw, lat] => cmd_trace_replay(path, Some(bw), Some(lat), &perturb),
+        ["trace", "replay", path] => cmd_trace_replay(path, None, None, &perturb, engine),
+        ["trace", "replay", path, bw] => cmd_trace_replay(path, Some(bw), None, &perturb, engine),
+        ["trace", "replay", path, bw, lat] => {
+            cmd_trace_replay(path, Some(bw), Some(lat), &perturb, engine)
+        }
         ["trace", "convert", input, output] => cmd_trace_convert(input, output),
         ["analyze", path] => cmd_analyze(path, None, None, &out_dir, csv, prv, &perturb, cache),
         ["analyze", path, bw] => {

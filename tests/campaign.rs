@@ -6,7 +6,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use ovlsim::lab::campaign::CampaignSpec;
+use ovlsim::lab::campaign::{CampaignSpec, Engine};
 
 fn repo_path(rel: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
@@ -39,7 +39,44 @@ fn committed_corpus_parses_and_covers_the_promised_grid() {
     let stress = read_spec("examples/campaigns/stress.campaign");
     assert!(stress.apps.len() >= 3);
     assert!(stress.classes.len() >= 2);
-    assert_eq!(stress.engines.len(), 3, "stress cross-checks every engine");
+    assert_eq!(stress.engines.len(), 4, "stress cross-checks every engine");
+    assert!(
+        stress.engines.contains(&Engine::Fastforward),
+        "stress corpus exercises the fast-forward engine"
+    );
+}
+
+/// `engine fastforward` must survive the full spec round trip: parse,
+/// grid expansion, and the human-facing `campaign list` output through
+/// the real binary.
+#[test]
+fn engine_fastforward_round_trips_through_campaign_list() {
+    let dir = std::env::temp_dir().join("ovlsim-campaign-ff-list");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("ff.campaign");
+    let text = "campaign ff-mini\napps sweep3d\nclasses S\nranks 4\n\
+                iterations 1\nbandwidths list 1e8\nengines fastforward\n";
+    std::fs::write(&spec_path, text).unwrap();
+
+    let spec = CampaignSpec::parse(text).expect("spec parses");
+    assert_eq!(spec.engines, vec![Engine::Fastforward]);
+    assert_eq!(format!("{}", spec.engines[0]), "fastforward");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ovlsim"))
+        .args(["campaign", "list"])
+        .arg(&spec_path)
+        .output()
+        .expect("ovlsim runs");
+    assert!(out.status.success(), "campaign list failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 engines"),
+        "grid header counts the single engine: {stdout}"
+    );
+    assert!(
+        stdout.contains("engine=fastforward"),
+        "points are listed under the fastforward engine: {stdout}"
+    );
 }
 
 #[test]

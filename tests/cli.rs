@@ -259,6 +259,71 @@ fn exit_codes_distinguish_usage_from_runtime_failures() {
     assert!(stderr.starts_with("error: "), "{stderr}");
 }
 
+/// Every replay engine is selectable from `trace replay --engine`, and —
+/// because the engines are bit-identical by contract — the rendered
+/// output must be byte-for-byte the same for all of them.
+#[test]
+fn trace_replay_engine_flag_selects_each_engine_byte_identically() {
+    let dir = scratch_dir("engine-flag");
+    let prefix = dir.join("cg");
+    let prefix_str = prefix.to_str().unwrap();
+    let out = ovlsim()
+        .args(["trace", "gen", "nas-cg", prefix_str])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+    let linear = format!("{prefix_str}.ovl-linear.dim");
+
+    let default_out = ovlsim()
+        .args(["trace", "replay", &linear, "100e6", "5"])
+        .output()
+        .unwrap();
+    assert!(default_out.status.success());
+    for engine in ["naive", "prepared", "compiled", "fastforward"] {
+        let out = ovlsim()
+            .args(["trace", "replay", &linear, "100e6", "5", "--engine", engine])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "--engine {engine} failed: {out:?}");
+        assert_eq!(
+            out.stdout, default_out.stdout,
+            "--engine {engine} output diverged from the default engine"
+        );
+    }
+}
+
+/// An unknown engine name is a usage error: exit 2 with a single typed
+/// `error:` line naming the accepted engines.
+#[test]
+fn trace_replay_unknown_engine_exits_2_with_one_error_line() {
+    let out = ovlsim()
+        .args(["trace", "replay", "x.dim", "--engine", "warp"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.starts_with("error: unknown engine `warp`"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("compiled, prepared, naive or fastforward"),
+        "stderr lists the accepted engines: {stderr}"
+    );
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "must fail with a single line: {stderr}"
+    );
+
+    // `--engine` belongs to `trace replay` only.
+    let out = ovlsim()
+        .args(["campaign", "list", "x", "--engine", "compiled"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
 /// `ovlsim trace convert` round-trips between `.dim` text and the `.ovlb`
 /// binary format byte-identically, and every other subcommand accepts the
 /// binary artifact by extension.
