@@ -695,6 +695,52 @@ mod tests {
     }
 
     #[test]
+    fn gain_potential_is_exactly_zero_when_gap_is_zero() {
+        // A fully-overlapped point: rank 0 computes 1 us then sends 1000 B
+        // to rank 1 (arrival at 1 us compute + 1 us latency + 1 us wire =
+        // 3 us), while rank 2 computes exactly 3 us. The makespan equals the
+        // compute bound, so the overlappable gap is exactly zero even though
+        // the channel into rank 1 carries 3 us of blocked-recv wait. Gain
+        // must clamp to exactly zero — never wrap or underflow.
+        let trace = TraceSet::new(
+            "zero-gap",
+            MipsRate::new(1000).unwrap(),
+            vec![
+                RankTrace::from_records(vec![
+                    Record::Burst {
+                        instr: Instr::new(1000),
+                    },
+                    Record::Send {
+                        to: Rank::new(1),
+                        bytes: 1000,
+                        tag: Tag::new(0),
+                    },
+                ]),
+                RankTrace::from_records(vec![Record::Recv {
+                    from: Rank::new(0),
+                    bytes: 1000,
+                    tag: Tag::new(0),
+                }]),
+                RankTrace::from_records(vec![Record::Burst {
+                    instr: Instr::new(3000),
+                }]),
+            ],
+        );
+        let attr = analyze(&trace, &platform_1us_1gb());
+        // The construction really is zero-gap: makespan == bound.
+        assert_eq!(attr.makespan(), Time::from_us(3));
+        assert_eq!(attr.makespan(), attr.makespan_bound());
+        // The channel still carries real wait...
+        assert_eq!(attr.channels().len(), 1);
+        assert_eq!(attr.channels()[0].total_wait(), Time::from_us(3));
+        // ...but the gain potential clamps to exactly zero (no wrap: a
+        // wrapped subtraction would produce a huge non-zero Time here).
+        for c in attr.channels() {
+            assert_eq!(c.gain_potential, Time::ZERO);
+        }
+    }
+
+    #[test]
     fn ranked_channels_order_is_deterministic() {
         // Two channels with different wait shares rank by gain potential.
         let trace = TraceSet::new(

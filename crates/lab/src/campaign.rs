@@ -338,6 +338,15 @@ pub struct CampaignSpec {
     /// Campaign-wide transient link-fault axis: `(period, downtime)` when
     /// the spec enables it.
     pub faults: Option<(Time, Time)>,
+    /// Per-point auto-tuning columns (`tune on`): each row additionally
+    /// runs the attribution-guided overlap auto-tuner on its point's
+    /// platform and reports the tuned makespan and winning per-channel
+    /// plan next to the uniform-mode makespan.
+    pub tune: bool,
+    /// Auto-tuner evaluation budget per point (`tune budget`).
+    pub tune_budget: usize,
+    /// Auto-tuner search seed (`tune seed`).
+    pub tune_seed: u64,
     /// Execution-only engine override (the CLI's `--force-engine`): every
     /// point *runs* on this engine while the report still carries the
     /// spec's engine labels. Because all engines are bit-identical, a
@@ -393,6 +402,9 @@ impl CampaignSpec {
         let mut noise_levels: Option<Vec<f64>> = None;
         let mut stragglers: Option<(f64, Vec<u32>)> = None;
         let mut faults: Option<(Time, Time)> = None;
+        let mut tune: Option<bool> = None;
+        let mut tune_budget: Option<usize> = None;
+        let mut tune_seed: Option<u64> = None;
 
         let mut saw_statement = false;
         for (idx, raw) in text.lines().enumerate() {
@@ -755,6 +767,67 @@ impl CampaignSpec {
                         }
                     });
                 }
+                "tune" => {
+                    // Three sub-keys share the `tune` keyword, so
+                    // duplicate detection is per sub-key.
+                    nonempty()?;
+                    let bad = |reason: String| SpecError::InvalidPerturbation {
+                        line,
+                        key: key.to_string(),
+                        reason,
+                    };
+                    match values[0] {
+                        "on" | "off" => {
+                            dup(tune.is_some())?;
+                            if values.len() != 1 {
+                                return Err(bad(format!(
+                                    "`{}` takes no further values, got {}",
+                                    values[0],
+                                    values.len() - 1
+                                )));
+                            }
+                            tune = Some(values[0] == "on");
+                        }
+                        "budget" => {
+                            dup(tune_budget.is_some())?;
+                            if values.len() != 2 {
+                                return Err(bad(format!(
+                                    "`budget` takes exactly one value, got {}",
+                                    values.len() - 1
+                                )));
+                            }
+                            tune_budget =
+                                Some(values[1].parse::<usize>().ok().filter(|&n| n >= 1).ok_or(
+                                    SpecError::MalformedNumber {
+                                        line,
+                                        key: key.to_string(),
+                                        value: values[1].to_string(),
+                                    },
+                                )?);
+                        }
+                        "seed" => {
+                            dup(tune_seed.is_some())?;
+                            if values.len() != 2 {
+                                return Err(bad(format!(
+                                    "`seed` takes exactly one value, got {}",
+                                    values.len() - 1
+                                )));
+                            }
+                            tune_seed = Some(values[1].parse::<u64>().map_err(|_| {
+                                SpecError::MalformedNumber {
+                                    line,
+                                    key: key.to_string(),
+                                    value: values[1].to_string(),
+                                }
+                            })?);
+                        }
+                        other => {
+                            return Err(bad(format!(
+                                "expected `on`, `off`, `budget` or `seed`, got `{other}`"
+                            )));
+                        }
+                    }
+                }
                 _ => {
                     return Err(SpecError::UnknownKey {
                         line,
@@ -786,6 +859,9 @@ impl CampaignSpec {
             noise_levels: noise_levels.unwrap_or_else(|| vec![0.0]),
             stragglers,
             faults,
+            tune: tune.unwrap_or(false),
+            tune_budget: tune_budget.unwrap_or(crate::tune::DEFAULT_TUNE_BUDGET),
+            tune_seed: tune_seed.unwrap_or(0),
             force_engine: None,
         })
     }
@@ -878,6 +954,17 @@ pub struct RowAttribution {
     pub top_gain: Time,
 }
 
+/// Per-point auto-tuner summary (present when the spec sets `tune on`):
+/// the makespan of the tuned per-channel overlap plan and the plan itself,
+/// to compare against the row's uniform-mode `overlapped` makespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowTune {
+    /// Best makespan the tuner found within its budget.
+    pub tuned: Time,
+    /// The winning plan, rendered (`OverlapPlan::render`).
+    pub plan: String,
+}
+
 /// One measured campaign point: original vs overlapped makespan on one
 /// platform under one engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -904,6 +991,8 @@ pub struct CampaignRow {
     pub comm_fraction: f64,
     /// Attribution columns (only when the spec sets `attribution on`).
     pub attribution: Option<RowAttribution>,
+    /// Auto-tuner columns (only when the spec sets `tune on`).
+    pub tuned: Option<RowTune>,
 }
 
 impl CampaignRow {
@@ -914,6 +1003,15 @@ impl CampaignRow {
             return 1.0;
         }
         self.original.as_secs_f64() / self.overlapped.as_secs_f64()
+    }
+
+    /// `overlapped / tuned` makespan ratio: how much the tuned plan gains
+    /// over the row's uniform mode (1.0 when tuning is off or degenerate).
+    pub fn tuned_speedup(&self) -> f64 {
+        match &self.tuned {
+            Some(t) if !t.tuned.is_zero() => self.overlapped.as_secs_f64() / t.tuned.as_secs_f64(),
+            _ => 1.0,
+        }
     }
 }
 
@@ -927,6 +1025,8 @@ pub struct CampaignReport {
     /// Whether rows carry a `noise_level` column (the spec used a
     /// perturbation key; see [`CampaignSpec::perturbed`]).
     pub perturbed: bool,
+    /// Whether rows carry auto-tuner columns (spec `tune on`).
+    pub tuned: bool,
     /// Measured rows in [`CampaignSpec::expand`] order.
     pub rows: Vec<CampaignRow>,
 }
@@ -979,11 +1079,20 @@ impl CampaignReport {
             } else {
                 String::new()
             };
+            let tune = match &row.tuned {
+                None => String::new(),
+                Some(t) => format!(
+                    ",\"tuned_ps\":{},\"tuned_speedup\":{},\"tuned_plan\":\"{}\"",
+                    t.tuned.as_ps(),
+                    row.tuned_speedup(),
+                    json_escape(&t.plan),
+                ),
+            };
             out.push_str(&format!(
                 "    {{\"app\":\"{}\",\"class\":\"{}\",\"mode\":\"{}\",\"engine\":\"{}\",\
                  \"ranks_per_node\":{},{noise}\"bandwidth_bytes_per_sec\":{},\
                  \"original_ps\":{},\"overlapped_ps\":{},\
-                 \"comm_fraction\":{},\"speedup\":{}{attr}}}{sep}\n",
+                 \"comm_fraction\":{},\"speedup\":{}{attr}{tune}}}{sep}\n",
                 json_escape(&row.app),
                 row.class,
                 json_escape(&row.mode),
@@ -996,7 +1105,24 @@ impl CampaignReport {
                 row.speedup(),
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        // Perturbed campaigns additionally pin the headline retention
+        // curve, with `null` where no scenario has a positive clean-gain
+        // baseline (instead of leaking NaN/inf into the report).
+        if self.perturbed {
+            out.push_str(",\n  \"retention\": [\n");
+            let retention = self.retention_by_level();
+            for (i, (level, r)) in retention.iter().enumerate() {
+                let sep = if i + 1 == retention.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "    {{\"noise_level\":{},\"retention\":{}}}{sep}\n",
+                    level,
+                    r.map_or_else(|| "null".to_string(), |v| v.to_string()),
+                ));
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -1009,6 +1135,9 @@ impl CampaignReport {
         out.push_str("bandwidth_bytes_per_sec,original_ps,overlapped_ps,comm_fraction,speedup");
         if self.attribution {
             out.push_str(",orig_wait_ps,orig_contended_ps,top_channel,top_gain_ps");
+        }
+        if self.tuned {
+            out.push_str(",tuned_ps,tuned_speedup,tuned_plan");
         }
         out.push('\n');
         for row in &self.rows {
@@ -1039,6 +1168,14 @@ impl CampaignReport {
                     a.top_gain.as_ps(),
                 ));
             }
+            if let Some(t) = &row.tuned {
+                out.push_str(&format!(
+                    ",{},{},{}",
+                    t.tuned.as_ps(),
+                    row.tuned_speedup(),
+                    t.plan,
+                ));
+            }
             out.push('\n');
         }
         out
@@ -1049,10 +1186,13 @@ impl CampaignReport {
     /// gain `speedup - 1` is divided by the gain of that scenario's
     /// lowest-noise row, and the ratios are averaged per level. Scenarios
     /// whose baseline shows no gain are skipped (there is nothing to
-    /// retain). Returns `(level, mean_retention)` pairs in first-seen row
+    /// retain — dividing by their zero/negative clean gain would leak
+    /// NaN/inf). Returns `(level, mean_retention)` pairs in first-seen row
     /// order — the headline "how much of the overlap win survives noise"
-    /// curve of a noise campaign.
-    pub fn retention_by_level(&self) -> Vec<(f64, f64)> {
+    /// curve of a noise campaign. A level is `None` when *no* scenario at
+    /// that level has a positive clean-gain baseline; renderers print it
+    /// as `null`/`n/a`.
+    pub fn retention_by_level(&self) -> Vec<(f64, Option<f64>)> {
         type Scenario = (String, String, String, Engine, u32, u64);
         fn key(row: &CampaignRow) -> Scenario {
             (
@@ -1074,25 +1214,28 @@ impl CampaignReport {
                 *entry = (row.noise_level, row.speedup() - 1.0);
             }
         }
-        // Accumulate ratios per level, in first-seen order.
+        // Accumulate ratios per level, in first-seen order. Every level a
+        // row mentions appears in the output, even if no scenario can
+        // contribute a ratio to it.
         let mut levels: Vec<(f64, f64, usize)> = Vec::new();
         for row in &self.rows {
+            let idx = match levels.iter().position(|(l, _, _)| *l == row.noise_level) {
+                Some(i) => i,
+                None => {
+                    levels.push((row.noise_level, 0.0, 0));
+                    levels.len() - 1
+                }
+            };
             let (_, base_gain) = baseline[&key(row)];
             if base_gain <= 0.0 {
                 continue;
             }
-            let ratio = (row.speedup() - 1.0) / base_gain;
-            match levels.iter_mut().find(|(l, _, _)| *l == row.noise_level) {
-                Some((_, sum, n)) => {
-                    *sum += ratio;
-                    *n += 1;
-                }
-                None => levels.push((row.noise_level, ratio, 1)),
-            }
+            levels[idx].1 += (row.speedup() - 1.0) / base_gain;
+            levels[idx].2 += 1;
         }
         levels
             .into_iter()
-            .map(|(l, sum, n)| (l, sum / n as f64))
+            .map(|(l, sum, n)| (l, (n > 0).then(|| sum / n as f64)))
             .collect()
     }
 }
@@ -1205,13 +1348,22 @@ pub fn run_campaign_with(
     // mode variant once. A caching pipeline collapses repeated artifacts
     // across groups (the original trace is shared by every mode).
     let mut groups: HashMap<(String, ProblemClass, String), Group> = HashMap::new();
+    // Auto-tuning re-synthesizes candidate variants from the bundle's
+    // transform metadata, so `tune on` keeps each app×class bundle alive
+    // for the per-point work.
+    let mut bundles: HashMap<(String, ProblemClass), Arc<ovlsim_tracer::TraceBundle>> =
+        HashMap::new();
     for app_name in &spec.apps {
         for &class in &spec.classes {
             // The bundle (a full tracing run) is materialized only if
             // some variant cannot be served from the pipeline's storage:
             // a warm persistent cache answers every `load_variant` and
-            // never traces the app at all.
+            // never traces the app at all (unless tuning needs the
+            // transform metadata regardless).
             let mut bundle: Option<Arc<ovlsim_tracer::TraceBundle>> = None;
+            if spec.tune {
+                bundle = Some(pipeline.bundle(app_name, class, overrides)?);
+            }
             let mut variant_of = |mode: Option<OverlapMode>| -> Result<Arc<TraceSet>, LabError> {
                 if let Some(trace) = pipeline.load_variant(app_name, class, overrides, mode) {
                     return Ok(trace);
@@ -1232,6 +1384,9 @@ pub fn run_campaign_with(
                         ovl: EngineInput::build(pipeline, ovl, &exec_engines, false)?,
                     },
                 );
+            }
+            if let Some(b) = bundle {
+                bundles.insert((app_name.clone(), class), b);
             }
         }
     }
@@ -1275,6 +1430,34 @@ pub fn run_campaign_with(
         } else {
             None
         };
+        let tuned = if spec.tune {
+            // The tuner's own candidate fan-out nests inside this
+            // parallel map and therefore runs sequentially — the
+            // trajectory (and thus the row) is byte-identical across
+            // worker counts. The forced engine only changes execution
+            // strategy: engines are bit-identical, so the report bytes
+            // don't depend on it.
+            let bundle = &bundles[&(point.app.clone(), point.class)];
+            let report = crate::tune::run_tune(
+                pipeline,
+                bundle,
+                &platform,
+                &crate::tune::TuneOptions {
+                    budget: spec.tune_budget,
+                    seed: spec.tune_seed,
+                    engine: spec.force_engine.unwrap_or(point.engine),
+                },
+            )?;
+            Some(RowTune {
+                tuned: report.best,
+                plan: report
+                    .best_plan
+                    .as_ref()
+                    .map_or_else(|| "n/a".to_string(), |p| p.render()),
+            })
+        } else {
+            None
+        };
         Ok(CampaignRow {
             app: point.app.clone(),
             class: point.class,
@@ -1287,6 +1470,7 @@ pub fn run_campaign_with(
             overlapped: ovl.total_time(),
             comm_fraction: orig.comm_fraction(),
             attribution,
+            tuned,
         })
     })
     .into_iter()
@@ -1295,6 +1479,7 @@ pub fn run_campaign_with(
         campaign: spec.name.clone(),
         attribution: spec.attribution,
         perturbed: spec.perturbed(),
+        tuned: spec.tune,
         rows: rows?,
     })
 }
@@ -1691,6 +1876,94 @@ iterations 1
     }
 
     #[test]
+    fn tune_keys_parse_with_defaults_and_reject_bad_values() {
+        let spec = CampaignSpec::parse(MINI).unwrap();
+        assert!(!spec.tune);
+        assert_eq!(spec.tune_budget, crate::tune::DEFAULT_TUNE_BUDGET);
+        assert_eq!(spec.tune_seed, 0);
+        let spec =
+            CampaignSpec::parse(&format!("{MINI}tune on\ntune budget 5\ntune seed 3\n")).unwrap();
+        assert!(spec.tune);
+        assert_eq!(spec.tune_budget, 5);
+        assert_eq!(spec.tune_seed, 3);
+        // Tuning is a search axis, not a perturbation: clean goldens stay
+        // comparable across engines and the fast-forward job.
+        assert!(!spec.perturbed());
+        assert!(
+            !CampaignSpec::parse(&format!("{MINI}tune off\n"))
+                .unwrap()
+                .tune
+        );
+        // The three sub-keys duplicate independently.
+        assert!(CampaignSpec::parse(&format!("{MINI}tune budget 5\ntune seed 3\n")).is_ok());
+        assert!(matches!(
+            CampaignSpec::parse(&format!("{MINI}tune on\ntune off\n")).unwrap_err(),
+            SpecError::DuplicateKey { .. }
+        ));
+        assert!(matches!(
+            CampaignSpec::parse(&format!("{MINI}tune budget 5\ntune budget 6\n")).unwrap_err(),
+            SpecError::DuplicateKey { .. }
+        ));
+        assert!(matches!(
+            CampaignSpec::parse(&format!("{MINI}tune seed 1\ntune seed 1\n")).unwrap_err(),
+            SpecError::DuplicateKey { .. }
+        ));
+        // Malformed values and arities are named errors, not defaults.
+        for bad in [
+            "tune\n",
+            "tune budget 0\n",
+            "tune budget five\n",
+            "tune budget\n",
+            "tune seed -1\n",
+            "tune seed 1 2\n",
+            "tune maybe\n",
+            "tune on extra\n",
+        ] {
+            assert!(
+                CampaignSpec::parse(&format!("{MINI}{bad}")).is_err(),
+                "spec {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn tuned_campaign_fills_tuned_columns_and_never_loses_to_uniform() {
+        let spec =
+            CampaignSpec::parse(&format!("{MINI}tune on\ntune budget 6\ntune seed 1\n")).unwrap();
+        let report = run_campaign_threaded(&spec, 1).unwrap();
+        assert!(report.tuned);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            let t = row.tuned.as_ref().expect("tune on fills the column");
+            assert!(t.tuned <= row.overlapped, "tuned plan lost to uniform");
+            assert!(row.tuned_speedup() >= 1.0);
+            assert!(!t.plan.is_empty());
+        }
+        assert!(report.to_json().contains("\"tuned_ps\":"));
+        assert!(report
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("tuned_ps,tuned_speedup,tuned_plan"));
+        // Byte-identical across worker counts: the per-point tuner runs
+        // sequentially inside campaign workers.
+        let par = run_campaign_threaded(&spec, 4).unwrap();
+        assert_eq!(report.to_json(), par.to_json());
+        assert_eq!(report.to_csv(), par.to_csv());
+        // `tune off` (with sub-keys set) must not change a report byte:
+        // committed clean goldens predate the tuner.
+        let plain = run_campaign_threaded(&CampaignSpec::parse(MINI).unwrap(), 1).unwrap();
+        let off = run_campaign_threaded(
+            &CampaignSpec::parse(&format!("{MINI}tune off\ntune budget 9\n")).unwrap(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(plain.to_json(), off.to_json());
+        assert_eq!(plain.to_csv(), off.to_csv());
+    }
+
+    #[test]
     fn clean_campaign_reports_are_unchanged_by_the_perturbation_axis() {
         // `noise seed` alone (levels default to the clean [0.0]) must not
         // change a single report byte: committed clean goldens predate
@@ -1737,8 +2010,8 @@ iterations 1
         // Retention: the baseline level retains 100% by definition.
         let retention = report.retention_by_level();
         assert_eq!(retention.len(), 2);
-        assert_eq!(retention[0], (0.0, 1.0));
-        assert!(retention[1].0 == 0.3 && retention[1].1.is_finite());
+        assert_eq!(retention[0], (0.0, Some(1.0)));
+        assert!(retention[1].0 == 0.3 && retention[1].1.expect("scenarios have gain").is_finite());
         // The column shows up in both renderings.
         assert!(report.to_json().contains("\"noise_level\":0.3"));
         assert!(report
@@ -1747,6 +2020,41 @@ iterations 1
             .next()
             .unwrap()
             .contains("noise_level"));
+    }
+
+    #[test]
+    fn retention_is_none_when_no_scenario_has_clean_gain() {
+        // A scenario whose baseline shows zero gain (original ==
+        // overlapped) cannot retain anything: dividing by its clean gain
+        // would leak NaN into the report. Such levels must come back as
+        // `None` and render as JSON `null`, never NaN/inf.
+        let row = |noise_level: f64, original: u64, overlapped: u64| CampaignRow {
+            app: "flat".to_string(),
+            class: ProblemClass::S,
+            mode: "linear".to_string(),
+            engine: Engine::Compiled,
+            ranks_per_node: 1,
+            noise_level,
+            bandwidth: Bandwidth::from_bytes_per_sec(1.0e9).unwrap(),
+            original: Time::from_ps(original),
+            overlapped: Time::from_ps(overlapped),
+            comm_fraction: 0.0,
+            attribution: None,
+            tuned: None,
+        };
+        let report = CampaignReport {
+            campaign: "flatline".to_string(),
+            attribution: false,
+            perturbed: true,
+            tuned: false,
+            rows: vec![row(0.0, 1000, 1000), row(0.5, 1400, 1400)],
+        };
+        let retention = report.retention_by_level();
+        assert_eq!(retention, vec![(0.0, None), (0.5, None)]);
+        let json = report.to_json();
+        assert!(json.contains("{\"noise_level\":0,\"retention\":null}"));
+        assert!(json.contains("{\"noise_level\":0.5,\"retention\":null}"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 
     #[test]

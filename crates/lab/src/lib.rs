@@ -50,6 +50,7 @@ pub mod pipeline;
 mod plot;
 mod sweep;
 mod table;
+pub mod tune;
 
 pub use analysis::{intermediate_bandwidth, peak_speedup, point_nearest_comm_fraction};
 pub use attribution::{
@@ -81,3 +82,6 @@ pub use sweep::{
     sweep_traces_threaded,
 };
 pub use table::Table;
+#[doc(hidden)]
+pub use tune::run_tune_threaded;
+pub use tune::{run_tune, run_tune_baseline, TuneOptions, TuneReport, TuneStep};

@@ -136,6 +136,127 @@ fn torn_request_streams_close_cleanly() {
     shut_down(port, running);
 }
 
+/// Deterministic binary trace bytes for the corruption tests below.
+fn pristine_trace_bytes() -> Vec<u8> {
+    let session = Session::with_threads(1);
+    let trace = session
+        .trace(&TraceSource::Generated {
+            app: "sweep3d".into(),
+            class: "S".parse().unwrap(),
+            ranks: Some(4),
+            iterations: Some(1),
+            mode: None,
+        })
+        .expect("generates");
+    ovlsim_core::codec::encode_trace_set(&trace)
+}
+
+#[test]
+fn failed_builds_leave_the_slot_retryable() {
+    // A build that errors must leave its per-key slot empty: the next
+    // request for the same key re-runs the build (and errors again for
+    // the same bad input) instead of hanging on a wedged slot or being
+    // served a stale half-built artifact.
+    let mut bytes = pristine_trace_bytes();
+    let mut plan = FaultPlan::new(0x5107);
+    plan.truncate(&mut bytes); // strict prefix: decode must fail
+    let session = Session::with_threads(1);
+    let bad = TraceSource::Binary {
+        bytes: bytes.clone(),
+    };
+
+    let first = session.trace(&bad);
+    assert!(matches!(
+        first,
+        Err(ovlsim_session::SessionError::Decode(_))
+    ));
+    // Failed builds are not counted as builds and leave nothing cached.
+    assert_eq!(session.stats().traces.builds, 0);
+    assert_eq!(session.stats().traces.hits, 0);
+
+    // Same key again: the slot must admit a retry, not a hang or a hit.
+    let second = session.trace(&bad);
+    assert!(
+        matches!(second, Err(ovlsim_session::SessionError::Decode(_))),
+        "retry of a failed build must re-run it"
+    );
+    assert_eq!(session.stats().traces.hits, 0, "no phantom cache hit");
+
+    // The session is healthy afterwards: a valid source builds once and
+    // then hits, proving the failure poisoned nothing.
+    let good = TraceSource::Binary {
+        bytes: pristine_trace_bytes(),
+    };
+    session.trace(&good).expect("valid source after failures");
+    session.trace(&good).expect("cached");
+    let stats = session.stats();
+    assert_eq!(stats.traces.builds, 1);
+    assert_eq!(stats.traces.hits, 1);
+}
+
+#[test]
+fn concurrent_identical_failing_requests_all_error() {
+    // N threads racing on the same corrupt key serialize on one slot;
+    // every one of them must come back with the decode error — none may
+    // deadlock on the failed fill or observe a phantom artifact.
+    let mut bytes = pristine_trace_bytes();
+    FaultPlan::new(0xBAD5).truncate(&mut bytes);
+    let session = Arc::new(Session::with_threads(1));
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            let bytes = bytes.clone();
+            std::thread::spawn(move || session.trace(&TraceSource::Binary { bytes }))
+        })
+        .collect();
+    for worker in workers {
+        let result = worker.join().expect("no panic");
+        assert!(matches!(
+            result,
+            Err(ovlsim_session::SessionError::Decode(_))
+        ));
+    }
+    assert_eq!(session.stats().traces.builds, 0);
+
+    // And the shared session still serves valid work.
+    session
+        .trace(&TraceSource::Binary {
+            bytes: pristine_trace_bytes(),
+        })
+        .expect("session survives racing failures");
+}
+
+#[test]
+fn seeded_corruption_sweep_never_wedges_a_slot() {
+    // Across a spread of seeded corruptions (truncation and garbling),
+    // every failing key stays retryable and counters never record a
+    // successful build for corrupt input.
+    let pristine = pristine_trace_bytes();
+    let session = Session::with_threads(1);
+    let mut failures = 0u32;
+    for seed in 0..6u64 {
+        let mut plan = FaultPlan::new(seed);
+        let mut bytes = pristine.clone();
+        if seed % 2 == 0 {
+            plan.truncate(&mut bytes);
+        } else {
+            plan.garble(&mut bytes);
+        }
+        let source = TraceSource::Binary { bytes };
+        let first = session.trace(&source);
+        let second = session.trace(&source);
+        match (first, second) {
+            (Err(_), Err(_)) => failures += 1,
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "benign corruption must stay deterministic"),
+            (a, b) => panic!("retry changed the outcome: {a:?} vs {b:?}"),
+        }
+    }
+    assert!(failures > 0, "corruption sweep never produced a failure");
+    // Only benign (decodable) corruptions may have built anything.
+    assert_eq!(session.stats().traces.builds as u32, 6 - failures);
+}
+
 #[test]
 fn binary_payloads_replay_and_reject_corruption() {
     let session = Session::with_threads(1);

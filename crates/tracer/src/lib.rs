@@ -25,6 +25,7 @@ mod app;
 mod chunking;
 mod context;
 mod error;
+mod plan;
 mod session;
 mod transform;
 
@@ -32,8 +33,9 @@ pub use app::Application;
 pub use chunking::{ChunkKind, ChunkingPolicy};
 pub use context::{RankMeta, RecvHandle, RecvMeta, SendHandle, SendMeta, TraceContext};
 pub use error::TraceError;
+pub use plan::{ChannelTuning, OverlapPlan, DEFAULT_PLAN_CHUNKS};
 pub use session::{TraceBundle, TracingSession};
 pub use transform::{
-    chunk_tag, overlap_rank, Mechanisms, OverlapMode, PatternSource, MAX_APP_TAG, MAX_CHANNEL_SEQ,
-    MAX_CHUNKS_PER_MESSAGE,
+    chunk_tag, overlap_rank, overlap_rank_tuned, Mechanisms, MsgTuning, OverlapMode, PatternSource,
+    MAX_APP_TAG, MAX_CHANNEL_SEQ, MAX_CHUNKS_PER_MESSAGE, TUNING_SCALE,
 };

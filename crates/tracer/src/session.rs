@@ -14,7 +14,8 @@ use crate::app::Application;
 use crate::chunking::ChunkingPolicy;
 use crate::context::{RankMeta, TraceContext};
 use crate::error::TraceError;
-use crate::transform::{overlap_rank, OverlapMode};
+use crate::plan::OverlapPlan;
+use crate::transform::{overlap_rank, overlap_rank_tuned, MsgTuning, OverlapMode, TUNING_SCALE};
 
 /// A traced application: the original trace plus everything needed to
 /// synthesize overlapped variants.
@@ -99,6 +100,93 @@ impl TraceBundle {
             });
         }
         Ok(ts)
+    }
+
+    /// Synthesizes the overlapped trace for a per-channel [`OverlapPlan`]:
+    /// each chunkable message is transformed with the tuning its channel
+    /// resolves to under the plan (disabled channels pass through), so
+    /// heterogeneous chunk counts and early/late aggressiveness levels can
+    /// coexist in one trace. The two sides of a message resolve the same
+    /// channel key, so their chunk ranges always agree.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceBundle::overlapped`].
+    pub fn overlapped_planned(&self, plan: &OverlapPlan) -> Result<TraceSet, TraceError> {
+        let tuning_of = |src: u32, dst: u32, tag: Tag, bytes: u64| -> Option<MsgTuning> {
+            let t = plan.tuning_for(src, dst, tag);
+            if !t.enabled {
+                return None;
+            }
+            Some(MsgTuning {
+                ranges: plan.policy_for(t).chunk_ranges(bytes),
+                pattern: plan.pattern,
+                early: t.early.min(TUNING_SCALE),
+                late: t.late.min(TUNING_SCALE),
+            })
+        };
+        let ranks: Vec<RankTrace> = self
+            .original
+            .ranks()
+            .iter()
+            .enumerate()
+            .map(|(r, trace)| {
+                let meta = &self.metas[r];
+                let send_tuning: Vec<Option<MsgTuning>> = meta
+                    .sends
+                    .iter()
+                    .zip(&self.send_chunkable[r])
+                    .map(|(s, &chunkable)| {
+                        chunkable
+                            .then(|| tuning_of(r as u32, s.to.get(), s.tag, s.bytes))
+                            .flatten()
+                    })
+                    .collect();
+                let recv_tuning: Vec<Option<MsgTuning>> = meta
+                    .recvs
+                    .iter()
+                    .zip(&self.recv_chunkable[r])
+                    .map(|(m, &chunkable)| {
+                        chunkable
+                            .then(|| tuning_of(m.from.get(), r as u32, m.tag, m.bytes))
+                            .flatten()
+                    })
+                    .collect();
+                RankTrace::from_records(overlap_rank_tuned(
+                    trace.records(),
+                    meta,
+                    &send_tuning,
+                    &recv_tuning,
+                ))
+            })
+            .collect();
+        let name = format!("{}.{}", self.name, plan.label());
+        let ts = TraceSet::new(name.clone(), self.mips, ranks);
+        let issues = validate_trace_set(&ts);
+        if !issues.is_empty() {
+            return Err(TraceError::InvalidTrace {
+                variant: name,
+                issues,
+            });
+        }
+        Ok(ts)
+    }
+
+    /// The chunkable channels of this bundle as sorted, deduplicated
+    /// `(src_rank, dst_rank, tag)` triples — the channels an
+    /// [`OverlapPlan`] can meaningfully tune.
+    pub fn chunkable_channels(&self) -> Vec<(u32, u32, Tag)> {
+        let mut out: Vec<(u32, u32, Tag)> = Vec::new();
+        for (r, meta) in self.metas.iter().enumerate() {
+            for (s, &chunkable) in meta.sends.iter().zip(&self.send_chunkable[r]) {
+                if chunkable {
+                    out.push((r as u32, s.to.get(), s.tag));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Convenience: full overlap with real (measured) patterns.
@@ -284,6 +372,7 @@ impl<'a, A: Application + ?Sized> TracingSession<'a, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::ChannelTuning;
     use crate::transform::{Mechanisms, PatternSource};
     use ovlsim_core::Instr;
     use ovlsim_memtrace::{AccessKind, IndexPattern, Kernel};
@@ -379,6 +468,61 @@ mod tests {
                     ts.total_p2p_send_bytes()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn uniform_plan_matches_linear_mode_exactly() {
+        let app = Ring {
+            ranks: 4,
+            iterations: 2,
+        };
+        let bundle = TracingSession::new(&app).run().unwrap();
+        let mode = bundle.overlapped_linear();
+        let plan = bundle
+            .overlapped_planned(&crate::plan::OverlapPlan::uniform_linear())
+            .unwrap();
+        // A uniform plan is the same transform as the uniform mode —
+        // per-rank record streams must be identical (only names differ).
+        for (m, p) in mode.ranks().iter().zip(plan.ranks()) {
+            assert_eq!(m.records(), p.records());
+        }
+        assert!(plan.name().starts_with("ring.ovl-plan-"));
+    }
+
+    #[test]
+    fn planned_overlap_respects_per_channel_tunings() {
+        let app = Ring {
+            ranks: 4,
+            iterations: 2,
+        };
+        let bundle = TracingSession::new(&app).run().unwrap();
+        let channels = bundle.chunkable_channels();
+        assert!(!channels.is_empty());
+        assert!(channels.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+
+        // Disabling every channel reproduces the original trace exactly.
+        let mut all_off = crate::plan::OverlapPlan::uniform_linear();
+        all_off.default = ChannelTuning::off();
+        let off = bundle.overlapped_planned(&all_off).unwrap();
+        for (o, p) in bundle.original().ranks().iter().zip(off.ranks()) {
+            assert_eq!(o.records(), p.records());
+        }
+
+        // Disabling a single channel still validates and produces fewer
+        // records than the fully-overlapped plan.
+        let mut one_off = crate::plan::OverlapPlan::uniform_linear();
+        let &(src, dst, tag) = &channels[0];
+        one_off.set(src, dst, tag, ChannelTuning::off());
+        let partial = bundle.overlapped_planned(&one_off).unwrap();
+        let full = bundle
+            .overlapped_planned(&crate::plan::OverlapPlan::uniform_linear())
+            .unwrap();
+        assert!(partial.total_records() < full.total_records());
+        assert!(partial.total_records() > bundle.original().total_records());
+        // Instruction counts preserved per rank in all plan variants.
+        for (orig, ovl) in bundle.original().ranks().iter().zip(partial.ranks()) {
+            assert_eq!(orig.total_instr(), ovl.total_instr());
         }
     }
 

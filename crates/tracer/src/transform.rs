@@ -24,6 +24,7 @@
 //! separately.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 use ovlsim_core::{BufferId, Instr, Record, RequestId, Tag};
 
@@ -246,11 +247,54 @@ fn lerp_instr(start: Instr, end: Instr, num: u64, den: u64) -> Instr {
     start + Instr::new((span * num as u128 / den as u128) as u64)
 }
 
+/// Granularity of the per-channel `early` / `late` aggressiveness levels:
+/// level `0` keeps the operation at its original point, level
+/// [`TUNING_SCALE`] moves it all the way to the pattern-derived instant,
+/// and intermediate levels interpolate linearly between the two.
+pub const TUNING_SCALE: u8 = 4;
+
+/// Fully-resolved overlap parameters of a single message.
+///
+/// This is the per-message unit the transform actually consumes: the
+/// chunk byte ranges, the instant-pattern source, and how aggressively to
+/// reposition sends (`early`) and waits (`late`) on the `0..=TUNING_SCALE`
+/// scale. [`overlap_rank`] derives uniform tunings from an
+/// [`OverlapMode`]; per-channel plans (`OverlapPlan`) derive heterogeneous
+/// ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgTuning {
+    /// Chunk byte ranges partitioning the message (empty = leave the
+    /// message untransformed).
+    pub ranges: Vec<Range<u64>>,
+    /// Where chunk readiness/need instants come from.
+    pub pattern: PatternSource,
+    /// Early-send aggressiveness (`0` = all chunks at the original send
+    /// point, [`TUNING_SCALE`] = each chunk the moment it is produced).
+    pub early: u8,
+    /// Late-wait aggressiveness (`0` = all chunks complete at the
+    /// original receive point, [`TUNING_SCALE`] = each chunk at its first
+    /// consumption).
+    pub late: u8,
+}
+
+/// Interpolates between `origin` (level 0) and the fully-repositioned
+/// instant `full` (level [`TUNING_SCALE`]). `full` is always at or before
+/// `origin` on the send side and at or after the base on the wait side;
+/// callers orient the span accordingly.
+fn pull_toward(origin: Instr, full: Instr, level: u8) -> Instr {
+    debug_assert!(origin >= full && level <= TUNING_SCALE);
+    let span = (origin - full).get() as u128;
+    origin - Instr::new((span * level as u128 / TUNING_SCALE as u128) as u64)
+}
+
 /// Transforms one rank's original records into the overlapped execution.
 ///
 /// `send_chunkable[i]` / `recv_chunkable[i]` flag whether the `i`-th
 /// send/recv of `meta` may be chunked (both endpoints must have registered
 /// buffers — computed globally by the session so the two sides agree).
+/// Every chunkable message receives the same uniform [`MsgTuning`] derived
+/// from `policy` and `mode`; see [`overlap_rank_tuned`] for heterogeneous
+/// per-message parameters.
 ///
 /// The transform preserves the rank's total instruction count exactly and
 /// produces a trace in which every injected request is waited exactly once.
@@ -269,6 +313,55 @@ pub fn overlap_rank(
 ) -> Vec<Record> {
     assert_eq!(send_chunkable.len(), meta.sends.len());
     assert_eq!(recv_chunkable.len(), meta.recvs.len());
+    let uniform = |bytes: u64| MsgTuning {
+        ranges: policy.chunk_ranges(bytes),
+        pattern: mode.pattern,
+        early: if mode.mechanisms.early_send {
+            TUNING_SCALE
+        } else {
+            0
+        },
+        late: if mode.mechanisms.late_wait {
+            TUNING_SCALE
+        } else {
+            0
+        },
+    };
+    let send_tuning: Vec<Option<MsgTuning>> = meta
+        .sends
+        .iter()
+        .zip(send_chunkable)
+        .map(|(s, &chunkable)| chunkable.then(|| uniform(s.bytes)))
+        .collect();
+    let recv_tuning: Vec<Option<MsgTuning>> = meta
+        .recvs
+        .iter()
+        .zip(recv_chunkable)
+        .map(|(m, &chunkable)| chunkable.then(|| uniform(m.bytes)))
+        .collect();
+    overlap_rank_tuned(records, meta, &send_tuning, &recv_tuning)
+}
+
+/// [`overlap_rank`] with explicit per-message parameters: message `i` of
+/// `meta.sends` / `meta.recvs` is transformed with `send_tuning[i]` /
+/// `recv_tuning[i]` (`None` = pass through untransformed). The two sides
+/// of one message must agree on the chunk ranges — per-channel plans
+/// guarantee this by deriving both sides' tunings from the same channel
+/// key.
+///
+/// # Panics
+///
+/// Panics if the tuning slices disagree with `meta` lengths, a level
+/// exceeds [`TUNING_SCALE`], or tags / sequences exceed the chunk-tag
+/// encodable ranges.
+pub fn overlap_rank_tuned(
+    records: &[Record],
+    meta: &RankMeta,
+    send_tuning: &[Option<MsgTuning>],
+    recv_tuning: &[Option<MsgTuning>],
+) -> Vec<Record> {
+    assert_eq!(send_tuning.len(), meta.sends.len());
+    assert_eq!(recv_tuning.len(), meta.recvs.len());
 
     let (pos, total) = record_positions(records);
 
@@ -304,15 +397,12 @@ pub fn overlap_rank(
     let mut end_waits: Vec<RequestId> = Vec::new();
 
     // --- Send side -------------------------------------------------------
-    for (send, &chunkable) in meta.sends.iter().zip(send_chunkable) {
-        if !chunkable {
+    for (send, tuning) in meta.sends.iter().zip(send_tuning) {
+        let Some(t) = tuning else {
             continue;
-        }
-        let production = send
-            .production
-            .as_ref()
-            .expect("chunkable send must have a production profile");
-        let ranges = policy.chunk_ranges(send.bytes);
+        };
+        assert!(t.early <= TUNING_SCALE, "send tuning level out of range");
+        let ranges = &t.ranges;
         let n = ranges.len();
         if n == 0 {
             continue;
@@ -322,15 +412,21 @@ pub fn overlap_rank(
         let mut chunk_reqs = Vec::with_capacity(n);
 
         for (j, range) in ranges.iter().enumerate() {
-            let ready = if !mode.mechanisms.early_send {
+            let ready = if t.early == 0 {
                 send_instant
             } else {
-                match mode.pattern {
-                    PatternSource::Real => production.ready_at(range.clone()).min(send_instant),
+                let full = match t.pattern {
+                    PatternSource::Real => send
+                        .production
+                        .as_ref()
+                        .expect("chunkable send must have a production profile")
+                        .ready_at(range.clone())
+                        .min(send_instant),
                     PatternSource::Linear => {
                         lerp_instr(wstart, send_instant, (j + 1) as u64, n as u64)
                     }
-                }
+                };
+                pull_toward(send_instant, full, t.early)
             };
             let req = fresh_req();
             chunk_reqs.push(req);
@@ -378,11 +474,12 @@ pub fn overlap_rank(
     }
 
     // --- Receive side ----------------------------------------------------
-    for (recv, &chunkable) in meta.recvs.iter().zip(recv_chunkable) {
-        if !chunkable {
+    for (recv, tuning) in meta.recvs.iter().zip(recv_tuning) {
+        let Some(t) = tuning else {
             continue;
-        }
-        let ranges = policy.chunk_ranges(recv.bytes);
+        };
+        assert!(t.late <= TUNING_SCALE, "recv tuning level out of range");
+        let ranges = &t.ranges;
         let n = ranges.len();
         if n == 0 {
             continue;
@@ -423,7 +520,7 @@ pub fn overlap_rank(
                 other => unreachable!("recv meta with wait points at {other}"),
             });
 
-        if !mode.mechanisms.late_wait {
+        if t.late == 0 {
             // All chunks complete where the original message completed.
             match (recv.wait_record_idx, orig_req) {
                 (Some(wait_idx), Some(req)) => {
@@ -453,13 +550,19 @@ pub fn overlap_rank(
         }
         let consumption = recv.consumption.as_ref();
         for (j, (range, req)) in ranges.iter().zip(&chunk_reqs).enumerate() {
-            let needed = match mode.pattern {
+            let needed = match t.pattern {
                 PatternSource::Real => consumption.and_then(|c| c.needed_at(range.clone())),
                 PatternSource::Linear => Some(lerp_instr(complete, wend, j as u64, n as u64)),
             };
             match needed {
                 Some(at) => {
-                    let at = at.max(complete).min(total);
+                    // Interpolate between the original completion point
+                    // (level 0) and the first-consumption instant
+                    // (level TUNING_SCALE).
+                    let full = at.max(complete).min(total);
+                    let span = (full - complete).get() as u128;
+                    let at = complete
+                        + Instr::new((span * t.late as u128 / TUNING_SCALE as u128) as u64);
                     items.push(Item {
                         instant: at,
                         src: complete_idx,

@@ -87,7 +87,10 @@ use ovlsim::core::{
 };
 use ovlsim::dimemas::{emit_trace_set, parse_trace_set, SimError};
 use ovlsim::lab::campaign::{diff_reports, CampaignSpec, Engine};
-use ovlsim::lab::{ArtifactPipeline, Attribution, DirectPipeline, EngineInput, LabError};
+use ovlsim::lab::{
+    run_tune, run_tune_baseline, ArtifactPipeline, Attribution, DirectPipeline, EngineInput,
+    LabError, TuneOptions,
+};
 use ovlsim::paraver::{render_gantt, to_cause_pcf, to_cause_prv, to_row, GanttOptions, Timeline};
 use ovlsim::session::{Server, Session, TraceSource};
 use ovlsim::tracer::TracingSession;
@@ -107,6 +110,7 @@ fn usage() -> ExitCode {
          ovlsim trace replay <file.dim|file.ovlb> [bytes-per-sec] [latency-us] [--engine <engine>]\n  \
          ovlsim trace convert <in.dim|in.ovlb> <out.dim|out.ovlb>\n  \
          ovlsim analyze <file.dim|file.ovlb> [bytes-per-sec] [latency-us] [--out <dir>] [--csv] [--prv] [--cache-dir <dir>]\n  \
+         ovlsim tune <app|file.dim|file.ovlb> [bytes-per-sec] [latency-us] [--budget <n>] [--seed <n>] [--out <dir>] [--csv] [--cache-dir <dir>]\n  \
          ovlsim serve [--port <n>] [--cache-dir <dir>]\n  \
          ovlsim --version\n\
          perturbation flags (campaign run, trace replay, analyze):\n  \
@@ -294,7 +298,12 @@ fn cmd_campaign_run(
     if report.perturbed {
         println!("\n{:<12} {:>10}", "noise", "retention");
         for (level, retention) in report.retention_by_level() {
-            println!("{level:<12} {:>9.1}%", retention * 100.0);
+            match retention {
+                Some(r) => println!("{level:<12} {:>9.1}%", r * 100.0),
+                // No scenario at this level has a positive clean-gain
+                // baseline — there is nothing to retain.
+                None => println!("{level:<12} {:>10}", "n/a"),
+            }
         }
     }
     Ok(())
@@ -677,6 +686,86 @@ fn cmd_analyze(
     Ok(())
 }
 
+// -------------------------------------------------------------------- tune
+
+/// Runs the attribution-guided overlap auto-tuner on a registered app
+/// (traced at class S) or a trace file (baseline-only: raw traces carry no
+/// transform metadata to synthesize candidates from). Writes the
+/// byte-stable trajectory report next to the usual campaign outputs.
+#[allow(clippy::too_many_arguments)]
+fn cmd_tune(
+    target: &str,
+    bw: Option<&str>,
+    lat: Option<&str>,
+    out_dir: &Path,
+    csv: bool,
+    seed: Option<u64>,
+    budget: Option<usize>,
+    cache_dir: Option<&Path>,
+) -> Result<(), String> {
+    let session = open_session(cache_dir)?;
+    let platform = parse_platform(bw, lat)?;
+    let opts = TuneOptions {
+        budget: budget.unwrap_or(ovlsim::lab::tune::DEFAULT_TUNE_BUDGET),
+        seed: seed.unwrap_or(0),
+        engine: Engine::Compiled,
+    };
+    let report = if registry::is_registered(target) {
+        let bundle = ArtifactPipeline::bundle(
+            &session,
+            target,
+            ProblemClass::S,
+            registry::AppOverrides::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        run_tune(&session, &bundle, &platform, &opts).map_err(|e| e.to_string())?
+    } else {
+        let trace = session.trace(&load_source(target)?).map_err(|e| match e {
+            ovlsim::session::SessionError::TraceParse(pe) => format!("{target}: {pe}"),
+            ovlsim::session::SessionError::Decode(de) => format!("{target}: {de}"),
+            other => format!("{target}: {other}"),
+        })?;
+        run_tune_baseline(&session, &trace, &platform, &opts).map_err(|e| e.to_string())?
+    };
+    fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let json_path = out_dir.join(format!("{}.tune.json", report.app));
+    fs::write(&json_path, report.to_json())
+        .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    println!(
+        "tune {}: {} tunable channels, budget {} -> {}",
+        report.app,
+        report.channels,
+        report.budget,
+        json_path.display()
+    );
+    if csv {
+        let csv_path = out_dir.join(format!("{}.tune.csv", report.app));
+        fs::write(&csv_path, report.to_csv())
+            .map_err(|e| format!("write {}: {e}", csv_path.display()))?;
+        println!("              csv -> {}", csv_path.display());
+    }
+    println!(
+        "\noriginal {}  uniform-linear {}  tuned {}  ({:+.2}% vs linear)",
+        format_time(report.original),
+        format_time(report.linear),
+        format_time(report.best),
+        (report.speedup_vs_linear() - 1.0) * 100.0
+    );
+    if let Some(plan) = &report.best_plan {
+        println!("plan: {}", plan.render());
+    }
+    // The accepted trajectory: how the incumbent improved step by step.
+    for s in report.steps.iter().filter(|s| s.accepted && s.iter > 0) {
+        println!(
+            "  [{}] {} -> {}",
+            s.iter,
+            s.mutation,
+            format_time(s.makespan)
+        );
+    }
+    Ok(())
+}
+
 // ------------------------------------------------------------------- serve
 
 fn cmd_serve(port: u16, cache_dir: Option<&Path>) -> Result<(), String> {
@@ -703,6 +792,7 @@ fn main() -> ExitCode {
     let mut perturb = PerturbFlags::default();
     let mut engine: Option<Engine> = None;
     let mut force_engine: Option<Engine> = None;
+    let mut budget: Option<usize> = None;
     // Both engine flags fail the same way: a single typed line on stderr
     // and the usage exit code, so scripts can distinguish "bad engine
     // name" from a failed replay without parsing the usage text.
@@ -753,6 +843,10 @@ fn main() -> ExitCode {
                 Some(seed) => perturb.seed = Some(seed),
                 None => return usage(),
             },
+            "--budget" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => budget = Some(n),
+                None => return usage(),
+            },
             "--noise" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(level) => perturb.noise = Some(level),
                 None => return usage(),
@@ -789,16 +883,30 @@ fn main() -> ExitCode {
     // swallowing them elsewhere would misplace the user's output. `--prv`
     // is analyze-only, and the perturbation flags belong to the three
     // replaying subcommands.
-    let takes_flags =
-        positional.get(..2) == Some(&["campaign", "run"]) || positional.first() == Some(&"analyze");
+    let is_tune = positional.first() == Some(&"tune");
+    let takes_flags = positional.get(..2) == Some(&["campaign", "run"])
+        || positional.first() == Some(&"analyze")
+        || is_tune;
     if flags_given && !takes_flags {
         return usage();
     }
     if prv && positional.first() != Some(&"analyze") {
         return usage();
     }
-    let takes_perturb = takes_flags || positional.get(..2) == Some(&["trace", "replay"]);
-    if perturb.given() && !takes_perturb {
+    let takes_perturb =
+        (takes_flags && !is_tune) || positional.get(..2) == Some(&["trace", "replay"]);
+    if is_tune {
+        // `tune` reuses `--seed` as the *search* seed; the platform
+        // perturbation flags don't apply to it.
+        if perturb.noise.is_some() || perturb.stragglers.is_some() || perturb.faults.is_some() {
+            return usage();
+        }
+    } else if perturb.given() && !takes_perturb {
+        return usage();
+    }
+    // `--budget` is the tuner's evaluation budget and means nothing
+    // elsewhere.
+    if budget.is_some() && !is_tune {
         return usage();
     }
     // `--engine` selects the replay engine of `trace replay`;
@@ -854,6 +962,36 @@ fn main() -> ExitCode {
             csv,
             prv,
             &perturb,
+            cache,
+        ),
+        ["tune", target] => cmd_tune(
+            target,
+            None,
+            None,
+            &out_dir,
+            csv,
+            perturb.seed,
+            budget,
+            cache,
+        ),
+        ["tune", target, bw] => cmd_tune(
+            target,
+            Some(bw),
+            None,
+            &out_dir,
+            csv,
+            perturb.seed,
+            budget,
+            cache,
+        ),
+        ["tune", target, bw, lat] => cmd_tune(
+            target,
+            Some(bw),
+            Some(lat),
+            &out_dir,
+            csv,
+            perturb.seed,
+            budget,
             cache,
         ),
         _ => return usage(),
